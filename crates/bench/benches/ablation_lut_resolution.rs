@@ -1,0 +1,91 @@
+//! Ablation — lookup-table resolution. The paper's modeling methodology is
+//! a 2-D I-V lookup table; this bench quantifies the interpolation error of
+//! that methodology against the analytic model as the grid is refined, both
+//! at the device level and propagated through an inverter's DC transfer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use tfet_bench::Table;
+use tfet_circuit::{Circuit, Waveform};
+use tfet_devices::model::DeviceModel;
+use tfet_devices::{LutDevice, NTfet, PTfet};
+
+/// Worst relative current error over an operating-region probe set.
+fn device_error(lut: &LutDevice<NTfet>, analytic: &NTfet) -> f64 {
+    let mut worst = 0.0f64;
+    for &(vg, vd) in &[
+        (0.8, 0.8),
+        (0.6, 0.4),
+        (0.45, 0.7),
+        (0.9, 0.2),
+        (0.7, 0.55),
+    ] {
+        let a = analytic.ids_per_um(vg, vd, 0.0);
+        let l = lut.ids_per_um(vg, vd, 0.0);
+        worst = worst.max((a - l).abs() / a.abs().max(1e-18));
+    }
+    worst
+}
+
+/// Mid-rail inverter output voltage with the given device pair.
+fn inverter_vout(n: Arc<dyn DeviceModel>, p: Arc<dyn DeviceModel>) -> f64 {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let inp = c.node("in");
+    let out = c.node("out");
+    c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+    c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.4));
+    c.transistor("MP", p, out, inp, vdd, 0.1);
+    c.transistor("MN", n, out, inp, Circuit::GND, 0.1);
+    c.dc_op().expect("inverter op").voltage(out)
+}
+
+fn sweep() -> Table {
+    let mut t = Table::new(
+        "Ablation A1",
+        "LUT grid resolution vs device and circuit error",
+        &["grid", "step_mV", "worst_dev_err_pct", "inverter_vout_err_mV"],
+    );
+    let analytic = NTfet::nominal();
+    let exact = inverter_vout(
+        Arc::new(NTfet::nominal()),
+        Arc::new(PTfet::nominal()),
+    );
+    for n_pts in [25usize, 61, 121, 241, 481] {
+        let lut_n = LutDevice::compile(NTfet::nominal(), (-1.2, 1.2), n_pts, (-1.2, 1.2), n_pts);
+        let lut_p = LutDevice::compile(PTfet::nominal(), (-1.2, 1.2), n_pts, (-1.2, 1.2), n_pts);
+        let err = device_error(&lut_n, &analytic);
+        let vout = inverter_vout(Arc::new(lut_n), Arc::new(lut_p));
+        t.push_row(vec![
+            format!("{n_pts}x{n_pts}"),
+            format!("{:.1}", 2400.0 / (n_pts - 1) as f64),
+            format!("{:.2}", err * 100.0),
+            format!("{:.2}", (vout - exact).abs() * 1e3),
+        ]);
+    }
+    t.note("the paper's 10 mV-class tables (241x241) keep device error ~1% and circuit error sub-mV");
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", sweep().render());
+
+    let mut g = c.benchmark_group("ablation_lut_resolution");
+    g.sample_size(10);
+    g.bench_function("compile_default_grid", |b| {
+        b.iter(|| black_box(LutDevice::compile_default(NTfet::nominal())))
+    });
+    let lut = LutDevice::compile_default(NTfet::nominal());
+    let analytic = NTfet::nominal();
+    g.bench_function("lut_eval", |b| {
+        b.iter(|| black_box(lut.ids_per_um(0.73, 0.61, 0.0)))
+    });
+    g.bench_function("analytic_eval", |b| {
+        b.iter(|| black_box(analytic.ids_per_um(0.73, 0.61, 0.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the simulation engine itself: dense LU, DC operating
+//! point, and transient step rate on the 6T cell. These are the kernels
+//! whose cost multiplies through every experiment in the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::TransientSpec;
+use tfet_numerics::matrix::Lu;
+use tfet_numerics::Matrix;
+use tfet_sram::ops::hold_setup;
+use tfet_sram::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+
+    // Dense LU at typical MNA size (13 unknowns for the 6T cell).
+    let n = 13;
+    let mut a = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                a[(i, j)] = 0.1 / (1.0 + (i as f64 - j as f64).abs());
+            }
+        }
+    }
+    let b_vec = vec![1.0; n];
+    g.bench_function("lu_factor_solve_13x13", |bch| {
+        bch.iter(|| {
+            let mut lu = Lu::factorize(black_box(&a)).unwrap();
+            black_box(lu.solve(&b_vec))
+        })
+    });
+
+    // DC operating point of the full 6T TFET cell in hold.
+    let params = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    let hold = hold_setup(&params).unwrap();
+    g.bench_function("dc_op_6t_hold", |bch| {
+        bch.iter(|| black_box(hold.circuit.dc_op_with_guess(&hold.guess).unwrap()))
+    });
+
+    // Transient step rate: 250 steps of the hold circuit.
+    g.bench_function("transient_250_steps_6t", |bch| {
+        bch.iter(|| {
+            black_box(
+                hold.circuit
+                    .transient(
+                        &TransientSpec::new(0.5e-9, 2e-12),
+                        &InitialState::Uic(vec![
+                            (hold.nodes.q, 0.8),
+                            (hold.nodes.bl, 0.8),
+                            (hold.nodes.blb, 0.8),
+                            (hold.nodes.wl, 0.8),
+                            (hold.nodes.vdd, 0.8),
+                        ]),
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

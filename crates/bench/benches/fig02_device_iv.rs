@@ -1,0 +1,42 @@
+//! Fig. 2 — TFET I-V characteristics (forward and reverse).
+//!
+//! Regenerates both panels, then times the device-model kernels that every
+//! downstream experiment is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_devices::model::DeviceModel;
+use tfet_devices::{LutDevice, NTfet};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp::fig02a().render());
+    println!("{}", exp::fig02b().render());
+
+    let analytic = NTfet::nominal();
+    let lut = LutDevice::compile_default(NTfet::nominal());
+
+    let mut g = c.benchmark_group("fig02_device_iv");
+    g.bench_function("analytic_ids_forward", |b| {
+        b.iter(|| black_box(analytic.ids_per_um(black_box(0.8), black_box(0.8), 0.0)))
+    });
+    g.bench_function("analytic_ids_reverse", |b| {
+        b.iter(|| black_box(analytic.ids_per_um(black_box(0.8), black_box(-0.8), 0.0)))
+    });
+    g.bench_function("lut_ids", |b| {
+        b.iter(|| black_box(lut.ids_per_um(black_box(0.8), black_box(0.8), 0.0)))
+    });
+    g.bench_function("transfer_sweep_101pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..=100 {
+                acc += analytic.ids_per_um(k as f64 * 0.01, 1.0, 0.0);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 4 — DRNM and WL_crit vs cell ratio β for inward-n/-p TFET and CMOS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::metrics::{read_metrics, wl_crit};
+use tfet_sram::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        exp::fig04(&[0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0]).render()
+    );
+
+    let params = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    let mut g = c.benchmark_group("fig04_beta_study");
+    g.sample_size(10);
+    g.bench_function("drnm_measurement", |b| {
+        b.iter(|| black_box(read_metrics(&params, None).unwrap().drnm))
+    });
+    g.bench_function("wl_crit_search", |b| {
+        b.iter(|| black_box(wl_crit(&params, None).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

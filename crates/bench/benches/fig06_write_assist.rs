@@ -1,0 +1,25 @@
+//! Fig. 6(e) — WL_crit vs β for the four write-assist techniques.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::metrics::wl_crit;
+use tfet_sram::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp::fig06(&[1.2, 1.5, 2.0, 2.5, 3.0]).render());
+
+    let params = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+    let mut g = c.benchmark_group("fig06_write_assist");
+    g.sample_size(10);
+    g.bench_function("wl_crit_with_gnd_raising", |b| {
+        b.iter(|| black_box(wl_crit(&params, Some(WriteAssist::GndRaising)).unwrap()))
+    });
+    g.bench_function("wl_crit_with_wordline_lowering", |b| {
+        b.iter(|| black_box(wl_crit(&params, Some(WriteAssist::WordlineLowering)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

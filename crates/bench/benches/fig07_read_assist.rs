@@ -1,0 +1,31 @@
+//! Fig. 7(e) — DRNM vs β for the four read-assist techniques.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::metrics::read_metrics;
+use tfet_sram::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp::fig07(&[0.3, 0.4, 0.5, 0.6, 0.8, 1.0]).render());
+
+    let params = exp::fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    let mut g = c.benchmark_group("fig07_read_assist");
+    g.sample_size(10);
+    g.bench_function("drnm_with_gnd_lowering", |b| {
+        b.iter(|| black_box(read_metrics(&params, Some(ReadAssist::GndLowering)).unwrap().drnm))
+    });
+    g.bench_function("drnm_with_wordline_raising", |b| {
+        b.iter(|| {
+            black_box(
+                read_metrics(&params, Some(ReadAssist::WordlineRaising))
+                    .unwrap()
+                    .drnm,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 8 — all eight techniques in the (DRNM, WL_crit) plane; the paper's
+//! technique-selection figure (GND-lowering RA wins).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::explore::{corner_score, ra_tradeoff};
+use tfet_sram::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        exp::fig08(&[1.2, 1.5, 2.0, 2.5], &[0.4, 0.5, 0.6, 0.8]).render()
+    );
+
+    let base = exp::fast(CellParams::tfet6t(AccessConfig::InwardP));
+    let mut g = c.benchmark_group("fig08_wa_ra_tradeoff");
+    g.sample_size(10);
+    g.bench_function("ra_tradeoff_curve_one_beta", |b| {
+        b.iter(|| {
+            let curve = ra_tradeoff(&base, ReadAssist::GndLowering, &[0.6]).unwrap();
+            black_box(corner_score(&curve, 1e-9, 0.1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

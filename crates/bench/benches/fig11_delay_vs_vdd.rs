@@ -1,0 +1,26 @@
+//! Fig. 11 — write and read delay vs V_DD for the four §5 designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::compare::Design;
+use tfet_sram::metrics::write_delay;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp::fig11(&[0.5, 0.6, 0.7, 0.8, 0.9]).render());
+
+    let params = exp::fast(Design::Proposed.params(0.8));
+    let cmos = exp::fast(Design::Cmos.params(0.8));
+    let mut g = c.benchmark_group("fig11_delay_vs_vdd");
+    g.sample_size(10);
+    g.bench_function("write_delay_proposed", |b| {
+        b.iter(|| black_box(write_delay(&params, None).unwrap()))
+    });
+    g.bench_function("write_delay_cmos", |b| {
+        b.iter(|| black_box(write_delay(&cmos, None).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

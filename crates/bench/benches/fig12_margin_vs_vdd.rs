@@ -1,0 +1,32 @@
+//! Fig. 12 — WL_crit and DRNM vs V_DD for the four §5 designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::compare::Design;
+use tfet_sram::metrics::read_metrics;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp::fig12(&[0.5, 0.6, 0.7, 0.8, 0.9]).render());
+
+    let proposed = exp::fast(Design::Proposed.params(0.8));
+    let seven = exp::fast(Design::Tfet7T.params(0.8));
+    let mut g = c.benchmark_group("fig12_margin_vs_vdd");
+    g.sample_size(10);
+    g.bench_function("drnm_proposed_with_ra", |b| {
+        b.iter(|| {
+            black_box(
+                read_metrics(&proposed, Design::Proposed.read_assist())
+                    .unwrap()
+                    .drnm,
+            )
+        })
+    });
+    g.bench_function("drnm_7t_decoupled", |b| {
+        b.iter(|| black_box(read_metrics(&seven, None).unwrap().drnm))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

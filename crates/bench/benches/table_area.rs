@@ -1,0 +1,21 @@
+//! T2 (§5 prose) — relative cell area of the four designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::area::cell_area;
+use tfet_sram::tech::{CellKind, CellSizing};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp::table_area().render());
+
+    let sizing = CellSizing::with_beta(0.6);
+    let mut g = c.benchmark_group("table_area");
+    g.bench_function("cell_area_model", |b| {
+        b.iter(|| black_box(cell_area(CellKind::Tfet7T, black_box(&sizing))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! T1 (§5 prose) — hold static power of the four designs across V_DD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments as exp;
+use tfet_sram::compare::Design;
+use tfet_sram::metrics::static_power;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        exp::table_static_power(&[0.5, 0.6, 0.7, 0.8, 0.9]).render()
+    );
+
+    let proposed = exp::fast(Design::Proposed.params(0.8));
+    let cmos = exp::fast(Design::Cmos.params(0.8));
+    let mut g = c.benchmark_group("table_static_power");
+    g.bench_function("hold_dc_op_tfet", |b| {
+        b.iter(|| black_box(static_power(&proposed).unwrap()))
+    });
+    g.bench_function("hold_dc_op_cmos", |b| {
+        b.iter(|| black_box(static_power(&cmos).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates every figure and table of the paper in one run.
+//!
+//! Prints each experiment as an aligned text table and writes CSVs to
+//! `results/`. Full-resolution settings; expect a few minutes in release
+//! mode.
+//!
+//! Usage: `cargo run --release -p tfet-bench --bin figures [--quick]`
+
+use std::fs;
+use tfet_bench::experiments as exp;
+use tfet_bench::Table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out_dir = "results";
+    fs::create_dir_all(out_dir).expect("create results dir");
+
+    // Grids: full paper resolution vs quick smoke.
+    let (betas_fig4, betas_wa, betas_ra, vdds, mc_n): (
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        usize,
+    ) = if quick {
+        (
+            vec![0.6, 1.0, 2.0],
+            vec![1.2, 2.0],
+            vec![0.4, 0.8],
+            vec![0.6, 0.8],
+            8,
+        )
+    } else {
+        (
+            vec![0.4, 0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0],
+            vec![1.2, 1.5, 2.0, 2.5, 3.0],
+            vec![0.3, 0.4, 0.5, 0.6, 0.8, 1.0],
+            vec![0.5, 0.6, 0.7, 0.8, 0.9],
+            120,
+        )
+    };
+
+    let tables: Vec<Table> = vec![
+        exp::fig02a(),
+        exp::fig02b(),
+        exp::fig04(&betas_fig4),
+        exp::fig06(&betas_wa),
+        exp::fig07(&betas_ra),
+        exp::fig08(&betas_wa, &betas_ra),
+        exp::fig09(mc_n, 2011),
+        exp::fig10(mc_n, 2011),
+        exp::fig11(&vdds),
+        exp::fig12(&vdds),
+        exp::table_static_power(&vdds),
+        exp::table_area(),
+    ];
+
+    for t in &tables {
+        println!("{}", t.render());
+        let slug: String = t
+            .id
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .to_lowercase();
+        let path = format!("{out_dir}/{slug}.csv");
+        fs::write(&path, t.to_csv()).expect("write csv");
+        println!("-> {path}\n");
+    }
+}

@@ -1,0 +1,393 @@
+//! Newton–Raphson DC operating-point analysis.
+//!
+//! The solver iterates `J(x_k) Δx = −f(x_k)` with per-iteration voltage-step
+//! limiting (the damping that keeps the exponential TFET reverse-diode and
+//! subthreshold branches from overshooting), declaring convergence when the
+//! *undamped* update falls below tolerance. If plain Newton fails from the
+//! given guess, it falls back to g_min stepping: solve with a large
+//! artificial conductance to ground, then relax it toward zero, carrying the
+//! solution forward.
+//!
+//! Bistable circuits (an SRAM cell in hold!) have multiple operating points;
+//! the initial guess selects the basin, which is exactly how the SRAM layer
+//! sets the stored state before a hold-power measurement.
+
+use crate::error::SimError;
+use crate::mna::{CompanionCaps, Mna};
+use crate::netlist::{Circuit, NodeId, SourceId};
+use tfet_numerics::matrix::Lu;
+use tfet_numerics::Matrix;
+
+/// Newton iteration controls.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOpts {
+    /// Maximum iterations before declaring failure.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest voltage update, V.
+    pub v_tol: f64,
+    /// Damping: the largest voltage change applied in one iteration, V.
+    pub v_step_max: f64,
+}
+
+impl Default for NewtonOpts {
+    fn default() -> Self {
+        NewtonOpts {
+            max_iter: 200,
+            // 20 nV: far below any measurement in this workspace (metrics
+            // live at mV scale) yet loose enough that the near-quadratic
+            // TFET output-onset region cannot trap the iteration in a
+            // numerical limit cycle.
+            v_tol: 2e-8,
+            v_step_max: 0.3,
+        }
+    }
+}
+
+/// The g_min relaxation ladder used when plain Newton fails. Ends at zero so
+/// the final solution is physical — essential here because TFET hold
+/// currents (1e-17 A) are smaller than a conventional simulator's
+/// residual g_min would inject.
+const GMIN_LADDER: &[f64] = &[1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0];
+
+/// Runs damped Newton at fixed `t`/`gmin`/`caps` from `x0`.
+///
+/// Returns the converged state, or the pair `(best_state, error)` on
+/// failure so ladders can continue from partial progress.
+#[allow(clippy::too_many_arguments)] // solver-internal
+pub(crate) fn newton(
+    mna: &Mna<'_>,
+    mut x: Vec<f64>,
+    t: f64,
+    gmin: f64,
+    anchor: Option<&[f64]>,
+    caps: Option<&CompanionCaps>,
+    opts: &NewtonOpts,
+    time_label: Option<f64>,
+) -> Result<Vec<f64>, (Vec<f64>, SimError)> {
+    let n = mna.unknown_count();
+    let n_v = mna.voltage_count();
+    let mut j = Matrix::zeros(n, n);
+    let mut f = vec![0.0; n];
+
+    let mut last_delta = f64::INFINITY;
+    for iter in 0..opts.max_iter {
+        mna.assemble(&x, t, gmin, anchor, caps, &mut j, &mut f);
+        let mut lu = match Lu::factorize(&j) {
+            Ok(lu) => lu,
+            Err(e) => return Err((x, SimError::from_solve(e, time_label))),
+        };
+        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+        let dx = lu.solve_in_place(rhs);
+
+        // Undamped voltage-update magnitude decides convergence.
+        let max_dv = dx[..n_v].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        if !max_dv.is_finite() {
+            return Err((
+                x,
+                SimError::NoConvergence {
+                    time: time_label,
+                    iterations: iter,
+                    last_delta: f64::INFINITY,
+                },
+            ));
+        }
+        // Damping factor limits voltage moves; branch currents follow suit
+        // so the iterate stays near the linearization.
+        let scale = if max_dv > opts.v_step_max {
+            opts.v_step_max / max_dv
+        } else {
+            1.0
+        };
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += scale * di;
+        }
+        last_delta = max_dv;
+        if max_dv < opts.v_tol {
+            return Ok(x);
+        }
+    }
+    Err((
+        x,
+        SimError::NoConvergence {
+            time: time_label,
+            iterations: opts.max_iter,
+            last_delta,
+        },
+    ))
+}
+
+/// Full operating-point solve with g_min-stepping fallback.
+///
+/// With `anchored = true` the plain-Newton fast path is skipped and the
+/// solve follows the g_min continuation pinned to the initial guess from
+/// the start. Callers that picked a guess to *select an operating point* of
+/// a multistable circuit need this: a bare Newton iteration is free to
+/// converge to any solution — including the SRAM cell's metastable point —
+/// no matter how suggestive the starting point was.
+pub(crate) fn solve_op(
+    mna: &Mna<'_>,
+    x0: Vec<f64>,
+    t: f64,
+    caps: Option<&CompanionCaps>,
+    opts: &NewtonOpts,
+    time_label: Option<f64>,
+    anchored: bool,
+) -> Result<Vec<f64>, SimError> {
+    if !anchored {
+        // Fast path: plain Newton from the guess.
+        match newton(mna, x0.clone(), t, 0.0, None, caps, opts, time_label) {
+            Ok(x) => return Ok(x),
+            Err(_) => { /* fall through to the ladder */ }
+        }
+    }
+    // g_min ladder, carrying the state forward. The ladder conductances
+    // anchor every node to the *initial guess*, not to ground — for a
+    // bistable circuit this keeps the solve in the basin the caller chose.
+    let anchor = x0.clone();
+    let mut x = x0;
+    let mut last_err = None;
+    for &gmin in GMIN_LADDER {
+        match newton(mna, x.clone(), t, gmin, Some(&anchor), caps, opts, time_label) {
+            Ok(next) => x = next,
+            Err((best, e)) => {
+                // Keep partial progress; a failure mid-ladder can still
+                // position the final rung to converge.
+                x = best;
+                last_err = Some(e);
+            }
+        }
+        if gmin == 0.0 {
+            // Final rung must succeed cleanly.
+            return match last_err.take() {
+                None => Ok(x),
+                Some(e) => Err(e),
+            };
+        }
+        last_err = None;
+    }
+    unreachable!("gmin ladder ends at 0.0")
+}
+
+/// A converged DC operating point.
+#[derive(Debug, Clone)]
+pub struct DcResult {
+    pub(crate) x: Vec<f64>,
+    pub(crate) n_v: usize,
+    /// `(plus, minus, value)` per source at the solve time, for power
+    /// accounting.
+    pub(crate) source_volts: Vec<f64>,
+}
+
+impl DcResult {
+    /// Node voltage, V.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current of a voltage source, A — defined flowing from the
+    /// `plus` terminal *through the source* to `minus` (so a battery
+    /// delivering power reports a negative branch current).
+    pub fn source_current(&self, id: SourceId) -> f64 {
+        self.x[self.n_v + id.0]
+    }
+
+    /// Power delivered *by* the source to the circuit, W.
+    pub fn power_delivered(&self, id: SourceId) -> f64 {
+        -self.source_volts[id.0] * self.source_current(id)
+    }
+
+    /// Total power delivered by all sources, W — the circuit's static
+    /// dissipation at this operating point.
+    pub fn total_power(&self) -> f64 {
+        (0..self.source_volts.len())
+            .map(|k| -self.source_volts[k] * self.x[self.n_v + k])
+            .sum()
+    }
+
+    /// The raw unknown vector (voltages then branch currents) — the seed for
+    /// a subsequent transient.
+    pub fn state(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+impl Circuit {
+    /// Solves the DC operating point with all sources at their `t = 0`
+    /// values and a zero initial guess.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidCircuit`] for structurally bad netlists,
+    /// [`SimError::SingularMatrix`] / [`SimError::NoConvergence`] when the
+    /// solve fails.
+    pub fn dc_op(&self) -> Result<DcResult, SimError> {
+        self.dc_op_with_guess(&[])
+    }
+
+    /// Solves the DC operating point starting from voltage hints.
+    ///
+    /// For bistable circuits the hints select the operating point: seed the
+    /// storage nodes with the intended state and Newton converges into that
+    /// basin.
+    pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SimError> {
+        let mna = Mna::new(self)?;
+        let mut x0 = vec![0.0; mna.unknown_count()];
+        for &(node, v) in guess {
+            if !node.is_ground() {
+                x0[node.index() - 1] = v;
+            }
+        }
+        // Pre-seed source nodes with their stimulus value: a free, large
+        // step toward the solution.
+        for vs in &self.vsources {
+            if vs.minus.is_ground() && !vs.plus.is_ground() {
+                x0[vs.plus.index() - 1] = vs.wave.initial();
+            }
+        }
+        let opts = NewtonOpts::default();
+        // An explicit guess means the caller is selecting among operating
+        // points: follow the anchored continuation so the basin survives.
+        let anchored = !guess.is_empty();
+        let x = solve_op(&mna, x0, 0.0, None, &opts, None, anchored)?;
+        Ok(DcResult {
+            x,
+            n_v: mna.voltage_count(),
+            source_volts: self.vsources.iter().map(|v| v.wave.initial()).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use std::sync::Arc;
+    use tfet_devices::{NTfet, Nmos, PTfet, Pmos};
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let v = c.vsource("V", a, Circuit::GND, Waveform::dc(1.0));
+        c.resistor(a, b, 1e3);
+        c.resistor(b, Circuit::GND, 3e3);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(b) - 0.75).abs() < 1e-9);
+        // Current: 1 V / 4 kΩ = 0.25 mA delivered.
+        assert!((op.source_current(v) + 0.25e-3).abs() < 1e-9);
+        assert!((op.power_delivered(v) - 0.25e-3).abs() < 1e-9);
+        assert!((op.total_power() - 0.25e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_node_through_gmin() {
+        // A current source into a node whose only path is another current
+        // source would be singular; with a resistor it converges plainly.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.isource(Circuit::GND, a, Waveform::dc(1e-6));
+        c.resistor(a, Circuit::GND, 1e6);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_inverter_logic_levels() {
+        // Resistive-load NMOS inverter.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        let vin = c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
+        c.resistor(vdd, out, 1e6);
+        c.transistor("M1", Arc::new(Nmos::nominal()), out, inp, Circuit::GND, 1.0);
+
+        let op = c.dc_op().unwrap();
+        assert!(op.voltage(out) > 0.75, "input low → output high");
+
+        c.set_vsource_wave(vin, Waveform::dc(0.8));
+        let op = c.dc_op().unwrap();
+        assert!(op.voltage(out) < 0.1, "input high → output low");
+    }
+
+    #[test]
+    fn cmos_inverter_rail_to_rail() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        let vin = c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
+        c.transistor("MP", Arc::new(Pmos::nominal()), out, inp, vdd, 0.2);
+        c.transistor("MN", Arc::new(Nmos::nominal()), out, inp, Circuit::GND, 0.1);
+
+        let op = c.dc_op().unwrap();
+        assert!(op.voltage(out) > 0.79, "out = {}", op.voltage(out));
+
+        c.set_vsource_wave(vin, Waveform::dc(0.8));
+        let op = c.dc_op().unwrap();
+        assert!(op.voltage(out) < 0.01, "out = {}", op.voltage(out));
+    }
+
+    #[test]
+    fn tfet_inverter_rail_to_rail_with_tiny_static_power() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        let v = c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
+        c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd, 0.1);
+        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+
+        let op = c.dc_op().unwrap();
+        assert!(op.voltage(out) > 0.79, "out = {}", op.voltage(out));
+        // Static power set by the off nTFET: ~1e-17 A × 0.8 V × 0.1 µm.
+        let p = op.power_delivered(v);
+        assert!(p > 0.0 && p < 1e-16, "static power = {p:e} W");
+    }
+
+    #[test]
+    fn bistable_latch_follows_guess() {
+        // Cross-coupled CMOS inverters: two stable points; the guess picks.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let q = c.node("q");
+        let qb = c.node("qb");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        c.transistor("MP1", Arc::new(Pmos::nominal()), q, qb, vdd, 0.2);
+        c.transistor("MN1", Arc::new(Nmos::nominal()), q, qb, Circuit::GND, 0.1);
+        c.transistor("MP2", Arc::new(Pmos::nominal()), qb, q, vdd, 0.2);
+        c.transistor("MN2", Arc::new(Nmos::nominal()), qb, q, Circuit::GND, 0.1);
+
+        let op = c.dc_op_with_guess(&[(q, 0.8), (qb, 0.0)]).unwrap();
+        assert!(op.voltage(q) > 0.7 && op.voltage(qb) < 0.1);
+
+        let op = c.dc_op_with_guess(&[(q, 0.0), (qb, 0.8)]).unwrap();
+        assert!(op.voltage(q) < 0.1 && op.voltage(qb) > 0.7);
+    }
+
+    #[test]
+    fn series_sources_and_kvl() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GND, Waveform::dc(0.5));
+        c.vsource("V2", b, a, Waveform::dc(0.25));
+        c.resistor(b, Circuit::GND, 1e3);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(b) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_errors() {
+        let c = Circuit::new();
+        assert!(matches!(c.dc_op(), Err(SimError::InvalidCircuit(_))));
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulator error type.
+
+use std::fmt;
+use tfet_numerics::matrix::SolveError;
+
+/// Errors raised by DC and transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA matrix became singular (floating node, or a source loop).
+    SingularMatrix {
+        /// Simulation time at which it happened, seconds (`None` for DC).
+        time: Option<f64>,
+    },
+    /// Newton–Raphson failed to converge within the iteration limit, even
+    /// after g_min stepping.
+    NoConvergence {
+        /// Simulation time at which it happened, seconds (`None` for DC).
+        time: Option<f64>,
+        /// Iterations performed at the final attempt.
+        iterations: usize,
+        /// Largest voltage update magnitude at the final iteration, V.
+        last_delta: f64,
+    },
+    /// The circuit is structurally invalid (e.g. zero-valued resistor,
+    /// transistor width ≤ 0, empty circuit).
+    InvalidCircuit(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SingularMatrix { time: Some(t) } => {
+                write!(f, "singular MNA matrix at t = {t:e} s")
+            }
+            SimError::SingularMatrix { time: None } => {
+                write!(f, "singular MNA matrix in DC analysis")
+            }
+            SimError::NoConvergence {
+                time,
+                iterations,
+                last_delta,
+            } => {
+                match time {
+                    Some(t) => write!(f, "no convergence at t = {t:e} s")?,
+                    None => write!(f, "no convergence in DC analysis")?,
+                }
+                write!(f, " after {iterations} iterations (last |Δv| = {last_delta:e} V)")
+            }
+            SimError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    pub(crate) fn from_solve(err: SolveError, time: Option<f64>) -> Self {
+        match err {
+            SolveError::Singular { .. } => SimError::SingularMatrix { time },
+            SolveError::DimensionMismatch { expected, got } => SimError::InvalidCircuit(
+                format!("internal dimension mismatch: expected {expected}, got {got}"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::SingularMatrix { time: Some(1e-9) };
+        assert!(e.to_string().contains("1e-9"));
+        let e = SimError::NoConvergence {
+            time: None,
+            iterations: 200,
+            last_delta: 0.5,
+        };
+        assert!(e.to_string().contains("200"));
+        let e = SimError::InvalidCircuit("no elements".into());
+        assert!(e.to_string().contains("no elements"));
+    }
+
+    #[test]
+    fn solve_error_conversion() {
+        let e = SimError::from_solve(SolveError::Singular { step: 3 }, Some(2e-12));
+        assert_eq!(e, SimError::SingularMatrix { time: Some(2e-12) });
+    }
+}

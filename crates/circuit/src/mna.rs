@@ -1,0 +1,352 @@
+//! Modified nodal analysis: Jacobian and residual assembly.
+//!
+//! The unknown vector is `x = [v_1 … v_{N-1}, i_1 … i_M]`: the voltages of
+//! every non-ground node followed by the branch currents of the `M`
+//! independent voltage sources. The nonlinear system `f(x) = 0` collects a
+//! KCL residual (sum of currents *leaving* the node) per node and a
+//! branch-voltage constraint per source; [`Mna::assemble`] evaluates `f` and
+//! its Jacobian at a candidate `x` so Newton–Raphson can iterate.
+
+use crate::error::SimError;
+use crate::netlist::{Circuit, NodeId};
+use tfet_numerics::Matrix;
+
+/// Linearized (companion-model) capacitor contributions for one transient
+/// step: for each entry, a conductance `geq` between `a` and `b` plus a
+/// constant current `ieq` flowing a→b, such that the branch current is
+/// `i_ab = geq · (v_a − v_b) + ieq`.
+///
+/// The transient integrator builds these each step (backward Euler:
+/// `geq = C/Δt`, `ieq = −geq·v_ab(t_n)`; trapezoidal: `geq = 2C/Δt`,
+/// `ieq = −geq·v_ab(t_n) − i_ab(t_n)`).
+#[derive(Debug, Clone, Default)]
+pub struct CompanionCaps {
+    /// `(a, b, geq, ieq)` per capacitor branch.
+    pub entries: Vec<(NodeId, NodeId, f64, f64)>,
+}
+
+/// Assembled view of a circuit, ready for repeated Jacobian/residual
+/// evaluation.
+#[derive(Debug)]
+pub struct Mna<'c> {
+    circuit: &'c Circuit,
+    /// Non-ground node count (voltage unknowns).
+    n_v: usize,
+    /// Total unknowns (`n_v` + voltage-source branch currents).
+    n_x: usize,
+}
+
+impl<'c> Mna<'c> {
+    /// Prepares the circuit for analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidCircuit`] if the circuit has no elements
+    /// or no non-ground nodes.
+    pub fn new(circuit: &'c Circuit) -> Result<Self, SimError> {
+        if circuit.element_count() == 0 {
+            return Err(SimError::InvalidCircuit("circuit has no elements".into()));
+        }
+        let n_v = circuit.node_count() - 1;
+        if n_v == 0 {
+            return Err(SimError::InvalidCircuit(
+                "circuit has no non-ground nodes".into(),
+            ));
+        }
+        let n_x = n_v + circuit.vsource_count();
+        Ok(Mna { circuit, n_v, n_x })
+    }
+
+    /// Number of unknowns.
+    pub fn unknown_count(&self) -> usize {
+        self.n_x
+    }
+
+    /// Number of voltage unknowns (non-ground nodes).
+    pub fn voltage_count(&self) -> usize {
+        self.n_v
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Voltage of `node` in the unknown vector (0 for ground).
+    #[inline]
+    pub fn voltage_of(&self, x: &[f64], node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    }
+
+    /// Row/column of a node's KCL equation, if it has one (ground doesn't).
+    #[inline]
+    fn row(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Unknown index of voltage source `k`'s branch current.
+    #[inline]
+    pub fn branch_index(&self, k: usize) -> usize {
+        self.n_v + k
+    }
+
+    /// Adds `g` between nodes `a` and `b` into the Jacobian (standard
+    /// two-terminal conductance stamp).
+    fn stamp_conductance(&self, j: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+        if let Some(ra) = self.row(a) {
+            j.add(ra, ra, g);
+            if let Some(rb) = self.row(b) {
+                j.add(ra, rb, -g);
+            }
+        }
+        if let Some(rb) = self.row(b) {
+            j.add(rb, rb, g);
+            if let Some(ra) = self.row(a) {
+                j.add(rb, ra, -g);
+            }
+        }
+    }
+
+    /// Adds a current `i` flowing a→b into the residual.
+    fn stamp_current(&self, f: &mut [f64], a: NodeId, b: NodeId, i: f64) {
+        if let Some(ra) = self.row(a) {
+            f[ra] += i;
+        }
+        if let Some(rb) = self.row(b) {
+            f[rb] -= i;
+        }
+    }
+
+    /// Evaluates the residual `f(x)` and Jacobian `J(x)` at time `t`.
+    ///
+    /// * `gmin` — convergence-aid conductance from every node toward its
+    ///   anchor voltage (0 for the final, physical solve);
+    /// * `anchor` — the voltages the g_min conductances pull toward. `None`
+    ///   pulls toward ground; passing the solver's initial guess makes the
+    ///   g_min ladder *basin-preserving* for bistable circuits (an SRAM
+    ///   relaxed toward ground would forget which state it was asked to
+    ///   hold and drift to the metastable point);
+    /// * `caps` — companion-model capacitor branches for transient steps
+    ///   (`None` for DC: capacitors are open circuits).
+    ///
+    /// `j` must be `n_x × n_x` and `f` of length `n_x`; both are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`, `f`, `j` or `anchor` have the wrong dimensions.
+    #[allow(clippy::too_many_arguments)] // solver-internal hot path; a config struct would obscure the MNA math
+    pub fn assemble(
+        &self,
+        x: &[f64],
+        t: f64,
+        gmin: f64,
+        anchor: Option<&[f64]>,
+        caps: Option<&CompanionCaps>,
+        j: &mut Matrix,
+        f: &mut [f64],
+    ) {
+        assert_eq!(x.len(), self.n_x, "state vector length");
+        assert_eq!(f.len(), self.n_x, "residual length");
+        assert_eq!(j.rows(), self.n_x, "jacobian rows");
+        j.clear();
+        f.fill(0.0);
+
+        // Resistors.
+        for r in &self.circuit.resistors {
+            let g = 1.0 / r.ohms;
+            let i = g * (self.voltage_of(x, r.a) - self.voltage_of(x, r.b));
+            self.stamp_conductance(j, r.a, r.b, g);
+            self.stamp_current(f, r.a, r.b, i);
+        }
+
+        // Companion capacitors (transient only).
+        if let Some(caps) = caps {
+            for &(a, b, geq, ieq) in &caps.entries {
+                let i = geq * (self.voltage_of(x, a) - self.voltage_of(x, b)) + ieq;
+                self.stamp_conductance(j, a, b, geq);
+                self.stamp_current(f, a, b, i);
+            }
+        }
+
+        // Current sources.
+        for s in &self.circuit.isources {
+            self.stamp_current(f, s.from, s.to, s.wave.value(t));
+        }
+
+        // Transistors: nonlinear three-terminal stamps.
+        for m in &self.circuit.transistors {
+            let vg = self.voltage_of(x, m.g);
+            let vd = self.voltage_of(x, m.d);
+            let vs = self.voltage_of(x, m.s);
+            let w = m.width_um;
+            let i = w * m.model.ids_per_um(vg, vd, vs);
+            let (gm_u, gds_u, gs_u) = m.model.conductances_per_um(vg, vd, vs);
+            let (gm, gds, gss) = (w * gm_u, w * gds_u, w * gs_u);
+
+            // Current i enters the drain terminal and leaves the source
+            // terminal; the gate carries no DC current.
+            self.stamp_current(f, m.d, m.s, i);
+            if let Some(rd) = self.row(m.d) {
+                if let Some(c) = self.row(m.g) {
+                    j.add(rd, c, gm);
+                }
+                j.add(rd, rd, gds);
+                if let Some(c) = self.row(m.s) {
+                    j.add(rd, c, gss);
+                }
+            }
+            if let Some(rs) = self.row(m.s) {
+                if let Some(c) = self.row(m.g) {
+                    j.add(rs, c, -gm);
+                }
+                if let Some(c) = self.row(m.d) {
+                    j.add(rs, c, -gds);
+                }
+                j.add(rs, rs, -gss);
+            }
+        }
+
+        // Voltage sources: branch current unknowns + branch equations.
+        for (k, v) in self.circuit.vsources.iter().enumerate() {
+            let bi = self.branch_index(k);
+            let i_br = x[bi];
+            // KCL: branch current leaves `plus`, enters `minus`.
+            if let Some(rp) = self.row(v.plus) {
+                f[rp] += i_br;
+                j.add(rp, bi, 1.0);
+            }
+            if let Some(rm) = self.row(v.minus) {
+                f[rm] -= i_br;
+                j.add(rm, bi, -1.0);
+            }
+            // Branch equation: v_plus − v_minus = V(t).
+            f[bi] = self.voltage_of(x, v.plus) - self.voltage_of(x, v.minus) - v.wave.value(t);
+            if let Some(rp) = self.row(v.plus) {
+                j.add(bi, rp, 1.0);
+            }
+            if let Some(rm) = self.row(v.minus) {
+                j.add(bi, rm, -1.0);
+            }
+        }
+
+        // g_min convergence aid: a conductance from every node toward its
+        // anchor (ground when no anchor is given).
+        if gmin > 0.0 {
+            if let Some(anchor) = anchor {
+                assert!(anchor.len() >= self.n_v, "anchor length");
+            }
+            for n in 0..self.n_v {
+                j.add(n, n, gmin);
+                let target = anchor.map_or(0.0, |a| a[n]);
+                f[n] += gmin * (x[n] - target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn divider_residual_is_zero_at_solution() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V", a, Circuit::GND, Waveform::dc(1.0));
+        c.resistor(a, b, 1e3);
+        c.resistor(b, Circuit::GND, 1e3);
+        let mna = Mna::new(&c).unwrap();
+        assert_eq!(mna.unknown_count(), 3); // a, b, branch
+
+        // Known solution: v_a = 1, v_b = 0.5, i_br = −0.5 mA.
+        let x = vec![1.0, 0.5, -0.5e-3];
+        let mut j = Matrix::zeros(3, 3);
+        let mut f = vec![0.0; 3];
+        mna.assemble(&x, 0.0, 0.0, None, None, &mut j, &mut f);
+        for (k, r) in f.iter().enumerate() {
+            assert!(r.abs() < 1e-12, "residual {k} = {r:e}");
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference_of_residual() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V", a, Circuit::GND, Waveform::dc(0.8));
+        c.resistor(a, b, 2e3);
+        c.resistor(b, Circuit::GND, 5e3);
+        let mna = Mna::new(&c).unwrap();
+        let n = mna.unknown_count();
+        let x = vec![0.7, 0.3, 1e-4];
+        let mut j = Matrix::zeros(n, n);
+        let mut f0 = vec![0.0; n];
+        mna.assemble(&x, 0.0, 0.0, None, None, &mut j, &mut f0);
+
+        let h = 1e-7;
+        for col in 0..n {
+            let mut xp = x.clone();
+            xp[col] += h;
+            let mut jp = Matrix::zeros(n, n);
+            let mut fp = vec![0.0; n];
+            mna.assemble(&xp, 0.0, 0.0, None, None, &mut jp, &mut fp);
+            for row in 0..n {
+                let fd = (fp[row] - f0[row]) / h;
+                assert!(
+                    (j[(row, col)] - fd).abs() < 1e-4 * j[(row, col)].abs().max(1.0),
+                    "J[{row}][{col}] = {} vs FD {fd}",
+                    j[(row, col)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(Mna::new(&c), Err(SimError::InvalidCircuit(_))));
+    }
+
+    #[test]
+    fn gmin_adds_diagonal_conductance() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.isource(Circuit::GND, a, Waveform::dc(1e-6));
+        let mna = Mna::new(&c).unwrap();
+        let mut j = Matrix::zeros(1, 1);
+        let mut f = vec![0.0];
+        // With gmin = 1e-3 and v_a = 1 mV, the node balances: 1 µA in,
+        // 1 µA out through gmin.
+        mna.assemble(&[1e-3], 0.0, 1e-3, None, None, &mut j, &mut f);
+        assert!((f[0]).abs() < 1e-15);
+        assert!((j[(0, 0)] - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn companion_caps_stamp_like_conductances() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 1e3);
+        let mna = Mna::new(&c).unwrap();
+        let caps = CompanionCaps {
+            entries: vec![(a, Circuit::GND, 1e-3, -0.5e-3)],
+        };
+        let mut j = Matrix::zeros(1, 1);
+        let mut f = vec![0.0];
+        // v_a such that resistor + companion currents cancel:
+        // v/1e3 + 1e-3·v − 0.5e-3 = 0 → v = 0.25.
+        mna.assemble(&[0.25], 0.0, 0.0, None, Some(&caps), &mut j, &mut f);
+        assert!(f[0].abs() < 1e-15, "f = {:e}", f[0]);
+        assert!((j[(0, 0)] - 2e-3).abs() < 1e-18);
+    }
+}

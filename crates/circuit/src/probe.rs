@@ -1,0 +1,233 @@
+//! Transient waveform storage and measurements.
+//!
+//! [`TransientResult`] holds every node voltage at every time point and
+//! provides the measurements the SRAM metrics are built from: interpolated
+//! values, threshold crossings, and windowed minimum node differences (the
+//! paper's dynamic read noise margin is `min over the read window of
+//! `V(q) − V(qb)`).
+
+use crate::netlist::NodeId;
+
+/// Recorded node-voltage waveforms of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `data[step][node_index]`, including ground at index 0 (always 0.0).
+    data: Vec<Vec<f64>>,
+    node_count: usize,
+}
+
+impl TransientResult {
+    pub(crate) fn with_capacity(node_count: usize, steps: usize) -> Self {
+        TransientResult {
+            times: Vec::with_capacity(steps),
+            data: Vec::with_capacity(steps),
+            node_count,
+        }
+    }
+
+    pub(crate) fn push(&mut self, t: f64, volts: impl Fn(NodeId) -> f64) {
+        let row: Vec<f64> = (0..self.node_count).map(|i| volts(NodeId(i))).collect();
+        self.times.push(t);
+        self.data.push(row);
+    }
+
+    /// The time axis, s.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The waveform of one node as a vector aligned with [`times`].
+    ///
+    /// [`times`]: TransientResult::times
+    pub fn trace(&self, node: NodeId) -> Vec<f64> {
+        self.data.iter().map(|row| row[node.index()]).collect()
+    }
+
+    /// Linearly interpolated node voltage at time `t` (clamped to the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty.
+    pub fn voltage_at(&self, node: NodeId, t: f64) -> f64 {
+        assert!(!self.is_empty(), "empty transient result");
+        let idx = node.index();
+        if t <= self.times[0] {
+            return self.data[0][idx];
+        }
+        if t >= *self.times.last().expect("nonempty") {
+            return self.data.last().expect("nonempty")[idx];
+        }
+        let k = self.times.partition_point(|&x| x <= t) - 1;
+        let (t0, t1) = (self.times[k], self.times[k + 1]);
+        let (v0, v1) = (self.data[k][idx], self.data[k + 1][idx]);
+        let u = (t - t0) / (t1 - t0);
+        v0 * (1.0 - u) + v1 * u
+    }
+
+    /// The node voltage at the final time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        self.data.last().expect("empty transient result")[node.index()]
+    }
+
+    /// The first time ≥ `t_after` at which the node crosses `level` in the
+    /// given direction (linear interpolation between samples), or `None`.
+    pub fn crossing(&self, node: NodeId, level: f64, rising: bool, t_after: f64) -> Option<f64> {
+        let idx = node.index();
+        for k in 0..self.times.len().saturating_sub(1) {
+            if self.times[k + 1] < t_after {
+                continue;
+            }
+            let (v0, v1) = (self.data[k][idx], self.data[k + 1][idx]);
+            let crossed = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crossed {
+                let u = (level - v0) / (v1 - v0);
+                let t = self.times[k] + u * (self.times[k + 1] - self.times[k]);
+                if t >= t_after {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Minimum of `V(a) − V(b)` over the window `[t_from, t_to]` — the
+    /// primitive behind the paper's dynamic read noise margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty or the window selects no samples.
+    pub fn min_difference(&self, a: NodeId, b: NodeId, t_from: f64, t_to: f64) -> f64 {
+        let (ia, ib) = (a.index(), b.index());
+        let mut min = f64::INFINITY;
+        for (k, &t) in self.times.iter().enumerate() {
+            if t < t_from || t > t_to {
+                continue;
+            }
+            min = min.min(self.data[k][ia] - self.data[k][ib]);
+        }
+        assert!(
+            min.is_finite(),
+            "window [{t_from:e}, {t_to:e}] selects no samples"
+        );
+        min
+    }
+
+    /// Maximum voltage of a node over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty.
+    pub fn max_voltage(&self, node: NodeId) -> f64 {
+        let idx = node.index();
+        self.data
+            .iter()
+            .map(|row| row[idx])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum voltage of a node over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty.
+    pub fn min_voltage(&self, node: NodeId) -> f64 {
+        let idx = node.index();
+        self.data
+            .iter()
+            .map(|row| row[idx])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_result() -> TransientResult {
+        // Node 1 ramps 0→1 V over 10 ns; node 2 stays at 0.25 V.
+        let mut r = TransientResult::with_capacity(3, 11);
+        for k in 0..=10 {
+            let t = k as f64 * 1e-9;
+            r.push(t, |n| match n.index() {
+                1 => k as f64 * 0.1,
+                2 => 0.25,
+                _ => 0.0,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let r = ramp_result();
+        let n1 = NodeId(1);
+        assert!((r.voltage_at(n1, 2.5e-9) - 0.25).abs() < 1e-12);
+        assert_eq!(r.voltage_at(n1, -1.0), 0.0);
+        assert_eq!(r.voltage_at(n1, 1.0), 1.0);
+        assert_eq!(r.final_voltage(n1), 1.0);
+        assert_eq!(r.len(), 11);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn crossing_detection_rising_and_falling() {
+        let r = ramp_result();
+        let n1 = NodeId(1);
+        let t = r.crossing(n1, 0.55, true, 0.0).unwrap();
+        assert!((t - 5.5e-9).abs() < 1e-12);
+        // No falling crossing on a rising ramp.
+        assert_eq!(r.crossing(n1, 0.5, false, 0.0), None);
+        // t_after skips early crossings.
+        assert_eq!(r.crossing(n1, 0.15, true, 5e-9), None);
+    }
+
+    #[test]
+    fn min_difference_over_window() {
+        let r = ramp_result();
+        let (n1, n2) = (NodeId(1), NodeId(2));
+        // v1 − v2 over the full run dips to −0.25 at t = 0.
+        assert!((r.min_difference(n1, n2, 0.0, 10e-9) + 0.25).abs() < 1e-12);
+        // Over the tail window the minimum is at t = 5 ns: 0.5 − 0.25.
+        assert!((r.min_difference(n1, n2, 5e-9, 10e-9) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no samples")]
+    fn empty_window_panics() {
+        let r = ramp_result();
+        r.min_difference(NodeId(1), NodeId(2), 20e-9, 30e-9);
+    }
+
+    #[test]
+    fn extrema() {
+        let r = ramp_result();
+        assert_eq!(r.max_voltage(NodeId(1)), 1.0);
+        assert_eq!(r.min_voltage(NodeId(1)), 0.0);
+        assert_eq!(r.max_voltage(NodeId(2)), 0.25);
+    }
+
+    #[test]
+    fn ground_trace_is_zero() {
+        let r = ramp_result();
+        assert!(r.trace(NodeId(0)).iter().all(|&v| v == 0.0));
+    }
+}

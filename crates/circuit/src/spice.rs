@@ -1,0 +1,302 @@
+//! SPICE-deck interchange.
+//!
+//! The circuits in this workspace are built programmatically, but the EDA
+//! world speaks SPICE decks. This module provides:
+//!
+//! * [`Circuit::to_spice`] — export any in-memory circuit as a SPICE-format
+//!   netlist (element cards, PWL sources, transistors as `X` subcircuit
+//!   calls naming their compact model), suitable for inspection, diffing,
+//!   or replaying in an external simulator that has equivalent models;
+//! * [`Circuit::from_spice`] — parse the same dialect back, resolving
+//!   transistor models through a caller-supplied registry.
+//!
+//! The dialect is deliberately small and fully round-trippable: `R`, `C`,
+//! `V` (DC and PWL), `I` (DC), `X` (three-terminal device), `*` comments,
+//! `.title`/`.end` cards.
+
+use crate::error::SimError;
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tfet_devices::model::DeviceModel;
+
+impl Circuit {
+    /// Renders the circuit as a SPICE-format deck.
+    ///
+    /// Transistors appear as `X<name> <d> <g> <s> <model> W=<µm>` calls;
+    /// the model names are this workspace's compact-model names
+    /// (`ntfet`, `ptfet`, `nmos`, `pmos`, or LUT variants).
+    pub fn to_spice(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, ".title {title}");
+        let _ = writeln!(out, "* exported by tfet-circuit");
+
+        let node = |id| self.node_name(id).to_string();
+
+        for (k, r) in self.resistors.iter().enumerate() {
+            let _ = writeln!(out, "R{k} {} {} {:.6e}", node(r.a), node(r.b), r.ohms);
+        }
+        for (k, c) in self.capacitors.iter().enumerate() {
+            let _ = writeln!(out, "C{k} {} {} {:.6e}", node(c.a), node(c.b), c.farads);
+        }
+        for v in &self.vsources {
+            let _ = write!(out, "V{} {} {} ", v.name, node(v.plus), node(v.minus));
+            match &v.wave {
+                Waveform::Dc(val) => {
+                    let _ = writeln!(out, "DC {val:.6e}");
+                }
+                Waveform::Pwl(lut) => {
+                    let _ = write!(out, "PWL(");
+                    for (i, (&t, &val)) in lut.axis().iter().zip(lut.values()).enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, " ");
+                        }
+                        let _ = write!(out, "{t:.6e} {val:.6e}");
+                    }
+                    let _ = writeln!(out, ")");
+                }
+            }
+        }
+        for (k, i) in self.isources.iter().enumerate() {
+            match &i.wave {
+                Waveform::Dc(val) => {
+                    let _ = writeln!(out, "I{k} {} {} DC {val:.6e}", node(i.from), node(i.to));
+                }
+                Waveform::Pwl(_) => {
+                    let _ = writeln!(
+                        out,
+                        "* I{k}: PWL current source omitted (unsupported in export)"
+                    );
+                }
+            }
+        }
+        for t in &self.transistors {
+            let _ = writeln!(
+                out,
+                "X{} {} {} {} {} W={:.4}",
+                t.name,
+                node(t.d),
+                node(t.g),
+                node(t.s),
+                t.model.name(),
+                t.width_um
+            );
+        }
+        let _ = writeln!(out, ".end");
+        out
+    }
+
+    /// Parses a deck in the dialect produced by [`Circuit::to_spice`].
+    ///
+    /// `models` maps model names (as they appear on `X` cards) to device
+    /// models; every `X` card's model must be present.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidCircuit`] on any malformed card or unknown model.
+    pub fn from_spice(
+        deck: &str,
+        models: &HashMap<String, Arc<dyn DeviceModel>>,
+    ) -> Result<Circuit, SimError> {
+        let mut c = Circuit::new();
+        let bad = |line: &str, why: &str| {
+            SimError::InvalidCircuit(format!("bad card `{line}`: {why}"))
+        };
+        let parse_f = |tok: &str, line: &str| -> Result<f64, SimError> {
+            tok.parse::<f64>()
+                .map_err(|_| bad(line, &format!("`{tok}` is not a number")))
+        };
+
+        for raw in deck.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('*') {
+                continue;
+            }
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with(".title") || lower.starts_with(".end") {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let kind = line.chars().next().expect("nonempty").to_ascii_uppercase();
+            match kind {
+                'R' | 'C' => {
+                    if toks.len() != 4 {
+                        return Err(bad(line, "expected NAME A B VALUE"));
+                    }
+                    let a = c.node(toks[1]);
+                    let b = c.node(toks[2]);
+                    let val = parse_f(toks[3], line)?;
+                    if kind == 'R' {
+                        c.resistor(a, b, val);
+                    } else {
+                        c.capacitor(a, b, val);
+                    }
+                }
+                'V' => {
+                    if toks.len() < 4 {
+                        return Err(bad(line, "expected NAME P M DC/PWL…"));
+                    }
+                    let plus = c.node(toks[1]);
+                    let minus = c.node(toks[2]);
+                    let name = toks[0].trim_start_matches(['V', 'v']);
+                    let spec = toks[3..].join(" ");
+                    let wave = parse_wave(&spec).ok_or_else(|| bad(line, "bad source spec"))?;
+                    c.vsource(name, plus, minus, wave);
+                }
+                'I' => {
+                    if toks.len() != 5 || !toks[3].eq_ignore_ascii_case("DC") {
+                        return Err(bad(line, "expected NAME FROM TO DC VALUE"));
+                    }
+                    let from = c.node(toks[1]);
+                    let to = c.node(toks[2]);
+                    let val = parse_f(toks[4], line)?;
+                    c.isource(from, to, Waveform::dc(val));
+                }
+                'X' => {
+                    if toks.len() != 6 || !toks[5].to_ascii_uppercase().starts_with("W=") {
+                        return Err(bad(line, "expected NAME D G S MODEL W=<µm>"));
+                    }
+                    let d = c.node(toks[1]);
+                    let g = c.node(toks[2]);
+                    let s = c.node(toks[3]);
+                    let model = models
+                        .get(toks[4])
+                        .ok_or_else(|| bad(line, &format!("unknown model `{}`", toks[4])))?
+                        .clone();
+                    let w = parse_f(&toks[5][2..], line)?;
+                    let name = toks[0].trim_start_matches(['X', 'x']);
+                    c.transistor(name, model, d, g, s, w);
+                }
+                other => {
+                    return Err(bad(line, &format!("unsupported card type `{other}`")));
+                }
+            }
+        }
+        Ok(c)
+    }
+}
+
+/// Parses `DC <v>` or `PWL(t1 v1 t2 v2 …)`.
+fn parse_wave(spec: &str) -> Option<Waveform> {
+    let spec = spec.trim();
+    if let Some(rest) = spec
+        .strip_prefix("DC ")
+        .or_else(|| spec.strip_prefix("dc "))
+    {
+        return rest.trim().parse::<f64>().ok().map(Waveform::dc);
+    }
+    let body = spec
+        .strip_prefix("PWL(")
+        .or_else(|| spec.strip_prefix("pwl("))?
+        .strip_suffix(')')?;
+    let nums: Vec<f64> = body
+        .split_whitespace()
+        .map(|t| t.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if nums.len() < 4 || !nums.len().is_multiple_of(2) {
+        return None;
+    }
+    let points: Vec<(f64, f64)> = nums.chunks(2).map(|p| (p[0], p[1])).collect();
+    Some(Waveform::pwl(&points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfet_devices::{NTfet, PTfet};
+
+    fn registry() -> HashMap<String, Arc<dyn DeviceModel>> {
+        let mut m: HashMap<String, Arc<dyn DeviceModel>> = HashMap::new();
+        m.insert("ntfet".into(), Arc::new(NTfet::nominal()));
+        m.insert("ptfet".into(), Arc::new(PTfet::nominal()));
+        m
+    }
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        c.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::pwl(&[(0.0, 0.0), (1e-9, 0.8)]),
+        );
+        c.resistor(out, Circuit::GND, 1e6);
+        c.capacitor(out, Circuit::GND, 1e-15);
+        c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd, 0.1);
+        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+        c
+    }
+
+    #[test]
+    fn export_contains_all_cards() {
+        let deck = sample_circuit().to_spice("inverter");
+        assert!(deck.starts_with(".title inverter"));
+        assert!(deck.contains("VVDD vdd 0 DC 8.000000e-1"));
+        assert!(deck.contains("PWL(0.000000e0 0.000000e0 1.000000e-9 8.000000e-1)"));
+        assert!(deck.contains("R0 out 0 1.000000e6"));
+        assert!(deck.contains("C0 out 0 1.000000e-15"));
+        assert!(deck.contains("XMP out in vdd ptfet W=0.1000"));
+        assert!(deck.contains("XMN out in 0 ntfet W=0.1000"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let original = sample_circuit();
+        let deck = original.to_spice("rt");
+        let parsed = Circuit::from_spice(&deck, &registry()).unwrap();
+
+        assert_eq!(parsed.element_count(), original.element_count());
+        // Behavioural check: identical DC operating points.
+        let out_o = original.find_node("out").unwrap();
+        let out_p = parsed.find_node("out").unwrap();
+        let vo = original.dc_op().unwrap().voltage(out_o);
+        let vp = parsed.dc_op().unwrap().voltage(out_p);
+        assert!((vo - vp).abs() < 1e-9, "{vo} vs {vp}");
+    }
+
+    #[test]
+    fn parser_rejects_unknown_model() {
+        let deck = "Xbad a b c mystery W=0.1\n.end\n";
+        let err = Circuit::from_spice(deck, &registry()).unwrap_err();
+        assert!(err.to_string().contains("unknown model"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_cards() {
+        for deck in [
+            "R1 a 0\n",
+            "Vx a 0 SIN 1\n",
+            "I1 a 0 DC\n",
+            "Qx a b c\n",
+            "C1 a 0 notanumber\n",
+        ] {
+            assert!(
+                Circuit::from_spice(deck, &registry()).is_err(),
+                "must reject {deck:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let deck = "* a comment\n\n.title x\nR1 a 0 100\n.end\n";
+        let c = Circuit::from_spice(deck, &registry()).unwrap();
+        assert_eq!(c.element_count(), 1);
+    }
+
+    #[test]
+    fn pwl_parse_rejects_odd_counts() {
+        assert!(parse_wave("PWL(0 1 2)").is_none());
+        assert!(parse_wave("PWL(0 1)").is_none());
+        assert!(parse_wave("DC 0.5").is_some());
+        assert!(parse_wave("garbage").is_none());
+    }
+}

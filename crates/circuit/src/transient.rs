@@ -1,0 +1,390 @@
+//! Fixed-step transient analysis.
+//!
+//! Each step solves the full nonlinear system with Newton–Raphson, replacing
+//! every capacitor (explicit and device) by its integration companion model:
+//!
+//! * **backward Euler** — `i = C/Δt·(v_{n+1} − v_n)`: L-stable, numerically
+//!   damped; the default for the digital-style SRAM waveforms where spurious
+//!   trapezoidal ringing would pollute noise-margin measurements;
+//! * **trapezoidal** — `i = 2C/Δt·(v_{n+1} − v_n) − i_n`: second-order
+//!   accurate, available for accuracy cross-checks (the integrator ablation
+//!   bench compares both).
+//!
+//! Nonlinear device capacitances are re-evaluated at the start of every step
+//! and held for the step (standard charge-conserving-enough linearization at
+//! the small steps used here).
+
+use crate::dc::{solve_op, NewtonOpts};
+use crate::error::SimError;
+use crate::mna::{CompanionCaps, Mna};
+use crate::netlist::{Circuit, NodeId};
+use crate::probe::TransientResult;
+
+/// Integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order, L-stable backward Euler (default).
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule.
+    Trapezoidal,
+}
+
+/// Transient run controls.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientSpec {
+    /// End time, s.
+    pub t_stop: f64,
+    /// Fixed time step, s. Must resolve the fastest source edge.
+    pub dt: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+}
+
+impl TransientSpec {
+    /// A backward-Euler spec with the given stop time and step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is non-positive or `dt > t_stop`.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        assert!(t_stop > 0.0 && dt > 0.0, "durations must be positive");
+        assert!(dt <= t_stop, "dt must not exceed t_stop");
+        TransientSpec {
+            t_stop,
+            dt,
+            integrator: Integrator::default(),
+        }
+    }
+
+    /// Selects the integration method (builder style).
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+}
+
+/// How the transient obtains its initial state.
+#[derive(Debug, Clone)]
+pub enum InitialState {
+    /// Solve the DC operating point at `t = 0`, seeded with voltage hints
+    /// (hints pick the basin for bistable circuits).
+    DcOp(Vec<(NodeId, f64)>),
+    /// Use the given node voltages directly ("use initial conditions"):
+    /// capacitors start charged to these values, no DC solve. Unlisted
+    /// nodes start at 0 V.
+    Uic(Vec<(NodeId, f64)>),
+}
+
+/// One capacitive branch with its instantaneous capacitance and (for
+/// trapezoidal) its branch-current history.
+struct CapBranch {
+    a: NodeId,
+    b: NodeId,
+    c: f64,
+    i_prev: f64,
+}
+
+impl Circuit {
+    /// Collects all capacitive branches at the given node voltages:
+    /// explicit capacitors plus the four small-signal capacitances of every
+    /// transistor (gate–source, gate–drain, drain–bulk, source–bulk, bulk
+    /// tied to ground).
+    fn cap_branches(&self, volts: impl Fn(NodeId) -> f64) -> Vec<CapBranch> {
+        let mut out = Vec::with_capacity(self.capacitors.len() + 4 * self.transistors.len());
+        for c in &self.capacitors {
+            out.push(CapBranch {
+                a: c.a,
+                b: c.b,
+                c: c.farads,
+                i_prev: 0.0,
+            });
+        }
+        for m in &self.transistors {
+            let caps = m
+                .model
+                .caps_per_um(volts(m.g), volts(m.d), volts(m.s));
+            let w = m.width_um;
+            for (a, b, c) in [
+                (m.g, m.s, caps.cgs * w),
+                (m.g, m.d, caps.cgd * w),
+                (m.d, Circuit::GND, caps.cdb * w),
+                (m.s, Circuit::GND, caps.csb * w),
+            ] {
+                if a != b && c > 0.0 {
+                    out.push(CapBranch {
+                        a,
+                        b,
+                        c,
+                        i_prev: 0.0,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs a transient analysis.
+    ///
+    /// Node voltages for every node are recorded at every step, starting
+    /// with the initial state at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`], [`SimError::InvalidCircuit`]).
+    pub fn transient(
+        &self,
+        spec: &TransientSpec,
+        initial: &InitialState,
+    ) -> Result<TransientResult, SimError> {
+        let mna = Mna::new(self)?;
+        let n_v = mna.voltage_count();
+        let opts = NewtonOpts::default();
+
+        // --- Initial state -------------------------------------------------
+        let mut x = match initial {
+            InitialState::DcOp(hints) => self.dc_op_with_guess(hints)?.state().to_vec(),
+            InitialState::Uic(ics) => {
+                // Pin node voltages; derive consistent branch currents by a
+                // single Newton solve with enormous companion conductances
+                // holding every node at its IC (equivalent to a Δt → 0 step).
+                let mut x0 = vec![0.0; mna.unknown_count()];
+                for &(node, v) in ics {
+                    if !node.is_ground() {
+                        x0[node.index() - 1] = v;
+                    }
+                }
+                let hold = CompanionCaps {
+                    entries: (1..=n_v)
+                        .map(|i| {
+                            let g_hold = 1e3; // siemens: overwhelms any device
+                            (NodeId(i), Circuit::GND, g_hold, -g_hold * x0[i - 1])
+                        })
+                        .collect(),
+                };
+                solve_op(&mna, x0, 0.0, Some(&hold), &opts, Some(0.0), false)?
+            }
+        };
+
+        let steps = (spec.t_stop / spec.dt).round() as usize;
+        let mut result = TransientResult::with_capacity(self.node_count(), steps + 1);
+        result.push(0.0, |node| mna.voltage_of(&x, node));
+
+        // --- Time stepping --------------------------------------------------
+        let mut branches = self.cap_branches(|n| mna.voltage_of(&x, n));
+        for step in 1..=steps {
+            let t_new = step as f64 * spec.dt;
+
+            // Companion models from the state at t_n.
+            let mut companions = CompanionCaps {
+                entries: Vec::with_capacity(branches.len()),
+            };
+            // Trapezoidal needs a consistent branch-current history, which a
+            // UIC or DC start does not provide — so the first step is always
+            // backward Euler (the standard SPICE bootstrap).
+            let use_be = spec.integrator == Integrator::BackwardEuler || step == 1;
+            for br in &branches {
+                let v_ab = mna.voltage_of(&x, br.a) - mna.voltage_of(&x, br.b);
+                let (geq, ieq) = if use_be {
+                    let geq = br.c / spec.dt;
+                    (geq, -geq * v_ab)
+                } else {
+                    let geq = 2.0 * br.c / spec.dt;
+                    (geq, -geq * v_ab - br.i_prev)
+                };
+                companions.entries.push((br.a, br.b, geq, ieq));
+            }
+
+            // Newton solve for t_{n+1}, warm-started from t_n.
+            x = solve_op(&mna, x, t_new, Some(&companions), &opts, Some(t_new), false)?;
+
+            // Update branch-current history and re-linearize capacitances at
+            // the new operating point.
+            let mut new_branches = self.cap_branches(|n| mna.voltage_of(&x, n));
+            for (nb, (comp, _old)) in new_branches
+                .iter_mut()
+                .zip(companions.entries.iter().zip(&branches))
+            {
+                let v_ab_new = mna.voltage_of(&x, comp.0) - mna.voltage_of(&x, comp.1);
+                nb.i_prev = comp.2 * v_ab_new + comp.3;
+            }
+            branches = new_branches;
+
+            result.push(t_new, |node| mna.voltage_of(&x, node));
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use std::sync::Arc;
+    use tfet_devices::{NTfet, Nmos, PTfet, Pmos};
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // 1 kΩ · 1 pF = 1 ns time constant, driven by a fast step to 1 V.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+
+        let res = c
+            .transient(
+                &TransientSpec::new(5e-9, 1e-12),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        // After one time constant: 1 − e⁻¹ ≈ 0.632.
+        let v_tau = res.voltage_at(out, 1e-9);
+        assert!((v_tau - 0.632).abs() < 0.02, "v(τ) = {v_tau}");
+        // Fully settled by 5τ.
+        assert!((res.final_voltage(out) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_be_on_rc() {
+        let build = || {
+            let mut c = Circuit::new();
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+            c.resistor(inp, out, 1e3);
+            c.capacitor(out, Circuit::GND, 1e-12);
+            (c, out)
+        };
+        let exact = 1.0 - (-1.0f64).exp();
+        // Deliberately coarse step to expose the order difference.
+        let (c, out) = build();
+        let be = c
+            .transient(
+                &TransientSpec::new(1e-9, 100e-12),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        let (c, out2) = build();
+        let tr = c
+            .transient(
+                &TransientSpec::new(1e-9, 100e-12)
+                    .with_integrator(Integrator::Trapezoidal),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        let err_be = (be.final_voltage(out) - exact).abs();
+        let err_tr = (tr.final_voltage(out2) - exact).abs();
+        assert!(err_tr < err_be, "trap {err_tr} !< BE {err_be}");
+    }
+
+    #[test]
+    fn uic_holds_capacitor_voltage() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GND, 1e-15);
+        c.resistor(a, Circuit::GND, 1e12); // 1 ms discharge: static here
+        let res = c
+            .transient(
+                &TransientSpec::new(1e-9, 1e-11),
+                &InitialState::Uic(vec![(a, 0.5)]),
+            )
+            .unwrap();
+        assert!((res.voltage_at(a, 0.0) - 0.5).abs() < 1e-3);
+        assert!((res.final_voltage(a) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cmos_inverter_switches_dynamically() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        c.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::pulse(0.0, 0.8, 0.2e-9, 1.0e-9, 20e-12),
+        );
+        c.transistor("MP", Arc::new(Pmos::nominal()), out, inp, vdd, 0.2);
+        c.transistor("MN", Arc::new(Nmos::nominal()), out, inp, Circuit::GND, 0.1);
+        c.capacitor(out, Circuit::GND, 0.5e-15);
+
+        let res = c
+            .transient(
+                &TransientSpec::new(2e-9, 2e-12),
+                &InitialState::DcOp(vec![]),
+            )
+            .unwrap();
+        // Output starts high (input low)...
+        assert!(res.voltage_at(out, 0.1e-9) > 0.75);
+        // ...falls when the input pulse arrives...
+        assert!(res.voltage_at(out, 1.0e-9) < 0.05);
+        // ...and recovers after the pulse.
+        assert!(res.final_voltage(out) > 0.75);
+        // The fall crossing is measurable.
+        let t_fall = res
+            .crossing(out, 0.4, false, 0.2e-9)
+            .expect("output must cross half-rail");
+        assert!(t_fall > 0.2e-9 && t_fall < 0.5e-9, "t_fall = {t_fall:e}");
+    }
+
+    #[test]
+    fn tfet_inverter_switches_dynamically() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+        c.vsource(
+            "VIN",
+            inp,
+            Circuit::GND,
+            Waveform::step(0.0, 0.8, 0.2e-9, 20e-12),
+        );
+        c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd, 0.1);
+        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+        c.capacitor(out, Circuit::GND, 0.2e-15);
+
+        let res = c
+            .transient(
+                &TransientSpec::new(3e-9, 2e-12),
+                &InitialState::DcOp(vec![]),
+            )
+            .unwrap();
+        assert!(res.voltage_at(out, 0.1e-9) > 0.75);
+        assert!(res.final_voltage(out) < 0.05);
+    }
+
+    #[test]
+    fn energy_conservation_sanity_rc_discharge() {
+        // A charged capacitor discharging through a resistor: the voltage
+        // must decay monotonically and stay within [0, v0].
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GND, 1e-12);
+        c.resistor(a, Circuit::GND, 1e3);
+        let res = c
+            .transient(
+                &TransientSpec::new(5e-9, 5e-12),
+                &InitialState::Uic(vec![(a, 1.0)]),
+            )
+            .unwrap();
+        let trace = res.trace(a);
+        for w in trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "voltage must decay monotonically");
+            assert!(w[1] >= -1e-9);
+        }
+        let v_tau = res.voltage_at(a, 1e-9);
+        assert!((v_tau - (-1.0f64).exp()).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        TransientSpec::new(1e-9, 0.0);
+    }
+}

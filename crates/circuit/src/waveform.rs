@@ -1,0 +1,175 @@
+//! Time-dependent source stimuli.
+//!
+//! Every assist technique in the paper is, electrically, a reshaped source
+//! waveform (a lowered supply during the write window, a raised ground
+//! during the read window, …), so the waveform layer is where the §4 study
+//! is ultimately expressed.
+
+use tfet_numerics::Lut1d;
+
+/// A source stimulus: value as a function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Piecewise-linear interpolation through `(time, value)` breakpoints;
+    /// clamps to the first/last value outside the range.
+    Pwl(Lut1d),
+}
+
+impl Waveform {
+    /// A constant source.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// A piecewise-linear source through the given breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or times are not strictly
+    /// increasing.
+    pub fn pwl(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "PWL needs at least two breakpoints");
+        let times: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let values: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let lut = Lut1d::new(times, values).expect("PWL breakpoints must increase in time");
+        Waveform::Pwl(lut)
+    }
+
+    /// A single pulse from `base` to `level`:
+    ///
+    /// ```text
+    /// base ----+        +---- base
+    ///          /¯¯¯¯¯¯¯¯\
+    ///      t_start     t_start + width
+    /// ```
+    ///
+    /// with linear edges of `t_edge` on each side. The pulse is *inside*
+    /// `[t_start, t_start + width]`; edges eat into the plateau, matching
+    /// how a wordline pulse of width `w` is normally specified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 2 * t_edge`, or any duration is non-positive.
+    pub fn pulse(base: f64, level: f64, t_start: f64, width: f64, t_edge: f64) -> Self {
+        assert!(t_edge > 0.0, "edge time must be positive");
+        assert!(
+            width > 2.0 * t_edge,
+            "pulse width {width} must exceed both edges (2×{t_edge})"
+        );
+        assert!(t_start >= 0.0, "pulse must start at t >= 0");
+        let eps = t_edge * 1e-6;
+        Waveform::pwl(&[
+            (0.0 - eps, base),
+            (t_start.max(eps), base),
+            (t_start + t_edge, level),
+            (t_start + width - t_edge, level),
+            (t_start + width, base),
+        ])
+    }
+
+    /// A single linear step from `from` to `to` starting at `t_start`,
+    /// lasting `t_edge`, and holding afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_edge <= 0`.
+    pub fn step(from: f64, to: f64, t_start: f64, t_edge: f64) -> Self {
+        assert!(t_edge > 0.0, "edge time must be positive");
+        let eps = t_edge * 1e-6;
+        Waveform::pwl(&[
+            (0.0 - eps, from),
+            (t_start.max(eps), from),
+            (t_start + t_edge, to),
+        ])
+    }
+
+    /// The stimulus value at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pwl(lut) => lut.eval(t),
+        }
+    }
+
+    /// The value at `t = 0`, used as the DC level for initial operating
+    /// points.
+    pub fn initial(&self) -> f64 {
+        self.value(0.0)
+    }
+
+    /// Breakpoint times (empty for DC) — the transient engine refines its
+    /// step grid so edges land on steps exactly.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        match self {
+            Waveform::Dc(_) => Vec::new(),
+            Waveform::Pwl(lut) => lut.axis().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(0.8);
+        assert_eq!(w.value(0.0), 0.8);
+        assert_eq!(w.value(1.0), 0.8);
+        assert_eq!(w.initial(), 0.8);
+        assert!(w.breakpoints().is_empty());
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::pwl(&[(0.0, 0.0), (1e-9, 1.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert!((w.value(0.5e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value(2e-9), 1.0);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::pulse(0.8, 0.0, 100e-12, 200e-12, 10e-12);
+        assert_eq!(w.value(0.0), 0.8); // before
+        assert_eq!(w.value(50e-12), 0.8); // before start
+        assert!((w.value(110e-12) - 0.0).abs() < 1e-9); // after leading edge
+        assert!((w.value(200e-12) - 0.0).abs() < 1e-9); // plateau
+        assert!((w.value(285e-12) - 0.0).abs() < 1e-9); // before trailing edge
+        assert_eq!(w.value(400e-12), 0.8); // after
+        // Mid leading edge.
+        assert!((w.value(105e-12) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn pulse_narrower_than_edges_rejected() {
+        Waveform::pulse(0.0, 1.0, 0.0, 10e-12, 10e-12);
+    }
+
+    #[test]
+    fn step_shape() {
+        let w = Waveform::step(0.8, 0.56, 1e-9, 50e-12);
+        assert_eq!(w.value(0.0), 0.8);
+        assert!((w.value(1.025e-9) - 0.68).abs() < 1e-9);
+        assert_eq!(w.value(2e-9), 0.56);
+    }
+
+    #[test]
+    fn pulse_starting_at_zero_is_legal() {
+        let w = Waveform::pulse(0.8, 0.0, 0.0, 100e-12, 10e-12);
+        // Starts at base and immediately ramps.
+        assert!(w.value(0.0) > 0.7);
+        assert!((w.value(50e-12) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakpoints_reported() {
+        let w = Waveform::pulse(0.0, 1.0, 1e-9, 100e-12, 10e-12);
+        let bp = w.breakpoints();
+        assert_eq!(bp.len(), 5);
+        assert!(bp.windows(2).all(|w| w[0] < w[1]));
+    }
+}

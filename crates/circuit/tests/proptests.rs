@@ -1,0 +1,209 @@
+//! Property-based tests for the circuit simulator.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::{Circuit, TransientSpec, Waveform};
+use tfet_devices::{NTfet, Nmos, PTfet, Pmos};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Resistive ladder: the solved node voltages must satisfy KCL at every
+    /// interior node to solver tolerance.
+    #[test]
+    fn ladder_satisfies_kcl(
+        rs in prop::collection::vec(10.0f64..1e5, 3..8),
+        v_in in 0.1f64..2.0,
+    ) {
+        let mut c = Circuit::new();
+        let top = c.node("n0");
+        c.vsource("V", top, Circuit::GND, Waveform::dc(v_in));
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (k, &r) in rs.iter().enumerate() {
+            let n = c.node(&format!("n{}", k + 1));
+            c.resistor(prev, n, r);
+            nodes.push(n);
+            prev = n;
+        }
+        c.resistor(prev, Circuit::GND, 1e3);
+        let op = c.dc_op().unwrap();
+
+        // Interior nodes: current in = current out.
+        for k in 1..nodes.len() {
+            let v = op.voltage(nodes[k]);
+            let v_up = op.voltage(nodes[k - 1]);
+            let i_in = (v_up - v) / rs[k - 1];
+            let i_out = if k < rs.len() {
+                (v - op.voltage(nodes[k + 1])) / rs[k]
+            } else {
+                v / 1e3
+            };
+            prop_assert!((i_in - i_out).abs() < 1e-6 * i_in.abs().max(1e-12),
+                "KCL violated at node {k}: {i_in:e} vs {i_out:e}");
+        }
+    }
+
+    /// Voltage divider with arbitrary positive resistors solves exactly.
+    #[test]
+    fn divider_is_exact(r1 in 1.0f64..1e6, r2 in 1.0f64..1e6, v in 0.01f64..10.0) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V", a, Circuit::GND, Waveform::dc(v));
+        c.resistor(a, b, r1);
+        c.resistor(b, Circuit::GND, r2);
+        let op = c.dc_op().unwrap();
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(b) - expect).abs() < 1e-7 * v);
+    }
+
+    /// A CMOS inverter's DC output is always inside the rails and
+    /// monotone (non-increasing) in the input voltage.
+    #[test]
+    fn cmos_inverter_vtc_is_monotone(vdd in 0.5f64..1.0) {
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd_n, Circuit::GND, Waveform::dc(vdd));
+        let vin = c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
+        c.transistor("MP", Arc::new(Pmos::nominal()), out, inp, vdd_n, 0.2);
+        c.transistor("MN", Arc::new(Nmos::nominal()), out, inp, Circuit::GND, 0.1);
+
+        let mut prev = f64::INFINITY;
+        for k in 0..=10 {
+            let vg = vdd * k as f64 / 10.0;
+            c.set_vsource_wave(vin, Waveform::dc(vg));
+            let op = c.dc_op().unwrap();
+            let vo = op.voltage(out);
+            prop_assert!(vo >= -1e-6 && vo <= vdd + 1e-6, "rail violation: {vo}");
+            prop_assert!(vo <= prev + 1e-6, "VTC not monotone at vin={vg}");
+            prev = vo;
+        }
+    }
+
+    /// The TFET inverter obeys the same structural properties.
+    #[test]
+    fn tfet_inverter_vtc_is_monotone(vdd in 0.5f64..0.9) {
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd_n, Circuit::GND, Waveform::dc(vdd));
+        let vin = c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
+        c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd_n, 0.1);
+        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+
+        let mut prev = f64::INFINITY;
+        for k in 0..=8 {
+            let vg = vdd * k as f64 / 8.0;
+            c.set_vsource_wave(vin, Waveform::dc(vg));
+            let op = c.dc_op().unwrap();
+            let vo = op.voltage(out);
+            prop_assert!(vo >= -1e-6 && vo <= vdd + 1e-6);
+            prop_assert!(vo <= prev + 1e-6);
+            prev = vo;
+        }
+    }
+
+    /// RC transient: the output never overshoots the driving step and ends
+    /// within tolerance of it, for arbitrary R, C in a sane range.
+    #[test]
+    fn rc_step_response_is_bounded_and_settles(
+        r_kohm in 0.5f64..10.0,
+        c_ff in 10.0f64..1000.0,
+        v in 0.2f64..1.2,
+    ) {
+        let r = r_kohm * 1e3;
+        let cap = c_ff * 1e-15;
+        let tau = r * cap;
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, v, 0.0, tau / 100.0));
+        c.resistor(inp, out, r);
+        c.capacitor(out, Circuit::GND, cap);
+        let res = c
+            .transient(&TransientSpec::new(8.0 * tau, tau / 50.0), &InitialState::Uic(vec![]))
+            .unwrap();
+        let out_trace = res.trace(out);
+        for &vo in &out_trace {
+            prop_assert!(vo >= -1e-9 && vo <= v * (1.0 + 1e-6));
+        }
+        prop_assert!((res.final_voltage(out) - v).abs() < 0.01 * v);
+    }
+
+    /// Power accounting: in a divider the delivered source power equals the
+    /// resistive dissipation.
+    #[test]
+    fn power_balances_dissipation(r1 in 10.0f64..1e5, r2 in 10.0f64..1e5, v in 0.1f64..5.0) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let src = c.vsource("V", a, Circuit::GND, Waveform::dc(v));
+        c.resistor(a, b, r1);
+        c.resistor(b, Circuit::GND, r2);
+        let op = c.dc_op().unwrap();
+        let i = v / (r1 + r2);
+        let dissipated = i * i * (r1 + r2);
+        prop_assert!((op.power_delivered(src) - dissipated).abs() < 1e-6 * dissipated);
+    }
+}
+
+/// A 3-stage TFET ring oscillator must oscillate — an end-to-end shakeout of
+/// DC + transient + device caps with no external stimulus but the supply.
+#[test]
+fn tfet_ring_oscillator_oscillates() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
+    let stages = 3;
+    let nodes: Vec<_> = (0..stages)
+        .map(|k| c.node(&format!("s{k}")))
+        .collect();
+    for k in 0..stages {
+        let inp = nodes[k];
+        let out = nodes[(k + 1) % stages];
+        c.transistor(
+            &format!("MP{k}"),
+            Arc::new(PTfet::nominal()),
+            out,
+            inp,
+            vdd,
+            0.1,
+        );
+        c.transistor(
+            &format!("MN{k}"),
+            Arc::new(NTfet::nominal()),
+            out,
+            inp,
+            Circuit::GND,
+            0.1,
+        );
+        c.capacitor(out, Circuit::GND, 0.1e-15);
+    }
+    // Break symmetry with an asymmetric initial condition. The TFET ring is
+    // slow (~14 ns period): the strongly Miller-skewed C_gd couples stages
+    // and the steep-but-late turn-on gives weak mid-rail drive, so the run
+    // must span several periods.
+    let res = c
+        .transient(
+            &TransientSpec::new(100e-9, 20e-12),
+            &InitialState::Uic(vec![(nodes[0], 0.8)]),
+        )
+        .unwrap();
+    let n0 = nodes[0];
+    // Count rising crossings of half-rail after the startup transient.
+    let mut crossings = 0;
+    let mut t_search = 20e-9;
+    while let Some(t) = res.crossing(n0, 0.4, true, t_search) {
+        crossings += 1;
+        t_search = t + 10e-12;
+        if crossings > 100 {
+            break;
+        }
+    }
+    assert!(crossings >= 2, "ring must oscillate, saw {crossings} crossings");
+}

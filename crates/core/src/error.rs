@@ -1,0 +1,72 @@
+//! Error type of the SRAM analysis layer.
+
+use std::fmt;
+use tfet_circuit::SimError;
+
+/// Errors raised while building or measuring SRAM cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SramError {
+    /// The underlying circuit simulation failed.
+    Sim(SimError),
+    /// The requested measurement is undefined for this cell (e.g. `WL_crit`
+    /// of the asymmetric 6T TFET SRAM, which has no write separatrix —
+    /// paper §5).
+    Undefined {
+        /// The metric that was requested.
+        metric: &'static str,
+        /// Why it is undefined for this cell.
+        reason: String,
+    },
+    /// A parameter is out of its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::Sim(e) => write!(f, "simulation failed: {e}"),
+            SramError::Undefined { metric, reason } => {
+                write!(f, "{metric} is undefined for this cell: {reason}")
+            }
+            SramError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SramError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for SramError {
+    fn from(e: SimError) -> Self {
+        SramError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SramError::Sim(SimError::InvalidCircuit("x".into()));
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(e.source().is_some());
+
+        let e = SramError::Undefined {
+            metric: "WL_crit",
+            reason: "no separatrix".into(),
+        };
+        assert!(e.to_string().contains("WL_crit"));
+        assert!(e.source().is_none());
+
+        let e = SramError::InvalidParameter("beta".into());
+        assert!(e.to_string().contains("beta"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Design-space exploration sweeps (the engines behind Figs. 4, 6, 7, 8).
+//!
+//! Each function returns plain data series so the bench harness and the
+//! figure binaries can print them in the paper's own coordinates.
+
+use crate::assist::{ReadAssist, WriteAssist};
+use crate::error::SramError;
+use crate::metrics::{read_metrics, wl_crit, WlCrit};
+use crate::tech::CellParams;
+
+/// One point of a β sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaPoint {
+    /// Cell ratio β.
+    pub beta: f64,
+    /// DRNM at this β, V.
+    pub drnm: f64,
+    /// `WL_crit` at this β.
+    pub wl_crit: WlCrit,
+}
+
+/// Sweeps β for a cell (no assists): the Fig. 4 study.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn beta_sweep(base: &CellParams, betas: &[f64]) -> Result<Vec<BetaPoint>, SramError> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let params = base.clone().with_beta(beta);
+            Ok(BetaPoint {
+                beta,
+                drnm: read_metrics(&params, None)?.drnm,
+                wl_crit: wl_crit(&params, None)?,
+            })
+        })
+        .collect()
+}
+
+/// One point of a write-assist sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaPoint {
+    /// Cell ratio β.
+    pub beta: f64,
+    /// `WL_crit` with the assist in force.
+    pub wl_crit: WlCrit,
+}
+
+/// Sweeps β for one write-assist technique (Fig. 6(e)). WA techniques are
+/// deployed at β > 1 (the cell is sized for reliable *read*, the assist
+/// recovers the write).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn write_assist_sweep(
+    base: &CellParams,
+    assist: WriteAssist,
+    betas: &[f64],
+) -> Result<Vec<WaPoint>, SramError> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let params = base.clone().with_beta(beta);
+            Ok(WaPoint {
+                beta,
+                wl_crit: wl_crit(&params, Some(assist))?,
+            })
+        })
+        .collect()
+}
+
+/// One point of a read-assist sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaPoint {
+    /// Cell ratio β.
+    pub beta: f64,
+    /// DRNM with the assist in force, V.
+    pub drnm: f64,
+}
+
+/// Sweeps β for one read-assist technique (Fig. 7(e)). RA techniques are
+/// deployed at β < 1 (the cell is sized for reliable *write*, the assist
+/// recovers the read).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn read_assist_sweep(
+    base: &CellParams,
+    assist: ReadAssist,
+    betas: &[f64],
+) -> Result<Vec<RaPoint>, SramError> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let params = base.clone().with_beta(beta);
+            Ok(RaPoint {
+                beta,
+                drnm: read_metrics(&params, Some(assist))?.drnm,
+            })
+        })
+        .collect()
+}
+
+/// A technique's operating curve in the (DRNM, `WL_crit`) plane — one point
+/// per β (Fig. 8). For WA techniques the *read* runs unassisted and the
+/// *write* assisted; for RA techniques vice versa. The paper seeks the
+/// curve closest to the lower-right corner (large DRNM, small `WL_crit`).
+#[derive(Debug, Clone)]
+pub struct TradeoffCurve {
+    /// Technique label (paper legend).
+    pub label: String,
+    /// `(drnm, wl_crit)` pairs; write-failing points are omitted.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Builds the Fig. 8 tradeoff curve for one write-assist technique.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn wa_tradeoff(
+    base: &CellParams,
+    assist: WriteAssist,
+    betas: &[f64],
+) -> Result<TradeoffCurve, SramError> {
+    let mut points = Vec::new();
+    for &beta in betas {
+        let params = base.clone().with_beta(beta);
+        let drnm = read_metrics(&params, None)?.drnm;
+        if let WlCrit::Finite(w) = wl_crit(&params, Some(assist))? {
+            points.push((drnm, w));
+        }
+    }
+    Ok(TradeoffCurve {
+        label: format!("{} WA", assist.label()),
+        points,
+    })
+}
+
+/// Builds the Fig. 8 tradeoff curve for one read-assist technique.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ra_tradeoff(
+    base: &CellParams,
+    assist: ReadAssist,
+    betas: &[f64],
+) -> Result<TradeoffCurve, SramError> {
+    let mut points = Vec::new();
+    for &beta in betas {
+        let params = base.clone().with_beta(beta);
+        let drnm = read_metrics(&params, Some(assist))?.drnm;
+        if let WlCrit::Finite(w) = wl_crit(&params, None)? {
+            points.push((drnm, w));
+        }
+    }
+    Ok(TradeoffCurve {
+        label: format!("{} RA", assist.label()),
+        points,
+    })
+}
+
+/// Scores a tradeoff curve by its best proximity to the "lower-right
+/// corner": for each point, `WL_crit` (s) is traded against DRNM (V); lower
+/// is better. The score is the minimum over the curve of
+/// `wl_crit / wl_scale − drnm / drnm_scale`.
+pub fn corner_score(curve: &TradeoffCurve, wl_scale: f64, drnm_scale: f64) -> Option<f64> {
+    curve
+        .points
+        .iter()
+        .map(|&(drnm, wl)| wl / wl_scale - drnm / drnm_scale)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite scores"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::AccessConfig;
+
+    fn fast(params: CellParams) -> CellParams {
+        let mut p = params;
+        p.sim.dt = 2e-12;
+        p.sim.pulse_tol = 8e-12;
+        p
+    }
+
+    #[test]
+    fn beta_sweep_reproduces_fig4_shape() {
+        let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+        let pts = beta_sweep(&base, &[0.5, 1.0, 2.0]).unwrap();
+        assert_eq!(pts.len(), 3);
+        // DRNM grows with β…
+        assert!(pts[2].drnm > pts[0].drnm);
+        // …writes succeed at small β and fail at large β.
+        assert!(!pts[0].wl_crit.is_infinite());
+        assert!(pts[2].wl_crit.is_infinite());
+    }
+
+    #[test]
+    fn gnd_raising_keeps_working_at_high_beta() {
+        // Fig. 6(e): rail-based assist keeps enabling writes as β grows.
+        let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+        let pts = write_assist_sweep(&base, WriteAssist::GndRaising, &[1.5, 2.5, 3.5]).unwrap();
+        assert!(pts.iter().all(|p| !p.wl_crit.is_infinite()),
+            "GND raising must enable writes: {pts:?}");
+    }
+
+    #[test]
+    fn access_assists_beat_rail_assists_at_low_beta() {
+        // Fig. 6(e): at low β, strengthening the access transistor
+        // (wordline lowering / bitline raising) yields a much smaller
+        // WL_crit than weakening the inverters (GND raising).
+        let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+        let beta = [1.2];
+        let wll = write_assist_sweep(&base, WriteAssist::WordlineLowering, &beta).unwrap()[0]
+            .wl_crit
+            .as_finite()
+            .expect("WLL writes at low β");
+        let gndr = write_assist_sweep(&base, WriteAssist::GndRaising, &beta).unwrap()[0]
+            .wl_crit
+            .as_finite()
+            .expect("GNDR writes at low β");
+        assert!(wll < 0.5 * gndr, "WLL {wll:e} must beat GNDR {gndr:e}");
+    }
+
+    #[test]
+    fn read_assist_sweep_improves_on_unassisted() {
+        let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+        let betas = [0.6];
+        let plain = beta_sweep(&base, &betas).unwrap()[0].drnm;
+        let assisted = read_assist_sweep(&base, ReadAssist::GndLowering, &betas).unwrap()[0].drnm;
+        assert!(assisted > plain);
+    }
+
+    #[test]
+    fn tradeoff_curves_have_labels_and_points() {
+        let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+        let curve = ra_tradeoff(&base, ReadAssist::GndLowering, &[0.6]).unwrap();
+        assert_eq!(curve.label, "GND lowering RA");
+        assert_eq!(curve.points.len(), 1);
+        assert!(corner_score(&curve, 1e-9, 0.1).is_some());
+    }
+
+    #[test]
+    fn corner_score_of_empty_curve_is_none() {
+        let curve = TradeoffCurve {
+            label: "x".into(),
+            points: vec![],
+        };
+        assert_eq!(corner_score(&curve, 1e-9, 0.1), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! 6T tunneling-FET SRAM design study — the core library of this workspace.
+//!
+//! This crate reproduces the system of *Robust 6T Si tunneling transistor
+//! SRAM design* (Yang & Mohanram, DATE 2011) on top of the
+//! `tfet-devices` compact models and the `tfet-circuit` simulator:
+//!
+//! * [`tech`] — cell parameterization: technology, access-transistor
+//!   configuration (inward/outward × n/p — the paper's §3 design space),
+//!   cell-ratio β sizing, supply voltage, per-transistor process variation;
+//! * [`cell`] — netlist generators for the 6T cell (CMOS or TFET),
+//!   plus the comparison topologies of §5: the 7T TFET SRAM with a separate
+//!   read port \[Kim, ISLPED'09\] and the asymmetric 6T TFET SRAM
+//!   \[Singh, ASP-DAC'10\];
+//! * [`assist`] — the four write-assist and four read-assist techniques of
+//!   §4, each expressed as a reshaped bias waveform at 30 % of V_DD;
+//! * [`ops`] — hold / write / read operation drivers (timing schedules,
+//!   stimulus construction);
+//! * [`metrics`] — the paper's measurements: hold static power, dynamic
+//!   read noise margin (DRNM), critical wordline pulse width (WL_crit),
+//!   and write/read delays;
+//! * [`montecarlo`] — §4.3's ±5 % gate-oxide-thickness Monte-Carlo;
+//! * [`snm`] — classical static noise margins (Seevinck butterfly), the
+//!   baseline metric family the paper's dynamic approach replaces;
+//! * [`array`] — array-level functional simulation: shared wordlines and
+//!   bitlines, half-select physics, disturb detection;
+//! * [`explore`] — β sweeps and assist-technique comparisons (Figs. 4–8);
+//! * [`compare`] — the §5 four-design comparison across V_DD (Figs. 11–12
+//!   and the static-power/area tables);
+//! * [`area`] — the relative cell-area model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tfet_sram::prelude::*;
+//!
+//! // The paper's proposed design: 6T, inward p-TFET access, β = 0.6,
+//! // GND-lowering read assist.
+//! let params = CellParams::tfet6t(AccessConfig::InwardP)
+//!     .with_beta(0.6)
+//!     .with_vdd(0.8);
+//! let power = metrics::static_power(&params)?;
+//! assert!(power < 1e-15, "TFET hold power is femtowatt-scale: {power:e}");
+//!
+//! let read = metrics::read_metrics(&params, Some(ReadAssist::GndLowering))?;
+//! assert!(read.drnm > 0.0, "read must not destroy the cell");
+//! # Ok::<(), tfet_sram::SramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod array;
+pub mod assist;
+pub mod cell;
+pub mod compare;
+pub mod error;
+pub mod explore;
+pub mod metrics;
+pub mod montecarlo;
+pub mod ops;
+pub mod snm;
+pub mod tech;
+
+pub use error::SramError;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use crate::assist::{ReadAssist, WriteAssist};
+    pub use crate::error::SramError;
+    pub use crate::metrics::{self, WlCrit};
+    pub use crate::tech::{AccessConfig, CellKind, CellParams, CellSizing};
+}

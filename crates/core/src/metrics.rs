@@ -1,0 +1,473 @@
+//! The paper's cell-quality metrics.
+//!
+//! * [`static_power`] — hold-state dissipation from a DC operating point
+//!   (bitlines clamped, wordlines inactive);
+//! * [`wl_crit`] — critical wordline pulse width: the shortest pulse that
+//!   flips the cell, found by binary search over flip/no-flip transients
+//!   (the paper's dynamic write metric, after [Wang, ISLPED'08]); may be
+//!   [`WlCrit::Infinite`] — the paper's signature result for inward-n
+//!   access and for inward-p at β > 1;
+//! * [`read_metrics`] — DRNM (dynamic read noise margin) and read delay
+//!   from a read transient;
+//! * [`write_delay`] — wordline activation to storage-node crossing under a
+//!   generous pulse.
+
+use crate::assist::{ReadAssist, WriteAssist};
+use crate::error::SramError;
+use crate::ops::{hold_setup, run_read, run_write};
+use crate::tech::{CellKind, CellParams};
+use tfet_numerics::roots::{critical_threshold, Threshold};
+
+/// Result of a critical-pulse-width search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WlCrit {
+    /// The cell flips for pulses at least this wide, s.
+    Finite(f64),
+    /// No pulse up to the search limit flips the cell — a write failure
+    /// (the paper plots these configurations as "infinite WL_crit").
+    Infinite,
+}
+
+impl WlCrit {
+    /// The finite value, if any.
+    pub fn as_finite(self) -> Option<f64> {
+        match self {
+            WlCrit::Finite(v) => Some(v),
+            WlCrit::Infinite => None,
+        }
+    }
+
+    /// Whether the write fails outright.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, WlCrit::Infinite)
+    }
+}
+
+/// Hold-state static power, W.
+///
+/// The cell is placed in hold (`q = 1`), bitlines clamped at their standby
+/// levels, and the summed source power of the DC operating point is
+/// returned. For the 6T TFET cell this is set by the 1e-17 A/µm off
+/// current — femtowatt scale — unless an outward access configuration puts
+/// a reverse-biased (conducting!) p-i-n diode across a bitline, the §3
+/// disqualifier.
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn static_power(params: &CellParams) -> Result<f64, SramError> {
+    let h = hold_setup(params)?;
+    let op = h.circuit.dc_op_with_guess(&h.guess)?;
+    // Sanity: the state must actually hold, otherwise the measurement is
+    // meaningless.
+    let vq = op.voltage(h.nodes.q);
+    let vqb = op.voltage(h.nodes.qb);
+    if vq - vqb < 0.5 * params.vdd {
+        return Err(SramError::Undefined {
+            metric: "static_power",
+            reason: format!(
+                "cell does not hold its state in standby (q = {vq:.3} V, qb = {vqb:.3} V)"
+            ),
+        });
+    }
+    Ok(op.total_power())
+}
+
+/// Critical wordline pulse width for a successful write, searched on
+/// `[5·dt, max_pulse]` to `pulse_tol` resolution.
+///
+/// # Errors
+///
+/// Returns [`SramError::Undefined`] for the asymmetric 6T TFET SRAM (its
+/// ground-collapse write has no separatrix — paper §5), and propagates
+/// simulation failures. Simulation errors inside the search oracle are
+/// treated as "did not flip", which is conservative.
+pub fn wl_crit(params: &CellParams, assist: Option<WriteAssist>) -> Result<WlCrit, SramError> {
+    if params.kind == CellKind::TfetAsym6T {
+        return Err(SramError::Undefined {
+            metric: "WL_crit",
+            reason: "the asymmetric 6T TFET SRAM's write has no separatrix".into(),
+        });
+    }
+    params.validate()?;
+    let lo = 5.0 * params.sim.dt;
+    let hi = params.sim.max_pulse;
+    // Surface genuine simulation failures from the endpoints first.
+    let flips_hi = run_write(params, assist, hi)?.flipped();
+    if !flips_hi {
+        return Ok(WlCrit::Infinite);
+    }
+    let th = critical_threshold(lo, hi, params.sim.pulse_tol, |w| {
+        run_write(params, assist, w)
+            .map(|r| r.flipped())
+            .unwrap_or(false)
+    });
+    Ok(match th {
+        Threshold::Critical(w) => WlCrit::Finite(w),
+        Threshold::AlwaysTrue => WlCrit::Finite(lo),
+        Threshold::NeverTrue => WlCrit::Infinite,
+    })
+}
+
+/// Read-stability measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadMetrics {
+    /// Dynamic read noise margin, V. Non-positive = destructive read.
+    pub drnm: f64,
+    /// Wordline activation → 50 mV of sense signal, s; `None` if the signal
+    /// never develops inside the read window.
+    pub read_delay: Option<f64>,
+}
+
+/// Sense threshold used for read delay, V.
+pub const SENSE_DV: f64 = 0.05;
+
+/// Runs a read and extracts [`ReadMetrics`].
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn read_metrics(
+    params: &CellParams,
+    assist: Option<ReadAssist>,
+) -> Result<ReadMetrics, SramError> {
+    let run = run_read(params, assist)?;
+    Ok(ReadMetrics {
+        drnm: run.drnm(),
+        read_delay: run.read_delay(SENSE_DV),
+    })
+}
+
+/// Write delay under a generous (`max_pulse`) wordline pulse: activation →
+/// rising storage node crosses V_DD/2. `None` means the write fails.
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn write_delay(
+    params: &CellParams,
+    assist: Option<WriteAssist>,
+) -> Result<Option<f64>, SramError> {
+    let run = run_write(params, assist, params.sim.max_pulse)?;
+    if !run.flipped() {
+        return Ok(None);
+    }
+    Ok(run.write_delay())
+}
+
+/// Per-transistor leakage at the hold operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageBreakdown {
+    /// `(instance name, |drain current| in A)`, sorted descending.
+    pub per_device: Vec<(String, f64)>,
+    /// Total supply power, W (matches [`static_power`]).
+    pub total_power: f64,
+}
+
+impl LeakageBreakdown {
+    /// The dominant leaker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no transistors (never for in-tree cells).
+    pub fn worst(&self) -> &(String, f64) {
+        self.per_device.first().expect("cells have transistors")
+    }
+}
+
+/// Resolves the hold-state leakage into per-transistor currents — which
+/// device is responsible for the standby power. For an inward-access cell
+/// every device sits at its off-current floor; for an outward-access cell
+/// this report names the reverse-biased access transistor carrying the §3
+/// catastrophic p-i-n diode current.
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn leakage_breakdown(params: &CellParams) -> Result<LeakageBreakdown, SramError> {
+    let h = hold_setup(params)?;
+    let op = h.circuit.dc_op_with_guess(&h.guess)?;
+    let mut per_device: Vec<(String, f64)> = h
+        .circuit
+        .transistors()
+        .iter()
+        .map(|t| {
+            let i = t.ids(op.voltage(t.g), op.voltage(t.d), op.voltage(t.s));
+            (t.name.clone(), i.abs())
+        })
+        .collect();
+    per_device.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite currents"));
+    Ok(LeakageBreakdown {
+        per_device,
+        total_power: op.total_power(),
+    })
+}
+
+/// Data-retention voltage (DRV): the lowest supply at which the cell still
+/// holds both states in standby, found by bisection on a DC hold-stability
+/// oracle over `[v_lo, params.vdd]`. Returns `None` if the cell holds even
+/// at `v_lo` (the search floor, 50 mV).
+///
+/// DRV is the classic bound on standby V_DD scaling — the knob that
+/// multiplies the paper's static-power savings, since hold power falls
+/// superlinearly with the standby supply.
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn data_retention_voltage(params: &CellParams) -> Result<Option<f64>, SramError> {
+    params.validate()?;
+    let v_lo = 0.05;
+    let holds = |vdd: f64| -> bool {
+        let mut p = params.clone();
+        p.vdd = vdd;
+        let Ok(h) = hold_setup(&p) else { return false };
+        let Ok(op) = h.circuit.dc_op_with_guess(&h.guess) else {
+            return false;
+        };
+        // Both states must be stable and well separated at this supply.
+        let sep1 = op.voltage(h.nodes.q) - op.voltage(h.nodes.qb);
+        let Ok(op2) = h
+            .circuit
+            .dc_op_with_guess(&[(h.nodes.q, 0.0), (h.nodes.qb, vdd)])
+        else {
+            return false;
+        };
+        let sep2 = op2.voltage(h.nodes.qb) - op2.voltage(h.nodes.q);
+        sep1 > 0.7 * vdd && sep2 > 0.7 * vdd
+    };
+    if holds(v_lo) {
+        return Ok(None);
+    }
+    if !holds(params.vdd) {
+        return Err(SramError::Undefined {
+            metric: "DRV",
+            reason: format!("cell does not even hold at its nominal {} V", params.vdd),
+        });
+    }
+    let th = critical_threshold(v_lo, params.vdd, 1e-3, holds);
+    Ok(match th {
+        Threshold::Critical(v) => Some(v),
+        Threshold::AlwaysTrue => None,
+        Threshold::NeverTrue => unreachable!("endpoint checked above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::AccessConfig;
+
+    fn fast(params: CellParams) -> CellParams {
+        let mut p = params;
+        p.sim.dt = 2e-12;
+        p.sim.pulse_tol = 4e-12;
+        p
+    }
+
+    #[test]
+    fn tfet_inward_hold_power_is_femtowatt_scale() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP);
+        let power = static_power(&p).unwrap();
+        // 6 mostly-off 0.1 µm devices at ~1e-18 A each, 0.8 V rails.
+        assert!(power > 0.0 && power < 1e-15, "power = {power:e} W");
+    }
+
+    #[test]
+    fn cmos_hold_power_is_six_orders_higher() {
+        let tfet = static_power(&CellParams::tfet6t(AccessConfig::InwardP)).unwrap();
+        let cmos = static_power(&CellParams::cmos6t()).unwrap();
+        let orders = (cmos / tfet).log10();
+        assert!(
+            (5.0..8.5).contains(&orders),
+            "CMOS/TFET static power gap = {orders} orders"
+        );
+    }
+
+    #[test]
+    fn outward_access_pays_orders_of_magnitude_in_hold_power() {
+        // Paper §3: 5 / 9 orders at 0.6 / 0.8 V versus inward access.
+        for (vdd, min_orders, max_orders) in [(0.6, 3.5, 7.0), (0.8, 6.5, 11.0)] {
+            let inward =
+                static_power(&CellParams::tfet6t(AccessConfig::InwardP).with_vdd(vdd)).unwrap();
+            let outward =
+                static_power(&CellParams::tfet6t(AccessConfig::OutwardN).with_vdd(vdd)).unwrap();
+            let orders = (outward / inward).log10();
+            assert!(
+                (min_orders..max_orders).contains(&orders),
+                "at {vdd} V: outward/inward = {orders} orders"
+            );
+        }
+    }
+
+    #[test]
+    fn wl_crit_finite_for_writable_cell() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        match wl_crit(&p, None).unwrap() {
+            WlCrit::Finite(w) => {
+                assert!(w > 1e-12 && w < 2e-9, "WL_crit = {w:e} s");
+            }
+            WlCrit::Infinite => panic!("β=0.6 inward-p must be writable"),
+        }
+    }
+
+    #[test]
+    fn wl_crit_infinite_for_inward_n() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardN).with_beta(0.6));
+        assert!(wl_crit(&p, None).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn wl_crit_infinite_for_inward_p_at_high_beta() {
+        // Paper Fig. 4(b): inward-p write fails for β > 1.
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.5));
+        assert!(wl_crit(&p, None).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn write_assist_rescues_high_beta_cell() {
+        // At β = 2.5 the plain cell fails, but GND raising (which guts the
+        // pull-downs, the real obstacle during an inward-access write)
+        // recovers it — the crux of paper Fig. 6(e).
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.5));
+        let rescued = wl_crit(&p, Some(WriteAssist::GndRaising)).unwrap();
+        assert!(!rescued.is_infinite(), "GND-raising WA must rescue β=2.5");
+    }
+
+    #[test]
+    fn vdd_lowering_rescues_moderate_beta_with_long_pulse() {
+        // VDD lowering acts on the stored-1 node only through the cell's
+        // reverse (ambipolar/diode) conduction — slow in a unidirectional
+        // technology — so it needs a longer pulse budget than GND raising.
+        let mut p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(1.5));
+        p.sim.max_pulse = 10e-9;
+        let rescued = wl_crit(&p, Some(WriteAssist::VddLowering)).unwrap();
+        assert!(!rescued.is_infinite(), "VDD-lowering WA must rescue β=1.5");
+    }
+
+    #[test]
+    fn wl_crit_grows_with_beta() {
+        let w1 = wl_crit(
+            &fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.4)),
+            None,
+        )
+        .unwrap()
+        .as_finite()
+        .unwrap();
+        let w2 = wl_crit(
+            &fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.8)),
+            None,
+        )
+        .unwrap()
+        .as_finite()
+        .unwrap();
+        assert!(w2 > w1, "WL_crit must grow with β: {w1:e} !< {w2:e}");
+    }
+
+    #[test]
+    fn asym_wl_crit_is_undefined() {
+        let p = CellParams::new(CellKind::TfetAsym6T);
+        assert!(matches!(
+            wl_crit(&p, None),
+            Err(SramError::Undefined { metric: "WL_crit", .. })
+        ));
+    }
+
+    #[test]
+    fn drnm_grows_with_beta() {
+        let p_small = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let p_large = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+        let d_small = read_metrics(&p_small, None).unwrap().drnm;
+        let d_large = read_metrics(&p_large, None).unwrap().drnm;
+        assert!(
+            d_large > d_small,
+            "DRNM must grow with β: {d_small} !< {d_large}"
+        );
+    }
+
+    #[test]
+    fn write_delay_reported_for_working_cell() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let d = write_delay(&p, None).unwrap().expect("writable");
+        assert!(d > 1e-12 && d < 2e-9, "write delay = {d:e}");
+    }
+
+    #[test]
+    fn write_delay_none_for_unwritable_cell() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardN).with_beta(1.0));
+        assert_eq!(write_delay(&p, None).unwrap(), None);
+    }
+
+    #[test]
+    fn leakage_breakdown_names_the_reverse_biased_access() {
+        // Outward cell: the access transistor on the 0-storing side carries
+        // the §3 diode current and dominates everything else by orders.
+        let p = CellParams::tfet6t(AccessConfig::OutwardN);
+        let b = leakage_breakdown(&p).unwrap();
+        // The diode current flows in series: reverse-biased access into the
+        // storage node, pull-down out of it — so the top two leakers are
+        // that access transistor and its pull-down, far above everyone else.
+        let top2: Vec<&str> = b.per_device[..2].iter().map(|d| d.0.as_str()).collect();
+        assert!(
+            top2.iter().any(|n| n.starts_with("MA")),
+            "an access device must be in the top two, got {top2:?}"
+        );
+        assert!(
+            b.worst().1 > 100.0 * b.per_device[2].1,
+            "dominance by orders: {:?}",
+            b.per_device
+        );
+        assert!(b.total_power > 0.0);
+    }
+
+    #[test]
+    fn leakage_breakdown_is_flat_for_inward_cell() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP);
+        let b = leakage_breakdown(&p).unwrap();
+        // No device leaks more than ~3 orders above the smallest: everyone
+        // sits near the off floor. (Zero-V_DS devices can carry ~0 A.)
+        let worst = b.worst().1;
+        assert!(worst < 1e-15, "worst inward leaker = {worst:e} A");
+    }
+
+    #[test]
+    fn drv_is_well_below_operating_supply() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+        let drv = data_retention_voltage(&p).unwrap();
+        match drv {
+            Some(v) => assert!(
+                v < 0.5 * p.vdd,
+                "TFET cell must retain well below VDD: DRV = {v} V"
+            ),
+            None => { /* holds at the 50 mV floor: even better */ }
+        }
+    }
+
+    #[test]
+    fn cmos_cell_has_a_drv_too() {
+        let p = CellParams::cmos6t().with_beta(1.5);
+        let drv = data_retention_voltage(&p).unwrap();
+        if let Some(v) = drv {
+            assert!(v < p.vdd && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn wl_crit_exceeds_cmos_for_tfet_cell() {
+        // Paper: unidirectional conduction ⇒ only one access conducts
+        // during a TFET write, so WL_crit is longer than CMOS at equal β.
+        let beta = 0.8;
+        let t = wl_crit(
+            &fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(beta)),
+            None,
+        )
+        .unwrap()
+        .as_finite()
+        .unwrap();
+        let c = wl_crit(&fast(CellParams::cmos6t().with_beta(beta)), None)
+            .unwrap()
+            .as_finite()
+            .unwrap();
+        assert!(t > c, "TFET WL_crit {t:e} must exceed CMOS {c:e}");
+    }
+}

@@ -1,0 +1,562 @@
+//! Operation drivers: hold, write, and read.
+//!
+//! Each driver assembles a complete experiment circuit around the cell —
+//! rails, wordline pulse, driven or floating bitlines, assist windows — and
+//! runs the appropriate analysis. The timing scheme (all relative to
+//! [`SimOptions`](crate::tech::SimOptions)):
+//!
+//! ```text
+//! t = 0 ············ t_settle ·· +50 ps ········ +width ········· t_end
+//! |  state settles  | bitlines  | WL pulse      | WL off,        |
+//! |  under hold     | driven    | (assist       | cell settles   |
+//! |  bias           | to data   |  bracketing)  |                |
+//! ```
+//!
+//! Reads keep the wordline active for the whole `t_read` window with the
+//! bitlines *floating* on their column capacitance (precharged via initial
+//! conditions), which is what lets the cell develop a sense differential.
+
+use crate::assist::{read_bias, write_bias, ReadAssist, WriteAssist};
+use crate::cell::{build_cell, CellNodes};
+use crate::error::SramError;
+use crate::tech::{CellKind, CellParams};
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::{Circuit, NodeId, SourceId, TransientResult, TransientSpec, Waveform};
+
+/// Assist windows open this long *before* the wordline pulse (paper
+/// Figs. 6–7 timing diagrams assert the assist first). The lead matters
+/// physically for rail-based write assists in a unidirectional cell: the
+/// stored-1 node can only follow a lowered supply through the pull-up's
+/// weak reverse (ambipolar) conduction, which takes time.
+const ASSIST_LEAD: f64 = 200e-12;
+
+/// Assist windows close this long after the wordline pulse.
+const ASSIST_LAG: f64 = 20e-12;
+
+/// Delay between the bitlines switching to write data and the wordline
+/// pulse, so the lines are quiet when the cell opens.
+const BL_TO_WL_DELAY: f64 = 50e-12;
+
+/// A waveform that rests at `base` and holds `level` over `[t0, t1]`
+/// (with `t_edge` ramps), or plain DC when no excursion is needed.
+fn windowed(base: f64, level: f64, t0: f64, t1: f64, t_edge: f64) -> Waveform {
+    if (level - base).abs() < 1e-15 {
+        Waveform::dc(base)
+    } else {
+        Waveform::pulse(base, level, t0, t1 - t0, t_edge)
+    }
+}
+
+/// A hold-configured cell: all lines at their standby levels.
+#[derive(Debug)]
+pub struct HoldSetup {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// Cell nodes.
+    pub nodes: CellNodes,
+    /// Every source in the circuit (for power accounting).
+    pub sources: Vec<SourceId>,
+    /// DC guess that selects the `q = 1` state.
+    pub guess: Vec<(NodeId, f64)>,
+}
+
+/// Builds the hold configuration: wordline(s) inactive, bitlines clamped at
+/// their standby levels — V_DD for the 6T cells (the paper's "traditionally
+/// clamped at V_DD"), 0 V for the 7T cell's dedicated write bitlines (the
+/// trick that lets it use outward access devices without paying reverse-bias
+/// leakage).
+///
+/// # Errors
+///
+/// Returns [`SramError::InvalidParameter`] for invalid parameters.
+pub fn hold_setup(params: &CellParams) -> Result<HoldSetup, SramError> {
+    params.validate()?;
+    let vdd = params.vdd;
+    let mut c = Circuit::new();
+    let nodes = build_cell(&mut c, params);
+    let mut sources = Vec::new();
+
+    sources.push(c.vsource("VDD", nodes.vdd, Circuit::GND, Waveform::dc(vdd)));
+    sources.push(c.vsource("VSS", nodes.vss, Circuit::GND, Waveform::dc(0.0)));
+    let access = params.kind.access();
+    sources.push(c.vsource(
+        "WL",
+        nodes.wl,
+        Circuit::GND,
+        Waveform::dc(access.wl_inactive(vdd)),
+    ));
+
+    let bl_hold = if params.kind == CellKind::Tfet7T {
+        0.0
+    } else {
+        vdd
+    };
+    sources.push(c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(bl_hold)));
+    sources.push(c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(bl_hold)));
+
+    if let (Some(rbl), Some(rwl)) = (nodes.rbl, nodes.rwl) {
+        sources.push(c.vsource("RBL", rbl, Circuit::GND, Waveform::dc(vdd)));
+        sources.push(c.vsource("RWL", rwl, Circuit::GND, Waveform::dc(vdd)));
+    }
+
+    let guess = vec![(nodes.q, vdd), (nodes.qb, 0.0)];
+    Ok(HoldSetup {
+        circuit: c,
+        nodes,
+        sources,
+        guess,
+    })
+}
+
+/// A completed write transient.
+#[derive(Debug)]
+pub struct WriteRun {
+    /// Recorded waveforms.
+    pub result: TransientResult,
+    /// Cell nodes.
+    pub nodes: CellNodes,
+    /// Wordline pulse start, s.
+    pub t_wl_on: f64,
+    /// Wordline pulse end, s.
+    pub t_wl_off: f64,
+    /// End of the recorded run, s.
+    pub t_end: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+}
+
+impl WriteRun {
+    /// Whether the write succeeded: the cell, initially `q = 1`, must hold
+    /// `q = 0` after the pulse and the post-write settle.
+    pub fn flipped(&self) -> bool {
+        let dq = self.result.final_voltage(self.nodes.qb) - self.result.final_voltage(self.nodes.q);
+        dq > 0.3 * self.vdd
+    }
+
+    /// Write delay: wordline activation → the storage nodes cross the
+    /// separatrix (`V(qb)` overtakes `V(q)`), `None` if they never do
+    /// (failed write). This is where CMOS's bidirectional access devices
+    /// shine — both sides of the cell are driven — while a TFET cell must
+    /// wait for the inverter feedback to bring the second node along.
+    pub fn write_delay(&self) -> Option<f64> {
+        let times = self.result.times();
+        let q = self.result.trace(self.nodes.q);
+        let qb = self.result.trace(self.nodes.qb);
+        for (k, &t) in times.iter().enumerate() {
+            if t >= self.t_wl_on && qb[k] >= q[k] {
+                return Some(t - self.t_wl_on);
+            }
+        }
+        None
+    }
+}
+
+/// Runs a write of `q: 1 → 0` with a wordline pulse of the given width.
+///
+/// The asymmetric 6T cell always runs with its built-in (modified) ground
+/// raising; other cells use `assist` as given.
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn run_write(
+    params: &CellParams,
+    assist: Option<WriteAssist>,
+    pulse_width: f64,
+) -> Result<WriteRun, SramError> {
+    params.validate()?;
+    if pulse_width <= 0.0 {
+        return Err(SramError::InvalidParameter(format!(
+            "pulse width must be positive, got {pulse_width}"
+        )));
+    }
+    let vdd = params.vdd;
+    let sim = &params.sim;
+    // The asymmetric 6T TFET SRAM's write mechanism *is* a modified ground
+    // raising (paper §4 intro / [Singh, ASP-DAC'10]).
+    let assist = if params.kind == CellKind::TfetAsym6T {
+        Some(WriteAssist::GndRaising)
+    } else {
+        assist
+    };
+    let access = params.kind.access();
+    let bias = write_bias(assist, vdd, access, sim.assist_fraction);
+
+    let t_bl = sim.t_settle;
+    let t_wl_on = t_bl + BL_TO_WL_DELAY;
+    let t_wl_off = t_wl_on + pulse_width;
+    let t_end = t_wl_off + sim.t_post_write;
+    let t_a0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
+    let t_a1 = t_wl_off + ASSIST_LAG;
+    // Narrow pulses get proportionally faster edges.
+    let edge_wl = sim.t_edge.min(pulse_width / 4.0);
+
+    let mut c = Circuit::new();
+    let nodes = build_cell(&mut c, params);
+
+    c.vsource(
+        "VDD",
+        nodes.vdd,
+        Circuit::GND,
+        windowed(vdd, bias.vdd_level, t_a0, t_a1, sim.t_edge),
+    );
+    c.vsource(
+        "VSS",
+        nodes.vss,
+        Circuit::GND,
+        windowed(0.0, bias.vss_level, t_a0, t_a1, sim.t_edge),
+    );
+    c.vsource(
+        "WL",
+        nodes.wl,
+        Circuit::GND,
+        Waveform::pulse(
+            access.wl_inactive(vdd),
+            bias.wl_active,
+            t_wl_on,
+            pulse_width,
+            edge_wl,
+        ),
+    );
+
+    // Bitline data: BL (q side) driven toward 0, BLB toward the (possibly
+    // raised) high level. The 7T cell's write bitlines idle at 0, so only
+    // BLB moves.
+    let bl_hold = if params.kind == CellKind::Tfet7T {
+        0.0
+    } else {
+        vdd
+    };
+    let bl_wave = if bl_hold == 0.0 {
+        Waveform::dc(0.0)
+    } else {
+        Waveform::step(bl_hold, 0.0, t_bl, sim.t_edge)
+    };
+    c.vsource("BL", nodes.bl, Circuit::GND, bl_wave);
+    let blb_wave = if (bias.bl_high - bl_hold).abs() < 1e-15 {
+        Waveform::dc(bl_hold)
+    } else {
+        Waveform::step(bl_hold, bias.bl_high, t_bl, sim.t_edge)
+    };
+    c.vsource("BLB", nodes.blb, Circuit::GND, blb_wave);
+
+    let mut uic = vec![
+        (nodes.q, vdd),
+        (nodes.qb, 0.0),
+        (nodes.bl, bl_hold),
+        (nodes.blb, bl_hold),
+        (nodes.wl, access.wl_inactive(vdd)),
+        (nodes.vdd, vdd),
+    ];
+    if let (Some(rbl), Some(rwl)) = (nodes.rbl, nodes.rwl) {
+        c.vsource("RBL", rbl, Circuit::GND, Waveform::dc(vdd));
+        c.vsource("RWL", rwl, Circuit::GND, Waveform::dc(vdd));
+        uic.push((rbl, vdd));
+        uic.push((rwl, vdd));
+    }
+
+    let spec = TransientSpec::new(t_end, sim.dt);
+    let result = c.transient(&spec, &InitialState::Uic(uic))?;
+    Ok(WriteRun {
+        result,
+        nodes,
+        t_wl_on,
+        t_wl_off,
+        t_end,
+        vdd,
+    })
+}
+
+/// How a read develops its sense signal.
+#[derive(Debug, Clone, Copy)]
+enum SenseMode {
+    /// Differential bitlines: sense when `V(plus) − V(minus)` reaches the
+    /// threshold.
+    Differential {
+        /// The line that stays high (or charges up).
+        plus: NodeId,
+        /// The line the cell discharges (or that stays low).
+        minus: NodeId,
+    },
+    /// Single-ended droop from a precharged level (7T read bitline).
+    Droop {
+        /// The sensed line.
+        node: NodeId,
+        /// Its precharge level, V.
+        from: f64,
+    },
+}
+
+/// A completed read transient.
+#[derive(Debug)]
+pub struct ReadRun {
+    /// Recorded waveforms.
+    pub result: TransientResult,
+    /// Cell nodes.
+    pub nodes: CellNodes,
+    /// Wordline activation time, s.
+    pub t_wl_on: f64,
+    /// Wordline deactivation time, s.
+    pub t_wl_off: f64,
+    sense: SenseMode,
+}
+
+impl ReadRun {
+    /// Dynamic read noise margin: the minimum of `V(q_high) − V(q_low)` over
+    /// the wordline-active window (paper's DRNM, after [Dehaene,
+    /// ESSCIRC'07]). Non-positive means the read flipped the cell.
+    ///
+    /// The cell is read in the `q = 0` state, so this is
+    /// `min(V(qb) − V(q))`.
+    pub fn drnm(&self) -> f64 {
+        self.result
+            .min_difference(self.nodes.qb, self.nodes.q, self.t_wl_on, self.t_wl_off)
+    }
+
+    /// Read delay: wordline activation → `dv_sense` of signal on the sense
+    /// line(s); `None` if the signal never develops within the window.
+    pub fn read_delay(&self, dv_sense: f64) -> Option<f64> {
+        let times = self.result.times();
+        for (k, &t) in times.iter().enumerate() {
+            if t < self.t_wl_on || t > self.t_wl_off {
+                continue;
+            }
+            let sig = match self.sense {
+                SenseMode::Differential { plus, minus } => {
+                    self.result.trace(plus)[k] - self.result.trace(minus)[k]
+                }
+                SenseMode::Droop { node, from } => from - self.result.trace(node)[k],
+            };
+            if sig >= dv_sense {
+                return Some(t - self.t_wl_on);
+            }
+        }
+        None
+    }
+}
+
+/// Runs a read of the `q = 0` state.
+///
+/// Bitlines float on `c_bitline` from their precharge level; inward/CMOS
+/// cells precharge high (the cell discharges the `q`-side line), outward
+/// cells precharge low (the cell charges the `qb`-side line), and the 7T
+/// cell senses its dedicated read bitline through the read buffer without
+/// touching the storage nodes.
+///
+/// # Errors
+///
+/// Simulation failures and invalid parameters.
+pub fn run_read(params: &CellParams, assist: Option<ReadAssist>) -> Result<ReadRun, SramError> {
+    params.validate()?;
+    let vdd = params.vdd;
+    let sim = &params.sim;
+    let access = params.kind.access();
+    let bias = read_bias(assist, vdd, access, sim.assist_fraction);
+
+    let t_wl_on = sim.t_settle;
+    let t_wl_off = t_wl_on + sim.t_read;
+    let t_end = t_wl_off + 0.3e-9;
+
+    let mut c = Circuit::new();
+    let nodes = build_cell(&mut c, params);
+
+    let t_ra0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
+    c.vsource(
+        "VDD",
+        nodes.vdd,
+        Circuit::GND,
+        windowed(vdd, bias.vdd_level, t_ra0, t_wl_off, sim.t_edge),
+    );
+    c.vsource(
+        "VSS",
+        nodes.vss,
+        Circuit::GND,
+        windowed(0.0, bias.vss_level, t_ra0, t_wl_off, sim.t_edge),
+    );
+
+    let mut uic = vec![
+        (nodes.q, 0.0),
+        (nodes.qb, vdd),
+        (nodes.vdd, vdd),
+        (nodes.wl, access.wl_inactive(vdd)),
+    ];
+
+    let sense = if params.kind == CellKind::Tfet7T {
+        // Write port quiescent; read through the buffer on RBL/RWL.
+        c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(0.0));
+        c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(0.0));
+        c.vsource(
+            "WL",
+            nodes.wl,
+            Circuit::GND,
+            Waveform::dc(access.wl_inactive(vdd)),
+        );
+        let rbl = nodes.rbl.expect("7T has rbl");
+        let rwl = nodes.rwl.expect("7T has rwl");
+        c.capacitor(rbl, Circuit::GND, params.c_bitline);
+        c.vsource(
+            "RWL",
+            rwl,
+            Circuit::GND,
+            Waveform::pulse(vdd, 0.0, t_wl_on, sim.t_read, sim.t_edge),
+        );
+        uic.push((rbl, vdd));
+        uic.push((rwl, vdd));
+        SenseMode::Droop {
+            node: rbl,
+            from: vdd,
+        }
+    } else {
+        // 6T cells: wordline pulse, floating bitlines on their column caps.
+        c.vsource(
+            "WL",
+            nodes.wl,
+            Circuit::GND,
+            Waveform::pulse(
+                access.wl_inactive(vdd),
+                bias.wl_active,
+                t_wl_on,
+                sim.t_read,
+                sim.t_edge,
+            ),
+        );
+        c.capacitor(nodes.bl, Circuit::GND, params.c_bitline);
+        c.capacitor(nodes.blb, Circuit::GND, params.c_bitline);
+        let precharge = if access.is_inward() || params.kind == CellKind::Cmos6T {
+            bias.bl_precharge
+        } else {
+            // Outward cells read by charging a low-precharged line.
+            0.0
+        };
+        uic.push((nodes.bl, precharge));
+        uic.push((nodes.blb, precharge));
+        // Either polarity senses the same differential: precharged-high
+        // columns droop on the q = 0 side, precharged-low columns charge on
+        // the qb = 1 side — both make V(blb) − V(bl) grow positive.
+        SenseMode::Differential {
+            plus: nodes.blb,
+            minus: nodes.bl,
+        }
+    };
+
+    let spec = TransientSpec::new(t_end, sim.dt);
+    let result = c.transient(&spec, &InitialState::Uic(uic))?;
+    Ok(ReadRun {
+        result,
+        nodes,
+        t_wl_on,
+        t_wl_off,
+        sense,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::AccessConfig;
+
+    fn fast(params: CellParams) -> CellParams {
+        // Coarser step for unit tests; metric tests live in `metrics`.
+        let mut p = params;
+        p.sim.dt = 2e-12;
+        p
+    }
+
+    #[test]
+    fn hold_setup_has_expected_sources() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP);
+        let h = hold_setup(&p).unwrap();
+        assert_eq!(h.sources.len(), 5);
+        assert_eq!(h.guess.len(), 2);
+        let p7 = CellParams::new(CellKind::Tfet7T);
+        let h7 = hold_setup(&p7).unwrap();
+        assert_eq!(h7.sources.len(), 7);
+    }
+
+    #[test]
+    fn hold_dc_converges_to_selected_state() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP);
+        let h = hold_setup(&p).unwrap();
+        let op = h.circuit.dc_op_with_guess(&h.guess).unwrap();
+        assert!(op.voltage(h.nodes.q) > 0.75 * p.vdd);
+        assert!(op.voltage(h.nodes.qb) < 0.05 * p.vdd);
+    }
+
+    #[test]
+    fn write_with_long_pulse_flips_inward_p_cell() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let run = run_write(&p, None, 2e-9).unwrap();
+        assert!(run.flipped(), "β=0.6 inward-p must write");
+        assert!(run.write_delay().is_some());
+    }
+
+    #[test]
+    fn write_with_tiny_pulse_does_not_flip() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let run = run_write(&p, None, 20e-12).unwrap();
+        assert!(!run.flipped(), "20 ps pulse must be too short");
+    }
+
+    #[test]
+    fn inward_n_write_fails_even_with_long_pulse() {
+        // Paper Fig. 4: infinite WL_crit for inward-n at any β.
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardN).with_beta(0.6));
+        let run = run_write(&p, None, 4e-9).unwrap();
+        assert!(!run.flipped(), "inward-n cannot write");
+    }
+
+    #[test]
+    fn cmos_write_flips_quickly() {
+        let p = fast(CellParams::cmos6t().with_beta(1.5));
+        let run = run_write(&p, None, 1e-9).unwrap();
+        assert!(run.flipped());
+    }
+
+    #[test]
+    fn read_preserves_state_at_high_beta() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+        let run = run_read(&p, None).unwrap();
+        assert!(run.drnm() > 0.0, "β=2 read must be stable, DRNM={}", run.drnm());
+        // Cell still holds q=0 at the end.
+        assert!(run.result.final_voltage(run.nodes.qb) > 0.7 * p.vdd);
+    }
+
+    #[test]
+    fn read_develops_bitline_differential() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+        let run = run_read(&p, None).unwrap();
+        let delay = run.read_delay(0.05);
+        assert!(delay.is_some(), "50 mV must develop within the window");
+        assert!(delay.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn gnd_lowering_improves_drnm() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let plain = run_read(&p, None).unwrap().drnm();
+        let assisted = run_read(&p, Some(ReadAssist::GndLowering)).unwrap().drnm();
+        assert!(
+            assisted > plain,
+            "GND lowering must help: {assisted} !> {plain}"
+        );
+    }
+
+    #[test]
+    fn seven_t_read_does_not_disturb_cell() {
+        let p = fast(CellParams::new(CellKind::Tfet7T).with_beta(2.0));
+        let run = run_read(&p, None).unwrap();
+        // Decoupled read: margin stays ≈ VDD.
+        assert!(run.drnm() > 0.9 * p.vdd, "DRNM = {}", run.drnm());
+        // And the read bitline droops.
+        assert!(run.read_delay(0.05).is_some());
+    }
+
+    #[test]
+    fn write_rejects_bad_pulse() {
+        let p = CellParams::cmos6t();
+        assert!(matches!(
+            run_write(&p, None, -1.0),
+            Err(SramError::InvalidParameter(_))
+        ));
+    }
+}

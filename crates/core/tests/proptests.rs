@@ -1,0 +1,162 @@
+//! Property-based tests of the SRAM layer's structural invariants.
+//!
+//! These run full transient simulations per case, so case counts are kept
+//! deliberately small; each property still covers a meaningful slice of the
+//! design space on every test run.
+
+use proptest::prelude::*;
+use tfet_sram::area::{cell_area, relative_area};
+use tfet_sram::assist::{read_bias, write_bias, ASSIST_FRACTION};
+use tfet_sram::metrics::read_metrics;
+use tfet_sram::ops::{hold_setup, run_write};
+use tfet_sram::prelude::*;
+use tfet_sram::tech::{CellKind, CellSizing};
+
+fn fast(params: CellParams) -> CellParams {
+    let mut p = params;
+    p.sim.dt = 4e-12;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hold is bistable at any workable sizing: the DC solve lands in the
+    /// basin the guess selects, for both states.
+    #[test]
+    fn hold_respects_state_guess(beta in 0.4f64..2.5, vdd in 0.6f64..0.9) {
+        let params = CellParams::tfet6t(AccessConfig::InwardP)
+            .with_beta(beta)
+            .with_vdd(vdd);
+        let h = hold_setup(&params).unwrap();
+        let op = h.circuit.dc_op_with_guess(&h.guess).unwrap();
+        prop_assert!(op.voltage(h.nodes.q) > 0.8 * vdd);
+        prop_assert!(op.voltage(h.nodes.qb) < 0.2 * vdd);
+        // Mirrored guess lands in the mirrored state.
+        let op2 = h
+            .circuit
+            .dc_op_with_guess(&[(h.nodes.q, 0.0), (h.nodes.qb, vdd)])
+            .unwrap();
+        prop_assert!(op2.voltage(h.nodes.qb) > 0.8 * vdd);
+    }
+
+    /// Storage nodes stay within the (assisted) rail envelope during writes.
+    #[test]
+    fn write_nodes_stay_in_envelope(beta in 0.4f64..1.2, width_ns in 0.2f64..2.0) {
+        let params = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(beta));
+        let run = run_write(&params, None, width_ns * 1e-9).unwrap();
+        // Miller overshoot can carry a floating node somewhat past the rail,
+        // but never by more than a few hundred mV in a working cell.
+        let hi = params.vdd + 0.35;
+        let lo = -0.35;
+        for node in [run.nodes.q, run.nodes.qb] {
+            prop_assert!(run.result.max_voltage(node) < hi);
+            prop_assert!(run.result.min_voltage(node) > lo);
+        }
+    }
+
+    /// Longer wordline pulses never un-flip a write (monotone oracle — the
+    /// property the WL_crit binary search relies on).
+    #[test]
+    fn write_oracle_is_monotone(beta in 0.4f64..0.9) {
+        let params = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(beta));
+        let widths = [0.3e-9, 0.8e-9, 2.0e-9];
+        let flips: Vec<bool> = widths
+            .iter()
+            .map(|&w| run_write(&params, None, w).unwrap().flipped())
+            .collect();
+        // Once true, stays true.
+        for pair in flips.windows(2) {
+            prop_assert!(!pair[0] || pair[1], "flip sequence not monotone: {flips:?}");
+        }
+    }
+
+    /// DRNM is monotone non-decreasing in β (stronger pull-downs resist the
+    /// read disturb better) — the backbone of Fig. 4(a)/7(e).
+    #[test]
+    fn drnm_monotone_in_beta(b1 in 0.4f64..2.0, delta in 0.3f64..1.0) {
+        let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+        let d1 = read_metrics(&base.clone().with_beta(b1), None).unwrap().drnm;
+        let d2 = read_metrics(&base.clone().with_beta(b1 + delta), None)
+            .unwrap()
+            .drnm;
+        prop_assert!(d2 >= d1 - 5e-3, "DRNM fell with beta: {d1} -> {d2}");
+    }
+
+    /// Every read assist improves (or at worst matches) the unassisted DRNM.
+    #[test]
+    fn read_assists_never_hurt(beta in 0.4f64..1.0) {
+        let params = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(beta));
+        let plain = read_metrics(&params, None).unwrap().drnm;
+        for ra in ReadAssist::ALL {
+            let assisted = read_metrics(&params, Some(ra)).unwrap().drnm;
+            prop_assert!(
+                assisted >= plain - 5e-3,
+                "{ra:?} hurt the read: {plain} -> {assisted}"
+            );
+        }
+    }
+
+    /// Bias computations respect the assist-level contract: each technique
+    /// moves exactly one bias by exactly frac·VDD in the helpful direction.
+    #[test]
+    fn assist_bias_deltas_are_exact(vdd in 0.5f64..0.9, frac in 0.05f64..0.5) {
+        let access = AccessConfig::InwardP;
+        for wa in WriteAssist::ALL {
+            let b = write_bias(Some(wa), vdd, access, frac);
+            let n = write_bias(None, vdd, access, frac);
+            let moved = [
+                (b.vdd_level - n.vdd_level).abs(),
+                (b.vss_level - n.vss_level).abs(),
+                (b.wl_active - n.wl_active).abs(),
+                (b.bl_high - n.bl_high).abs(),
+            ];
+            let nonzero: Vec<f64> = moved.iter().copied().filter(|&d| d > 1e-12).collect();
+            prop_assert_eq!(nonzero.len(), 1, "{:?} must move exactly one bias", wa);
+            prop_assert!((nonzero[0] - frac * vdd).abs() < 1e-12);
+        }
+        for ra in ReadAssist::ALL {
+            let b = read_bias(Some(ra), vdd, access, frac);
+            let n = read_bias(None, vdd, access, frac);
+            let moved = [
+                (b.vdd_level - n.vdd_level).abs(),
+                (b.vss_level - n.vss_level).abs(),
+                (b.wl_active - n.wl_active).abs(),
+                (b.bl_precharge - n.bl_precharge).abs(),
+            ];
+            let nonzero: Vec<f64> = moved.iter().copied().filter(|&d| d > 1e-12).collect();
+            prop_assert_eq!(nonzero.len(), 1, "{:?} must move exactly one bias", ra);
+            prop_assert!((nonzero[0] - frac * vdd).abs() < 1e-12);
+        }
+    }
+
+    /// The area model is monotone in every width and normalizes to 1.
+    #[test]
+    fn area_model_is_monotone(
+        w_acc in 0.05f64..0.3,
+        beta in 0.3f64..3.0,
+        w_pu in 0.04f64..0.2,
+        grow in 1.01f64..2.0,
+    ) {
+        let s1 = CellSizing { w_access_um: w_acc, beta, w_pullup_um: w_pu };
+        for kind in [CellKind::Cmos6T, CellKind::Tfet7T] {
+            let a1 = cell_area(kind, &s1);
+            let mut bigger = s1;
+            bigger.beta *= grow;
+            prop_assert!(cell_area(kind, &bigger) > a1);
+            let mut wider = s1;
+            wider.w_access_um *= grow;
+            prop_assert!(cell_area(kind, &wider) > a1);
+        }
+        let p = CellParams::tfet6t(AccessConfig::InwardP);
+        prop_assert!((relative_area(&p, &p) - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Assist fraction default matches the paper's 30 %.
+#[test]
+fn default_assist_fraction_is_thirty_percent() {
+    let p = CellParams::tfet6t(AccessConfig::InwardP);
+    assert_eq!(p.sim.assist_fraction, ASSIST_FRACTION);
+    assert_eq!(ASSIST_FRACTION, 0.3);
+}

@@ -1,0 +1,154 @@
+//! Physical constants and geometry shared by the device models.
+//!
+//! The geometry matches the paper's device description (§2): 32 nm channel
+//! length, 2 nm HfO₂ gate insulator with dielectric constant 25, 2 nm gate
+//! underlap, 1e20 cm⁻³ source/drain doping and 1e15 cm⁻³ channel doping.
+
+/// Elementary charge, C.
+pub const Q: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant, J/K.
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Vacuum permittivity, F/m.
+pub const EPS_0: f64 = 8.854_187_812_8e-12;
+
+/// Simulation temperature, K (room temperature, as in the paper).
+pub const TEMPERATURE: f64 = 300.0;
+
+/// Thermal voltage kT/q at [`TEMPERATURE`], V (≈ 25.85 mV).
+pub const V_T: f64 = K_B * TEMPERATURE / Q;
+
+/// The theoretical MOSFET subthreshold-swing limit at room temperature,
+/// V/decade (the "60 mV/dec" wall the paper's introduction cites).
+pub const MOSFET_SS_LIMIT: f64 = 0.059_9;
+
+/// Channel length of both the TFET and the MOSFET baseline, m (32 nm node).
+pub const CHANNEL_LENGTH: f64 = 32e-9;
+
+/// Gate insulator (HfO₂) physical thickness, m.
+pub const T_OX: f64 = 2e-9;
+
+/// HfO₂ relative dielectric constant used in the paper.
+pub const EPS_R_HFO2: f64 = 25.0;
+
+/// Gate-oxide capacitance per unit area, F/m².
+pub const C_OX_AREAL: f64 = EPS_0 * EPS_R_HFO2 / T_OX;
+
+/// Gate capacitance per micrometre of width for a 32 nm channel, F/µm.
+///
+/// `C_ox' · L · (1 µm)` — the plate capacitance of the full gate stack.
+pub const C_GATE_PER_UM: f64 = C_OX_AREAL * CHANNEL_LENGTH * 1e-6;
+
+/// Clamped exponential: exact `exp(x)` up to `x_max`, then continued
+/// linearly (first-order) so that the function and its first derivative stay
+/// finite and continuous.
+///
+/// Device equations contain `exp(v / V_T)` terms which overflow when a
+/// Newton iterate wanders to a few volts; every exponential in this crate
+/// goes through this guard (the same trick SPICE's diode limiting serves).
+#[inline]
+pub fn lim_exp(x: f64, x_max: f64) -> f64 {
+    if x <= x_max {
+        x.exp()
+    } else {
+        x_max.exp() * (1.0 + (x - x_max))
+    }
+}
+
+/// Smooth softplus max(0, x) with transition width `w`:
+/// `w · ln(1 + exp(x / w))`.
+///
+/// Used to clamp effective gate overdrive without introducing a derivative
+/// discontinuity that would stall Newton iterations.
+#[inline]
+pub fn softplus(x: f64, w: f64) -> f64 {
+    debug_assert!(w > 0.0);
+    let u = x / w;
+    if u > 35.0 {
+        x // exp(-u) below double precision; identity is exact
+    } else if u < -35.0 {
+        0.0
+    } else {
+        w * (1.0 + u.exp()).ln()
+    }
+}
+
+/// Derivative of [`softplus`] with respect to `x`: the logistic sigmoid
+/// `1 / (1 + exp(−x/w))`.
+#[inline]
+pub fn softplus_deriv(x: f64, w: f64) -> f64 {
+    debug_assert!(w > 0.0);
+    let u = x / w;
+    if u > 35.0 {
+        1.0
+    } else if u < -35.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-u).exp())
+    }
+}
+
+/// Derivative of [`lim_exp`] with respect to `x`: `exp(min(x, x_max))` —
+/// exactly the linear continuation's slope beyond the clamp.
+#[inline]
+pub fn lim_exp_deriv(x: f64, x_max: f64) -> f64 {
+    x.min(x_max).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        assert!((V_T - 0.025852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gate_capacitance_is_plate_value() {
+        // eps0 * 25 / 2nm * 32nm * 1um ≈ 3.54 fF/µm
+        assert!((C_GATE_PER_UM - 3.54e-15).abs() < 0.1e-15);
+    }
+
+    #[test]
+    fn lim_exp_matches_exp_below_threshold() {
+        for x in [-10.0, 0.0, 5.0, 29.9] {
+            assert_eq!(lim_exp(x, 30.0), x.exp());
+        }
+    }
+
+    #[test]
+    fn lim_exp_is_linear_and_continuous_above_threshold() {
+        let m = 30.0;
+        let at = lim_exp(m, m);
+        let just_above = lim_exp(m + 1e-9, m);
+        assert!((just_above - at) / at < 1e-8);
+        // Linear growth: slope equals exp(m).
+        let slope = (lim_exp(m + 2.0, m) - lim_exp(m + 1.0, m)) / 1.0;
+        assert!((slope - m.exp()).abs() / m.exp() < 1e-12);
+        assert!(lim_exp(1000.0, m).is_finite());
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert_eq!(softplus(-10.0, 0.03), 0.0);
+        assert_eq!(softplus(10.0, 0.03), 10.0);
+        // At x = 0 the value is w·ln2.
+        let w = 0.05;
+        assert!((softplus(0.0, w) - w * 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_is_monotone_and_smooth() {
+        let w = 0.03;
+        let mut prev = softplus(-1.0, w);
+        let mut x = -1.0;
+        while x < 1.0 {
+            x += 0.001;
+            let cur = softplus(x, w);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+}

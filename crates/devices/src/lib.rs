@@ -1,0 +1,60 @@
+//! Compact device models for the `tfet-sram` workspace.
+//!
+//! The reproduced paper (Yang & Mohanram, DATE 2011) simulates its devices in
+//! Sentaurus TCAD, extracts I-V and C-V surfaces into two-dimensional lookup
+//! tables, and drives circuit simulation through a Verilog-A lookup-table
+//! model. This crate rebuilds that stack without TCAD:
+//!
+//! * [`tfet`] — a physics-based analytical compact model of the paper's 32 nm
+//!   Si tunneling FET: Kane band-to-band tunneling on the forward branch
+//!   (steep sub-60 mV/dec swing, I_on = 1e-4 A/µm and I_off = 1e-17 A/µm at
+//!   |V_DS| = 1 V), and a gated p-i-n diode on the reverse branch where the
+//!   gate progressively loses control — the *unidirectional conduction*
+//!   property the whole paper revolves around;
+//! * [`mosfet`] — an EKV-style all-region MOSFET calibrated to 32 nm
+//!   low-power PTM headline figures, the paper's 6T CMOS baseline;
+//! * [`lut`] — lookup-table compilation of any model (the paper's own
+//!   modeling methodology), with an `asinh` transform so currents spanning
+//!   13+ decades interpolate accurately;
+//! * [`variation`] — gate-oxide-thickness process variation (±5 %, per the
+//!   paper's §4.3) mapped onto perturbed model parameters;
+//! * [`calibration`] — figure-of-merit extraction (I_on, I_off, minimum
+//!   subthreshold swing) used by tests to pin the models to the paper's
+//!   numbers.
+//!
+//! # Conventions
+//!
+//! All models are *per micrometre of gate width*; the circuit layer scales by
+//! device width. `ids(vg, vd, vs)` returns the conventional current flowing
+//! **into the drain terminal** in amperes (SPICE convention), so a conducting
+//! n-device with `vd > vs` reports a positive value and its p-type dual
+//! reports the mirrored negative value.
+//!
+//! # Examples
+//!
+//! ```
+//! use tfet_devices::tfet::NTfet;
+//! use tfet_devices::model::DeviceModel;
+//!
+//! let n = NTfet::nominal();
+//! let on = n.ids_per_um(1.0, 1.0, 0.0);
+//! let off = n.ids_per_um(0.0, 1.0, 0.0);
+//! assert!(on > 1e-5 && off < 1e-15, "steep-switching TFET");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod consts;
+pub mod lut;
+pub mod model;
+pub mod mosfet;
+pub mod tfet;
+pub mod variation;
+
+pub use lut::LutDevice;
+pub use model::{Caps, DeviceKind, DeviceModel, Polarity};
+pub use mosfet::{MosfetParams, Nmos, Pmos};
+pub use tfet::{NTfet, PTfet, TfetParams};
+pub use variation::ProcessVariation;

@@ -1,0 +1,141 @@
+//! Gate-oxide-thickness process variation (paper §4.3).
+//!
+//! The paper restricts process variation to the gate-insulator thickness,
+//! controlled to within ±5 %, arguing (with [Saurabh, TDMR'11]) that channel
+//! length variation has negligible effect on TFETs and that random dopant
+//! fluctuation is limited by the near-intrinsic channel. This module maps a
+//! relative thickness draw onto perturbed model parameters:
+//!
+//! * **TFET** — a thicker insulator weakens the gate-to-tunnel-junction
+//!   coupling, which (i) scales the Kane exponential factor up
+//!   (`b_kane ∝ (t_ox/t_ox,nom)^½` to first order in the field dilution) and
+//!   (ii) shifts the onset voltage slightly. This reproduces the dominant
+//!   I_on sensitivity the TFET variability literature reports (~3 %/% t_ox).
+//! * **MOSFET** — oxide thickness scales the specific current inversely
+//!   (`C'_ox` dilution) and shifts the threshold.
+
+use crate::mosfet::MosfetParams;
+use crate::tfet::TfetParams;
+use serde::{Deserialize, Serialize};
+
+/// A sampled process point: relative gate-oxide thickness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessVariation {
+    /// `t_ox / t_ox,nominal`; 1.0 is the nominal process.
+    pub tox_ratio: f64,
+}
+
+impl ProcessVariation {
+    /// The nominal (unperturbed) process point.
+    pub fn nominal() -> Self {
+        ProcessVariation { tox_ratio: 1.0 }
+    }
+
+    /// Creates a variation from a relative thickness deviation, e.g.
+    /// `from_deviation(0.05)` for +5 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deviation is not in `(-0.5, 0.5)` — the model is a
+    /// small-signal perturbation, not valid for gross thickness changes.
+    pub fn from_deviation(dev: f64) -> Self {
+        assert!(
+            dev > -0.5 && dev < 0.5,
+            "t_ox deviation {dev} outside the perturbative range"
+        );
+        ProcessVariation {
+            tox_ratio: 1.0 + dev,
+        }
+    }
+
+    /// Relative deviation `t_ox/t_nom − 1`.
+    pub fn deviation(&self) -> f64 {
+        self.tox_ratio - 1.0
+    }
+
+    /// Applies the variation to a TFET parameter set.
+    pub fn apply_tfet(&self, nominal: &TfetParams) -> TfetParams {
+        let mut p = *nominal;
+        // Field dilution: the tunneling field scales like the gate coupling,
+        // so the exponent B/F grows with sqrt of the thickness ratio.
+        p.b_kane = nominal.b_kane * self.tox_ratio.sqrt();
+        // Weak electrostatic onset shift: 0.2 V per unit relative deviation
+        // (10 mV at the ±5 % corner).
+        p.v_onset = nominal.v_onset + 0.2 * self.deviation();
+        p
+    }
+
+    /// Applies the variation to a MOSFET parameter set.
+    pub fn apply_mosfet(&self, nominal: &MosfetParams) -> MosfetParams {
+        let mut p = *nominal;
+        // I_spec ∝ C'_ox ∝ 1/t_ox.
+        p.i_spec = nominal.i_spec / self.tox_ratio;
+        // Threshold shift with oxide thickness (depletion-charge term).
+        p.v_th = nominal.v_th + 0.1 * self.deviation();
+        p
+    }
+}
+
+impl Default for ProcessVariation {
+    fn default() -> Self {
+        ProcessVariation::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeviceModel;
+    use crate::mosfet::Nmos;
+    use crate::tfet::NTfet;
+
+    #[test]
+    fn nominal_variation_is_identity() {
+        let v = ProcessVariation::nominal();
+        let t = TfetParams::nominal();
+        assert_eq!(v.apply_tfet(&t), t);
+        let m = MosfetParams::nominal_32nm_lp();
+        assert_eq!(v.apply_mosfet(&m), m);
+    }
+
+    #[test]
+    fn thicker_oxide_weakens_tfet_on_current() {
+        let nom = NTfet::nominal();
+        let thick = NTfet::new(
+            ProcessVariation::from_deviation(0.05).apply_tfet(&TfetParams::nominal()),
+        );
+        let thin = NTfet::new(
+            ProcessVariation::from_deviation(-0.05).apply_tfet(&TfetParams::nominal()),
+        );
+        let i_nom = nom.ids_per_um(0.8, 0.8, 0.0);
+        let i_thick = thick.ids_per_um(0.8, 0.8, 0.0);
+        let i_thin = thin.ids_per_um(0.8, 0.8, 0.0);
+        assert!(i_thick < i_nom && i_nom < i_thin);
+        // The ±5 % corner should move the on-current by single-digit to
+        // low-double-digit percent — enough to spread WL_crit visibly but
+        // not to break the device.
+        let swing = (i_thin - i_thick) / i_nom;
+        assert!((0.02..0.8).contains(&swing), "on-current swing {swing}");
+    }
+
+    #[test]
+    fn thicker_oxide_weakens_mosfet() {
+        let nom = Nmos::nominal();
+        let thick = Nmos::new(
+            ProcessVariation::from_deviation(0.05).apply_mosfet(&MosfetParams::nominal_32nm_lp()),
+        );
+        assert!(thick.ids_per_um(0.8, 0.8, 0.0) < nom.ids_per_um(0.8, 0.8, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "perturbative")]
+    fn gross_deviation_rejected() {
+        ProcessVariation::from_deviation(0.9);
+    }
+
+    #[test]
+    fn deviation_roundtrip() {
+        let v = ProcessVariation::from_deviation(0.03);
+        assert!((v.deviation() - 0.03).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,94 @@
+//! Analytic-vs-finite-difference derivative verification.
+//!
+//! The in-tree models override `conductances_per_um` with closed forms;
+//! every Newton stamp in the simulator rides on them, so they must match
+//! the finite-difference reference everywhere in (and beyond) the
+//! operating region.
+
+use proptest::prelude::*;
+use tfet_devices::model::{derivative_step, DeviceModel};
+use tfet_devices::{NTfet, Nmos, PTfet, Pmos};
+
+/// Central-difference reference for one conductance.
+fn fd<M: DeviceModel>(m: &M, vg: f64, vd: f64, vs: f64, which: usize) -> f64 {
+    let h = derivative_step();
+    let eval = |vg: f64, vd: f64, vs: f64| m.ids_per_um(vg, vd, vs);
+    match which {
+        0 => (eval(vg + h, vd, vs) - eval(vg - h, vd, vs)) / (2.0 * h),
+        1 => (eval(vg, vd + h, vs) - eval(vg, vd - h, vs)) / (2.0 * h),
+        _ => (eval(vg, vd, vs + h) - eval(vg, vd, vs - h)) / (2.0 * h),
+    }
+}
+
+/// Asserts analytic ≈ FD with a combined relative/absolute tolerance.
+///
+/// FD itself carries O(h²·|I'''|) error, which is non-negligible on the
+/// exponential branches, so the relative tolerance is a few percent; the
+/// absolute floor covers the deep-off region where both are ~0.
+fn check<M: DeviceModel>(m: &M, vg: f64, vd: f64, vs: f64) -> Result<(), TestCaseError> {
+    // Skip the branch seam: FD straddles v_ds = 0 where the model is only
+    // C¹ to within the seam's smoothing, and the central difference mixes
+    // the two branches.
+    if (vd - vs).abs() < 2.5 * derivative_step() {
+        return Ok(());
+    }
+    let (gm, gds, gs) = m.conductances_per_um(vg, vd, vs);
+    // The FD reference is noise-limited by cancellation: differencing two
+    // currents of magnitude |I| at step h leaves ~|I|·ε/h of rounding noise
+    // (≈ |I|·2e-13 S at the 0.5 mV step) — dominant wherever a huge diode
+    // current coexists with a small gate sensitivity.
+    let fd_noise = m.ids_per_um(vg, vd, vs).abs() * 1e-12;
+    for (which, analytic) in [(0, gm), (1, gds), (2, gs)] {
+        let reference = fd(m, vg, vd, vs, which);
+        let tol = 0.03 * reference.abs().max(analytic.abs()) + 1e-15 + fd_noise;
+        prop_assert!(
+            (analytic - reference).abs() <= tol,
+            "{} conductance {which} at ({vg:.3},{vd:.3},{vs:.3}): analytic {analytic:e} vs FD {reference:e}",
+            m.name()
+        );
+    }
+    // Shift invariance: the three conductances of a three-terminal device
+    // with no bulk must sum to zero.
+    prop_assert!(
+        (gm + gds + gs).abs() <= 1e-9 * (gm.abs() + gds.abs() + gs.abs()) + 1e-18,
+        "conductances must sum to zero: {gm:e} + {gds:e} + {gs:e}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn ntfet_conductances_match_fd(vg in -1.2f64..1.2, vd in -1.2f64..1.2, vs in -1.2f64..1.2) {
+        check(&NTfet::nominal(), vg, vd, vs)?;
+    }
+
+    #[test]
+    fn ptfet_conductances_match_fd(vg in -1.2f64..1.2, vd in -1.2f64..1.2, vs in -1.2f64..1.2) {
+        check(&PTfet::nominal(), vg, vd, vs)?;
+    }
+
+    #[test]
+    fn nmos_conductances_match_fd(vg in -1.2f64..1.2, vd in -1.2f64..1.2, vs in -1.2f64..1.2) {
+        check(&Nmos::nominal(), vg, vd, vs)?;
+    }
+
+    #[test]
+    fn pmos_conductances_match_fd(vg in -1.2f64..1.2, vd in -1.2f64..1.2, vs in -1.2f64..1.2) {
+        check(&Pmos::nominal(), vg, vd, vs)?;
+    }
+}
+
+/// Spot checks at the exact biases the SRAM experiments live at.
+#[test]
+fn conductances_at_sram_operating_points() {
+    let n = NTfet::nominal();
+    for &(vg, vd, vs) in &[
+        (0.8, 0.8, 0.0),  // on, saturated
+        (0.8, 0.05, 0.0), // on, output onset
+        (0.0, 0.8, 0.0),  // off
+        (0.0, -0.8, 0.0), // reverse diode
+        (0.8, -0.4, 0.0), // reverse ambipolar
+    ] {
+        check(&n, vg, vd, vs).unwrap();
+    }
+}

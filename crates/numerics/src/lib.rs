@@ -1,0 +1,44 @@
+//! Numerical substrate for the `tfet-sram` workspace.
+//!
+//! This crate collects the small, dependency-free numerical building blocks
+//! that the device models, the circuit simulator and the SRAM analysis layers
+//! share:
+//!
+//! * [`matrix`] — dense row-major matrices with LU factorization and linear
+//!   solves (circuit matrices in this workspace are tiny, ≤ ~20 unknowns, so a
+//!   dense direct solver is the right tool);
+//! * [`interp`] — one- and two-dimensional lookup tables with linear /
+//!   bilinear interpolation, mirroring the Verilog-A lookup-table device
+//!   modeling methodology of the reproduced paper;
+//! * [`roots`] — bracketing root finders (bisection, Brent) and a monotone
+//!   boolean binary search used for critical-pulse-width extraction;
+//! * [`sweep`] — parameter-sweep grid constructors (`linspace`, `logspace`);
+//! * [`stats`] — summary statistics and histograms for Monte-Carlo studies.
+//!
+//! # Examples
+//!
+//! Solving a small linear system:
+//!
+//! ```
+//! use tfet_numerics::matrix::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.solve(&[3.0, 5.0]).unwrap();
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod matrix;
+pub mod roots;
+pub mod stats;
+pub mod sweep;
+
+pub use interp::{Lut1d, Lut2d};
+pub use matrix::Matrix;
+pub use roots::{bisect, brent, critical_threshold};
+pub use stats::{Histogram, Summary};
+pub use sweep::{geomspace, linspace, logspace};

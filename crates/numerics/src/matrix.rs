@@ -1,0 +1,394 @@
+//! Dense row-major matrices and LU-based linear solves.
+//!
+//! Circuit matrices produced by modified nodal analysis of SRAM cells are
+//! small (≤ ~20 unknowns), so a dense LU factorization with partial pivoting
+//! is both the simplest and the fastest practical choice — sparse machinery
+//! would cost more in overhead than it saves.
+
+use std::fmt;
+
+/// Error returned when a linear solve cannot be completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The matrix is (numerically) singular; the pivot magnitude fell below
+    /// the stability threshold at the reported elimination step.
+    Singular {
+        /// Elimination step (column) at which the zero pivot was met.
+        step: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Number of rows in the matrix.
+        expected: usize,
+        /// Length of the supplied right-hand side.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            SolveError::DimensionMismatch { expected, got } => {
+                write!(f, "right-hand side has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A dense, row-major, square-or-rectangular matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::matrix::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 2);
+/// m[(0, 0)] = 4.0;
+/// m[(1, 1)] = 2.0;
+/// let x = m.solve(&[8.0, 2.0]).unwrap();
+/// assert_eq!(x, vec![2.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `value` to the entry at `(row, col)` — the "stamping" primitive
+    /// used by modified nodal analysis.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must match column count");
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solves `A · x = b` via LU factorization with partial pivoting.
+    ///
+    /// The matrix itself is not modified (a working copy is factorized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a pivot is smaller than
+    /// `~1e-300` in magnitude, and [`SolveError::DimensionMismatch`] when
+    /// `b.len() != self.rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        if b.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                got: b.len(),
+            });
+        }
+        let mut lu = Lu::factorize(self)?;
+        Ok(lu.solve_in_place(b.to_vec()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.5e}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// An LU factorization (with partial pivoting) of a square matrix.
+///
+/// Factorize once, then solve against many right-hand sides — the pattern the
+/// transient simulator uses inside a Newton iteration when the Jacobian is
+/// frozen.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+}
+
+/// Pivot magnitudes below this are treated as exact zeros (singularity).
+const PIVOT_EPS: f64 = 1e-300;
+
+impl Lu {
+    /// Factorizes `a` (which must be square).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] if a pivot underflows the stability
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factorize(a: &Matrix) -> Result<Self, SolveError> {
+        assert_eq!(a.rows, a.cols, "LU factorization requires a square matrix");
+        let n = a.rows;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: find the largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = lu[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < PIVOT_EPS {
+                return Err(SolveError::Singular { step: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm })
+    }
+
+    /// Solves `A · x = b` using the stored factorization, consuming `b` as
+    /// workspace and returning the solution.
+    pub fn solve_in_place(&mut self, b: Vec<f64>) -> Vec<f64> {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower-triangular L.
+        for r in 1..n {
+            let mut sum = x[r];
+            for (c, xc) in x.iter().enumerate().take(r) {
+                sum -= self.lu[r * n + c] * xc;
+            }
+            x[r] = sum;
+        }
+        // Back substitution with U.
+        for r in (0..n).rev() {
+            let mut sum = x[r];
+            for (c, xc) in x.iter().enumerate().skip(r + 1) {
+                sum -= self.lu[r * n + c] * xc;
+            }
+            x[r] = sum / self.lu[r * n + r];
+        }
+        x
+    }
+
+    /// Solves for a borrowed right-hand side.
+    pub fn solve(&mut self, b: &[f64]) -> Vec<f64> {
+        self.solve_in_place(b.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} !~ {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.25];
+        let x = m.solve(&b).unwrap();
+        assert_close(&x, &b, 1e-15);
+    }
+
+    #[test]
+    fn solves_2x2_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0], &[1.0, 4.0]]);
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-15);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(SolveError::Singular { step }) => assert_eq!(step, 1),
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Matrix::identity(3);
+        let err = a.solve(&[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn mul_vec_matches_manual_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let y = a.mul_vec(&[1.0, 0.0, -1.0]);
+        assert_close(&y, &[-2.0, -2.0], 1e-15);
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 2.5);
+        assert_eq!(m[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn lu_reuse_across_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let mut lu = Lu::factorize(&a).unwrap();
+        let x1 = lu.solve(&[5.0, 5.0]);
+        let x2 = lu.solve(&[9.0, 13.0]);
+        assert_close(&a.mul_vec(&x1), &[5.0, 5.0], 1e-12);
+        assert_close(&a.mul_vec(&x2), &[9.0, 13.0], 1e-12);
+    }
+
+    #[test]
+    fn solve_roundtrip_random_5x5() {
+        // Fixed "random-looking" well-conditioned matrix.
+        let a = Matrix::from_rows(&[
+            &[5.0, 1.0, 0.2, 0.0, 0.5],
+            &[1.0, 6.0, 1.5, 0.3, 0.0],
+            &[0.2, 1.5, 7.0, 1.0, 0.4],
+            &[0.0, 0.3, 1.0, 4.0, 1.2],
+            &[0.5, 0.0, 0.4, 1.2, 9.0],
+        ]);
+        let b = [1.0, -2.0, 3.0, -4.0, 5.0];
+        let x = a.solve(&b).unwrap();
+        assert_close(&a.mul_vec(&x), &b, 1e-10);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::identity(2);
+        assert!(!format!("{m}").is_empty());
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

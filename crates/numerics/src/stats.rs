@@ -1,0 +1,312 @@
+//! Summary statistics and histograms for Monte-Carlo studies.
+//!
+//! The paper's §4.3 presents process-variation results as histograms of
+//! `WL_crit` and normalized DRNM over Monte-Carlo samples; [`Histogram`] and
+//! [`Summary`] regenerate those panels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (interpolated).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains a non-finite value.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+
+    /// Coefficient of variation `σ / |µ|`, the spread measure the paper uses
+    /// implicitly when it calls a distribution "tight" or "varies greatly".
+    ///
+    /// Returns `f64::INFINITY` when the mean is zero.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std_dev / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4e} std={:.4e} min={:.4e} median={:.4e} max={:.4e}",
+            self.n, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+/// Interpolated percentile of pre-sorted data, `p ∈ [0, 100]`.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let t = rank - lo as f64;
+    sorted[lo] * (1.0 - t) + sorted[hi] * t
+}
+
+/// Interpolated percentile of arbitrary data, `p ∈ [0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, contains non-finite values, or `p` is outside
+/// `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "cannot take percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    assert!(
+        data.iter().all(|x| x.is_finite()),
+        "sample contains non-finite values"
+    );
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    percentile_sorted(&sorted, p)
+}
+
+/// A fixed-range, uniform-bin histogram.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 1.5, 9.9, 5.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts()[0], 2);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo`.
+    underflow: u64,
+    /// Samples at/above `hi`. The top bin is half-open, so `hi` itself lands
+    /// here except it is folded into the last bin for convenience.
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram needs lo < hi");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Creates a histogram spanning the data range and fills it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or all values are identical (zero-width
+    /// range) or any value is non-finite.
+    pub fn from_data(data: &[f64], bins: usize) -> Self {
+        let s = Summary::of(data);
+        assert!(s.min < s.max, "all samples identical; histogram range empty");
+        let mut h = Histogram::new(s.min, s.max, bins);
+        for &x in data {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else if x == self.hi {
+            // Fold the exact upper bound into the last bin.
+            *self.counts.last_mut().expect("bins > 0") += 1;
+        } else {
+            let bins = self.counts.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64) as usize;
+            self.counts[idx.min(bins - 1)] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Renders the histogram as `center count` rows, plus a text bar chart —
+    /// the form the figure-regeneration binaries print.
+    pub fn to_rows(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (center, count) in self.to_rows() {
+            let bar = "#".repeat((count * 40 / max) as usize);
+            writeln!(f, "{center:>12.4e} {count:>6} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_rejects_nan() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        let s = Summary::of(&[-1.0, 1.0]);
+        assert!(s.cv().is_infinite());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&data, 0.0) - 10.0).abs() < 1e-15);
+        assert!((percentile(&data, 100.0) - 40.0).abs() < 1e-15);
+        assert!((percentile(&data, 50.0) - 25.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0); // bin 0
+        h.add(0.999); // bin 0
+        h.add(9.5); // bin 9
+        h.add(10.0); // folded into bin 9
+        h.add(-1.0); // underflow
+        h.add(11.0); // overflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_from_data_covers_range() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_data(&data, 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn histogram_bin_centers_are_uniform() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-15);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_display_nonempty() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.25);
+        assert!(format!("{h}").contains('#'));
+    }
+}

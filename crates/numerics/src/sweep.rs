@@ -1,0 +1,124 @@
+//! Parameter-sweep grid constructors.
+//!
+//! Every experiment in the reproduced paper is a sweep — over gate voltage,
+//! cell ratio β, or supply voltage — so uniform and logarithmic grids are
+//! used throughout the workspace.
+
+/// `n` evenly spaced points covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `lo >= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::linspace;
+/// assert_eq!(linspace(0.0, 1.0, 3), vec![0.0, 0.5, 1.0]);
+/// ```
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least 2 points");
+    assert!(lo < hi, "linspace needs lo < hi");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            if i == n - 1 {
+                hi // exact endpoint, no accumulated rounding
+            } else {
+                lo + step * i as f64
+            }
+        })
+        .collect()
+}
+
+/// `n` logarithmically spaced points covering `[10^lo_exp, 10^hi_exp]`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `lo_exp >= hi_exp`.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::logspace;
+/// let pts = logspace(0.0, 2.0, 3);
+/// assert!((pts[1] - 10.0).abs() < 1e-12);
+/// ```
+pub fn logspace(lo_exp: f64, hi_exp: f64, n: usize) -> Vec<f64> {
+    linspace(lo_exp, hi_exp, n)
+        .into_iter()
+        .map(|e| 10f64.powf(e))
+        .collect()
+}
+
+/// `n` geometrically spaced points covering `[lo, hi]` (both positive).
+///
+/// # Panics
+///
+/// Panics if `n < 2`, either bound is non-positive, or `lo >= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::geomspace;
+/// let pts = geomspace(1.0, 100.0, 3);
+/// assert!((pts[1] - 10.0).abs() < 1e-12);
+/// ```
+pub fn geomspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > 0.0, "geomspace needs positive bounds");
+    logspace(lo.log10(), hi.log10(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_are_exact() {
+        let pts = linspace(0.1, 0.9, 17);
+        assert_eq!(pts.len(), 17);
+        assert_eq!(pts[0], 0.1);
+        assert_eq!(pts[16], 0.9);
+    }
+
+    #[test]
+    fn linspace_is_uniform() {
+        let pts = linspace(-1.0, 1.0, 5);
+        for w in pts.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn linspace_rejects_single_point() {
+        linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn linspace_rejects_inverted_range() {
+        linspace(1.0, 0.0, 3);
+    }
+
+    #[test]
+    fn logspace_covers_decades() {
+        let pts = logspace(-17.0, -4.0, 14);
+        assert!((pts[0] - 1e-17).abs() < 1e-29);
+        assert!((pts[13] - 1e-4).abs() < 1e-16);
+    }
+
+    #[test]
+    fn geomspace_is_geometric() {
+        let pts = geomspace(2.0, 32.0, 5);
+        for w in pts.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomspace_rejects_nonpositive() {
+        geomspace(0.0, 1.0, 3);
+    }
+}

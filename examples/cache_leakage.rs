@@ -1,0 +1,52 @@
+//! Cache leakage: the paper's motivating scenario, quantified.
+//!
+//! The DATE'11 introduction argues that SRAM dominates processor static
+//! power and that TFET cells can cut it by orders of magnitude. This example
+//! scales the measured per-cell hold power up to realistic cache arrays
+//! (32 KB L1 / 256 KB L2 / 8 MB LLC) across the supply range and prints the
+//! projected array leakage for the CMOS baseline and the proposed TFET cell.
+//!
+//! Run with: `cargo run --release --example cache_leakage`
+
+use tfet_sram::metrics::static_power;
+use tfet_sram::prelude::*;
+
+/// Cache configurations: (label, capacity in bytes).
+const CACHES: [(&str, usize); 3] = [
+    ("32 KB L1", 32 << 10),
+    ("256 KB L2", 256 << 10),
+    ("8 MB LLC", 8 << 20),
+];
+
+fn main() -> Result<(), SramError> {
+    println!("Per-cell hold power and projected array leakage");
+    println!("(6T cells; one cell per bit; peripheral leakage excluded)\n");
+
+    for vdd in [0.5, 0.6, 0.7, 0.8] {
+        let cmos = static_power(&CellParams::cmos6t().with_beta(1.5).with_vdd(vdd))?;
+        let tfet = static_power(
+            &CellParams::tfet6t(AccessConfig::InwardP)
+                .with_beta(0.6)
+                .with_vdd(vdd),
+        )?;
+        println!(
+            "VDD = {vdd:.1} V: cell leakage CMOS {cmos:9.2e} W, TFET {tfet:9.2e} W ({:.1} orders)",
+            (cmos / tfet).log10()
+        );
+        for (label, bytes) in CACHES {
+            let bits = (bytes * 8) as f64;
+            println!(
+                "    {label:>9}: CMOS {:9.3e} W   TFET {:9.3e} W",
+                cmos * bits,
+                tfet * bits
+            );
+        }
+    }
+
+    println!(
+        "\nA CMOS LLC leaks milliwatts from cell arrays alone; the TFET array\n\
+         leakage is below a nanowatt — the 6–7 order gap the paper reports,\n\
+         at array scale."
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Design explorer: retrace the paper's design flow end to end.
+//!
+//! The DATE'11 study proceeds in three screens, each reproduced here:
+//!
+//! 1. **Access-configuration screen (§3)** — of the four TFET access
+//!    orientations, eliminate the ones that leak (outward) or cannot write
+//!    (inward-n);
+//! 2. **Cell-ratio screen (Fig. 4)** — sweep β: small β writes, large β
+//!    reads; no β does both;
+//! 3. **Assist selection (§4 / Fig. 8)** — compare write-assist and
+//!    read-assist techniques and pick the cell ratio + technique pair
+//!    closest to the "lower-right corner" (large DRNM, small WL_crit).
+//!
+//! Run with: `cargo run --release --example design_explorer`
+
+use tfet_sram::assist::{ReadAssist, WriteAssist};
+use tfet_sram::explore::{beta_sweep, corner_score, ra_tradeoff, wa_tradeoff};
+use tfet_sram::metrics::{read_metrics, static_power, wl_crit, WlCrit};
+use tfet_sram::prelude::*;
+
+fn main() -> Result<(), SramError> {
+    // ---- Screen 1: access-transistor configuration (§3) -------------------
+    println!("== Screen 1: access configuration at beta = 0.8, VDD = 0.8 V ==");
+    println!("{:<10} {:>14} {:>12} {:>10}", "access", "static power", "WL_crit", "verdict");
+    let mut survivors = Vec::new();
+    for access in AccessConfig::ALL {
+        let params = CellParams::tfet6t(access).with_beta(0.8);
+        let power = static_power(&params)?;
+        let wl = wl_crit(&params, None)?;
+        let leaky = power > 1e-14;
+        let verdict = if leaky {
+            "leaks"
+        } else if wl.is_infinite() {
+            "can't write"
+        } else {
+            "viable"
+        };
+        let wl_str = match wl {
+            WlCrit::Finite(w) => format!("{:8.0} ps", w * 1e12),
+            WlCrit::Infinite => "     inf".to_string(),
+        };
+        println!("{access:<10?} {power:>12.2e} W {wl_str:>12} {verdict:>10}");
+        if verdict == "viable" {
+            survivors.push(access);
+        }
+    }
+    assert_eq!(survivors, vec![AccessConfig::InwardP], "paper §3 conclusion");
+    println!("-> only inward p-type access survives (paper §3)\n");
+
+    // ---- Screen 2: cell-ratio sweep (Fig. 4) ------------------------------
+    println!("== Screen 2: beta sweep of the 6T inpTFET cell ==");
+    println!("{:>6} {:>12} {:>12}", "beta", "DRNM (mV)", "WL_crit (ps)");
+    let base = CellParams::tfet6t(AccessConfig::InwardP);
+    let betas = [0.4, 0.6, 0.8, 1.0, 1.5, 2.0];
+    for pt in beta_sweep(&base, &betas)? {
+        let wl = match pt.wl_crit {
+            WlCrit::Finite(w) => format!("{:10.0}", w * 1e12),
+            WlCrit::Infinite => "       inf".to_string(),
+        };
+        println!("{:>6.2} {:>12.1} {:>12}", pt.beta, pt.drnm * 1e3, wl);
+    }
+    println!("-> small beta writes, large beta reads; no beta does both well\n");
+
+    // ---- Screen 3: assist selection (Fig. 8) ------------------------------
+    println!("== Screen 3: WA vs RA techniques (corner score: lower = better) ==");
+    let wa_betas = [1.2, 1.8, 2.5];
+    let ra_betas = [0.4, 0.6, 0.8];
+    // Scales for the corner score: 1 ns of WL_crit trades against 100 mV of
+    // DRNM.
+    let (wl_scale, drnm_scale) = (1e-9, 0.1);
+    let mut best: Option<(String, f64)> = None;
+    for wa in WriteAssist::ALL {
+        let curve = wa_tradeoff(&base, wa, &wa_betas)?;
+        report(&curve.label, corner_score(&curve, wl_scale, drnm_scale), &mut best);
+    }
+    for ra in ReadAssist::ALL {
+        let curve = ra_tradeoff(&base, ra, &ra_betas)?;
+        report(&curve.label, corner_score(&curve, wl_scale, drnm_scale), &mut best);
+    }
+    let (winner, _) = best.expect("at least one technique scores");
+    println!("-> selected technique: {winner}");
+
+    // ---- Final design ------------------------------------------------------
+    let final_params = base.clone().with_beta(0.6);
+    let read = read_metrics(&final_params, Some(ReadAssist::GndLowering))?;
+    let wl = wl_crit(&final_params, None)?;
+    println!("\n== Final design: beta = 0.6 + GND-lowering RA ==");
+    println!("DRNM = {:.1} mV, WL_crit = {:?}", read.drnm * 1e3, wl);
+    Ok(())
+}
+
+fn report(label: &str, score: Option<f64>, best: &mut Option<(String, f64)>) {
+    match score {
+        Some(s) => {
+            println!("{label:<24} corner score {s:+.3}");
+            if best.as_ref().is_none_or(|(_, b)| s < *b) {
+                *best = Some((label.to_string(), s));
+            }
+        }
+        None => println!("{label:<24} no writable point"),
+    }
+}

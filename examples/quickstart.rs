@@ -1,0 +1,49 @@
+//! Quickstart: measure the paper's proposed SRAM cell.
+//!
+//! Builds the DATE'11 design — a 6T TFET cell with inward p-type access
+//! transistors, sized at cell ratio β = 0.6 to favour the write, read with
+//! GND-lowering read assist — and reports every §5 metric next to the 6T
+//! CMOS baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tfet_sram::metrics::{read_metrics, static_power, wl_crit, write_delay, WlCrit};
+use tfet_sram::prelude::*;
+
+fn main() -> Result<(), SramError> {
+    println!("== 6T inward-pTFET SRAM, beta = 0.6, GND-lowering RA (proposed) ==");
+    let proposed = CellParams::tfet6t(AccessConfig::InwardP)
+        .with_beta(0.6)
+        .with_vdd(0.8);
+
+    let power = static_power(&proposed)?;
+    println!("hold static power : {:10.3e} W", power);
+
+    let read = read_metrics(&proposed, Some(ReadAssist::GndLowering))?;
+    println!("DRNM (with RA)    : {:10.1} mV", read.drnm * 1e3);
+    match read.read_delay {
+        Some(d) => println!("read delay (50 mV): {:10.1} ps", d * 1e12),
+        None => println!("read delay        : sense signal did not develop"),
+    }
+
+    match wl_crit(&proposed, None)? {
+        WlCrit::Finite(w) => println!("WL_crit           : {:10.1} ps", w * 1e12),
+        WlCrit::Infinite => println!("WL_crit           : write fails"),
+    }
+    if let Some(d) = write_delay(&proposed, None)? {
+        println!("write delay       : {:10.1} ps", d * 1e12);
+    }
+
+    println!("\n== 6T CMOS SRAM baseline (32 nm LP class, beta = 1.5) ==");
+    let cmos = CellParams::cmos6t().with_beta(1.5).with_vdd(0.8);
+    let cmos_power = static_power(&cmos)?;
+    println!("hold static power : {:10.3e} W", cmos_power);
+    let cmos_read = read_metrics(&cmos, None)?;
+    println!("DRNM              : {:10.1} mV", cmos_read.drnm * 1e3);
+
+    println!(
+        "\nTFET cell leaks {:.1} orders of magnitude less than CMOS in hold.",
+        (cmos_power / power).log10()
+    );
+    Ok(())
+}

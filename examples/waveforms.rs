@@ -1,0 +1,71 @@
+//! Waveform viewer: watch a write and a read happen.
+//!
+//! Renders the storage-node and bitline transients of the proposed cell as
+//! ASCII strip charts — the closest a terminal gets to the paper's scope
+//! shots, and a direct exercise of the circuit simulator's probe API.
+//!
+//! Run with: `cargo run --release --example waveforms`
+
+use tfet_circuit::{NodeId, TransientResult};
+use tfet_sram::ops::{run_read, run_write};
+use tfet_sram::prelude::*;
+
+/// Renders one node's trace as a row of 64 sample buckets mapped to glyphs.
+fn strip(result: &TransientResult, node: NodeId, label: &str, v_max: f64) {
+    const WIDTH: usize = 64;
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    let times = result.times();
+    let t_end = *times.last().expect("nonempty");
+    let mut row = String::with_capacity(WIDTH);
+    for k in 0..WIDTH {
+        let t = t_end * (k as f64 + 0.5) / WIDTH as f64;
+        let v = result.voltage_at(node, t).clamp(0.0, v_max);
+        let g = ((v / v_max) * (GLYPHS.len() - 1) as f64).round() as usize;
+        row.push(GLYPHS[g] as char);
+    }
+    println!("{label:>4} |{row}|");
+}
+
+fn main() -> Result<(), SramError> {
+    let params = CellParams::tfet6t(AccessConfig::InwardP)
+        .with_beta(0.6)
+        .with_vdd(0.8);
+    let v_max = 1.05 * params.vdd;
+
+    println!("== write q: 1 -> 0 (wordline pulse 1.5 ns) ==");
+    let w = run_write(&params, None, 1.5e-9)?;
+    println!(
+        "0 ns {}--{:.1} ns; WL active {:.2}-{:.2} ns; flipped = {}",
+        " ".repeat(48),
+        w.t_end * 1e9,
+        w.t_wl_on * 1e9,
+        w.t_wl_off * 1e9,
+        w.flipped()
+    );
+    for (node, label) in [(w.nodes.q, "q"), (w.nodes.qb, "qb"), (w.nodes.wl, "wl")] {
+        strip(&w.result, node, label, v_max);
+    }
+
+    println!("\n== read of q = 0 (GND-lowering RA) ==");
+    let r = run_read(&params, Some(ReadAssist::GndLowering))?;
+    println!(
+        "0 ns {}--{:.1} ns; WL active {:.2}-{:.2} ns; DRNM = {:.0} mV",
+        " ".repeat(48),
+        r.result.times().last().unwrap() * 1e9,
+        r.t_wl_on * 1e9,
+        r.t_wl_off * 1e9,
+        r.drnm() * 1e3
+    );
+    for (node, label) in [
+        (r.nodes.q, "q"),
+        (r.nodes.qb, "qb"),
+        (r.nodes.bl, "bl"),
+        (r.nodes.blb, "blb"),
+    ] {
+        strip(&r.result, node, label, v_max);
+    }
+    if let Some(d) = r.read_delay(0.05) {
+        println!("50 mV bitline differential after {:.0} ps", d * 1e12);
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Integration-test crate: see `tests/` for the cross-crate suites that
+//! reproduce the paper's end-to-end claims. The library itself is empty.

@@ -1,0 +1,211 @@
+//! End-to-end reproduction of the paper's central claims, each exercised
+//! through the full stack (device model → circuit simulator → SRAM layer).
+//!
+//! Section references are to Yang & Mohanram, *Robust 6T Si tunneling
+//! transistor SRAM design*, DATE 2011.
+
+use tfet_sram::compare::Design;
+use tfet_sram::explore::{corner_score, ra_tradeoff, wa_tradeoff};
+use tfet_sram::metrics::{read_metrics, static_power, wl_crit};
+use tfet_sram::prelude::*;
+
+/// Fast-but-accurate simulation settings for integration tests.
+fn fast(params: CellParams) -> CellParams {
+    let mut p = params;
+    p.sim.dt = 2e-12;
+    p.sim.pulse_tol = 8e-12;
+    p
+}
+
+/// §3: "the 6T TFET SRAM based on outward access transistors consumes 5 and
+/// 9 orders of magnitude higher static power than the TFET SRAM based on
+/// inward access transistors at supply voltage of 0.6 V and 0.8 V".
+#[test]
+fn s3_outward_access_leaks_orders_more() {
+    for (vdd, lo, hi) in [(0.6, 3.0, 7.5), (0.8, 6.0, 11.0)] {
+        let inward = static_power(
+            &CellParams::tfet6t(AccessConfig::InwardP).with_vdd(vdd),
+        )
+        .unwrap();
+        for outward in [AccessConfig::OutwardN, AccessConfig::OutwardP] {
+            let p = static_power(&CellParams::tfet6t(outward).with_vdd(vdd)).unwrap();
+            let orders = (p / inward).log10();
+            assert!(
+                (lo..hi).contains(&orders),
+                "{outward:?} at {vdd} V: {orders:.1} orders over inward"
+            );
+        }
+    }
+}
+
+/// §3: "inward ntfets cannot be used as the access transistors" — infinite
+/// WL_crit at every cell ratio.
+#[test]
+fn s3_inward_n_cannot_write_at_any_beta() {
+    for beta in [0.3, 0.8, 1.5] {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardN).with_beta(beta));
+        assert!(
+            wl_crit(&p, None).unwrap().is_infinite(),
+            "inward-n must fail at β={beta}"
+        );
+    }
+}
+
+/// §3 / Fig. 4(b): inward-p writes at β ≤ 1 and fails at larger β.
+#[test]
+fn s3_inward_p_write_boundary_near_beta_one() {
+    let works = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.8));
+    assert!(!wl_crit(&works, None).unwrap().is_infinite());
+    let fails = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+    assert!(wl_crit(&fails, None).unwrap().is_infinite());
+}
+
+/// §3 note: "if an SRAM architecture allows both bitlines to be clamped to
+/// ground instead of V_DD during hold condition, outward TFETs should be
+/// used" — the 7T cell does exactly this with its write bitlines and pays
+/// no reverse-bias leakage.
+#[test]
+fn s3_outward_access_is_fine_with_grounded_bitlines() {
+    let seven_t = static_power(&CellParams::new(CellKind::Tfet7T)).unwrap();
+    let inward = static_power(&CellParams::tfet6t(AccessConfig::InwardP)).unwrap();
+    let ratio = (seven_t / inward).log10().abs();
+    assert!(ratio < 1.0, "7T ≈ inward 6T hold power, {ratio:.2} orders apart");
+}
+
+/// §4 / Fig. 8: GND-lowering RA is the most effective technique — its
+/// tradeoff curve comes closest to the lower-right corner.
+#[test]
+fn s4_gnd_lowering_ra_wins_the_tradeoff() {
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+    let wa_betas = [1.2, 2.0];
+    let ra_betas = [0.5, 0.7];
+    let (wl_scale, drnm_scale) = (1e-9, 0.1);
+
+    let mut scores = Vec::new();
+    for wa in WriteAssist::ALL {
+        let curve = wa_tradeoff(&base, wa, &wa_betas).unwrap();
+        if let Some(s) = corner_score(&curve, wl_scale, drnm_scale) {
+            scores.push((curve.label.clone(), s));
+        }
+    }
+    for ra in ReadAssist::ALL {
+        let curve = ra_tradeoff(&base, ra, &ra_betas).unwrap();
+        if let Some(s) = corner_score(&curve, wl_scale, drnm_scale) {
+            scores.push((curve.label.clone(), s));
+        }
+    }
+    let best = scores
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("scores exist");
+    assert_eq!(
+        best.0, "GND lowering RA",
+        "paper's winning technique, got {scores:?}"
+    );
+}
+
+/// §4.2: at larger cell ratios the rail-strengthening read assists beat the
+/// access-weakening ones, and wordline raising is competitive only at very
+/// small β (Fig. 7e crossover).
+#[test]
+fn s4_ra_effectiveness_crossover_with_beta() {
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+    // Large β: GND lowering beats wordline raising.
+    let big = 0.9;
+    let gnd = read_metrics(&base.clone().with_beta(big), Some(ReadAssist::GndLowering))
+        .unwrap()
+        .drnm;
+    let wlr = read_metrics(&base.clone().with_beta(big), Some(ReadAssist::WordlineRaising))
+        .unwrap()
+        .drnm;
+    assert!(gnd > wlr, "at β={big}: GND-lowering {gnd} !> WL-raising {wlr}");
+}
+
+/// §5: the proposed design dominates the other TFET SRAMs on write
+/// reliability and matches the 7T on static power; CMOS pays 6–7 orders of
+/// static power for its performance.
+#[test]
+fn s5_scorecard_orderings() {
+    let vdd = 0.8;
+    let mut cards = Vec::new();
+    for d in Design::ALL {
+        let mut params = d.params(vdd);
+        params.sim.dt = 2e-12;
+        params.sim.pulse_tol = 8e-12;
+        // Rebuild the scorecard with fast sim options.
+        let read = read_metrics(&params, d.read_assist()).unwrap();
+        let wl = match wl_crit(&params, None) {
+            Ok(w) => Some(w),
+            Err(SramError::Undefined { .. }) => None,
+            Err(e) => panic!("{e}"),
+        };
+        let power = static_power(&params).unwrap();
+        cards.push((d, read, wl, power));
+    }
+
+    let get = |d: Design| cards.iter().find(|c| c.0 == d).unwrap();
+    let proposed = get(Design::Proposed);
+    let cmos = get(Design::Cmos);
+    let seven = get(Design::Tfet7T);
+    let asym = get(Design::Asym6T);
+
+    // Static power: proposed ≈ 7T ≪ asym ≪ CMOS-ish ordering.
+    assert!((seven.3 / proposed.3).log10().abs() < 1.0);
+    let cmos_gap = (cmos.3 / proposed.3).log10();
+    assert!((5.0..8.5).contains(&cmos_gap), "CMOS gap {cmos_gap:.1}");
+    assert!(asym.3 > 10.0 * proposed.3, "asym must leak ≫ proposed");
+
+    // Write margin: CMOS < proposed < 7T; asym undefined.
+    let w_p = proposed.2.unwrap().as_finite().expect("proposed writes");
+    let w_c = cmos.2.unwrap().as_finite().expect("CMOS writes");
+    assert!(w_c < w_p, "CMOS WL_crit {w_c:e} < proposed {w_p:e}");
+    assert!(asym.2.is_none(), "asym WL_crit undefined");
+
+    // Reads are non-destructive everywhere.
+    for (d, read, _, _) in &cards {
+        assert!(read.drnm > 0.0, "{d:?} read must not destroy the cell");
+    }
+    // 7T read is decoupled: near-full-rail margin.
+    assert!(seven.1.drnm > 0.9 * vdd);
+}
+
+/// §5 / Fig. 12(b): at the default supply the proposed design's assisted
+/// DRNM beats the unassisted plain cell by roughly the assist level.
+#[test]
+fn s5_assisted_drnm_exceeds_plain_by_assist_level() {
+    let p = fast(
+        CellParams::tfet6t(AccessConfig::InwardP)
+            .with_beta(0.6)
+            .with_vdd(0.8),
+    );
+    let plain = read_metrics(&p, None).unwrap().drnm;
+    let assisted = read_metrics(&p, Some(ReadAssist::GndLowering)).unwrap().drnm;
+    let gain = assisted - plain;
+    assert!(
+        (0.1..0.6).contains(&gain),
+        "RA gain {gain} should be near the 0.24 V assist level"
+    );
+}
+
+/// §6 (conclusions): the complete proposed design is simultaneously
+/// writable, readable, robust, small, and ultra-low-leakage at every supply
+/// in the paper's range.
+#[test]
+fn s6_proposed_design_works_across_supply_range() {
+    for vdd in [0.6, 0.7, 0.8, 0.9] {
+        let mut p = fast(
+            CellParams::tfet6t(AccessConfig::InwardP)
+                .with_beta(0.6)
+                .with_vdd(vdd),
+        );
+        // Dynamics slow exponentially at reduced supply; stretch the time
+        // budgets accordingly (see SimOptions::rescale_for_supply).
+        p.sim.rescale_for_supply(vdd);
+        let wl = wl_crit(&p, None).unwrap();
+        assert!(!wl.is_infinite(), "write fails at {vdd} V");
+        let read = read_metrics(&p, Some(ReadAssist::GndLowering)).unwrap();
+        assert!(read.drnm > 0.0, "read fails at {vdd} V");
+        let power = static_power(&p).unwrap();
+        assert!(power < 1e-15, "leakage {power:e} too high at {vdd} V");
+    }
+}
