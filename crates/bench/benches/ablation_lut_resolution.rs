@@ -14,13 +14,7 @@ use tfet_devices::{LutDevice, NTfet, PTfet};
 /// Worst relative current error over an operating-region probe set.
 fn device_error(lut: &LutDevice<NTfet>, analytic: &NTfet) -> f64 {
     let mut worst = 0.0f64;
-    for &(vg, vd) in &[
-        (0.8, 0.8),
-        (0.6, 0.4),
-        (0.45, 0.7),
-        (0.9, 0.2),
-        (0.7, 0.55),
-    ] {
+    for &(vg, vd) in &[(0.8, 0.8), (0.6, 0.4), (0.45, 0.7), (0.9, 0.2), (0.7, 0.55)] {
         let a = analytic.ids_per_um(vg, vd, 0.0);
         let l = lut.ids_per_um(vg, vd, 0.0);
         worst = worst.max((a - l).abs() / a.abs().max(1e-18));
@@ -45,13 +39,15 @@ fn sweep() -> Table {
     let mut t = Table::new(
         "Ablation A1",
         "LUT grid resolution vs device and circuit error",
-        &["grid", "step_mV", "worst_dev_err_pct", "inverter_vout_err_mV"],
+        &[
+            "grid",
+            "step_mV",
+            "worst_dev_err_pct",
+            "inverter_vout_err_mV",
+        ],
     );
     let analytic = NTfet::nominal();
-    let exact = inverter_vout(
-        Arc::new(NTfet::nominal()),
-        Arc::new(PTfet::nominal()),
-    );
+    let exact = inverter_vout(Arc::new(NTfet::nominal()), Arc::new(PTfet::nominal()));
     for n_pts in [25usize, 61, 121, 241, 481] {
         let lut_n = LutDevice::compile(NTfet::nominal(), (-1.2, 1.2), n_pts, (-1.2, 1.2), n_pts);
         let lut_p = LutDevice::compile(PTfet::nominal(), (-1.2, 1.2), n_pts, (-1.2, 1.2), n_pts);
@@ -64,7 +60,9 @@ fn sweep() -> Table {
             format!("{:.2}", (vout - exact).abs() * 1e3),
         ]);
     }
-    t.note("the paper's 10 mV-class tables (241x241) keep device error ~1% and circuit error sub-mV");
+    t.note(
+        "the paper's 10 mV-class tables (241x241) keep device error ~1% and circuit error sub-mV",
+    );
     t
 }
 

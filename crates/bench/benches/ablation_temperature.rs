@@ -23,12 +23,8 @@ fn sweep() -> Table {
                 .with_temperature(temp),
         )
         .expect("tfet hold");
-        let cmos = static_power(
-            &CellParams::cmos6t()
-                .with_beta(1.5)
-                .with_temperature(temp),
-        )
-        .expect("cmos hold");
+        let cmos = static_power(&CellParams::cmos6t().with_beta(1.5).with_temperature(temp))
+            .expect("cmos hold");
         t.push_row(vec![
             format!("{temp:.0}"),
             sci(tfet),

@@ -18,7 +18,13 @@ fn static_vs_dynamic() -> Table {
     let mut t = Table::new(
         "Ablation A5",
         "static read SNM vs dynamic DRNM across beta (no assists)",
-        &["beta", "hold_snm_mV", "read_snm_mV", "drnm_mV", "dynamic_advantage_mV"],
+        &[
+            "beta",
+            "hold_snm_mV",
+            "read_snm_mV",
+            "drnm_mV",
+            "dynamic_advantage_mV",
+        ],
     );
     for beta in [0.6, 1.0, 1.5, 2.0] {
         let mut p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(beta);

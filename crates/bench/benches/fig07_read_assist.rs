@@ -13,7 +13,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07_read_assist");
     g.sample_size(10);
     g.bench_function("drnm_with_gnd_lowering", |b| {
-        b.iter(|| black_box(read_metrics(&params, Some(ReadAssist::GndLowering)).unwrap().drnm))
+        b.iter(|| {
+            black_box(
+                read_metrics(&params, Some(ReadAssist::GndLowering))
+                    .unwrap()
+                    .drnm,
+            )
+        })
     });
     g.bench_function("drnm_with_wordline_raising", |b| {
         b.iter(|| {

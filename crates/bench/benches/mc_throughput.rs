@@ -1,0 +1,55 @@
+//! Monte-Carlo throughput: samples/second for the WL_crit study at n = 256.
+//!
+//! Compares the study's configurations to the serial analytic baseline:
+//!
+//! * `serial_analytic` — one worker, analytic device models (the original
+//!   code path before the parallel engine, modulo the reusable workspaces);
+//! * `serial_cached_lut` — one worker, devices served from the shared
+//!   compiled-LUT corner cache;
+//! * `default_threads` — the machine-default worker count with cached LUTs
+//!   (the configuration sweeps and studies actually use).
+//!
+//! The headline ratio (`serial_analytic` time / `default_threads` time) is
+//! the speedup recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments::fast;
+use tfet_sram::montecarlo::{mc_wl_crit_with, McConfig};
+use tfet_sram::prelude::*;
+
+const N: usize = 256;
+
+fn base() -> CellParams {
+    fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc_throughput");
+    g.sample_size(10);
+
+    let analytic = base();
+    g.bench_function("wl_crit_n256_serial_analytic", |b| {
+        b.iter(|| {
+            black_box(
+                mc_wl_crit_with(&analytic, None, N, McConfig::new(7).with_threads(1)).unwrap(),
+            )
+        })
+    });
+
+    let lut = base().with_lut_devices();
+    g.bench_function("wl_crit_n256_serial_cached_lut", |b| {
+        b.iter(|| {
+            black_box(mc_wl_crit_with(&lut, None, N, McConfig::new(7).with_threads(1)).unwrap())
+        })
+    });
+
+    g.bench_function("wl_crit_n256_default_threads", |b| {
+        b.iter(|| black_box(mc_wl_crit_with(&lut, None, N, McConfig::new(7)).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -57,12 +57,11 @@ fn main() {
 
     for t in &tables {
         println!("{}", t.render());
-        let slug: String = t
-            .id
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect::<String>()
-            .to_lowercase();
+        let slug: String =
+            t.id.chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+                .to_lowercase();
         let path = format!("{out_dir}/{slug}.csv");
         fs::write(&path, t.to_csv()).expect("write csv");
         println!("-> {path}\n");

@@ -9,7 +9,7 @@ use crate::{mv, ps, sci, Table};
 use tfet_devices::calibration::characterize;
 use tfet_devices::model::DeviceModel;
 use tfet_devices::{NTfet, PTfet};
-use tfet_numerics::{linspace, Histogram, Summary};
+use tfet_numerics::{linspace, par_map, Histogram, Summary};
 use tfet_sram::area::area_of;
 use tfet_sram::compare::Design;
 use tfet_sram::explore::{beta_sweep, corner_score, ra_tradeoff, wa_tradeoff};
@@ -149,7 +149,13 @@ pub fn fig06(betas: &[f64]) -> Table {
     let mut t = Table::new(
         "Fig. 6(e)",
         "WL_crit vs beta under each write-assist technique (30% VDD)",
-        &["beta", "vdd_lower_ps", "gnd_raise_ps", "wl_lower_ps", "bl_raise_ps"],
+        &[
+            "beta",
+            "vdd_lower_ps",
+            "gnd_raise_ps",
+            "wl_lower_ps",
+            "bl_raise_ps",
+        ],
     );
     // VDD lowering acts through slow reverse conduction in a unidirectional
     // cell; give the search a larger pulse budget.
@@ -194,18 +200,23 @@ pub fn fig07(betas: &[f64]) -> Table {
         ],
     );
     let base = inp_cell(1.0);
-    for &beta in betas {
-        let p = base.clone().with_beta(beta);
+    let assists = [
+        Some(ReadAssist::VddRaising),
+        Some(ReadAssist::GndLowering),
+        Some(ReadAssist::WordlineRaising),
+        Some(ReadAssist::BitlineLowering),
+        None,
+    ];
+    // One grid point per (β, assist) pair, fanned out together.
+    let grid = par_map(betas.len() * assists.len(), None, |i| {
+        let p = base.clone().with_beta(betas[i / assists.len()]);
+        mv(read_metrics(&p, assists[i % assists.len()])
+            .expect("read")
+            .drnm)
+    });
+    for (k, &beta) in betas.iter().enumerate() {
         let mut row = vec![format!("{beta:.2}")];
-        for ra in [
-            Some(ReadAssist::VddRaising),
-            Some(ReadAssist::GndLowering),
-            Some(ReadAssist::WordlineRaising),
-            Some(ReadAssist::BitlineLowering),
-            None,
-        ] {
-            row.push(mv(read_metrics(&p, ra).expect("read").drnm));
-        }
+        row.extend_from_slice(&grid[k * assists.len()..(k + 1) * assists.len()]);
         t.push_row(row);
     }
     t.note("paper shape: rail assists (VDD raise / GND lower) best at large beta");
@@ -254,7 +265,9 @@ pub fn fig08(wa_betas: &[f64], ra_betas: &[f64]) -> Table {
         }
     }
     if let Some((label, _)) = best {
-        t.note(format!("best technique (closest to lower-right corner): {label} (paper: GND lowering RA)"));
+        t.note(format!(
+            "best technique (closest to lower-right corner): {label} (paper: GND lowering RA)"
+        ));
     }
     t
 }
@@ -344,37 +357,40 @@ pub fn fig10(n: usize, seed: u64) -> Table {
     if gnd.iter().any(|&v| v != gnd[0]) {
         let h = Histogram::from_data(&gnd, 8);
         for (center, count) in h.to_rows() {
-            t.note(format!("gnd-lowering DRNM hist: {:.1} mV -> {count}", center * 1e3));
+            t.note(format!(
+                "gnd-lowering DRNM hist: {:.1} mV -> {count}",
+                center * 1e3
+            ));
         }
     }
     t
 }
 
 /// Figs. 11–12 shared engine: scorecards of the four §5 designs across V_DD.
+/// The supply × design grid is one parallel fan-out; rows come back in
+/// supply-major order regardless of the thread count.
 fn scorecards(vdds: &[f64]) -> Vec<(Design, f64, ScoreLite)> {
-    let mut out = Vec::new();
-    for &vdd in vdds {
-        for d in Design::ALL {
-            let params = fast(d.params(vdd));
-            let read = read_metrics(&params, d.read_assist()).expect("read");
-            let wl = match wl_crit(&params, None) {
-                Ok(w) => Some(w),
-                Err(SramError::Undefined { .. }) => None,
-                Err(e) => panic!("{e}"),
-            };
-            out.push((
-                d,
-                vdd,
-                ScoreLite {
-                    write_delay: write_delay(&params, None).expect("write delay"),
-                    read_delay: read.read_delay,
-                    drnm: read.drnm,
-                    wl_crit: wl,
-                },
-            ));
-        }
-    }
-    out
+    let designs = Design::ALL;
+    par_map(vdds.len() * designs.len(), None, |i| {
+        let (d, vdd) = (designs[i % designs.len()], vdds[i / designs.len()]);
+        let params = fast(d.params(vdd));
+        let read = read_metrics(&params, d.read_assist()).expect("read");
+        let wl = match wl_crit(&params, None) {
+            Ok(w) => Some(w),
+            Err(SramError::Undefined { .. }) => None,
+            Err(e) => panic!("{e}"),
+        };
+        (
+            d,
+            vdd,
+            ScoreLite {
+                write_delay: write_delay(&params, None).expect("write delay"),
+                read_delay: read.read_delay,
+                drnm: read.drnm,
+                wl_crit: wl,
+            },
+        )
+    })
 }
 
 /// Condensed scorecard used by the Fig. 11/12 tables.
@@ -390,12 +406,7 @@ pub fn fig11(vdds: &[f64]) -> Table {
     let mut t = Table::new(
         "Fig. 11",
         "write/read delay vs VDD (proposed, CMOS, asym 6T, 7T)",
-        &[
-            "vdd_V",
-            "design",
-            "write_delay_ps",
-            "read_delay_ps",
-        ],
+        &["vdd_V", "design", "write_delay_ps", "read_delay_ps"],
     );
     for (d, vdd, s) in scorecards(vdds) {
         t.push_row(vec![
@@ -432,20 +443,29 @@ pub fn table_static_power(vdds: &[f64]) -> Table {
     let mut t = Table::new(
         "T1 (§5)",
         "hold static power (W) per design and VDD",
-        &["vdd_V", "proposed_W", "cmos_W", "asym6t_W", "tfet7t_W", "cmos_gap_orders"],
+        &[
+            "vdd_V",
+            "proposed_W",
+            "cmos_W",
+            "asym6t_W",
+            "tfet7t_W",
+            "cmos_gap_orders",
+        ],
     );
-    for &vdd in vdds {
-        let get = |d: Design| static_power(&fast(d.params(vdd))).expect("power");
-        let p = get(Design::Proposed);
-        let c = get(Design::Cmos);
-        let a = get(Design::Asym6T);
-        let s7 = get(Design::Tfet7T);
+    let designs = Design::ALL;
+    let powers = par_map(vdds.len() * designs.len(), None, |i| {
+        let (d, vdd) = (designs[i % designs.len()], vdds[i / designs.len()]);
+        static_power(&fast(d.params(vdd))).expect("power")
+    });
+    for (k, &vdd) in vdds.iter().enumerate() {
+        let row = &powers[k * designs.len()..(k + 1) * designs.len()];
+        let (p, c) = (row[0], row[1]);
         t.push_row(vec![
             format!("{vdd:.1}"),
             sci(p),
             sci(c),
-            sci(a),
-            sci(s7),
+            sci(row[2]),
+            sci(row[3]),
             format!("{:.1}", (c / p).log10()),
         ]);
     }
@@ -499,7 +519,10 @@ mod tests {
         let t = fig04(&[0.6, 2.0]);
         assert_eq!(t.rows.len(), 2);
         // inward-n infinite everywhere.
-        assert!(t.notes.iter().any(|n| n.contains("infinite at every beta: true")));
+        assert!(t
+            .notes
+            .iter()
+            .any(|n| n.contains("infinite at every beta: true")));
     }
 
     #[test]
@@ -512,11 +535,7 @@ mod tests {
             .iter()
             .map(|r| r[2].parse::<f64>().unwrap())
             .collect();
-        let seven = t
-            .rows
-            .iter()
-            .position(|r| r[0].contains("7T"))
-            .unwrap();
+        let seven = t.rows.iter().position(|r| r[0].contains("7T")).unwrap();
         assert!(rel.iter().all(|&x| x <= rel[seven]));
     }
 

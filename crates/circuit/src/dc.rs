@@ -15,8 +15,7 @@
 use crate::error::SimError;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId, SourceId};
-use tfet_numerics::matrix::Lu;
-use tfet_numerics::Matrix;
+use crate::workspace::{with_workspace, NewtonWorkspace, SolverBufs};
 
 /// Newton iteration controls.
 #[derive(Debug, Clone, Copy)]
@@ -49,13 +48,15 @@ impl Default for NewtonOpts {
 /// residual g_min would inject.
 const GMIN_LADDER: &[f64] = &[1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0];
 
-/// Runs damped Newton at fixed `t`/`gmin`/`caps` from `x0`.
+/// Runs damped Newton at fixed `t`/`gmin`/`caps` from `x0`, using (and
+/// reusing) the buffers in `bufs` — a steady-state call allocates nothing.
 ///
 /// Returns the converged state, or the pair `(best_state, error)` on
 /// failure so ladders can continue from partial progress.
 #[allow(clippy::too_many_arguments)] // solver-internal
 pub(crate) fn newton(
     mna: &Mna<'_>,
+    bufs: &mut SolverBufs,
     mut x: Vec<f64>,
     t: f64,
     gmin: f64,
@@ -66,18 +67,19 @@ pub(crate) fn newton(
 ) -> Result<Vec<f64>, (Vec<f64>, SimError)> {
     let n = mna.unknown_count();
     let n_v = mna.voltage_count();
-    let mut j = Matrix::zeros(n, n);
-    let mut f = vec![0.0; n];
+    bufs.ensure(n);
 
     let mut last_delta = f64::INFINITY;
     for iter in 0..opts.max_iter {
-        mna.assemble(&x, t, gmin, anchor, caps, &mut j, &mut f);
-        let mut lu = match Lu::factorize(&j) {
-            Ok(lu) => lu,
-            Err(e) => return Err((x, SimError::from_solve(e, time_label))),
-        };
-        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-        let dx = lu.solve_in_place(rhs);
+        mna.assemble(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f);
+        if let Err(e) = bufs.lu.factorize(&bufs.j) {
+            return Err((x, SimError::from_solve(e, time_label)));
+        }
+        for (r, v) in bufs.rhs.iter_mut().zip(&bufs.f) {
+            *r = -v;
+        }
+        bufs.lu.solve_into(&bufs.rhs, &mut bufs.dx);
+        let dx = &bufs.dx;
 
         // Undamped voltage-update magnitude decides convergence.
         let max_dv = dx[..n_v].iter().fold(0.0f64, |m, d| m.max(d.abs()));
@@ -98,7 +100,7 @@ pub(crate) fn newton(
         } else {
             1.0
         };
-        for (xi, di) in x.iter_mut().zip(&dx) {
+        for (xi, di) in x.iter_mut().zip(dx) {
             *xi += scale * di;
         }
         last_delta = max_dv;
@@ -124,8 +126,11 @@ pub(crate) fn newton(
 /// a multistable circuit need this: a bare Newton iteration is free to
 /// converge to any solution — including the SRAM cell's metastable point —
 /// no matter how suggestive the starting point was.
+#[allow(clippy::too_many_arguments)] // solver-internal
 pub(crate) fn solve_op(
     mna: &Mna<'_>,
+    bufs: &mut SolverBufs,
+    anchor_buf: &mut Vec<f64>,
     x0: Vec<f64>,
     t: f64,
     caps: Option<&CompanionCaps>,
@@ -133,21 +138,42 @@ pub(crate) fn solve_op(
     time_label: Option<f64>,
     anchored: bool,
 ) -> Result<Vec<f64>, SimError> {
+    // Snapshot the initial guess into the reusable anchor buffer: the plain
+    // Newton fast path needs it to restart on failure, the g_min ladder
+    // needs it as the basin-preserving anchor. Copying into the retained
+    // buffer keeps the hot path (fast-path success, the outcome of nearly
+    // every transient step) allocation-free.
+    anchor_buf.clear();
+    anchor_buf.extend_from_slice(&x0);
+    let mut x = x0;
     if !anchored {
         // Fast path: plain Newton from the guess.
-        match newton(mna, x0.clone(), t, 0.0, None, caps, opts, time_label) {
+        match newton(mna, bufs, x, t, 0.0, None, caps, opts, time_label) {
             Ok(x) => return Ok(x),
-            Err(_) => { /* fall through to the ladder */ }
+            Err((best, _)) => {
+                // Reuse the returned vector; restart the ladder from the
+                // original guess.
+                x = best;
+                x.copy_from_slice(anchor_buf);
+            }
         }
     }
     // g_min ladder, carrying the state forward. The ladder conductances
     // anchor every node to the *initial guess*, not to ground — for a
     // bistable circuit this keeps the solve in the basin the caller chose.
-    let anchor = x0.clone();
-    let mut x = x0;
     let mut last_err = None;
     for &gmin in GMIN_LADDER {
-        match newton(mna, x.clone(), t, gmin, Some(&anchor), caps, opts, time_label) {
+        match newton(
+            mna,
+            bufs,
+            x.clone(),
+            t,
+            gmin,
+            Some(anchor_buf),
+            caps,
+            opts,
+            time_label,
+        ) {
             Ok(next) => x = next,
             Err((best, e)) => {
                 // Keep partial progress; a failure mid-ladder can still
@@ -235,6 +261,25 @@ impl Circuit {
     /// basin.
     pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SimError> {
         let mna = Mna::new(self)?;
+        let x = with_workspace(|ws| self.dc_state_with(&mna, guess, ws))?;
+        Ok(DcResult {
+            x,
+            n_v: mna.voltage_count(),
+            source_volts: self.vsources.iter().map(|v| v.wave.initial()).collect(),
+        })
+    }
+
+    /// Solves for the raw DC state vector using the caller's workspace —
+    /// the allocation-free core behind [`dc_op_with_guess`] that the
+    /// transient integrator also uses for its initial operating point.
+    ///
+    /// [`dc_op_with_guess`]: Circuit::dc_op_with_guess
+    pub(crate) fn dc_state_with(
+        &self,
+        mna: &Mna<'_>,
+        guess: &[(NodeId, f64)],
+        ws: &mut NewtonWorkspace,
+    ) -> Result<Vec<f64>, SimError> {
         let mut x0 = vec![0.0; mna.unknown_count()];
         for &(node, v) in guess {
             if !node.is_ground() {
@@ -252,12 +297,17 @@ impl Circuit {
         // An explicit guess means the caller is selecting among operating
         // points: follow the anchored continuation so the basin survives.
         let anchored = !guess.is_empty();
-        let x = solve_op(&mna, x0, 0.0, None, &opts, None, anchored)?;
-        Ok(DcResult {
-            x,
-            n_v: mna.voltage_count(),
-            source_volts: self.vsources.iter().map(|v| v.wave.initial()).collect(),
-        })
+        solve_op(
+            mna,
+            &mut ws.bufs,
+            &mut ws.anchor,
+            x0,
+            0.0,
+            None,
+            &opts,
+            None,
+            anchored,
+        )
     }
 }
 
@@ -344,7 +394,14 @@ mod tests {
         let v = c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
         c.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
         c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd, 0.1);
-        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+        c.transistor(
+            "MN",
+            Arc::new(NTfet::nominal()),
+            out,
+            inp,
+            Circuit::GND,
+            0.1,
+        );
 
         let op = c.dc_op().unwrap();
         assert!(op.voltage(out) > 0.79, "out = {}", op.voltage(out));

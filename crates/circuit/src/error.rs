@@ -44,7 +44,10 @@ impl fmt::Display for SimError {
                     Some(t) => write!(f, "no convergence at t = {t:e} s")?,
                     None => write!(f, "no convergence in DC analysis")?,
                 }
-                write!(f, " after {iterations} iterations (last |Δv| = {last_delta:e} V)")
+                write!(
+                    f,
+                    " after {iterations} iterations (last |Δv| = {last_delta:e} V)"
+                )
             }
             SimError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
         }
@@ -57,9 +60,9 @@ impl SimError {
     pub(crate) fn from_solve(err: SolveError, time: Option<f64>) -> Self {
         match err {
             SolveError::Singular { .. } => SimError::SingularMatrix { time },
-            SolveError::DimensionMismatch { expected, got } => SimError::InvalidCircuit(
-                format!("internal dimension mismatch: expected {expected}, got {got}"),
-            ),
+            SolveError::DimensionMismatch { expected, got } => SimError::InvalidCircuit(format!(
+                "internal dimension mismatch: expected {expected}, got {got}"
+            )),
         }
     }
 }

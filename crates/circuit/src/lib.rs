@@ -18,7 +18,10 @@
 //!   with a full Newton solve per step, nonlinear device capacitances
 //!   re-linearized each step;
 //! * [`probe`] — waveform post-processing: crossings, extrema, and the
-//!   minimum-node-difference measurement behind the paper's DRNM metric.
+//!   minimum-node-difference measurement behind the paper's DRNM metric;
+//! * [`workspace`] — reusable Newton/LU/companion buffers
+//!   ([`NewtonWorkspace`]) so repeated solves (sweeps, Monte-Carlo workers)
+//!   run allocation-free after warm-up.
 //!
 //! SRAM cells are ≤ ~15-node circuits, so the engine uses dense LU — at this
 //! size it beats any sparse approach.
@@ -52,6 +55,7 @@ pub mod probe;
 pub mod spice;
 pub mod transient;
 pub mod waveform;
+pub mod workspace;
 
 pub use dc::DcResult;
 pub use error::SimError;
@@ -59,3 +63,4 @@ pub use netlist::{Circuit, NodeId, SourceId};
 pub use probe::TransientResult;
 pub use transient::{Integrator, TransientSpec};
 pub use waveform::Waveform;
+pub use workspace::NewtonWorkspace;

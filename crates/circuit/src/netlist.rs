@@ -230,13 +230,7 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if the terminals coincide.
-    pub fn vsource(
-        &mut self,
-        name: &str,
-        plus: NodeId,
-        minus: NodeId,
-        wave: Waveform,
-    ) -> SourceId {
+    pub fn vsource(&mut self, name: &str, plus: NodeId, minus: NodeId, wave: Waveform) -> SourceId {
         assert_ne!(plus, minus, "source terminals must differ");
         self.vsources.push(VSource {
             name: name.to_string(),

@@ -9,11 +9,19 @@
 use crate::netlist::NodeId;
 
 /// Recorded node-voltage waveforms of a transient run.
+///
+/// Samples are stored in one flat row-major buffer (`node_count` voltages
+/// per time point) so that recording a step never allocates: the transient
+/// loop pre-sizes the buffer for the whole run and each [`push`] is a plain
+/// append into reserved capacity.
+///
+/// [`push`]: TransientResult::push
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
-    /// `data[step][node_index]`, including ground at index 0 (always 0.0).
-    data: Vec<Vec<f64>>,
+    /// Flattened `[step][node_index]` voltages, including ground at node
+    /// index 0 (always 0.0); the row stride is `node_count`.
+    data: Vec<f64>,
     node_count: usize,
 }
 
@@ -21,15 +29,21 @@ impl TransientResult {
     pub(crate) fn with_capacity(node_count: usize, steps: usize) -> Self {
         TransientResult {
             times: Vec::with_capacity(steps),
-            data: Vec::with_capacity(steps),
+            data: Vec::with_capacity(steps * node_count),
             node_count,
         }
     }
 
     pub(crate) fn push(&mut self, t: f64, volts: impl Fn(NodeId) -> f64) {
-        let row: Vec<f64> = (0..self.node_count).map(|i| volts(NodeId(i))).collect();
         self.times.push(t);
-        self.data.push(row);
+        self.data
+            .extend((0..self.node_count).map(|i| volts(NodeId(i))));
+    }
+
+    /// The voltage row recorded at step `k`.
+    #[inline]
+    fn row(&self, k: usize) -> &[f64] {
+        &self.data[k * self.node_count..(k + 1) * self.node_count]
     }
 
     /// The time axis, s.
@@ -51,7 +65,8 @@ impl TransientResult {
     ///
     /// [`times`]: TransientResult::times
     pub fn trace(&self, node: NodeId) -> Vec<f64> {
-        self.data.iter().map(|row| row[node.index()]).collect()
+        let idx = node.index();
+        (0..self.len()).map(|k| self.row(k)[idx]).collect()
     }
 
     /// Linearly interpolated node voltage at time `t` (clamped to the run).
@@ -63,14 +78,14 @@ impl TransientResult {
         assert!(!self.is_empty(), "empty transient result");
         let idx = node.index();
         if t <= self.times[0] {
-            return self.data[0][idx];
+            return self.row(0)[idx];
         }
         if t >= *self.times.last().expect("nonempty") {
-            return self.data.last().expect("nonempty")[idx];
+            return self.row(self.len() - 1)[idx];
         }
         let k = self.times.partition_point(|&x| x <= t) - 1;
         let (t0, t1) = (self.times[k], self.times[k + 1]);
-        let (v0, v1) = (self.data[k][idx], self.data[k + 1][idx]);
+        let (v0, v1) = (self.row(k)[idx], self.row(k + 1)[idx]);
         let u = (t - t0) / (t1 - t0);
         v0 * (1.0 - u) + v1 * u
     }
@@ -81,7 +96,8 @@ impl TransientResult {
     ///
     /// Panics if the result is empty.
     pub fn final_voltage(&self, node: NodeId) -> f64 {
-        self.data.last().expect("empty transient result")[node.index()]
+        assert!(!self.is_empty(), "empty transient result");
+        self.row(self.len() - 1)[node.index()]
     }
 
     /// The first time ≥ `t_after` at which the node crosses `level` in the
@@ -92,7 +108,7 @@ impl TransientResult {
             if self.times[k + 1] < t_after {
                 continue;
             }
-            let (v0, v1) = (self.data[k][idx], self.data[k + 1][idx]);
+            let (v0, v1) = (self.row(k)[idx], self.row(k + 1)[idx]);
             let crossed = if rising {
                 v0 < level && v1 >= level
             } else {
@@ -122,7 +138,8 @@ impl TransientResult {
             if t < t_from || t > t_to {
                 continue;
             }
-            min = min.min(self.data[k][ia] - self.data[k][ib]);
+            let row = self.row(k);
+            min = min.min(row[ia] - row[ib]);
         }
         assert!(
             min.is_finite(),
@@ -138,9 +155,8 @@ impl TransientResult {
     /// Panics if the result is empty.
     pub fn max_voltage(&self, node: NodeId) -> f64 {
         let idx = node.index();
-        self.data
-            .iter()
-            .map(|row| row[idx])
+        (0..self.len())
+            .map(|k| self.row(k)[idx])
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -151,9 +167,8 @@ impl TransientResult {
     /// Panics if the result is empty.
     pub fn min_voltage(&self, node: NodeId) -> f64 {
         let idx = node.index();
-        self.data
-            .iter()
-            .map(|row| row[idx])
+        (0..self.len())
+            .map(|k| self.row(k)[idx])
             .fold(f64::INFINITY, f64::min)
     }
 }

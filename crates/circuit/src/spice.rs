@@ -101,9 +101,8 @@ impl Circuit {
         models: &HashMap<String, Arc<dyn DeviceModel>>,
     ) -> Result<Circuit, SimError> {
         let mut c = Circuit::new();
-        let bad = |line: &str, why: &str| {
-            SimError::InvalidCircuit(format!("bad card `{line}`: {why}"))
-        };
+        let bad =
+            |line: &str, why: &str| SimError::InvalidCircuit(format!("bad card `{line}`: {why}"));
         let parse_f = |tok: &str, line: &str| -> Result<f64, SimError> {
             tok.parse::<f64>()
                 .map_err(|_| bad(line, &format!("`{tok}` is not a number")))
@@ -230,7 +229,14 @@ mod tests {
         c.resistor(out, Circuit::GND, 1e6);
         c.capacitor(out, Circuit::GND, 1e-15);
         c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd, 0.1);
-        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+        c.transistor(
+            "MN",
+            Arc::new(NTfet::nominal()),
+            out,
+            inp,
+            Circuit::GND,
+            0.1,
+        );
         c
     }
 

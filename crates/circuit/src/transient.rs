@@ -19,6 +19,7 @@ use crate::error::SimError;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId};
 use crate::probe::TransientResult;
+use crate::workspace::{with_workspace, NewtonWorkspace};
 
 /// Integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,7 +79,8 @@ pub enum InitialState {
 
 /// One capacitive branch with its instantaneous capacitance and (for
 /// trapezoidal) its branch-current history.
-struct CapBranch {
+#[derive(Debug, Clone)]
+pub(crate) struct CapBranch {
     a: NodeId,
     b: NodeId,
     c: f64,
@@ -86,12 +88,14 @@ struct CapBranch {
 }
 
 impl Circuit {
-    /// Collects all capacitive branches at the given node voltages:
-    /// explicit capacitors plus the four small-signal capacitances of every
+    /// Collects all capacitive branches at the given node voltages into
+    /// `out` (cleared first; its capacity is reused across steps): explicit
+    /// capacitors plus the four small-signal capacitances of every
     /// transistor (gate–source, gate–drain, drain–bulk, source–bulk, bulk
     /// tied to ground).
-    fn cap_branches(&self, volts: impl Fn(NodeId) -> f64) -> Vec<CapBranch> {
-        let mut out = Vec::with_capacity(self.capacitors.len() + 4 * self.transistors.len());
+    fn fill_cap_branches(&self, volts: impl Fn(NodeId) -> f64, out: &mut Vec<CapBranch>) {
+        out.clear();
+        out.reserve(self.capacitors.len() + 4 * self.transistors.len());
         for c in &self.capacitors {
             out.push(CapBranch {
                 a: c.a,
@@ -101,9 +105,7 @@ impl Circuit {
             });
         }
         for m in &self.transistors {
-            let caps = m
-                .model
-                .caps_per_um(volts(m.g), volts(m.d), volts(m.s));
+            let caps = m.model.caps_per_um(volts(m.g), volts(m.d), volts(m.s));
             let w = m.width_um;
             for (a, b, c) in [
                 (m.g, m.s, caps.cgs * w),
@@ -121,13 +123,15 @@ impl Circuit {
                 }
             }
         }
-        out
     }
 
     /// Runs a transient analysis.
     ///
     /// Node voltages for every node are recorded at every step, starting
-    /// with the initial state at `t = 0`.
+    /// with the initial state at `t = 0`. Solver scratch comes from a
+    /// per-thread [`NewtonWorkspace`] that is reused across calls; use
+    /// [`transient_with`](Circuit::transient_with) to supply one
+    /// explicitly.
     ///
     /// # Errors
     ///
@@ -138,13 +142,35 @@ impl Circuit {
         spec: &TransientSpec,
         initial: &InitialState,
     ) -> Result<TransientResult, SimError> {
+        with_workspace(|ws| self.transient_with(spec, initial, ws))
+    }
+
+    /// Runs a transient analysis with caller-owned solver scratch.
+    ///
+    /// Identical to [`transient`](Circuit::transient), but every Jacobian,
+    /// residual, LU and companion-model buffer comes from `ws`, so the time
+    /// loop performs **no per-step heap allocation** once the workspace is
+    /// warm — the waveform store itself is pre-sized for the whole run.
+    /// Holding one workspace across many runs (a Monte-Carlo worker's inner
+    /// loop) eliminates per-sample allocation churn as well.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`], [`SimError::InvalidCircuit`]).
+    pub fn transient_with(
+        &self,
+        spec: &TransientSpec,
+        initial: &InitialState,
+        ws: &mut NewtonWorkspace,
+    ) -> Result<TransientResult, SimError> {
         let mna = Mna::new(self)?;
         let n_v = mna.voltage_count();
         let opts = NewtonOpts::default();
 
         // --- Initial state -------------------------------------------------
         let mut x = match initial {
-            InitialState::DcOp(hints) => self.dc_op_with_guess(hints)?.state().to_vec(),
+            InitialState::DcOp(hints) => self.dc_state_with(&mna, hints, ws)?,
             InitialState::Uic(ics) => {
                 // Pin node voltages; derive consistent branch currents by a
                 // single Newton solve with enormous companion conductances
@@ -163,28 +189,37 @@ impl Circuit {
                         })
                         .collect(),
                 };
-                solve_op(&mna, x0, 0.0, Some(&hold), &opts, Some(0.0), false)?
+                solve_op(
+                    &mna,
+                    &mut ws.bufs,
+                    &mut ws.anchor,
+                    x0,
+                    0.0,
+                    Some(&hold),
+                    &opts,
+                    Some(0.0),
+                    false,
+                )?
             }
         };
 
         let steps = (spec.t_stop / spec.dt).round() as usize;
+        // Pre-sized for every step: recording never reallocates mid-run.
         let mut result = TransientResult::with_capacity(self.node_count(), steps + 1);
         result.push(0.0, |node| mna.voltage_of(&x, node));
 
         // --- Time stepping --------------------------------------------------
-        let mut branches = self.cap_branches(|n| mna.voltage_of(&x, n));
+        self.fill_cap_branches(|n| mna.voltage_of(&x, n), &mut ws.branches);
         for step in 1..=steps {
             let t_new = step as f64 * spec.dt;
 
             // Companion models from the state at t_n.
-            let mut companions = CompanionCaps {
-                entries: Vec::with_capacity(branches.len()),
-            };
+            ws.companions.entries.clear();
             // Trapezoidal needs a consistent branch-current history, which a
             // UIC or DC start does not provide — so the first step is always
             // backward Euler (the standard SPICE bootstrap).
             let use_be = spec.integrator == Integrator::BackwardEuler || step == 1;
-            for br in &branches {
+            for br in &ws.branches {
                 let v_ab = mna.voltage_of(&x, br.a) - mna.voltage_of(&x, br.b);
                 let (geq, ieq) = if use_be {
                     let geq = br.c / spec.dt;
@@ -193,23 +228,31 @@ impl Circuit {
                     let geq = 2.0 * br.c / spec.dt;
                     (geq, -geq * v_ab - br.i_prev)
                 };
-                companions.entries.push((br.a, br.b, geq, ieq));
+                ws.companions.entries.push((br.a, br.b, geq, ieq));
             }
 
             // Newton solve for t_{n+1}, warm-started from t_n.
-            x = solve_op(&mna, x, t_new, Some(&companions), &opts, Some(t_new), false)?;
+            x = solve_op(
+                &mna,
+                &mut ws.bufs,
+                &mut ws.anchor,
+                x,
+                t_new,
+                Some(&ws.companions),
+                &opts,
+                Some(t_new),
+                false,
+            )?;
 
             // Update branch-current history and re-linearize capacitances at
-            // the new operating point.
-            let mut new_branches = self.cap_branches(|n| mna.voltage_of(&x, n));
-            for (nb, (comp, _old)) in new_branches
-                .iter_mut()
-                .zip(companions.entries.iter().zip(&branches))
-            {
+            // the new operating point (double-buffered: `branches_next`
+            // swaps with `branches`, reusing both allocations).
+            self.fill_cap_branches(|n| mna.voltage_of(&x, n), &mut ws.branches_next);
+            for (nb, comp) in ws.branches_next.iter_mut().zip(&ws.companions.entries) {
                 let v_ab_new = mna.voltage_of(&x, comp.0) - mna.voltage_of(&x, comp.1);
                 nb.i_prev = comp.2 * v_ab_new + comp.3;
             }
-            branches = new_branches;
+            std::mem::swap(&mut ws.branches, &mut ws.branches_next);
 
             result.push(t_new, |node| mna.voltage_of(&x, node));
         }
@@ -235,10 +278,7 @@ mod tests {
         c.capacitor(out, Circuit::GND, 1e-12);
 
         let res = c
-            .transient(
-                &TransientSpec::new(5e-9, 1e-12),
-                &InitialState::Uic(vec![]),
-            )
+            .transient(&TransientSpec::new(5e-9, 1e-12), &InitialState::Uic(vec![]))
             .unwrap();
         // After one time constant: 1 − e⁻¹ ≈ 0.632.
         let v_tau = res.voltage_at(out, 1e-9);
@@ -270,8 +310,7 @@ mod tests {
         let (c, out2) = build();
         let tr = c
             .transient(
-                &TransientSpec::new(1e-9, 100e-12)
-                    .with_integrator(Integrator::Trapezoidal),
+                &TransientSpec::new(1e-9, 100e-12).with_integrator(Integrator::Trapezoidal),
                 &InitialState::Uic(vec![]),
             )
             .unwrap();
@@ -346,7 +385,14 @@ mod tests {
             Waveform::step(0.0, 0.8, 0.2e-9, 20e-12),
         );
         c.transistor("MP", Arc::new(PTfet::nominal()), out, inp, vdd, 0.1);
-        c.transistor("MN", Arc::new(NTfet::nominal()), out, inp, Circuit::GND, 0.1);
+        c.transistor(
+            "MN",
+            Arc::new(NTfet::nominal()),
+            out,
+            inp,
+            Circuit::GND,
+            0.1,
+        );
         c.capacitor(out, Circuit::GND, 0.2e-15);
 
         let res = c

@@ -139,7 +139,7 @@ mod tests {
         assert!((w.value(200e-12) - 0.0).abs() < 1e-9); // plateau
         assert!((w.value(285e-12) - 0.0).abs() < 1e-9); // before trailing edge
         assert_eq!(w.value(400e-12), 0.8); // after
-        // Mid leading edge.
+                                           // Mid leading edge.
         assert!((w.value(105e-12) - 0.4).abs() < 1e-6);
     }
 

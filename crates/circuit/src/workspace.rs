@@ -1,0 +1,151 @@
+//! Reusable solver buffers for repeated Newton solves.
+//!
+//! A transient run performs one damped Newton solve per time step, and a
+//! Monte-Carlo study performs thousands of transient runs. Before this
+//! module every Newton call allocated its Jacobian, residual and update
+//! vectors, and every iteration allocated an LU factorization — hundreds of
+//! small heap allocations per time step that dominated the profile for the
+//! ≤ ~20-unknown SRAM systems this workspace solves.
+//!
+//! [`NewtonWorkspace`] owns all of those buffers plus the transient
+//! integrator's companion-model scratch. One workspace serves any circuit
+//! (buffers grow on demand and are reused thereafter), so a worker thread
+//! sweeping Monte-Carlo samples performs O(1) allocations for the whole
+//! sweep. Workers get one automatically through the crate-internal
+//! thread-local ([`with_workspace`]); callers that want explicit control —
+//! e.g. to hold buffers across many
+//! [`transient_with`](crate::netlist::Circuit) calls — can own one
+//! directly.
+
+use crate::mna::CompanionCaps;
+use crate::transient::CapBranch;
+use std::cell::Cell;
+use tfet_numerics::matrix::LuWorkspace;
+use tfet_numerics::Matrix;
+
+/// Buffers for one damped-Newton solve: Jacobian, residual, negated RHS,
+/// update vector, and the LU factorization workspace.
+#[derive(Debug)]
+pub(crate) struct SolverBufs {
+    pub(crate) j: Matrix,
+    pub(crate) f: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) dx: Vec<f64>,
+    pub(crate) lu: LuWorkspace,
+}
+
+impl Default for SolverBufs {
+    fn default() -> Self {
+        SolverBufs {
+            j: Matrix::zeros(0, 0),
+            f: Vec::new(),
+            rhs: Vec::new(),
+            dx: Vec::new(),
+            lu: LuWorkspace::default(),
+        }
+    }
+}
+
+impl SolverBufs {
+    /// Sizes every buffer for an `n`-unknown system; a no-op when already
+    /// at that size.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.f.len() != n {
+            self.j = Matrix::zeros(n, n);
+            self.f = vec![0.0; n];
+            self.rhs = vec![0.0; n];
+            self.dx = vec![0.0; n];
+        }
+    }
+}
+
+/// Reusable scratch space for DC and transient solves.
+///
+/// All buffers grow on first use and are retained across calls, so repeated
+/// solves of same-sized circuits — the shape of every sweep and Monte-Carlo
+/// loop in this workspace — run allocation-free after warm-up.
+///
+/// [`Circuit::transient`](crate::netlist::Circuit::transient) borrows a
+/// thread-local workspace transparently;
+/// [`Circuit::transient_with`](crate::netlist::Circuit::transient_with)
+/// accepts one explicitly.
+#[derive(Debug, Default)]
+pub struct NewtonWorkspace {
+    pub(crate) bufs: SolverBufs,
+    /// Snapshot of the initial guess that the g_min ladder anchors to.
+    pub(crate) anchor: Vec<f64>,
+    /// Companion-model capacitor stamps for the current transient step.
+    pub(crate) companions: CompanionCaps,
+    /// Capacitive branches linearized at the start of the current step.
+    pub(crate) branches: Vec<CapBranch>,
+    /// Double buffer for re-linearizing branches at the end of a step.
+    pub(crate) branches_next: Vec<CapBranch>,
+}
+
+impl NewtonWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        NewtonWorkspace::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread workspace shared by every solve on this thread. Stored in
+    /// a `Cell<Option<…>>` and *taken* for the duration of a solve: if a
+    /// solve re-enters (a transient whose initial state runs a DC solve
+    /// through the public API), the inner call finds the slot empty and
+    /// works on a fresh temporary instead of aliasing the outer buffers.
+    static WORKSPACE: Cell<Option<Box<NewtonWorkspace>>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread's reusable workspace.
+pub(crate) fn with_workspace<R>(f: impl FnOnce(&mut NewtonWorkspace) -> R) -> R {
+    WORKSPACE.with(|slot| {
+        let mut ws = slot.take().unwrap_or_default();
+        let out = f(&mut ws);
+        slot.set(Some(ws));
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_idempotent_at_fixed_size() {
+        let mut bufs = SolverBufs::default();
+        bufs.ensure(5);
+        let ptr = bufs.f.as_ptr();
+        bufs.ensure(5);
+        assert_eq!(bufs.f.as_ptr(), ptr, "same-size ensure must not reallocate");
+        bufs.ensure(7);
+        assert_eq!(bufs.f.len(), 7);
+        assert_eq!(bufs.j.rows(), 7);
+    }
+
+    #[test]
+    fn thread_local_workspace_is_reentrant() {
+        with_workspace(|outer| {
+            outer.bufs.ensure(4);
+            let outer_ptr = outer.bufs.f.as_ptr();
+            // A nested borrow must get a distinct workspace, not panic or
+            // alias the outer one.
+            with_workspace(|inner| {
+                inner.bufs.ensure(4);
+                assert_ne!(inner.bufs.f.as_ptr(), outer_ptr);
+            });
+            outer.bufs.f[0] = 1.0;
+        });
+    }
+
+    #[test]
+    fn thread_local_workspace_persists_across_calls() {
+        let first = with_workspace(|ws| {
+            ws.bufs.ensure(6);
+            ws.bufs.f.as_ptr() as usize
+        });
+        let second = with_workspace(|ws| ws.bufs.f.as_ptr() as usize);
+        assert_eq!(first, second, "buffers must be reused between solves");
+    }
+}

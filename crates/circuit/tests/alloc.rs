@@ -1,0 +1,90 @@
+//! Allocation accounting for the transient hot loop.
+//!
+//! The reusable-workspace refactor promises that, once buffers are warm, the
+//! per-timestep inner loop performs **zero** heap allocations: doubling the
+//! number of steps must not change the allocation count at all (the result
+//! storage is pre-sized from the step count, and every solver buffer lives
+//! in the `NewtonWorkspace`).
+//!
+//! This lives in an integration test because it installs a counting global
+//! allocator, which needs `unsafe` (the library itself forbids it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::{Circuit, Integrator, NewtonWorkspace, TransientSpec, Waveform};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A driven RC chain — nonlinear-free, but it exercises the full transient
+/// loop: companion rebuild, assemble, LU, Newton update, result push.
+fn rc_chain() -> Circuit {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let a = c.node("a");
+    let b = c.node("b");
+    c.vsource(
+        "V1",
+        vin,
+        Circuit::GND,
+        Waveform::pulse(0.0, 1.0, 1e-11, 2e-10, 1e-11),
+    );
+    c.resistor(vin, a, 1e3);
+    c.capacitor(a, Circuit::GND, 1e-12);
+    c.resistor(a, b, 1e3);
+    c.capacitor(b, Circuit::GND, 1e-12);
+    c
+}
+
+fn run(c: &Circuit, steps: usize, ws: &mut NewtonWorkspace) -> usize {
+    let spec = TransientSpec {
+        t_stop: steps as f64 * 1e-12,
+        dt: 1e-12,
+        integrator: Integrator::BackwardEuler,
+    };
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = c
+        .transient_with(&spec, &InitialState::Uic(vec![]), ws)
+        .unwrap();
+    assert_eq!(result.len(), steps + 1);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn transient_inner_loop_allocates_nothing_per_step() {
+    let c = rc_chain();
+    let mut ws = NewtonWorkspace::new();
+    // Warm-up sizes every workspace buffer.
+    run(&c, 64, &mut ws);
+
+    let short = run(&c, 200, &mut ws);
+    let long = run(&c, 400, &mut ws);
+    // With a warm workspace the only allocations left are per-*run* (the
+    // returned TransientResult's two pre-sized Vecs and MNA setup), so the
+    // count must be independent of the step count.
+    assert_eq!(
+        long, short,
+        "per-step allocations detected: {short} allocs at 200 steps vs {long} at 400"
+    );
+}

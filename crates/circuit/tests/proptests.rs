@@ -160,9 +160,7 @@ fn tfet_ring_oscillator_oscillates() {
     let vdd = c.node("vdd");
     c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(0.8));
     let stages = 3;
-    let nodes: Vec<_> = (0..stages)
-        .map(|k| c.node(&format!("s{k}")))
-        .collect();
+    let nodes: Vec<_> = (0..stages).map(|k| c.node(&format!("s{k}"))).collect();
     for k in 0..stages {
         let inp = nodes[k];
         let out = nodes[(k + 1) % stages];
@@ -205,5 +203,8 @@ fn tfet_ring_oscillator_oscillates() {
             break;
         }
     }
-    assert!(crossings >= 2, "ring must oscillate, saw {crossings} crossings");
+    assert!(
+        crossings >= 2,
+        "ring must oscillate, saw {crossings} crossings"
+    );
 }

@@ -155,7 +155,10 @@ impl SramArray {
     }
 
     fn idx(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.params.rows && col < self.params.cols, "address out of range");
+        assert!(
+            row < self.params.rows && col < self.params.cols,
+            "address out of range"
+        );
         row * self.params.cols + col
     }
 
@@ -312,7 +315,13 @@ impl SramArray {
             .map(|k| self.bit(k / self.params.cols, k % self.params.cols))
             .collect();
         let modes: Vec<ColumnMode> = (0..self.params.cols)
-            .map(|c| if c == col { ColumnMode::Drive(value) } else { ColumnMode::Float })
+            .map(|c| {
+                if c == col {
+                    ColumnMode::Drive(value)
+                } else {
+                    ColumnMode::Float
+                }
+            })
             .collect();
         let pulse = self.params.write_pulse;
         self.run_op(row, &modes, pulse)?;
@@ -357,11 +366,9 @@ impl SramArray {
         let run = self.run_op(row, &modes, pulse)?;
 
         let (bl, blb) = run.bitlines[col];
-        let diff =
-            run.result.voltage_at(bl, run.t_sense) - run.result.voltage_at(blb, run.t_sense);
-        let destructive = (0..self.params.rows * self.params.cols).any(|k| {
-            self.bit(k / self.params.cols, k % self.params.cols) != before[k]
-        });
+        let diff = run.result.voltage_at(bl, run.t_sense) - run.result.voltage_at(blb, run.t_sense);
+        let destructive = (0..self.params.rows * self.params.cols)
+            .any(|k| self.bit(k / self.params.cols, k % self.params.cols) != before[k]);
         Ok(ReadReport {
             value: diff > 0.0,
             sense_margin: diff.abs(),
@@ -398,7 +405,11 @@ mod tests {
         let mut a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
         let w = a.write(0, 1, true).unwrap();
         assert!(w.success, "write must land");
-        assert!(w.disturbed.is_empty(), "no other cell may flip: {:?}", w.disturbed);
+        assert!(
+            w.disturbed.is_empty(),
+            "no other cell may flip: {:?}",
+            w.disturbed
+        );
         assert_eq!(a.bit(0, 1), Some(true));
         assert_eq!(a.bit(0, 0), Some(false), "half-selected neighbour retains");
         assert_eq!(a.bit(1, 1), Some(false), "unselected row retains");
@@ -406,7 +417,11 @@ mod tests {
         let r = a.read(0, 1).unwrap();
         assert!(r.value, "read back the written 1");
         assert!(!r.destructive, "read must not corrupt the row");
-        assert!(r.sense_margin > 0.02, "sense margin {:.3} V", r.sense_margin);
+        assert!(
+            r.sense_margin > 0.02,
+            "sense margin {:.3} V",
+            r.sense_margin
+        );
 
         let r0 = a.read(0, 0).unwrap();
         assert!(!r0.value, "neighbour still reads 0");
@@ -420,7 +435,11 @@ mod tests {
                 let bit = (r + c) % 2 == 0;
                 let report = a.write(r, c, bit).unwrap();
                 assert!(report.success, "write ({r},{c})={bit}");
-                assert!(report.disturbed.is_empty(), "disturbs at ({r},{c}): {:?}", report.disturbed);
+                assert!(
+                    report.disturbed.is_empty(),
+                    "disturbs at ({r},{c}): {:?}",
+                    report.disturbed
+                );
             }
         }
         for r in 0..2 {

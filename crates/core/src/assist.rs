@@ -201,11 +201,21 @@ mod tests {
     #[test]
     fn write_assists_move_the_right_rail() {
         let f = ASSIST_FRACTION;
-        let b = write_bias(Some(WriteAssist::VddLowering), VDD, AccessConfig::InwardP, f);
+        let b = write_bias(
+            Some(WriteAssist::VddLowering),
+            VDD,
+            AccessConfig::InwardP,
+            f,
+        );
         assert!((b.vdd_level - 0.56).abs() < 1e-12);
         let b = write_bias(Some(WriteAssist::GndRaising), VDD, AccessConfig::InwardP, f);
         assert!((b.vss_level - 0.24).abs() < 1e-12);
-        let b = write_bias(Some(WriteAssist::BitlineRaising), VDD, AccessConfig::InwardP, f);
+        let b = write_bias(
+            Some(WriteAssist::BitlineRaising),
+            VDD,
+            AccessConfig::InwardP,
+            f,
+        );
         assert!((b.bl_high - 1.04).abs() < 1e-12);
     }
 
@@ -237,7 +247,12 @@ mod tests {
         assert!((b.vdd_level - 1.04).abs() < 1e-12);
         let b = read_bias(Some(ReadAssist::GndLowering), VDD, AccessConfig::InwardP, f);
         assert!((b.vss_level + 0.24).abs() < 1e-12);
-        let b = read_bias(Some(ReadAssist::BitlineLowering), VDD, AccessConfig::InwardP, f);
+        let b = read_bias(
+            Some(ReadAssist::BitlineLowering),
+            VDD,
+            AccessConfig::InwardP,
+            f,
+        );
         assert!((b.bl_precharge - 0.56).abs() < 1e-12);
     }
 

@@ -223,7 +223,16 @@ pub fn build_cell_on_lines(
 
     let access = params.kind.access();
     place_access(c, params, Role::AccessLeft, &name("MAL"), access, bl, q, wl);
-    place_access(c, params, Role::AccessRight, &name("MAR"), access, blb, qb, wl);
+    place_access(
+        c,
+        params,
+        Role::AccessRight,
+        &name("MAR"),
+        access,
+        blb,
+        qb,
+        wl,
+    );
 
     // 7T: single-transistor read buffer — gate on qb, drain on the read
     // bitline, source on the read wordline (active-low source line).

@@ -131,17 +131,18 @@ pub fn scorecard(design: Design, vdd: f64) -> Result<Scorecard, SramError> {
 
 /// Measures all four designs across a supply sweep — the full §5 dataset.
 ///
+/// The `vdds × designs` grid is flattened and fanned out over worker
+/// threads; the returned order (supply-major, paper design order within each
+/// supply) is independent of the thread count.
+///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn full_comparison(vdds: &[f64]) -> Result<Vec<Scorecard>, SramError> {
-    let mut out = Vec::with_capacity(vdds.len() * Design::ALL.len());
-    for &vdd in vdds {
-        for design in Design::ALL {
-            out.push(scorecard(design, vdd)?);
-        }
-    }
-    Ok(out)
+    let designs = Design::ALL;
+    tfet_numerics::par_try_map(vdds.len() * designs.len(), None, |i| {
+        scorecard(designs[i % designs.len()], vdds[i / designs.len()])
+    })
 }
 
 #[cfg(test)]

@@ -1,12 +1,16 @@
 //! Design-space exploration sweeps (the engines behind Figs. 4, 6, 7, 8).
 //!
 //! Each function returns plain data series so the bench harness and the
-//! figure binaries can print them in the paper's own coordinates.
+//! figure binaries can print them in the paper's own coordinates. Sweep
+//! points are independent simulations, so every sweep fans out over worker
+//! threads ([`tfet_numerics::par_try_map`]) while returning points in grid
+//! order — identical output at any thread count.
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
 use crate::metrics::{read_metrics, wl_crit, WlCrit};
 use crate::tech::CellParams;
+use tfet_numerics::par_try_map;
 
 /// One point of a β sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,17 +29,15 @@ pub struct BetaPoint {
 ///
 /// Propagates simulation failures.
 pub fn beta_sweep(base: &CellParams, betas: &[f64]) -> Result<Vec<BetaPoint>, SramError> {
-    betas
-        .iter()
-        .map(|&beta| {
-            let params = base.clone().with_beta(beta);
-            Ok(BetaPoint {
-                beta,
-                drnm: read_metrics(&params, None)?.drnm,
-                wl_crit: wl_crit(&params, None)?,
-            })
+    par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
+        let beta = betas[i];
+        let params = base.clone().with_beta(beta);
+        Ok(BetaPoint {
+            beta,
+            drnm: read_metrics(&params, None)?.drnm,
+            wl_crit: wl_crit(&params, None)?,
         })
-        .collect()
+    })
 }
 
 /// One point of a write-assist sweep.
@@ -59,16 +61,14 @@ pub fn write_assist_sweep(
     assist: WriteAssist,
     betas: &[f64],
 ) -> Result<Vec<WaPoint>, SramError> {
-    betas
-        .iter()
-        .map(|&beta| {
-            let params = base.clone().with_beta(beta);
-            Ok(WaPoint {
-                beta,
-                wl_crit: wl_crit(&params, Some(assist))?,
-            })
+    par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
+        let beta = betas[i];
+        let params = base.clone().with_beta(beta);
+        Ok(WaPoint {
+            beta,
+            wl_crit: wl_crit(&params, Some(assist))?,
         })
-        .collect()
+    })
 }
 
 /// One point of a read-assist sweep.
@@ -92,16 +92,14 @@ pub fn read_assist_sweep(
     assist: ReadAssist,
     betas: &[f64],
 ) -> Result<Vec<RaPoint>, SramError> {
-    betas
-        .iter()
-        .map(|&beta| {
-            let params = base.clone().with_beta(beta);
-            Ok(RaPoint {
-                beta,
-                drnm: read_metrics(&params, Some(assist))?.drnm,
-            })
+    par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
+        let beta = betas[i];
+        let params = base.clone().with_beta(beta);
+        Ok(RaPoint {
+            beta,
+            drnm: read_metrics(&params, Some(assist))?.drnm,
         })
-        .collect()
+    })
 }
 
 /// A technique's operating curve in the (DRNM, `WL_crit`) plane — one point
@@ -126,17 +124,17 @@ pub fn wa_tradeoff(
     assist: WriteAssist,
     betas: &[f64],
 ) -> Result<TradeoffCurve, SramError> {
-    let mut points = Vec::new();
-    for &beta in betas {
-        let params = base.clone().with_beta(beta);
+    let points = par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
+        let params = base.clone().with_beta(betas[i]);
         let drnm = read_metrics(&params, None)?.drnm;
-        if let WlCrit::Finite(w) = wl_crit(&params, Some(assist))? {
-            points.push((drnm, w));
-        }
-    }
+        Ok(match wl_crit(&params, Some(assist))? {
+            WlCrit::Finite(w) => Some((drnm, w)),
+            WlCrit::Infinite => None,
+        })
+    })?;
     Ok(TradeoffCurve {
         label: format!("{} WA", assist.label()),
-        points,
+        points: points.into_iter().flatten().collect(),
     })
 }
 
@@ -150,17 +148,17 @@ pub fn ra_tradeoff(
     assist: ReadAssist,
     betas: &[f64],
 ) -> Result<TradeoffCurve, SramError> {
-    let mut points = Vec::new();
-    for &beta in betas {
-        let params = base.clone().with_beta(beta);
+    let points = par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
+        let params = base.clone().with_beta(betas[i]);
         let drnm = read_metrics(&params, Some(assist))?.drnm;
-        if let WlCrit::Finite(w) = wl_crit(&params, None)? {
-            points.push((drnm, w));
-        }
-    }
+        Ok(match wl_crit(&params, None)? {
+            WlCrit::Finite(w) => Some((drnm, w)),
+            WlCrit::Infinite => None,
+        })
+    })?;
     Ok(TradeoffCurve {
         label: format!("{} RA", assist.label()),
-        points,
+        points: points.into_iter().flatten().collect(),
     })
 }
 
@@ -205,8 +203,10 @@ mod tests {
         // Fig. 6(e): rail-based assist keeps enabling writes as β grows.
         let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
         let pts = write_assist_sweep(&base, WriteAssist::GndRaising, &[1.5, 2.5, 3.5]).unwrap();
-        assert!(pts.iter().all(|p| !p.wl_crit.is_infinite()),
-            "GND raising must enable writes: {pts:?}");
+        assert!(
+            pts.iter().all(|p| !p.wl_crit.is_infinite()),
+            "GND raising must enable writes: {pts:?}"
+        );
     }
 
     #[test]

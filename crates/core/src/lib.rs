@@ -69,5 +69,6 @@ pub mod prelude {
     pub use crate::assist::{ReadAssist, WriteAssist};
     pub use crate::error::SramError;
     pub use crate::metrics::{self, WlCrit};
-    pub use crate::tech::{AccessConfig, CellKind, CellParams, CellSizing};
+    pub use crate::montecarlo::McConfig;
+    pub use crate::tech::{AccessConfig, CellKind, CellParams, CellSizing, DeviceEval};
 }

@@ -369,7 +369,10 @@ mod tests {
         let p = CellParams::new(CellKind::TfetAsym6T);
         assert!(matches!(
             wl_crit(&p, None),
-            Err(SramError::Undefined { metric: "WL_crit", .. })
+            Err(SramError::Undefined {
+                metric: "WL_crit",
+                ..
+            })
         ));
     }
 

@@ -6,6 +6,15 @@
 //! [`sample_variations`] draws an independent truncated-Gaussian thickness
 //! deviation for every transistor in the cell; [`mc_wl_crit`] /
 //! [`mc_drnm`] run the metric per sample.
+//!
+//! # Parallelism and determinism
+//!
+//! Samples are independent, so the study fans out over worker threads
+//! ([`McConfig::threads`]). Each sample owns a *counter-based RNG stream* —
+//! `StdRng` seeded from a mix of the study seed and the sample index — so
+//! sample `i` draws the same variations no matter which worker runs it or
+//! how many workers exist. Results are collected in sample order: a study is
+//! bit-identical at any thread count, including the serial path.
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
@@ -14,6 +23,7 @@ use crate::tech::{CellParams, CellVariations, Role};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tfet_devices::ProcessVariation;
+use tfet_numerics::par_try_map;
 
 /// The paper's fabrication-control bound: ±5 % gate-oxide thickness.
 pub const TOX_BOUND: f64 = 0.05;
@@ -47,6 +57,60 @@ pub fn sample_variations(rng: &mut StdRng) -> CellVariations {
     v
 }
 
+/// Execution controls for a Monte-Carlo study.
+///
+/// ```
+/// use tfet_sram::montecarlo::McConfig;
+///
+/// let cfg = McConfig::new(42).with_threads(4);
+/// assert_eq!(cfg.seed, 42);
+/// assert_eq!(cfg.threads, Some(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Worker-thread count; `None` uses the machine default (respecting the
+    /// `RAYON_NUM_THREADS` environment variable). Results are identical for
+    /// every setting.
+    pub threads: Option<usize>,
+    /// Study seed. Sample `i` derives its private RNG stream from
+    /// `(seed, i)`, so the seed pins the entire study.
+    pub seed: u64,
+}
+
+impl McConfig {
+    /// A configuration with the given seed and default threading.
+    pub fn new(seed: u64) -> Self {
+        McConfig {
+            threads: None,
+            seed,
+        }
+    }
+
+    /// Sets an explicit worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The RNG for one sample: an independent stream derived from the study
+    /// seed and the sample index with a SplitMix64-style mix, so adjacent
+    /// indices land far apart in state space.
+    pub fn sample_rng(&self, index: usize) -> StdRng {
+        let mut z = self
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig::new(0)
+    }
+}
+
 /// Outcome counts of a Monte-Carlo `WL_crit` study.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McWlCrit {
@@ -70,7 +134,8 @@ impl McWlCrit {
 }
 
 /// Runs an `n`-sample Monte-Carlo of `WL_crit` with the given assist.
-/// Deterministic for a fixed `seed`.
+/// Deterministic for a fixed `seed`; equivalent to [`mc_wl_crit_with`] with
+/// default threading.
 ///
 /// # Errors
 ///
@@ -82,12 +147,32 @@ pub fn mc_wl_crit(
     n: usize,
     seed: u64,
 ) -> Result<McWlCrit, SramError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    mc_wl_crit_with(base, assist, n, McConfig::new(seed))
+}
+
+/// Runs an `n`-sample Monte-Carlo of `WL_crit` under explicit execution
+/// controls. Samples fan out over [`McConfig::threads`] workers; the result
+/// is bit-identical at any thread count (see the module docs).
+///
+/// # Errors
+///
+/// Propagates simulation failures, reporting the lowest-index failing sample
+/// regardless of scheduling.
+pub fn mc_wl_crit_with(
+    base: &CellParams,
+    assist: Option<WriteAssist>,
+    n: usize,
+    config: McConfig,
+) -> Result<McWlCrit, SramError> {
+    let outcomes = par_try_map(n, config.threads, |i| {
+        let mut rng = config.sample_rng(i);
+        let params = base.clone().with_variations(sample_variations(&mut rng));
+        wl_crit(&params, assist)
+    })?;
     let mut values = Vec::with_capacity(n);
     let mut failures = 0;
-    for _ in 0..n {
-        let params = base.clone().with_variations(sample_variations(&mut rng));
-        match wl_crit(&params, assist)? {
+    for outcome in outcomes {
+        match outcome {
             WlCrit::Finite(w) => values.push(w),
             WlCrit::Infinite => failures += 1,
         }
@@ -96,7 +181,8 @@ pub fn mc_wl_crit(
 }
 
 /// Runs an `n`-sample Monte-Carlo of the DRNM with the given assist.
-/// Deterministic for a fixed `seed`.
+/// Deterministic for a fixed `seed`; equivalent to [`mc_drnm_with`] with
+/// default threading.
 ///
 /// # Errors
 ///
@@ -107,13 +193,26 @@ pub fn mc_drnm(
     n: usize,
     seed: u64,
 ) -> Result<Vec<f64>, SramError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut values = Vec::with_capacity(n);
-    for _ in 0..n {
+    mc_drnm_with(base, assist, n, McConfig::new(seed))
+}
+
+/// Runs an `n`-sample Monte-Carlo of the DRNM under explicit execution
+/// controls. Bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn mc_drnm_with(
+    base: &CellParams,
+    assist: Option<ReadAssist>,
+    n: usize,
+    config: McConfig,
+) -> Result<Vec<f64>, SramError> {
+    par_try_map(n, config.threads, |i| {
+        let mut rng = config.sample_rng(i);
         let params = base.clone().with_variations(sample_variations(&mut rng));
-        values.push(read_metrics(&params, assist)?.drnm);
-    }
-    Ok(values)
+        read_metrics(&params, assist).map(|m| m.drnm)
+    })
 }
 
 #[cfg(test)]
@@ -171,6 +270,28 @@ mod tests {
     }
 
     #[test]
+    fn sample_rng_streams_are_independent_and_stable() {
+        let cfg = McConfig::new(123);
+        // Same (seed, index) → same stream.
+        let a: f64 = cfg.sample_rng(5).random();
+        let b: f64 = cfg.sample_rng(5).random();
+        assert_eq!(a, b);
+        // Adjacent indices and different seeds → different streams.
+        let c: f64 = cfg.sample_rng(6).random();
+        let d: f64 = McConfig::new(124).sample_rng(5).random();
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn mc_wl_crit_is_thread_count_invariant() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let serial = mc_wl_crit_with(&p, None, 4, McConfig::new(9).with_threads(1)).unwrap();
+        let parallel = mc_wl_crit_with(&p, None, 4, McConfig::new(9).with_threads(8)).unwrap();
+        assert_eq!(serial, parallel, "results must not depend on scheduling");
+    }
+
+    #[test]
     fn mc_drnm_spreads_but_stays_positive() {
         // Paper Fig. 10: DRNM under RA sizing is minimally impacted.
         let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
@@ -178,7 +299,11 @@ mod tests {
         assert_eq!(vals.len(), 12);
         let s = Summary::of(&vals);
         assert!(s.min > 0.0, "all samples must read safely");
-        assert!(s.cv() < 0.3, "DRNM spread under RA must be modest: cv = {}", s.cv());
+        assert!(
+            s.cv() < 0.3,
+            "DRNM spread under RA must be modest: cv = {}",
+            s.cv()
+        );
     }
 
     #[test]

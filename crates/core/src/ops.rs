@@ -516,7 +516,11 @@ mod tests {
     fn read_preserves_state_at_high_beta() {
         let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
         let run = run_read(&p, None).unwrap();
-        assert!(run.drnm() > 0.0, "β=2 read must be stable, DRNM={}", run.drnm());
+        assert!(
+            run.drnm() > 0.0,
+            "β=2 read must be stable, DRNM={}",
+            run.drnm()
+        );
         // Cell still holds q=0 at the end.
         assert!(run.result.final_voltage(run.nodes.qb) > 0.7 * p.vdd);
     }

@@ -59,7 +59,11 @@ fn transfer_curves(
             SnmCondition::Read => access.wl_active(vdd),
         };
         c.vsource("WL", nodes.wl, Circuit::GND, Waveform::dc(wl_level));
-        let bl_level = if params.kind == CellKind::Tfet7T { 0.0 } else { vdd };
+        let bl_level = if params.kind == CellKind::Tfet7T {
+            0.0
+        } else {
+            vdd
+        };
         c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(bl_level));
         c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(bl_level));
         if let (Some(rbl), Some(rwl)) = (nodes.rbl, nodes.rwl) {
@@ -168,10 +172,7 @@ fn max_square_side(vtc_a: &Lut1d, vtc_b: &Lut1d, vdd: f64) -> f64 {
 /// assert!(hold > read, "the read disturb always costs static margin");
 /// # Ok::<(), tfet_sram::SramError>(())
 /// ```
-pub fn static_noise_margin(
-    params: &CellParams,
-    condition: SnmCondition,
-) -> Result<f64, SramError> {
+pub fn static_noise_margin(params: &CellParams, condition: SnmCondition) -> Result<f64, SramError> {
     let (vtc_l, vtc_r) = transfer_curves(params, condition)?;
     Ok(max_square_side(&vtc_l, &vtc_r, params.vdd))
 }

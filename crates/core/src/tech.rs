@@ -10,8 +10,22 @@
 use crate::error::SramError;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use tfet_devices::model::DeviceModel;
+use tfet_devices::model::{DeviceKind, DeviceModel};
 use tfet_devices::{MosfetParams, NTfet, Nmos, PTfet, Pmos, ProcessVariation, TfetParams};
+
+/// How transistor I-V characteristics are evaluated during simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DeviceEval {
+    /// Evaluate the analytic model directly (the original behaviour; exact).
+    #[default]
+    Analytic,
+    /// Serve a compiled lookup table from the process-wide corner cache
+    /// ([`tfet_devices::shared_lut`]): each quantized process corner is
+    /// tabulated once and shared by every cell instance and every thread.
+    /// This is the fast path for Monte-Carlo and sweeps, at the cost of the
+    /// LUT's interpolation error (≲ a few percent in the on region).
+    CachedLut,
+}
 
 /// Orientation × polarity of a TFET access transistor (paper Fig. 3(b)–(e)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -328,6 +342,8 @@ pub struct CellParams {
     pub variations: CellVariations,
     /// Operating temperature, K (applied to every device model).
     pub temp_k: f64,
+    /// Device evaluation strategy (analytic vs. cached LUT).
+    pub eval: DeviceEval,
     /// Simulation timing controls.
     pub sim: SimOptions,
 }
@@ -354,6 +370,7 @@ impl CellParams {
             c_node: 0.15e-15,
             variations: CellVariations::nominal(),
             temp_k: 300.0,
+            eval: DeviceEval::default(),
             sim: SimOptions::default(),
         }
     }
@@ -388,6 +405,14 @@ impl CellParams {
         self
     }
 
+    /// Serves devices from the shared compiled-LUT corner cache instead of
+    /// evaluating the analytic models directly (builder style). See
+    /// [`DeviceEval::CachedLut`].
+    pub fn with_lut_devices(mut self) -> Self {
+        self.eval = DeviceEval::CachedLut;
+        self
+    }
+
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<(), SramError> {
         self.sizing.validate()?;
@@ -410,6 +435,14 @@ impl CellParams {
     /// technology.
     pub(crate) fn model(&self, role: Role, n_type: bool) -> Arc<dyn DeviceModel> {
         let var = self.variations.of(role);
+        if self.eval == DeviceEval::CachedLut {
+            let kind = if self.kind.is_tfet() {
+                DeviceKind::Tfet
+            } else {
+                DeviceKind::Mosfet
+            };
+            return tfet_devices::shared_lut(kind, n_type, var, self.temp_k);
+        }
         if self.kind.is_tfet() {
             let p = var
                 .apply_tfet(&TfetParams::nominal())
@@ -487,10 +520,8 @@ mod tests {
 
     #[test]
     fn variations_address_individual_transistors() {
-        let v = CellVariations::nominal().with(
-            Role::AccessLeft,
-            ProcessVariation::from_deviation(0.05),
-        );
+        let v = CellVariations::nominal()
+            .with(Role::AccessLeft, ProcessVariation::from_deviation(0.05));
         assert!((v.of(Role::AccessLeft).deviation() - 0.05).abs() < 1e-12);
         assert_eq!(v.of(Role::AccessRight).deviation(), 0.0);
     }
@@ -503,6 +534,23 @@ mod tests {
         let cmos = CellParams::cmos6t();
         assert_eq!(cmos.model(Role::PullDownLeft, true).name(), "nmos");
         assert_eq!(cmos.model(Role::AccessLeft, true).name(), "nmos");
+    }
+
+    #[test]
+    fn cached_lut_models_are_shared_across_requests() {
+        let p = CellParams::tfet6t(AccessConfig::InwardP).with_lut_devices();
+        assert_eq!(p.eval, DeviceEval::CachedLut);
+        let a = p.model(Role::PullDownLeft, true);
+        let b = p.model(Role::PullDownRight, true);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same-corner devices must share one compiled table"
+        );
+        assert_eq!(a.name(), "ntfet-lut");
+        // The analytic default is untouched.
+        let q = CellParams::tfet6t(AccessConfig::InwardP);
+        assert_eq!(q.eval, DeviceEval::Analytic);
+        assert_eq!(q.model(Role::PullDownLeft, true).name(), "ntfet");
     }
 
     #[test]

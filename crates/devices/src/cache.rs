@@ -1,0 +1,208 @@
+//! Process-wide cache of compiled LUT devices, keyed by process corner.
+//!
+//! Compiling a [`LutDevice`](crate::LutDevice) on the default grid evaluates
+//! the analytic model 241 × 241 ≈ 58 k times. A Monte-Carlo study draws a
+//! fresh [`ProcessVariation`] per transistor per sample, so naively compiling
+//! a table per instance would dwarf the simulation itself. This module
+//! amortizes that cost: corners are quantized (tox ratio to 10⁻³, temperature
+//! to 0.1 K — both far below any physically meaningful resolution, and well
+//! below the LUT's own interpolation error), and each quantized corner is
+//! compiled exactly once per process, shared behind an
+//! `Arc<dyn DeviceModel>`.
+//!
+//! The table is built **from the quantized values**, so two variations that
+//! collapse to the same key produce bit-identical devices regardless of which
+//! one arrived first — a requirement for the workspace's determinism
+//! guarantee (results must not depend on thread scheduling).
+
+use crate::lut::LutDevice;
+use crate::model::{DeviceKind, DeviceModel};
+use crate::mosfet::{MosfetParams, Nmos, Pmos};
+use crate::tfet::{NTfet, PTfet, TfetParams};
+use crate::variation::ProcessVariation;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Quantization step for the oxide-thickness ratio (dimensionless).
+const TOX_STEP: f64 = 1e-3;
+/// Quantization step for temperature, in kelvin.
+const TEMP_STEP: f64 = 0.1;
+
+/// A process corner quantized onto the cache lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CornerKey {
+    kind: DeviceKind,
+    n_type: bool,
+    /// `tox_ratio / TOX_STEP`, rounded.
+    tox_q: i64,
+    /// `temp_k / TEMP_STEP`, rounded.
+    temp_q: i64,
+}
+
+impl CornerKey {
+    fn new(kind: DeviceKind, n_type: bool, variation: ProcessVariation, temp_k: f64) -> Self {
+        CornerKey {
+            kind,
+            n_type,
+            tox_q: (variation.tox_ratio / TOX_STEP).round() as i64,
+            temp_q: (temp_k / TEMP_STEP).round() as i64,
+        }
+    }
+
+    /// The corner this key represents, reconstructed from the lattice — the
+    /// values the cached device is actually compiled at.
+    fn dequantize(&self) -> (ProcessVariation, f64) {
+        let variation = ProcessVariation {
+            tox_ratio: self.tox_q as f64 * TOX_STEP,
+        };
+        (variation, self.temp_q as f64 * TEMP_STEP)
+    }
+}
+
+fn cache() -> &'static Mutex<HashMap<CornerKey, Arc<dyn DeviceModel>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CornerKey, Arc<dyn DeviceModel>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn compile_corner(key: &CornerKey) -> Arc<dyn DeviceModel> {
+    let (variation, temp_k) = key.dequantize();
+    match (key.kind, key.n_type) {
+        (DeviceKind::Tfet, true) => {
+            let params = variation
+                .apply_tfet(&TfetParams::nominal())
+                .at_temperature(temp_k);
+            Arc::new(LutDevice::compile_default(NTfet::new(params)))
+        }
+        (DeviceKind::Tfet, false) => {
+            let params = variation
+                .apply_tfet(&TfetParams::nominal())
+                .at_temperature(temp_k);
+            Arc::new(LutDevice::compile_default(PTfet::new(params)))
+        }
+        (DeviceKind::Mosfet, true) => {
+            let params = variation
+                .apply_mosfet(&MosfetParams::nominal_32nm_lp())
+                .at_temperature(temp_k);
+            Arc::new(LutDevice::compile_default(Nmos::new(params)))
+        }
+        (DeviceKind::Mosfet, false) => {
+            let params = variation
+                .apply_mosfet(&MosfetParams::nominal_32nm_lp())
+                .at_temperature(temp_k);
+            Arc::new(LutDevice::compile_default(Pmos::new(params)))
+        }
+    }
+}
+
+/// Returns the shared compiled LUT device for the given corner, compiling it
+/// on first request.
+///
+/// The corner is quantized before lookup (see the module docs), so nearby
+/// variations share one table and repeated requests for the same corner are
+/// an `Arc` clone. Compilation happens under the cache lock: concurrent
+/// first requests for one corner still compile it exactly once.
+pub fn shared_lut(
+    kind: DeviceKind,
+    n_type: bool,
+    variation: ProcessVariation,
+    temp_k: f64,
+) -> Arc<dyn DeviceModel> {
+    let key = CornerKey::new(kind, n_type, variation, temp_k);
+    let mut map = cache().lock().expect("LUT cache poisoned");
+    Arc::clone(map.entry(key).or_insert_with(|| compile_corner(&key)))
+}
+
+/// Number of distinct corners compiled so far in this process.
+pub fn cached_corner_count() -> usize {
+    cache().lock().expect("LUT cache poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_corner_shares_one_table() {
+        let a = shared_lut(DeviceKind::Tfet, true, ProcessVariation::nominal(), 300.0);
+        let b = shared_lut(DeviceKind::Tfet, true, ProcessVariation::nominal(), 300.0);
+        assert!(Arc::ptr_eq(&a, &b), "identical corners must share one Arc");
+    }
+
+    #[test]
+    fn sub_quantum_variations_collapse_to_one_corner() {
+        // 2e-4 is below the 1e-3 tox quantum: both requests land on the
+        // same lattice point and must share a table.
+        let a = shared_lut(
+            DeviceKind::Tfet,
+            true,
+            ProcessVariation { tox_ratio: 1.0 },
+            300.0,
+        );
+        let b = shared_lut(
+            DeviceKind::Tfet,
+            true,
+            ProcessVariation { tox_ratio: 1.0002 },
+            300.0,
+        );
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_corners_get_distinct_tables() {
+        let before = cached_corner_count();
+        let a = shared_lut(
+            DeviceKind::Tfet,
+            true,
+            ProcessVariation { tox_ratio: 1.05 },
+            300.0,
+        );
+        let b = shared_lut(
+            DeviceKind::Tfet,
+            false,
+            ProcessVariation { tox_ratio: 1.05 },
+            300.0,
+        );
+        let c = shared_lut(
+            DeviceKind::Tfet,
+            true,
+            ProcessVariation { tox_ratio: 1.05 },
+            350.0,
+        );
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(cached_corner_count() >= before.max(3));
+    }
+
+    #[test]
+    fn cached_device_is_compiled_at_the_quantized_corner() {
+        // Whichever of two sub-quantum-distinct variations arrives first,
+        // the served device must be the lattice-point compile: its current
+        // must match a direct compile at the quantized value exactly.
+        let served = shared_lut(
+            DeviceKind::Tfet,
+            true,
+            ProcessVariation { tox_ratio: 0.9502 },
+            300.0,
+        );
+        let direct = LutDevice::compile_default(NTfet::new(
+            ProcessVariation { tox_ratio: 0.95 }
+                .apply_tfet(&TfetParams::nominal())
+                .at_temperature(300.0),
+        ));
+        let (vg, vd) = (0.731, 0.412);
+        assert_eq!(
+            served.ids_per_um(vg, vd, 0.0),
+            direct.ids_per_um(vg, vd, 0.0),
+            "cache must compile from quantized corner values"
+        );
+    }
+
+    #[test]
+    fn mosfet_corners_are_cached_too() {
+        let a = shared_lut(DeviceKind::Mosfet, true, ProcessVariation::nominal(), 300.0);
+        let b = shared_lut(DeviceKind::Mosfet, true, ProcessVariation::nominal(), 300.0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.kind(), DeviceKind::Mosfet);
+        assert!(a.ids_per_um(0.8, 0.8, 0.0) > 0.0);
+    }
+}

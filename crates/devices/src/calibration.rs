@@ -36,11 +36,7 @@ pub fn characterize(model: &dyn DeviceModel, v_max: f64) -> TransferFigures {
         Polarity::P => -1.0,
     };
     // Current magnitude flowing in the forward direction at (vgs, vds=v_max).
-    let ids = |vgs: f64| -> f64 {
-        model
-            .ids_per_um(sign * vgs, sign * v_max, 0.0)
-            .abs()
-    };
+    let ids = |vgs: f64| -> f64 { model.ids_per_um(sign * vgs, sign * v_max, 0.0).abs() };
 
     let i_on = ids(v_max);
     let i_off = ids(0.0);
@@ -118,8 +114,7 @@ mod tests {
         let m = characterize(&Nmos::nominal(), 1.0);
         let gap = (m.i_off / t.i_off).log10();
         assert!(
-            (targets::LEAKAGE_GAP_ORDERS - 1.0..=targets::LEAKAGE_GAP_ORDERS + 1.5)
-                .contains(&gap),
+            (targets::LEAKAGE_GAP_ORDERS - 1.0..=targets::LEAKAGE_GAP_ORDERS + 1.5).contains(&gap),
             "leakage gap = {gap} orders"
         );
     }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibration;
 pub mod consts;
 pub mod lut;
@@ -53,6 +54,7 @@ pub mod mosfet;
 pub mod tfet;
 pub mod variation;
 
+pub use cache::shared_lut;
 pub use lut::LutDevice;
 pub use model::{Caps, DeviceKind, DeviceModel, Polarity};
 pub use mosfet::{MosfetParams, Nmos, Pmos};

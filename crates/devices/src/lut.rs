@@ -107,6 +107,21 @@ impl<M: DeviceModel> DeviceModel for LutDevice<M> {
         t.sinh() * I_SCALE
     }
 
+    fn conductances_per_um(&self, vg: f64, vd: f64, vs: f64) -> (f64, f64, f64) {
+        // Analytic derivatives of the interpolant itself, replacing the
+        // default trait implementation's three central finite differences
+        // (six extra table evaluations per Newton stamp). With the stored
+        // transform t(x, y) = asinh(I/I₀) at x = v_gs, y = v_ds:
+        //   I = I₀·sinh t  ⇒  ∂I/∂x = I₀·cosh t · ∂t/∂x  (and likewise y).
+        // The model is source-referenced, so g_s = −(g_m + g_ds).
+        let (x, y) = (vg - vs, vd - vs);
+        let t = self.table.eval(x, y);
+        let scale = t.cosh() * I_SCALE;
+        let gm = scale * self.table.d_dx(x, y);
+        let gds = scale * self.table.d_dy(x, y);
+        (gm, gds, -(gm + gds))
+    }
+
     fn caps_per_um(&self, vg: f64, vd: f64, vs: f64) -> Caps {
         self.source.caps_per_um(vg, vd, vs)
     }
@@ -197,6 +212,31 @@ mod tests {
         let m = LutDevice::compile_default(Nmos::nominal());
         assert!(m.ids_per_um(0.8, 0.8, 0.0) > 1e-6);
         assert_eq!(m.kind(), DeviceKind::Mosfet);
+    }
+
+    #[test]
+    fn analytic_conductances_match_finite_difference_of_lut() {
+        // Off-grid points (the bilinear interpolant is smooth inside a cell,
+        // so central differences there are exact up to rounding).
+        let lut = LutDevice::compile_default(NTfet::nominal());
+        let h = 1e-5;
+        for &(vg, vd) in &[(0.553, 0.447), (0.806, 0.791), (0.304, -0.386)] {
+            let (gm, gds, gs) = lut.conductances_per_um(vg, vd, 0.0);
+            let fd_gm =
+                (lut.ids_per_um(vg + h, vd, 0.0) - lut.ids_per_um(vg - h, vd, 0.0)) / (2.0 * h);
+            let fd_gds =
+                (lut.ids_per_um(vg, vd + h, 0.0) - lut.ids_per_um(vg, vd - h, 0.0)) / (2.0 * h);
+            let tol = |g: f64| 1e-5 * g.abs().max(1e-12);
+            assert!(
+                (gm - fd_gm).abs() < tol(fd_gm),
+                "({vg},{vd}): gm {gm:e} vs {fd_gm:e}"
+            );
+            assert!(
+                (gds - fd_gds).abs() < tol(fd_gds),
+                "({vg},{vd}): gds {gds:e} vs {fd_gds:e}"
+            );
+            assert!((gs + gm + gds).abs() < 1e-18);
+        }
     }
 
     #[test]

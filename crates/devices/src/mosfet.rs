@@ -166,9 +166,7 @@ impl Nmos {
         // ∂v_p/∂v_gs = 1/n; ∂v_p/∂v_ds = dibl/n (through the DIBL-shifted
         // threshold); u_r carries an extra −v_ds/vt term.
         let di_dvgs = scale * (d_f - d_r) / (p.n_factor * vt) * clm;
-        let di_dvds = scale
-            * ((d_f - d_r) * p.dibl / (p.n_factor * vt) + d_r / vt)
-            * clm
+        let di_dvds = scale * ((d_f - d_r) * p.dibl / (p.n_factor * vt) + d_r / vt) * clm
             + scale * (i_f - i_r) * p.lambda_clm;
         (di_dvgs, di_dvds)
     }
@@ -225,7 +223,11 @@ impl DeviceModel for Nmos {
         let (f_src, f_drn) = if saturated { (0.67, 0.13) } else { (0.4, 0.4) };
         let (cgs_ch, cgd_ch) = (c_ch * f_src, c_ch * f_drn);
         // Map channel-referenced source/drain back to terminal order.
-        let (cgs, cgd) = if vd >= vs { (cgs_ch, cgd_ch) } else { (cgd_ch, cgs_ch) };
+        let (cgs, cgd) = if vd >= vs {
+            (cgs_ch, cgd_ch)
+        } else {
+            (cgd_ch, cgs_ch)
+        };
         Caps {
             cgs: cgs + p.c_junction,
             cgd: cgd + p.c_junction,
@@ -398,7 +400,9 @@ mod tests {
     fn ekv_f_asymptotes() {
         // Strong inversion: F(u) → (u/2)².
         let u = 40.0;
-        assert!((MosfetParams::ekv_f(u) - (u / 2.0) * (u / 2.0)).abs() / ((u / 2.0) * (u / 2.0)) < 1e-6);
+        assert!(
+            (MosfetParams::ekv_f(u) - (u / 2.0) * (u / 2.0)).abs() / ((u / 2.0) * (u / 2.0)) < 1e-6
+        );
         // Weak inversion: F(u) → exp(u).
         let u = -20.0;
         assert!((MosfetParams::ekv_f(u) - u.exp()).abs() / u.exp() < 1e-3);

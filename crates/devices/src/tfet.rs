@@ -28,7 +28,9 @@
 //! The default calibration ([`TfetParams::nominal`]) reproduces the paper's
 //! headline figures; see `calibration.rs` tests for the pinned targets.
 
-use crate::consts::{lim_exp, lim_exp_deriv, softplus, softplus_deriv, C_GATE_PER_UM, K_B, Q, TEMPERATURE};
+use crate::consts::{
+    lim_exp, lim_exp_deriv, softplus, softplus_deriv, C_GATE_PER_UM, K_B, Q, TEMPERATURE,
+};
 use crate::model::{Caps, DeviceKind, DeviceModel, DualOf, Polarity};
 use serde::{Deserialize, Serialize};
 
@@ -424,10 +426,7 @@ mod tests {
         let i_on = t.ids_per_um(1.0, 1.0, 0.0);
         let i_off = t.ids_per_um(0.0, 1.0, 0.0);
         // Paper: I_on = 1e-4 A/µm, I_off = 1e-17 A/µm (order of magnitude).
-        assert!(
-            (3e-5..3e-4).contains(&i_on),
-            "I_on = {i_on:e} out of range"
-        );
+        assert!((3e-5..3e-4).contains(&i_on), "I_on = {i_on:e} out of range");
         assert!(
             (3e-18..3e-17).contains(&i_off),
             "I_off = {i_off:e} out of range"
@@ -506,7 +505,10 @@ mod tests {
         let i_vg1 = -t.ids_per_um(1.0, -1.0, 0.0);
         assert!(i_vg0 > 1e-6, "diode current too small: {i_vg0:e}");
         // Gate changes the current by < 2x at full reverse bias.
-        assert!(i_vg1 / i_vg0 < 2.0, "gate retains control: {i_vg1:e}/{i_vg0:e}");
+        assert!(
+            i_vg1 / i_vg0 < 2.0,
+            "gate retains control: {i_vg1:e}/{i_vg0:e}"
+        );
     }
 
     #[test]
@@ -598,7 +600,10 @@ mod tests {
         let t = NTfet::nominal();
         let c_on = t.caps_per_um(1.0, 0.05, 0.0);
         assert!(c_on.cgs > 0.0 && c_on.cgd > 0.0);
-        assert!(c_on.cgd > 1.1 * c_on.cgs, "on-state cap must be drain-skewed");
+        assert!(
+            c_on.cgd > 1.1 * c_on.cgs,
+            "on-state cap must be drain-skewed"
+        );
         let c_off = t.caps_per_um(0.0, 0.8, 0.0);
         assert!(c_off.gate_total() < c_on.gate_total());
     }

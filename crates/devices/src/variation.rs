@@ -101,12 +101,10 @@ mod tests {
     #[test]
     fn thicker_oxide_weakens_tfet_on_current() {
         let nom = NTfet::nominal();
-        let thick = NTfet::new(
-            ProcessVariation::from_deviation(0.05).apply_tfet(&TfetParams::nominal()),
-        );
-        let thin = NTfet::new(
-            ProcessVariation::from_deviation(-0.05).apply_tfet(&TfetParams::nominal()),
-        );
+        let thick =
+            NTfet::new(ProcessVariation::from_deviation(0.05).apply_tfet(&TfetParams::nominal()));
+        let thin =
+            NTfet::new(ProcessVariation::from_deviation(-0.05).apply_tfet(&TfetParams::nominal()));
         let i_nom = nom.ids_per_um(0.8, 0.8, 0.0);
         let i_thick = thick.ids_per_um(0.8, 0.8, 0.0);
         let i_thin = thin.ids_per_um(0.8, 0.8, 0.0);

@@ -53,7 +53,10 @@ fn leakage_gap_widens_at_high_temperature() {
     // 300 K gap the paper reports — the natural extension of its argument.
     let t_cold = characterize(&NTfet::new(TfetParams::nominal()), 1.0);
     let m_cold = characterize(&Nmos::new(MosfetParams::nominal_32nm_lp()), 1.0);
-    let t_hot = characterize(&NTfet::new(TfetParams::nominal().at_temperature(400.0)), 1.0);
+    let t_hot = characterize(
+        &NTfet::new(TfetParams::nominal().at_temperature(400.0)),
+        1.0,
+    );
     let m_hot = characterize(
         &Nmos::new(MosfetParams::nominal_32nm_lp().at_temperature(400.0)),
         1.0,

@@ -65,7 +65,10 @@ impl std::error::Error for LutError {}
 
 fn check_axis(axis: &'static str, pts: &[f64]) -> Result<(), LutError> {
     if pts.len() < 2 {
-        return Err(LutError::AxisTooShort { axis, len: pts.len() });
+        return Err(LutError::AxisTooShort {
+            axis,
+            len: pts.len(),
+        });
     }
     for i in 0..pts.len() - 1 {
         if pts[i] >= pts[i + 1] {
@@ -382,7 +385,10 @@ mod tests {
     fn lut2d_rejects_shape_mismatch() {
         assert!(matches!(
             Lut2d::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 3]),
-            Err(LutError::ValueShapeMismatch { expected: 4, got: 3 })
+            Err(LutError::ValueShapeMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 

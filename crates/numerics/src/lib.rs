@@ -12,8 +12,11 @@
 //!   modeling methodology of the reproduced paper;
 //! * [`roots`] — bracketing root finders (bisection, Brent) and a monotone
 //!   boolean binary search used for critical-pulse-width extraction;
-//! * [`sweep`] — parameter-sweep grid constructors (`linspace`, `logspace`);
-//! * [`stats`] — summary statistics and histograms for Monte-Carlo studies.
+//! * [`sweep`] — parameter-sweep grid constructors (`linspace`, `logspace`)
+//!   and a parallel grid evaluator;
+//! * [`stats`] — summary statistics and histograms for Monte-Carlo studies;
+//! * [`parallel`] — deterministic scoped-thread fan-out (`par_map`) whose
+//!   results are bit-identical to a serial loop at any thread count.
 //!
 //! # Examples
 //!
@@ -33,12 +36,14 @@
 
 pub mod interp;
 pub mod matrix;
+pub mod parallel;
 pub mod roots;
 pub mod stats;
 pub mod sweep;
 
 pub use interp::{Lut1d, Lut2d};
-pub use matrix::Matrix;
+pub use matrix::{LuWorkspace, Matrix};
+pub use parallel::{par_map, par_try_map};
 pub use roots::{bisect, brent, critical_threshold};
 pub use stats::{Histogram, Summary};
-pub use sweep::{geomspace, linspace, logspace};
+pub use sweep::{geomspace, linspace, logspace, par_grid};

@@ -92,7 +92,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -208,6 +212,74 @@ pub struct Lu {
 /// Pivot magnitudes below this are treated as exact zeros (singularity).
 const PIVOT_EPS: f64 = 1e-300;
 
+/// In-place LU elimination with partial pivoting over a packed row-major
+/// buffer. Shared by [`Lu`] and [`LuWorkspace`].
+fn factorize_in_place(n: usize, lu: &mut [f64], perm: &mut [usize]) -> Result<(), SolveError> {
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(perm.len(), n);
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+    for k in 0..n {
+        // Partial pivot: find the largest magnitude in column k at/below row k.
+        let mut pivot_row = k;
+        let mut pivot_mag = lu[k * n + k].abs();
+        for r in (k + 1)..n {
+            let mag = lu[r * n + k].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag < PIVOT_EPS {
+            return Err(SolveError::Singular { step: k });
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                lu.swap(k * n + c, pivot_row * n + c);
+            }
+            perm.swap(k, pivot_row);
+        }
+        let pivot = lu[k * n + k];
+        for r in (k + 1)..n {
+            let factor = lu[r * n + k] / pivot;
+            lu[r * n + k] = factor;
+            for c in (k + 1)..n {
+                lu[r * n + c] -= factor * lu[k * n + c];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Permuted forward/back substitution: writes `A⁻¹ b` into `x`.
+///
+/// `b` and `x` must be distinct buffers of length `n`.
+fn solve_with_factors(n: usize, lu: &[f64], perm: &[usize], b: &[f64], x: &mut [f64]) {
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(x.len(), n);
+    // Apply permutation.
+    for (xi, &p) in x.iter_mut().zip(perm) {
+        *xi = b[p];
+    }
+    // Forward substitution with unit lower-triangular L.
+    for r in 1..n {
+        let mut sum = x[r];
+        for c in 0..r {
+            sum -= lu[r * n + c] * x[c];
+        }
+        x[r] = sum;
+    }
+    // Back substitution with U.
+    for r in (0..n).rev() {
+        let mut sum = x[r];
+        for c in (r + 1)..n {
+            sum -= lu[r * n + c] * x[c];
+        }
+        x[r] = sum / lu[r * n + r];
+    }
+}
+
 impl Lu {
     /// Factorizes `a` (which must be square).
     ///
@@ -224,36 +296,7 @@ impl Lu {
         let n = a.rows;
         let mut lu = a.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-
-        for k in 0..n {
-            // Partial pivot: find the largest magnitude in column k at/below row k.
-            let mut pivot_row = k;
-            let mut pivot_mag = lu[k * n + k].abs();
-            for r in (k + 1)..n {
-                let mag = lu[r * n + k].abs();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
-                    pivot_row = r;
-                }
-            }
-            if pivot_mag < PIVOT_EPS {
-                return Err(SolveError::Singular { step: k });
-            }
-            if pivot_row != k {
-                for c in 0..n {
-                    lu.swap(k * n + c, pivot_row * n + c);
-                }
-                perm.swap(k, pivot_row);
-            }
-            let pivot = lu[k * n + k];
-            for r in (k + 1)..n {
-                let factor = lu[r * n + k] / pivot;
-                lu[r * n + k] = factor;
-                for c in (k + 1)..n {
-                    lu[r * n + c] -= factor * lu[k * n + c];
-                }
-            }
-        }
+        factorize_in_place(n, &mut lu, &mut perm)?;
         Ok(Lu { n, lu, perm })
     }
 
@@ -262,30 +305,107 @@ impl Lu {
     pub fn solve_in_place(&mut self, b: Vec<f64>) -> Vec<f64> {
         let n = self.n;
         debug_assert_eq!(b.len(), n);
-        // Apply permutation.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution with unit lower-triangular L.
-        for r in 1..n {
-            let mut sum = x[r];
-            for (c, xc) in x.iter().enumerate().take(r) {
-                sum -= self.lu[r * n + c] * xc;
-            }
-            x[r] = sum;
-        }
-        // Back substitution with U.
-        for r in (0..n).rev() {
-            let mut sum = x[r];
-            for (c, xc) in x.iter().enumerate().skip(r + 1) {
-                sum -= self.lu[r * n + c] * xc;
-            }
-            x[r] = sum / self.lu[r * n + r];
-        }
+        let mut x = vec![0.0; n];
+        solve_with_factors(n, &self.lu, &self.perm, &b, &mut x);
         x
     }
 
     /// Solves for a borrowed right-hand side.
     pub fn solve(&mut self, b: &[f64]) -> Vec<f64> {
         self.solve_in_place(b.to_vec())
+    }
+}
+
+/// Reusable LU factorization buffers for repeated solves of same-size
+/// systems.
+///
+/// [`Matrix::solve`] and [`Lu::factorize`] allocate on every call, which is
+/// fine for one-off solves but dominates the profile inside a Newton loop
+/// that factorizes thousands of Jacobians of identical dimension. A
+/// `LuWorkspace` owns the factor and permutation buffers and reuses them
+/// across calls, so a factorize + solve cycle performs no heap allocation
+/// after the first use at a given size.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::matrix::{LuWorkspace, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+/// let mut ws = LuWorkspace::new(2);
+/// ws.factorize(&a).unwrap();
+/// let mut x = [0.0; 2];
+/// ws.solve_into(&[5.0, 5.0], &mut x);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    factored: bool,
+}
+
+impl LuWorkspace {
+    /// Creates a workspace pre-sized for `n × n` systems.
+    pub fn new(n: usize) -> Self {
+        LuWorkspace {
+            n,
+            lu: vec![0.0; n * n],
+            perm: vec![0; n],
+            factored: false,
+        }
+    }
+
+    /// Dimension the workspace is currently sized for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Factorizes `a` into the workspace buffers, growing them if the
+    /// dimension changed. Steady-state calls at a fixed size do not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] if a pivot underflows the stability
+    /// threshold; the workspace is left unfactored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factorize(&mut self, a: &Matrix) -> Result<(), SolveError> {
+        assert_eq!(a.rows, a.cols, "LU factorization requires a square matrix");
+        let n = a.rows;
+        if n != self.n {
+            self.n = n;
+            self.lu.resize(n * n, 0.0);
+            self.perm.resize(n, 0);
+        }
+        self.lu.copy_from_slice(&a.data);
+        self.factored = false;
+        factorize_in_place(n, &mut self.lu, &mut self.perm)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A · x = b` against the last successful [`factorize`] call,
+    /// writing the solution into `x` without allocating.
+    ///
+    /// [`factorize`]: LuWorkspace::factorize
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorization is stored or the buffer lengths don't
+    /// match the factored dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert!(self.factored, "solve_into called before factorize");
+        assert_eq!(b.len(), self.n, "rhs length must match factored dimension");
+        assert_eq!(
+            x.len(),
+            self.n,
+            "solution length must match factored dimension"
+        );
+        solve_with_factors(self.n, &self.lu, &self.perm, b, x);
     }
 }
 
@@ -383,6 +503,50 @@ mod tests {
         let b = [1.0, -2.0, 3.0, -4.0, 5.0];
         let x = a.solve(&b).unwrap();
         assert_close(&a.mul_vec(&x), &b, 1e-10);
+    }
+
+    #[test]
+    fn workspace_matches_one_shot_solve() {
+        let a = Matrix::from_rows(&[&[5.0, 1.0, 0.2], &[1.0, 6.0, 1.5], &[0.2, 1.5, 7.0]]);
+        let b = [1.0, -2.0, 3.0];
+        let mut ws = LuWorkspace::new(3);
+        ws.factorize(&a).unwrap();
+        let mut x = [0.0; 3];
+        ws.solve_into(&b, &mut x);
+        assert_close(&x, &a.solve(&b).unwrap(), 1e-14);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_dimensions() {
+        let mut ws = LuWorkspace::new(2);
+        let a2 = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        ws.factorize(&a2).unwrap();
+        let mut x2 = [0.0; 2];
+        ws.solve_into(&[2.0, 3.0], &mut x2);
+        assert_close(&x2, &[3.0, 2.0], 1e-15);
+
+        let a4 = Matrix::identity(4);
+        ws.factorize(&a4).unwrap();
+        assert_eq!(ws.dim(), 4);
+        let b4 = [1.0, -2.0, 3.5, 0.25];
+        let mut x4 = [0.0; 4];
+        ws.solve_into(&b4, &mut x4);
+        assert_close(&x4, &b4, 1e-15);
+    }
+
+    #[test]
+    fn workspace_reports_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut ws = LuWorkspace::new(2);
+        assert_eq!(ws.factorize(&a), Err(SolveError::Singular { step: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "before factorize")]
+    fn workspace_solve_before_factorize_panics() {
+        let ws = LuWorkspace::new(2);
+        let mut x = [0.0; 2];
+        ws.solve_into(&[1.0, 2.0], &mut x);
     }
 
     #[test]

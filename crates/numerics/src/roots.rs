@@ -354,6 +354,8 @@ mod tests {
 
     #[test]
     fn error_display_nonempty() {
-        assert!(!RootError::MaxIterations { best: 1.0 }.to_string().is_empty());
+        assert!(!RootError::MaxIterations { best: 1.0 }
+            .to_string()
+            .is_empty());
     }
 }

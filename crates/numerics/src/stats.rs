@@ -161,7 +161,10 @@ impl Histogram {
     /// range) or any value is non-finite.
     pub fn from_data(data: &[f64], bins: usize) -> Self {
         let s = Summary::of(data);
-        assert!(s.min < s.max, "all samples identical; histogram range empty");
+        assert!(
+            s.min < s.max,
+            "all samples identical; histogram range empty"
+        );
         let mut h = Histogram::new(s.min, s.max, bins);
         for &x in data {
             h.add(x);

@@ -69,9 +69,43 @@ pub fn geomspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     logspace(lo.log10(), hi.log10(), n)
 }
 
+/// Evaluates `f` at every grid point on the default worker pool, returning
+/// `(point, f(point))` pairs in grid order.
+///
+/// Each point is an independent simulation, so sweeps parallelize with the
+/// same determinism guarantee as [`par_map`](crate::parallel::par_map):
+/// values are identical to a serial loop at any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::{linspace, par_grid};
+///
+/// let curve = par_grid(&linspace(0.0, 1.0, 3), |x| x * x);
+/// assert_eq!(curve, vec![(0.0, 0.0), (0.5, 0.25), (1.0, 1.0)]);
+/// ```
+pub fn par_grid<T, F>(points: &[f64], f: F) -> Vec<(f64, T)>
+where
+    T: Send,
+    F: Fn(f64) -> T + Sync,
+{
+    crate::parallel::par_map(points.len(), None, |i| (points[i], f(points[i])))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_grid_preserves_grid_order() {
+        let grid = linspace(0.0, 2.0, 9);
+        let curve = par_grid(&grid, |x| 3.0 * x + 1.0);
+        assert_eq!(curve.len(), 9);
+        for (i, (x, y)) in curve.iter().enumerate() {
+            assert_eq!(*x, grid[i]);
+            assert_eq!(*y, 3.0 * grid[i] + 1.0);
+        }
+    }
 
     #[test]
     fn linspace_endpoints_are_exact() {

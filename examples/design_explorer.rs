@@ -21,7 +21,10 @@ use tfet_sram::prelude::*;
 fn main() -> Result<(), SramError> {
     // ---- Screen 1: access-transistor configuration (§3) -------------------
     println!("== Screen 1: access configuration at beta = 0.8, VDD = 0.8 V ==");
-    println!("{:<10} {:>14} {:>12} {:>10}", "access", "static power", "WL_crit", "verdict");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "access", "static power", "WL_crit", "verdict"
+    );
     let mut survivors = Vec::new();
     for access in AccessConfig::ALL {
         let params = CellParams::tfet6t(access).with_beta(0.8);
@@ -44,7 +47,11 @@ fn main() -> Result<(), SramError> {
             survivors.push(access);
         }
     }
-    assert_eq!(survivors, vec![AccessConfig::InwardP], "paper §3 conclusion");
+    assert_eq!(
+        survivors,
+        vec![AccessConfig::InwardP],
+        "paper §3 conclusion"
+    );
     println!("-> only inward p-type access survives (paper §3)\n");
 
     // ---- Screen 2: cell-ratio sweep (Fig. 4) ------------------------------
@@ -71,11 +78,19 @@ fn main() -> Result<(), SramError> {
     let mut best: Option<(String, f64)> = None;
     for wa in WriteAssist::ALL {
         let curve = wa_tradeoff(&base, wa, &wa_betas)?;
-        report(&curve.label, corner_score(&curve, wl_scale, drnm_scale), &mut best);
+        report(
+            &curve.label,
+            corner_score(&curve, wl_scale, drnm_scale),
+            &mut best,
+        );
     }
     for ra in ReadAssist::ALL {
         let curve = ra_tradeoff(&base, ra, &ra_betas)?;
-        report(&curve.label, corner_score(&curve, wl_scale, drnm_scale), &mut best);
+        report(
+            &curve.label,
+            corner_score(&curve, wl_scale, drnm_scale),
+            &mut best,
+        );
     }
     let (winner, _) = best.expect("at least one technique scores");
     println!("-> selected technique: {winner}");

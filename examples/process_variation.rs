@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example process_variation`
 
+use tfet_numerics::{Histogram, Summary};
 use tfet_sram::metrics::SENSE_DV;
 use tfet_sram::montecarlo::{mc_drnm, mc_wl_crit};
 use tfet_sram::prelude::*;
-use tfet_numerics::{Histogram, Summary};
 
 const SAMPLES: usize = 60;
 const SEED: u64 = 2011;

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh  (run from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "All checks passed."

@@ -28,10 +28,18 @@ fn lut_compiled_devices_drive_circuits() {
     c.transistor("MN", n_lut, out, inp, Circuit::GND, 0.1);
 
     let op = c.dc_op().unwrap();
-    assert!(op.voltage(out) > 0.78, "LUT inverter high: {}", op.voltage(out));
+    assert!(
+        op.voltage(out) > 0.78,
+        "LUT inverter high: {}",
+        op.voltage(out)
+    );
     c.set_vsource_wave(vin, Waveform::dc(0.8));
     let op = c.dc_op().unwrap();
-    assert!(op.voltage(out) < 0.02, "LUT inverter low: {}", op.voltage(out));
+    assert!(
+        op.voltage(out) < 0.02,
+        "LUT inverter low: {}",
+        op.voltage(out)
+    );
 }
 
 /// Half-select study (the §4.3 drawback the paper discusses): two cells on

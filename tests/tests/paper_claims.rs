@@ -23,10 +23,8 @@ fn fast(params: CellParams) -> CellParams {
 #[test]
 fn s3_outward_access_leaks_orders_more() {
     for (vdd, lo, hi) in [(0.6, 3.0, 7.5), (0.8, 6.0, 11.0)] {
-        let inward = static_power(
-            &CellParams::tfet6t(AccessConfig::InwardP).with_vdd(vdd),
-        )
-        .unwrap();
+        let inward =
+            static_power(&CellParams::tfet6t(AccessConfig::InwardP).with_vdd(vdd)).unwrap();
         for outward in [AccessConfig::OutwardN, AccessConfig::OutwardP] {
             let p = static_power(&CellParams::tfet6t(outward).with_vdd(vdd)).unwrap();
             let orders = (p / inward).log10();
@@ -69,7 +67,10 @@ fn s3_outward_access_is_fine_with_grounded_bitlines() {
     let seven_t = static_power(&CellParams::new(CellKind::Tfet7T)).unwrap();
     let inward = static_power(&CellParams::tfet6t(AccessConfig::InwardP)).unwrap();
     let ratio = (seven_t / inward).log10().abs();
-    assert!(ratio < 1.0, "7T ≈ inward 6T hold power, {ratio:.2} orders apart");
+    assert!(
+        ratio < 1.0,
+        "7T ≈ inward 6T hold power, {ratio:.2} orders apart"
+    );
 }
 
 /// §4 / Fig. 8: GND-lowering RA is the most effective technique — its
@@ -115,10 +116,16 @@ fn s4_ra_effectiveness_crossover_with_beta() {
     let gnd = read_metrics(&base.clone().with_beta(big), Some(ReadAssist::GndLowering))
         .unwrap()
         .drnm;
-    let wlr = read_metrics(&base.clone().with_beta(big), Some(ReadAssist::WordlineRaising))
-        .unwrap()
-        .drnm;
-    assert!(gnd > wlr, "at β={big}: GND-lowering {gnd} !> WL-raising {wlr}");
+    let wlr = read_metrics(
+        &base.clone().with_beta(big),
+        Some(ReadAssist::WordlineRaising),
+    )
+    .unwrap()
+    .drnm;
+    assert!(
+        gnd > wlr,
+        "at β={big}: GND-lowering {gnd} !> WL-raising {wlr}"
+    );
 }
 
 /// §5: the proposed design dominates the other TFET SRAMs on write
@@ -179,7 +186,9 @@ fn s5_assisted_drnm_exceeds_plain_by_assist_level() {
             .with_vdd(0.8),
     );
     let plain = read_metrics(&p, None).unwrap().drnm;
-    let assisted = read_metrics(&p, Some(ReadAssist::GndLowering)).unwrap().drnm;
+    let assisted = read_metrics(&p, Some(ReadAssist::GndLowering))
+        .unwrap()
+        .drnm;
     let gain = assisted - plain;
     assert!(
         (0.1..0.6).contains(&gain),

@@ -1,0 +1,87 @@
+//! Determinism regression tests for the parallel Monte-Carlo engine.
+//!
+//! The contract: a study's numbers are a function of `(params, seed, n)`
+//! only — never of the worker-thread count or of scheduling. Every
+//! comparison here is exact (`Vec<f64>` equality), not approximate.
+
+use tfet_sram::metrics::{wl_crit, WlCrit};
+use tfet_sram::montecarlo::{mc_drnm_with, mc_wl_crit_with, sample_variations, McConfig};
+use tfet_sram::prelude::*;
+
+/// The experiments' fast-simulation settings (2 ps step, 8 ps tolerance).
+fn fast(params: CellParams) -> CellParams {
+    let mut p = params;
+    p.sim.dt = 2e-12;
+    p.sim.pulse_tol = 8e-12;
+    p
+}
+
+const N: usize = 8;
+const SEED: u64 = 42;
+
+/// A hand-rolled serial reference: the same per-sample RNG streams run in
+/// a plain loop with no parallel machinery at all.
+fn serial_reference_wl_crit(base: &CellParams) -> (Vec<f64>, usize) {
+    let cfg = McConfig::new(SEED);
+    let mut values = Vec::new();
+    let mut failures = 0;
+    for i in 0..N {
+        let mut rng = cfg.sample_rng(i);
+        let params = base.clone().with_variations(sample_variations(&mut rng));
+        match wl_crit(&params, None).unwrap() {
+            WlCrit::Finite(w) => values.push(w),
+            WlCrit::Infinite => failures += 1,
+        }
+    }
+    (values, failures)
+}
+
+#[test]
+fn mc_wl_crit_identical_across_thread_counts_and_serial_reference() {
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    let (ref_values, ref_failures) = serial_reference_wl_crit(&base);
+
+    let one = mc_wl_crit_with(&base, None, N, McConfig::new(SEED).with_threads(1)).unwrap();
+    let eight = mc_wl_crit_with(&base, None, N, McConfig::new(SEED).with_threads(8)).unwrap();
+
+    // Exact equality — bit-identical floats, same order, same failure count.
+    assert_eq!(one.values, ref_values, "1 thread vs serial reference");
+    assert_eq!(one.failures, ref_failures);
+    assert_eq!(eight.values, ref_values, "8 threads vs serial reference");
+    assert_eq!(eight.failures, ref_failures);
+}
+
+#[test]
+fn mc_drnm_identical_across_thread_counts() {
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    let one = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(1)).unwrap();
+    let eight = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(8)).unwrap();
+    let three = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(3)).unwrap();
+    assert_eq!(one, eight);
+    assert_eq!(one, three);
+}
+
+#[test]
+fn cached_lut_studies_are_also_thread_count_invariant() {
+    // The LUT corner cache is shared mutable state across workers; sharing
+    // must not leak scheduling into the numbers.
+    let base = fast(
+        CellParams::tfet6t(AccessConfig::InwardP)
+            .with_beta(0.6)
+            .with_lut_devices(),
+    );
+    let one = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(1)).unwrap();
+    let eight = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(8)).unwrap();
+    assert_eq!(one, eight);
+}
+
+#[test]
+fn beta_sweep_is_deterministic_under_parallel_fanout() {
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+    let betas = [0.5, 0.8, 1.0, 1.5];
+    let a = tfet_sram::explore::beta_sweep(&base, &betas).unwrap();
+    let b = tfet_sram::explore::beta_sweep(&base, &betas).unwrap();
+    assert_eq!(a, b, "repeated sweeps must agree exactly");
+    let got: Vec<f64> = a.iter().map(|p| p.beta).collect();
+    assert_eq!(got, betas, "points must come back in grid order");
+}

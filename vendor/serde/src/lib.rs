@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of plain
+//! data types but never serializes them (no format crate is in the
+//! dependency tree). Since the build environment cannot reach crates.io,
+//! this stub supplies the trait names and no-op derive macros so those
+//! annotations keep compiling; any future PR that adds a real serialization
+//! backend should replace this with the upstream crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
