@@ -18,6 +18,9 @@ fn sweep() -> Table {
     let mut results = Vec::new();
     for dt_ps in [8.0, 4.0, 2.0, 1.0, 0.5] {
         let mut p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+        // This ablation studies *fixed-step* convergence in dt; adaptive
+        // stepping would re-discretize each run and hide the dt axis.
+        p.sim.stepping = SteppingMode::Fixed;
         p.sim.dt = dt_ps * 1e-12;
         let drnm = read_metrics(&p, Some(ReadAssist::GndLowering))
             .expect("read")
@@ -40,6 +43,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", sweep().render());
 
     let mut p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    p.sim.stepping = SteppingMode::Fixed;
     p.sim.dt = 2e-12;
     let mut g = c.benchmark_group("ablation_integrator");
     g.sample_size(10);

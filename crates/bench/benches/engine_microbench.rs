@@ -40,21 +40,33 @@ fn bench(c: &mut Criterion) {
         bch.iter(|| black_box(hold.circuit.dc_op_with_guess(&hold.guess).unwrap()))
     });
 
-    // Transient step rate: 250 steps of the hold circuit.
+    // Transient step rate: 250 fixed steps of the hold circuit.
+    let uic = || {
+        InitialState::Uic(vec![
+            (hold.nodes.q, 0.8),
+            (hold.nodes.bl, 0.8),
+            (hold.nodes.blb, 0.8),
+            (hold.nodes.wl, 0.8),
+            (hold.nodes.vdd, 0.8),
+        ])
+    };
     g.bench_function("transient_250_steps_6t", |bch| {
         bch.iter(|| {
             black_box(
                 hold.circuit
-                    .transient(
-                        &TransientSpec::new(0.5e-9, 2e-12),
-                        &InitialState::Uic(vec![
-                            (hold.nodes.q, 0.8),
-                            (hold.nodes.bl, 0.8),
-                            (hold.nodes.blb, 0.8),
-                            (hold.nodes.wl, 0.8),
-                            (hold.nodes.vdd, 0.8),
-                        ]),
-                    )
+                    .transient(&TransientSpec::fixed(0.5e-9, 2e-12), &uic())
+                    .unwrap(),
+            )
+        })
+    });
+
+    // The same horizon under adaptive LTE control: the quiescent hold
+    // circuit should coast at dt_max.
+    g.bench_function("transient_adaptive_6t_hold", |bch| {
+        bch.iter(|| {
+            black_box(
+                hold.circuit
+                    .transient(&TransientSpec::new(0.5e-9, 2e-12), &uic())
                     .unwrap(),
             )
         })

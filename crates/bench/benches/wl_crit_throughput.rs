@@ -1,0 +1,134 @@
+//! WL_crit extraction throughput: the cost of one critical-pulse-width
+//! search under each stepping policy.
+//!
+//! The 2×2 grid {fixed, adaptive} × {early exit off, on} plus the seeded
+//! adaptive search measures the PR's three effort levers independently:
+//!
+//! * adaptive LTE stepping — fewer, larger transient steps on plateaus;
+//! * event-driven early exit — flip/no-flip transients stop when decided;
+//! * bracket seeding — a hint from a neighbouring design point shrinks the
+//!   bisection bracket (the sweep/Monte-Carlo fast path).
+//!
+//! Effort is reported in *Newton solves* from the always-on
+//! [`SolveStats`] counters — deterministic and machine-independent, unlike
+//! wall-clock. The headline ratio (fixed seed path / adaptive with early
+//! exit) is asserted ≥ 3× here and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments::fast;
+use tfet_bench::Table;
+use tfet_sram::metrics::{wl_crit_seeded, WlCritRun};
+use tfet_sram::prelude::*;
+
+fn cell(stepping: SteppingMode, early_exit: bool) -> CellParams {
+    let mut p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+    p.sim.stepping = stepping;
+    p.sim.early_exit = early_exit;
+    p
+}
+
+fn run(p: &CellParams, hint: Option<f64>) -> WlCritRun {
+    wl_crit_seeded(p, None, hint).expect("β=0.6 inward-p extracts")
+}
+
+fn effort_table() -> Table {
+    let mut t = Table::new(
+        "WL_crit effort",
+        "solver effort per extraction at beta = 0.6 (2 ps / 8 ps settings)",
+        &[
+            "config",
+            "oracle_calls",
+            "newton_solves",
+            "newton_iters",
+            "steps_acc",
+            "steps_rej",
+            "wl_crit_ps",
+        ],
+    );
+    let fixed_off = cell(SteppingMode::Fixed, false);
+    let configs = [
+        ("fixed, no exit (seed path)", fixed_off.clone(), None),
+        ("fixed, early exit", cell(SteppingMode::Fixed, true), None),
+        (
+            "adaptive, no exit",
+            cell(SteppingMode::Adaptive, false),
+            None,
+        ),
+        (
+            "adaptive, early exit",
+            cell(SteppingMode::Adaptive, true),
+            None,
+        ),
+    ];
+    let mut runs = Vec::new();
+    for (label, p, hint) in &configs {
+        let r = run(p, *hint);
+        push_run(&mut t, label, &r);
+        runs.push(r);
+    }
+    // The seeded fast path: hint from the (identical) previous point, as a
+    // sweep neighbour or the Monte-Carlo nominal would supply.
+    let seeded_p = cell(SteppingMode::Adaptive, true);
+    let hint = runs[3].value.as_finite();
+    let seeded = run(&seeded_p, hint);
+    push_run(&mut t, "adaptive, early exit, seeded", &seeded);
+
+    let baseline = runs[0].effort.newton_solves;
+    let adaptive = runs[3].effort.newton_solves;
+    let ratio = baseline as f64 / adaptive as f64;
+    t.note(format!(
+        "headline: fixed seed path / adaptive+exit = {ratio:.2}x fewer Newton solves"
+    ));
+    t.note(format!(
+        "seeded on top: {:.2}x fewer solves than the seed path",
+        baseline as f64 / seeded.effort.newton_solves as f64
+    ));
+    assert!(
+        adaptive * 3 <= baseline,
+        "acceptance: adaptive+exit must cut Newton solves >= 3x ({baseline} vs {adaptive})"
+    );
+    t
+}
+
+fn push_run(t: &mut Table, label: &str, r: &WlCritRun) {
+    t.push_row(vec![
+        label.to_string(),
+        r.oracle_calls.to_string(),
+        r.effort.newton_solves.to_string(),
+        r.effort.newton_iters.to_string(),
+        r.effort.accepted_steps.to_string(),
+        r.effort.rejected_steps.to_string(),
+        r.value
+            .as_finite()
+            .map(|w| format!("{:.1}", w * 1e12))
+            .unwrap_or_else(|| "inf".into()),
+    ]);
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", effort_table().render());
+
+    let mut g = c.benchmark_group("wl_crit_throughput");
+    g.sample_size(10);
+
+    let fixed = cell(SteppingMode::Fixed, false);
+    g.bench_function("fixed_no_exit", |b| {
+        b.iter(|| black_box(run(&fixed, None).value))
+    });
+
+    let adaptive = cell(SteppingMode::Adaptive, true);
+    g.bench_function("adaptive_early_exit", |b| {
+        b.iter(|| black_box(run(&adaptive, None).value))
+    });
+
+    let hint = run(&adaptive, None).value.as_finite();
+    g.bench_function("adaptive_early_exit_seeded", |b| {
+        b.iter(|| black_box(run(&adaptive, hint).value))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -68,9 +68,11 @@ pub(crate) fn newton(
     let n = mna.unknown_count();
     let n_v = mna.voltage_count();
     bufs.ensure(n);
+    bufs.newton_solves += 1;
 
     let mut last_delta = f64::INFINITY;
     for iter in 0..opts.max_iter {
+        bufs.newton_iters += 1;
         mna.assemble(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f);
         if let Err(e) = bufs.lu.factorize(&bufs.j) {
             return Err((x, SimError::from_solve(e, time_label)));

@@ -14,9 +14,11 @@
 //! * [`dc`] — Newton–Raphson operating point with g_min stepping and
 //!   per-iteration voltage-step limiting (the damping that tames the
 //!   exponential TFET reverse diode);
-//! * [`transient`] — fixed-step backward-Euler or trapezoidal integration
-//!   with a full Newton solve per step, nonlinear device capacitances
-//!   re-linearized each step;
+//! * [`transient`] — backward-Euler or trapezoidal integration with a full
+//!   Newton solve per step and nonlinear device capacitances re-linearized
+//!   each step; adaptive step-doubling LTE control with a source-edge
+//!   breakpoint schedule by default, a fixed uniform grid on request, and
+//!   event-driven early exit ([`transient::StopEvent`]);
 //! * [`probe`] — waveform post-processing: crossings, extrema, and the
 //!   minimum-node-difference measurement behind the paper's DRNM metric;
 //! * [`workspace`] — reusable Newton/LU/companion buffers
@@ -60,7 +62,7 @@ pub mod workspace;
 pub use dc::DcResult;
 pub use error::SimError;
 pub use netlist::{Circuit, NodeId, SourceId};
-pub use probe::TransientResult;
-pub use transient::{Integrator, TransientSpec};
+pub use probe::{SolveStats, TransientResult};
+pub use transient::{AdaptiveOpts, Integrator, StepControl, StopEvent, TransientSpec};
 pub use waveform::Waveform;
 pub use workspace::NewtonWorkspace;

@@ -8,6 +8,39 @@
 
 use crate::netlist::NodeId;
 
+/// Solver-effort statistics of one transient run — always collected (a few
+/// counter increments per step), so benches and tests can assert effort
+/// reductions directly instead of inferring them from wall-clock noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Time steps accepted (recorded in the waveform store).
+    pub accepted_steps: u64,
+    /// Adaptive trial steps rejected by the local-truncation-error test
+    /// or by a Newton failure at the attempted step size.
+    pub rejected_steps: u64,
+    /// Newton solves started, including the initial-state solve and both
+    /// sides of every adaptive step-doubling comparison.
+    pub newton_solves: u64,
+    /// Newton iterations performed (each is one Jacobian assembly plus one
+    /// LU factorization — the unit of solver work).
+    pub newton_iters: u64,
+    /// Whether a stop event ended the run before `t_stop`.
+    pub early_exit: bool,
+}
+
+impl SolveStats {
+    /// Accumulates another run's counters into this one (`early_exit` ORs),
+    /// for callers aggregating effort across many transients — e.g. one
+    /// `WL_crit` search.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.accepted_steps += other.accepted_steps;
+        self.rejected_steps += other.rejected_steps;
+        self.newton_solves += other.newton_solves;
+        self.newton_iters += other.newton_iters;
+        self.early_exit |= other.early_exit;
+    }
+}
+
 /// Recorded node-voltage waveforms of a transient run.
 ///
 /// Samples are stored in one flat row-major buffer (`node_count` voltages
@@ -23,6 +56,8 @@ pub struct TransientResult {
     /// index 0 (always 0.0); the row stride is `node_count`.
     data: Vec<f64>,
     node_count: usize,
+    /// Solver-effort counters for this run.
+    pub stats: SolveStats,
 }
 
 impl TransientResult {
@@ -31,6 +66,7 @@ impl TransientResult {
             times: Vec::with_capacity(steps),
             data: Vec::with_capacity(steps * node_count),
             node_count,
+            stats: SolveStats::default(),
         }
     }
 

@@ -1,4 +1,4 @@
-//! Fixed-step transient analysis.
+//! Transient analysis with adaptive, LTE-controlled time stepping.
 //!
 //! Each step solves the full nonlinear system with Newton–Raphson, replacing
 //! every capacitor (explicit and device) by its integration companion model:
@@ -9,6 +9,27 @@
 //! * **trapezoidal** — `i = 2C/Δt·(v_{n+1} − v_n) − i_n`: second-order
 //!   accurate, available for accuracy cross-checks (the integrator ablation
 //!   bench compares both).
+//!
+//! Two step-control policies are available ([`StepControl`]):
+//!
+//! * **adaptive** (the default for [`TransientSpec::new`]) — every step is
+//!   solved twice, once as a single step of `h` and once as two half steps
+//!   with a midpoint re-linearization; the difference between the two
+//!   solutions estimates the local truncation error. Steps whose error
+//!   exceeds `ltol` are rejected and retried smaller; accepted steps grow
+//!   toward `dt_max` on flat stretches. A breakpoint schedule harvested
+//!   from every source waveform forces steps to land exactly on pulse
+//!   edges, so no edge can be stepped over no matter how large the step
+//!   has grown. SRAM metric transients are mostly flat digital plateaus,
+//!   so the adaptive engine spends its (3× per-step) solve cost only where
+//!   the waveform actually moves and skips nanoseconds of quiescence.
+//! * **fixed** ([`TransientSpec::fixed`]) — the uniform grid
+//!   `t_k = k·dt`, one solve per step; the reference path for accuracy
+//!   regressions and the integrator-ablation bench.
+//!
+//! Both paths support [`StopEvent`] early exit: once armed, a node-voltage
+//! difference crossing ends the run as soon as the outcome it encodes (an
+//! SRAM cell committed to a flip, or back to its held state) is decided.
 //!
 //! Nonlinear device capacitances are re-evaluated at the start of every step
 //! and held for the step (standard charge-conserving-enough linearization at
@@ -31,19 +52,61 @@ pub enum Integrator {
     Trapezoidal,
 }
 
+/// Default per-step local-truncation-error tolerance, V. 0.5 mV on a
+/// sub-volt rail matches the SPICE-conventional `reltol ≈ 1e-3` regime:
+/// coarse enough that plateaus run at large steps, fine enough that the
+/// paper's millivolt-scale metrics see accumulated errors well below their
+/// assertion tolerances (the accuracy regression tests pin this).
+const DEFAULT_LTOL: f64 = 5e-4;
+/// Default `dt_min` as a fraction of the requested `dt`.
+const DT_MIN_FRACTION: f64 = 0.125;
+/// Default `dt_max` as a multiple of the requested `dt`.
+const DT_MAX_FACTOR: f64 = 64.0;
+
+/// Adaptive step-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOpts {
+    /// Smallest step the controller may take, s. A trial at this floor is
+    /// accepted regardless of its error estimate (progress guarantee).
+    pub dt_min: f64,
+    /// Largest step the controller may grow to, s. Bounds how much of a
+    /// quiet waveform a single backward-Euler step may smear.
+    pub dt_max: f64,
+    /// Per-step local-truncation-error tolerance on any node voltage, V.
+    pub ltol: f64,
+}
+
+/// Time-step policy of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepControl {
+    /// Uniform grid at `dt`: one Newton solve per step, no error control.
+    Fixed,
+    /// Step-doubling LTE control within `[dt_min, dt_max]`, with steps
+    /// landing exactly on source-waveform breakpoints.
+    Adaptive(AdaptiveOpts),
+}
+
 /// Transient run controls.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientSpec {
     /// End time, s.
     pub t_stop: f64,
-    /// Fixed time step, s. Must resolve the fastest source edge.
+    /// Initial (adaptive) or fixed time step, s. Under adaptive control
+    /// this seeds the controller and sets its default bounds
+    /// (`dt_min = dt/8`, `dt_max = 64·dt`); under fixed control it is the
+    /// uniform grid spacing and must resolve the fastest source edge.
     pub dt: f64,
     /// Integration method.
     pub integrator: Integrator,
+    /// Step-control policy.
+    pub control: StepControl,
 }
 
 impl TransientSpec {
-    /// A backward-Euler spec with the given stop time and step.
+    /// A backward-Euler spec with **adaptive** step control seeded at `dt`:
+    /// LTE tolerance [`DEFAULT_LTOL` = 0.5 mV], step bounds
+    /// `[dt/8, min(64·dt, t_stop)]`, and steps landing exactly on source
+    /// edges.
     ///
     /// # Panics
     ///
@@ -55,12 +118,65 @@ impl TransientSpec {
             t_stop,
             dt,
             integrator: Integrator::default(),
+            control: StepControl::Adaptive(AdaptiveOpts {
+                dt_min: dt * DT_MIN_FRACTION,
+                dt_max: (dt * DT_MAX_FACTOR).min(t_stop),
+                ltol: DEFAULT_LTOL,
+            }),
+        }
+    }
+
+    /// A backward-Euler spec on the **fixed** uniform grid `t_k = k·dt` —
+    /// the pre-adaptive engine, kept for accuracy references and for
+    /// benches that sweep `dt` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is non-positive or `dt > t_stop`.
+    pub fn fixed(t_stop: f64, dt: f64) -> Self {
+        assert!(t_stop > 0.0 && dt > 0.0, "durations must be positive");
+        assert!(dt <= t_stop, "dt must not exceed t_stop");
+        TransientSpec {
+            t_stop,
+            dt,
+            integrator: Integrator::default(),
+            control: StepControl::Fixed,
         }
     }
 
     /// Selects the integration method (builder style).
     pub fn with_integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Overrides the adaptive LTE tolerance (no-op under fixed control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ltol` is not positive.
+    pub fn with_ltol(mut self, ltol: f64) -> Self {
+        assert!(ltol > 0.0, "ltol must be positive");
+        if let StepControl::Adaptive(ref mut a) = self.control {
+            a.ltol = ltol;
+        }
+        self
+    }
+
+    /// Overrides the adaptive step bounds (no-op under fixed control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_min` is not positive or exceeds `dt_max`.
+    pub fn with_step_bounds(mut self, dt_min: f64, dt_max: f64) -> Self {
+        assert!(
+            dt_min > 0.0 && dt_min <= dt_max,
+            "need 0 < dt_min <= dt_max"
+        );
+        if let StepControl::Adaptive(ref mut a) = self.control {
+            a.dt_min = dt_min;
+            a.dt_max = dt_max;
+        }
         self
     }
 }
@@ -77,6 +193,65 @@ pub enum InitialState {
     Uic(Vec<(NodeId, f64)>),
 }
 
+/// A condition that ends a transient run early once the outcome it encodes
+/// is decided: after `t_arm`, the run stops at the first accepted step where
+/// `V(a) − V(b)` exceeds `above` or falls below `below`.
+///
+/// The canonical use is an SRAM storage-node pair: once the differential has
+/// committed past the regeneration threshold (either way), the remaining
+/// settle time carries no information and the flip/no-flip verdict is
+/// already determined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopEvent {
+    /// Positive node of the monitored difference.
+    pub a: NodeId,
+    /// Negative node of the monitored difference.
+    pub b: NodeId,
+    /// Fire when `V(a) − V(b)` rises above this level, if set.
+    pub above: Option<f64>,
+    /// Fire when `V(a) − V(b)` falls below this level, if set.
+    pub below: Option<f64>,
+    /// Ignore the condition before this time, s — events must not trigger
+    /// while the stimulus that decides them is still active.
+    pub t_arm: f64,
+}
+
+impl StopEvent {
+    /// Stop once `V(a) − V(b) > level` after `t_arm`.
+    pub fn diff_above(a: NodeId, b: NodeId, level: f64, t_arm: f64) -> Self {
+        StopEvent {
+            a,
+            b,
+            above: Some(level),
+            below: None,
+            t_arm,
+        }
+    }
+
+    /// Stop once `V(a) − V(b) < level` after `t_arm`.
+    pub fn diff_below(a: NodeId, b: NodeId, level: f64, t_arm: f64) -> Self {
+        StopEvent {
+            a,
+            b,
+            above: None,
+            below: Some(level),
+            t_arm,
+        }
+    }
+
+    /// Stop once `|V(a) − V(b)| > margin` after `t_arm` — the "outcome
+    /// decided either way" form used for flip/no-flip write transients.
+    pub fn decided(a: NodeId, b: NodeId, margin: f64, t_arm: f64) -> Self {
+        StopEvent {
+            a,
+            b,
+            above: Some(margin),
+            below: Some(-margin),
+            t_arm,
+        }
+    }
+}
+
 /// One capacitive branch with its instantaneous capacitance and (for
 /// trapezoidal) its branch-current history.
 #[derive(Debug, Clone)]
@@ -85,6 +260,58 @@ pub(crate) struct CapBranch {
     b: NodeId,
     c: f64,
     i_prev: f64,
+}
+
+/// Fills `out` with the companion-model stamps of `branches` for one step
+/// of `dt` from the state `x`.
+fn build_companions(
+    mna: &Mna<'_>,
+    x: &[f64],
+    branches: &[CapBranch],
+    dt: f64,
+    use_be: bool,
+    out: &mut CompanionCaps,
+) {
+    out.entries.clear();
+    for br in branches {
+        let v_ab = mna.voltage_of(x, br.a) - mna.voltage_of(x, br.b);
+        let (geq, ieq) = if use_be {
+            let geq = br.c / dt;
+            (geq, -geq * v_ab)
+        } else {
+            let geq = 2.0 * br.c / dt;
+            (geq, -geq * v_ab - br.i_prev)
+        };
+        out.entries.push((br.a, br.b, geq, ieq));
+    }
+}
+
+/// Re-linearizes capacitances at the post-step state `x` into `out` and
+/// derives each branch's current history from the companion stamps that
+/// produced `x` (`i = geq·v_ab + ieq`).
+fn relinearize(
+    circuit: &Circuit,
+    mna: &Mna<'_>,
+    x: &[f64],
+    companions: &CompanionCaps,
+    out: &mut Vec<CapBranch>,
+) {
+    circuit.fill_cap_branches(|n| mna.voltage_of(x, n), out);
+    for (nb, comp) in out.iter_mut().zip(&companions.entries) {
+        let v_ab_new = mna.voltage_of(x, comp.0) - mna.voltage_of(x, comp.1);
+        nb.i_prev = comp.2 * v_ab_new + comp.3;
+    }
+}
+
+/// Whether any armed stop event fires on the state `x` at time `t`.
+fn event_fired(events: &[StopEvent], mna: &Mna<'_>, x: &[f64], t: f64) -> bool {
+    events.iter().any(|ev| {
+        if t < ev.t_arm {
+            return false;
+        }
+        let d = mna.voltage_of(x, ev.a) - mna.voltage_of(x, ev.b);
+        ev.above.is_some_and(|th| d > th) || ev.below.is_some_and(|th| d < th)
+    })
 }
 
 impl Circuit {
@@ -125,13 +352,30 @@ impl Circuit {
         }
     }
 
+    /// Collects every source waveform's breakpoints in `(min_sep, t_stop)`
+    /// into `out`: sorted, deduplicated to `min_sep` spacing. These are the
+    /// times the adaptive engine must land on exactly.
+    fn fill_breakpoints(&self, t_stop: f64, min_sep: f64, out: &mut Vec<f64>) {
+        out.clear();
+        for vs in &self.vsources {
+            vs.wave.breakpoints_into(out);
+        }
+        for is in &self.isources {
+            is.wave.breakpoints_into(out);
+        }
+        out.retain(|&t| t > min_sep && t < t_stop - 0.5 * min_sep);
+        out.sort_unstable_by(|a, b| a.partial_cmp(b).expect("breakpoint times are finite"));
+        out.dedup_by(|a, b| *a - *b < min_sep);
+    }
+
     /// Runs a transient analysis.
     ///
-    /// Node voltages for every node are recorded at every step, starting
-    /// with the initial state at `t = 0`. Solver scratch comes from a
-    /// per-thread [`NewtonWorkspace`] that is reused across calls; use
-    /// [`transient_with`](Circuit::transient_with) to supply one
-    /// explicitly.
+    /// Node voltages for every node are recorded at every accepted step,
+    /// starting with the initial state at `t = 0`. Solver scratch comes
+    /// from a per-thread [`NewtonWorkspace`] that is reused across calls;
+    /// use [`transient_with`](Circuit::transient_with) to supply one
+    /// explicitly, or [`transient_events`](Circuit::transient_events) to
+    /// add early-exit conditions.
     ///
     /// # Errors
     ///
@@ -142,7 +386,7 @@ impl Circuit {
         spec: &TransientSpec,
         initial: &InitialState,
     ) -> Result<TransientResult, SimError> {
-        with_workspace(|ws| self.transient_with(spec, initial, ws))
+        with_workspace(|ws| self.transient_events_with(spec, initial, &[], ws))
     }
 
     /// Runs a transient analysis with caller-owned solver scratch.
@@ -164,9 +408,43 @@ impl Circuit {
         initial: &InitialState,
         ws: &mut NewtonWorkspace,
     ) -> Result<TransientResult, SimError> {
+        self.transient_events_with(spec, initial, &[], ws)
+    }
+
+    /// Runs a transient analysis that may end early on a [`StopEvent`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`], [`SimError::InvalidCircuit`]).
+    pub fn transient_events(
+        &self,
+        spec: &TransientSpec,
+        initial: &InitialState,
+        events: &[StopEvent],
+    ) -> Result<TransientResult, SimError> {
+        with_workspace(|ws| self.transient_events_with(spec, initial, events, ws))
+    }
+
+    /// The full transient engine: caller-owned scratch plus early-exit
+    /// events. All other transient entry points delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`], [`SimError::InvalidCircuit`]).
+    pub fn transient_events_with(
+        &self,
+        spec: &TransientSpec,
+        initial: &InitialState,
+        events: &[StopEvent],
+        ws: &mut NewtonWorkspace,
+    ) -> Result<TransientResult, SimError> {
         let mna = Mna::new(self)?;
         let n_v = mna.voltage_count();
         let opts = NewtonOpts::default();
+        let solves0 = ws.bufs.newton_solves;
+        let iters0 = ws.bufs.newton_iters;
 
         // --- Initial state -------------------------------------------------
         let mut x = match initial {
@@ -203,59 +481,231 @@ impl Circuit {
             }
         };
 
-        let steps = (spec.t_stop / spec.dt).round() as usize;
-        // Pre-sized for every step: recording never reallocates mid-run.
-        let mut result = TransientResult::with_capacity(self.node_count(), steps + 1);
+        // Pre-size the waveform store so recording never reallocates
+        // mid-run: exact for the fixed grid, an estimate (initial-step
+        // count plus breakpoints) for the adaptive path, whose whole point
+        // is to take far fewer steps than that.
+        let capacity = match spec.control {
+            StepControl::Fixed => (spec.t_stop / spec.dt).round() as usize + 1,
+            StepControl::Adaptive(a) => {
+                self.fill_breakpoints(spec.t_stop, a.dt_min, &mut ws.breakpoints);
+                (spec.t_stop / spec.dt).ceil() as usize + 2 * ws.breakpoints.len() + 9
+            }
+        };
+        let mut result = TransientResult::with_capacity(self.node_count(), capacity);
         result.push(0.0, |node| mna.voltage_of(&x, node));
 
-        // --- Time stepping --------------------------------------------------
         self.fill_cap_branches(|n| mna.voltage_of(&x, n), &mut ws.branches);
-        for step in 1..=steps {
-            let t_new = step as f64 * spec.dt;
 
-            // Companion models from the state at t_n.
-            ws.companions.entries.clear();
-            // Trapezoidal needs a consistent branch-current history, which a
-            // UIC or DC start does not provide — so the first step is always
-            // backward Euler (the standard SPICE bootstrap).
-            let use_be = spec.integrator == Integrator::BackwardEuler || step == 1;
-            for br in &ws.branches {
-                let v_ab = mna.voltage_of(&x, br.a) - mna.voltage_of(&x, br.b);
-                let (geq, ieq) = if use_be {
-                    let geq = br.c / spec.dt;
-                    (geq, -geq * v_ab)
-                } else {
-                    let geq = 2.0 * br.c / spec.dt;
-                    (geq, -geq * v_ab - br.i_prev)
-                };
-                ws.companions.entries.push((br.a, br.b, geq, ieq));
+        match spec.control {
+            // --- Fixed uniform grid ---------------------------------------
+            StepControl::Fixed => {
+                let steps = (spec.t_stop / spec.dt).round() as usize;
+                for step in 1..=steps {
+                    let t_new = step as f64 * spec.dt;
+                    // Trapezoidal needs a consistent branch-current history,
+                    // which a UIC or DC start does not provide — so the first
+                    // step is always backward Euler (the standard SPICE
+                    // bootstrap).
+                    let use_be = spec.integrator == Integrator::BackwardEuler || step == 1;
+                    build_companions(&mna, &x, &ws.branches, spec.dt, use_be, &mut ws.companions);
+
+                    // Newton solve for t_{n+1}, warm-started from t_n.
+                    x = solve_op(
+                        &mna,
+                        &mut ws.bufs,
+                        &mut ws.anchor,
+                        x,
+                        t_new,
+                        Some(&ws.companions),
+                        &opts,
+                        Some(t_new),
+                        false,
+                    )?;
+
+                    // Update branch-current history and re-linearize
+                    // capacitances at the new operating point
+                    // (double-buffered: `branches_next` swaps with
+                    // `branches`, reusing both allocations).
+                    relinearize(self, &mna, &x, &ws.companions, &mut ws.branches_next);
+                    std::mem::swap(&mut ws.branches, &mut ws.branches_next);
+
+                    result.push(t_new, |node| mna.voltage_of(&x, node));
+                    result.stats.accepted_steps += 1;
+                    if event_fired(events, &mna, &x, t_new) {
+                        result.stats.early_exit = true;
+                        break;
+                    }
+                }
             }
 
-            // Newton solve for t_{n+1}, warm-started from t_n.
-            x = solve_op(
-                &mna,
-                &mut ws.bufs,
-                &mut ws.anchor,
-                x,
-                t_new,
-                Some(&ws.companions),
-                &opts,
-                Some(t_new),
-                false,
-            )?;
+            // --- Adaptive step-doubling LTE control -----------------------
+            StepControl::Adaptive(a) => {
+                let mut t = 0.0;
+                let mut h = spec.dt.clamp(a.dt_min, a.dt_max);
+                let mut bp_idx = 0;
+                let mut first_step = true;
+                'time: while t < spec.t_stop {
+                    // Skip breakpoints already reached, then clamp the
+                    // controller's step so it lands exactly on the next one
+                    // (and on t_stop).
+                    while bp_idx < ws.breakpoints.len()
+                        && ws.breakpoints[bp_idx] <= t + 0.5 * a.dt_min
+                    {
+                        bp_idx += 1;
+                    }
+                    let mut t_new = t + h;
+                    if let Some(&bp) = ws.breakpoints.get(bp_idx) {
+                        if t_new > bp - 0.5 * a.dt_min {
+                            t_new = bp;
+                        }
+                    }
+                    if t_new > spec.t_stop - 0.5 * a.dt_min {
+                        t_new = spec.t_stop;
+                    }
+                    let mut h_try = t_new - t;
 
-            // Update branch-current history and re-linearize capacitances at
-            // the new operating point (double-buffered: `branches_next`
-            // swaps with `branches`, reusing both allocations).
-            self.fill_cap_branches(|n| mna.voltage_of(&x, n), &mut ws.branches_next);
-            for (nb, comp) in ws.branches_next.iter_mut().zip(&ws.companions.entries) {
-                let v_ab_new = mna.voltage_of(&x, comp.0) - mna.voltage_of(&x, comp.1);
-                nb.i_prev = comp.2 * v_ab_new + comp.3;
+                    // Trial loop: attempt h_try, shrink on an LTE rejection
+                    // or a Newton failure, accept at the floor regardless.
+                    loop {
+                        let use_be = spec.integrator == Integrator::BackwardEuler || first_step;
+                        let t_mid = 0.5 * (t + t_new);
+                        let mut trial_err: Option<SimError> = None;
+                        let mut lte = f64::INFINITY;
+
+                        // Coarse: one full step t -> t_new.
+                        build_companions(&mna, &x, &ws.branches, h_try, use_be, &mut ws.companions);
+                        ws.x_coarse.clear();
+                        ws.x_coarse.extend_from_slice(&x);
+                        match solve_op(
+                            &mna,
+                            &mut ws.bufs,
+                            &mut ws.anchor,
+                            std::mem::take(&mut ws.x_coarse),
+                            t_new,
+                            Some(&ws.companions),
+                            &opts,
+                            Some(t_new),
+                            false,
+                        ) {
+                            Ok(v) => ws.x_coarse = v,
+                            Err(e) => trial_err = Some(e),
+                        }
+
+                        // Fine: two half steps with a midpoint
+                        // re-linearization of the nonlinear capacitances.
+                        if trial_err.is_none() {
+                            build_companions(
+                                &mna,
+                                &x,
+                                &ws.branches,
+                                0.5 * h_try,
+                                use_be,
+                                &mut ws.companions,
+                            );
+                            ws.x_fine.clear();
+                            ws.x_fine.extend_from_slice(&x);
+                            match solve_op(
+                                &mna,
+                                &mut ws.bufs,
+                                &mut ws.anchor,
+                                std::mem::take(&mut ws.x_fine),
+                                t_mid,
+                                Some(&ws.companions),
+                                &opts,
+                                Some(t_mid),
+                                false,
+                            ) {
+                                Ok(v) => ws.x_fine = v,
+                                Err(e) => trial_err = Some(e),
+                            }
+                        }
+                        if trial_err.is_none() {
+                            relinearize(
+                                self,
+                                &mna,
+                                &ws.x_fine,
+                                &ws.companions,
+                                &mut ws.branches_mid,
+                            );
+                            build_companions(
+                                &mna,
+                                &ws.x_fine,
+                                &ws.branches_mid,
+                                0.5 * h_try,
+                                use_be,
+                                &mut ws.companions,
+                            );
+                            match solve_op(
+                                &mna,
+                                &mut ws.bufs,
+                                &mut ws.anchor,
+                                std::mem::take(&mut ws.x_fine),
+                                t_new,
+                                Some(&ws.companions),
+                                &opts,
+                                Some(t_new),
+                                false,
+                            ) {
+                                Ok(v) => ws.x_fine = v,
+                                Err(e) => trial_err = Some(e),
+                            }
+                        }
+                        if trial_err.is_none() {
+                            // LTE estimate: largest node-voltage disagreement
+                            // between the coarse and fine solutions.
+                            lte = ws.x_fine[..n_v]
+                                .iter()
+                                .zip(&ws.x_coarse[..n_v])
+                                .fold(0.0f64, |m, (f, c)| m.max((f - c).abs()));
+                        }
+
+                        let at_floor = h_try <= a.dt_min * (1.0 + 1e-9);
+                        if trial_err.is_none() && (lte <= a.ltol || at_floor) {
+                            // Accept the fine solution (it carries the
+                            // midpoint re-linearization).
+                            std::mem::swap(&mut x, &mut ws.x_fine);
+                            relinearize(self, &mna, &x, &ws.companions, &mut ws.branches_next);
+                            std::mem::swap(&mut ws.branches, &mut ws.branches_next);
+                            t = t_new;
+                            first_step = false;
+                            result.push(t, |node| mna.voltage_of(&x, node));
+                            result.stats.accepted_steps += 1;
+                            // First-order controller: next step from this
+                            // step's error, bounded growth/shrink.
+                            let scale = if lte > 0.0 && lte.is_finite() {
+                                (0.9 * (a.ltol / lte).sqrt()).clamp(0.2, 2.0)
+                            } else {
+                                2.0
+                            };
+                            h = (h_try * scale).clamp(a.dt_min, a.dt_max);
+                            if event_fired(events, &mna, &x, t) {
+                                result.stats.early_exit = true;
+                                break 'time;
+                            }
+                            break;
+                        }
+
+                        // Rejected: shrink and retry; at the floor a Newton
+                        // failure is fatal (the LTE case was accepted above).
+                        result.stats.rejected_steps += 1;
+                        if at_floor {
+                            return Err(trial_err.expect("floor rejection implies Newton failure"));
+                        }
+                        let shrink = if trial_err.is_some() {
+                            0.25
+                        } else {
+                            (0.9 * (a.ltol / lte).sqrt()).clamp(0.1, 0.5)
+                        };
+                        h_try = (h_try * shrink).max(a.dt_min);
+                        t_new = t + h_try;
+                    }
+                }
             }
-            std::mem::swap(&mut ws.branches, &mut ws.branches_next);
-
-            result.push(t_new, |node| mna.voltage_of(&x, node));
         }
+
+        result.stats.newton_solves = ws.bufs.newton_solves - solves0;
+        result.stats.newton_iters = ws.bufs.newton_iters - iters0;
         Ok(result)
     }
 }
@@ -288,6 +738,155 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_matches_fixed_reference_on_rc() {
+        // Pulse-driven RC: the adaptive engine must track the dense
+        // fixed-step reference to half a percent of the 1 V swing
+        // everywhere (default ltol = 0.5 mV/step accumulates to a few mV
+        // over the fast edges).
+        let build = || {
+            let mut c = Circuit::new();
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.vsource(
+                "V",
+                inp,
+                Circuit::GND,
+                Waveform::pulse(0.0, 1.0, 0.5e-9, 2e-9, 50e-12),
+            );
+            c.resistor(inp, out, 1e3);
+            c.capacitor(out, Circuit::GND, 0.2e-12);
+            (c, out)
+        };
+        let (c_ref, out_ref) = build();
+        let reference = c_ref
+            .transient(
+                &TransientSpec::fixed(4e-9, 0.5e-12),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        let (c_ad, out_ad) = build();
+        let adaptive = c_ad
+            .transient(&TransientSpec::new(4e-9, 2e-12), &InitialState::Uic(vec![]))
+            .unwrap();
+
+        let mut worst = 0.0f64;
+        for k in 0..=400 {
+            let t = k as f64 * 1e-11;
+            worst = worst
+                .max((adaptive.voltage_at(out_ad, t) - reference.voltage_at(out_ref, t)).abs());
+        }
+        assert!(worst < 5e-3, "max |adaptive − fixed| = {worst:e} V");
+        // And it must be doing so with far fewer accepted steps.
+        assert!(
+            adaptive.stats.accepted_steps * 3 < reference.stats.accepted_steps,
+            "adaptive {} vs fixed {} steps",
+            adaptive.stats.accepted_steps,
+            reference.stats.accepted_steps
+        );
+    }
+
+    #[test]
+    fn adaptive_lands_on_source_edges() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource(
+            "V",
+            inp,
+            Circuit::GND,
+            Waveform::pulse(0.0, 1.0, 1e-9, 1e-9, 100e-12),
+        );
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        let res = c
+            .transient(
+                &TransientSpec::new(4e-9, 10e-12),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        // The pulse corners must appear as recorded time points exactly.
+        for edge in [1e-9, 1.1e-9, 1.9e-9, 2e-9] {
+            assert!(
+                res.times().iter().any(|&t| (t - edge).abs() < 1e-15),
+                "no step lands on edge {edge:e}"
+            );
+        }
+        // The run ends exactly at t_stop.
+        assert!((res.times().last().unwrap() - 4e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stop_event_ends_run_early() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        let events = [StopEvent::diff_above(out, Circuit::GND, 0.5, 0.0)];
+        for spec in [
+            TransientSpec::new(20e-9, 1e-12),
+            TransientSpec::fixed(20e-9, 10e-12),
+        ] {
+            let res = c
+                .transient_events(&spec, &InitialState::Uic(vec![]), &events)
+                .unwrap();
+            assert!(res.stats.early_exit, "event must fire");
+            let t_end = *res.times().last().unwrap();
+            // v crosses 0.5 at τ·ln 2 ≈ 0.69 ns; the run must stop shortly
+            // after, nowhere near the 20 ns horizon.
+            assert!(t_end < 2e-9, "stopped at {t_end:e}");
+            assert!(res.final_voltage(out) > 0.5);
+        }
+    }
+
+    #[test]
+    fn stop_event_respects_arming_time() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        let events = [StopEvent::diff_above(out, Circuit::GND, 0.5, 5e-9)];
+        let res = c
+            .transient_events(
+                &TransientSpec::new(20e-9, 1e-12),
+                &InitialState::Uic(vec![]),
+                &events,
+            )
+            .unwrap();
+        assert!(res.stats.early_exit);
+        assert!(
+            *res.times().last().unwrap() >= 5e-9,
+            "must not fire unarmed"
+        );
+    }
+
+    #[test]
+    fn solver_effort_counters_are_collected() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        let res = c
+            .transient(
+                &TransientSpec::fixed(1e-9, 10e-12),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        assert_eq!(res.stats.accepted_steps, 100);
+        assert_eq!(res.stats.rejected_steps, 0);
+        // One solve per step plus the UIC initial solve (ladder retries
+        // would only add more).
+        assert!(res.stats.newton_solves >= 101, "{:?}", res.stats);
+        assert!(res.stats.newton_iters >= res.stats.newton_solves);
+        assert!(!res.stats.early_exit);
+    }
+
+    #[test]
     fn trapezoidal_is_more_accurate_than_be_on_rc() {
         let build = || {
             let mut c = Circuit::new();
@@ -299,24 +898,44 @@ mod tests {
             (c, out)
         };
         let exact = 1.0 - (-1.0f64).exp();
-        // Deliberately coarse step to expose the order difference.
+        // Deliberately coarse *fixed* step to expose the order difference
+        // (the adaptive controller would shrink it away).
         let (c, out) = build();
         let be = c
             .transient(
-                &TransientSpec::new(1e-9, 100e-12),
+                &TransientSpec::fixed(1e-9, 100e-12),
                 &InitialState::Uic(vec![]),
             )
             .unwrap();
         let (c, out2) = build();
         let tr = c
             .transient(
-                &TransientSpec::new(1e-9, 100e-12).with_integrator(Integrator::Trapezoidal),
+                &TransientSpec::fixed(1e-9, 100e-12).with_integrator(Integrator::Trapezoidal),
                 &InitialState::Uic(vec![]),
             )
             .unwrap();
         let err_be = (be.final_voltage(out) - exact).abs();
         let err_tr = (tr.final_voltage(out2) - exact).abs();
         assert!(err_tr < err_be, "trap {err_tr} !< BE {err_be}");
+    }
+
+    #[test]
+    fn adaptive_trapezoidal_tracks_rc() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        let res = c
+            .transient(
+                &TransientSpec::new(5e-9, 1e-12).with_integrator(Integrator::Trapezoidal),
+                &InitialState::Uic(vec![]),
+            )
+            .unwrap();
+        let v_tau = res.voltage_at(out, 1e-9);
+        assert!((v_tau - 0.632).abs() < 0.02, "v(τ) = {v_tau}");
+        assert!((res.final_voltage(out) - 1.0).abs() < 0.01);
     }
 
     #[test]
@@ -432,5 +1051,11 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dt_rejected() {
         TransientSpec::new(1e-9, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected_fixed() {
+        TransientSpec::fixed(1e-9, 0.0);
     }
 }

@@ -102,9 +102,17 @@ impl Waveform {
     /// Breakpoint times (empty for DC) — the transient engine refines its
     /// step grid so edges land on steps exactly.
     pub fn breakpoints(&self) -> Vec<f64> {
-        match self {
-            Waveform::Dc(_) => Vec::new(),
-            Waveform::Pwl(lut) => lut.axis().to_vec(),
+        let mut out = Vec::new();
+        self.breakpoints_into(&mut out);
+        out
+    }
+
+    /// Appends this waveform's breakpoint times to `out` without allocating
+    /// a fresh vector — the adaptive transient engine harvests every
+    /// source's edges into one reusable schedule buffer per run.
+    pub fn breakpoints_into(&self, out: &mut Vec<f64>) {
+        if let Waveform::Pwl(lut) = self {
+            out.extend_from_slice(lut.axis());
         }
     }
 }

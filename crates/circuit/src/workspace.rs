@@ -24,7 +24,9 @@ use tfet_numerics::matrix::LuWorkspace;
 use tfet_numerics::Matrix;
 
 /// Buffers for one damped-Newton solve: Jacobian, residual, negated RHS,
-/// update vector, and the LU factorization workspace.
+/// update vector, and the LU factorization workspace — plus lifetime
+/// counters of solver effort (solves started, iterations performed) that
+/// the transient engine snapshots to report per-run statistics.
 #[derive(Debug)]
 pub(crate) struct SolverBufs {
     pub(crate) j: Matrix,
@@ -32,6 +34,12 @@ pub(crate) struct SolverBufs {
     pub(crate) rhs: Vec<f64>,
     pub(crate) dx: Vec<f64>,
     pub(crate) lu: LuWorkspace,
+    /// Newton solves started since this workspace was created (monotone;
+    /// consumers measure effort by differencing snapshots).
+    pub(crate) newton_solves: u64,
+    /// Newton iterations (Jacobian assemblies + LU factorizations) since
+    /// this workspace was created.
+    pub(crate) newton_iters: u64,
 }
 
 impl Default for SolverBufs {
@@ -42,6 +50,8 @@ impl Default for SolverBufs {
             rhs: Vec::new(),
             dx: Vec::new(),
             lu: LuWorkspace::default(),
+            newton_solves: 0,
+            newton_iters: 0,
         }
     }
 }
@@ -80,6 +90,14 @@ pub struct NewtonWorkspace {
     pub(crate) branches: Vec<CapBranch>,
     /// Double buffer for re-linearizing branches at the end of a step.
     pub(crate) branches_next: Vec<CapBranch>,
+    /// Branches re-linearized at the midpoint of an adaptive trial step.
+    pub(crate) branches_mid: Vec<CapBranch>,
+    /// Coarse (single full-step) solution of an adaptive trial step.
+    pub(crate) x_coarse: Vec<f64>,
+    /// Fine (two half-steps) solution of an adaptive trial step.
+    pub(crate) x_fine: Vec<f64>,
+    /// Sorted source-edge times for the adaptive breakpoint schedule.
+    pub(crate) breakpoints: Vec<f64>,
 }
 
 impl NewtonWorkspace {

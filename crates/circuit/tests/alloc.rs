@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tfet_circuit::transient::InitialState;
-use tfet_circuit::{Circuit, Integrator, NewtonWorkspace, TransientSpec, Waveform};
+use tfet_circuit::{Circuit, NewtonWorkspace, TransientSpec, Waveform};
 
 struct CountingAlloc;
 
@@ -58,16 +58,20 @@ fn rc_chain() -> Circuit {
 }
 
 fn run(c: &Circuit, steps: usize, ws: &mut NewtonWorkspace) -> usize {
-    let spec = TransientSpec {
-        t_stop: steps as f64 * 1e-12,
-        dt: 1e-12,
-        integrator: Integrator::BackwardEuler,
-    };
+    let spec = TransientSpec::fixed(steps as f64 * 1e-12, 1e-12);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let result = c
         .transient_with(&spec, &InitialState::Uic(vec![]), ws)
         .unwrap();
     assert_eq!(result.len(), steps + 1);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn run_adaptive(c: &Circuit, t_stop: f64, ws: &mut NewtonWorkspace) -> usize {
+    let spec = TransientSpec::new(t_stop, 1e-12);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    c.transient_with(&spec, &InitialState::Uic(vec![]), ws)
+        .unwrap();
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
@@ -86,5 +90,24 @@ fn transient_inner_loop_allocates_nothing_per_step() {
     assert_eq!(
         long, short,
         "per-step allocations detected: {short} allocs at 200 steps vs {long} at 400"
+    );
+}
+
+#[test]
+fn adaptive_loop_allocates_nothing_per_step() {
+    let c = rc_chain();
+    let mut ws = NewtonWorkspace::new();
+    // Warm-up sizes every workspace buffer, including the adaptive trial
+    // and breakpoint buffers.
+    run_adaptive(&c, 1e-9, &mut ws);
+
+    let short = run_adaptive(&c, 2e-9, &mut ws);
+    let long = run_adaptive(&c, 4e-9, &mut ws);
+    // Doubling the simulated horizon multiplies the number of accepted
+    // steps but must not change the allocation count: all trial-step
+    // scratch lives in the workspace and the waveform store is pre-sized.
+    assert_eq!(
+        long, short,
+        "per-step allocations detected in adaptive path: {short} vs {long}"
     );
 }

@@ -8,9 +8,21 @@
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::metrics::{read_metrics, wl_crit, WlCrit};
+use crate::metrics::{read_metrics, wl_crit, wl_crit_seeded, WlCrit};
 use crate::tech::CellParams;
 use tfet_numerics::par_try_map;
+
+/// Evaluates the first grid point cold (serially) and returns its finite
+/// `WL_crit` — if any — as the bracket seed for the remaining points.
+///
+/// `WL_crit` varies smoothly (and monotonically) in β, so the first point's
+/// answer lands the seeded search of every later point inside a narrow
+/// bracket. The hint is computed once and shared, never chained point to
+/// point, so the fanned-out points stay independent and the sweep output is
+/// identical at any thread count.
+fn first_point_hint(first: WlCrit) -> Option<f64> {
+    first.as_finite()
+}
 
 /// One point of a β sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,15 +41,29 @@ pub struct BetaPoint {
 ///
 /// Propagates simulation failures.
 pub fn beta_sweep(base: &CellParams, betas: &[f64]) -> Result<Vec<BetaPoint>, SramError> {
-    par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
-        let beta = betas[i];
+    let Some((&beta0, rest)) = betas.split_first() else {
+        return Ok(Vec::new());
+    };
+    let params0 = base.clone().with_beta(beta0);
+    let first = BetaPoint {
+        beta: beta0,
+        drnm: read_metrics(&params0, None)?.drnm,
+        wl_crit: wl_crit(&params0, None)?,
+    };
+    let hint = first_point_hint(first.wl_crit);
+    let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
+        let beta = rest[i];
         let params = base.clone().with_beta(beta);
         Ok(BetaPoint {
             beta,
             drnm: read_metrics(&params, None)?.drnm,
-            wl_crit: wl_crit(&params, None)?,
+            wl_crit: wl_crit_seeded(&params, None, hint)?.value,
         })
-    })
+    })?;
+    let mut pts = Vec::with_capacity(betas.len());
+    pts.push(first);
+    pts.extend(tail);
+    Ok(pts)
 }
 
 /// One point of a write-assist sweep.
@@ -61,14 +87,26 @@ pub fn write_assist_sweep(
     assist: WriteAssist,
     betas: &[f64],
 ) -> Result<Vec<WaPoint>, SramError> {
-    par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
-        let beta = betas[i];
+    let Some((&beta0, rest)) = betas.split_first() else {
+        return Ok(Vec::new());
+    };
+    let first = WaPoint {
+        beta: beta0,
+        wl_crit: wl_crit(&base.clone().with_beta(beta0), Some(assist))?,
+    };
+    let hint = first_point_hint(first.wl_crit);
+    let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
+        let beta = rest[i];
         let params = base.clone().with_beta(beta);
         Ok(WaPoint {
             beta,
-            wl_crit: wl_crit(&params, Some(assist))?,
+            wl_crit: wl_crit_seeded(&params, Some(assist), hint)?.value,
         })
-    })
+    })?;
+    let mut pts = Vec::with_capacity(betas.len());
+    pts.push(first);
+    pts.extend(tail);
+    Ok(pts)
 }
 
 /// One point of a read-assist sweep.
@@ -124,14 +162,23 @@ pub fn wa_tradeoff(
     assist: WriteAssist,
     betas: &[f64],
 ) -> Result<TradeoffCurve, SramError> {
-    let points = par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
-        let params = base.clone().with_beta(betas[i]);
-        let drnm = read_metrics(&params, None)?.drnm;
-        Ok(match wl_crit(&params, Some(assist))? {
-            WlCrit::Finite(w) => Some((drnm, w)),
-            WlCrit::Infinite => None,
-        })
-    })?;
+    let mut points = Vec::with_capacity(betas.len());
+    if let Some((&beta0, rest)) = betas.split_first() {
+        let params0 = base.clone().with_beta(beta0);
+        let drnm0 = read_metrics(&params0, None)?.drnm;
+        let wl0 = wl_crit(&params0, Some(assist))?;
+        let hint = first_point_hint(wl0);
+        points.push(wl0.as_finite().map(|w| (drnm0, w)));
+        let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
+            let params = base.clone().with_beta(rest[i]);
+            let drnm = read_metrics(&params, None)?.drnm;
+            Ok(match wl_crit_seeded(&params, Some(assist), hint)?.value {
+                WlCrit::Finite(w) => Some((drnm, w)),
+                WlCrit::Infinite => None,
+            })
+        })?;
+        points.extend(tail);
+    }
     Ok(TradeoffCurve {
         label: format!("{} WA", assist.label()),
         points: points.into_iter().flatten().collect(),
@@ -148,14 +195,23 @@ pub fn ra_tradeoff(
     assist: ReadAssist,
     betas: &[f64],
 ) -> Result<TradeoffCurve, SramError> {
-    let points = par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
-        let params = base.clone().with_beta(betas[i]);
-        let drnm = read_metrics(&params, Some(assist))?.drnm;
-        Ok(match wl_crit(&params, None)? {
-            WlCrit::Finite(w) => Some((drnm, w)),
-            WlCrit::Infinite => None,
-        })
-    })?;
+    let mut points = Vec::with_capacity(betas.len());
+    if let Some((&beta0, rest)) = betas.split_first() {
+        let params0 = base.clone().with_beta(beta0);
+        let drnm0 = read_metrics(&params0, Some(assist))?.drnm;
+        let wl0 = wl_crit(&params0, None)?;
+        let hint = first_point_hint(wl0);
+        points.push(wl0.as_finite().map(|w| (drnm0, w)));
+        let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
+            let params = base.clone().with_beta(rest[i]);
+            let drnm = read_metrics(&params, Some(assist))?.drnm;
+            Ok(match wl_crit_seeded(&params, None, hint)?.value {
+                WlCrit::Finite(w) => Some((drnm, w)),
+                WlCrit::Infinite => None,
+            })
+        })?;
+        points.extend(tail);
+    }
     Ok(TradeoffCurve {
         label: format!("{} RA", assist.label()),
         points: points.into_iter().flatten().collect(),

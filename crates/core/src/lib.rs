@@ -68,7 +68,9 @@ pub use error::SramError;
 pub mod prelude {
     pub use crate::assist::{ReadAssist, WriteAssist};
     pub use crate::error::SramError;
-    pub use crate::metrics::{self, WlCrit};
+    pub use crate::metrics::{self, WlCrit, WlCritRun};
     pub use crate::montecarlo::McConfig;
-    pub use crate::tech::{AccessConfig, CellKind, CellParams, CellSizing, DeviceEval};
+    pub use crate::tech::{
+        AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SteppingMode,
+    };
 }

@@ -18,7 +18,7 @@
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::metrics::{read_metrics, wl_crit, WlCrit};
+use crate::metrics::{read_metrics, wl_crit, wl_crit_seeded, WlCrit};
 use crate::tech::{CellParams, CellVariations, Role};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -164,10 +164,17 @@ pub fn mc_wl_crit_with(
     n: usize,
     config: McConfig,
 ) -> Result<McWlCrit, SramError> {
+    // Seed every sample's bisection from the *nominal* cell's answer: ±5 %
+    // t_ox perturbs WL_crit by a few percent, so the nominal value lands each
+    // sample's search in a narrow bracket. The hint is computed once, before
+    // the fan-out, and shared by all samples — never chained sample to
+    // sample — so results stay bit-identical at any thread count. A failing
+    // nominal cell yields no hint and samples fall back to the cold search.
+    let hint = wl_crit(base, assist).ok().and_then(|w| w.as_finite());
     let outcomes = par_try_map(n, config.threads, |i| {
         let mut rng = config.sample_rng(i);
         let params = base.clone().with_variations(sample_variations(&mut rng));
-        wl_crit(&params, assist)
+        wl_crit_seeded(&params, assist, hint).map(|run| run.value)
     })?;
     let mut values = Vec::with_capacity(n);
     let mut failures = 0;

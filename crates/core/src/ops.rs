@@ -21,7 +21,7 @@ use crate::cell::{build_cell, CellNodes};
 use crate::error::SramError;
 use crate::tech::{CellKind, CellParams};
 use tfet_circuit::transient::InitialState;
-use tfet_circuit::{Circuit, NodeId, SourceId, TransientResult, TransientSpec, Waveform};
+use tfet_circuit::{Circuit, NodeId, SourceId, StopEvent, TransientResult, Waveform};
 
 /// Assist windows open this long *before* the wordline pulse (paper
 /// Figs. 6–7 timing diagrams assert the assist first). The lead matters
@@ -255,8 +255,25 @@ pub fn run_write(
         uic.push((rwl, vdd));
     }
 
-    let spec = TransientSpec::new(t_end, sim.dt);
-    let result = c.transient(&spec, &InitialState::Uic(uic))?;
+    // Early exit: once the wordline and every assist rail are back at their
+    // hold levels, a storage-node differential beyond the regeneration
+    // margin has committed the cell either way — the flip/no-flip verdict
+    // (`flipped()` tests ±0.3·V_DD at t_end) can no longer change, so the
+    // rest of the post-write settle carries no information. The 0.35·V_DD
+    // margin keeps a safety band over the verdict threshold: borderline
+    // trajectories that hover inside it run to completion.
+    let events = [StopEvent::decided(
+        nodes.qb,
+        nodes.q,
+        0.35 * vdd,
+        t_a1 + 2.0 * sim.t_edge,
+    )];
+    let spec = sim.spec(t_end);
+    let result = c.transient_events(
+        &spec,
+        &InitialState::Uic(uic),
+        if sim.early_exit { &events } else { &[] },
+    )?;
     Ok(WriteRun {
         result,
         nodes,
@@ -439,8 +456,23 @@ pub fn run_read(params: &CellParams, assist: Option<ReadAssist>) -> Result<ReadR
         }
     };
 
-    let spec = TransientSpec::new(t_end, sim.dt);
-    let result = c.transient(&spec, &InitialState::Uic(uic))?;
+    // Early exit for the post-window tail only: the DRNM window
+    // [t_wl_on, t_wl_off] is always recorded in full; once the wordline
+    // (and any assist) has closed, a storage differential committed past
+    // ±0.75·V_DD means the cell has settled back (or irrecoverably
+    // flipped) and the remaining tail is quiescent.
+    let events = [StopEvent::decided(
+        nodes.qb,
+        nodes.q,
+        0.75 * vdd,
+        t_wl_off + 2.0 * sim.t_edge,
+    )];
+    let spec = sim.spec(t_end);
+    let result = c.transient_events(
+        &spec,
+        &InitialState::Uic(uic),
+        if sim.early_exit { &events } else { &[] },
+    )?;
     Ok(ReadRun {
         result,
         nodes,
@@ -510,6 +542,34 @@ mod tests {
         let p = fast(CellParams::cmos6t().with_beta(1.5));
         let run = run_write(&p, None, 1e-9).unwrap();
         assert!(run.flipped());
+    }
+
+    #[test]
+    fn adaptive_write_transient_matches_fixed_reference() {
+        // Accuracy regression for the adaptive engine on the full 6T write:
+        // the adaptive trace must track a fine fixed-step reference at both
+        // storage nodes over the whole run. Early exit is disabled so the
+        // two runs cover the same horizon.
+        let mut p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        p.sim.early_exit = false;
+        let adaptive = run_write(&p, None, 1e-9).unwrap();
+        let mut pf = p.clone();
+        pf.sim.stepping = crate::tech::SteppingMode::Fixed;
+        pf.sim.dt = 0.5e-12;
+        let fixed = run_write(&pf, None, 1e-9).unwrap();
+        assert_eq!(adaptive.flipped(), fixed.flipped());
+        let t_end = *fixed.result.times().last().unwrap();
+        let mut worst = 0.0f64;
+        for k in 0..=400 {
+            let t = t_end * k as f64 / 400.0;
+            for node in [adaptive.nodes.q, adaptive.nodes.qb] {
+                let dv = adaptive.result.voltage_at(node, t) - fixed.result.voltage_at(node, t);
+                worst = worst.max(dv.abs());
+            }
+        }
+        assert!(worst < 0.03, "max |adaptive − fixed| = {worst} V");
+        // And the adaptive run must be doing meaningfully less work.
+        assert!(adaptive.result.stats.accepted_steps * 3 < fixed.result.stats.accepted_steps);
     }
 
     #[test]

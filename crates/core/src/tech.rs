@@ -255,12 +255,27 @@ impl Default for CellVariations {
     }
 }
 
+/// Transient step-control policy selector for experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteppingMode {
+    /// Adaptive LTE-controlled stepping seeded at `dt` (the default): the
+    /// engine lands on source edges exactly and grows its step across the
+    /// flat digital plateaus that dominate SRAM metric transients.
+    #[default]
+    Adaptive,
+    /// The uniform `dt` grid — the reference path for accuracy regressions
+    /// and for benches that sweep `dt` itself.
+    Fixed,
+}
+
 /// Simulation timing controls. The defaults trade accuracy for speed at the
 /// point where metric values change by well under 1 % with further
 /// refinement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimOptions {
-    /// Transient time step, s.
+    /// Transient time step, s — the fixed grid under
+    /// [`SteppingMode::Fixed`], the initial/seed step under
+    /// [`SteppingMode::Adaptive`].
     pub dt: f64,
     /// Initial settle window before any stimulus, s.
     pub t_settle: f64,
@@ -278,9 +293,22 @@ pub struct SimOptions {
     /// Assist strength as a fraction of V_DD. The paper fixes 30 % for its
     /// §4 comparison; the assist-level ablation bench sweeps this.
     pub assist_fraction: f64,
+    /// Transient step-control policy.
+    pub stepping: SteppingMode,
+    /// Whether `run_write`/`run_read` may terminate a transient as soon as
+    /// the storage-node outcome is decided instead of running to `t_stop`.
+    pub early_exit: bool,
 }
 
 impl SimOptions {
+    /// The transient spec implementing this option set for a run of
+    /// `t_stop` seconds.
+    pub fn spec(&self, t_stop: f64) -> tfet_circuit::TransientSpec {
+        match self.stepping {
+            SteppingMode::Adaptive => tfet_circuit::TransientSpec::new(t_stop, self.dt),
+            SteppingMode::Fixed => tfet_circuit::TransientSpec::fixed(t_stop, self.dt),
+        }
+    }
     /// Stretches every time budget by `factor` (windows, pulse search range
     /// and tolerance) and coarsens the step by `√factor` (capped at 8 ps).
     /// Used when cell dynamics slow down, e.g. at reduced supply.
@@ -319,6 +347,8 @@ impl Default for SimOptions {
             pulse_tol: 2e-12,
             t_edge: 10e-12,
             assist_fraction: crate::assist::ASSIST_FRACTION,
+            stepping: SteppingMode::default(),
+            early_exit: true,
         }
     }
 }

@@ -262,6 +262,85 @@ pub fn critical_threshold(
     Threshold::Critical(hi)
 }
 
+/// [`critical_threshold`] with a warm-start hint: a guess at the critical
+/// value (e.g. the result at the previous sweep point or the nominal
+/// Monte-Carlo cell).
+///
+/// A good hint replaces the full-range bisection with two confirming probes
+/// around the hint plus a short bisection of the confirmed bracket; a bad
+/// hint costs a few geometric bracket expansions and degrades gracefully to
+/// the cold search. The result is always a valid threshold for the monotone
+/// predicate — only the number of `pred` evaluations (each a full transient
+/// for the `WL_crit` oracle) depends on hint quality.
+///
+/// `hint: None`, a non-finite hint, or a hint outside `(lo, hi)` fall back
+/// to the cold [`critical_threshold`].
+pub fn critical_threshold_seeded(
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    hint: Option<f64>,
+    mut pred: impl FnMut(f64) -> bool,
+) -> Threshold {
+    let Some(h) = hint else {
+        return critical_threshold(lo, hi, xtol, pred);
+    };
+    if !h.is_finite() || h <= lo || h >= hi {
+        return critical_threshold(lo, hi, xtol, pred);
+    }
+    // Initial bracket half-width: 10% of the hint — tight enough to pay off
+    // for the near-exact hints of Monte-Carlo sampling (a few % around the
+    // nominal cell), while a sweep-grade hint that misses by more costs only
+    // a couple of geometric expansion probes.
+    let w0 = (0.1 * h).max(4.0 * xtol);
+
+    // Ascend from the hint until the predicate holds.
+    let mut b_lo = lo;
+    let mut b_hi;
+    let mut w = w0;
+    let mut probe = (h + w).min(hi);
+    loop {
+        if pred(probe) {
+            b_hi = probe;
+            break;
+        }
+        if probe >= hi {
+            return Threshold::NeverTrue;
+        }
+        b_lo = probe;
+        w *= 2.0;
+        probe = (probe + w).min(hi);
+    }
+    // If the first upward probe already held, the threshold may sit below
+    // the hint: descend until the predicate fails.
+    if b_lo == lo {
+        let mut w = w0;
+        let mut probe = (h - w).max(lo);
+        loop {
+            if !pred(probe) {
+                b_lo = probe;
+                break;
+            }
+            b_hi = probe;
+            if probe <= lo {
+                return Threshold::AlwaysTrue;
+            }
+            w *= 2.0;
+            probe = (probe - w).max(lo);
+        }
+    }
+    // Bisect the confirmed bracket.
+    while b_hi - b_lo > xtol {
+        let mid = 0.5 * (b_lo + b_hi);
+        if pred(mid) {
+            b_hi = mid;
+        } else {
+            b_lo = mid;
+        }
+    }
+    Threshold::Critical(b_hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +429,64 @@ mod tests {
         assert!(matches!(th, Threshold::Critical(_)));
         // log2(1e9) ≈ 30 plus the two endpoint probes.
         assert!(calls <= 35, "too many oracle calls: {calls}");
+    }
+
+    #[test]
+    fn seeded_threshold_matches_cold_search() {
+        let pred = |x: f64| x >= 0.123456;
+        for hint in [None, Some(0.12), Some(0.5), Some(0.0001), Some(0.999)] {
+            match critical_threshold_seeded(0.0, 1.0, 1e-9, hint, pred) {
+                Threshold::Critical(v) => {
+                    assert!((v - 0.123456).abs() < 1e-7, "hint {hint:?} gave {v}")
+                }
+                other => panic!("hint {hint:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_threshold_handles_degenerate_predicates() {
+        let th = critical_threshold_seeded(0.0, 10.0, 1e-6, Some(5.0), |_| false);
+        assert!(th.is_never());
+        assert_eq!(
+            critical_threshold_seeded(0.0, 10.0, 1e-6, Some(5.0), |_| true),
+            Threshold::AlwaysTrue
+        );
+    }
+
+    #[test]
+    fn seeded_threshold_ignores_out_of_range_hints() {
+        for hint in [Some(-1.0), Some(2.0), Some(f64::NAN), Some(f64::INFINITY)] {
+            match critical_threshold_seeded(0.0, 1.0, 1e-9, hint, |x| x >= 0.25) {
+                Threshold::Critical(v) => assert!((v - 0.25).abs() < 1e-7),
+                other => panic!("hint {hint:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn good_hint_beats_cold_search_on_oracle_calls() {
+        // Metrics-like regime: tolerance is coarse relative to the range
+        // (pulse_tol vs max_pulse ≈ 1e-3) and the hint is within ~5% — the
+        // shape of a Monte-Carlo sample seeded from the nominal cell.
+        let target = 0.123456;
+        let count_calls = |hint: Option<f64>| {
+            let mut calls = 0;
+            let th = critical_threshold_seeded(0.0, 1.0, 1e-3, hint, |x| {
+                calls += 1;
+                x >= target
+            });
+            assert!(matches!(th, Threshold::Critical(_)));
+            calls
+        };
+        let cold = count_calls(None);
+        let seeded = count_calls(Some(0.12));
+        assert!(
+            2 * seeded <= cold + 2,
+            "seeded {seeded} calls vs cold {cold}: a near-exact hint must \
+             roughly halve the search"
+        );
+        assert!(seeded < cold);
     }
 
     #[test]

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== cargo bench --no-run =="
+cargo bench --workspace --offline --no-run
+
 echo "All checks passed."

@@ -4,7 +4,7 @@
 //! only — never of the worker-thread count or of scheduling. Every
 //! comparison here is exact (`Vec<f64>` equality), not approximate.
 
-use tfet_sram::metrics::{wl_crit, WlCrit};
+use tfet_sram::metrics::{wl_crit, wl_crit_seeded, WlCrit};
 use tfet_sram::montecarlo::{mc_drnm_with, mc_wl_crit_with, sample_variations, McConfig};
 use tfet_sram::prelude::*;
 
@@ -19,16 +19,18 @@ fn fast(params: CellParams) -> CellParams {
 const N: usize = 8;
 const SEED: u64 = 42;
 
-/// A hand-rolled serial reference: the same per-sample RNG streams run in
-/// a plain loop with no parallel machinery at all.
+/// A hand-rolled serial reference: the same per-sample RNG streams and the
+/// same nominal-cell bisection hint as the engine, run in a plain loop with
+/// no parallel machinery at all.
 fn serial_reference_wl_crit(base: &CellParams) -> (Vec<f64>, usize) {
     let cfg = McConfig::new(SEED);
+    let hint = wl_crit(base, None).ok().and_then(|w| w.as_finite());
     let mut values = Vec::new();
     let mut failures = 0;
     for i in 0..N {
         let mut rng = cfg.sample_rng(i);
         let params = base.clone().with_variations(sample_variations(&mut rng));
-        match wl_crit(&params, None).unwrap() {
+        match wl_crit_seeded(&params, None, hint).unwrap().value {
             WlCrit::Finite(w) => values.push(w),
             WlCrit::Infinite => failures += 1,
         }
