@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tfet_bench::experiments::fast;
 use tfet_bench::Table;
-use tfet_sram::metrics::{wl_crit_seeded, WlCritRun};
+use tfet_sram::metrics::{wl_crit_compiled, wl_crit_seeded, WlCritRun};
 use tfet_sram::prelude::*;
 
 fn cell(stepping: SteppingMode, early_exit: bool) -> CellParams {
@@ -39,6 +39,8 @@ fn effort_table() -> Table {
         &[
             "config",
             "oracle_calls",
+            "builds",
+            "runs",
             "newton_solves",
             "newton_iters",
             "steps_acc",
@@ -91,10 +93,78 @@ fn effort_table() -> Table {
     t
 }
 
+/// A seeded β-sweep on one compiled write experiment: compile once at the
+/// first grid point, then retarget with `bind_cell` and chain each point's
+/// answer as the next bisection hint. The build/run counters prove the
+/// compiled layer amortises circuit construction across the whole sweep.
+fn compiled_sweep_table() -> Table {
+    let mut t = Table::new(
+        "compiled seeded beta sweep",
+        "one WriteExperiment reused across the grid (adaptive, early exit)",
+        &["beta", "builds", "runs", "newton_solves", "wl_crit_ps"],
+    );
+    let betas = [0.4, 0.6, 0.8, 1.0];
+    let mut exp = None;
+    let mut hint = None;
+    let mut wl_at_06 = None;
+    let (mut total_builds, mut total_runs) = (0u64, 0u64);
+    for &beta in &betas {
+        let p = cell(SteppingMode::Adaptive, true).with_beta(beta);
+        let e = match exp.as_mut() {
+            Some(e) => {
+                tfet_sram::ops::WriteExperiment::bind_cell(e, &p).expect("same topology");
+                e
+            }
+            None => exp.insert(
+                tfet_sram::ops::WriteExperiment::compile(&p, None).expect("grid point compiles"),
+            ),
+        };
+        let r = wl_crit_compiled(e, hint).expect("grid point extracts");
+        hint = r.value.as_finite();
+        if beta == 0.6 {
+            wl_at_06 = r.value.as_finite();
+        }
+        total_builds += r.effort.circuit_builds;
+        total_runs += r.effort.runs;
+        t.push_row(vec![
+            format!("{beta:.1}"),
+            r.effort.circuit_builds.to_string(),
+            r.effort.runs.to_string(),
+            r.effort.newton_solves.to_string(),
+            r.value
+                .as_finite()
+                .map(|w| format!("{:.1}", w * 1e12))
+                .unwrap_or_else(|| "inf".into()),
+        ]);
+    }
+    t.note(format!(
+        "sweep total: {total_builds} builds for {total_runs} transient runs"
+    ));
+    assert!(
+        total_runs >= 5 * total_builds,
+        "acceptance: compiled sweep must run >= 5x more transients than builds \
+         ({total_runs} runs vs {total_builds} builds)"
+    );
+    // The compiled, seeded path lands on the same answer as a cold search.
+    let cold = run(&cell(SteppingMode::Adaptive, true), None);
+    let tol = cell(SteppingMode::Adaptive, true).sim.pulse_tol;
+    let (a, b) = (
+        cold.value.as_finite().expect("beta=0.6 is finite"),
+        wl_at_06.expect("beta=0.6 is finite in the sweep"),
+    );
+    assert!(
+        (a - b).abs() <= 2.0 * tol,
+        "acceptance: seeded sweep WL_crit at beta=0.6 ({b:e}) must match cold ({a:e})"
+    );
+    t
+}
+
 fn push_run(t: &mut Table, label: &str, r: &WlCritRun) {
     t.push_row(vec![
         label.to_string(),
         r.oracle_calls.to_string(),
+        r.effort.circuit_builds.to_string(),
+        r.effort.runs.to_string(),
         r.effort.newton_solves.to_string(),
         r.effort.newton_iters.to_string(),
         r.effort.accepted_steps.to_string(),
@@ -108,6 +178,7 @@ fn push_run(t: &mut Table, label: &str, r: &WlCritRun) {
 
 fn bench(c: &mut Criterion) {
     println!("{}", effort_table().render());
+    println!("{}", compiled_sweep_table().render());
 
     let mut g = c.benchmark_group("wl_crit_throughput");
     g.sample_size(10);

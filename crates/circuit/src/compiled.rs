@@ -1,0 +1,282 @@
+//! Compiled circuits: build once, bind parameters, re-run.
+//!
+//! Every experiment in the SRAM pipeline — a WL_crit bisection, a
+//! Monte-Carlo sample, an array operation — re-runs the *same topology*
+//! with only stimulus waveforms or device bindings changed. Rebuilding the
+//! netlist for each run re-interns every node, re-validates the MNA
+//! pattern, and re-instantiates every device evaluator, all to arrive at a
+//! structurally identical system.
+//!
+//! [`CompiledCircuit`] splits that work into three stages:
+//!
+//! 1. **compile** — [`CompiledCircuit::compile`] freezes a [`Circuit`]:
+//!    node ordering, element storage order (which fixes the float summation
+//!    order of the MNA stamps, and therefore bit-exact reproducibility) and
+//!    the MNA sparsity pattern are validated once and never change again.
+//! 2. **bind** — [`bind_wave`](CompiledCircuit::bind_wave) swaps a source
+//!    stimulus behind a typed [`ParamHandle`], and
+//!    [`bind_device`](CompiledCircuit::bind_device) swaps a transistor's
+//!    model/width in place. Binds never add or remove elements, so the
+//!    sparsity pattern and unknown ordering survive every rebind.
+//! 3. **run** — [`run`](CompiledCircuit::run) executes the transient engine
+//!    against the frozen form with the owned, reusable [`NewtonWorkspace`],
+//!    so repeated runs perform no solver-scratch allocation.
+//!
+//! Because a run's numbers depend only on the circuit *state* (topology +
+//! current bindings) and never on how that state was reached, re-running a
+//! bound compiled circuit is bit-identical to a fresh build per call — the
+//! determinism regression suite pins this.
+//!
+//! The savings are observable, not asserted: every [`TransientResult`]
+//! reports `circuit_builds`, `param_binds` and `runs` in its
+//! [`SolveStats`](crate::SolveStats), and the counters aggregate under
+//! `absorb`, so a seeded sweep can prove it compiled once and ran many
+//! times.
+
+use crate::dc::DcResult;
+use crate::error::SimError;
+use crate::mna::Mna;
+use crate::netlist::{Circuit, SourceId};
+use crate::probe::TransientResult;
+use crate::transient::{InitialState, StopEvent, TransientSpec};
+use crate::waveform::Waveform;
+use crate::workspace::NewtonWorkspace;
+use std::sync::Arc;
+use tfet_devices::model::DeviceModel;
+
+/// Typed handle to one bindable stimulus of a [`CompiledCircuit`].
+///
+/// Obtained from [`CompiledCircuit::param`]; passing it to
+/// [`CompiledCircuit::bind_wave`] swaps the waveform of exactly the source
+/// it was created for. Handles are plain indices into the frozen source
+/// table, so they stay valid for the lifetime of the compiled circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamHandle {
+    source: SourceId,
+}
+
+/// A circuit frozen for repeated execution: topology, node ordering and
+/// MNA pattern fixed at compile time; stimuli and device bindings mutable
+/// through typed binds; runs executed against an owned reusable
+/// [`NewtonWorkspace`].
+///
+/// See the [module docs](self) for the compile/bind/run architecture.
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    circuit: Circuit,
+    ws: NewtonWorkspace,
+    /// Builds not yet attributed to a run (1 after compile, 0 after the
+    /// first run reports it).
+    pending_builds: u64,
+    /// Binds applied since the last run, attributed to the next run.
+    pending_binds: u64,
+}
+
+impl CompiledCircuit {
+    /// Compiles a circuit: validates the netlist and MNA pattern once and
+    /// freezes the topology. Counts one `circuit_builds` toward the first
+    /// subsequent [`run`](CompiledCircuit::run).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidCircuit`] for structurally bad netlists (no
+    /// elements, no non-ground nodes).
+    pub fn compile(circuit: Circuit) -> Result<Self, SimError> {
+        Mna::new(&circuit)?;
+        Ok(CompiledCircuit {
+            circuit,
+            ws: NewtonWorkspace::new(),
+            pending_builds: 1,
+            pending_binds: 0,
+        })
+    }
+
+    /// The frozen netlist (read-only; mutation goes through binds).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// A typed handle to the stimulus of the given source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source id does not belong to this circuit.
+    pub fn param(&self, source: SourceId) -> ParamHandle {
+        assert!(
+            source.0 < self.circuit.vsource_count(),
+            "stale source id for compiled circuit"
+        );
+        ParamHandle { source }
+    }
+
+    /// Binds a new stimulus waveform to a parameter — pulse widths, assist
+    /// levels, drive targets. Never changes the sparsity pattern.
+    pub fn bind_wave(&mut self, param: ParamHandle, wave: Waveform) {
+        self.circuit.set_vsource_wave(param.source, wave);
+        self.pending_binds += 1;
+    }
+
+    /// Binds a device model and gate width to the transistor at `index`
+    /// (netlist insertion order) — how Monte-Carlo variation samples and β
+    /// re-sizings reach a compiled cell. Terminals stay frozen, so the
+    /// sparsity pattern is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `width_um <= 0`.
+    pub fn bind_device(&mut self, index: usize, model: Arc<dyn DeviceModel>, width_um: f64) {
+        self.circuit.set_transistor_device(index, model, width_um);
+        self.pending_binds += 1;
+    }
+
+    /// Runs the transient engine against the compiled form using the owned
+    /// workspace. The result's [`SolveStats`](crate::SolveStats) carry the
+    /// compile (first run only) and the binds applied since the previous
+    /// run, so aggregated stats expose the build/bind/run ratio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`]).
+    pub fn run(
+        &mut self,
+        spec: &TransientSpec,
+        initial: &InitialState,
+        events: &[StopEvent],
+    ) -> Result<TransientResult, SimError> {
+        let mut result = self
+            .circuit
+            .transient_events_with(spec, initial, events, &mut self.ws)?;
+        result.stats.circuit_builds = std::mem::take(&mut self.pending_builds);
+        result.stats.param_binds = std::mem::take(&mut self.pending_binds);
+        Ok(result)
+    }
+
+    /// Solves the DC operating point of the compiled form from voltage
+    /// hints (the hints select the basin for bistable circuits), reusing
+    /// the owned workspace. Build/bind counters stay pending for the next
+    /// transient run — DC results carry no stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Newton failures ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`]).
+    pub fn dc_op(&mut self, guess: &[(crate::NodeId, f64)]) -> Result<DcResult, SimError> {
+        let mna = Mna::new(&self.circuit)?;
+        let x = self.circuit.dc_state_with(&mna, guess, &mut self.ws)?;
+        Ok(DcResult {
+            x,
+            n_v: mna.voltage_count(),
+            source_volts: self
+                .circuit
+                .vsources
+                .iter()
+                .map(|v| v.wave.initial())
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NodeId;
+    use tfet_devices::NTfet;
+
+    fn rc(level: f64) -> (Circuit, SourceId, NodeId) {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        let v = c.vsource(
+            "V",
+            inp,
+            Circuit::GND,
+            Waveform::step(0.0, level, 0.0, 1e-12),
+        );
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        (c, v, out)
+    }
+
+    #[test]
+    fn rebind_and_rerun_matches_fresh_builds() {
+        let spec = TransientSpec::new(3e-9, 2e-12);
+        let initial = InitialState::Uic(vec![]);
+        let (c, v, out) = rc(1.0);
+        let mut compiled = CompiledCircuit::compile(c).unwrap();
+        let h = compiled.param(v);
+
+        for level in [1.0, 0.5, 1.0, 0.25] {
+            compiled.bind_wave(h, Waveform::step(0.0, level, 0.0, 1e-12));
+            let reused = compiled.run(&spec, &initial, &[]).unwrap();
+            let (fresh_c, _, fresh_out) = rc(level);
+            let fresh = fresh_c.transient(&spec, &initial).unwrap();
+            assert_eq!(reused.times(), fresh.times(), "level {level}");
+            assert_eq!(reused.trace(out), fresh.trace(fresh_out), "level {level}");
+        }
+    }
+
+    #[test]
+    fn build_bind_run_counters() {
+        let spec = TransientSpec::new(1e-9, 2e-12);
+        let initial = InitialState::Uic(vec![]);
+        let (c, v, _) = rc(1.0);
+        let mut compiled = CompiledCircuit::compile(c).unwrap();
+        let h = compiled.param(v);
+
+        let first = compiled.run(&spec, &initial, &[]).unwrap();
+        assert_eq!(first.stats.circuit_builds, 1, "compile counted once");
+        assert_eq!(first.stats.param_binds, 0);
+        assert_eq!(first.stats.runs, 1);
+
+        compiled.bind_wave(h, Waveform::step(0.0, 0.5, 0.0, 1e-12));
+        compiled.bind_wave(h, Waveform::step(0.0, 0.7, 0.0, 1e-12));
+        let second = compiled.run(&spec, &initial, &[]).unwrap();
+        assert_eq!(second.stats.circuit_builds, 0, "no rebuild on re-run");
+        assert_eq!(second.stats.param_binds, 2);
+        assert_eq!(second.stats.runs, 1);
+
+        // The plain convenience path reports rebuild-per-run.
+        let (c2, _, _) = rc(1.0);
+        let plain = c2.transient(&spec, &initial).unwrap();
+        assert_eq!(plain.stats.circuit_builds, 1);
+        assert_eq!(plain.stats.runs, 1);
+
+        // Aggregation: 1 build, 2 binds, 3 runs across the compiled pair +
+        // plain run.
+        let mut total = first.stats;
+        total.absorb(&second.stats);
+        assert_eq!(
+            (total.circuit_builds, total.param_binds, total.runs),
+            (1, 2, 2)
+        );
+    }
+
+    #[test]
+    fn bind_device_swaps_model_in_place() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.vsource("VD", d, Circuit::GND, Waveform::dc(0.8));
+        c.vsource("VG", g, Circuit::GND, Waveform::dc(0.8));
+        c.transistor("M", Arc::new(NTfet::nominal()), d, g, Circuit::GND, 0.1);
+        let mut compiled = CompiledCircuit::compile(c).unwrap();
+        compiled.bind_device(0, Arc::new(NTfet::nominal()), 0.2);
+        assert_eq!(compiled.circuit().transistors()[0].width_um, 0.2);
+        let op = compiled.dc_op(&[]).unwrap();
+        assert!(op.total_power() > 0.0);
+    }
+
+    #[test]
+    fn compile_rejects_empty_circuit() {
+        assert!(CompiledCircuit::compile(Circuit::new()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale source id")]
+    fn stale_param_handle_rejected() {
+        let (c, _, _) = rc(1.0);
+        let compiled = CompiledCircuit::compile(c).unwrap();
+        compiled.param(SourceId(99));
+    }
+}

@@ -23,7 +23,11 @@
 //!   minimum-node-difference measurement behind the paper's DRNM metric;
 //! * [`workspace`] — reusable Newton/LU/companion buffers
 //!   ([`NewtonWorkspace`]) so repeated solves (sweeps, Monte-Carlo workers)
-//!   run allocation-free after warm-up.
+//!   run allocation-free after warm-up;
+//! * [`compiled`] — the build-once/bind/run layer: a [`CompiledCircuit`]
+//!   freezes topology and MNA pattern, typed binds swap stimuli and device
+//!   models in place, and repeated runs reuse one owned workspace. Every
+//!   run reports build/bind/run counters through [`SolveStats`].
 //!
 //! SRAM cells are ≤ ~15-node circuits, so the engine uses dense LU — at this
 //! size it beats any sparse approach.
@@ -49,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod dc;
 pub mod error;
 pub mod mna;
@@ -59,6 +64,7 @@ pub mod transient;
 pub mod waveform;
 pub mod workspace;
 
+pub use compiled::{CompiledCircuit, ParamHandle};
 pub use dc::DcResult;
 pub use error::SimError;
 pub use netlist::{Circuit, NodeId, SourceId};

@@ -298,6 +298,29 @@ impl Circuit {
         &self.transistors
     }
 
+    /// Replaces the device model and gate width of an existing transistor —
+    /// the device-bind primitive behind [`CompiledCircuit`]: a
+    /// process-variation sample or a β re-sizing swaps the evaluator and
+    /// width of a stamped instance while its terminals (and therefore the
+    /// MNA sparsity pattern) stay frozen.
+    ///
+    /// [`CompiledCircuit`]: crate::CompiledCircuit
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `width_um <= 0`.
+    pub fn set_transistor_device(
+        &mut self,
+        index: usize,
+        model: Arc<dyn DeviceModel>,
+        width_um: f64,
+    ) {
+        assert!(width_um > 0.0, "transistor width must be positive");
+        let t = &mut self.transistors[index];
+        t.model = model;
+        t.width_um = width_um;
+    }
+
     /// Number of elements of all types.
     pub fn element_count(&self) -> usize {
         self.resistors.len()

@@ -24,6 +24,21 @@ pub struct SolveStats {
     /// Newton iterations performed (each is one Jacobian assembly plus one
     /// LU factorization — the unit of solver work).
     pub newton_iters: u64,
+    /// Circuits compiled for this run (netlist construction + MNA pattern
+    /// derivation). The convenience entry points on [`Circuit`] count one
+    /// build per run — rebuild-per-run semantics — while a
+    /// [`CompiledCircuit`] counts its single compile on the first run only,
+    /// so aggregated stats expose the build/run ratio directly.
+    ///
+    /// [`Circuit`]: crate::Circuit
+    /// [`CompiledCircuit`]: crate::CompiledCircuit
+    pub circuit_builds: u64,
+    /// Parameter binds (waveform or device rebinds on a compiled circuit)
+    /// applied since the previous run.
+    pub param_binds: u64,
+    /// Transient runs executed (1 per [`TransientResult`]; additive under
+    /// [`absorb`](SolveStats::absorb)).
+    pub runs: u64,
     /// Whether a stop event ended the run before `t_stop`.
     pub early_exit: bool,
 }
@@ -37,6 +52,9 @@ impl SolveStats {
         self.rejected_steps += other.rejected_steps;
         self.newton_solves += other.newton_solves;
         self.newton_iters += other.newton_iters;
+        self.circuit_builds += other.circuit_builds;
+        self.param_binds += other.param_binds;
+        self.runs += other.runs;
         self.early_exit |= other.early_exit;
     }
 }
@@ -45,10 +63,8 @@ impl SolveStats {
 ///
 /// Samples are stored in one flat row-major buffer (`node_count` voltages
 /// per time point) so that recording a step never allocates: the transient
-/// loop pre-sizes the buffer for the whole run and each [`push`] is a plain
+/// loop pre-sizes the buffer for the whole run and each push is a plain
 /// append into reserved capacity.
-///
-/// [`push`]: TransientResult::push
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,

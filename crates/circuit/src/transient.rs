@@ -386,7 +386,7 @@ impl Circuit {
         spec: &TransientSpec,
         initial: &InitialState,
     ) -> Result<TransientResult, SimError> {
-        with_workspace(|ws| self.transient_events_with(spec, initial, &[], ws))
+        self.transient_events(spec, initial, &[])
     }
 
     /// Runs a transient analysis with caller-owned solver scratch.
@@ -408,7 +408,9 @@ impl Circuit {
         initial: &InitialState,
         ws: &mut NewtonWorkspace,
     ) -> Result<TransientResult, SimError> {
-        self.transient_events_with(spec, initial, &[], ws)
+        let mut result = self.transient_events_with(spec, initial, &[], ws)?;
+        result.stats.circuit_builds = 1;
+        Ok(result)
     }
 
     /// Runs a transient analysis that may end early on a [`StopEvent`].
@@ -423,7 +425,10 @@ impl Circuit {
         initial: &InitialState,
         events: &[StopEvent],
     ) -> Result<TransientResult, SimError> {
-        with_workspace(|ws| self.transient_events_with(spec, initial, events, ws))
+        let mut result =
+            with_workspace(|ws| self.transient_events_with(spec, initial, events, ws))?;
+        result.stats.circuit_builds = 1;
+        Ok(result)
     }
 
     /// The full transient engine: caller-owned scratch plus early-exit
@@ -706,6 +711,7 @@ impl Circuit {
 
         result.stats.newton_solves = ws.bufs.newton_solves - solves0;
         result.stats.newton_iters = ws.bufs.newton_iters - iters0;
+        result.stats.runs = 1;
         Ok(result)
     }
 }

@@ -85,6 +85,13 @@ impl Waveform {
         ])
     }
 
+    /// Whether this stimulus is constant in time. Compiled experiments use
+    /// this to skip rebinding sources whose waveform cannot depend on the
+    /// swept parameter (an unassisted rail stays DC at every pulse width).
+    pub fn is_dc(&self) -> bool {
+        matches!(self, Waveform::Dc(_))
+    }
+
     /// The stimulus value at time `t` (seconds).
     pub fn value(&self, t: f64) -> f64 {
         match self {
@@ -128,11 +135,13 @@ mod tests {
         assert_eq!(w.value(1.0), 0.8);
         assert_eq!(w.initial(), 0.8);
         assert!(w.breakpoints().is_empty());
+        assert!(w.is_dc());
     }
 
     #[test]
     fn pwl_interpolates_and_clamps() {
         let w = Waveform::pwl(&[(0.0, 0.0), (1e-9, 1.0)]);
+        assert!(!w.is_dc());
         assert_eq!(w.value(-1.0), 0.0);
         assert!((w.value(0.5e-9) - 0.5).abs() < 1e-12);
         assert_eq!(w.value(2e-9), 1.0);

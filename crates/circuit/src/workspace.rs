@@ -12,7 +12,7 @@
 //! (buffers grow on demand and are reused thereafter), so a worker thread
 //! sweeping Monte-Carlo samples performs O(1) allocations for the whole
 //! sweep. Workers get one automatically through the crate-internal
-//! thread-local ([`with_workspace`]); callers that want explicit control —
+//! thread-local (`with_workspace`); callers that want explicit control —
 //! e.g. to hold buffers across many
 //! [`transient_with`](crate::netlist::Circuit) calls — can own one
 //! directly.

@@ -15,17 +15,28 @@
 //!   every operation the stored state of *all* cells is re-decoded and
 //!   compared.
 //!
-//! Operations are simulated one at a time: each builds the bias circuit for
-//! that operation (selected column driven, unselected columns floating on
-//! their column capacitance), runs a transient from the carried cell
+//! Operations are simulated one at a time: each assembles the bias circuit
+//! for that operation (selected column driven, unselected columns floating
+//! on their column capacitance), runs a transient from the carried cell
 //! voltages, and folds the final voltages back into the array state — the
 //! array-scale analogue of how a memory controller sequences a real part.
+//!
+//! Operation circuits are **compiled and cached**: the first write to
+//! `(row 0, col 1)` freezes that operation's full-array topology as a
+//! [`CompiledCircuit`], and every repeat of the same operation shape
+//! (active row, column modes, pulse width) re-runs the frozen form with
+//! only the per-cell initial conditions swapped — the carried state enters
+//! through the UIC vector, never through the netlist, so reuse is
+//! bit-identical to rebuilding per operation. A march test over an R×C
+//! array compiles at most `R·(C+1)` distinct operation circuits and then
+//! runs from cache.
 
-use crate::cell::{build_cell_on_lines, CellLines};
+use crate::cell::{build_cell_on_lines, CellLines, CellNodes};
 use crate::error::SramError;
-use crate::tech::{CellKind, CellParams};
+use crate::metrics::{wl_crit, WlCrit};
+use crate::tech::{CellKind, CellParams, SimOptions};
 use tfet_circuit::transient::InitialState;
-use tfet_circuit::{Circuit, NodeId, TransientResult, TransientSpec, Waveform};
+use tfet_circuit::{Circuit, CompiledCircuit, NodeId, TransientResult, TransientSpec, Waveform};
 
 /// Array dimensions and the cell they are built from.
 #[derive(Debug, Clone)]
@@ -37,20 +48,64 @@ pub struct ArrayParams {
     /// The cell design replicated at every (row, column).
     pub cell: CellParams,
     /// Wordline pulse width used for array writes, s. Must exceed the
-    /// cell's `WL_crit` with margin; the default (1.5 ns at 0.8 V-class
-    /// settings) suits the paper's proposed β = 0.6 cell.
+    /// cell's `WL_crit` with margin; [`ArrayParams::new`] derives it from
+    /// the 1.5 ns reference budget scaled for the cell's supply.
     pub write_pulse: f64,
 }
 
+/// Reference array write-pulse budget at the 0.8 V supply, s. Sized for
+/// the paper's proposed β = 0.6 cell with ~3× margin over its `WL_crit`.
+const WRITE_PULSE_REF: f64 = 1.5e-9;
+
+/// Minimum acceptable `write_pulse / WL_crit` ratio for
+/// [`ArrayParams::check_write_margin`].
+const WRITE_MARGIN: f64 = 1.5;
+
 impl ArrayParams {
-    /// An R×C array of the given cell with default operation timing.
+    /// An R×C array of the given cell with default operation timing. The
+    /// write pulse is the 1.5 ns reference budget stretched by the same
+    /// exponential supply factor the cell's own time budgets use
+    /// ([`SimOptions::supply_factor`]) — exactly 1.5 ns at 0.8 V, and an
+    /// exponentially longer pulse as the supply (and the cell's drive
+    /// current) drops.
     pub fn new(rows: usize, cols: usize, cell: CellParams) -> Self {
+        let write_pulse = WRITE_PULSE_REF * SimOptions::supply_factor(cell.vdd);
         ArrayParams {
             rows,
             cols,
             cell,
-            write_pulse: 1.5e-9,
+            write_pulse,
         }
+    }
+
+    /// Validates the pulse budget against the cell's measured `WL_crit`:
+    /// returns the `write_pulse / WL_crit` ratio, which must be at least
+    /// 1.5.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::InvalidParameter`] when the cell cannot be written at
+    /// all (infinite `WL_crit`) or the margin is below 1.5×; propagates
+    /// simulation failures from the `WL_crit` search.
+    pub fn check_write_margin(&self) -> Result<f64, SramError> {
+        self.validate()?;
+        let w = match wl_crit(&self.cell, None)? {
+            WlCrit::Finite(w) => w,
+            WlCrit::Infinite => {
+                return Err(SramError::InvalidParameter(
+                    "array cell has infinite WL_crit: no pulse budget can write it".into(),
+                ))
+            }
+        };
+        let ratio = self.write_pulse / w;
+        if ratio < WRITE_MARGIN {
+            return Err(SramError::InvalidParameter(format!(
+                "write pulse {:.3e} s is only {ratio:.2}x the cell's WL_crit {w:.3e} s \
+                 (need >= {WRITE_MARGIN}x)",
+                self.write_pulse
+            )));
+        }
+        Ok(ratio)
     }
 
     fn validate(&self) -> Result<(), SramError> {
@@ -59,6 +114,12 @@ impl ArrayParams {
             return Err(SramError::InvalidParameter(
                 "array must have at least one row and one column".into(),
             ));
+        }
+        if self.write_pulse <= 0.0 {
+            return Err(SramError::InvalidParameter(format!(
+                "array write pulse must be positive, got {}",
+                self.write_pulse
+            )));
         }
         if self.rows * self.cols > 64 {
             return Err(SramError::InvalidParameter(format!(
@@ -113,6 +174,32 @@ enum ColumnMode {
     Float,
 }
 
+/// Identity of one operation circuit: everything that shapes its topology
+/// or stimuli. Two operations with equal keys share a compiled circuit.
+#[derive(Debug, Clone, PartialEq)]
+struct OpKey {
+    active_row: usize,
+    modes: Vec<ColumnMode>,
+    /// Pulse width as raw bits, so the key is `Eq`-style exact.
+    pulse_bits: u64,
+}
+
+/// One cached operation circuit: the compiled full-array netlist plus the
+/// state-independent prefix of its initial conditions. The carried cell
+/// voltages are appended per run.
+#[derive(Debug)]
+struct CompiledOp {
+    key: OpKey,
+    compiled: CompiledCircuit,
+    bitlines: Vec<(NodeId, NodeId)>,
+    /// Per-cell node handles, row-major — the fold-back targets.
+    nodes: Vec<CellNodes>,
+    /// Rail/wordline/bitline initial conditions (state-independent).
+    base_uic: Vec<(NodeId, f64)>,
+    t_end: f64,
+    t_sense: f64,
+}
+
 /// An R×C SRAM array with persistent cell state.
 ///
 /// # Examples
@@ -128,11 +215,26 @@ enum ColumnMode {
 /// assert!(read.value);
 /// # Ok::<(), tfet_sram::SramError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SramArray {
     params: ArrayParams,
     /// `(v_q, v_qb)` per cell, row-major.
     state: Vec<(f64, f64)>,
+    /// Compiled operation circuits, keyed by operation shape. Purely a
+    /// cache: cleared by `clone`, never consulted for values.
+    ops: Vec<CompiledOp>,
+}
+
+impl Clone for SramArray {
+    /// Clones the array *state*; the compiled-operation cache starts empty
+    /// in the clone (it is rebuilt on demand and never affects values).
+    fn clone(&self) -> Self {
+        SramArray {
+            params: self.params.clone(),
+            state: self.state.clone(),
+            ops: Vec::new(),
+        }
+    }
 }
 
 impl SramArray {
@@ -146,7 +248,11 @@ impl SramArray {
         params.validate()?;
         let vdd = params.cell.vdd;
         let state = vec![(0.0, vdd); params.rows * params.cols];
-        Ok(SramArray { params, state })
+        Ok(SramArray {
+            params,
+            state,
+            ops: Vec::new(),
+        })
     }
 
     /// The array parameters.
@@ -188,19 +294,70 @@ impl SramArray {
         self.state[self.idx(row, col)]
     }
 
-    /// Builds and runs one operation's transient; returns the waveforms and
-    /// the per-cell node handles, and folds final voltages into the state.
+    /// Runs one operation's transient against the cached compiled circuit
+    /// for that operation shape (compiling it on first use), injecting the
+    /// carried cell voltages through the initial conditions and folding the
+    /// final voltages back into the state.
     fn run_op(
         &mut self,
         active_row: usize,
         modes: &[ColumnMode],
         pulse: f64,
     ) -> Result<OpRun, SramError> {
+        let key = OpKey {
+            active_row,
+            modes: modes.to_vec(),
+            pulse_bits: pulse.to_bits(),
+        };
+        // Linear scan: a march test touches at most R·(C+1) distinct shapes
+        // and arrays are ≤ 64 cells, so the cache stays tiny.
+        let idx = match self.ops.iter().position(|op| op.key == key) {
+            Some(idx) => idx,
+            None => {
+                let op = self.compile_op(key)?;
+                self.ops.push(op);
+                self.ops.len() - 1
+            }
+        };
+        let dt = self.params.cell.sim.dt;
+        let op = &mut self.ops[idx];
+
+        let mut uic = op.base_uic.clone();
+        for (k, n) in op.nodes.iter().enumerate() {
+            let (vq, vqb) = self.state[k];
+            uic.push((n.q, vq));
+            uic.push((n.qb, vqb));
+        }
+
+        let result = op.compiled.run(
+            &TransientSpec::new(op.t_end, dt),
+            &InitialState::Uic(uic),
+            &[],
+        )?;
+
+        // Fold final voltages back into the array state.
+        for (k, n) in op.nodes.iter().enumerate() {
+            self.state[k] = (result.final_voltage(n.q), result.final_voltage(n.qb));
+        }
+        Ok(OpRun {
+            result,
+            bitlines: op.bitlines.clone(),
+            t_sense: op.t_sense,
+        })
+    }
+
+    /// Assembles and compiles the full-array circuit for one operation
+    /// shape. Only state-independent initial conditions (rails, wordlines,
+    /// bitline precharge) go into `base_uic`; the per-cell storage voltages
+    /// are appended at run time, in the same cell order, so a cached run is
+    /// bit-identical to a fresh build.
+    fn compile_op(&self, key: OpKey) -> Result<CompiledOp, SramError> {
         let p = &self.params;
         let cell = &p.cell;
         let vdd = cell.vdd;
         let sim = &cell.sim;
         let access = cell.kind.access();
+        let pulse = f64::from_bits(key.pulse_bits);
 
         let t_bl = sim.t_settle;
         let t_wl_on = t_bl + 50e-12;
@@ -213,13 +370,13 @@ impl SramArray {
         c.vsource("VDD", vdd_rail, Circuit::GND, Waveform::dc(vdd));
         c.vsource("VSS", vss_rail, Circuit::GND, Waveform::dc(0.0));
 
-        let mut uic: Vec<(NodeId, f64)> = vec![(vdd_rail, vdd)];
+        let mut base_uic: Vec<(NodeId, f64)> = vec![(vdd_rail, vdd)];
 
         // Row wordlines.
         let mut wls = Vec::with_capacity(p.rows);
         for r in 0..p.rows {
             let wl = c.node(&format!("wl{r}"));
-            let wave = if r == active_row {
+            let wave = if r == key.active_row {
                 Waveform::pulse(
                     access.wl_inactive(vdd),
                     access.wl_active(vdd),
@@ -231,13 +388,13 @@ impl SramArray {
                 Waveform::dc(access.wl_inactive(vdd))
             };
             c.vsource(&format!("WL{r}"), wl, Circuit::GND, wave);
-            uic.push((wl, access.wl_inactive(vdd)));
+            base_uic.push((wl, access.wl_inactive(vdd)));
             wls.push(wl);
         }
 
         // Column bitlines.
         let mut bitlines = Vec::with_capacity(p.cols);
-        for (col, &mode) in modes.iter().enumerate() {
+        for (col, &mode) in key.modes.iter().enumerate() {
             let bl = c.node(&format!("bl{col}"));
             let blb = c.node(&format!("blb{col}"));
             match mode {
@@ -259,12 +416,12 @@ impl SramArray {
                     c.capacitor(blb, Circuit::GND, cell.c_bitline);
                 }
             }
-            uic.push((bl, vdd));
-            uic.push((blb, vdd));
+            base_uic.push((bl, vdd));
+            base_uic.push((blb, vdd));
             bitlines.push((bl, blb));
         }
 
-        // Cells.
+        // Cells. Storage-node initial conditions are appended per run.
         let mut nodes = Vec::with_capacity(p.rows * p.cols);
         for (r, &wl) in wls.iter().enumerate() {
             for (col, &(bl, blb)) in bitlines.iter().enumerate() {
@@ -278,22 +435,18 @@ impl SramArray {
                     rwl: None,
                 };
                 let n = build_cell_on_lines(&mut c, cell, &format!("r{r}c{col}_"), &lines);
-                let (vq, vqb) = self.state[r * p.cols + col];
-                uic.push((n.q, vq));
-                uic.push((n.qb, vqb));
                 nodes.push(n);
             }
         }
 
-        let result = c.transient(&TransientSpec::new(t_end, sim.dt), &InitialState::Uic(uic))?;
-
-        // Fold final voltages back into the array state.
-        for (k, n) in nodes.iter().enumerate() {
-            self.state[k] = (result.final_voltage(n.q), result.final_voltage(n.qb));
-        }
-        Ok(OpRun {
-            result,
+        let compiled = CompiledCircuit::compile(c)?;
+        Ok(CompiledOp {
+            key,
+            compiled,
             bitlines,
+            nodes,
+            base_uic,
+            t_end,
             t_sense: t_wl_off,
         })
     }
@@ -486,5 +639,72 @@ mod tests {
     fn out_of_range_address_panics() {
         let a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
         a.cell_voltages(2, 0);
+    }
+
+    #[test]
+    fn write_pulse_tracks_supply() {
+        // At the 0.8 V reference the factor is exactly 1, so the budget is
+        // bit-identical to the historical 1.5 ns constant.
+        let p8 = ArrayParams::new(2, 2, proposed_cell());
+        assert_eq!(p8.write_pulse, 1.5e-9);
+        // Below the reference the budget stretches by exp(10·(0.8 − vdd)).
+        let cell6 = proposed_cell().with_vdd(0.6);
+        let p6 = ArrayParams::new(2, 2, cell6);
+        let expect = 1.5e-9 * (2.0f64).exp();
+        assert!(
+            (p6.write_pulse - expect).abs() < 1e-21,
+            "0.6 V pulse = {:e}, expected {expect:e}",
+            p6.write_pulse
+        );
+        // And the stretch is clamped at 32×.
+        let cell3 = proposed_cell().with_vdd(0.3);
+        let p3 = ArrayParams::new(2, 2, cell3);
+        assert_eq!(p3.write_pulse, 1.5e-9 * 32.0);
+    }
+
+    #[test]
+    fn write_margin_accepts_default_and_rejects_tight_budget() {
+        let mut cell = proposed_cell();
+        cell.sim.pulse_tol = 8e-12;
+        let p = ArrayParams::new(2, 2, cell);
+        // The default budget carries ~3.5× margin over the β = 0.6 cell's
+        // ~430 ps WL_crit.
+        let ratio = p.check_write_margin().unwrap();
+        assert!(ratio > 1.5, "default margin = {ratio:.2}x");
+        // A budget that barely exceeds WL_crit is rejected.
+        let mut tight = p.clone();
+        tight.write_pulse = 0.5e-9;
+        assert!(matches!(
+            tight.check_write_margin(),
+            Err(SramError::InvalidParameter(_))
+        ));
+        // A zero budget never validates.
+        let mut zero = p;
+        zero.write_pulse = 0.0;
+        assert!(matches!(
+            zero.check_write_margin(),
+            Err(SramError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn cached_op_reuse_is_bit_identical_to_fresh_compile() {
+        // Array `a` repeats an operation shape (second read hits the cached
+        // compiled circuit); array `b` is cloned right before that repeat,
+        // so its cache is empty and it must compile afresh. Same state +
+        // same operation ⇒ identical voltages and sense margins, bitwise.
+        let mut a = SramArray::new(ArrayParams::new(2, 2, proposed_cell())).unwrap();
+        a.write(0, 1, true).unwrap();
+        a.read(0, 1).unwrap(); // populate the cache
+        let mut b = a.clone();
+        let ra = a.read(0, 1).unwrap(); // cached compiled op
+        let rb = b.read(0, 1).unwrap(); // fresh compile
+        assert_eq!(ra.sense_margin, rb.sense_margin);
+        assert_eq!(ra.value, rb.value);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(a.cell_voltages(r, c), b.cell_voltages(r, c), "({r},{c})");
+            }
+        }
     }
 }

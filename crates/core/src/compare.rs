@@ -14,7 +14,8 @@
 use crate::area::area_of;
 use crate::assist::ReadAssist;
 use crate::error::SramError;
-use crate::metrics::{read_metrics, static_power, wl_crit, write_delay, WlCrit};
+use crate::metrics::{read_metrics, static_power, wl_crit_compiled, write_delay, WlCrit};
+use crate::ops::WriteExperiment;
 use crate::tech::{AccessConfig, CellKind, CellParams};
 
 /// The four §5 designs.
@@ -112,15 +113,27 @@ pub fn scorecard(design: Design, vdd: f64) -> Result<Scorecard, SramError> {
     let params = design.params(vdd);
     let ra = design.read_assist();
     let read = read_metrics(&params, ra)?;
-    let wl = match wl_crit(&params, None) {
-        Ok(w) => Some(w),
-        Err(SramError::Undefined { .. }) => None,
-        Err(e) => return Err(e),
+    // The asymmetric cell has no WL_crit; every other design shares one
+    // compiled write experiment between the WL_crit search and the
+    // write-delay measurement (a generous max_pulse run) — the same circuit,
+    // so the values match the historical separate builds exactly.
+    let (wl, wd) = if params.kind == CellKind::TfetAsym6T {
+        (None, write_delay(&params, None)?)
+    } else {
+        let mut wexp = WriteExperiment::compile(&params, None)?;
+        let wl = wl_crit_compiled(&mut wexp, None)?.value;
+        let run = wexp.run(params.sim.max_pulse)?;
+        let wd = if run.flipped() {
+            run.write_delay()
+        } else {
+            None
+        };
+        (Some(wl), wd)
     };
     Ok(Scorecard {
         design,
         vdd,
-        write_delay: write_delay(&params, None)?,
+        write_delay: wd,
         read_delay: read.read_delay,
         wl_crit: wl,
         drnm: read.drnm,
@@ -148,6 +161,7 @@ pub fn full_comparison(vdds: &[f64]) -> Result<Vec<Scorecard>, SramError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::wl_crit;
 
     fn fast_scorecard(design: Design, vdd: f64) -> Scorecard {
         let mut params = design.params(vdd);

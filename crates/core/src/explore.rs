@@ -3,14 +3,19 @@
 //! Each function returns plain data series so the bench harness and the
 //! figure binaries can print them in the paper's own coordinates. Sweep
 //! points are independent simulations, so every sweep fans out over worker
-//! threads ([`tfet_numerics::par_try_map`]) while returning points in grid
-//! order — identical output at any thread count.
+//! threads ([`tfet_numerics::parallel::par_try_map_with`]) while returning
+//! points in grid order — identical output at any thread count. Each worker
+//! compiles its experiment circuits once and retargets them per β through
+//! device binds ([`WriteExperiment::bind_cell`] and friends); the compiled
+//! circuit is a cache, so values never depend on which worker evaluated a
+//! point.
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::metrics::{read_metrics, wl_crit, wl_crit_seeded, WlCrit};
+use crate::metrics::{read_metrics, read_metrics_compiled, wl_crit, wl_crit_compiled, WlCrit};
+use crate::ops::{ReadExperiment, WriteExperiment};
 use crate::tech::CellParams;
-use tfet_numerics::par_try_map;
+use tfet_numerics::parallel::par_try_map_with;
 
 /// Evaluates the first grid point cold (serially) and returns its finite
 /// `WL_crit` — if any — as the bracket seed for the remaining points.
@@ -51,15 +56,33 @@ pub fn beta_sweep(base: &CellParams, betas: &[f64]) -> Result<Vec<BetaPoint>, Sr
         wl_crit: wl_crit(&params0, None)?,
     };
     let hint = first_point_hint(first.wl_crit);
-    let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
-        let beta = rest[i];
-        let params = base.clone().with_beta(beta);
-        Ok(BetaPoint {
-            beta,
-            drnm: read_metrics(&params, None)?.drnm,
-            wl_crit: wl_crit_seeded(&params, None, hint)?.value,
-        })
-    })?;
+    let tail = par_try_map_with(
+        rest.len(),
+        None,
+        || None,
+        |slot: &mut Option<(ReadExperiment, WriteExperiment)>, i| -> Result<_, SramError> {
+            let beta = rest[i];
+            let params = base.clone().with_beta(beta);
+            match slot {
+                Some((read, write)) => {
+                    read.bind_cell(&params)?;
+                    write.bind_cell(&params)?;
+                }
+                None => {
+                    *slot = Some((
+                        ReadExperiment::compile(&params, None)?,
+                        WriteExperiment::compile(&params, None)?,
+                    ));
+                }
+            }
+            let (read, write) = slot.as_mut().expect("compiled above");
+            Ok(BetaPoint {
+                beta,
+                drnm: read_metrics_compiled(read)?.drnm,
+                wl_crit: wl_crit_compiled(write, hint)?.value,
+            })
+        },
+    )?;
     let mut pts = Vec::with_capacity(betas.len());
     pts.push(first);
     pts.extend(tail);
@@ -95,14 +118,24 @@ pub fn write_assist_sweep(
         wl_crit: wl_crit(&base.clone().with_beta(beta0), Some(assist))?,
     };
     let hint = first_point_hint(first.wl_crit);
-    let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
-        let beta = rest[i];
-        let params = base.clone().with_beta(beta);
-        Ok(WaPoint {
-            beta,
-            wl_crit: wl_crit_seeded(&params, Some(assist), hint)?.value,
-        })
-    })?;
+    let tail = par_try_map_with(
+        rest.len(),
+        None,
+        || None,
+        |slot: &mut Option<WriteExperiment>, i| -> Result<_, SramError> {
+            let beta = rest[i];
+            let params = base.clone().with_beta(beta);
+            match slot {
+                Some(exp) => exp.bind_cell(&params)?,
+                None => *slot = Some(WriteExperiment::compile(&params, Some(assist))?),
+            }
+            let exp = slot.as_mut().expect("compiled above");
+            Ok(WaPoint {
+                beta,
+                wl_crit: wl_crit_compiled(exp, hint)?.value,
+            })
+        },
+    )?;
     let mut pts = Vec::with_capacity(betas.len());
     pts.push(first);
     pts.extend(tail);
@@ -130,14 +163,24 @@ pub fn read_assist_sweep(
     assist: ReadAssist,
     betas: &[f64],
 ) -> Result<Vec<RaPoint>, SramError> {
-    par_try_map(betas.len(), None, |i| -> Result<_, SramError> {
-        let beta = betas[i];
-        let params = base.clone().with_beta(beta);
-        Ok(RaPoint {
-            beta,
-            drnm: read_metrics(&params, Some(assist))?.drnm,
-        })
-    })
+    par_try_map_with(
+        betas.len(),
+        None,
+        || None,
+        |slot: &mut Option<ReadExperiment>, i| -> Result<_, SramError> {
+            let beta = betas[i];
+            let params = base.clone().with_beta(beta);
+            match slot {
+                Some(exp) => exp.bind_cell(&params)?,
+                None => *slot = Some(ReadExperiment::compile(&params, Some(assist))?),
+            }
+            let exp = slot.as_mut().expect("compiled above");
+            Ok(RaPoint {
+                beta,
+                drnm: read_metrics_compiled(exp)?.drnm,
+            })
+        },
+    )
 }
 
 /// A technique's operating curve in the (DRNM, `WL_crit`) plane — one point
@@ -169,14 +212,32 @@ pub fn wa_tradeoff(
         let wl0 = wl_crit(&params0, Some(assist))?;
         let hint = first_point_hint(wl0);
         points.push(wl0.as_finite().map(|w| (drnm0, w)));
-        let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
-            let params = base.clone().with_beta(rest[i]);
-            let drnm = read_metrics(&params, None)?.drnm;
-            Ok(match wl_crit_seeded(&params, Some(assist), hint)?.value {
-                WlCrit::Finite(w) => Some((drnm, w)),
-                WlCrit::Infinite => None,
-            })
-        })?;
+        let tail = par_try_map_with(
+            rest.len(),
+            None,
+            || None,
+            |slot: &mut Option<(ReadExperiment, WriteExperiment)>, i| -> Result<_, SramError> {
+                let params = base.clone().with_beta(rest[i]);
+                match slot {
+                    Some((read, write)) => {
+                        read.bind_cell(&params)?;
+                        write.bind_cell(&params)?;
+                    }
+                    None => {
+                        *slot = Some((
+                            ReadExperiment::compile(&params, None)?,
+                            WriteExperiment::compile(&params, Some(assist))?,
+                        ));
+                    }
+                }
+                let (read, write) = slot.as_mut().expect("compiled above");
+                let drnm = read_metrics_compiled(read)?.drnm;
+                Ok(match wl_crit_compiled(write, hint)?.value {
+                    WlCrit::Finite(w) => Some((drnm, w)),
+                    WlCrit::Infinite => None,
+                })
+            },
+        )?;
         points.extend(tail);
     }
     Ok(TradeoffCurve {
@@ -202,14 +263,32 @@ pub fn ra_tradeoff(
         let wl0 = wl_crit(&params0, None)?;
         let hint = first_point_hint(wl0);
         points.push(wl0.as_finite().map(|w| (drnm0, w)));
-        let tail = par_try_map(rest.len(), None, |i| -> Result<_, SramError> {
-            let params = base.clone().with_beta(rest[i]);
-            let drnm = read_metrics(&params, Some(assist))?.drnm;
-            Ok(match wl_crit_seeded(&params, None, hint)?.value {
-                WlCrit::Finite(w) => Some((drnm, w)),
-                WlCrit::Infinite => None,
-            })
-        })?;
+        let tail = par_try_map_with(
+            rest.len(),
+            None,
+            || None,
+            |slot: &mut Option<(ReadExperiment, WriteExperiment)>, i| -> Result<_, SramError> {
+                let params = base.clone().with_beta(rest[i]);
+                match slot {
+                    Some((read, write)) => {
+                        read.bind_cell(&params)?;
+                        write.bind_cell(&params)?;
+                    }
+                    None => {
+                        *slot = Some((
+                            ReadExperiment::compile(&params, Some(assist))?,
+                            WriteExperiment::compile(&params, None)?,
+                        ));
+                    }
+                }
+                let (read, write) = slot.as_mut().expect("compiled above");
+                let drnm = read_metrics_compiled(read)?.drnm;
+                Ok(match wl_crit_compiled(write, hint)?.value {
+                    WlCrit::Finite(w) => Some((drnm, w)),
+                    WlCrit::Infinite => None,
+                })
+            },
+        )?;
         points.extend(tail);
     }
     Ok(TradeoffCurve {

@@ -14,14 +14,18 @@
 //! * [`assist`] — the four write-assist and four read-assist techniques of
 //!   §4, each expressed as a reshaped bias waveform at 30 % of V_DD;
 //! * [`ops`] — hold / write / read operation drivers (timing schedules,
-//!   stimulus construction);
+//!   stimulus construction), each also available as a *compiled
+//!   experiment* ([`ops::WriteExperiment`], [`ops::ReadExperiment`]) that
+//!   builds its circuit once and re-runs it under rebound pulse widths and
+//!   device variations — the engine behind every sweep, search and
+//!   Monte-Carlo batch in the crate;
 //! * [`metrics`] — the paper's measurements: hold static power, dynamic
 //!   read noise margin (DRNM), critical wordline pulse width (WL_crit),
 //!   and write/read delays;
 //! * [`montecarlo`] — §4.3's ±5 % gate-oxide-thickness Monte-Carlo;
 //! * [`snm`] — classical static noise margins (Seevinck butterfly), the
 //!   baseline metric family the paper's dynamic approach replaces;
-//! * [`array`] — array-level functional simulation: shared wordlines and
+//! * [`array`](mod@array) — array-level functional simulation: shared wordlines and
 //!   bitlines, half-select physics, disturb detection;
 //! * [`explore`] — β sweeps and assist-technique comparisons (Figs. 4–8);
 //! * [`compare`] — the §5 four-design comparison across V_DD (Figs. 11–12
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use crate::error::SramError;
     pub use crate::metrics::{self, WlCrit, WlCritRun};
     pub use crate::montecarlo::McConfig;
+    pub use crate::ops::{ReadExperiment, WriteExperiment};
     pub use crate::tech::{
         AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SteppingMode,
     };

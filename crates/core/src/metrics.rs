@@ -14,9 +14,9 @@
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::ops::{hold_setup, run_read, run_write};
+use crate::ops::{hold_setup, run_write, ReadExperiment, WriteExperiment};
 use crate::tech::{CellKind, CellParams};
-use tfet_circuit::SolveStats;
+use tfet_circuit::{CompiledCircuit, SolveStats};
 use tfet_numerics::roots::{critical_threshold, critical_threshold_seeded, Threshold};
 
 /// Result of a critical-pulse-width search.
@@ -58,7 +58,8 @@ impl WlCrit {
 /// Simulation failures and invalid parameters.
 pub fn static_power(params: &CellParams) -> Result<f64, SramError> {
     let h = hold_setup(params)?;
-    let op = h.circuit.dc_op_with_guess(&h.guess)?;
+    let mut compiled = CompiledCircuit::compile(h.circuit)?;
+    let op = compiled.dc_op(&h.guess)?;
     // Sanity: the state must actually hold, otherwise the measurement is
     // meaningless.
     let vq = op.voltage(h.nodes.q);
@@ -123,12 +124,41 @@ pub fn wl_crit_seeded(
         });
     }
     params.validate()?;
-    let lo = 5.0 * params.sim.dt;
-    let hi = params.sim.max_pulse;
+    let mut exp = WriteExperiment::compile(params, assist)?;
+    wl_crit_compiled(&mut exp, hint)
+}
+
+/// [`wl_crit_seeded`] against an already-compiled [`WriteExperiment`]:
+/// every transient of the search rebinds the pulse width and re-runs the
+/// frozen circuit, so a sweep or Monte-Carlo batch pays one compile for
+/// the whole search (and, via
+/// [`bind_cell`](WriteExperiment::bind_cell), for every subsequent
+/// search on the same topology). The `effort` counters therefore report
+/// `circuit_builds` far below `runs` — the build/bind/run ratio the
+/// throughput bench pins.
+///
+/// # Errors
+///
+/// As [`wl_crit`]. The asymmetric 6T cell is rejected even here: its
+/// compiled form always carries the built-in ground collapse, which has no
+/// separatrix to search for.
+pub fn wl_crit_compiled(
+    exp: &mut WriteExperiment,
+    hint: Option<f64>,
+) -> Result<WlCritRun, SramError> {
+    if exp.kind() == CellKind::TfetAsym6T {
+        return Err(SramError::Undefined {
+            metric: "WL_crit",
+            reason: "the asymmetric 6T TFET SRAM's write has no separatrix".into(),
+        });
+    }
+    let lo = 5.0 * exp.sim().dt;
+    let hi = exp.sim().max_pulse;
+    let pulse_tol = exp.sim().pulse_tol;
     let mut effort = SolveStats::default();
     let mut oracle_calls = 0u64;
     // Surface genuine simulation failures from the endpoint probe first.
-    let probe = run_write(params, assist, hi)?;
+    let probe = exp.run(hi)?;
     oracle_calls += 1;
     effort.absorb(&probe.result.stats);
     if !probe.flipped() {
@@ -138,9 +168,9 @@ pub fn wl_crit_seeded(
             effort,
         });
     }
-    let th = critical_threshold_seeded(lo, hi, params.sim.pulse_tol, hint, |w| {
+    let th = critical_threshold_seeded(lo, hi, pulse_tol, hint, |w| {
         oracle_calls += 1;
-        match run_write(params, assist, w) {
+        match exp.run(w) {
             Ok(r) => {
                 effort.absorb(&r.result.stats);
                 r.flipped()
@@ -182,7 +212,20 @@ pub fn read_metrics(
     params: &CellParams,
     assist: Option<ReadAssist>,
 ) -> Result<ReadMetrics, SramError> {
-    let run = run_read(params, assist)?;
+    let mut exp = ReadExperiment::compile(params, assist)?;
+    read_metrics_compiled(&mut exp)
+}
+
+/// [`read_metrics`] against an already-compiled [`ReadExperiment`]: the
+/// frozen read circuit re-runs as-is, so batches that retarget it through
+/// [`bind_cell`](ReadExperiment::bind_cell) pay one compile for the whole
+/// sweep.
+///
+/// # Errors
+///
+/// Simulation failures.
+pub fn read_metrics_compiled(exp: &mut ReadExperiment) -> Result<ReadMetrics, SramError> {
+    let run = exp.run()?;
     Ok(ReadMetrics {
         drnm: run.drnm(),
         read_delay: run.read_delay(SENSE_DV),

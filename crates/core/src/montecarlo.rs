@@ -18,12 +18,13 @@
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::metrics::{read_metrics, wl_crit, wl_crit_seeded, WlCrit};
+use crate::metrics::{read_metrics_compiled, wl_crit, wl_crit_compiled, WlCrit};
+use crate::ops::{ReadExperiment, WriteExperiment};
 use crate::tech::{CellParams, CellVariations, Role};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tfet_devices::ProcessVariation;
-use tfet_numerics::par_try_map;
+use tfet_numerics::parallel::par_try_map_with;
 
 /// The paper's fabrication-control bound: ±5 % gate-oxide thickness.
 pub const TOX_BOUND: f64 = 0.05;
@@ -171,11 +172,26 @@ pub fn mc_wl_crit_with(
     // sample — so results stay bit-identical at any thread count. A failing
     // nominal cell yields no hint and samples fall back to the cold search.
     let hint = wl_crit(base, assist).ok().and_then(|w| w.as_finite());
-    let outcomes = par_try_map(n, config.threads, |i| {
-        let mut rng = config.sample_rng(i);
-        let params = base.clone().with_variations(sample_variations(&mut rng));
-        wl_crit_seeded(&params, assist, hint).map(|run| run.value)
-    })?;
+    // Each worker compiles the write experiment once on its first sample and
+    // retargets it per sample through device binds — the compiled circuit is
+    // a pure cache (waveforms and initial conditions depend only on the
+    // shared supply/timing, never on the variations), so values stay
+    // bit-identical to a build-per-sample loop at any thread count.
+    let outcomes = par_try_map_with(
+        n,
+        config.threads,
+        || None,
+        |slot: &mut Option<WriteExperiment>, i| {
+            let mut rng = config.sample_rng(i);
+            let params = base.clone().with_variations(sample_variations(&mut rng));
+            match slot {
+                Some(exp) => exp.bind_cell(&params)?,
+                None => *slot = Some(WriteExperiment::compile(&params, assist)?),
+            }
+            let exp = slot.as_mut().expect("compiled above");
+            wl_crit_compiled(exp, hint).map(|run| run.value)
+        },
+    )?;
     let mut values = Vec::with_capacity(n);
     let mut failures = 0;
     for outcome in outcomes {
@@ -215,11 +231,23 @@ pub fn mc_drnm_with(
     n: usize,
     config: McConfig,
 ) -> Result<Vec<f64>, SramError> {
-    par_try_map(n, config.threads, |i| {
-        let mut rng = config.sample_rng(i);
-        let params = base.clone().with_variations(sample_variations(&mut rng));
-        read_metrics(&params, assist).map(|m| m.drnm)
-    })
+    // Per-worker compiled read experiment, retargeted per sample via device
+    // binds — see `mc_wl_crit_with` for why this cannot change the values.
+    par_try_map_with(
+        n,
+        config.threads,
+        || None,
+        |slot: &mut Option<ReadExperiment>, i| {
+            let mut rng = config.sample_rng(i);
+            let params = base.clone().with_variations(sample_variations(&mut rng));
+            match slot {
+                Some(exp) => exp.bind_cell(&params)?,
+                None => *slot = Some(ReadExperiment::compile(&params, assist)?),
+            }
+            let exp = slot.as_mut().expect("compiled above");
+            read_metrics_compiled(exp).map(|m| m.drnm)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! Each driver assembles a complete experiment circuit around the cell —
 //! rails, wordline pulse, driven or floating bitlines, assist windows — and
 //! runs the appropriate analysis. The timing scheme (all relative to
-//! [`SimOptions`](crate::tech::SimOptions)):
+//! [`SimOptions`]):
 //!
 //! ```text
 //! t = 0 ············ t_settle ·· +50 ps ········ +width ········· t_end
@@ -15,13 +15,32 @@
 //! Reads keep the wordline active for the whole `t_read` window with the
 //! bitlines *floating* on their column capacitance (precharged via initial
 //! conditions), which is what lets the cell develop a sense differential.
+//!
+//! # Compiled experiments
+//!
+//! Every metric in the pipeline re-runs one of these drivers many times
+//! with only a stimulus or a device binding changed: a WL_crit bisection
+//! sweeps the pulse width, a Monte-Carlo batch sweeps device variations, a
+//! β-sweep sweeps gate widths. [`WriteExperiment`] and [`ReadExperiment`]
+//! therefore split each driver into the circuit crate's compile/bind/run
+//! stages: `compile` builds and freezes the experiment circuit once,
+//! [`WriteExperiment::run`] binds the per-run stimuli (pulse width, assist
+//! windows) through typed [`ParamHandle`]s and executes against the frozen
+//! form, and [`bind_cell`](WriteExperiment::bind_cell) swaps the six (or
+//! seven) transistor bindings for a varied or re-sized cell without
+//! re-tessellating anything. The legacy one-shot entry points
+//! ([`run_write`], [`run_read`]) are thin wrappers that compile and run
+//! once, so their numbers — and the numbers of every reused compiled
+//! experiment — are bit-identical to the historical build-per-run path.
 
-use crate::assist::{read_bias, write_bias, ReadAssist, WriteAssist};
+use crate::assist::{read_bias, write_bias, ReadAssist, WriteAssist, WriteBias};
 use crate::cell::{build_cell, CellNodes};
 use crate::error::SramError;
-use crate::tech::{CellKind, CellParams};
+use crate::tech::{CellKind, CellParams, Role, SimOptions};
 use tfet_circuit::transient::InitialState;
-use tfet_circuit::{Circuit, NodeId, SourceId, StopEvent, TransientResult, Waveform};
+use tfet_circuit::{
+    Circuit, CompiledCircuit, NodeId, ParamHandle, SourceId, StopEvent, TransientResult, Waveform,
+};
 
 /// Assist windows open this long *before* the wordline pulse (paper
 /// Figs. 6–7 timing diagrams assert the assist first). The lead matters
@@ -45,6 +64,95 @@ fn windowed(base: f64, level: f64, t0: f64, t1: f64, t_edge: f64) -> Waveform {
     } else {
         Waveform::pulse(base, level, t0, t1 - t0, t_edge)
     }
+}
+
+/// Wires the two cell rails to ground-referenced sources, in the canonical
+/// VDD-then-VSS order every driver uses. Returns `(vdd, vss)` source ids.
+fn wire_rails(
+    c: &mut Circuit,
+    nodes: &CellNodes,
+    vdd_wave: Waveform,
+    vss_wave: Waveform,
+) -> (SourceId, SourceId) {
+    let vdd_id = c.vsource("VDD", nodes.vdd, Circuit::GND, vdd_wave);
+    let vss_id = c.vsource("VSS", nodes.vss, Circuit::GND, vss_wave);
+    (vdd_id, vss_id)
+}
+
+/// The rail excursion waveforms for an assist window `[t0, t1]`: VDD rests
+/// at `vdd`, VSS at 0 V, and each visits its bias level only if the assist
+/// actually moves it (DC otherwise).
+fn rail_waves(
+    vdd: f64,
+    vdd_level: f64,
+    vss_level: f64,
+    t0: f64,
+    t1: f64,
+    t_edge: f64,
+) -> (Waveform, Waveform) {
+    (
+        windowed(vdd, vdd_level, t0, t1, t_edge),
+        windowed(0.0, vss_level, t0, t1, t_edge),
+    )
+}
+
+/// Rebinds every transistor of a compiled cell experiment to the models and
+/// widths `params` implies. Indices follow the `build_cell` stamp order;
+/// binds never touch topology, so the MNA pattern is preserved.
+fn bind_cell_devices(compiled: &mut CompiledCircuit, params: &CellParams) {
+    let s = &params.sizing;
+    compiled.bind_device(0, params.model(Role::PullUpLeft, false), s.w_pullup_um);
+    compiled.bind_device(1, params.model(Role::PullDownLeft, true), s.w_pulldown_um());
+    compiled.bind_device(2, params.model(Role::PullUpRight, false), s.w_pullup_um);
+    compiled.bind_device(
+        3,
+        params.model(Role::PullDownRight, true),
+        s.w_pulldown_um(),
+    );
+    let n_access = !params.kind.access().is_p_type();
+    compiled.bind_device(4, params.model(Role::AccessLeft, n_access), s.w_access_um);
+    compiled.bind_device(5, params.model(Role::AccessRight, n_access), s.w_access_um);
+    if params.kind == CellKind::Tfet7T {
+        compiled.bind_device(6, params.model(Role::ReadBuffer, true), s.w_access_um);
+    }
+}
+
+/// Checks that `params` describes a cell a compiled experiment can absorb
+/// through device binds alone: same topology, supply, timing and fixed
+/// capacitances. Everything else (models, widths, variations, temperature)
+/// is bindable.
+fn check_bindable(
+    params: &CellParams,
+    kind: CellKind,
+    vdd: f64,
+    sim: &SimOptions,
+    c_bitline: f64,
+    c_node: f64,
+) -> Result<(), SramError> {
+    params.validate()?;
+    if params.kind != kind {
+        return Err(SramError::InvalidParameter(format!(
+            "compiled experiment is for {kind:?}, cannot bind {:?}",
+            params.kind
+        )));
+    }
+    if (params.vdd - vdd).abs() > 1e-15 {
+        return Err(SramError::InvalidParameter(format!(
+            "compiled experiment waveforms are frozen at vdd = {vdd} V, cannot bind {} V",
+            params.vdd
+        )));
+    }
+    if params.sim != *sim {
+        return Err(SramError::InvalidParameter(
+            "compiled experiment timing is frozen; sim options must match".into(),
+        ));
+    }
+    if params.c_bitline != c_bitline || params.c_node != c_node {
+        return Err(SramError::InvalidParameter(
+            "compiled experiment capacitors are frozen; c_bitline/c_node must match".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// A hold-configured cell: all lines at their standby levels.
@@ -76,8 +184,9 @@ pub fn hold_setup(params: &CellParams) -> Result<HoldSetup, SramError> {
     let nodes = build_cell(&mut c, params);
     let mut sources = Vec::new();
 
-    sources.push(c.vsource("VDD", nodes.vdd, Circuit::GND, Waveform::dc(vdd)));
-    sources.push(c.vsource("VSS", nodes.vss, Circuit::GND, Waveform::dc(0.0)));
+    let (vdd_id, vss_id) = wire_rails(&mut c, &nodes, Waveform::dc(vdd), Waveform::dc(0.0));
+    sources.push(vdd_id);
+    sources.push(vss_id);
     let access = params.kind.access();
     sources.push(c.vsource(
         "WL",
@@ -151,10 +260,246 @@ impl WriteRun {
     }
 }
 
+/// A write experiment compiled for repeated execution.
+///
+/// [`compile`](WriteExperiment::compile) assembles the `q: 1 → 0` write
+/// circuit once — cell, rails, wordline, data bitlines, read-port clamps —
+/// and freezes it as a [`CompiledCircuit`]. Each
+/// [`run`](WriteExperiment::run) then binds only what a new pulse width
+/// changes (the wordline pulse and, for assisted cells, the rail windows)
+/// and re-executes against the frozen form with the reused Newton
+/// workspace. [`bind_cell`](WriteExperiment::bind_cell) retargets the
+/// experiment at a varied or re-sized cell of the same topology, which is
+/// how Monte-Carlo samples and β-sweeps avoid rebuilding per point.
+#[derive(Debug)]
+pub struct WriteExperiment {
+    compiled: CompiledCircuit,
+    nodes: CellNodes,
+    vdd_h: ParamHandle,
+    vss_h: ParamHandle,
+    wl_h: ParamHandle,
+    kind: CellKind,
+    vdd: f64,
+    wl_inactive: f64,
+    bias: WriteBias,
+    sim: SimOptions,
+    c_bitline: f64,
+    c_node: f64,
+    initial: InitialState,
+}
+
+impl WriteExperiment {
+    /// Compiles the write experiment for `params`.
+    ///
+    /// The asymmetric 6T cell always runs with its built-in (modified)
+    /// ground raising; other cells use `assist` as given. Data bitline
+    /// waveforms and the initial condition are pulse-width-independent, so
+    /// they are frozen here; the wordline and assist windows are bound per
+    /// [`run`](WriteExperiment::run).
+    ///
+    /// # Errors
+    ///
+    /// Invalid parameters and structurally bad netlists.
+    pub fn compile(params: &CellParams, assist: Option<WriteAssist>) -> Result<Self, SramError> {
+        params.validate()?;
+        let vdd = params.vdd;
+        let sim = params.sim;
+        // The asymmetric 6T TFET SRAM's write mechanism *is* a modified
+        // ground raising (paper §4 intro / [Singh, ASP-DAC'10]).
+        let assist = if params.kind == CellKind::TfetAsym6T {
+            Some(WriteAssist::GndRaising)
+        } else {
+            assist
+        };
+        let access = params.kind.access();
+        let bias = write_bias(assist, vdd, access, sim.assist_fraction);
+        let t_bl = sim.t_settle;
+
+        let mut c = Circuit::new();
+        let nodes = build_cell(&mut c, params);
+
+        // Rails start at their DC hold levels; an assisted run rebinds them
+        // to the windowed excursion once the window timing is known.
+        let (vdd_id, vss_id) = wire_rails(&mut c, &nodes, Waveform::dc(vdd), Waveform::dc(0.0));
+        let wl_inactive = access.wl_inactive(vdd);
+        // Wordline placeholder: every run binds the actual pulse.
+        let wl_id = c.vsource("WL", nodes.wl, Circuit::GND, Waveform::dc(wl_inactive));
+
+        // Bitline data: BL (q side) driven toward 0, BLB toward the
+        // (possibly raised) high level. The 7T cell's write bitlines idle
+        // at 0, so only BLB moves. Both waveforms are final at compile.
+        let bl_hold = if params.kind == CellKind::Tfet7T {
+            0.0
+        } else {
+            vdd
+        };
+        let bl_wave = if bl_hold == 0.0 {
+            Waveform::dc(0.0)
+        } else {
+            Waveform::step(bl_hold, 0.0, t_bl, sim.t_edge)
+        };
+        c.vsource("BL", nodes.bl, Circuit::GND, bl_wave);
+        let blb_wave = if (bias.bl_high - bl_hold).abs() < 1e-15 {
+            Waveform::dc(bl_hold)
+        } else {
+            Waveform::step(bl_hold, bias.bl_high, t_bl, sim.t_edge)
+        };
+        c.vsource("BLB", nodes.blb, Circuit::GND, blb_wave);
+
+        let mut uic = vec![
+            (nodes.q, vdd),
+            (nodes.qb, 0.0),
+            (nodes.bl, bl_hold),
+            (nodes.blb, bl_hold),
+            (nodes.wl, wl_inactive),
+            (nodes.vdd, vdd),
+        ];
+        if let (Some(rbl), Some(rwl)) = (nodes.rbl, nodes.rwl) {
+            c.vsource("RBL", rbl, Circuit::GND, Waveform::dc(vdd));
+            c.vsource("RWL", rwl, Circuit::GND, Waveform::dc(vdd));
+            uic.push((rbl, vdd));
+            uic.push((rwl, vdd));
+        }
+
+        let compiled = CompiledCircuit::compile(c)?;
+        let vdd_h = compiled.param(vdd_id);
+        let vss_h = compiled.param(vss_id);
+        let wl_h = compiled.param(wl_id);
+        Ok(WriteExperiment {
+            compiled,
+            nodes,
+            vdd_h,
+            vss_h,
+            wl_h,
+            kind: params.kind,
+            vdd,
+            wl_inactive,
+            bias,
+            sim,
+            c_bitline: params.c_bitline,
+            c_node: params.c_node,
+            initial: InitialState::Uic(uic),
+        })
+    }
+
+    /// The cell topology this experiment was compiled for.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The frozen simulation options (timing, tolerances).
+    pub fn sim(&self) -> &SimOptions {
+        &self.sim
+    }
+
+    /// Retargets the compiled experiment at a different cell of the same
+    /// topology: rebinds every transistor model and width from `params`
+    /// (sizing, variations, temperature, device mode). The frozen supply,
+    /// timing and capacitances must match, because the compile-time
+    /// waveforms and initial conditions depend on them.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::InvalidParameter`] for invalid parameters or a cell the
+    /// frozen circuit cannot represent.
+    pub fn bind_cell(&mut self, params: &CellParams) -> Result<(), SramError> {
+        check_bindable(
+            params,
+            self.kind,
+            self.vdd,
+            &self.sim,
+            self.c_bitline,
+            self.c_node,
+        )?;
+        bind_cell_devices(&mut self.compiled, params);
+        Ok(())
+    }
+
+    /// Runs the write with a wordline pulse of the given width, binding
+    /// the per-run stimuli and executing against the compiled form.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures and non-positive pulse widths.
+    pub fn run(&mut self, pulse_width: f64) -> Result<WriteRun, SramError> {
+        if pulse_width <= 0.0 {
+            return Err(SramError::InvalidParameter(format!(
+                "pulse width must be positive, got {pulse_width}"
+            )));
+        }
+        let sim = self.sim;
+        let vdd = self.vdd;
+        let t_bl = sim.t_settle;
+        let t_wl_on = t_bl + BL_TO_WL_DELAY;
+        let t_wl_off = t_wl_on + pulse_width;
+        let t_end = t_wl_off + sim.t_post_write;
+        let t_a0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
+        let t_a1 = t_wl_off + ASSIST_LAG;
+        // Narrow pulses get proportionally faster edges.
+        let edge_wl = sim.t_edge.min(pulse_width / 4.0);
+
+        let (vdd_wave, vss_wave) = rail_waves(
+            vdd,
+            self.bias.vdd_level,
+            self.bias.vss_level,
+            t_a0,
+            t_a1,
+            sim.t_edge,
+        );
+        // Unassisted rails stay DC at every pulse width — exactly the
+        // compile-time placeholder — so only assisted windows rebind.
+        if !vdd_wave.is_dc() {
+            self.compiled.bind_wave(self.vdd_h, vdd_wave);
+        }
+        if !vss_wave.is_dc() {
+            self.compiled.bind_wave(self.vss_h, vss_wave);
+        }
+        self.compiled.bind_wave(
+            self.wl_h,
+            Waveform::pulse(
+                self.wl_inactive,
+                self.bias.wl_active,
+                t_wl_on,
+                pulse_width,
+                edge_wl,
+            ),
+        );
+
+        // Early exit: once the wordline and every assist rail are back at
+        // their hold levels, a storage-node differential beyond the
+        // regeneration margin has committed the cell either way — the
+        // flip/no-flip verdict (`flipped()` tests ±0.3·V_DD at t_end) can
+        // no longer change, so the rest of the post-write settle carries no
+        // information. The 0.35·V_DD margin keeps a safety band over the
+        // verdict threshold: borderline trajectories that hover inside it
+        // run to completion.
+        let events = [StopEvent::decided(
+            self.nodes.qb,
+            self.nodes.q,
+            0.35 * vdd,
+            t_a1 + 2.0 * sim.t_edge,
+        )];
+        let result = self.compiled.run(
+            &sim.spec(t_end),
+            &self.initial,
+            if sim.early_exit { &events } else { &[] },
+        )?;
+        Ok(WriteRun {
+            result,
+            nodes: self.nodes,
+            t_wl_on,
+            t_wl_off,
+            t_end,
+            vdd,
+        })
+    }
+}
+
 /// Runs a write of `q: 1 → 0` with a wordline pulse of the given width.
 ///
 /// The asymmetric 6T cell always runs with its built-in (modified) ground
-/// raising; other cells use `assist` as given.
+/// raising; other cells use `assist` as given. One-shot wrapper around
+/// [`WriteExperiment`]: compiles, runs once, discards the compiled form.
 ///
 /// # Errors
 ///
@@ -164,124 +509,7 @@ pub fn run_write(
     assist: Option<WriteAssist>,
     pulse_width: f64,
 ) -> Result<WriteRun, SramError> {
-    params.validate()?;
-    if pulse_width <= 0.0 {
-        return Err(SramError::InvalidParameter(format!(
-            "pulse width must be positive, got {pulse_width}"
-        )));
-    }
-    let vdd = params.vdd;
-    let sim = &params.sim;
-    // The asymmetric 6T TFET SRAM's write mechanism *is* a modified ground
-    // raising (paper §4 intro / [Singh, ASP-DAC'10]).
-    let assist = if params.kind == CellKind::TfetAsym6T {
-        Some(WriteAssist::GndRaising)
-    } else {
-        assist
-    };
-    let access = params.kind.access();
-    let bias = write_bias(assist, vdd, access, sim.assist_fraction);
-
-    let t_bl = sim.t_settle;
-    let t_wl_on = t_bl + BL_TO_WL_DELAY;
-    let t_wl_off = t_wl_on + pulse_width;
-    let t_end = t_wl_off + sim.t_post_write;
-    let t_a0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
-    let t_a1 = t_wl_off + ASSIST_LAG;
-    // Narrow pulses get proportionally faster edges.
-    let edge_wl = sim.t_edge.min(pulse_width / 4.0);
-
-    let mut c = Circuit::new();
-    let nodes = build_cell(&mut c, params);
-
-    c.vsource(
-        "VDD",
-        nodes.vdd,
-        Circuit::GND,
-        windowed(vdd, bias.vdd_level, t_a0, t_a1, sim.t_edge),
-    );
-    c.vsource(
-        "VSS",
-        nodes.vss,
-        Circuit::GND,
-        windowed(0.0, bias.vss_level, t_a0, t_a1, sim.t_edge),
-    );
-    c.vsource(
-        "WL",
-        nodes.wl,
-        Circuit::GND,
-        Waveform::pulse(
-            access.wl_inactive(vdd),
-            bias.wl_active,
-            t_wl_on,
-            pulse_width,
-            edge_wl,
-        ),
-    );
-
-    // Bitline data: BL (q side) driven toward 0, BLB toward the (possibly
-    // raised) high level. The 7T cell's write bitlines idle at 0, so only
-    // BLB moves.
-    let bl_hold = if params.kind == CellKind::Tfet7T {
-        0.0
-    } else {
-        vdd
-    };
-    let bl_wave = if bl_hold == 0.0 {
-        Waveform::dc(0.0)
-    } else {
-        Waveform::step(bl_hold, 0.0, t_bl, sim.t_edge)
-    };
-    c.vsource("BL", nodes.bl, Circuit::GND, bl_wave);
-    let blb_wave = if (bias.bl_high - bl_hold).abs() < 1e-15 {
-        Waveform::dc(bl_hold)
-    } else {
-        Waveform::step(bl_hold, bias.bl_high, t_bl, sim.t_edge)
-    };
-    c.vsource("BLB", nodes.blb, Circuit::GND, blb_wave);
-
-    let mut uic = vec![
-        (nodes.q, vdd),
-        (nodes.qb, 0.0),
-        (nodes.bl, bl_hold),
-        (nodes.blb, bl_hold),
-        (nodes.wl, access.wl_inactive(vdd)),
-        (nodes.vdd, vdd),
-    ];
-    if let (Some(rbl), Some(rwl)) = (nodes.rbl, nodes.rwl) {
-        c.vsource("RBL", rbl, Circuit::GND, Waveform::dc(vdd));
-        c.vsource("RWL", rwl, Circuit::GND, Waveform::dc(vdd));
-        uic.push((rbl, vdd));
-        uic.push((rwl, vdd));
-    }
-
-    // Early exit: once the wordline and every assist rail are back at their
-    // hold levels, a storage-node differential beyond the regeneration
-    // margin has committed the cell either way — the flip/no-flip verdict
-    // (`flipped()` tests ±0.3·V_DD at t_end) can no longer change, so the
-    // rest of the post-write settle carries no information. The 0.35·V_DD
-    // margin keeps a safety band over the verdict threshold: borderline
-    // trajectories that hover inside it run to completion.
-    let events = [StopEvent::decided(
-        nodes.qb,
-        nodes.q,
-        0.35 * vdd,
-        t_a1 + 2.0 * sim.t_edge,
-    )];
-    let spec = sim.spec(t_end);
-    let result = c.transient_events(
-        &spec,
-        &InitialState::Uic(uic),
-        if sim.early_exit { &events } else { &[] },
-    )?;
-    Ok(WriteRun {
-        result,
-        nodes,
-        t_wl_on,
-        t_wl_off,
-        t_end,
-        vdd,
-    })
+    WriteExperiment::compile(params, assist)?.run(pulse_width)
 }
 
 /// How a read develops its sense signal.
@@ -352,134 +580,231 @@ impl ReadRun {
     }
 }
 
+/// A read experiment compiled for repeated execution.
+///
+/// Read timing never varies per run — the wordline is active for the whole
+/// `t_read` window — so everything (stimuli, precharge initial conditions,
+/// stop events) is frozen at [`compile`](ReadExperiment::compile) time and
+/// [`run`](ReadExperiment::run) takes no arguments.
+/// [`bind_cell`](ReadExperiment::bind_cell) swaps the transistor bindings
+/// for a varied or re-sized cell, which is how Monte-Carlo DRNM batches and
+/// β-sweeps reuse one compiled circuit.
+#[derive(Debug)]
+pub struct ReadExperiment {
+    compiled: CompiledCircuit,
+    nodes: CellNodes,
+    kind: CellKind,
+    vdd: f64,
+    sim: SimOptions,
+    c_bitline: f64,
+    c_node: f64,
+    t_wl_on: f64,
+    t_wl_off: f64,
+    t_end: f64,
+    sense: SenseMode,
+    initial: InitialState,
+    events: [StopEvent; 1],
+}
+
+impl ReadExperiment {
+    /// Compiles the `q = 0` read experiment for `params`.
+    ///
+    /// Bitlines float on `c_bitline` from their precharge level;
+    /// inward/CMOS cells precharge high (the cell discharges the `q`-side
+    /// line), outward cells precharge low (the cell charges the `qb`-side
+    /// line), and the 7T cell senses its dedicated read bitline through the
+    /// read buffer without touching the storage nodes.
+    ///
+    /// # Errors
+    ///
+    /// Invalid parameters and structurally bad netlists.
+    pub fn compile(params: &CellParams, assist: Option<ReadAssist>) -> Result<Self, SramError> {
+        params.validate()?;
+        let vdd = params.vdd;
+        let sim = params.sim;
+        let access = params.kind.access();
+        let bias = read_bias(assist, vdd, access, sim.assist_fraction);
+
+        let t_wl_on = sim.t_settle;
+        let t_wl_off = t_wl_on + sim.t_read;
+        let t_end = t_wl_off + 0.3e-9;
+
+        let mut c = Circuit::new();
+        let nodes = build_cell(&mut c, params);
+
+        let t_ra0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
+        let (vdd_wave, vss_wave) = rail_waves(
+            vdd,
+            bias.vdd_level,
+            bias.vss_level,
+            t_ra0,
+            t_wl_off,
+            sim.t_edge,
+        );
+        wire_rails(&mut c, &nodes, vdd_wave, vss_wave);
+
+        let mut uic = vec![
+            (nodes.q, 0.0),
+            (nodes.qb, vdd),
+            (nodes.vdd, vdd),
+            (nodes.wl, access.wl_inactive(vdd)),
+        ];
+
+        let sense = if params.kind == CellKind::Tfet7T {
+            // Write port quiescent; read through the buffer on RBL/RWL.
+            c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(0.0));
+            c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(0.0));
+            c.vsource(
+                "WL",
+                nodes.wl,
+                Circuit::GND,
+                Waveform::dc(access.wl_inactive(vdd)),
+            );
+            let rbl = nodes.rbl.expect("7T has rbl");
+            let rwl = nodes.rwl.expect("7T has rwl");
+            c.capacitor(rbl, Circuit::GND, params.c_bitline);
+            c.vsource(
+                "RWL",
+                rwl,
+                Circuit::GND,
+                Waveform::pulse(vdd, 0.0, t_wl_on, sim.t_read, sim.t_edge),
+            );
+            uic.push((rbl, vdd));
+            uic.push((rwl, vdd));
+            SenseMode::Droop {
+                node: rbl,
+                from: vdd,
+            }
+        } else {
+            // 6T cells: wordline pulse, floating bitlines on their column
+            // caps.
+            c.vsource(
+                "WL",
+                nodes.wl,
+                Circuit::GND,
+                Waveform::pulse(
+                    access.wl_inactive(vdd),
+                    bias.wl_active,
+                    t_wl_on,
+                    sim.t_read,
+                    sim.t_edge,
+                ),
+            );
+            c.capacitor(nodes.bl, Circuit::GND, params.c_bitline);
+            c.capacitor(nodes.blb, Circuit::GND, params.c_bitline);
+            let precharge = if access.is_inward() || params.kind == CellKind::Cmos6T {
+                bias.bl_precharge
+            } else {
+                // Outward cells read by charging a low-precharged line.
+                0.0
+            };
+            uic.push((nodes.bl, precharge));
+            uic.push((nodes.blb, precharge));
+            // Either polarity senses the same differential: precharged-high
+            // columns droop on the q = 0 side, precharged-low columns
+            // charge on the qb = 1 side — both make V(blb) − V(bl) grow
+            // positive.
+            SenseMode::Differential {
+                plus: nodes.blb,
+                minus: nodes.bl,
+            }
+        };
+
+        // Early exit for the post-window tail only: the DRNM window
+        // [t_wl_on, t_wl_off] is always recorded in full; once the wordline
+        // (and any assist) has closed, a storage differential committed
+        // past ±0.75·V_DD means the cell has settled back (or irrecoverably
+        // flipped) and the remaining tail is quiescent.
+        let events = [StopEvent::decided(
+            nodes.qb,
+            nodes.q,
+            0.75 * vdd,
+            t_wl_off + 2.0 * sim.t_edge,
+        )];
+        let compiled = CompiledCircuit::compile(c)?;
+        Ok(ReadExperiment {
+            compiled,
+            nodes,
+            kind: params.kind,
+            vdd,
+            sim,
+            c_bitline: params.c_bitline,
+            c_node: params.c_node,
+            t_wl_on,
+            t_wl_off,
+            t_end,
+            sense,
+            initial: InitialState::Uic(uic),
+            events,
+        })
+    }
+
+    /// The cell topology this experiment was compiled for.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The frozen simulation options (timing, tolerances).
+    pub fn sim(&self) -> &SimOptions {
+        &self.sim
+    }
+
+    /// Retargets the compiled experiment at a different cell of the same
+    /// topology: rebinds every transistor model and width from `params`.
+    /// The frozen supply, timing and capacitances must match.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::InvalidParameter`] for invalid parameters or a cell the
+    /// frozen circuit cannot represent.
+    pub fn bind_cell(&mut self, params: &CellParams) -> Result<(), SramError> {
+        check_bindable(
+            params,
+            self.kind,
+            self.vdd,
+            &self.sim,
+            self.c_bitline,
+            self.c_node,
+        )?;
+        bind_cell_devices(&mut self.compiled, params);
+        Ok(())
+    }
+
+    /// Runs the read against the compiled form.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures.
+    pub fn run(&mut self) -> Result<ReadRun, SramError> {
+        let result = self.compiled.run(
+            &self.sim.spec(self.t_end),
+            &self.initial,
+            if self.sim.early_exit {
+                &self.events
+            } else {
+                &[]
+            },
+        )?;
+        Ok(ReadRun {
+            result,
+            nodes: self.nodes,
+            t_wl_on: self.t_wl_on,
+            t_wl_off: self.t_wl_off,
+            sense: self.sense,
+        })
+    }
+}
+
 /// Runs a read of the `q = 0` state.
 ///
-/// Bitlines float on `c_bitline` from their precharge level; inward/CMOS
-/// cells precharge high (the cell discharges the `q`-side line), outward
-/// cells precharge low (the cell charges the `qb`-side line), and the 7T
-/// cell senses its dedicated read bitline through the read buffer without
-/// touching the storage nodes.
+/// One-shot wrapper around [`ReadExperiment`]: compiles, runs once,
+/// discards the compiled form.
 ///
 /// # Errors
 ///
 /// Simulation failures and invalid parameters.
 pub fn run_read(params: &CellParams, assist: Option<ReadAssist>) -> Result<ReadRun, SramError> {
-    params.validate()?;
-    let vdd = params.vdd;
-    let sim = &params.sim;
-    let access = params.kind.access();
-    let bias = read_bias(assist, vdd, access, sim.assist_fraction);
-
-    let t_wl_on = sim.t_settle;
-    let t_wl_off = t_wl_on + sim.t_read;
-    let t_end = t_wl_off + 0.3e-9;
-
-    let mut c = Circuit::new();
-    let nodes = build_cell(&mut c, params);
-
-    let t_ra0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
-    c.vsource(
-        "VDD",
-        nodes.vdd,
-        Circuit::GND,
-        windowed(vdd, bias.vdd_level, t_ra0, t_wl_off, sim.t_edge),
-    );
-    c.vsource(
-        "VSS",
-        nodes.vss,
-        Circuit::GND,
-        windowed(0.0, bias.vss_level, t_ra0, t_wl_off, sim.t_edge),
-    );
-
-    let mut uic = vec![
-        (nodes.q, 0.0),
-        (nodes.qb, vdd),
-        (nodes.vdd, vdd),
-        (nodes.wl, access.wl_inactive(vdd)),
-    ];
-
-    let sense = if params.kind == CellKind::Tfet7T {
-        // Write port quiescent; read through the buffer on RBL/RWL.
-        c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(0.0));
-        c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(0.0));
-        c.vsource(
-            "WL",
-            nodes.wl,
-            Circuit::GND,
-            Waveform::dc(access.wl_inactive(vdd)),
-        );
-        let rbl = nodes.rbl.expect("7T has rbl");
-        let rwl = nodes.rwl.expect("7T has rwl");
-        c.capacitor(rbl, Circuit::GND, params.c_bitline);
-        c.vsource(
-            "RWL",
-            rwl,
-            Circuit::GND,
-            Waveform::pulse(vdd, 0.0, t_wl_on, sim.t_read, sim.t_edge),
-        );
-        uic.push((rbl, vdd));
-        uic.push((rwl, vdd));
-        SenseMode::Droop {
-            node: rbl,
-            from: vdd,
-        }
-    } else {
-        // 6T cells: wordline pulse, floating bitlines on their column caps.
-        c.vsource(
-            "WL",
-            nodes.wl,
-            Circuit::GND,
-            Waveform::pulse(
-                access.wl_inactive(vdd),
-                bias.wl_active,
-                t_wl_on,
-                sim.t_read,
-                sim.t_edge,
-            ),
-        );
-        c.capacitor(nodes.bl, Circuit::GND, params.c_bitline);
-        c.capacitor(nodes.blb, Circuit::GND, params.c_bitline);
-        let precharge = if access.is_inward() || params.kind == CellKind::Cmos6T {
-            bias.bl_precharge
-        } else {
-            // Outward cells read by charging a low-precharged line.
-            0.0
-        };
-        uic.push((nodes.bl, precharge));
-        uic.push((nodes.blb, precharge));
-        // Either polarity senses the same differential: precharged-high
-        // columns droop on the q = 0 side, precharged-low columns charge on
-        // the qb = 1 side — both make V(blb) − V(bl) grow positive.
-        SenseMode::Differential {
-            plus: nodes.blb,
-            minus: nodes.bl,
-        }
-    };
-
-    // Early exit for the post-window tail only: the DRNM window
-    // [t_wl_on, t_wl_off] is always recorded in full; once the wordline
-    // (and any assist) has closed, a storage differential committed past
-    // ±0.75·V_DD means the cell has settled back (or irrecoverably
-    // flipped) and the remaining tail is quiescent.
-    let events = [StopEvent::decided(
-        nodes.qb,
-        nodes.q,
-        0.75 * vdd,
-        t_wl_off + 2.0 * sim.t_edge,
-    )];
-    let spec = sim.spec(t_end);
-    let result = c.transient_events(
-        &spec,
-        &InitialState::Uic(uic),
-        if sim.early_exit { &events } else { &[] },
-    )?;
-    Ok(ReadRun {
-        result,
-        nodes,
-        t_wl_on,
-        t_wl_off,
-        sense,
-    })
+    ReadExperiment::compile(params, assist)?.run()
 }
 
 #[cfg(test)]
@@ -620,6 +945,67 @@ mod tests {
         let p = CellParams::cmos6t();
         assert!(matches!(
             run_write(&p, None, -1.0),
+            Err(SramError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_write_reuse_matches_fresh_builds() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let mut exp = WriteExperiment::compile(&p, None).unwrap();
+        for width in [2e-9, 0.4e-9, 2e-9] {
+            let reused = exp.run(width).unwrap();
+            let fresh = run_write(&p, None, width).unwrap();
+            assert_eq!(reused.result.times(), fresh.result.times(), "w = {width}");
+            assert_eq!(
+                reused.result.trace(reused.nodes.q),
+                fresh.result.trace(fresh.nodes.q),
+                "w = {width}"
+            );
+            assert_eq!(reused.flipped(), fresh.flipped(), "w = {width}");
+        }
+    }
+
+    #[test]
+    fn compiled_write_counts_builds_and_runs() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let mut exp = WriteExperiment::compile(&p, None).unwrap();
+        let first = exp.run(1e-9).unwrap();
+        assert_eq!(first.result.stats.circuit_builds, 1);
+        let second = exp.run(0.5e-9).unwrap();
+        assert_eq!(second.result.stats.circuit_builds, 0, "no rebuild");
+        assert_eq!(second.result.stats.runs, 1);
+        // Only the wordline rebinds on an unassisted cell.
+        assert_eq!(second.result.stats.param_binds, 1);
+    }
+
+    #[test]
+    fn compiled_read_bind_cell_matches_fresh_builds() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(2.0));
+        let mut exp = ReadExperiment::compile(&p, None).unwrap();
+        for beta in [2.0, 0.8, 2.0] {
+            let pb = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(beta));
+            exp.bind_cell(&pb).unwrap();
+            let reused = exp.run().unwrap();
+            let fresh = run_read(&pb, None).unwrap();
+            assert_eq!(reused.result.times(), fresh.result.times(), "β = {beta}");
+            assert_eq!(reused.drnm(), fresh.drnm(), "β = {beta}");
+        }
+    }
+
+    #[test]
+    fn bind_cell_rejects_incompatible_params() {
+        let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
+        let mut exp = WriteExperiment::compile(&p, None).unwrap();
+        let mut other_vdd = p.clone();
+        other_vdd.vdd = 0.6;
+        assert!(matches!(
+            exp.bind_cell(&other_vdd),
+            Err(SramError::InvalidParameter(_))
+        ));
+        let other_kind = fast(CellParams::cmos6t());
+        assert!(matches!(
+            exp.bind_cell(&other_kind),
             Err(SramError::InvalidParameter(_))
         ));
     }

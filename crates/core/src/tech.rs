@@ -321,15 +321,20 @@ impl SimOptions {
         self.dt = (self.dt * factor.sqrt()).min(8e-12);
     }
 
-    /// Rescales the time budgets for operation at the given supply.
-    ///
-    /// TFET (and subthreshold CMOS) drive currents collapse exponentially
-    /// below the 0.8 V reference, so every dynamic metric needs an
-    /// exponentially larger window: the factor `exp(10·(0.8 − v_dd))`
-    /// (clamped to [1, 32]) tracks the Kane-current ratio of the nominal
-    /// device across the paper's 0.5–0.9 V range.
+    /// The time-budget stretch factor for operation at the given supply:
+    /// `exp(10·(0.8 − v_dd))`, clamped to `[1, 32]` — exactly 1 at the
+    /// 0.8 V reference. TFET (and subthreshold CMOS) drive currents
+    /// collapse exponentially below the reference, and this factor tracks
+    /// the Kane-current ratio of the nominal device across the paper's
+    /// 0.5–0.9 V range.
+    pub fn supply_factor(vdd: f64) -> f64 {
+        (10.0 * (0.8 - vdd)).exp().clamp(1.0, 32.0)
+    }
+
+    /// Rescales the time budgets for operation at the given supply by
+    /// [`supply_factor`](SimOptions::supply_factor).
     pub fn rescale_for_supply(&mut self, vdd: f64) {
-        let factor = (10.0 * (0.8 - vdd)).exp().clamp(1.0, 32.0);
+        let factor = Self::supply_factor(vdd);
         if factor > 1.0 {
             self.rescale(factor);
         }

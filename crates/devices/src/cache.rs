@@ -1,6 +1,6 @@
 //! Process-wide cache of compiled LUT devices, keyed by process corner.
 //!
-//! Compiling a [`LutDevice`](crate::LutDevice) on the default grid evaluates
+//! Compiling a [`LutDevice`] on the default grid evaluates
 //! the analytic model 241 × 241 ≈ 58 k times. A Monte-Carlo study draws a
 //! fresh [`ProcessVariation`] per transistor per sample, so naively compiling
 //! a table per instance would dwarf the simulation itself. This module

@@ -60,22 +60,50 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(n, threads, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with per-worker scratch state: each worker calls `init`
+/// once, then threads `&mut state` through every item it pulls.
+///
+/// The state is a *cache*, not an input: `f(state, i)` must return the same
+/// value whatever state it receives, because which worker (and therefore
+/// which state instance, warmed by which prior items) evaluates an item
+/// depends on scheduling. Compiled-experiment reuse is the canonical use —
+/// a worker compiles a circuit once and rebinds parameters per item, which
+/// changes wall-clock only, never values. Under that contract the output is
+/// bit-identical to a serial loop at any thread count, like [`par_map`].
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope joins all workers
+/// first).
+pub fn par_map_with<S, T, I, F>(n: usize, threads: Option<usize>, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = threads.unwrap_or_else(default_threads).max(1).min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut state, i);
+                    slots.lock().unwrap()[i] = Some(value);
                 }
-                let value = f(i);
-                slots.lock().unwrap()[i] = Some(value);
             });
         }
     });
@@ -85,6 +113,33 @@ where
         .into_iter()
         .map(|slot| slot.expect("worker pool left an index uncomputed"))
         .collect()
+}
+
+/// Fallible [`par_map_with`]: per-worker scratch state, with either every
+/// success in index order or the error from the **lowest failing index** —
+/// evaluated fully before the scan, so the reported error is
+/// scheduling-independent.
+///
+/// # Errors
+///
+/// Returns the `Err` produced at the smallest index for which `f` failed.
+pub fn par_try_map_with<S, T, E, I, F>(
+    n: usize,
+    threads: Option<usize>,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<T, E> + Sync,
+{
+    let mut out = Vec::with_capacity(n);
+    for result in par_map_with(n, threads, init, f) {
+        out.push(result?);
+    }
+    Ok(out)
 }
 
 /// Fallible [`par_map`]: maps `f` over `0..n` and returns either every
@@ -165,5 +220,50 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn map_with_state_matches_stateless_at_any_thread_count() {
+        // State used purely as a cache (call counter) must not leak into
+        // the values.
+        let f = |calls: &mut usize, i: usize| {
+            *calls += 1;
+            (i * i) as f64
+        };
+        let serial: Vec<f64> = (0..40).map(|i| (i * i) as f64).collect();
+        for threads in [1, 2, 5] {
+            assert_eq!(par_map_with(40, Some(threads), || 0usize, f), serial);
+        }
+    }
+
+    #[test]
+    fn try_map_with_reports_lowest_failing_index() {
+        let result: Result<Vec<usize>, String> = par_try_map_with(
+            50,
+            Some(4),
+            || (),
+            |(), i| {
+                if i % 9 == 4 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+        assert_eq!(result, Err("bad 4".to_string()));
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_serially() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = par_map_with(
+            10,
+            Some(1),
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, i| i,
+        );
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "serial path: one init");
     }
 }

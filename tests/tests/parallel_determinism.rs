@@ -6,6 +6,7 @@
 
 use tfet_sram::metrics::{wl_crit, wl_crit_seeded, WlCrit};
 use tfet_sram::montecarlo::{mc_drnm_with, mc_wl_crit_with, sample_variations, McConfig};
+use tfet_sram::ops::run_write;
 use tfet_sram::prelude::*;
 
 /// The experiments' fast-simulation settings (2 ps step, 8 ps tolerance).
@@ -75,6 +76,85 @@ fn cached_lut_studies_are_also_thread_count_invariant() {
     let one = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(1)).unwrap();
     let eight = mc_drnm_with(&base, None, N, McConfig::new(SEED).with_threads(8)).unwrap();
     assert_eq!(one, eight);
+}
+
+#[test]
+fn compiled_experiment_reuse_is_bit_identical_to_fresh_builds() {
+    // One compiled write experiment, retargeted across a rotation of
+    // (β, pulse width, variation sample) — including a repeat of the first
+    // point — must reproduce a from-scratch build exactly, sample by sample.
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+    let cfg = McConfig::new(SEED);
+    let rotation: [(f64, f64, Option<usize>); 4] = [
+        (0.6, 2e-9, None),
+        (0.9, 0.4e-9, Some(0)),
+        (0.6, 1e-9, Some(3)),
+        (0.6, 2e-9, None), // exact repeat of the first point
+    ];
+
+    let mut exp: Option<WriteExperiment> = None;
+    for &(beta, width, sample) in &rotation {
+        let mut params = base.clone().with_beta(beta);
+        if let Some(i) = sample {
+            let mut rng = cfg.sample_rng(i);
+            params = params.with_variations(sample_variations(&mut rng));
+        }
+        let reused = match exp.as_mut() {
+            Some(e) => {
+                e.bind_cell(&params).unwrap();
+                e.run(width).unwrap()
+            }
+            None => {
+                let mut e = WriteExperiment::compile(&params, None).unwrap();
+                let run = e.run(width).unwrap();
+                exp = Some(e);
+                run
+            }
+        };
+        let fresh = run_write(&params, None, width).unwrap();
+        let label = format!("beta={beta}, width={width:e}, sample={sample:?}");
+        assert_eq!(
+            reused.result.times(),
+            fresh.result.times(),
+            "times: {label}"
+        );
+        assert_eq!(
+            reused.result.trace(reused.nodes.q),
+            fresh.result.trace(fresh.nodes.q),
+            "V(q): {label}"
+        );
+        assert_eq!(
+            reused.result.trace(reused.nodes.qb),
+            fresh.result.trace(fresh.nodes.qb),
+            "V(qb): {label}"
+        );
+    }
+}
+
+#[test]
+fn seeded_wl_crit_matches_unseeded_across_beta_grid() {
+    // Seeding the bisection with the previous grid point's answer changes
+    // the search path, not the answer: both searches must land within the
+    // bisection tolerance of each other at every β, and agree exactly on
+    // whether WL_crit is finite.
+    let base = fast(CellParams::tfet6t(AccessConfig::InwardP));
+    let tol = base.sim.pulse_tol;
+    let mut hint: Option<f64> = None;
+    for beta in [0.4, 0.6, 0.8, 1.0] {
+        let params = base.clone().with_beta(beta);
+        let cold = wl_crit(&params, None).unwrap();
+        let seeded = wl_crit_seeded(&params, None, hint).unwrap().value;
+        match (cold, seeded) {
+            (WlCrit::Finite(a), WlCrit::Finite(b)) => {
+                assert!(
+                    (a - b).abs() <= 2.0 * tol,
+                    "beta={beta}: cold {a:e} vs seeded {b:e} beyond 2x pulse_tol"
+                );
+                hint = Some(a);
+            }
+            (a, b) => assert_eq!(a, b, "beta={beta}: finiteness must agree"),
+        }
+    }
 }
 
 #[test]

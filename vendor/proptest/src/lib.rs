@@ -199,8 +199,8 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
-    /// range.
+    /// Length specification for [`vec`](fn@vec): an exact length or a
+    /// half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
