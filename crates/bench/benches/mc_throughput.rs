@@ -25,6 +25,14 @@ fn base() -> CellParams {
 }
 
 fn bench(c: &mut Criterion) {
+    // One traced representative run (the default-thread LUT configuration)
+    // emits the versioned RunReport before any timing loop; the timed
+    // iterations below run with tracing disabled.
+    let traced = base().with_lut_devices();
+    tfet_bench::write_bench_report("mc_throughput", || {
+        black_box(mc_wl_crit_with(&traced, None, N, McConfig::new(7)).unwrap());
+    });
+
     let mut g = c.benchmark_group("mc_throughput");
     g.sample_size(10);
 

@@ -180,6 +180,14 @@ fn bench(c: &mut Criterion) {
     println!("{}", effort_table().render());
     println!("{}", compiled_sweep_table().render());
 
+    // One traced cold + seeded search pair emits the RunReport (bisection
+    // bracket trajectories, Newton histograms) before the timing loops.
+    tfet_bench::write_bench_report("wl_crit_throughput", || {
+        let p = cell(SteppingMode::Adaptive, true);
+        let hint = run(&p, None).value.as_finite();
+        black_box(run(&p, hint).value);
+    });
+
     let mut g = c.benchmark_group("wl_crit_throughput");
     g.sample_size(10);
 

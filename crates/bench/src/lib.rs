@@ -98,6 +98,35 @@ impl Table {
     }
 }
 
+/// Runs `workload` once with tracing enabled on a clean registry and writes
+/// the captured [`tfet_obs::RunReport`] to `results/BENCH_<name>.json`.
+///
+/// Tracing is switched off again before returning, so Criterion timing loops
+/// that follow pay only the disabled-path cost (one relaxed atomic load per
+/// instrumentation site). The JSON is the versioned `tfet-obs.run-report`
+/// schema documented in `docs/RUN_REPORT.md`; because the workload runs under
+/// a fresh registry with deterministic aggregation, the file is bit-identical
+/// across repeat runs and thread counts.
+pub fn write_bench_report(name: &str, workload: impl FnOnce()) -> std::path::PathBuf {
+    tfet_obs::reset();
+    tfet_obs::enable();
+    workload();
+    tfet_obs::disable();
+    let report = tfet_obs::RunReport::capture();
+    // Bench binaries run with the package directory as CWD; anchor the
+    // report next to the figure CSVs in the workspace-root `results/`.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../results/BENCH_{name}.json"));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("run report: {}", path.display()),
+        Err(e) => eprintln!("run report: failed to write {}: {e}", path.display()),
+    }
+    path
+}
+
 /// Formats seconds as picoseconds with unit.
 pub fn ps(t: f64) -> String {
     format!("{:.1}", t * 1e12)

@@ -29,7 +29,7 @@
 //!
 //! The savings are observable, not asserted: every [`TransientResult`]
 //! reports `circuit_builds`, `param_binds` and `runs` in its
-//! [`SolveStats`](crate::SolveStats), and the counters aggregate under
+//! [`SolveStats`], and the counters aggregate under
 //! `absorb`, so a seeded sweep can prove it compiled once and ran many
 //! times.
 
@@ -37,7 +37,7 @@ use crate::dc::DcResult;
 use crate::error::SimError;
 use crate::mna::Mna;
 use crate::netlist::{Circuit, SourceId};
-use crate::probe::TransientResult;
+use crate::probe::{SolveStats, TransientResult};
 use crate::transient::{InitialState, StopEvent, TransientSpec};
 use crate::waveform::Waveform;
 use crate::workspace::NewtonWorkspace;
@@ -70,6 +70,9 @@ pub struct CompiledCircuit {
     pending_builds: u64,
     /// Binds applied since the last run, attributed to the next run.
     pending_binds: u64,
+    /// Cumulative stats across every successful run of this compiled
+    /// circuit (see [`lifetime_stats`](CompiledCircuit::lifetime_stats)).
+    lifetime: SolveStats,
 }
 
 impl CompiledCircuit {
@@ -83,11 +86,13 @@ impl CompiledCircuit {
     /// elements, no non-ground nodes).
     pub fn compile(circuit: Circuit) -> Result<Self, SimError> {
         Mna::new(&circuit)?;
+        tfet_obs::work("compiled.compiles", 1);
         Ok(CompiledCircuit {
             circuit,
             ws: NewtonWorkspace::new(),
             pending_builds: 1,
             pending_binds: 0,
+            lifetime: SolveStats::default(),
         })
     }
 
@@ -130,7 +135,7 @@ impl CompiledCircuit {
     }
 
     /// Runs the transient engine against the compiled form using the owned
-    /// workspace. The result's [`SolveStats`](crate::SolveStats) carry the
+    /// workspace. The result's [`SolveStats`] carry the
     /// compile (first run only) and the binds applied since the previous
     /// run, so aggregated stats expose the build/bind/run ratio.
     ///
@@ -149,7 +154,29 @@ impl CompiledCircuit {
             .transient_events_with(spec, initial, events, &mut self.ws)?;
         result.stats.circuit_builds = std::mem::take(&mut self.pending_builds);
         result.stats.param_binds = std::mem::take(&mut self.pending_binds);
+        self.lifetime.absorb(&result.stats);
+        if tfet_obs::enabled() {
+            tfet_obs::counter("compiled.runs", 1);
+            // Builds and binds are attributed per compiled instance; under a
+            // thread-pool each worker compiles its own copy (fewer binds,
+            // more builds), so both are scheduling-dependent `work` metrics,
+            // not counters.
+            tfet_obs::work("compiled.binds", result.stats.param_binds);
+            tfet_obs::work("compiled.builds", result.stats.circuit_builds);
+        }
         Ok(result)
+    }
+
+    /// Cumulative [`SolveStats`] across every successful
+    /// [`run`](CompiledCircuit::run) of this compiled circuit.
+    ///
+    /// Where a result's [`TransientResult::stats`] are **per-run**
+    /// (snapshot-differenced around that run alone), this accessor is the
+    /// **lifetime** view: each run's per-run stats absorbed in order. Use it
+    /// to prove a sweep compiled once and ran many times without collecting
+    /// every intermediate result.
+    pub fn lifetime_stats(&self) -> &SolveStats {
+        &self.lifetime
     }
 
     /// Solves the DC operating point of the compiled form from voltage
@@ -162,6 +189,7 @@ impl CompiledCircuit {
     /// Propagates Newton failures ([`SimError::NoConvergence`],
     /// [`SimError::SingularMatrix`]).
     pub fn dc_op(&mut self, guess: &[(crate::NodeId, f64)]) -> Result<DcResult, SimError> {
+        tfet_obs::counter("compiled.dc_ops", 1);
         let mna = Mna::new(&self.circuit)?;
         let x = self.circuit.dc_state_with(&mna, guess, &mut self.ws)?;
         Ok(DcResult {
@@ -250,6 +278,35 @@ mod tests {
             (total.circuit_builds, total.param_binds, total.runs),
             (1, 2, 2)
         );
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate_while_results_stay_per_run() {
+        let spec = TransientSpec::new(1e-9, 2e-12);
+        let initial = InitialState::Uic(vec![]);
+        let (c, v, _) = rc(1.0);
+        let mut compiled = CompiledCircuit::compile(c).unwrap();
+        let h = compiled.param(v);
+
+        let first = compiled.run(&spec, &initial, &[]).unwrap();
+        compiled.bind_wave(h, Waveform::step(0.0, 0.5, 0.0, 1e-12));
+        let second = compiled.run(&spec, &initial, &[]).unwrap();
+
+        // Each result is per-run: the second run's counters must not
+        // include the first run's effort.
+        assert_eq!(second.stats.runs, 1);
+        assert!(
+            second.stats.newton_solves < first.stats.newton_solves + second.stats.newton_solves
+        );
+
+        // The lifetime view is exactly the absorbed sum of the per-run
+        // views.
+        let mut expected = first.stats;
+        expected.absorb(&second.stats);
+        assert_eq!(*compiled.lifetime_stats(), expected);
+        assert_eq!(compiled.lifetime_stats().runs, 2);
+        assert_eq!(compiled.lifetime_stats().circuit_builds, 1);
+        assert_eq!(compiled.lifetime_stats().param_binds, 1);
     }
 
     #[test]

@@ -69,12 +69,24 @@ pub(crate) fn newton(
     let n_v = mna.voltage_count();
     bufs.ensure(n);
     bufs.newton_solves += 1;
+    bufs.res_history.clear();
+    let _span = tfet_obs::span("newton");
 
     let mut last_delta = f64::INFINITY;
+    let mut last_residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
         bufs.newton_iters += 1;
         mna.assemble(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f);
+        // Residual infinity-norm: convergence is decided on |Δv| below, but
+        // the history is what a post-mortem of a failed solve needs. The
+        // pushes reuse reserved capacity (see `RES_HISTORY_CAP`), so the
+        // hot path stays allocation-free.
+        last_residual = bufs.f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if bufs.res_history.len() < bufs.res_history.capacity() {
+            bufs.res_history.push(last_residual);
+        }
         if let Err(e) = bufs.lu.factorize(&bufs.j) {
+            tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
             return Err((x, SimError::from_solve(e, time_label)));
         }
         for (r, v) in bufs.rhs.iter_mut().zip(&bufs.f) {
@@ -86,12 +98,14 @@ pub(crate) fn newton(
         // Undamped voltage-update magnitude decides convergence.
         let max_dv = dx[..n_v].iter().fold(0.0f64, |m, d| m.max(d.abs()));
         if !max_dv.is_finite() {
+            tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
             return Err((
                 x,
                 SimError::NoConvergence {
                     time: time_label,
                     iterations: iter,
                     last_delta: f64::INFINITY,
+                    residual_norm: last_residual,
                 },
             ));
         }
@@ -107,15 +121,19 @@ pub(crate) fn newton(
         }
         last_delta = max_dv;
         if max_dv < opts.v_tol {
+            tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
             return Ok(x);
         }
     }
+    tfet_obs::record_u64("newton.iters_per_solve", opts.max_iter as u64);
+    tfet_obs::counter("newton.failures", 1);
     Err((
         x,
         SimError::NoConvergence {
             time: time_label,
             iterations: opts.max_iter,
             last_delta,
+            residual_norm: last_residual,
         },
     ))
 }
@@ -155,6 +173,7 @@ pub(crate) fn solve_op(
             Err((best, _)) => {
                 // Reuse the returned vector; restart the ladder from the
                 // original guess.
+                tfet_obs::counter("newton.gmin_ladders", 1);
                 x = best;
                 x.copy_from_slice(anchor_buf);
             }

@@ -20,6 +20,10 @@ pub enum SimError {
         iterations: usize,
         /// Largest voltage update magnitude at the final iteration, V.
         last_delta: f64,
+        /// Residual infinity-norm `|f(x)|_inf` at the final iteration —
+        /// how far the last iterate was from satisfying KCL, A. Infinity
+        /// when the iterate itself became non-finite.
+        residual_norm: f64,
     },
     /// The circuit is structurally invalid (e.g. zero-valued resistor,
     /// transistor width ≤ 0, empty circuit).
@@ -39,6 +43,7 @@ impl fmt::Display for SimError {
                 time,
                 iterations,
                 last_delta,
+                residual_norm,
             } => {
                 match time {
                     Some(t) => write!(f, "no convergence at t = {t:e} s")?,
@@ -46,7 +51,8 @@ impl fmt::Display for SimError {
                 }
                 write!(
                     f,
-                    " after {iterations} iterations (last |Δv| = {last_delta:e} V)"
+                    " after {iterations} iterations (last |Δv| = {last_delta:e} V, \
+                     residual |f|∞ = {residual_norm:e} A)"
                 )
             }
             SimError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
@@ -79,8 +85,10 @@ mod tests {
             time: None,
             iterations: 200,
             last_delta: 0.5,
+            residual_norm: 2.5e-3,
         };
         assert!(e.to_string().contains("200"));
+        assert!(e.to_string().contains("2.5e-3"));
         let e = SimError::InvalidCircuit("no elements".into());
         assert!(e.to_string().contains("no elements"));
     }

@@ -11,6 +11,24 @@ use crate::netlist::NodeId;
 /// Solver-effort statistics of one transient run — always collected (a few
 /// counter increments per step), so benches and tests can assert effort
 /// reductions directly instead of inferring them from wall-clock noise.
+///
+/// # Per-run vs cumulative semantics
+///
+/// A [`TransientResult::stats`] is strictly **per-run**: the engine
+/// snapshots the workspace's monotone effort counters at entry and stores
+/// the difference at exit, so the numbers describe that run alone no matter
+/// how many runs shared the workspace before it. Two views aggregate:
+///
+/// * [`absorb`](SolveStats::absorb) — caller-driven: sum any set of per-run
+///   stats (a `WL_crit` search, a Monte-Carlo batch).
+/// * [`CompiledCircuit::lifetime_stats`] — instance-driven: every
+///   successful run of one compiled circuit, absorbed automatically.
+///
+/// `circuit_builds`/`param_binds` are attributed to the *next* run after
+/// the compile/bind happens, so per-run values can be 0 while the lifetime
+/// view still accounts for every build and bind exactly once.
+///
+/// [`CompiledCircuit::lifetime_stats`]: crate::CompiledCircuit::lifetime_stats
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Time steps accepted (recorded in the waveform store).
@@ -72,7 +90,9 @@ pub struct TransientResult {
     /// index 0 (always 0.0); the row stride is `node_count`.
     data: Vec<f64>,
     node_count: usize,
-    /// Solver-effort counters for this run.
+    /// Solver-effort counters for **this run only** (snapshot-differenced
+    /// around the run, never cumulative across a shared workspace); see the
+    /// [`SolveStats`] docs for the aggregated views.
     pub stats: SolveStats,
 }
 

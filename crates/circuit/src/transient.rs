@@ -303,6 +303,74 @@ fn relinearize(
     }
 }
 
+/// Assembles and submits a failure-forensics bundle for a transient that is
+/// about to die: last accepted node voltages, device operating points at
+/// that state, the residual-norm history of the failing Newton attempt and
+/// the recent step-size trace. A no-op (one atomic load) unless tracing is
+/// enabled, so the error path costs nothing by default and never masks the
+/// original error.
+fn capture_failure(
+    mna: &Mna<'_>,
+    ws: &NewtonWorkspace,
+    result: Option<&TransientResult>,
+    stage: &str,
+    t: f64,
+    h: f64,
+    err: &SimError,
+) {
+    if !tfet_obs::enabled() {
+        return;
+    }
+    use tfet_obs::Value;
+    tfet_obs::counter("transient.failures", 1);
+    let circuit = mna.circuit();
+    let mut bundle = tfet_obs::forensics::Bundle::new("transient")
+        .text("stage", stage)
+        .text("error", err.to_string())
+        .num("time", t)
+        .num("step", h)
+        .floats("residual_history", &ws.bufs.res_history)
+        .field(
+            "step_trace",
+            Value::Arr(
+                ws.step_trace
+                    .to_vec()
+                    .iter()
+                    .map(|&(t, h)| Value::Arr(vec![Value::Num(t), Value::Num(h)]))
+                    .collect(),
+            ),
+        );
+    if let Some(res) = result {
+        let volts: Vec<(String, f64)> = (0..circuit.node_count())
+            .map(|i| {
+                let node = NodeId(i);
+                (circuit.node_name(node).to_string(), res.final_voltage(node))
+            })
+            .collect();
+        bundle = bundle.named_nums("node_voltages", &volts);
+        let devices = Value::Arr(
+            circuit
+                .transistors()
+                .iter()
+                .map(|m| {
+                    let vg = res.final_voltage(m.g);
+                    let vd = res.final_voltage(m.d);
+                    let vs = res.final_voltage(m.s);
+                    Value::Obj(vec![
+                        ("name".into(), Value::text(m.name.clone())),
+                        ("vg".into(), Value::Num(vg)),
+                        ("vd".into(), Value::Num(vd)),
+                        ("vs".into(), Value::Num(vs)),
+                        ("ids".into(), Value::Num(m.ids(vg, vd, vs))),
+                    ])
+                })
+                .collect(),
+        );
+        bundle = bundle.field("devices", devices);
+    }
+    tfet_obs::forensics::submit(&bundle);
+}
+
 /// Whether any armed stop event fires on the state `x` at time `t`.
 fn event_fired(events: &[StopEvent], mna: &Mna<'_>, x: &[f64], t: f64) -> bool {
     events.iter().any(|ev| {
@@ -445,15 +513,23 @@ impl Circuit {
         events: &[StopEvent],
         ws: &mut NewtonWorkspace,
     ) -> Result<TransientResult, SimError> {
+        let _span = tfet_obs::span("transient");
         let mna = Mna::new(self)?;
         let n_v = mna.voltage_count();
         let opts = NewtonOpts::default();
         let solves0 = ws.bufs.newton_solves;
         let iters0 = ws.bufs.newton_iters;
+        ws.step_trace.clear();
 
         // --- Initial state -------------------------------------------------
         let mut x = match initial {
-            InitialState::DcOp(hints) => self.dc_state_with(&mna, hints, ws)?,
+            InitialState::DcOp(hints) => match self.dc_state_with(&mna, hints, ws) {
+                Ok(x) => x,
+                Err(e) => {
+                    capture_failure(&mna, ws, None, "initial-dc", 0.0, 0.0, &e);
+                    return Err(e);
+                }
+            },
             InitialState::Uic(ics) => {
                 // Pin node voltages; derive consistent branch currents by a
                 // single Newton solve with enormous companion conductances
@@ -472,7 +548,7 @@ impl Circuit {
                         })
                         .collect(),
                 };
-                solve_op(
+                match solve_op(
                     &mna,
                     &mut ws.bufs,
                     &mut ws.anchor,
@@ -482,7 +558,13 @@ impl Circuit {
                     &opts,
                     Some(0.0),
                     false,
-                )?
+                ) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        capture_failure(&mna, ws, None, "initial-uic", 0.0, 0.0, &e);
+                        return Err(e);
+                    }
+                }
             }
         };
 
@@ -516,7 +598,7 @@ impl Circuit {
                     build_companions(&mna, &x, &ws.branches, spec.dt, use_be, &mut ws.companions);
 
                     // Newton solve for t_{n+1}, warm-started from t_n.
-                    x = solve_op(
+                    x = match solve_op(
                         &mna,
                         &mut ws.bufs,
                         &mut ws.anchor,
@@ -526,7 +608,22 @@ impl Circuit {
                         &opts,
                         Some(t_new),
                         false,
-                    )?;
+                    ) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            ws.step_trace.record(t_new, -spec.dt);
+                            capture_failure(
+                                &mna,
+                                ws,
+                                Some(&result),
+                                "fixed-step",
+                                t_new,
+                                spec.dt,
+                                &e,
+                            );
+                            return Err(e);
+                        }
+                    };
 
                     // Update branch-current history and re-linearize
                     // capacitances at the new operating point
@@ -535,6 +632,7 @@ impl Circuit {
                     relinearize(self, &mna, &x, &ws.companions, &mut ws.branches_next);
                     std::mem::swap(&mut ws.branches, &mut ws.branches_next);
 
+                    ws.step_trace.record(t_new, spec.dt);
                     result.push(t_new, |node| mna.voltage_of(&x, node));
                     result.stats.accepted_steps += 1;
                     if event_fired(events, &mna, &x, t_new) {
@@ -546,6 +644,8 @@ impl Circuit {
 
             // --- Adaptive step-doubling LTE control -----------------------
             StepControl::Adaptive(a) => {
+                let mut grown_steps = 0u64;
+                let mut newton_shrinks = 0u64;
                 let mut t = 0.0;
                 let mut h = spec.dt.clamp(a.dt_min, a.dt_max);
                 let mut bp_idx = 0;
@@ -674,6 +774,7 @@ impl Circuit {
                             std::mem::swap(&mut ws.branches, &mut ws.branches_next);
                             t = t_new;
                             first_step = false;
+                            ws.step_trace.record(t, h_try);
                             result.push(t, |node| mna.voltage_of(&x, node));
                             result.stats.accepted_steps += 1;
                             // First-order controller: next step from this
@@ -683,6 +784,9 @@ impl Circuit {
                             } else {
                                 2.0
                             };
+                            if scale > 1.0 {
+                                grown_steps += 1;
+                            }
                             h = (h_try * scale).clamp(a.dt_min, a.dt_max);
                             if event_fired(events, &mna, &x, t) {
                                 result.stats.early_exit = true;
@@ -694,8 +798,22 @@ impl Circuit {
                         // Rejected: shrink and retry; at the floor a Newton
                         // failure is fatal (the LTE case was accepted above).
                         result.stats.rejected_steps += 1;
+                        ws.step_trace.record(t_new, -h_try);
+                        if trial_err.is_some() {
+                            newton_shrinks += 1;
+                        }
                         if at_floor {
-                            return Err(trial_err.expect("floor rejection implies Newton failure"));
+                            let e = trial_err.expect("floor rejection implies Newton failure");
+                            capture_failure(
+                                &mna,
+                                ws,
+                                Some(&result),
+                                "adaptive-floor",
+                                t_new,
+                                h_try,
+                                &e,
+                            );
+                            return Err(e);
                         }
                         let shrink = if trial_err.is_some() {
                             0.25
@@ -706,12 +824,24 @@ impl Circuit {
                         t_new = t + h_try;
                     }
                 }
+                if tfet_obs::enabled() {
+                    tfet_obs::counter("lte.accepted_steps", result.stats.accepted_steps);
+                    tfet_obs::counter("lte.rejected_steps", result.stats.rejected_steps);
+                    tfet_obs::counter("lte.grown_steps", grown_steps);
+                    tfet_obs::counter("lte.newton_shrinks", newton_shrinks);
+                }
             }
         }
 
         result.stats.newton_solves = ws.bufs.newton_solves - solves0;
         result.stats.newton_iters = ws.bufs.newton_iters - iters0;
         result.stats.runs = 1;
+        if tfet_obs::enabled() {
+            tfet_obs::counter("transient.runs", 1);
+            if result.stats.early_exit {
+                tfet_obs::counter("transient.early_exits", 1);
+            }
+        }
         Ok(result)
     }
 }

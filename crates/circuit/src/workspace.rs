@@ -23,6 +23,13 @@ use std::cell::Cell;
 use tfet_numerics::matrix::LuWorkspace;
 use tfet_numerics::Matrix;
 
+/// Fixed capacity of [`SolverBufs::res_history`], reserved once when the
+/// buffers are first sized so per-iteration pushes can never reallocate
+/// (the counting-allocator regression pins step-count-independent allocs).
+/// Larger than the default Newton iteration limit (200), so a full history
+/// is kept for any default-configured solve.
+pub(crate) const RES_HISTORY_CAP: usize = 256;
+
 /// Buffers for one damped-Newton solve: Jacobian, residual, negated RHS,
 /// update vector, and the LU factorization workspace — plus lifetime
 /// counters of solver effort (solves started, iterations performed) that
@@ -40,6 +47,13 @@ pub(crate) struct SolverBufs {
     /// Newton iterations (Jacobian assemblies + LU factorizations) since
     /// this workspace was created.
     pub(crate) newton_iters: u64,
+    /// Residual infinity-norm after each iteration of the most recent
+    /// Newton attempt (cleared per attempt; capped at
+    /// [`RES_HISTORY_CAP`]). Feeds [`SimError::NoConvergence`]'s
+    /// `residual_norm` and the failure-forensics bundle.
+    ///
+    /// [`SimError::NoConvergence`]: crate::SimError::NoConvergence
+    pub(crate) res_history: Vec<f64>,
 }
 
 impl Default for SolverBufs {
@@ -52,6 +66,7 @@ impl Default for SolverBufs {
             lu: LuWorkspace::default(),
             newton_solves: 0,
             newton_iters: 0,
+            res_history: Vec::new(),
         }
     }
 }
@@ -65,7 +80,59 @@ impl SolverBufs {
             self.f = vec![0.0; n];
             self.rhs = vec![0.0; n];
             self.dx = vec![0.0; n];
+            if self.res_history.capacity() < RES_HISTORY_CAP {
+                self.res_history
+                    .reserve_exact(RES_HISTORY_CAP - self.res_history.len());
+            }
         }
+    }
+}
+
+/// Number of `(time, step)` entries [`StepTrace`] retains.
+pub(crate) const STEP_TRACE_CAP: usize = 64;
+
+/// Fixed-size ring buffer of the transient engine's most recent step
+/// attempts — `(target time, signed step)` with rejected trials carrying a
+/// negative step. Recording is two stores and an index update, cheap enough
+/// to stay on unconditionally; the buffer is only read (and only allocates,
+/// via `to_vec`) on the failure-forensics path.
+#[derive(Debug, Clone)]
+pub(crate) struct StepTrace {
+    entries: [(f64, f64); STEP_TRACE_CAP],
+    head: usize,
+    len: usize,
+}
+
+impl Default for StepTrace {
+    fn default() -> Self {
+        StepTrace {
+            entries: [(0.0, 0.0); STEP_TRACE_CAP],
+            head: 0,
+            len: 0,
+        }
+    }
+}
+
+impl StepTrace {
+    pub(crate) fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Records one step attempt: `h > 0` accepted, `h < 0` rejected at
+    /// `|h|`.
+    pub(crate) fn record(&mut self, t: f64, h: f64) {
+        self.entries[self.head] = (t, h);
+        self.head = (self.head + 1) % STEP_TRACE_CAP;
+        self.len = (self.len + 1).min(STEP_TRACE_CAP);
+    }
+
+    /// The retained attempts in chronological order (oldest first).
+    pub(crate) fn to_vec(&self) -> Vec<(f64, f64)> {
+        let start = (self.head + STEP_TRACE_CAP - self.len) % STEP_TRACE_CAP;
+        (0..self.len)
+            .map(|i| self.entries[(start + i) % STEP_TRACE_CAP])
+            .collect()
     }
 }
 
@@ -98,6 +165,9 @@ pub struct NewtonWorkspace {
     pub(crate) x_fine: Vec<f64>,
     /// Sorted source-edge times for the adaptive breakpoint schedule.
     pub(crate) breakpoints: Vec<f64>,
+    /// Ring buffer of the most recent transient step attempts, read by the
+    /// failure-forensics path.
+    pub(crate) step_trace: StepTrace,
 }
 
 impl NewtonWorkspace {
@@ -155,6 +225,26 @@ mod tests {
             });
             outer.bufs.f[0] = 1.0;
         });
+    }
+
+    #[test]
+    fn step_trace_wraps_and_keeps_chronological_order() {
+        let mut tr = StepTrace::default();
+        assert!(tr.to_vec().is_empty());
+        tr.record(1.0, 0.5);
+        tr.record(2.0, -0.25);
+        assert_eq!(tr.to_vec(), vec![(1.0, 0.5), (2.0, -0.25)]);
+        // Overflow the ring: only the newest STEP_TRACE_CAP entries stay,
+        // oldest first.
+        for i in 0..STEP_TRACE_CAP {
+            tr.record(i as f64, 1.0);
+        }
+        let v = tr.to_vec();
+        assert_eq!(v.len(), STEP_TRACE_CAP);
+        assert_eq!(v[0], (0.0, 1.0));
+        assert_eq!(v[STEP_TRACE_CAP - 1], ((STEP_TRACE_CAP - 1) as f64, 1.0));
+        tr.clear();
+        assert!(tr.to_vec().is_empty());
     }
 
     #[test]

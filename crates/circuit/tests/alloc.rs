@@ -76,6 +76,32 @@ fn run_adaptive(c: &Circuit, t_stop: f64, ws: &mut NewtonWorkspace) -> usize {
 }
 
 #[test]
+fn tracing_is_disabled_by_default_and_its_off_path_never_allocates() {
+    // The instrumentation contract: tracing is opt-in, and every
+    // instrumentation site on the disabled path is one relaxed atomic load —
+    // no branch may reach the registry, so no allocation can happen. The
+    // transient tests below then prove the instrumented hot loop as a whole
+    // stays allocation-free with tracing off.
+    assert!(!tfet_obs::enabled(), "tracing must be opt-in");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1024 {
+        let _span = tfet_obs::span("hot");
+        let _root = tfet_obs::root_span("hot-root");
+        tfet_obs::counter("alloc.guard", 1);
+        tfet_obs::work("alloc.guard_work", 1);
+        tfet_obs::record_u64("alloc.guard_hist", i);
+        tfet_obs::record_f64("alloc.guard_dist", i as f64);
+        tfet_obs::record_series("alloc.guard_series", &[i as f64]);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled instrumentation sites must not allocate"
+    );
+}
+
+#[test]
 fn transient_inner_loop_allocates_nothing_per_step() {
     let c = rc_chain();
     let mut ws = NewtonWorkspace::new();

@@ -1,0 +1,108 @@
+//! End-to-end failure forensics: a transient that dies must leave a
+//! diagnostic bundle behind (and must not when tracing is off).
+//!
+//! Tracing and the diagnostics directory are process-global, so the tests
+//! serialize on one lock (this file is its own test binary).
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::{Circuit, SimError, TransientSpec, Waveform};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn hold() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfet-forensics-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two ideal sources pinning the same node to different voltages: the two
+/// branch rows of the MNA matrix are identical, so the very first solve of
+/// the initial DC operating point dies on a singular factorization — a
+/// reliable fatal path through `capture_failure`.
+fn conflicted_circuit() -> Circuit {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+    c.vsource("V2", a, Circuit::GND, Waveform::dc(0.0));
+    c.resistor(a, Circuit::GND, 1e3);
+    c
+}
+
+fn run_fatal() -> SimError {
+    let c = conflicted_circuit();
+    let spec = TransientSpec::fixed(1e-11, 1e-12);
+    c.transient(&spec, &InitialState::DcOp(vec![]))
+        .expect_err("conflicting sources must not simulate")
+}
+
+#[test]
+fn fatal_transient_writes_a_diagnostic_bundle() {
+    let _guard = hold();
+    let dir = scratch_dir("fatal");
+    tfet_obs::forensics::set_dir(&dir);
+    tfet_obs::reset();
+    tfet_obs::enable();
+    let err = run_fatal();
+    tfet_obs::disable();
+    tfet_obs::forensics::set_dir(tfet_obs::forensics::DEFAULT_DIR);
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("diagnostics directory must exist")
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(
+        files.len(),
+        1,
+        "exactly one bundle per fatal run: {files:?}"
+    );
+    let contents = std::fs::read_to_string(&files[0]).unwrap();
+    assert!(contents.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":1"#));
+    assert!(
+        contents.contains(r#""stage":"initial-dc""#),
+        "bundle must name the failing stage: {contents}"
+    );
+    assert!(
+        contents.contains(&format!(r#""error":"{err}""#)),
+        "bundle must carry the solver error: {contents}"
+    );
+    assert!(contents.contains(r#""step_trace""#));
+    assert!(contents.contains(r#""residual_history""#));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_tracing_writes_no_bundle() {
+    let _guard = hold();
+    let dir = scratch_dir("disabled");
+    tfet_obs::forensics::set_dir(&dir);
+    tfet_obs::reset();
+    tfet_obs::disable();
+    run_fatal();
+    tfet_obs::forensics::set_dir(tfet_obs::forensics::DEFAULT_DIR);
+    assert!(
+        !dir.exists(),
+        "disabled tracing must not create the diagnostics directory"
+    );
+}
+
+#[test]
+fn newton_no_convergence_error_is_structured() {
+    // Satellite regression: the error carries iteration count and the last
+    // residual norm so forensics (and users) see how the solve died.
+    let e = SimError::NoConvergence {
+        time: Some(1e-12),
+        iterations: 200,
+        last_delta: 0.5,
+        residual_norm: 3.25,
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("200"), "iterations in message: {msg}");
+    assert!(msg.contains("3.25e0"), "residual norm in message: {msg}");
+}

@@ -304,6 +304,7 @@ impl SramArray {
         modes: &[ColumnMode],
         pulse: f64,
     ) -> Result<OpRun, SramError> {
+        let _span = tfet_obs::span("array_op");
         let key = OpKey {
             active_row,
             modes: modes.to_vec(),
@@ -312,8 +313,12 @@ impl SramArray {
         // Linear scan: a march test touches at most R·(C+1) distinct shapes
         // and arrays are ≤ 64 cells, so the cache stays tiny.
         let idx = match self.ops.iter().position(|op| op.key == key) {
-            Some(idx) => idx,
+            Some(idx) => {
+                tfet_obs::counter("array.op_cache_hits", 1);
+                idx
+            }
             None => {
+                tfet_obs::counter("array.op_compiles", 1);
                 let op = self.compile_op(key)?;
                 self.ops.push(op);
                 self.ops.len() - 1
@@ -463,6 +468,7 @@ impl SramArray {
     ///
     /// Panics if the address is out of range.
     pub fn write(&mut self, row: usize, col: usize, value: bool) -> Result<WriteReport, SramError> {
+        tfet_obs::counter("array.writes", 1);
         self.idx(row, col); // bounds check
         let before: Vec<Option<bool>> = (0..self.params.rows * self.params.cols)
             .map(|k| self.bit(k / self.params.cols, k % self.params.cols))
@@ -510,6 +516,7 @@ impl SramArray {
     ///
     /// Panics if the address is out of range.
     pub fn read(&mut self, row: usize, col: usize) -> Result<ReadReport, SramError> {
+        tfet_obs::counter("array.reads", 1);
         self.idx(row, col); // bounds check
         let before: Vec<Option<bool>> = (0..self.params.rows * self.params.cols)
             .map(|k| self.bit(k / self.params.cols, k % self.params.cols))

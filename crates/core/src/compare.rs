@@ -110,6 +110,10 @@ pub struct Scorecard {
 /// Propagates simulation failures (an undefined `WL_crit` for the
 /// asymmetric cell is reported as `None`, not an error).
 pub fn scorecard(design: Design, vdd: f64) -> Result<Scorecard, SramError> {
+    // A root span: `full_comparison` dispatches scorecards to a pool, so
+    // the path must not depend on whether this call ran inline or on a
+    // worker thread.
+    let _span = tfet_obs::root_span("scorecard");
     let params = design.params(vdd);
     let ra = design.read_assist();
     let read = read_metrics(&params, ra)?;

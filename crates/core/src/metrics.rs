@@ -57,6 +57,7 @@ impl WlCrit {
 ///
 /// Simulation failures and invalid parameters.
 pub fn static_power(params: &CellParams) -> Result<f64, SramError> {
+    let _span = tfet_obs::span("static_power");
     let h = hold_setup(params)?;
     let mut compiled = CompiledCircuit::compile(h.circuit)?;
     let op = compiled.dc_op(&h.guess)?;
@@ -146,6 +147,7 @@ pub fn wl_crit_compiled(
     exp: &mut WriteExperiment,
     hint: Option<f64>,
 ) -> Result<WlCritRun, SramError> {
+    let _span = tfet_obs::span("wl_crit");
     if exp.kind() == CellKind::TfetAsym6T {
         return Err(SramError::Undefined {
             metric: "WL_crit",
@@ -162,6 +164,12 @@ pub fn wl_crit_compiled(
     oracle_calls += 1;
     effort.absorb(&probe.result.stats);
     if !probe.flipped() {
+        if tfet_obs::enabled() {
+            tfet_obs::counter("wl_crit.searches", 1);
+            tfet_obs::counter("wl_crit.infinite", 1);
+            tfet_obs::record_u64("wl_crit.oracle_calls", oracle_calls);
+            tfet_obs::record_u64("wl_crit.newton_solves_per_search", effort.newton_solves);
+        }
         return Ok(WlCritRun {
             value: WlCrit::Infinite,
             oracle_calls,
@@ -183,6 +191,15 @@ pub fn wl_crit_compiled(
         Threshold::AlwaysTrue => WlCrit::Finite(lo),
         Threshold::NeverTrue => WlCrit::Infinite,
     };
+    if tfet_obs::enabled() {
+        tfet_obs::counter("wl_crit.searches", 1);
+        tfet_obs::record_u64("wl_crit.oracle_calls", oracle_calls);
+        tfet_obs::record_u64("wl_crit.newton_solves_per_search", effort.newton_solves);
+        match value {
+            WlCrit::Finite(w) => tfet_obs::record_f64("wl_crit.value_s", w),
+            WlCrit::Infinite => tfet_obs::counter("wl_crit.infinite", 1),
+        }
+    }
     Ok(WlCritRun {
         value,
         oracle_calls,
@@ -225,11 +242,14 @@ pub fn read_metrics(
 ///
 /// Simulation failures.
 pub fn read_metrics_compiled(exp: &mut ReadExperiment) -> Result<ReadMetrics, SramError> {
+    let _span = tfet_obs::span("read_metrics");
     let run = exp.run()?;
-    Ok(ReadMetrics {
+    let metrics = ReadMetrics {
         drnm: run.drnm(),
         read_delay: run.read_delay(SENSE_DV),
-    })
+    };
+    tfet_obs::record_f64("read.drnm_v", metrics.drnm);
+    Ok(metrics)
 }
 
 /// Write delay under a generous (`max_pulse`) wordline pulse: activation →
@@ -310,6 +330,7 @@ pub fn leakage_breakdown(params: &CellParams) -> Result<LeakageBreakdown, SramEr
 ///
 /// Simulation failures and invalid parameters.
 pub fn data_retention_voltage(params: &CellParams) -> Result<Option<f64>, SramError> {
+    let _span = tfet_obs::span("drv");
     params.validate()?;
     let v_lo = 0.05;
     let holds = |vdd: f64| -> bool {

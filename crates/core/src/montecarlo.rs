@@ -165,6 +165,7 @@ pub fn mc_wl_crit_with(
     n: usize,
     config: McConfig,
 ) -> Result<McWlCrit, SramError> {
+    let _span = tfet_obs::span("mc_wl_crit");
     // Seed every sample's bisection from the *nominal* cell's answer: ±5 %
     // t_ox perturbs WL_crit by a few percent, so the nominal value lands each
     // sample's search in a narrow bracket. The hint is computed once, before
@@ -182,6 +183,11 @@ pub fn mc_wl_crit_with(
         config.threads,
         || None,
         |slot: &mut Option<WriteExperiment>, i| {
+            // A *root* span: at one worker the sample runs inline on the
+            // caller's thread (under the "mc_wl_crit" span), at many it runs
+            // on a fresh thread — pinning the path keeps the span tree
+            // thread-count invariant.
+            let _span = tfet_obs::root_span("mc_sample_wl_crit");
             let mut rng = config.sample_rng(i);
             let params = base.clone().with_variations(sample_variations(&mut rng));
             match slot {
@@ -189,7 +195,12 @@ pub fn mc_wl_crit_with(
                 None => *slot = Some(WriteExperiment::compile(&params, assist)?),
             }
             let exp = slot.as_mut().expect("compiled above");
-            wl_crit_compiled(exp, hint).map(|run| run.value)
+            let run = wl_crit_compiled(exp, hint)?;
+            // Per-sample solve cost: how much Newton effort one MC sample
+            // charges, as a histogram so outlier samples stand out.
+            tfet_obs::record_u64("mc.sample_newton_solves", run.effort.newton_solves);
+            tfet_obs::record_u64("mc.sample_newton_iters", run.effort.newton_iters);
+            Ok::<_, SramError>(run.value)
         },
     )?;
     let mut values = Vec::with_capacity(n);
@@ -231,6 +242,7 @@ pub fn mc_drnm_with(
     n: usize,
     config: McConfig,
 ) -> Result<Vec<f64>, SramError> {
+    let _span = tfet_obs::span("mc_drnm");
     // Per-worker compiled read experiment, retargeted per sample via device
     // binds — see `mc_wl_crit_with` for why this cannot change the values.
     par_try_map_with(
@@ -238,6 +250,9 @@ pub fn mc_drnm_with(
         config.threads,
         || None,
         |slot: &mut Option<ReadExperiment>, i| {
+            // Root span for thread-count-invariant paths; see
+            // `mc_wl_crit_with`.
+            let _span = tfet_obs::root_span("mc_sample_drnm");
             let mut rng = config.sample_rng(i);
             let params = base.clone().with_variations(sample_variations(&mut rng));
             match slot {

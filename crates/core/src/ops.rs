@@ -39,7 +39,8 @@ use crate::error::SramError;
 use crate::tech::{CellKind, CellParams, Role, SimOptions};
 use tfet_circuit::transient::InitialState;
 use tfet_circuit::{
-    Circuit, CompiledCircuit, NodeId, ParamHandle, SourceId, StopEvent, TransientResult, Waveform,
+    Circuit, CompiledCircuit, NodeId, ParamHandle, SolveStats, SourceId, StopEvent,
+    TransientResult, Waveform,
 };
 
 /// Assist windows open this long *before* the wordline pulse (paper
@@ -392,6 +393,14 @@ impl WriteExperiment {
         &self.sim
     }
 
+    /// Cumulative solver effort across every run of this experiment — the
+    /// **lifetime** view, as opposed to the per-run
+    /// [`TransientResult::stats`] each [`run`](WriteExperiment::run)
+    /// returns. See the [`SolveStats`] docs for the two semantics.
+    pub fn lifetime_stats(&self) -> &SolveStats {
+        self.compiled.lifetime_stats()
+    }
+
     /// Retargets the compiled experiment at a different cell of the same
     /// topology: rebinds every transistor model and width from `params`
     /// (sizing, variations, temperature, device mode). The frozen supply,
@@ -422,6 +431,7 @@ impl WriteExperiment {
     ///
     /// Simulation failures and non-positive pulse widths.
     pub fn run(&mut self, pulse_width: f64) -> Result<WriteRun, SramError> {
+        let _span = tfet_obs::span("write");
         if pulse_width <= 0.0 {
             return Err(SramError::InvalidParameter(format!(
                 "pulse width must be positive, got {pulse_width}"
@@ -749,6 +759,14 @@ impl ReadExperiment {
         &self.sim
     }
 
+    /// Cumulative solver effort across every run of this experiment — the
+    /// **lifetime** view, as opposed to the per-run
+    /// [`TransientResult::stats`] each [`run`](ReadExperiment::run)
+    /// returns. See the [`SolveStats`] docs for the two semantics.
+    pub fn lifetime_stats(&self) -> &SolveStats {
+        self.compiled.lifetime_stats()
+    }
+
     /// Retargets the compiled experiment at a different cell of the same
     /// topology: rebinds every transistor model and width from `params`.
     /// The frozen supply, timing and capacitances must match.
@@ -776,6 +794,7 @@ impl ReadExperiment {
     ///
     /// Simulation failures.
     pub fn run(&mut self) -> Result<ReadRun, SramError> {
+        let _span = tfet_obs::span("read");
         let result = self.compiled.run(
             &self.sim.spec(self.t_end),
             &self.initial,

@@ -222,28 +222,48 @@ impl Threshold {
     }
 }
 
-/// Binary-searches the smallest `x ∈ [lo, hi]` for which the monotone
-/// predicate `pred(x)` holds, to absolute tolerance `xtol`.
+/// Per-search observability: probe count plus the probed-point trajectory.
 ///
-/// `pred` must be monotone (false … false, true … true) over the range; the
-/// canonical use is "does a wordline pulse of width `x` flip the SRAM cell?".
-///
-/// # Examples
-///
-/// ```
-/// use tfet_numerics::roots::{critical_threshold, Threshold};
-/// let th = critical_threshold(0.0, 10.0, 1e-9, |x| x >= 3.0);
-/// match th {
-///     Threshold::Critical(v) => assert!((v - 3.0).abs() < 1e-6),
-///     _ => panic!("expected a critical value"),
-/// }
-/// ```
-pub fn critical_threshold(
-    lo: f64,
-    hi: f64,
-    xtol: f64,
-    mut pred: impl FnMut(f64) -> bool,
-) -> Threshold {
+/// The trajectory Vec is only populated when tracing is enabled, so the
+/// disabled path allocates nothing; each probed `x` is the next bracket
+/// boundary the search commits to, which makes the recorded series exactly
+/// the bisection's bracket trajectory.
+struct SearchObs {
+    enabled: bool,
+    probes: u64,
+    points: Vec<f64>,
+}
+
+impl SearchObs {
+    fn start() -> SearchObs {
+        SearchObs {
+            enabled: tfet_obs::enabled(),
+            probes: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Wraps one oracle probe: tallies it and keeps the probed point.
+    fn probe(&mut self, x: f64, held: bool) -> bool {
+        self.probes += 1;
+        if self.enabled {
+            self.points.push(x);
+        }
+        held
+    }
+
+    /// Flushes the search's metrics into the registry.
+    fn finish(&self, series: &'static str) {
+        if self.enabled {
+            tfet_obs::counter("bisection.searches", 1);
+            tfet_obs::record_u64("bisection.probes_per_search", self.probes);
+            tfet_obs::record_series(series, &self.points);
+        }
+    }
+}
+
+/// Core cold bisection shared by the public entry points.
+fn cold_search(lo: f64, hi: f64, xtol: f64, pred: &mut impl FnMut(f64) -> bool) -> Threshold {
     if pred(lo) {
         return Threshold::AlwaysTrue;
     }
@@ -262,6 +282,43 @@ pub fn critical_threshold(
     Threshold::Critical(hi)
 }
 
+/// Binary-searches the smallest `x ∈ [lo, hi]` for which the monotone
+/// predicate `pred(x)` holds, to absolute tolerance `xtol`.
+///
+/// `pred` must be monotone (false … false, true … true) over the range; the
+/// canonical use is "does a wordline pulse of width `x` flip the SRAM cell?".
+///
+/// With tracing enabled (`tfet_obs::enable`), every search records a
+/// `bisection` span, the probe count into the
+/// `bisection.probes_per_search` histogram, and its probed-point trajectory
+/// as the `bisection.bracket` series.
+///
+/// # Examples
+///
+/// ```
+/// use tfet_numerics::roots::{critical_threshold, Threshold};
+/// let th = critical_threshold(0.0, 10.0, 1e-9, |x| x >= 3.0);
+/// match th {
+///     Threshold::Critical(v) => assert!((v - 3.0).abs() < 1e-6),
+///     _ => panic!("expected a critical value"),
+/// }
+/// ```
+pub fn critical_threshold(
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    mut pred: impl FnMut(f64) -> bool,
+) -> Threshold {
+    let _span = tfet_obs::span("bisection");
+    let mut obs = SearchObs::start();
+    let th = cold_search(lo, hi, xtol, &mut |x| {
+        let held = pred(x);
+        obs.probe(x, held)
+    });
+    obs.finish("bisection.bracket");
+    th
+}
+
 /// [`critical_threshold`] with a warm-start hint: a guess at the critical
 /// value (e.g. the result at the previous sweep point or the nominal
 /// Monte-Carlo cell).
@@ -275,6 +332,10 @@ pub fn critical_threshold(
 ///
 /// `hint: None`, a non-finite hint, or a hint outside `(lo, hi)` fall back
 /// to the cold [`critical_threshold`].
+///
+/// Tracing records the same span/metrics as [`critical_threshold`], with
+/// the trajectory under the `bisection.bracket_seeded` series instead so
+/// the geometric expansion phase stays distinguishable in reports.
 pub fn critical_threshold_seeded(
     lo: f64,
     hi: f64,
@@ -282,11 +343,34 @@ pub fn critical_threshold_seeded(
     hint: Option<f64>,
     mut pred: impl FnMut(f64) -> bool,
 ) -> Threshold {
+    let _span = tfet_obs::span("bisection");
+    let mut obs = SearchObs::start();
+    let th = seeded_search(lo, hi, xtol, hint, &mut |x| {
+        let held = pred(x);
+        obs.probe(x, held)
+    });
+    let seeded = hint.is_some_and(|h| h.is_finite() && h > lo && h < hi);
+    obs.finish(if seeded {
+        "bisection.bracket_seeded"
+    } else {
+        "bisection.bracket"
+    });
+    th
+}
+
+/// Core hint-seeded search shared by the public entry point.
+fn seeded_search(
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    hint: Option<f64>,
+    pred: &mut impl FnMut(f64) -> bool,
+) -> Threshold {
     let Some(h) = hint else {
-        return critical_threshold(lo, hi, xtol, pred);
+        return cold_search(lo, hi, xtol, pred);
     };
     if !h.is_finite() || h <= lo || h >= hi {
-        return critical_threshold(lo, hi, xtol, pred);
+        return cold_search(lo, hi, xtol, pred);
     }
     // Initial bracket half-width: 10% of the hint — tight enough to pay off
     // for the near-exact hints of Monte-Carlo sampling (a few % around the
@@ -487,6 +571,24 @@ mod tests {
              roughly halve the search"
         );
         assert!(seeded < cold);
+    }
+
+    #[test]
+    fn traced_search_records_probes_and_bracket() {
+        tfet_obs::reset();
+        tfet_obs::enable();
+        let th = critical_threshold(0.0, 1.0, 1e-3, |x| x >= 0.25);
+        let seeded = critical_threshold_seeded(0.0, 1.0, 1e-3, Some(0.24), |x| x >= 0.25);
+        tfet_obs::disable();
+        assert!(matches!(th, Threshold::Critical(_)));
+        assert!(matches!(seeded, Threshold::Critical(_)));
+        let report = tfet_obs::RunReport::capture();
+        assert!(*report.counters.get("bisection.searches").unwrap() >= 2);
+        assert!(report.spans.contains_key("bisection"));
+        let hist = &report.histograms["bisection.probes_per_search"];
+        assert!(hist.count >= 2 && hist.min >= 2);
+        assert!(!report.series["bisection.bracket"].values.is_empty());
+        assert!(!report.series["bisection.bracket_seeded"].values.is_empty());
     }
 
     #[test]

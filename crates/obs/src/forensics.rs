@@ -1,0 +1,211 @@
+//! Failure forensics: diagnostic bundles for failed solves.
+//!
+//! When a Newton solve refuses to converge or a transient blows up, the
+//! error value alone ("no convergence at t = …") loses everything a
+//! post-mortem needs. The solver layers instead assemble a [`Bundle`] —
+//! node voltages, residual-norm history, recent step sizes, device
+//! operating points — and [`submit`] it here, which writes one JSON file
+//! per failure into the diagnostics directory (default
+//! `results/diagnostics/`).
+//!
+//! Submission is gated on the global [`enable`](crate::enable) switch and
+//! is best-effort: a bundle that cannot be written (read-only filesystem,
+//! missing parent) is dropped silently rather than masking the original
+//! solver error. File names are `<label>-<seq>.json` with a monotonically
+//! increasing process-wide sequence number, so a serial run produces a
+//! deterministic file set.
+
+use crate::json::Value;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default directory diagnostic bundles are written to, relative to the
+/// process working directory.
+pub const DEFAULT_DIR: &str = "results/diagnostics";
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Overrides the diagnostics directory (tests point this at a scratch
+/// directory; `None`-like reset is not needed — set it back explicitly).
+pub fn set_dir(path: impl Into<PathBuf>) {
+    *DIR.lock().unwrap_or_else(|e| e.into_inner()) = Some(path.into());
+}
+
+/// The directory bundles are currently written to.
+pub fn dir() -> PathBuf {
+    DIR.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_DIR))
+}
+
+/// Resets the bundle sequence number (called by [`reset`](crate::reset)).
+pub(crate) fn reset_seq() {
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+/// One diagnostic bundle: a label plus ordered key/value fields, serialized
+/// as a `tfet-obs.diagnostic` JSON document.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    label: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Bundle {
+    /// Starts a bundle. The label names the failure site (e.g.
+    /// `"transient-newton"`) and becomes the file-name stem.
+    pub fn new(label: impl Into<String>) -> Bundle {
+        Bundle {
+            label: label.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends an arbitrary field.
+    pub fn field(mut self, key: impl Into<String>, value: Value) -> Bundle {
+        self.fields.push((key.into(), value));
+        self
+    }
+
+    /// Appends a float field.
+    pub fn num(self, key: impl Into<String>, v: f64) -> Bundle {
+        self.field(key, Value::Num(v))
+    }
+
+    /// Appends an integer field.
+    pub fn int(self, key: impl Into<String>, v: u64) -> Bundle {
+        self.field(key, Value::UInt(v))
+    }
+
+    /// Appends a string field.
+    pub fn text(self, key: impl Into<String>, s: impl Into<String>) -> Bundle {
+        self.field(key, Value::text(s))
+    }
+
+    /// Appends a float-array field.
+    pub fn floats(self, key: impl Into<String>, values: &[f64]) -> Bundle {
+        self.field(key, Value::floats(values))
+    }
+
+    /// Appends a `name -> value` map field (insertion order preserved) —
+    /// the shape used for node voltages and device operating points.
+    pub fn named_nums<S: AsRef<str>>(self, key: impl Into<String>, rows: &[(S, f64)]) -> Bundle {
+        self.field(
+            key,
+            Value::Obj(
+                rows.iter()
+                    .map(|(name, v)| (name.as_ref().to_string(), Value::Num(*v)))
+                    .collect(),
+            ),
+        )
+    }
+
+    /// The bundle's JSON document.
+    pub fn to_json(&self) -> String {
+        let mut members = vec![
+            ("schema".into(), Value::text("tfet-obs.diagnostic")),
+            (
+                "version".into(),
+                Value::UInt(u64::from(crate::SCHEMA_VERSION)),
+            ),
+            ("label".into(), Value::text(self.label.clone())),
+        ];
+        members.extend(self.fields.iter().cloned());
+        Value::Obj(members).to_json()
+    }
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes the bundle to the diagnostics directory if tracing is enabled.
+///
+/// Returns the path written, or `None` when tracing is disabled or the
+/// write failed (best-effort: forensics must never mask the solver error
+/// that triggered them). Each submission bumps the
+/// `forensics.bundles` counter.
+pub fn submit(bundle: &Bundle) -> Option<PathBuf> {
+    if !crate::enabled() {
+        return None;
+    }
+    crate::counter("forensics.bundles", 1);
+    let dir = dir();
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("{}-{seq:04}.json", sanitize(&bundle.label)));
+    write_file(&dir, &path, &bundle.to_json()).then_some(path)
+}
+
+fn write_file(dir: &Path, path: &Path, contents: &str) -> bool {
+    std::fs::create_dir_all(dir).is_ok() && std::fs::write(path, contents).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tfet-obs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bundle_json_has_schema_and_fields_in_order() {
+        let b = Bundle::new("transient-newton")
+            .num("time", 1e-9)
+            .int("iterations", 200)
+            .text("error", "no convergence")
+            .floats("residuals", &[1.0, 0.5])
+            .named_nums("voltages", &[("q", 0.8), ("qb", 0.0)]);
+        let json = b.to_json();
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":1"#));
+        assert!(json.contains(r#""label":"transient-newton""#));
+        assert!(json.contains(r#""residuals":[1e0,5e-1]"#));
+        assert!(json.contains(r#""voltages":{"q":8e-1,"qb":0e0}"#));
+        let t = json.find(r#""time""#).unwrap();
+        let i = json.find(r#""iterations""#).unwrap();
+        assert!(t < i, "fields keep insertion order");
+    }
+
+    #[test]
+    fn submit_writes_only_when_enabled() {
+        let _guard = test_lock::hold();
+        let dir = scratch_dir("submit");
+        set_dir(&dir);
+        crate::disable();
+        crate::reset();
+
+        let bundle = Bundle::new("dc fail!").num("time", 0.0);
+        assert_eq!(submit(&bundle), None, "disabled tracing writes nothing");
+        assert!(!dir.exists());
+
+        crate::enable();
+        let path = submit(&bundle).expect("enabled tracing writes a bundle");
+        crate::disable();
+        assert!(path.ends_with("dc_fail_-0000.json"), "{path:?}");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("tfet-obs.diagnostic"));
+        assert_eq!(
+            crate::RunReport::capture()
+                .counters
+                .get("forensics.bundles"),
+            Some(&1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        set_dir(DEFAULT_DIR);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal hand-rolled JSON writer.
+//!
+//! The workspace's vendored `serde` is a marker-traits stand-in with no
+//! serializer, so run reports and diagnostic bundles build a [`Value`] tree
+//! and stringify it here. Object members keep insertion order (report
+//! builders insert from `BTreeMap`s, so emitted documents are key-sorted
+//! and byte-stable); floats use `{:e}` formatting, which round-trips and is
+//! valid JSON number syntax.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (exact, never exponent-formatted).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values are emitted as `null` (JSON has no
+    /// `inf`/`nan` literals).
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; members are written in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience: a string value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience: an array of floats.
+    pub fn floats(values: &[f64]) -> Value {
+        Value::Arr(values.iter().map(|&v| Value::Num(v)).collect())
+    }
+
+    /// Serializes this value to a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:e}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_containers_serialize() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Num(0.5)),
+            ("c".into(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("d".into(), Value::Int(-2)),
+        ]);
+        assert_eq!(v.to_json(), r#"{"a":3,"b":5e-1,"c":[true,null],"d":-2}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::text("a\"b\\c\nd\u{1}");
+        assert_eq!(v.to_json(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
+        assert_eq!(Value::Num(1e-12).to_json(), "1e-12");
+        assert_eq!(Value::floats(&[1.0, 2.5]).to_json(), "[1e0,2.5e0]");
+    }
+}

@@ -1,0 +1,402 @@
+//! Versioned run reports: a deterministic snapshot of the metrics registry.
+//!
+//! [`RunReport::capture`] clones the registry into plain sorted maps;
+//! [`RunReport::to_json`] emits the machine-readable document (schema
+//! `tfet-obs.run-report`, see `docs/RUN_REPORT.md` at the workspace root)
+//! and [`RunReport::render`] the human table behind `--report` flags.
+//!
+//! Every section except `timings_ns` and `work` is built from commutative
+//! aggregates, so a report of the same workload is byte-identical at any
+//! worker-thread count.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// Version of the `tfet-obs.run-report` (and `tfet-obs.diagnostic`) JSON
+/// schema. Bump on any breaking change to the emitted document shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Snapshot of one named `u64` histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u128,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `(bit_length, count)` pairs for non-empty buckets: bucket `k` holds
+    /// samples in `[2^(k-1), 2^k)` (`k = 0` holds exact zeros).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Snapshot of one named `f64` distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionSnapshot {
+    /// Finite samples recorded.
+    pub count: u64,
+    /// Non-finite samples seen (excluded from everything else).
+    pub non_finite: u64,
+    /// Smallest finite sample.
+    pub min: f64,
+    /// Largest finite sample.
+    pub max: f64,
+    /// `(binary_exponent, count)` pairs; exponent `i32::MIN` holds exact
+    /// zeros, otherwise `floor(log2 |v|)`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+/// Snapshot of one named series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// How many times the series was recorded.
+    pub recordings: u64,
+    /// The retained representative trajectory.
+    pub values: Vec<f64>,
+}
+
+/// A deterministic snapshot of everything the registry collected.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Span path (`"a/b/c"`) -> times entered.
+    pub spans: BTreeMap<String, u64>,
+    /// Span path -> accumulated wall-clock nanoseconds. Empty unless
+    /// [`set_timings`](crate::set_timings) was on; never deterministic.
+    pub timings_ns: BTreeMap<String, u128>,
+    /// Logical event counters (thread-count invariant).
+    pub counters: BTreeMap<String, u64>,
+    /// Physical work counters (scheduling-dependent; own section).
+    pub work: BTreeMap<String, u64>,
+    /// Integer histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Float distributions.
+    pub distributions: BTreeMap<String, DistributionSnapshot>,
+    /// Representative trajectories.
+    pub series: BTreeMap<String, SeriesSnapshot>,
+}
+
+impl RunReport {
+    /// Snapshots the global registry. Collection may continue afterwards;
+    /// the snapshot is unaffected.
+    pub fn capture() -> RunReport {
+        let reg = crate::lock_registry();
+        let mut report = RunReport::default();
+        for (path, &(count, ns)) in &reg.spans {
+            report.spans.insert(path.clone(), count);
+            if ns > 0 {
+                report.timings_ns.insert(path.clone(), ns);
+            }
+        }
+        for (&name, &n) in &reg.counters {
+            report.counters.insert(name.to_string(), n);
+        }
+        for (&name, &n) in &reg.work {
+            report.work.insert(name.to_string(), n);
+        }
+        for (&name, h) in &reg.hists {
+            report.histograms.insert(
+                name.to_string(),
+                HistogramSnapshot {
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(k, &c)| (k as u32, c))
+                        .collect(),
+                },
+            );
+        }
+        for (&name, d) in &reg.dists {
+            report.distributions.insert(
+                name.to_string(),
+                DistributionSnapshot {
+                    count: d.count,
+                    non_finite: d.non_finite,
+                    min: d.min,
+                    max: d.max,
+                    buckets: d.buckets.iter().map(|(&k, &c)| (k, c)).collect(),
+                },
+            );
+        }
+        for (&name, s) in &reg.series {
+            report.series.insert(
+                name.to_string(),
+                SeriesSnapshot {
+                    recordings: s.recordings,
+                    values: s.values.clone(),
+                },
+            );
+        }
+        report
+    }
+
+    /// The machine-readable JSON document (schema `tfet-obs.run-report`,
+    /// version [`SCHEMA_VERSION`]). Keys are sorted, floats are
+    /// exponent-formatted; two captures of identical registry contents are
+    /// byte-identical.
+    pub fn to_json(&self) -> String {
+        let spans = Value::Obj(
+            self.spans
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+                .collect(),
+        );
+        let timings = Value::Obj(
+            self.timings_ns
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::UInt(v.min(u128::from(u64::MAX)) as u64)))
+                .collect(),
+        );
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+                .collect(),
+        );
+        let work = Value::Obj(
+            self.work
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("count".into(), Value::UInt(h.count)),
+                            (
+                                "sum".into(),
+                                Value::UInt(h.sum.min(u128::from(u64::MAX)) as u64),
+                            ),
+                            (
+                                "min".into(),
+                                Value::UInt(if h.count == 0 { 0 } else { h.min }),
+                            ),
+                            ("max".into(), Value::UInt(h.max)),
+                            (
+                                "buckets".into(),
+                                Value::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|&(k, c)| {
+                                            Value::Arr(vec![
+                                                Value::UInt(u64::from(k)),
+                                                Value::UInt(c),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let distributions = Value::Obj(
+            self.distributions
+                .iter()
+                .map(|(k, d)| {
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("count".into(), Value::UInt(d.count)),
+                            ("non_finite".into(), Value::UInt(d.non_finite)),
+                            ("min".into(), Value::Num(d.min)),
+                            ("max".into(), Value::Num(d.max)),
+                            (
+                                "buckets".into(),
+                                Value::Arr(
+                                    d.buckets
+                                        .iter()
+                                        .map(|&(k, c)| {
+                                            Value::Arr(vec![
+                                                Value::Int(i64::from(k)),
+                                                Value::UInt(c),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let series = Value::Obj(
+            self.series
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("recordings".into(), Value::UInt(s.recordings)),
+                            ("values".into(), Value::floats(&s.values)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("schema".into(), Value::text("tfet-obs.run-report")),
+            ("version".into(), Value::UInt(u64::from(SCHEMA_VERSION))),
+            ("spans".into(), spans),
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+            ("distributions".into(), distributions),
+            ("series".into(), series),
+            ("work".into(), work),
+            ("timings_ns".into(), timings),
+        ])
+        .to_json()
+    }
+
+    /// The human-readable table behind `--report` flags.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== run report (tfet-obs schema v{SCHEMA_VERSION}) ==");
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for (path, count) in &self.spans {
+                let _ = write!(out, "  {path:<44} {count:>10}");
+                if let Some(ns) = self.timings_ns.get(path) {
+                    let _ = write!(out, "  {:>12.3} ms", *ns as f64 / 1e6);
+                }
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, n) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {n:>10}");
+            }
+        }
+        if !self.work.is_empty() {
+            let _ = writeln!(out, "work (scheduling-dependent):");
+            for (name, n) in &self.work {
+                let _ = writeln!(out, "  {name:<44} {n:>10}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms (count / min / mean / max):");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} {:>10} / {} / {:.2} / {}",
+                    h.count,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.mean(),
+                    h.max
+                );
+            }
+        }
+        if !self.distributions.is_empty() {
+            let _ = writeln!(out, "distributions (count / min / max):");
+            for (name, d) in &self.distributions {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} {:>10} / {:e} / {:e}",
+                    d.count, d.min, d.max
+                );
+            }
+        }
+        if !self.series.is_empty() {
+            let _ = writeln!(out, "series (recordings / points):");
+            for (name, s) in &self.series {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} {:>10} / {}",
+                    s.recordings,
+                    s.values.len()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn report_json_is_versioned_and_key_sorted() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        crate::counter("b.second", 2);
+        crate::counter("a.first", 1);
+        crate::record_u64("newton.iters", 5);
+        crate::record_series("bracket", &[1.0, 0.5]);
+        crate::disable();
+
+        let report = RunReport::capture();
+        let json = report.to_json();
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":1"#));
+        let a = json.find("a.first").unwrap();
+        let b = json.find("b.second").unwrap();
+        assert!(a < b, "counter keys must be sorted");
+        assert!(json.contains(r#""newton.iters":{"count":1"#));
+        assert!(json.contains(r#""values":[1e0,5e-1]"#));
+
+        let rendered = report.render();
+        assert!(rendered.contains("run report"));
+        assert!(rendered.contains("a.first"));
+        assert!(rendered.contains("newton.iters"));
+    }
+
+    #[test]
+    fn capture_of_identical_contents_is_byte_identical() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        crate::counter("x", 1);
+        crate::record_f64("d", 0.25);
+        crate::disable();
+        let a = RunReport::capture().to_json();
+        let b = RunReport::capture().to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = HistogramSnapshot {
+            count: 4,
+            sum: 10,
+            min: 1,
+            max: 4,
+            buckets: vec![],
+        };
+        assert_eq!(h.mean(), 2.5);
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.mean(), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Run report: trace a scorecard + small Monte-Carlo and emit the
+//! observability artifacts.
+//!
+//! Enables `tfet-obs` tracing, measures the proposed cell's full scorecard
+//! and an 8-sample `WL_crit` / DRNM Monte-Carlo, then writes the captured
+//! [`tfet_obs::RunReport`] to `results/run_report.json` (the versioned
+//! `tfet-obs.run-report` schema — see `docs/RUN_REPORT.md`).
+//!
+//! Run with: `cargo run --release --example run_report`
+//!
+//! Pass `--report` to also print the human-readable report table (span tree,
+//! counters, Newton-iteration histograms, value distributions).
+
+use tfet_sram::compare::{scorecard, Design};
+use tfet_sram::metrics::WlCrit;
+use tfet_sram::montecarlo::{mc_drnm_with, mc_wl_crit_with, McConfig};
+use tfet_sram::prelude::*;
+
+const N: usize = 8;
+const SEED: u64 = 42;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let print_table = std::env::args().any(|a| a == "--report");
+
+    tfet_obs::reset();
+    tfet_obs::enable();
+
+    // The full §5 scorecard of the proposed design at nominal supply.
+    let card = scorecard(Design::Proposed, 0.8)?;
+    match card.wl_crit {
+        Some(WlCrit::Finite(w)) => println!("WL_crit : {:8.1} ps", w * 1e12),
+        Some(WlCrit::Infinite) => println!("WL_crit : write fails"),
+        None => println!("WL_crit : undefined"),
+    }
+    println!("DRNM    : {:8.1} mV", card.drnm * 1e3);
+
+    // A small Monte-Carlo with fast transient settings: enough samples to
+    // populate the per-sample cost distributions without a long wait.
+    let mut cell = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    cell.sim.dt = 2e-12;
+    cell.sim.pulse_tol = 8e-12;
+    let mc = mc_wl_crit_with(&cell, None, N, McConfig::new(SEED))?;
+    println!(
+        "MC      : {}/{N} samples write, failure rate {:.2}",
+        mc.values.len(),
+        mc.failure_rate()
+    );
+    let drnm = mc_drnm_with(&cell, Some(ReadAssist::GndLowering), N, McConfig::new(SEED))?;
+    println!("MC DRNM : {} samples", drnm.len());
+
+    tfet_obs::disable();
+    let report = tfet_obs::RunReport::capture();
+
+    let path = std::path::Path::new("results/run_report.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, report.to_json())?;
+    println!("report  : {}", path.display());
+
+    if print_table {
+        println!("\n{}", report.render());
+    }
+    Ok(())
+}

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo clippy tfet-obs -D warnings =="
+cargo clippy -p tfet-obs --all-targets --offline -- -D warnings
+
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
@@ -18,5 +21,19 @@ cargo test -q --workspace --offline
 
 echo "== cargo bench --no-run =="
 cargo bench --workspace --offline --no-run
+
+echo "== run_report smoke (traced scorecard + MC, JSON validates) =="
+cargo run -q --release --offline --example run_report -- --report >/dev/null
+python3 - <<'EOF'
+import json
+r = json.load(open("results/run_report.json"))
+assert r["schema"] == "tfet-obs.run-report", r["schema"]
+assert r["version"] == 1, r["version"]
+assert r["histograms"]["newton.iters_per_solve"]["count"] > 0
+assert r["counters"]["lte.accepted_steps"] > 0
+assert any(p.startswith("scorecard/") for p in r["spans"])
+print(f"run_report.json ok: {len(r['spans'])} span paths, "
+      f"{len(r['counters'])} counters")
+EOF
 
 echo "All checks passed."

@@ -1,0 +1,166 @@
+//! Observability regression tests: tracing must never change the numbers.
+//!
+//! The contract has three legs:
+//!
+//! 1. enabling the tracer leaves every measured value bit-identical — at
+//!    1 thread and at 8;
+//! 2. the deterministic report sections (spans, counters, histograms,
+//!    distributions, series) are thread-count invariant; only `work` and
+//!    `timings_ns` may depend on scheduling;
+//! 3. the captured report of a traced scorecard-scale run actually contains
+//!    the span tree, Newton histogram and LTE statistics the run report
+//!    schema promises.
+//!
+//! Tracing state is process-global, so every test here serializes on one
+//! lock (the file is its own test binary; nothing else shares the process).
+
+use std::sync::Mutex;
+use tfet_obs::RunReport;
+use tfet_sram::montecarlo::{mc_drnm_with, mc_wl_crit_with, McConfig};
+use tfet_sram::ops::WriteExperiment;
+use tfet_sram::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn hold() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The experiments' fast-simulation settings (2 ps step, 8 ps tolerance).
+fn fast(params: CellParams) -> CellParams {
+    let mut p = params;
+    p.sim.dt = 2e-12;
+    p.sim.pulse_tol = 8e-12;
+    p
+}
+
+const N: usize = 8;
+const SEED: u64 = 42;
+
+fn base() -> CellParams {
+    fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6))
+}
+
+fn study(threads: usize) -> (Vec<f64>, usize, Vec<f64>) {
+    let p = base();
+    let wl = mc_wl_crit_with(&p, None, N, McConfig::new(SEED).with_threads(threads)).unwrap();
+    let drnm = mc_drnm_with(&p, None, N, McConfig::new(SEED).with_threads(threads)).unwrap();
+    (wl.values, wl.failures, drnm)
+}
+
+#[test]
+fn tracing_does_not_change_wl_crit_or_drnm_at_1_and_8_threads() {
+    let _guard = hold();
+    tfet_obs::disable();
+    let plain_1 = study(1);
+    let plain_8 = study(8);
+
+    tfet_obs::reset();
+    tfet_obs::enable();
+    let traced_1 = study(1);
+    let traced_8 = study(8);
+    tfet_obs::disable();
+
+    // Exact equality — bit-identical floats, same order, same failures.
+    assert_eq!(traced_1, plain_1, "tracing changed the numbers at 1 thread");
+    assert_eq!(
+        traced_8, plain_8,
+        "tracing changed the numbers at 8 threads"
+    );
+    assert_eq!(plain_1, plain_8, "thread count changed the numbers");
+}
+
+#[test]
+fn deterministic_report_sections_are_thread_count_invariant() {
+    let _guard = hold();
+    tfet_obs::reset();
+    tfet_obs::enable();
+    study(1);
+    tfet_obs::disable();
+    let one = RunReport::capture();
+
+    tfet_obs::reset();
+    tfet_obs::enable();
+    study(8);
+    tfet_obs::disable();
+    let eight = RunReport::capture();
+
+    assert_eq!(one.spans, eight.spans, "span tree must not see scheduling");
+    assert_eq!(one.counters, eight.counters, "counters must be logical");
+    assert_eq!(one.histograms, eight.histograms);
+    assert_eq!(one.distributions, eight.distributions);
+    assert_eq!(one.series, eight.series);
+    // `work` (per-worker compiles/builds/binds) is the designated home for
+    // scheduling-dependent tallies; at 8 workers each compiles its own
+    // experiment, so the sections genuinely differ.
+    assert!(one.timings_ns.is_empty(), "timings stay off by default");
+}
+
+#[test]
+fn repeat_traced_runs_produce_byte_identical_reports() {
+    let _guard = hold();
+    let capture = || {
+        tfet_obs::reset();
+        tfet_obs::enable();
+        study(1);
+        tfet_obs::disable();
+        RunReport::capture().to_json()
+    };
+    assert_eq!(capture(), capture());
+}
+
+#[test]
+fn traced_study_report_contains_span_tree_histograms_and_lte_stats() {
+    let _guard = hold();
+    tfet_obs::reset();
+    tfet_obs::enable();
+    study(1);
+    tfet_obs::disable();
+    let report = RunReport::capture();
+
+    // The span tree reaches from the study root down to individual Newton
+    // solves, with sample spans pinned to their own roots.
+    for path in [
+        "mc_wl_crit",
+        "mc_sample_wl_crit/wl_crit/bisection/write/transient/newton",
+        "mc_sample_drnm/read_metrics/read/transient/newton",
+    ] {
+        assert!(
+            report.spans.get(path).is_some_and(|&n| n > 0),
+            "span {path:?} missing from {:?}",
+            report.spans.keys().collect::<Vec<_>>()
+        );
+    }
+    let newton = &report.histograms["newton.iters_per_solve"];
+    assert!(newton.count > 0, "Newton histogram must be populated");
+    assert!(newton.min >= 1 && newton.max >= newton.min);
+    assert!(
+        report
+            .counters
+            .get("lte.accepted_steps")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "adaptive runs must report LTE accept counts"
+    );
+    assert!(report.series.contains_key("bisection.bracket"));
+
+    let json = report.to_json();
+    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":1"#));
+    assert!(json.contains("newton.iters_per_solve"));
+}
+
+#[test]
+fn lifetime_stats_are_the_sum_of_per_run_stats() {
+    let _guard = hold();
+    let p = base();
+    let mut exp = WriteExperiment::compile(&p, None).unwrap();
+    let a = exp.run(1e-9).unwrap().result.stats;
+    let b = exp.run(2e-9).unwrap().result.stats;
+    let life = exp.lifetime_stats();
+    assert_eq!(life.newton_solves, a.newton_solves + b.newton_solves);
+    assert_eq!(life.newton_iters, a.newton_iters + b.newton_iters);
+    assert_eq!(life.runs, a.runs + b.runs);
+    assert_eq!(life.circuit_builds, a.circuit_builds + b.circuit_builds);
+    assert_eq!(life.accepted_steps, a.accepted_steps + b.accepted_steps);
+}
