@@ -27,6 +27,7 @@ fn sweep() -> Table {
         let wl = match wl_crit(&wa_cell, Some(WriteAssist::GndRaising)).expect("wl") {
             WlCrit::Finite(w) => ps(w),
             WlCrit::Infinite => "inf".to_string(),
+            WlCrit::Unbracketable => "unbracketable".to_string(),
         };
         t.push_row(vec![format!("{frac:.1}"), mv(drnm), wl]);
     }

@@ -36,6 +36,7 @@ fn wl_cell(w: WlCrit) -> String {
     match w {
         WlCrit::Finite(t) => ps(t),
         WlCrit::Infinite => "inf".to_string(),
+        WlCrit::Unbracketable => "unbracketable".to_string(),
     }
 }
 
@@ -308,7 +309,7 @@ pub fn fig09(n: usize, seed: u64) -> Table {
     }
     // Fig. 9(d): DRNM of the WA-sized cell is hardly influenced.
     let drnm = mc_drnm(&base, None, n, seed).expect("MC DRNM");
-    let s = Summary::of(&drnm);
+    let s = Summary::of(&drnm.values);
     t.push_row(vec![
         "DRNM".into(),
         "(no assist)".into(),
@@ -332,7 +333,7 @@ pub fn fig10(n: usize, seed: u64) -> Table {
     let base = inp_cell(0.6);
     for ra in ReadAssist::ALL {
         let drnm = mc_drnm(&base, Some(ra), n, seed).expect("MC DRNM");
-        let s = Summary::of(&drnm);
+        let s = Summary::of(&drnm.values);
         t.push_row(vec![
             "DRNM".into(),
             ra.label().into(),
@@ -354,6 +355,7 @@ pub fn fig10(n: usize, seed: u64) -> Table {
     // Attach a text histogram of the winning technique for visual parity
     // with the paper's panels.
     let gnd = mc_drnm(&base, Some(ReadAssist::GndLowering), n, seed).expect("MC DRNM");
+    let gnd = gnd.values;
     if gnd.iter().any(|&v| v != gnd[0]) {
         let h = Histogram::from_data(&gnd, 8);
         for (center, count) in h.to_rows() {

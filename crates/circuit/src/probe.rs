@@ -57,6 +57,14 @@ pub struct SolveStats {
     /// Transient runs executed (1 per [`TransientResult`]; additive under
     /// [`absorb`](SolveStats::absorb)).
     pub runs: u64,
+    /// Rescue-ladder rungs attempted after a terminal per-step Newton
+    /// failure (each rung subdivides the failing step; see the transient
+    /// module docs). Nonzero only when a step failed outright at its
+    /// requested size.
+    pub rescue_attempts: u64,
+    /// Steps salvaged by the rescue ladder — accepted steps that would have
+    /// aborted the run before the ladder existed.
+    pub rescued_steps: u64,
     /// Whether a stop event ended the run before `t_stop`.
     pub early_exit: bool,
 }
@@ -73,6 +81,8 @@ impl SolveStats {
         self.circuit_builds += other.circuit_builds;
         self.param_binds += other.param_binds;
         self.runs += other.runs;
+        self.rescue_attempts += other.rescue_attempts;
+        self.rescued_steps += other.rescued_steps;
         self.early_exit |= other.early_exit;
     }
 }

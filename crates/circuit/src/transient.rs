@@ -39,7 +39,7 @@ use crate::dc::{solve_op, NewtonOpts};
 use crate::error::SimError;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId};
-use crate::probe::TransientResult;
+use crate::probe::{SolveStats, TransientResult};
 use crate::workspace::{with_workspace, NewtonWorkspace};
 
 /// Integration method.
@@ -371,6 +371,104 @@ fn capture_failure(
     tfet_obs::forensics::submit(&bundle);
 }
 
+/// The per-step rescue ladder, tried in order once a transient Newton solve
+/// has failed outright (plain Newton *and* the g_min fallback inside
+/// [`solve_op`]). Each rung is `(substeps, anchored)`: the failing step is
+/// subdivided into that many backward-Euler substeps — the companion
+/// conductance `C/Δt` grows with each halving, stiffening the Jacobian
+/// diagonal exactly where the solve is struggling — and the final rung
+/// additionally forces the anchored g_min continuation from `dc.rs` on every
+/// substep, pinned to the last accepted state so a bistable cell cannot be
+/// rescued into the wrong basin.
+const RESCUE_RUNGS: &[(usize, bool)] = &[(2, false), (4, false), (8, true)];
+
+/// Attempts to recover a failed step `t → t_new` by the [`RESCUE_RUNGS`]
+/// ladder, starting every rung from the last accepted state `x_last` and
+/// capacitor-branch set `ws.branches`.
+///
+/// On success the final substep's companion stamps are published into
+/// `ws.companions` and the state at `t_new` is returned, so the caller's
+/// ordinary accept path (re-linearize against `ws.companions`, record, push)
+/// remains correct without modification. On failure the workspace's branch
+/// buffers are untouched and `None` is returned — the caller's error path
+/// sees exactly the state it would have without the ladder.
+///
+/// This is a cold path (it only runs when a step has already failed), so the
+/// local clones and buffers here are deliberate: the hot path's
+/// allocation-free invariant is preserved by never touching the workspace's
+/// step scratch until a rung actually succeeds.
+#[allow(clippy::too_many_arguments)] // solver-internal
+fn rescue_step(
+    circuit: &Circuit,
+    mna: &Mna<'_>,
+    ws: &mut NewtonWorkspace,
+    x_last: Vec<f64>,
+    t: f64,
+    t_new: f64,
+    opts: &NewtonOpts,
+    stats: &mut SolveStats,
+) -> Option<Vec<f64>> {
+    let branches0 = ws.branches.clone();
+    let mut comps = CompanionCaps::default();
+    let mut branches: Vec<CapBranch> = Vec::new();
+    let mut branches_next: Vec<CapBranch> = Vec::new();
+    for &(n_sub, anchored) in RESCUE_RUNGS {
+        stats.rescue_attempts += 1;
+        if tfet_obs::enabled() {
+            tfet_obs::counter("transient.rescue_attempts", 1);
+        }
+        let h_sub = (t_new - t) / n_sub as f64;
+        let mut x = x_last.clone();
+        branches.clone_from(&branches0);
+        let mut ok = true;
+        for k in 1..=n_sub {
+            // Land the last substep on t_new exactly (no accumulated
+            // floating-point drift into the caller's time axis).
+            let t_k = if k == n_sub {
+                t_new
+            } else {
+                t + k as f64 * h_sub
+            };
+            // Backward Euler regardless of the run's integrator: the rescue
+            // restarts from a state whose branch-current history just failed
+            // to produce a solution, and BE is the standard L-stable restart
+            // after such a discontinuity.
+            build_companions(mna, &x, &branches, h_sub, true, &mut comps);
+            let attempt = solve_op(
+                mna,
+                &mut ws.bufs,
+                &mut ws.anchor,
+                std::mem::take(&mut x),
+                t_k,
+                Some(&comps),
+                opts,
+                Some(t_k),
+                anchored,
+            );
+            match attempt {
+                Ok(v) => x = v,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+            if k < n_sub {
+                relinearize(circuit, mna, &x, &comps, &mut branches_next);
+                std::mem::swap(&mut branches, &mut branches_next);
+            }
+        }
+        if ok {
+            stats.rescued_steps += 1;
+            if tfet_obs::enabled() {
+                tfet_obs::counter("transient.rescued_steps", 1);
+            }
+            std::mem::swap(&mut ws.companions, &mut comps);
+            return Some(x);
+        }
+    }
+    None
+}
+
 /// Whether any armed stop event fires on the state `x` at time `t`.
 fn event_fired(events: &[StopEvent], mna: &Mna<'_>, x: &[f64], t: f64) -> bool {
     events.iter().any(|ev| {
@@ -612,16 +710,36 @@ impl Circuit {
                         Ok(v) => v,
                         Err(e) => {
                             ws.step_trace.record(t_new, -spec.dt);
-                            capture_failure(
+                            // `solve_op` snapshotted the last accepted state
+                            // into the anchor buffer before consuming it —
+                            // recover it from there and try the rescue
+                            // ladder before declaring the run dead.
+                            let x_last = ws.anchor.clone();
+                            let rescued = rescue_step(
+                                self,
                                 &mna,
                                 ws,
-                                Some(&result),
-                                "fixed-step",
+                                x_last,
+                                t_new - spec.dt,
                                 t_new,
-                                spec.dt,
-                                &e,
+                                &opts,
+                                &mut result.stats,
                             );
-                            return Err(e);
+                            match rescued {
+                                Some(v) => v,
+                                None => {
+                                    capture_failure(
+                                        &mna,
+                                        ws,
+                                        Some(&result),
+                                        "fixed-step",
+                                        t_new,
+                                        spec.dt,
+                                        &e,
+                                    );
+                                    return Err(e);
+                                }
+                            }
                         }
                     };
 
@@ -804,16 +922,60 @@ impl Circuit {
                         }
                         if at_floor {
                             let e = trial_err.expect("floor rejection implies Newton failure");
-                            capture_failure(
+                            // Last resort below the controller's floor: the
+                            // rescue ladder subdivides this step further than
+                            // `dt_min` allows and, on its final rung, re-runs
+                            // the g_min continuation anchored at the last
+                            // accepted state.
+                            let rescued = rescue_step(
+                                self,
                                 &mna,
                                 ws,
-                                Some(&result),
-                                "adaptive-floor",
+                                x.clone(),
+                                t,
                                 t_new,
-                                h_try,
-                                &e,
+                                &opts,
+                                &mut result.stats,
                             );
-                            return Err(e);
+                            match rescued {
+                                Some(v) => {
+                                    x = v;
+                                    relinearize(
+                                        self,
+                                        &mna,
+                                        &x,
+                                        &ws.companions,
+                                        &mut ws.branches_next,
+                                    );
+                                    std::mem::swap(&mut ws.branches, &mut ws.branches_next);
+                                    t = t_new;
+                                    first_step = false;
+                                    ws.step_trace.record(t, h_try);
+                                    result.push(t, |node| mna.voltage_of(&x, node));
+                                    result.stats.accepted_steps += 1;
+                                    // Restart the controller at the floor:
+                                    // whatever defeated Newton here is still
+                                    // nearby, so re-grow from the bottom.
+                                    h = a.dt_min;
+                                    if event_fired(events, &mna, &x, t) {
+                                        result.stats.early_exit = true;
+                                        break 'time;
+                                    }
+                                    break;
+                                }
+                                None => {
+                                    capture_failure(
+                                        &mna,
+                                        ws,
+                                        Some(&result),
+                                        "adaptive-floor",
+                                        t_new,
+                                        h_try,
+                                        &e,
+                                    );
+                                    return Err(e);
+                                }
+                            }
                         }
                         let shrink = if trial_err.is_some() {
                             0.25
@@ -1181,6 +1343,131 @@ mod tests {
         }
         let v_tau = res.voltage_at(a, 1e-9);
         assert!((v_tau - (-1.0f64).exp()).abs() < 0.02);
+    }
+
+    /// A linear drain–source conductance whose reported derivatives have
+    /// the wrong sign: the residual is honest, the Jacobian lies. Newton
+    /// then converges only where something else dominates the diagonal —
+    /// the companion conductance `C/Δt` or a large g_min rung — which makes
+    /// the failure *step-size dependent*: exactly the regime the rescue
+    /// ladder exists for. With `C/Δt = c` the iteration contracts iff
+    /// `(g + c)/(c − g) < 2`, i.e. `c > 3g`, so the failing step size is
+    /// chosen to sit below that threshold and the subdivided rescue substeps
+    /// above it.
+    #[derive(Debug)]
+    struct WrongJacobianDev {
+        g: f64,
+    }
+
+    impl tfet_devices::model::DeviceModel for WrongJacobianDev {
+        fn name(&self) -> &str {
+            "wrong-jacobian"
+        }
+        fn polarity(&self) -> tfet_devices::model::Polarity {
+            tfet_devices::model::Polarity::N
+        }
+        fn kind(&self) -> tfet_devices::model::DeviceKind {
+            tfet_devices::model::DeviceKind::Mosfet
+        }
+        fn ids_per_um(&self, _vg: f64, vd: f64, vs: f64) -> f64 {
+            self.g * (vd - vs)
+        }
+        fn caps_per_um(&self, _vg: f64, _vd: f64, _vs: f64) -> tfet_devices::model::Caps {
+            tfet_devices::model::Caps::default()
+        }
+        fn conductances_per_um(&self, _vg: f64, _vd: f64, _vs: f64) -> (f64, f64, f64) {
+            // True values are (0, +g, −g); report the d/s pair negated.
+            (0.0, -self.g, self.g)
+        }
+    }
+
+    /// 1 pF discharging through a 1 mS wrong-Jacobian device: τ = 1 ns.
+    fn sabotaged_rc() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GND, 1e-12);
+        c.transistor(
+            "M",
+            Arc::new(WrongJacobianDev { g: 1e-3 }),
+            a,
+            Circuit::GND,
+            Circuit::GND,
+            1.0,
+        );
+        (c, a)
+    }
+
+    #[test]
+    fn rescue_ladder_salvages_wrong_jacobian_fixed_steps() {
+        // dt = 0.8 ns puts C/Δt at 1.25g — divergent. The 2× rung stays
+        // divergent (2.5g), the 4× rung contracts (5g > 3g), so every step
+        // of the run must be rescued on the second rung.
+        let (c, a) = sabotaged_rc();
+        let res = c
+            .transient(
+                &TransientSpec::fixed(4e-9, 0.8e-9),
+                &InitialState::Uic(vec![(a, 1.0)]),
+            )
+            .unwrap();
+        assert_eq!(res.stats.accepted_steps, 5);
+        assert_eq!(res.stats.rescued_steps, 5, "{:?}", res.stats);
+        assert_eq!(res.stats.rescue_attempts, 10, "{:?}", res.stats);
+        // The rescued run is still the physical RC discharge.
+        assert!(res.voltage_at(a, 0.0) > 0.99);
+        assert!(res.final_voltage(a) < 0.1, "v = {}", res.final_voltage(a));
+        let v_tau = res.voltage_at(a, 1e-9);
+        assert!((v_tau - (-1.0f64).exp()).abs() < 0.08, "v(τ) = {v_tau}");
+    }
+
+    #[test]
+    fn rescue_ladder_salvages_adaptive_floor_failure() {
+        // Pin the controller's floor at the divergent step size: every
+        // trial fails at the floor and only the rescue ladder (which may
+        // subdivide below dt_min) can make progress.
+        let (c, a) = sabotaged_rc();
+        let spec = TransientSpec::new(4e-9, 0.8e-9).with_step_bounds(0.8e-9, 1.6e-9);
+        let res = c
+            .transient(&spec, &InitialState::Uic(vec![(a, 1.0)]))
+            .unwrap();
+        assert!(res.stats.rescued_steps >= 1, "{:?}", res.stats);
+        assert!(res.stats.rejected_steps >= res.stats.rescued_steps);
+        assert!(res.final_voltage(a) < 0.1, "v = {}", res.final_voltage(a));
+    }
+
+    #[test]
+    fn unrescuable_step_failure_still_errors() {
+        // dt = 4 ns: even the deepest rung (8 substeps, anchored g_min)
+        // leaves C/Δt at 2g < 3g — nothing on the ladder contracts, so the
+        // original error must surface unchanged.
+        let (c, a) = sabotaged_rc();
+        let err = c
+            .transient(
+                &TransientSpec::fixed(8e-9, 4e-9),
+                &InitialState::Uic(vec![(a, 1.0)]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::NoConvergence { .. }),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_runs_never_touch_the_rescue_ladder() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource("V", inp, Circuit::GND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1e3);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        for spec in [
+            TransientSpec::new(5e-9, 1e-12),
+            TransientSpec::fixed(5e-9, 10e-12),
+        ] {
+            let res = c.transient(&spec, &InitialState::Uic(vec![])).unwrap();
+            assert_eq!(res.stats.rescue_attempts, 0);
+            assert_eq!(res.stats.rescued_steps, 0);
+        }
     }
 
     #[test]

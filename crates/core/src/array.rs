@@ -96,6 +96,13 @@ impl ArrayParams {
                     "array cell has infinite WL_crit: no pulse budget can write it".into(),
                 ))
             }
+            WlCrit::Unbracketable => {
+                return Err(SramError::InvalidParameter(
+                    "array cell WL_crit is unbracketable: its decisive write transient \
+                     does not converge, so no margin can be certified"
+                        .into(),
+                ))
+            }
         };
         let ratio = self.write_pulse / w;
         if ratio < WRITE_MARGIN {

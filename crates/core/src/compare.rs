@@ -108,7 +108,9 @@ pub struct Scorecard {
 /// # Errors
 ///
 /// Propagates simulation failures (an undefined `WL_crit` for the
-/// asymmetric cell is reported as `None`, not an error).
+/// asymmetric cell is reported as `None`, not an error; a `WL_crit` search
+/// whose decisive transient fails to converge is carried as
+/// [`WlCrit::Unbracketable`] with the write delay reported missing).
 pub fn scorecard(design: Design, vdd: f64) -> Result<Scorecard, SramError> {
     // A root span: `full_comparison` dispatches scorecards to a pool, so
     // the path must not depend on whether this call ran inline or on a
@@ -126,11 +128,19 @@ pub fn scorecard(design: Design, vdd: f64) -> Result<Scorecard, SramError> {
     } else {
         let mut wexp = WriteExperiment::compile(&params, None)?;
         let wl = wl_crit_compiled(&mut wexp, None)?.value;
-        let run = wexp.run(params.sim.max_pulse)?;
-        let wd = if run.flipped() {
-            run.write_delay()
-        } else {
+        let wd = if wl.is_unbracketable() {
+            // The max_pulse write transient itself does not converge (that
+            // is what made the search unbracketable), so the write delay is
+            // equally unmeasurable — report it missing rather than re-run
+            // the same failing transient and abort the scorecard.
             None
+        } else {
+            let run = wexp.run(params.sim.max_pulse)?;
+            if run.flipped() {
+                run.write_delay()
+            } else {
+                None
+            }
         };
         (Some(wl), wd)
     };

@@ -19,6 +19,17 @@ pub enum SramError {
     },
     /// A parameter is out of its valid range.
     InvalidParameter(String),
+    /// Too many Monte-Carlo samples were quarantined: the survivor fraction
+    /// fell below the study's configured
+    /// [`McConfig::min_yield`](crate::montecarlo::McConfig::min_yield).
+    LowYield {
+        /// Samples that produced a result.
+        survivors: usize,
+        /// Samples attempted.
+        total: usize,
+        /// The configured minimum survivor fraction.
+        min_yield: f64,
+    },
 }
 
 impl fmt::Display for SramError {
@@ -29,6 +40,15 @@ impl fmt::Display for SramError {
                 write!(f, "{metric} is undefined for this cell: {reason}")
             }
             SramError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SramError::LowYield {
+                survivors,
+                total,
+                min_yield,
+            } => write!(
+                f,
+                "Monte-Carlo yield too low: {survivors}/{total} samples survived \
+                 (min_yield = {min_yield})"
+            ),
         }
     }
 }

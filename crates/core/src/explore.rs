@@ -234,7 +234,10 @@ pub fn wa_tradeoff(
                 let drnm = read_metrics_compiled(read)?.drnm;
                 Ok(match wl_crit_compiled(write, hint)?.value {
                     WlCrit::Finite(w) => Some((drnm, w)),
-                    WlCrit::Infinite => None,
+                    // Unbracketable: the search's decisive transient failed
+                    // to converge — the point is unmeasurable, not a curve
+                    // killer; skip it like an unwritable one.
+                    WlCrit::Infinite | WlCrit::Unbracketable => None,
                 })
             },
         )?;
@@ -285,7 +288,8 @@ pub fn ra_tradeoff(
                 let drnm = read_metrics_compiled(read)?.drnm;
                 Ok(match wl_crit_compiled(write, hint)?.value {
                     WlCrit::Finite(w) => Some((drnm, w)),
-                    WlCrit::Infinite => None,
+                    // Skip unmeasurable points — see `wa_tradeoff`.
+                    WlCrit::Infinite | WlCrit::Unbracketable => None,
                 })
             },
         )?;

@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::assist::{ReadAssist, WriteAssist};
     pub use crate::error::SramError;
     pub use crate::metrics::{self, WlCrit, WlCritRun};
-    pub use crate::montecarlo::McConfig;
+    pub use crate::montecarlo::{McConfig, McDrnm, McWlCrit, QuarantinedSample};
     pub use crate::ops::{ReadExperiment, WriteExperiment};
     pub use crate::tech::{
         AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SteppingMode,

@@ -17,7 +17,7 @@ use crate::error::SramError;
 use crate::ops::{hold_setup, run_write, ReadExperiment, WriteExperiment};
 use crate::tech::{CellKind, CellParams};
 use tfet_circuit::{CompiledCircuit, SolveStats};
-use tfet_numerics::roots::{critical_threshold, critical_threshold_seeded, Threshold};
+use tfet_numerics::roots::{critical_threshold, critical_threshold_seeded_checked, Threshold};
 
 /// Result of a critical-pulse-width search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +27,13 @@ pub enum WlCrit {
     /// No pulse up to the search limit flips the cell — a write failure
     /// (the paper plots these configurations as "infinite WL_crit").
     Infinite,
+    /// The search could not be bracketed: a decisive transient (the
+    /// endpoint probe, or the seeded ascent's probe at the search limit)
+    /// failed to converge, so neither a finite value nor an infinite
+    /// verdict can be certified. The underlying error is kept in
+    /// [`WlCritRun::failure`]; sweeps and Monte-Carlo studies degrade this
+    /// outcome (skipped point / quarantined sample) instead of aborting.
+    Unbracketable,
 }
 
 impl WlCrit {
@@ -34,13 +41,18 @@ impl WlCrit {
     pub fn as_finite(self) -> Option<f64> {
         match self {
             WlCrit::Finite(v) => Some(v),
-            WlCrit::Infinite => None,
+            WlCrit::Infinite | WlCrit::Unbracketable => None,
         }
     }
 
     /// Whether the write fails outright.
     pub fn is_infinite(self) -> bool {
         matches!(self, WlCrit::Infinite)
+    }
+
+    /// Whether a solver failure left the search without a verdict.
+    pub fn is_unbracketable(self) -> bool {
+        matches!(self, WlCrit::Unbracketable)
     }
 }
 
@@ -77,7 +89,7 @@ pub fn static_power(params: &CellParams) -> Result<f64, SramError> {
 }
 
 /// A completed `WL_crit` search with its solver-effort accounting.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WlCritRun {
     /// The search result.
     pub value: WlCrit,
@@ -86,6 +98,12 @@ pub struct WlCritRun {
     pub oracle_calls: u64,
     /// Solver effort accumulated over every transient of the search.
     pub effort: SolveStats,
+    /// The structured error behind a [`WlCrit::Unbracketable`] outcome —
+    /// the decisive transient's failure, kept so quarantine reports and
+    /// forensics can name the cause. `None` for every other outcome
+    /// (tolerated interior-probe failures are conservative, not fatal, and
+    /// are not recorded here).
+    pub failure: Option<SramError>,
 }
 
 /// Critical wordline pulse width for a successful write, searched on
@@ -94,9 +112,10 @@ pub struct WlCritRun {
 /// # Errors
 ///
 /// Returns [`SramError::Undefined`] for the asymmetric 6T TFET SRAM (its
-/// ground-collapse write has no separatrix — paper §5), and propagates
-/// simulation failures. Simulation errors inside the search oracle are
-/// treated as "did not flip", which is conservative.
+/// ground-collapse write has no separatrix — paper §5). Simulation errors
+/// inside the search oracle are treated as "did not flip" (conservative)
+/// unless they strike a decisive probe, in which case the search reports
+/// [`WlCrit::Unbracketable`] instead of an error.
 pub fn wl_crit(params: &CellParams, assist: Option<WriteAssist>) -> Result<WlCrit, SramError> {
     Ok(wl_crit_seeded(params, assist, None)?.value)
 }
@@ -159,8 +178,29 @@ pub fn wl_crit_compiled(
     let pulse_tol = exp.sim().pulse_tol;
     let mut effort = SolveStats::default();
     let mut oracle_calls = 0u64;
-    // Surface genuine simulation failures from the endpoint probe first.
-    let probe = exp.run(hi)?;
+    let mut failure: Option<SramError> = None;
+    // The endpoint probe decides Infinite outright; if its transient itself
+    // fails, the search has no verdict — report a typed Unbracketable
+    // outcome (with the cause) instead of propagating a raw solver error,
+    // so sweeps and Monte-Carlo studies can degrade instead of aborting.
+    let probe = match exp.run(hi) {
+        Ok(probe) => probe,
+        Err(e) => {
+            oracle_calls += 1;
+            if tfet_obs::enabled() {
+                tfet_obs::counter("wl_crit.searches", 1);
+                tfet_obs::counter("wl_crit.unbracketable", 1);
+                tfet_obs::record_u64("wl_crit.oracle_calls", oracle_calls);
+                tfet_obs::record_u64("wl_crit.newton_solves_per_search", effort.newton_solves);
+            }
+            return Ok(WlCritRun {
+                value: WlCrit::Unbracketable,
+                oracle_calls,
+                effort,
+                failure: Some(e),
+            });
+        }
+    };
     oracle_calls += 1;
     effort.absorb(&probe.result.stats);
     if !probe.flipped() {
@@ -174,22 +214,30 @@ pub fn wl_crit_compiled(
             value: WlCrit::Infinite,
             oracle_calls,
             effort,
+            failure: None,
         });
     }
-    let th = critical_threshold_seeded(lo, hi, pulse_tol, hint, |w| {
+    let th = critical_threshold_seeded_checked(lo, hi, pulse_tol, hint, |w| {
         oracle_calls += 1;
         match exp.run(w) {
             Ok(r) => {
                 effort.absorb(&r.result.stats);
-                r.flipped()
+                Some(r.flipped())
             }
-            Err(_) => false,
+            Err(e) => {
+                // Interior failures are tolerated as "did not flip"
+                // (conservative); a failure at a decisive probe turns the
+                // whole search Unbracketable and this error names why.
+                failure = Some(e);
+                None
+            }
         }
     });
     let value = match th {
         Threshold::Critical(w) => WlCrit::Finite(w),
         Threshold::AlwaysTrue => WlCrit::Finite(lo),
         Threshold::NeverTrue => WlCrit::Infinite,
+        Threshold::Unbracketable => WlCrit::Unbracketable,
     };
     if tfet_obs::enabled() {
         tfet_obs::counter("wl_crit.searches", 1);
@@ -198,12 +246,18 @@ pub fn wl_crit_compiled(
         match value {
             WlCrit::Finite(w) => tfet_obs::record_f64("wl_crit.value_s", w),
             WlCrit::Infinite => tfet_obs::counter("wl_crit.infinite", 1),
+            WlCrit::Unbracketable => tfet_obs::counter("wl_crit.unbracketable", 1),
         }
     }
     Ok(WlCritRun {
         value,
         oracle_calls,
         effort,
+        failure: if value.is_unbracketable() {
+            failure
+        } else {
+            None
+        },
     })
 }
 
@@ -365,6 +419,7 @@ pub fn data_retention_voltage(params: &CellParams) -> Result<Option<f64>, SramEr
         Threshold::Critical(v) => Some(v),
         Threshold::AlwaysTrue => None,
         Threshold::NeverTrue => unreachable!("endpoint checked above"),
+        Threshold::Unbracketable => unreachable!("infallible bool oracle"),
     })
 }
 
@@ -480,7 +535,9 @@ mod tests {
             WlCrit::Finite(w) => {
                 assert!(w > 1e-12 && w < 2e-9, "WL_crit = {w:e} s");
             }
-            WlCrit::Infinite => panic!("β=0.6 inward-p must be writable"),
+            WlCrit::Infinite | WlCrit::Unbracketable => {
+                panic!("β=0.6 inward-p must be writable")
+            }
         }
     }
 

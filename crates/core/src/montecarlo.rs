@@ -15,6 +15,19 @@
 //! sample `i` draws the same variations no matter which worker runs it or
 //! how many workers exist. Results are collected in sample order: a study is
 //! bit-identical at any thread count, including the serial path.
+//!
+//! # Graceful degradation
+//!
+//! A sample whose simulation fails no longer aborts the study. It is
+//! *quarantined*: excluded from the survivor statistics and recorded — with
+//! its index, the exact process point it drew, and the structured error —
+//! in [`McWlCrit::quarantined`] / [`McDrnm::quarantined`], in the run
+//! report's `quarantined` section, and (when tracing is on) as a
+//! `mc_quarantine` forensics bundle. The quarantine set is deterministic:
+//! outcomes are folded in sample order on the caller's thread, so it is
+//! bit-identical at any worker count and the RNG streams of surviving
+//! samples are untouched. [`McConfig::min_yield`] converts excessive
+//! quarantine into a typed [`SramError::LowYield`] error.
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
@@ -24,7 +37,7 @@ use crate::tech::{CellParams, CellVariations, Role};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tfet_devices::ProcessVariation;
-use tfet_numerics::parallel::par_try_map_with;
+use tfet_numerics::parallel::par_map_with;
 
 /// The paper's fabrication-control bound: ±5 % gate-oxide thickness.
 pub const TOX_BOUND: f64 = 0.05;
@@ -63,11 +76,12 @@ pub fn sample_variations(rng: &mut StdRng) -> CellVariations {
 /// ```
 /// use tfet_sram::montecarlo::McConfig;
 ///
-/// let cfg = McConfig::new(42).with_threads(4);
+/// let cfg = McConfig::new(42).with_threads(4).with_min_yield(0.9);
 /// assert_eq!(cfg.seed, 42);
 /// assert_eq!(cfg.threads, Some(4));
+/// assert_eq!(cfg.min_yield, 0.9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McConfig {
     /// Worker-thread count; `None` uses the machine default (respecting the
     /// `RAYON_NUM_THREADS` environment variable). Results are identical for
@@ -76,6 +90,11 @@ pub struct McConfig {
     /// Study seed. Sample `i` derives its private RNG stream from
     /// `(seed, i)`, so the seed pins the entire study.
     pub seed: u64,
+    /// Minimum acceptable survivor fraction. A study whose yield (samples
+    /// that produced a result, over samples attempted) falls strictly below
+    /// this returns [`SramError::LowYield`] instead of silently summarizing
+    /// a biased remnant. The default `0.0` never rejects.
+    pub min_yield: f64,
 }
 
 impl McConfig {
@@ -84,12 +103,19 @@ impl McConfig {
         McConfig {
             threads: None,
             seed,
+            min_yield: 0.0,
         }
     }
 
     /// Sets an explicit worker-thread count (builder style).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the minimum acceptable survivor fraction (builder style).
+    pub fn with_min_yield(mut self, min_yield: f64) -> Self {
+        self.min_yield = min_yield;
         self
     }
 
@@ -112,6 +138,22 @@ impl Default for McConfig {
     }
 }
 
+/// One quarantined Monte-Carlo sample: a sample whose simulation failed and
+/// was excluded from the survivor statistics instead of aborting the study.
+///
+/// The `(study seed, index)` pair replays the sample's private RNG stream,
+/// so `variations` is the *exact* process point the failing simulation saw —
+/// enough to re-run it in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedSample {
+    /// Sample index within the study.
+    pub index: usize,
+    /// The per-transistor process point the sample drew.
+    pub variations: CellVariations,
+    /// Why the sample was excluded.
+    pub error: SramError,
+}
+
 /// Outcome counts of a Monte-Carlo `WL_crit` study.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McWlCrit {
@@ -120,10 +162,14 @@ pub struct McWlCrit {
     /// Samples whose write failed outright (infinite `WL_crit`) — the
     /// paper's verdict against wordline-lowering WA under variation.
     pub failures: usize,
+    /// Samples that produced no verdict at all: their simulation failed
+    /// (see the module docs on graceful degradation). An infinite `WL_crit`
+    /// is a *verdict*, counted in `failures`, not here.
+    pub quarantined: Vec<QuarantinedSample>,
 }
 
 impl McWlCrit {
-    /// Fraction of failing samples.
+    /// Fraction of failing samples among those that produced a verdict.
     pub fn failure_rate(&self) -> f64 {
         let n = self.values.len() + self.failures;
         if n == 0 {
@@ -132,6 +178,117 @@ impl McWlCrit {
             self.failures as f64 / n as f64
         }
     }
+
+    /// Fraction of samples that produced a verdict (finite or infinite
+    /// `WL_crit`); `1.0` for an empty study.
+    pub fn yield_fraction(&self) -> f64 {
+        yield_fraction(
+            self.values.len() + self.failures,
+            self.values.len() + self.failures + self.quarantined.len(),
+        )
+    }
+}
+
+/// Outcome of a Monte-Carlo DRNM study: survivor margins plus the
+/// quarantined samples (see the module docs on graceful degradation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McDrnm {
+    /// DRNM of each surviving sample, V.
+    pub values: Vec<f64>,
+    /// Samples whose simulation failed.
+    pub quarantined: Vec<QuarantinedSample>,
+}
+
+impl McDrnm {
+    /// Fraction of samples that produced a margin; `1.0` for an empty study.
+    pub fn yield_fraction(&self) -> f64 {
+        yield_fraction(
+            self.values.len(),
+            self.values.len() + self.quarantined.len(),
+        )
+    }
+}
+
+fn yield_fraction(survivors: usize, total: usize) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        survivors as f64 / total as f64
+    }
+}
+
+/// Replays a failed sample's RNG stream to recover the exact process point
+/// it drew — cheaper than shipping the draw back from the worker, and
+/// identical because the stream depends only on `(seed, index)`.
+fn quarantined_sample(config: &McConfig, index: usize, error: SramError) -> QuarantinedSample {
+    let mut rng = config.sample_rng(index);
+    QuarantinedSample {
+        index,
+        variations: sample_variations(&mut rng),
+        error,
+    }
+}
+
+/// Splits per-sample outcomes (already in index order) into survivors and
+/// quarantined samples.
+fn split_outcomes<T>(
+    config: &McConfig,
+    outcomes: Vec<Result<T, SramError>>,
+) -> (Vec<T>, Vec<QuarantinedSample>) {
+    let mut survivors = Vec::with_capacity(outcomes.len());
+    let mut quarantined = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(v) => survivors.push(v),
+            Err(e) => quarantined.push(quarantined_sample(config, i, e)),
+        }
+    }
+    (survivors, quarantined)
+}
+
+/// Publishes quarantined samples into the observability layer: the
+/// `mc.quarantined` counter, one run-report quarantine record and one
+/// `mc_quarantine` forensics bundle per sample — emitted on the caller's
+/// thread in index order, so traces are bit-identical at any worker count.
+fn publish_quarantine(study: &'static str, config: &McConfig, quarantined: &[QuarantinedSample]) {
+    if quarantined.is_empty() || !tfet_obs::enabled() {
+        return;
+    }
+    tfet_obs::counter("mc.quarantined", quarantined.len() as u64);
+    for q in quarantined {
+        let params: Vec<(String, f64)> = Role::ALL
+            .iter()
+            .map(|&role| (role.label().to_string(), q.variations.of(role).deviation()))
+            .collect();
+        tfet_obs::quarantine(tfet_obs::QuarantineRecord {
+            study,
+            index: q.index as u64,
+            seed: config.seed,
+            params: params.clone(),
+            error: q.error.to_string(),
+        });
+        tfet_obs::forensics::submit(
+            &tfet_obs::forensics::Bundle::new("mc_quarantine")
+                .text("study", study)
+                .int("sample_index", q.index as u64)
+                .int("seed", config.seed)
+                .text("error", q.error.to_string())
+                .named_nums("tox_deviations", &params),
+        );
+    }
+}
+
+/// Converts excessive quarantine into a typed error: with `min_yield > 0`,
+/// a survivor fraction strictly below it aborts the study.
+fn check_yield(survivors: usize, total: usize, config: &McConfig) -> Result<(), SramError> {
+    if total > 0 && (survivors as f64) < config.min_yield * total as f64 {
+        return Err(SramError::LowYield {
+            survivors,
+            total,
+            min_yield: config.min_yield,
+        });
+    }
+    Ok(())
 }
 
 /// Runs an `n`-sample Monte-Carlo of `WL_crit` with the given assist.
@@ -140,8 +297,10 @@ impl McWlCrit {
 ///
 /// # Errors
 ///
-/// Propagates simulation failures (an *infinite* `WL_crit` is a data point,
-/// not an error).
+/// Never errors on per-sample simulation failures — those samples are
+/// quarantined (an *infinite* `WL_crit` is a data point, not an error, and
+/// not a quarantine either). The default configuration has `min_yield = 0`,
+/// so [`SramError::LowYield`] cannot occur here.
 pub fn mc_wl_crit(
     base: &CellParams,
     assist: Option<WriteAssist>,
@@ -157,8 +316,9 @@ pub fn mc_wl_crit(
 ///
 /// # Errors
 ///
-/// Propagates simulation failures, reporting the lowest-index failing sample
-/// regardless of scheduling.
+/// Per-sample simulation failures are quarantined, not propagated. Returns
+/// [`SramError::LowYield`] when the fraction of samples producing a verdict
+/// falls below [`McConfig::min_yield`].
 pub fn mc_wl_crit_with(
     base: &CellParams,
     assist: Option<WriteAssist>,
@@ -171,14 +331,15 @@ pub fn mc_wl_crit_with(
     // sample's search in a narrow bracket. The hint is computed once, before
     // the fan-out, and shared by all samples — never chained sample to
     // sample — so results stay bit-identical at any thread count. A failing
-    // nominal cell yields no hint and samples fall back to the cold search.
+    // or unbracketable nominal cell yields no hint and samples fall back to
+    // the cold search.
     let hint = wl_crit(base, assist).ok().and_then(|w| w.as_finite());
     // Each worker compiles the write experiment once on its first sample and
     // retargets it per sample through device binds — the compiled circuit is
     // a pure cache (waveforms and initial conditions depend only on the
     // shared supply/timing, never on the variations), so values stay
     // bit-identical to a build-per-sample loop at any thread count.
-    let outcomes = par_try_map_with(
+    let outcomes = par_map_with(
         n,
         config.threads,
         || None,
@@ -188,30 +349,57 @@ pub fn mc_wl_crit_with(
             // on a fresh thread — pinning the path keeps the span tree
             // thread-count invariant.
             let _span = tfet_obs::root_span("mc_sample_wl_crit");
-            let mut rng = config.sample_rng(i);
-            let params = base.clone().with_variations(sample_variations(&mut rng));
-            match slot {
-                Some(exp) => exp.bind_cell(&params)?,
-                None => *slot = Some(WriteExperiment::compile(&params, assist)?),
+            let result = (|| {
+                let mut rng = config.sample_rng(i);
+                let params = base.clone().with_variations(sample_variations(&mut rng));
+                match slot {
+                    Some(exp) => exp.bind_cell(&params)?,
+                    None => *slot = Some(WriteExperiment::compile(&params, assist)?),
+                }
+                let exp = slot.as_mut().expect("compiled above");
+                let run = wl_crit_compiled(exp, hint)?;
+                // Per-sample solve cost: how much Newton effort one MC sample
+                // charges, as a histogram so outlier samples stand out.
+                tfet_obs::record_u64("mc.sample_newton_solves", run.effort.newton_solves);
+                tfet_obs::record_u64("mc.sample_newton_iters", run.effort.newton_iters);
+                match run.value {
+                    // An unbracketable search is a failed sample, not a
+                    // verdict — surface its recorded cause for quarantine.
+                    WlCrit::Unbracketable => {
+                        Err(run.failure.unwrap_or_else(|| SramError::Undefined {
+                            metric: "WL_crit",
+                            reason: "unbracketable search with no recorded cause".into(),
+                        }))
+                    }
+                    value => Ok(value),
+                }
+            })();
+            if result.is_err() {
+                // A failed sample must not poison the worker's compiled
+                // cache: later samples have to behave exactly as they would
+                // on a fresh worker, whatever the scheduling.
+                *slot = None;
             }
-            let exp = slot.as_mut().expect("compiled above");
-            let run = wl_crit_compiled(exp, hint)?;
-            // Per-sample solve cost: how much Newton effort one MC sample
-            // charges, as a histogram so outlier samples stand out.
-            tfet_obs::record_u64("mc.sample_newton_solves", run.effort.newton_solves);
-            tfet_obs::record_u64("mc.sample_newton_iters", run.effort.newton_iters);
-            Ok::<_, SramError>(run.value)
+            result
         },
-    )?;
-    let mut values = Vec::with_capacity(n);
+    );
+    let (verdicts, quarantined) = split_outcomes(&config, outcomes);
+    let mut values = Vec::with_capacity(verdicts.len());
     let mut failures = 0;
-    for outcome in outcomes {
-        match outcome {
+    for verdict in verdicts {
+        match verdict {
             WlCrit::Finite(w) => values.push(w),
             WlCrit::Infinite => failures += 1,
+            WlCrit::Unbracketable => unreachable!("mapped to Err in the sample closure"),
         }
     }
-    Ok(McWlCrit { values, failures })
+    publish_quarantine("mc_wl_crit", &config, &quarantined);
+    check_yield(values.len() + failures, n, &config)?;
+    Ok(McWlCrit {
+        values,
+        failures,
+        quarantined,
+    })
 }
 
 /// Runs an `n`-sample Monte-Carlo of the DRNM with the given assist.
@@ -220,13 +408,15 @@ pub fn mc_wl_crit_with(
 ///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Never errors on per-sample simulation failures — those samples are
+/// quarantined. The default configuration has `min_yield = 0`, so
+/// [`SramError::LowYield`] cannot occur here.
 pub fn mc_drnm(
     base: &CellParams,
     assist: Option<ReadAssist>,
     n: usize,
     seed: u64,
-) -> Result<Vec<f64>, SramError> {
+) -> Result<McDrnm, SramError> {
     mc_drnm_with(base, assist, n, McConfig::new(seed))
 }
 
@@ -235,17 +425,19 @@ pub fn mc_drnm(
 ///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Per-sample simulation failures are quarantined, not propagated. Returns
+/// [`SramError::LowYield`] when the survivor fraction falls below
+/// [`McConfig::min_yield`].
 pub fn mc_drnm_with(
     base: &CellParams,
     assist: Option<ReadAssist>,
     n: usize,
     config: McConfig,
-) -> Result<Vec<f64>, SramError> {
+) -> Result<McDrnm, SramError> {
     let _span = tfet_obs::span("mc_drnm");
     // Per-worker compiled read experiment, retargeted per sample via device
     // binds — see `mc_wl_crit_with` for why this cannot change the values.
-    par_try_map_with(
+    let outcomes = par_map_with(
         n,
         config.threads,
         || None,
@@ -253,22 +445,37 @@ pub fn mc_drnm_with(
             // Root span for thread-count-invariant paths; see
             // `mc_wl_crit_with`.
             let _span = tfet_obs::root_span("mc_sample_drnm");
-            let mut rng = config.sample_rng(i);
-            let params = base.clone().with_variations(sample_variations(&mut rng));
-            match slot {
-                Some(exp) => exp.bind_cell(&params)?,
-                None => *slot = Some(ReadExperiment::compile(&params, assist)?),
+            let result = (|| {
+                let mut rng = config.sample_rng(i);
+                let params = base.clone().with_variations(sample_variations(&mut rng));
+                match slot {
+                    Some(exp) => exp.bind_cell(&params)?,
+                    None => *slot = Some(ReadExperiment::compile(&params, assist)?),
+                }
+                let exp = slot.as_mut().expect("compiled above");
+                read_metrics_compiled(exp).map(|m| m.drnm)
+            })();
+            if result.is_err() {
+                // See `mc_wl_crit_with`: never reuse a cache a failed
+                // sample may have left half-bound.
+                *slot = None;
             }
-            let exp = slot.as_mut().expect("compiled above");
-            read_metrics_compiled(exp).map(|m| m.drnm)
+            result
         },
-    )
+    );
+    let (values, quarantined) = split_outcomes(&config, outcomes);
+    publish_quarantine("mc_drnm", &config, &quarantined);
+    check_yield(values.len(), n, &config)?;
+    Ok(McDrnm {
+        values,
+        quarantined,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tech::AccessConfig;
+    use crate::tech::{AccessConfig, CellKind};
     use tfet_numerics::Summary;
 
     fn fast(params: CellParams) -> CellParams {
@@ -345,9 +552,14 @@ mod tests {
     fn mc_drnm_spreads_but_stays_positive() {
         // Paper Fig. 10: DRNM under RA sizing is minimally impacted.
         let p = fast(CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6));
-        let vals = mc_drnm(&p, Some(ReadAssist::GndLowering), 12, 3).unwrap();
-        assert_eq!(vals.len(), 12);
-        let s = Summary::of(&vals);
+        let mc = mc_drnm(&p, Some(ReadAssist::GndLowering), 12, 3).unwrap();
+        assert_eq!(mc.values.len(), 12);
+        assert!(
+            mc.quarantined.is_empty(),
+            "healthy cells quarantine nothing"
+        );
+        assert_eq!(mc.yield_fraction(), 1.0);
+        let s = Summary::of(&mc.values);
         assert!(s.min > 0.0, "all samples must read safely");
         assert!(
             s.cv() < 0.3,
@@ -363,5 +575,90 @@ mod tests {
         assert_eq!(mc.values.len() + mc.failures, 8);
         assert_eq!(mc.failures, 0, "β=0.6 writes must survive ±5% t_ox");
         assert!(mc.failure_rate() == 0.0);
+        assert!(
+            mc.quarantined.is_empty(),
+            "healthy cells quarantine nothing"
+        );
+        assert_eq!(mc.yield_fraction(), 1.0);
+    }
+
+    #[test]
+    fn mc_quarantines_samples_that_cannot_be_measured() {
+        // The asymmetric cell rejects WL_crit per sample, and its failing
+        // nominal cell also yields no bisection hint — the study must
+        // degrade to a complete, structured quarantine instead of aborting
+        // (it used to return the first sample's error).
+        let p = fast(CellParams::new(CellKind::TfetAsym6T));
+        let mc = mc_wl_crit(&p, None, 3, 5).unwrap();
+        assert!(mc.values.is_empty());
+        assert_eq!(mc.failures, 0);
+        assert_eq!(mc.quarantined.len(), 3);
+        assert_eq!(mc.yield_fraction(), 0.0);
+        for (i, q) in mc.quarantined.iter().enumerate() {
+            assert_eq!(q.index, i, "quarantine is in sample order");
+            assert!(
+                matches!(
+                    q.error,
+                    SramError::Undefined {
+                        metric: "WL_crit",
+                        ..
+                    }
+                ),
+                "structured cause, got {:?}",
+                q.error
+            );
+            // The recorded process point replays the sample's RNG stream.
+            let mut rng = McConfig::new(5).sample_rng(i);
+            assert_eq!(q.variations, sample_variations(&mut rng));
+        }
+        // Survivor statistics degrade cleanly to "no data", not a panic.
+        assert!(Summary::try_of(&mc.values).is_none());
+    }
+
+    #[test]
+    fn mc_quarantine_is_thread_count_invariant() {
+        let p = fast(CellParams::new(CellKind::TfetAsym6T));
+        let serial = mc_wl_crit_with(&p, None, 4, McConfig::new(9).with_threads(1)).unwrap();
+        let parallel = mc_wl_crit_with(&p, None, 4, McConfig::new(9).with_threads(8)).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "quarantine sets must not depend on scheduling"
+        );
+    }
+
+    #[test]
+    fn min_yield_converts_excessive_quarantine_into_a_typed_error() {
+        let p = fast(CellParams::new(CellKind::TfetAsym6T));
+        let err = mc_wl_crit_with(&p, None, 3, McConfig::new(5).with_min_yield(0.5)).unwrap_err();
+        assert_eq!(
+            err,
+            SramError::LowYield {
+                survivors: 0,
+                total: 3,
+                min_yield: 0.5
+            }
+        );
+        assert!(err.to_string().contains("yield too low"), "{err}");
+    }
+
+    #[test]
+    fn mixed_outcomes_split_into_survivors_and_quarantine() {
+        // The fold itself, on synthetic outcomes: survivors keep their order,
+        // failures quarantine at their own index with their own draw.
+        let config = McConfig::new(7);
+        let outcomes: Vec<Result<f64, SramError>> = vec![
+            Ok(1.0),
+            Err(SramError::InvalidParameter("boom".into())),
+            Ok(2.0),
+        ];
+        let (survivors, quarantined) = split_outcomes(&config, outcomes);
+        assert_eq!(survivors, vec![1.0, 2.0]);
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].index, 1);
+        let mut rng = config.sample_rng(1);
+        assert_eq!(quarantined[0].variations, sample_variations(&mut rng));
+        assert!(check_yield(2, 3, &config).is_ok());
+        assert!(check_yield(2, 3, &config.with_min_yield(2.0 / 3.0)).is_ok());
+        assert!(check_yield(2, 3, &config.with_min_yield(0.9)).is_err());
     }
 }

@@ -220,6 +220,20 @@ impl Role {
             Role::ReadBuffer => 6,
         }
     }
+
+    /// Stable snake_case label — the key this role's drawn parameters use
+    /// in run-report quarantine records and forensics bundles.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::PullUpLeft => "pull_up_left",
+            Role::PullDownLeft => "pull_down_left",
+            Role::PullUpRight => "pull_up_right",
+            Role::PullDownRight => "pull_down_right",
+            Role::AccessLeft => "access_left",
+            Role::AccessRight => "access_right",
+            Role::ReadBuffer => "read_buffer",
+        }
+    }
 }
 
 /// Per-transistor process variation assignment (±5 % gate-oxide thickness,

@@ -44,6 +44,9 @@ pub mod sweep;
 pub use interp::{Lut1d, Lut2d};
 pub use matrix::{LuWorkspace, Matrix};
 pub use parallel::{par_map, par_try_map};
-pub use roots::{bisect, brent, critical_threshold, critical_threshold_seeded};
+pub use roots::{
+    bisect, brent, critical_threshold, critical_threshold_checked, critical_threshold_seeded,
+    critical_threshold_seeded_checked,
+};
 pub use stats::{Histogram, Summary};
 pub use sweep::{geomspace, linspace, logspace, par_grid};

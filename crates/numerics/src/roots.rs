@@ -205,6 +205,11 @@ pub enum Threshold {
     /// write that fails no matter how long the wordline pulse (the paper's
     /// "infinite `WL_crit`").
     NeverTrue,
+    /// A *decisive* oracle probe failed (returned `None` in the checked
+    /// searches), so neither a bracket nor a `NeverTrue`/`AlwaysTrue`
+    /// verdict can be certified. Only the `_checked` entry points produce
+    /// this variant; a plain `bool` predicate never does.
+    Unbracketable,
 }
 
 impl Threshold {
@@ -219,6 +224,11 @@ impl Threshold {
     /// Whether the predicate never became true (infinite critical value).
     pub fn is_never(self) -> bool {
         matches!(self, Threshold::NeverTrue)
+    }
+
+    /// Whether a decisive oracle failure left the search without a verdict.
+    pub fn is_unbracketable(self) -> bool {
+        matches!(self, Threshold::Unbracketable)
     }
 }
 
@@ -244,7 +254,8 @@ impl SearchObs {
     }
 
     /// Wraps one oracle probe: tallies it and keeps the probed point.
-    fn probe(&mut self, x: f64, held: bool) -> bool {
+    /// `None` means the oracle itself failed at `x` (checked searches).
+    fn probe(&mut self, x: f64, held: Option<bool>) -> Option<bool> {
         self.probes += 1;
         if self.enabled {
             self.points.push(x);
@@ -263,17 +274,34 @@ impl SearchObs {
 }
 
 /// Core cold bisection shared by the public entry points.
-fn cold_search(lo: f64, hi: f64, xtol: f64, pred: &mut impl FnMut(f64) -> bool) -> Threshold {
-    if pred(lo) {
-        return Threshold::AlwaysTrue;
+///
+/// The predicate returns `None` when the oracle itself fails at a point.
+/// A failure at a *decisive* probe — either endpoint, whose verdict alone
+/// classifies the whole range — yields [`Threshold::Unbracketable`]; a
+/// failure at an interior bisection probe is treated as `false`, which is
+/// conservative for the `WL_crit` use (the search keeps the upper half, so
+/// a tolerated failure can only overestimate the critical value, never
+/// fabricate a flip).
+fn cold_search(
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    pred: &mut impl FnMut(f64) -> Option<bool>,
+) -> Threshold {
+    match pred(lo) {
+        Some(true) => return Threshold::AlwaysTrue,
+        Some(false) => {}
+        None => return Threshold::Unbracketable,
     }
-    if !pred(hi) {
-        return Threshold::NeverTrue;
+    match pred(hi) {
+        Some(true) => {}
+        Some(false) => return Threshold::NeverTrue,
+        None => return Threshold::Unbracketable,
     }
     let (mut lo, mut hi) = (lo, hi);
     while hi - lo > xtol {
         let mid = 0.5 * (lo + hi);
-        if pred(mid) {
+        if pred(mid) == Some(true) {
             hi = mid;
         } else {
             lo = mid;
@@ -309,6 +337,25 @@ pub fn critical_threshold(
     xtol: f64,
     mut pred: impl FnMut(f64) -> bool,
 ) -> Threshold {
+    critical_threshold_checked(lo, hi, xtol, move |x| Some(pred(x)))
+}
+
+/// [`critical_threshold`] over a *fallible* oracle: the predicate returns
+/// `None` when it cannot be evaluated at a point (e.g. the transient solver
+/// fails to converge there).
+///
+/// A failed probe at a decisive point — an endpoint whose verdict alone
+/// would classify the whole range — returns [`Threshold::Unbracketable`]
+/// instead of inventing a `NeverTrue`/`AlwaysTrue` verdict. A failed probe
+/// at an interior bisection point is tolerated as `false` (conservative:
+/// the reported critical value can only grow). The infallible wrapper never
+/// produces `Unbracketable`.
+pub fn critical_threshold_checked(
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    mut pred: impl FnMut(f64) -> Option<bool>,
+) -> Threshold {
     let _span = tfet_obs::span("bisection");
     let mut obs = SearchObs::start();
     let th = cold_search(lo, hi, xtol, &mut |x| {
@@ -343,6 +390,19 @@ pub fn critical_threshold_seeded(
     hint: Option<f64>,
     mut pred: impl FnMut(f64) -> bool,
 ) -> Threshold {
+    critical_threshold_seeded_checked(lo, hi, xtol, hint, move |x| Some(pred(x)))
+}
+
+/// [`critical_threshold_seeded`] over a fallible oracle — the seeded
+/// counterpart of [`critical_threshold_checked`], with the same decisive /
+/// tolerated probe-failure semantics.
+pub fn critical_threshold_seeded_checked(
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    hint: Option<f64>,
+    mut pred: impl FnMut(f64) -> Option<bool>,
+) -> Threshold {
     let _span = tfet_obs::span("bisection");
     let mut obs = SearchObs::start();
     let th = seeded_search(lo, hi, xtol, hint, &mut |x| {
@@ -358,13 +418,18 @@ pub fn critical_threshold_seeded(
     th
 }
 
-/// Core hint-seeded search shared by the public entry point.
+/// Core hint-seeded search shared by the public entry point. Probe-failure
+/// (`None`) semantics follow [`cold_search`]: the one decisive probe — an
+/// ascending probe that has reached `hi`, whose verdict alone separates
+/// `Critical` from `NeverTrue` — returns [`Threshold::Unbracketable`] on
+/// failure; every other probe tolerates it as `false` (which only shrinks
+/// the descent or keeps the upper bisection half — conservative).
 fn seeded_search(
     lo: f64,
     hi: f64,
     xtol: f64,
     hint: Option<f64>,
-    pred: &mut impl FnMut(f64) -> bool,
+    pred: &mut impl FnMut(f64) -> Option<bool>,
 ) -> Threshold {
     let Some(h) = hint else {
         return cold_search(lo, hi, xtol, pred);
@@ -384,12 +449,14 @@ fn seeded_search(
     let mut w = w0;
     let mut probe = (h + w).min(hi);
     loop {
-        if pred(probe) {
-            b_hi = probe;
-            break;
-        }
-        if probe >= hi {
-            return Threshold::NeverTrue;
+        match pred(probe) {
+            Some(true) => {
+                b_hi = probe;
+                break;
+            }
+            Some(false) if probe >= hi => return Threshold::NeverTrue,
+            None if probe >= hi => return Threshold::Unbracketable,
+            Some(false) | None => {}
         }
         b_lo = probe;
         w *= 2.0;
@@ -401,7 +468,7 @@ fn seeded_search(
         let mut w = w0;
         let mut probe = (h - w).max(lo);
         loop {
-            if !pred(probe) {
+            if pred(probe) != Some(true) {
                 b_lo = probe;
                 break;
             }
@@ -416,7 +483,7 @@ fn seeded_search(
     // Bisect the confirmed bracket.
     while b_hi - b_lo > xtol {
         let mid = 0.5 * (b_lo + b_hi);
-        if pred(mid) {
+        if pred(mid) == Some(true) {
             b_hi = mid;
         } else {
             b_lo = mid;
@@ -589,6 +656,72 @@ mod tests {
         assert!(hist.count >= 2 && hist.min >= 2);
         assert!(!report.series["bisection.bracket"].values.is_empty());
         assert!(!report.series["bisection.bracket_seeded"].values.is_empty());
+    }
+
+    #[test]
+    fn checked_search_flags_decisive_endpoint_failure() {
+        // A failing oracle at either endpoint denies the search its verdict.
+        let th = critical_threshold_checked(0.0, 1.0, 1e-9, |x| {
+            if x >= 1.0 {
+                None
+            } else {
+                Some(x >= 0.25)
+            }
+        });
+        assert!(th.is_unbracketable());
+        assert_eq!(th.value(), None);
+        assert!(!th.is_never());
+        assert!(critical_threshold_checked(0.0, 1.0, 1e-9, |x| {
+            if x <= 0.0 {
+                None
+            } else {
+                Some(x >= 0.25)
+            }
+        })
+        .is_unbracketable());
+    }
+
+    #[test]
+    fn checked_search_tolerates_interior_failures_conservatively() {
+        // Interior oracle failures read as "false": the answer can only move
+        // up, never below the true threshold, and stays within the widened
+        // uncertainty of the poisoned band.
+        let th = critical_threshold_checked(0.0, 1.0, 1e-9, |x| {
+            if (0.3..0.4).contains(&x) {
+                None
+            } else {
+                Some(x >= 0.25)
+            }
+        });
+        match th {
+            Threshold::Critical(v) => assert!((0.25..=0.4 + 1e-9).contains(&v), "got {v}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_seeded_search_flags_failure_at_the_upper_bound() {
+        // The ascent's probe at `hi` is the NeverTrue/Critical decider; an
+        // oracle failure there must not masquerade as NeverTrue.
+        let th = critical_threshold_seeded_checked(0.0, 1.0, 1e-9, Some(0.5), |x| {
+            if x >= 1.0 {
+                None
+            } else {
+                Some(false)
+            }
+        });
+        assert!(th.is_unbracketable());
+    }
+
+    #[test]
+    fn checked_seeded_search_matches_bool_oracle_when_infallible() {
+        let pred = |x: f64| Some(x >= 0.123456);
+        for hint in [None, Some(0.12), Some(0.5)] {
+            match critical_threshold_seeded_checked(0.0, 1.0, 1e-9, hint, pred) {
+                Threshold::Critical(v) => assert!((v - 0.123456).abs() < 1e-7),
+                other => panic!("hint {hint:?} gave {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,23 @@ impl Summary {
     ///
     /// Panics if `data` is empty or contains a non-finite value.
     pub fn of(data: &[f64]) -> Self {
-        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        Summary::try_of(data).expect("cannot summarize an empty sample")
+    }
+
+    /// Computes summary statistics over `data`, or `None` when the sample
+    /// is empty — the graceful path for studies whose samples may all have
+    /// been quarantined (an empty survivor set is a reportable outcome, not
+    /// a crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` contains a non-finite value: that is a bug in the
+    /// producer (metrics never emit NaN/inf as data points), not a
+    /// degradation mode.
+    pub fn try_of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
         assert!(
             data.iter().all(|x| x.is_finite()),
             "sample contains non-finite values"
@@ -45,22 +61,29 @@ impl Summary {
         };
         let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        Summary {
+        Some(Summary {
             n,
             mean,
             std_dev: var.sqrt(),
             min: sorted[0],
             max: sorted[n - 1],
             median: percentile_sorted(&sorted, 50.0),
-        }
+        })
     }
 
     /// Coefficient of variation `σ / |µ|`, the spread measure the paper uses
     /// implicitly when it calls a distribution "tight" or "varies greatly".
     ///
-    /// Returns `f64::INFINITY` when the mean is zero.
+    /// Degenerate cases are defined so the result is never NaN: a
+    /// zero-spread sample has `cv() == 0.0` whatever its mean (a point mass
+    /// has no relative variation, even at zero), and a spread sample
+    /// centered exactly on zero has `cv() == f64::INFINITY` (relative
+    /// variation is meaningless there, and infinity — unlike NaN — orders
+    /// and compares predictably in thresholds like `cv() < 0.3`).
     pub fn cv(&self) -> f64 {
-        if self.mean == 0.0 {
+        if self.std_dev == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
             f64::INFINITY
         } else {
             self.std_dev / self.mean.abs()
@@ -98,15 +121,29 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// Panics if `data` is empty, contains non-finite values, or `p` is outside
 /// `[0, 100]`.
 pub fn percentile(data: &[f64], p: f64) -> f64 {
-    assert!(!data.is_empty(), "cannot take percentile of empty sample");
+    try_percentile(data, p).expect("cannot take percentile of empty sample")
+}
+
+/// Interpolated percentile of arbitrary data, or `None` when `data` is
+/// empty — the graceful counterpart of [`percentile`] for survivor sets
+/// that may have been quarantined down to nothing.
+///
+/// # Panics
+///
+/// Panics if `data` contains non-finite values or `p` is outside
+/// `[0, 100]` (both are producer bugs, not degradation modes).
+pub fn try_percentile(data: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if data.is_empty() {
+        return None;
+    }
     assert!(
         data.iter().all(|x| x.is_finite()),
         "sample contains non-finite values"
     );
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    percentile_sorted(&sorted, p)
+    Some(percentile_sorted(&sorted, p))
 }
 
 /// A fixed-range, uniform-bin histogram.
@@ -267,6 +304,40 @@ mod tests {
     fn cv_handles_zero_mean() {
         let s = Summary::of(&[-1.0, 1.0]);
         assert!(s.cv().is_infinite());
+    }
+
+    #[test]
+    fn cv_of_zero_spread_sample_is_zero() {
+        // A point mass has no relative variation — even a point mass at 0,
+        // where σ/|µ| would otherwise be 0/0 = NaN.
+        assert_eq!(Summary::of(&[5.0, 5.0, 5.0]).cv(), 0.0);
+        assert_eq!(Summary::of(&[0.0, 0.0]).cv(), 0.0);
+        assert_eq!(Summary::of(&[7.0]).cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_is_never_nan() {
+        for data in [
+            vec![0.0, 0.0],
+            vec![-1.0, 1.0],
+            vec![1e-300, -1e-300],
+            vec![3.0, 4.0],
+        ] {
+            assert!(!Summary::of(&data).cv().is_nan(), "data {data:?}");
+        }
+    }
+
+    #[test]
+    fn try_of_reports_empty_as_none() {
+        assert_eq!(Summary::try_of(&[]), None);
+        let s = Summary::try_of(&[1.0, 2.0]).unwrap();
+        assert_eq!(s, Summary::of(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn try_percentile_reports_empty_as_none() {
+        assert_eq!(try_percentile(&[], 50.0), None);
+        assert_eq!(try_percentile(&[10.0, 20.0], 50.0), Some(15.0));
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub fn reset() {
     reg.hists.clear();
     reg.dists.clear();
     reg.series.clear();
+    reg.quarantined.clear();
     forensics::reset_seq();
 }
 
@@ -225,6 +226,26 @@ impl Series {
     }
 }
 
+/// One quarantined work item of a degraded study — e.g. a Monte-Carlo
+/// sample whose simulation failed and was excluded from the survivor
+/// statistics. Studies record these *after* their fan-out completes, in
+/// ascending item order from the coordinating thread; captures additionally
+/// sort by `(study, index)`, so the report section is bit-identical at any
+/// worker-thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// The study that quarantined the item (e.g. `"mc_wl_crit"`).
+    pub study: &'static str,
+    /// Item index within the study (e.g. the Monte-Carlo sample index).
+    pub index: u64,
+    /// The study's RNG seed, so the item's exact inputs can be replayed.
+    pub seed: u64,
+    /// Drawn parameters of the item, `(name, value)` in draw order.
+    pub params: Vec<(String, f64)>,
+    /// Rendered structured error that caused the quarantine.
+    pub error: String,
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
     /// Span path (`"a/b/c"`) -> (count, accumulated ns when timings are on).
@@ -234,6 +255,7 @@ pub(crate) struct Registry {
     pub(crate) hists: BTreeMap<&'static str, Hist>,
     pub(crate) dists: BTreeMap<&'static str, Dist>,
     pub(crate) series: BTreeMap<&'static str, Series>,
+    pub(crate) quarantined: Vec<QuarantineRecord>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
@@ -243,6 +265,7 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     hists: BTreeMap::new(),
     dists: BTreeMap::new(),
     series: BTreeMap::new(),
+    quarantined: Vec::new(),
 });
 
 pub(crate) fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
@@ -399,6 +422,19 @@ pub fn record_series(name: &'static str, values: &[f64]) {
         .entry(name)
         .or_default()
         .record(values);
+}
+
+/// Records one quarantined item into the report's `quarantined` section.
+///
+/// Callers must record from the study's coordinating thread after the
+/// fan-out completes (in index order); captures sort by `(study, index)`
+/// regardless, so the section stays deterministic.
+#[inline]
+pub fn quarantine(record: QuarantineRecord) {
+    if !enabled() {
+        return;
+    }
+    lock_registry().quarantined.push(record);
 }
 
 #[cfg(test)]

@@ -10,11 +10,14 @@
 //! worker-thread count.
 
 use crate::json::Value;
+use crate::QuarantineRecord;
 use std::collections::BTreeMap;
 
 /// Version of the `tfet-obs.run-report` (and `tfet-obs.diagnostic`) JSON
 /// schema. Bump on any breaking change to the emitted document shape.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `quarantined` section (degraded-study sample quarantine).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Snapshot of one named `u64` histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +89,10 @@ pub struct RunReport {
     pub distributions: BTreeMap<String, DistributionSnapshot>,
     /// Representative trajectories.
     pub series: BTreeMap<String, SeriesSnapshot>,
+    /// Quarantined study items, sorted by `(study, index)` — deterministic
+    /// at any worker-thread count (studies record after their fan-out, and
+    /// capture re-sorts regardless).
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 impl RunReport {
@@ -145,6 +152,10 @@ impl RunReport {
                 },
             );
         }
+        report.quarantined = reg.quarantined.clone();
+        report
+            .quarantined
+            .sort_by(|a, b| (a.study, a.index).cmp(&(b.study, b.index)));
         report
     }
 
@@ -257,6 +268,28 @@ impl RunReport {
                 })
                 .collect(),
         );
+        let quarantined = Value::Arr(
+            self.quarantined
+                .iter()
+                .map(|q| {
+                    Value::Obj(vec![
+                        ("study".into(), Value::text(q.study)),
+                        ("index".into(), Value::UInt(q.index)),
+                        ("seed".into(), Value::UInt(q.seed)),
+                        (
+                            "params".into(),
+                            Value::Obj(
+                                q.params
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                        ("error".into(), Value::text(q.error.clone())),
+                    ])
+                })
+                .collect(),
+        );
         Value::Obj(vec![
             ("schema".into(), Value::text("tfet-obs.run-report")),
             ("version".into(), Value::UInt(u64::from(SCHEMA_VERSION))),
@@ -265,6 +298,7 @@ impl RunReport {
             ("histograms".into(), histograms),
             ("distributions".into(), distributions),
             ("series".into(), series),
+            ("quarantined".into(), quarantined),
             ("work".into(), work),
             ("timings_ns".into(), timings),
         ])
@@ -332,6 +366,16 @@ impl RunReport {
                 );
             }
         }
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(out, "quarantined (study / index / seed / error):");
+            for q in &self.quarantined {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} #{:<6} seed {:<12} {}",
+                    q.study, q.index, q.seed, q.error
+                );
+            }
+        }
         out
     }
 }
@@ -354,7 +398,7 @@ mod tests {
 
         let report = RunReport::capture();
         let json = report.to_json();
-        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":1"#));
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":2"#));
         let a = json.find("a.first").unwrap();
         let b = json.find("b.second").unwrap();
         assert!(a < b, "counter keys must be sorted");
@@ -365,6 +409,39 @@ mod tests {
         assert!(rendered.contains("run report"));
         assert!(rendered.contains("a.first"));
         assert!(rendered.contains("newton.iters"));
+    }
+
+    #[test]
+    fn quarantine_section_is_sorted_and_serialized() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        // Record out of order: capture must sort by (study, index).
+        crate::quarantine(QuarantineRecord {
+            study: "mc_wl_crit",
+            index: 3,
+            seed: 42,
+            params: vec![("pu_l".into(), 0.01)],
+            error: "no convergence".into(),
+        });
+        crate::quarantine(QuarantineRecord {
+            study: "mc_wl_crit",
+            index: 1,
+            seed: 42,
+            params: vec![],
+            error: "no convergence".into(),
+        });
+        crate::disable();
+        let report = RunReport::capture();
+        assert_eq!(report.quarantined.len(), 2);
+        assert_eq!(report.quarantined[0].index, 1);
+        assert_eq!(report.quarantined[1].index, 3);
+        let json = report.to_json();
+        assert!(json.contains(r#""quarantined":[{"study":"mc_wl_crit","index":1,"seed":42"#));
+        assert!(json.contains(r#""params":{"pu_l":1e-2}"#));
+        let rendered = report.render();
+        assert!(rendered.contains("quarantined"));
+        assert!(rendered.contains("no convergence"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn main() -> Result<(), SramError> {
         let wl_str = match wl {
             WlCrit::Finite(w) => format!("{:8.0} ps", w * 1e12),
             WlCrit::Infinite => "     inf".to_string(),
+            WlCrit::Unbracketable => "       ??".to_string(),
         };
         println!("{access:<10?} {power:>12.2e} W {wl_str:>12} {verdict:>10}");
         if verdict == "viable" {
@@ -63,6 +64,7 @@ fn main() -> Result<(), SramError> {
         let wl = match pt.wl_crit {
             WlCrit::Finite(w) => format!("{:10.0}", w * 1e12),
             WlCrit::Infinite => "       inf".to_string(),
+            WlCrit::Unbracketable => "        ??".to_string(),
         };
         println!("{:>6.2} {:>12.1} {:>12}", pt.beta, pt.drnm * 1e3, wl);
     }

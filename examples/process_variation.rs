@@ -27,9 +27,9 @@ fn main() -> Result<(), SramError> {
 
     // --- DRNM under the selected read assist -------------------------------
     let drnm = mc_drnm(&params, Some(ReadAssist::GndLowering), SAMPLES, SEED)?;
-    let s = Summary::of(&drnm);
+    let s = Summary::of(&drnm.values);
     println!("DRNM with GND-lowering RA: {s}");
-    println!("{}", Histogram::from_data(&drnm, 10));
+    println!("{}", Histogram::from_data(&drnm.values, 10));
     assert!(s.min > SENSE_DV, "every sample must read non-destructively");
 
     // --- WL_crit of the write-sized cell ------------------------------------

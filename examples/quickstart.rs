@@ -29,6 +29,7 @@ fn main() -> Result<(), SramError> {
     match wl_crit(&proposed, None)? {
         WlCrit::Finite(w) => println!("WL_crit           : {:10.1} ps", w * 1e12),
         WlCrit::Infinite => println!("WL_crit           : write fails"),
+        WlCrit::Unbracketable => println!("WL_crit           : search did not converge"),
     }
     if let Some(d) = write_delay(&proposed, None)? {
         println!("write delay       : {:10.1} ps", d * 1e12);

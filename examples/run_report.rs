@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match card.wl_crit {
         Some(WlCrit::Finite(w)) => println!("WL_crit : {:8.1} ps", w * 1e12),
         Some(WlCrit::Infinite) => println!("WL_crit : write fails"),
+        Some(WlCrit::Unbracketable) => println!("WL_crit : search did not converge"),
         None => println!("WL_crit : undefined"),
     }
     println!("DRNM    : {:8.1} mV", card.drnm * 1e3);
@@ -46,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mc.failure_rate()
     );
     let drnm = mc_drnm_with(&cell, Some(ReadAssist::GndLowering), N, McConfig::new(SEED))?;
-    println!("MC DRNM : {} samples", drnm.len());
+    println!(
+        "MC DRNM : {} samples, yield {:.2}",
+        drnm.values.len(),
+        drnm.yield_fraction()
+    );
 
     tfet_obs::disable();
     let report = tfet_obs::RunReport::capture();

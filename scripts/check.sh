@@ -19,6 +19,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== fault-injection suite (rescue ladder, checked searches, MC quarantine) =="
+cargo test -q -p tfet-circuit --offline rescue
+cargo test -q -p tfet-numerics --offline checked_
+cargo test -q -p tfet-sram --offline quarantine
+cargo test -q -p tfet-integration --offline --test observability quarantine
+
 echo "== cargo bench --no-run =="
 cargo bench --workspace --offline --no-run
 
@@ -28,12 +34,19 @@ python3 - <<'EOF'
 import json
 r = json.load(open("results/run_report.json"))
 assert r["schema"] == "tfet-obs.run-report", r["schema"]
-assert r["version"] == 1, r["version"]
+assert r["version"] == 2, r["version"]
 assert r["histograms"]["newton.iters_per_solve"]["count"] > 0
 assert r["counters"]["lte.accepted_steps"] > 0
 assert any(p.startswith("scorecard/") for p in r["spans"])
+# v2: the quarantined section is always present; a healthy run's is empty,
+# and every record that does appear is fully structured.
+assert r["quarantined"] == [] or all(
+    rec["study"] and rec["index"] >= 0 and rec["params"] and rec["error"]
+    for rec in r["quarantined"]
+), r["quarantined"]
 print(f"run_report.json ok: {len(r['spans'])} span paths, "
-      f"{len(r['counters'])} counters")
+      f"{len(r['counters'])} counters, "
+      f"{len(r['quarantined'])} quarantined")
 EOF
 
 echo "All checks passed."

@@ -45,7 +45,7 @@ fn study(threads: usize) -> (Vec<f64>, usize, Vec<f64>) {
     let p = base();
     let wl = mc_wl_crit_with(&p, None, N, McConfig::new(SEED).with_threads(threads)).unwrap();
     let drnm = mc_drnm_with(&p, None, N, McConfig::new(SEED).with_threads(threads)).unwrap();
-    (wl.values, wl.failures, drnm)
+    (wl.values, wl.failures, drnm.values)
 }
 
 #[test]
@@ -146,8 +146,59 @@ fn traced_study_report_contains_span_tree_histograms_and_lte_stats() {
     assert!(report.series.contains_key("bisection.bracket"));
 
     let json = report.to_json();
-    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":1"#));
+    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":2"#));
     assert!(json.contains("newton.iters_per_solve"));
+    assert!(
+        json.contains(r#""quarantined":[]"#),
+        "a healthy study reports an explicitly empty quarantine section"
+    );
+}
+
+#[test]
+fn traced_quarantine_lands_in_the_report_and_ignores_thread_count() {
+    let _guard = hold();
+    // The asymmetric cell rejects WL_crit per sample: every sample is
+    // quarantined with a structured cause instead of aborting the study.
+    // Forensics bundles go to a scratch directory, not the repo.
+    let scratch = std::env::temp_dir().join(format!("tfet-obs-quarantine-{}", std::process::id()));
+    tfet_obs::forensics::set_dir(&scratch);
+    let p = fast(CellParams::new(CellKind::TfetAsym6T));
+    let capture = |threads: usize| {
+        tfet_obs::reset();
+        tfet_obs::enable();
+        let mc = mc_wl_crit_with(&p, None, 3, McConfig::new(SEED).with_threads(threads)).unwrap();
+        tfet_obs::disable();
+        (mc, RunReport::capture())
+    };
+    let (mc_1, report_1) = capture(1);
+    let (mc_8, report_8) = capture(8);
+
+    assert_eq!(mc_1, mc_8, "quarantine sets must not see scheduling");
+    assert_eq!(mc_1.quarantined.len(), 3);
+    assert_eq!(mc_1.yield_fraction(), 0.0);
+
+    assert_eq!(report_1.quarantined, report_8.quarantined);
+    assert_eq!(report_1.quarantined.len(), 3);
+    assert_eq!(report_1.counters.get("mc.quarantined"), Some(&3));
+    for (i, q) in report_1.quarantined.iter().enumerate() {
+        assert_eq!(q.study, "mc_wl_crit");
+        assert_eq!(q.index, i as u64);
+        assert_eq!(q.seed, SEED);
+        assert_eq!(q.params.len(), 7, "one drawn t_ox deviation per role");
+        assert!(q.error.contains("WL_crit"), "structured cause: {}", q.error);
+    }
+    let json = report_1.to_json();
+    assert!(json.contains(r#""quarantined":[{"study":"mc_wl_crit","index":0,"seed":42"#));
+
+    // Each quarantined sample also wrote one forensics bundle (the second
+    // capture's reset rewinds the bundle sequence, overwriting the first's).
+    let bundles = std::fs::read_dir(&scratch).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(
+        bundles, 3,
+        "one mc_quarantine bundle per quarantined sample"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    tfet_obs::forensics::set_dir(tfet_obs::forensics::DEFAULT_DIR);
 }
 
 #[test]

@@ -34,6 +34,7 @@ fn serial_reference_wl_crit(base: &CellParams) -> (Vec<f64>, usize) {
         match wl_crit_seeded(&params, None, hint).unwrap().value {
             WlCrit::Finite(w) => values.push(w),
             WlCrit::Infinite => failures += 1,
+            WlCrit::Unbracketable => panic!("healthy reference cell must bracket"),
         }
     }
     (values, failures)
