@@ -43,6 +43,8 @@ fn effort_table() -> Table {
             "runs",
             "newton_solves",
             "newton_iters",
+            "jac_refac",
+            "dev_evals",
             "steps_acc",
             "steps_rej",
             "wl_crit_ps",
@@ -75,6 +77,35 @@ fn effort_table() -> Table {
     let hint = runs[3].value.as_finite();
     let seeded = run(&seeded_p, hint);
     push_run(&mut t, "adaptive, early exit, seeded", &seeded);
+
+    // The dense cross-check: same search under the legacy dense solver.
+    // WL_crit must agree to the bisection tolerance, and the sparse default
+    // must not cost more factorizations + device evals than dense.
+    let mut dense_p = cell(SteppingMode::Adaptive, true);
+    dense_p.sim.solver = SolverStrategy::Dense;
+    let dense = run(&dense_p, None);
+    push_run(&mut t, "adaptive, early exit, dense solver", &dense);
+    let cost = |r: &WlCritRun| r.effort.jac_refactored + r.effort.device_evals;
+    t.note(format!(
+        "solver: dense/sparse (factorizations + device evals) = {:.2}x",
+        cost(&dense) as f64 / cost(&runs[3]) as f64
+    ));
+    let tol = seeded_p.sim.pulse_tol;
+    let (wd, ws) = (
+        dense.value.as_finite().expect("dense WL_crit finite"),
+        runs[3].value.as_finite().expect("sparse WL_crit finite"),
+    );
+    assert!(
+        (wd - ws).abs() <= 2.0 * tol,
+        "acceptance: dense WL_crit ({wd:e}) must match sparse ({ws:e})"
+    );
+    assert!(
+        cost(&dense) >= cost(&runs[3]),
+        "acceptance: the sparse default must not cost more than dense \
+         ({} vs {})",
+        cost(&runs[3]),
+        cost(&dense)
+    );
 
     let baseline = runs[0].effort.newton_solves;
     let adaptive = runs[3].effort.newton_solves;
@@ -167,6 +198,8 @@ fn push_run(t: &mut Table, label: &str, r: &WlCritRun) {
         r.effort.runs.to_string(),
         r.effort.newton_solves.to_string(),
         r.effort.newton_iters.to_string(),
+        r.effort.jac_refactored.to_string(),
+        r.effort.device_evals.to_string(),
         r.effort.accepted_steps.to_string(),
         r.effort.rejected_steps.to_string(),
         r.value

@@ -4,15 +4,32 @@
 //! `results/`. Full-resolution settings; expect a few minutes in release
 //! mode.
 //!
-//! Usage: `cargo run --release -p tfet-bench --bin figures [--quick]`
+//! Usage:
+//! `cargo run --release -p tfet-bench --bin figures [--quick] [--dense] [--out DIR]`
+//!
+//! * `--quick` — coarse grids for a fast smoke run;
+//! * `--dense` — force the legacy dense linear solver process-wide (the
+//!   sparse/dense figure-equivalence gate in `scripts/check.sh` diffs the
+//!   CSVs from a `--dense` run against a default run byte for byte);
+//! * `--out DIR` — write CSVs to `DIR` instead of `results/`.
 
 use std::fs;
 use tfet_bench::experiments as exp;
 use tfet_bench::Table;
+use tfet_sram::prelude::SolverStrategy;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let out_dir = "results";
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--dense") {
+        SolverStrategy::set_process_default(SolverStrategy::Dense);
+    }
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results".to_string());
+    let out_dir = out_dir.as_str();
     fs::create_dir_all(out_dir).expect("create results dir");
 
     // Grids: full paper resolution vs quick smoke.

@@ -33,7 +33,7 @@
 //! `absorb`, so a seeded sweep can prove it compiled once and ran many
 //! times.
 
-use crate::dc::DcResult;
+use crate::dc::{DcResult, SolverStrategy};
 use crate::error::SimError;
 use crate::mna::Mna;
 use crate::netlist::{Circuit, SourceId};
@@ -85,11 +85,18 @@ impl CompiledCircuit {
     /// [`SimError::InvalidCircuit`] for structurally bad netlists (no
     /// elements, no non-ground nodes).
     pub fn compile(circuit: Circuit) -> Result<Self, SimError> {
-        Mna::new(&circuit)?;
+        let mut ws = NewtonWorkspace::new();
+        {
+            // Freeze the Jacobian sparsity pattern now: binds never change
+            // topology, so every subsequent sparse run reuses this pattern
+            // (and, after the first factorization, its symbolic analysis).
+            let mna = Mna::new(&circuit)?;
+            ws.bufs.ensure_sparse(&mna);
+        }
         tfet_obs::work("compiled.compiles", 1);
         Ok(CompiledCircuit {
             circuit,
-            ws: NewtonWorkspace::new(),
+            ws,
             pending_builds: 1,
             pending_binds: 0,
             lifetime: SolveStats::default(),
@@ -131,6 +138,9 @@ impl CompiledCircuit {
     /// Panics if `index` is out of range or `width_um <= 0`.
     pub fn bind_device(&mut self, index: usize, model: Arc<dyn DeviceModel>, width_um: f64) {
         self.circuit.set_transistor_device(index, model, width_um);
+        // The cached linearization (and any retained factorization) was
+        // computed with the old model/width.
+        self.ws.bufs.invalidate_caches();
         self.pending_binds += 1;
     }
 
@@ -191,7 +201,9 @@ impl CompiledCircuit {
     pub fn dc_op(&mut self, guess: &[(crate::NodeId, f64)]) -> Result<DcResult, SimError> {
         tfet_obs::counter("compiled.dc_ops", 1);
         let mna = Mna::new(&self.circuit)?;
-        let x = self.circuit.dc_state_with(&mna, guess, &mut self.ws)?;
+        let x = self
+            .circuit
+            .dc_state_with(&mna, guess, &mut self.ws, SolverStrategy::default())?;
         Ok(DcResult {
             x,
             n_v: mna.voltage_count(),

@@ -16,6 +16,52 @@ use crate::error::SimError;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId, SourceId};
 use crate::workspace::{with_workspace, NewtonWorkspace, SolverBufs};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Linear-solve strategy for the Newton loop.
+///
+/// `Sparse` is the production path: pattern-backed sparse LU with
+/// modified-Newton factorization reuse and device-evaluation bypass.
+/// `Dense` is the legacy per-iteration dense-LU path, kept byte-for-byte as
+/// a cross-check — the figure CSVs must come out bit-identical either way
+/// (enforced by `scripts/check.sh`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverStrategy {
+    /// Sparse LU + modified Newton + device bypass (default).
+    Sparse,
+    /// Dense LU, full refactorization and device evaluation every iteration.
+    Dense,
+}
+
+/// Process-wide default strategy (0 = Sparse, 1 = Dense), consulted by
+/// `SolverStrategy::default()` and therefore by every option struct built
+/// with `..Default::default()`.
+static DEFAULT_STRATEGY: AtomicU8 = AtomicU8::new(0);
+
+impl SolverStrategy {
+    /// Sets the process-wide default strategy.
+    ///
+    /// Intended for binary startup (the `figures --dense` cross-check flag)
+    /// — flipping it mid-run races against concurrently built option
+    /// structs, so don't.
+    pub fn set_process_default(s: SolverStrategy) {
+        DEFAULT_STRATEGY.store(s as u8, Ordering::Relaxed);
+    }
+
+    /// The current process-wide default strategy.
+    pub fn process_default() -> SolverStrategy {
+        match DEFAULT_STRATEGY.load(Ordering::Relaxed) {
+            1 => SolverStrategy::Dense,
+            _ => SolverStrategy::Sparse,
+        }
+    }
+}
+
+impl Default for SolverStrategy {
+    fn default() -> Self {
+        SolverStrategy::process_default()
+    }
+}
 
 /// Newton iteration controls.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +72,8 @@ pub struct NewtonOpts {
     pub v_tol: f64,
     /// Damping: the largest voltage change applied in one iteration, V.
     pub v_step_max: f64,
+    /// Linear-solve strategy (see [`SolverStrategy`]).
+    pub strategy: SolverStrategy,
 }
 
 impl Default for NewtonOpts {
@@ -38,6 +86,7 @@ impl Default for NewtonOpts {
             // numerical limit cycle.
             v_tol: 2e-8,
             v_step_max: 0.3,
+            strategy: SolverStrategy::default(),
         }
     }
 }
@@ -51,10 +100,38 @@ const GMIN_LADDER: &[f64] = &[1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0];
 /// Runs damped Newton at fixed `t`/`gmin`/`caps` from `x0`, using (and
 /// reusing) the buffers in `bufs` — a steady-state call allocates nothing.
 ///
+/// Dispatches on [`NewtonOpts::strategy`]: the legacy dense loop
+/// (refactorize + fully re-evaluate every iteration) or the sparse
+/// modified-Newton loop (factorization reuse + device bypass).
+///
 /// Returns the converged state, or the pair `(best_state, error)` on
 /// failure so ladders can continue from partial progress.
 #[allow(clippy::too_many_arguments)] // solver-internal
 pub(crate) fn newton(
+    mna: &Mna<'_>,
+    bufs: &mut SolverBufs,
+    x: Vec<f64>,
+    t: f64,
+    gmin: f64,
+    anchor: Option<&[f64]>,
+    caps: Option<&CompanionCaps>,
+    opts: &NewtonOpts,
+    time_label: Option<f64>,
+) -> Result<Vec<f64>, (Vec<f64>, SimError)> {
+    match opts.strategy {
+        SolverStrategy::Dense => {
+            newton_dense(mna, bufs, x, t, gmin, anchor, caps, opts, time_label)
+        }
+        SolverStrategy::Sparse => {
+            newton_sparse(mna, bufs, x, t, gmin, anchor, caps, opts, time_label)
+        }
+    }
+}
+
+/// The legacy dense-LU Newton loop: assemble, factorize, and solve every
+/// iteration. Kept arithmetically untouched as the cross-check reference.
+#[allow(clippy::too_many_arguments)] // solver-internal
+fn newton_dense(
     mna: &Mna<'_>,
     bufs: &mut SolverBufs,
     mut x: Vec<f64>,
@@ -76,7 +153,9 @@ pub(crate) fn newton(
     let mut last_residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
         bufs.newton_iters += 1;
-        mna.assemble(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f);
+        let (evals, _) =
+            mna.assemble_into(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f, None);
+        bufs.device_evals += evals;
         // Residual infinity-norm: convergence is decided on |Δv| below, but
         // the history is what a post-mortem of a failed solve needs. The
         // pushes reuse reserved capacity (see `RES_HISTORY_CAP`), so the
@@ -85,6 +164,7 @@ pub(crate) fn newton(
         if bufs.res_history.len() < bufs.res_history.capacity() {
             bufs.res_history.push(last_residual);
         }
+        bufs.jac_refactored += 1;
         if let Err(e) = bufs.lu.factorize(&bufs.j) {
             tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
             return Err((x, SimError::from_solve(e, time_label)));
@@ -117,6 +197,192 @@ pub(crate) fn newton(
             1.0
         };
         for (xi, di) in x.iter_mut().zip(dx) {
+            *xi += scale * di;
+        }
+        last_delta = max_dv;
+        if max_dv < opts.v_tol {
+            tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
+            return Ok(x);
+        }
+    }
+    tfet_obs::record_u64("newton.iters_per_solve", opts.max_iter as u64);
+    tfet_obs::counter("newton.failures", 1);
+    Err((
+        x,
+        SimError::NoConvergence {
+            time: time_label,
+            iterations: opts.max_iter,
+            last_delta,
+            residual_norm: last_residual,
+        },
+    ))
+}
+
+/// The sparse modified-Newton loop.
+///
+/// Per iteration it assembles into the pattern-backed sparse Jacobian (with
+/// device-evaluation bypass) and, when a valid factorization from an earlier
+/// iteration or step is available and `gmin == 0`, *reuses* it instead of
+/// refactorizing. A reused factor that stops contracting the update —
+/// `|Δv| ≥ v_tol` and shrinking by less than 2× versus the previous
+/// iteration — triggers a full refactorization at the current iterate and an
+/// immediate re-solve, bounded to once per iteration; gmin-laddered solves
+/// (the PR-5 rescue path, untouched above this function) always refactorize
+/// and never publish their factors for reuse.
+///
+/// Convergence is declared on the same undamped `|Δv| < v_tol` test as the
+/// dense loop, with one extra safeguard: a convergence claim produced by a
+/// *reused* factor is only accepted after a mat-vec consistency check
+/// against the freshly assembled Jacobian
+/// ([`SolverBufs::sparse_update_consistent`]) — an inconsistent factor
+/// triggers refactorization and a re-solve of the same right-hand side.
+/// Together the stall guard and the consistency check bound how stale a
+/// factor can get in both failure directions (divergence and false
+/// convergence).
+#[allow(clippy::too_many_arguments)] // solver-internal
+fn newton_sparse(
+    mna: &Mna<'_>,
+    bufs: &mut SolverBufs,
+    mut x: Vec<f64>,
+    t: f64,
+    gmin: f64,
+    anchor: Option<&[f64]>,
+    caps: Option<&CompanionCaps>,
+    opts: &NewtonOpts,
+    time_label: Option<f64>,
+) -> Result<Vec<f64>, (Vec<f64>, SimError)> {
+    let n = mna.unknown_count();
+    let n_v = mna.voltage_count();
+    bufs.ensure(n);
+    bufs.ensure_sparse(mna);
+    bufs.newton_solves += 1;
+    bufs.res_history.clear();
+    let _span = tfet_obs::span("newton");
+
+    // Factor reuse is only sound for the physical (gmin = 0) system: ladder
+    // rungs perturb the diagonal, so their factors are never kept.
+    let allow_reuse = gmin == 0.0;
+    let mut last_delta = f64::INFINITY;
+    let mut last_residual = f64::INFINITY;
+    // Starting at zero (not ∞) makes the stall guard fire *within the first
+    // iteration* whenever the reused-factor probe fails to converge
+    // outright: plateau steps keep their one-iteration fast path, while
+    // moving steps refactorize immediately — after one cheap triangular
+    // solve — and converge quadratically like the dense loop, instead of
+    // limping through chord iterations that each cost device evaluations.
+    let mut prev_max_dv = 0.0f64;
+    for iter in 0..opts.max_iter {
+        bufs.newton_iters += 1;
+        {
+            let s = bufs.sparse.as_mut().expect("ensure_sparse ran");
+            // Device bypass is a transient-only optimization: those solves
+            // are LTE-controlled, so the (second-order) extrapolation error
+            // stays far inside the step-acceptance budget. DC operating
+            // points are solved with full evaluations — they are rare, and
+            // they anchor accuracy contracts (VTC sweeps, SNM extraction)
+            // at the Newton tolerance itself.
+            let cache = if caps.is_some() {
+                Some(&mut bufs.device_cache)
+            } else {
+                None
+            };
+            let (evals, bypassed) =
+                mna.assemble_into(&x, t, gmin, anchor, caps, &mut s.jac, &mut bufs.f, cache);
+            bufs.device_evals += evals;
+            bufs.devices_bypassed += bypassed;
+        }
+        last_residual = bufs.f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if bufs.res_history.len() < bufs.res_history.capacity() {
+            bufs.res_history.push(last_residual);
+        }
+
+        let reused = allow_reuse
+            && bufs
+                .sparse
+                .as_ref()
+                .is_some_and(|s| s.factor_valid && s.lu.is_factored());
+        if reused {
+            bufs.jac_reused += 1;
+        } else if let Err(e) = bufs.sparse_refactor(allow_reuse) {
+            tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
+            return Err((x, SimError::from_solve(e, time_label)));
+        }
+        let mut solved_with_reuse = reused;
+        for (r, v) in bufs.rhs.iter_mut().zip(&bufs.f) {
+            *r = -v;
+        }
+        {
+            let s = bufs.sparse.as_mut().expect("ensure_sparse ran");
+            s.lu.solve_into(&bufs.rhs, &mut bufs.dx);
+        }
+        bufs.sparse_solves += 1;
+        let mut max_dv = bufs.dx[..n_v].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+
+        // Stall guard: a reused factor whose update has stopped shrinking
+        // (contraction worse than ~1.4× per chord iteration) gets replaced
+        // by a fresh factorization of the *already assembled* current
+        // Jacobian, and the step is re-solved within this same iteration.
+        // The threshold trades chord iterations against refactorizations:
+        // chord iterations whose terminal movement sits inside the bypass
+        // window cost no device evaluations, so tolerating a slower but
+        // still geometric contraction is cheaper than refactoring.
+        if reused && max_dv.is_finite() && max_dv >= opts.v_tol && max_dv > 0.7 * prev_max_dv {
+            if let Err(e) = bufs.sparse_refactor(allow_reuse) {
+                tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
+                return Err((x, SimError::from_solve(e, time_label)));
+            }
+            {
+                let s = bufs.sparse.as_mut().expect("ensure_sparse ran");
+                s.lu.solve_into(&bufs.rhs, &mut bufs.dx);
+            }
+            bufs.sparse_solves += 1;
+            max_dv = bufs.dx[..n_v].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+            solved_with_reuse = false;
+        }
+
+        // A convergence claim backed by a reused factor must also be backed
+        // by the *current* Jacobian: verify `J·Δx ≈ −f` with one mat-vec and
+        // refactorize + re-solve when the stale factor no longer solves the
+        // assembled system (e.g. after a step-size change, or after the UIC
+        // hold solve's artificially pinned system). Without this, a factor
+        // with an inflated diagonal yields `Δv ≈ 0` and Newton "converges"
+        // instantly without moving — a frozen waveform, not a solution.
+        if solved_with_reuse
+            && max_dv.is_finite()
+            && max_dv < opts.v_tol
+            && !bufs.sparse_update_consistent()
+        {
+            if let Err(e) = bufs.sparse_refactor(allow_reuse) {
+                tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
+                return Err((x, SimError::from_solve(e, time_label)));
+            }
+            {
+                let s = bufs.sparse.as_mut().expect("ensure_sparse ran");
+                s.lu.solve_into(&bufs.rhs, &mut bufs.dx);
+            }
+            bufs.sparse_solves += 1;
+            max_dv = bufs.dx[..n_v].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        }
+        prev_max_dv = max_dv;
+
+        if !max_dv.is_finite() {
+            tfet_obs::record_u64("newton.iters_per_solve", iter as u64 + 1);
+            return Err((
+                x,
+                SimError::NoConvergence {
+                    time: time_label,
+                    iterations: iter,
+                    last_delta: f64::INFINITY,
+                    residual_norm: last_residual,
+                },
+            ));
+        }
+        let scale = if max_dv > opts.v_step_max {
+            opts.v_step_max / max_dv
+        } else {
+            1.0
+        };
+        for (xi, di) in x.iter_mut().zip(&bufs.dx) {
             *xi += scale * di;
         }
         last_delta = max_dv;
@@ -282,7 +548,8 @@ impl Circuit {
     /// basin.
     pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SimError> {
         let mna = Mna::new(self)?;
-        let x = with_workspace(|ws| self.dc_state_with(&mna, guess, ws))?;
+        let x =
+            with_workspace(|ws| self.dc_state_with(&mna, guess, ws, SolverStrategy::default()))?;
         Ok(DcResult {
             x,
             n_v: mna.voltage_count(),
@@ -300,7 +567,11 @@ impl Circuit {
         mna: &Mna<'_>,
         guess: &[(NodeId, f64)],
         ws: &mut NewtonWorkspace,
+        strategy: SolverStrategy,
     ) -> Result<Vec<f64>, SimError> {
+        // Fresh solve entry: whatever the workspace cached (device operating
+        // points, a factorization) belongs to some earlier run.
+        ws.bufs.invalidate_caches();
         let mut x0 = vec![0.0; mna.unknown_count()];
         for &(node, v) in guess {
             if !node.is_ground() {
@@ -314,7 +585,10 @@ impl Circuit {
                 x0[vs.plus.index() - 1] = vs.wave.initial();
             }
         }
-        let opts = NewtonOpts::default();
+        let opts = NewtonOpts {
+            strategy,
+            ..NewtonOpts::default()
+        };
         // An explicit guess means the caller is selecting among operating
         // points: follow the anchored continuation so the basin survives.
         let anchored = !guess.is_empty();

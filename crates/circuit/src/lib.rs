@@ -29,8 +29,13 @@
 //!   models in place, and repeated runs reuse one owned workspace. Every
 //!   run reports build/bind/run counters through [`SolveStats`].
 //!
-//! SRAM cells are ≤ ~15-node circuits, so the engine uses dense LU — at this
-//! size it beats any sparse approach.
+//! The default linear-solve path ([`SolverStrategy::Sparse`]) assembles the
+//! Jacobian into a sparsity pattern frozen at compile time and factorizes it
+//! with an analyze-once/refactorize-many sparse LU, layering modified-Newton
+//! factorization reuse and device-evaluation bypass on top. The legacy dense
+//! path ([`SolverStrategy::Dense`]) is retained byte-for-byte as a
+//! cross-check: figure outputs must be bit-identical under either strategy
+//! at default tolerances.
 //!
 //! # Examples
 //!
@@ -65,7 +70,7 @@ pub mod waveform;
 pub mod workspace;
 
 pub use compiled::{CompiledCircuit, ParamHandle};
-pub use dc::DcResult;
+pub use dc::{DcResult, NewtonOpts, SolverStrategy};
 pub use error::SimError;
 pub use netlist::{Circuit, NodeId, SourceId};
 pub use probe::{SolveStats, TransientResult};

@@ -9,7 +9,75 @@
 
 use crate::error::SimError;
 use crate::netlist::{Circuit, NodeId};
-use tfet_numerics::Matrix;
+use tfet_numerics::{Matrix, SparseMatrix};
+
+/// Jacobian assembly target: dense [`Matrix`] or pattern-backed
+/// [`SparseMatrix`]. The MNA stamps are target-generic so both solver
+/// strategies share one assembly routine (and therefore one set of stamps to
+/// keep correct).
+pub(crate) trait JacTarget {
+    /// Zeroes every stored value.
+    fn clear(&mut self);
+    /// Adds `v` at `(r, c)`.
+    fn add(&mut self, r: usize, c: usize, v: f64);
+}
+
+impl JacTarget for Matrix {
+    fn clear(&mut self) {
+        Matrix::clear(self);
+    }
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        Matrix::add(self, r, c, v);
+    }
+}
+
+impl JacTarget for SparseMatrix {
+    fn clear(&mut self) {
+        SparseMatrix::clear(self);
+    }
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        SparseMatrix::add(self, r, c, v);
+    }
+}
+
+/// Cached linearization of one transistor: the operating point of its last
+/// full evaluation (width-scaled current and conductances at terminal
+/// voltages `vg/vd/vs`).
+///
+/// When every terminal moved less than [`BYPASS_VTOL`] since that evaluation,
+/// assembly *bypasses* the device model and stamps the first-order
+/// extrapolation `i ≈ i₀ + gm·Δvg + gds·Δvd + gss·Δvs` instead. Because the
+/// extrapolation carries the full first-order term, the bypass error is
+/// *second* order in the movement — curvature · Δv², not conductance · Δv —
+/// which is what makes a micro-volt window safe against nano-volt
+/// tolerances (see [`BYPASS_VTOL`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DeviceLin {
+    pub valid: bool,
+    pub vg: f64,
+    pub vd: f64,
+    pub vs: f64,
+    pub i: f64,
+    pub gm: f64,
+    pub gds: f64,
+    pub gss: f64,
+}
+
+/// Terminal-voltage movement below which a cached device linearization is
+/// reused instead of re-evaluating the model.
+///
+/// 150 µV. The bypassed stamp is the cached *first-order* model, so its
+/// error is second order: `½·∂²i/∂v²·Δv²`. TFET currents vary on a ~30 mV
+/// characteristic scale, giving a worst-case relative current error of
+/// `(150 µV / 30 mV)² / 2 ≈ 1.3·10⁻⁵` — equivalent to a voltage
+/// perturbation of ~0.4 µV at the device's own transconductance, four
+/// orders below the LTE budget and any rendered figure precision. Movement
+/// itself is never masked: the extrapolated current still tracks the
+/// terminals linearly, so an un-converged iterate keeps producing a
+/// residual.
+pub(crate) const BYPASS_VTOL: f64 = 150e-6;
 
 /// Linearized (companion-model) capacitor contributions for one transient
 /// step: for each entry, a conductance `geq` between `a` and `b` plus a
@@ -100,7 +168,7 @@ impl<'c> Mna<'c> {
 
     /// Adds `g` between nodes `a` and `b` into the Jacobian (standard
     /// two-terminal conductance stamp).
-    fn stamp_conductance(&self, j: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+    fn stamp_conductance<J: JacTarget>(&self, j: &mut J, a: NodeId, b: NodeId, g: f64) {
         if let Some(ra) = self.row(a) {
             j.add(ra, ra, g);
             if let Some(rb) = self.row(b) {
@@ -153,9 +221,35 @@ impl<'c> Mna<'c> {
         j: &mut Matrix,
         f: &mut [f64],
     ) {
+        assert_eq!(j.rows(), self.n_x, "jacobian rows");
+        self.assemble_into(x, t, gmin, anchor, caps, j, f, None);
+    }
+
+    /// Target-generic assembly with optional device-evaluation bypass.
+    ///
+    /// Like [`Mna::assemble`], but stamps into any [`JacTarget`] (dense or
+    /// pattern-backed sparse). When `cache` is given, transistors whose
+    /// terminal voltages all moved less than [`BYPASS_VTOL`] since their last
+    /// full evaluation are stamped from the cached linearization instead of
+    /// re-evaluating the device model (see [`DeviceLin`]); the cache is
+    /// resized to the transistor count on entry, and entries are refreshed on
+    /// every full evaluation.
+    ///
+    /// Returns `(full_evaluations, bypassed)` transistor counts.
+    #[allow(clippy::too_many_arguments)] // solver-internal hot path; a config struct would obscure the MNA math
+    pub(crate) fn assemble_into<J: JacTarget>(
+        &self,
+        x: &[f64],
+        t: f64,
+        gmin: f64,
+        anchor: Option<&[f64]>,
+        caps: Option<&CompanionCaps>,
+        j: &mut J,
+        f: &mut [f64],
+        mut cache: Option<&mut Vec<DeviceLin>>,
+    ) -> (u64, u64) {
         assert_eq!(x.len(), self.n_x, "state vector length");
         assert_eq!(f.len(), self.n_x, "residual length");
-        assert_eq!(j.rows(), self.n_x, "jacobian rows");
         j.clear();
         f.fill(0.0);
 
@@ -181,15 +275,51 @@ impl<'c> Mna<'c> {
             self.stamp_current(f, s.from, s.to, s.wave.value(t));
         }
 
-        // Transistors: nonlinear three-terminal stamps.
-        for m in &self.circuit.transistors {
+        // Transistors: nonlinear three-terminal stamps, with optional bypass
+        // of the (expensive) model evaluation when the operating point is
+        // within BYPASS_VTOL of the cached one.
+        let mut evals = 0u64;
+        let mut bypassed = 0u64;
+        if let Some(c) = cache.as_deref_mut() {
+            c.resize(self.circuit.transistors.len(), DeviceLin::default());
+        }
+        for (idx, m) in self.circuit.transistors.iter().enumerate() {
             let vg = self.voltage_of(x, m.g);
             let vd = self.voltage_of(x, m.d);
             let vs = self.voltage_of(x, m.s);
-            let w = m.width_um;
-            let i = w * m.model.ids_per_um(vg, vd, vs);
-            let (gm_u, gds_u, gs_u) = m.model.conductances_per_um(vg, vd, vs);
-            let (gm, gds, gss) = (w * gm_u, w * gds_u, w * gs_u);
+            let entry = cache.as_deref_mut().map(|c| &mut c[idx]);
+            let (i, gm, gds, gss) = match entry {
+                Some(e)
+                    if e.valid
+                        && (vg - e.vg).abs() < BYPASS_VTOL
+                        && (vd - e.vd).abs() < BYPASS_VTOL
+                        && (vs - e.vs).abs() < BYPASS_VTOL =>
+                {
+                    bypassed += 1;
+                    let i = e.i + e.gm * (vg - e.vg) + e.gds * (vd - e.vd) + e.gss * (vs - e.vs);
+                    (i, e.gm, e.gds, e.gss)
+                }
+                entry => {
+                    evals += 1;
+                    let w = m.width_um;
+                    let i = w * m.model.ids_per_um(vg, vd, vs);
+                    let (gm_u, gds_u, gs_u) = m.model.conductances_per_um(vg, vd, vs);
+                    let (gm, gds, gss) = (w * gm_u, w * gds_u, w * gs_u);
+                    if let Some(e) = entry {
+                        *e = DeviceLin {
+                            valid: true,
+                            vg,
+                            vd,
+                            vs,
+                            i,
+                            gm,
+                            gds,
+                            gss,
+                        };
+                    }
+                    (i, gm, gds, gss)
+                }
+            };
 
             // Current i enters the drain terminal and leaves the source
             // terminal; the gate carries no DC current.
@@ -249,6 +379,105 @@ impl<'c> Mna<'c> {
                 f[n] += gmin * (x[n] - target);
             }
         }
+        (evals, bypassed)
+    }
+
+    /// Visits every Jacobian coordinate `assemble` can ever touch —
+    /// *structurally*, from the netlist alone, independent of bias.
+    ///
+    /// This over-approximates any single assembly: all four device
+    /// capacitance branches (gs, gd, db, sb) are included even though
+    /// `fill_cap_branches` drops zero-valued ones at a given bias, and the
+    /// full diagonal is included (g_min, UIC hold branches, and the sparse
+    /// engine's static pivoting all want it). Extra structural zeros are
+    /// harmless — the sparse analysis pivots on actual values.
+    pub(crate) fn for_each_jacobian_entry(&self, mut visit: impl FnMut(usize, usize)) {
+        fn cond(mna: &Mna<'_>, a: NodeId, b: NodeId, visit: &mut dyn FnMut(usize, usize)) {
+            if let Some(ra) = mna.row(a) {
+                visit(ra, ra);
+                if let Some(rb) = mna.row(b) {
+                    visit(ra, rb);
+                }
+            }
+            if let Some(rb) = mna.row(b) {
+                visit(rb, rb);
+                if let Some(ra) = mna.row(a) {
+                    visit(rb, ra);
+                }
+            }
+        }
+        for r in &self.circuit.resistors {
+            cond(self, r.a, r.b, &mut visit);
+        }
+        for c in &self.circuit.capacitors {
+            cond(self, c.a, c.b, &mut visit);
+        }
+        for m in &self.circuit.transistors {
+            for (a, b) in [
+                (m.g, m.s),
+                (m.g, m.d),
+                (m.d, Circuit::GND),
+                (m.s, Circuit::GND),
+            ] {
+                cond(self, a, b, &mut visit);
+            }
+            if let Some(rd) = self.row(m.d) {
+                if let Some(c) = self.row(m.g) {
+                    visit(rd, c);
+                }
+                visit(rd, rd);
+                if let Some(c) = self.row(m.s) {
+                    visit(rd, c);
+                }
+            }
+            if let Some(rs) = self.row(m.s) {
+                if let Some(c) = self.row(m.g) {
+                    visit(rs, c);
+                }
+                if let Some(c) = self.row(m.d) {
+                    visit(rs, c);
+                }
+                visit(rs, rs);
+            }
+        }
+        for (k, v) in self.circuit.vsources.iter().enumerate() {
+            let bi = self.branch_index(k);
+            if let Some(rp) = self.row(v.plus) {
+                visit(rp, bi);
+                visit(bi, rp);
+            }
+            if let Some(rm) = self.row(v.minus) {
+                visit(rm, bi);
+                visit(bi, rm);
+            }
+        }
+        for i in 0..self.n_x {
+            visit(i, i);
+        }
+    }
+
+    /// Collects [`Mna::for_each_jacobian_entry`] into a coordinate list
+    /// (duplicates included; `SparsityPattern::from_entries` merges them).
+    pub(crate) fn pattern_entries(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        self.for_each_jacobian_entry(|r, c| v.push((r, c)));
+        v
+    }
+
+    /// FNV-1a hash over the structural pattern (dimension + coordinates).
+    ///
+    /// Cheap (no allocation) and deterministic: the thread-local solver
+    /// workspace keys its sparse state on this, so same-topology runs reuse
+    /// the symbolic analysis and a topology change forces a rebuild.
+    pub(crate) fn pattern_signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.n_x as u64);
+        self.for_each_jacobian_entry(|r, c| mix((r * self.n_x + c + 1) as u64));
+        h
     }
 }
 

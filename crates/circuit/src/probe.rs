@@ -65,6 +65,20 @@ pub struct SolveStats {
     /// Steps salvaged by the rescue ladder — accepted steps that would have
     /// aborted the run before the ladder existed.
     pub rescued_steps: u64,
+    /// Jacobian factorizations performed. Dense strategy: one per Newton
+    /// iteration by construction. Sparse strategy: only on cache-cold
+    /// iterations and convergence stalls — `newton_iters − jac_refactored`
+    /// is the modified-Newton saving.
+    pub jac_refactored: u64,
+    /// Newton iterations that reused a retained factorization instead of
+    /// refactorizing (sparse strategy only; always 0 under dense).
+    pub jac_reused: u64,
+    /// Full transistor model evaluations during Jacobian/residual assembly.
+    /// Dense strategy: `newton_iters × transistor_count` by construction.
+    pub device_evals: u64,
+    /// Transistor stamps served from the bypass cache instead of a model
+    /// evaluation (sparse strategy only; always 0 under dense).
+    pub devices_bypassed: u64,
     /// Whether a stop event ended the run before `t_stop`.
     pub early_exit: bool,
 }
@@ -83,6 +97,10 @@ impl SolveStats {
         self.runs += other.runs;
         self.rescue_attempts += other.rescue_attempts;
         self.rescued_steps += other.rescued_steps;
+        self.jac_refactored += other.jac_refactored;
+        self.jac_reused += other.jac_reused;
+        self.device_evals += other.device_evals;
+        self.devices_bypassed += other.devices_bypassed;
         self.early_exit |= other.early_exit;
     }
 }

@@ -35,7 +35,7 @@
 //! and held for the step (standard charge-conserving-enough linearization at
 //! the small steps used here).
 
-use crate::dc::{solve_op, NewtonOpts};
+use crate::dc::{solve_op, NewtonOpts, SolverStrategy};
 use crate::error::SimError;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId};
@@ -100,6 +100,9 @@ pub struct TransientSpec {
     pub integrator: Integrator,
     /// Step-control policy.
     pub control: StepControl,
+    /// Linear-solve strategy for every Newton solve in the run (seeded from
+    /// [`SolverStrategy::default()`], i.e. the process default).
+    pub solver: SolverStrategy,
 }
 
 impl TransientSpec {
@@ -123,6 +126,7 @@ impl TransientSpec {
                 dt_max: (dt * DT_MAX_FACTOR).min(t_stop),
                 ltol: DEFAULT_LTOL,
             }),
+            solver: SolverStrategy::default(),
         }
     }
 
@@ -141,12 +145,20 @@ impl TransientSpec {
             dt,
             integrator: Integrator::default(),
             control: StepControl::Fixed,
+            solver: SolverStrategy::default(),
         }
     }
 
     /// Selects the integration method (builder style).
     pub fn with_integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Selects the linear-solve strategy (builder style). [`SolverStrategy::Dense`]
+    /// is the bit-exact legacy cross-check path.
+    pub fn with_solver(mut self, solver: SolverStrategy) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -614,14 +626,26 @@ impl Circuit {
         let _span = tfet_obs::span("transient");
         let mna = Mna::new(self)?;
         let n_v = mna.voltage_count();
-        let opts = NewtonOpts::default();
+        let opts = NewtonOpts {
+            strategy: spec.solver,
+            ..NewtonOpts::default()
+        };
+        // Fresh run: device-bypass operating points and retained
+        // factorizations from any previous run are stale by definition.
+        ws.bufs.invalidate_caches();
         let solves0 = ws.bufs.newton_solves;
         let iters0 = ws.bufs.newton_iters;
+        let refac0 = ws.bufs.jac_refactored;
+        let reused0 = ws.bufs.jac_reused;
+        let evals0 = ws.bufs.device_evals;
+        let bypassed0 = ws.bufs.devices_bypassed;
+        let analyses0 = ws.bufs.sparse_analyses;
+        let ssolves0 = ws.bufs.sparse_solves;
         ws.step_trace.clear();
 
         // --- Initial state -------------------------------------------------
         let mut x = match initial {
-            InitialState::DcOp(hints) => match self.dc_state_with(&mna, hints, ws) {
+            InitialState::DcOp(hints) => match self.dc_state_with(&mna, hints, ws, spec.solver) {
                 Ok(x) => x,
                 Err(e) => {
                     capture_failure(&mna, ws, None, "initial-dc", 0.0, 0.0, &e);
@@ -997,11 +1021,33 @@ impl Circuit {
 
         result.stats.newton_solves = ws.bufs.newton_solves - solves0;
         result.stats.newton_iters = ws.bufs.newton_iters - iters0;
+        result.stats.jac_refactored = ws.bufs.jac_refactored - refac0;
+        result.stats.jac_reused = ws.bufs.jac_reused - reused0;
+        result.stats.device_evals = ws.bufs.device_evals - evals0;
+        result.stats.devices_bypassed = ws.bufs.devices_bypassed - bypassed0;
         result.stats.runs = 1;
         if tfet_obs::enabled() {
             tfet_obs::counter("transient.runs", 1);
             if result.stats.early_exit {
                 tfet_obs::counter("transient.early_exits", 1);
+            }
+            tfet_obs::counter("newton.jac_refactored", result.stats.jac_refactored);
+            tfet_obs::counter("newton.jac_reused", result.stats.jac_reused);
+            tfet_obs::counter("devices.evals", result.stats.device_evals);
+            tfet_obs::counter("devices.bypassed", result.stats.devices_bypassed);
+            if spec.solver == SolverStrategy::Sparse {
+                // Symbolic analyses are per-worker warm-up (each thread's
+                // workspace analyzes once per topology), so they live in the
+                // scheduling-dependent `work` section, not `counters`.
+                tfet_obs::work(
+                    "solver.sparse_analyses",
+                    ws.bufs.sparse_analyses - analyses0,
+                );
+                tfet_obs::counter(
+                    "solver.sparse_refactorizations",
+                    ws.bufs.jac_refactored - refac0,
+                );
+                tfet_obs::counter("solver.sparse_solves", ws.bufs.sparse_solves - ssolves0);
             }
         }
         Ok(result)
@@ -1401,11 +1447,14 @@ mod tests {
     fn rescue_ladder_salvages_wrong_jacobian_fixed_steps() {
         // dt = 0.8 ns puts C/Δt at 1.25g — divergent. The 2× rung stays
         // divergent (2.5g), the 4× rung contracts (5g > 3g), so every step
-        // of the run must be rescued on the second rung.
+        // of the run must be rescued on the second rung. The arithmetic
+        // assumes a fresh factorization every iteration, so pin the dense
+        // strategy; sparse-mode escalation is covered by
+        // tests/modified_newton.rs.
         let (c, a) = sabotaged_rc();
         let res = c
             .transient(
-                &TransientSpec::fixed(4e-9, 0.8e-9),
+                &TransientSpec::fixed(4e-9, 0.8e-9).with_solver(SolverStrategy::Dense),
                 &InitialState::Uic(vec![(a, 1.0)]),
             )
             .unwrap();
@@ -1425,7 +1474,9 @@ mod tests {
         // trial fails at the floor and only the rescue ladder (which may
         // subdivide below dt_min) can make progress.
         let (c, a) = sabotaged_rc();
-        let spec = TransientSpec::new(4e-9, 0.8e-9).with_step_bounds(0.8e-9, 1.6e-9);
+        let spec = TransientSpec::new(4e-9, 0.8e-9)
+            .with_step_bounds(0.8e-9, 1.6e-9)
+            .with_solver(SolverStrategy::Dense);
         let res = c
             .transient(&spec, &InitialState::Uic(vec![(a, 1.0)]))
             .unwrap();
@@ -1442,7 +1493,7 @@ mod tests {
         let (c, a) = sabotaged_rc();
         let err = c
             .transient(
-                &TransientSpec::fixed(8e-9, 4e-9),
+                &TransientSpec::fixed(8e-9, 4e-9).with_solver(SolverStrategy::Dense),
                 &InitialState::Uic(vec![(a, 1.0)]),
             )
             .unwrap_err();

@@ -17,11 +17,11 @@
 //! [`transient_with`](crate::netlist::Circuit) calls — can own one
 //! directly.
 
-use crate::mna::CompanionCaps;
+use crate::mna::{CompanionCaps, DeviceLin, Mna};
 use crate::transient::CapBranch;
 use std::cell::Cell;
 use tfet_numerics::matrix::LuWorkspace;
-use tfet_numerics::Matrix;
+use tfet_numerics::{Matrix, SparseLu, SparseMatrix, SparsityPattern};
 
 /// Fixed capacity of [`SolverBufs::res_history`], reserved once when the
 /// buffers are first sized so per-iteration pushes can never reallocate
@@ -40,6 +40,9 @@ pub(crate) struct SolverBufs {
     pub(crate) f: Vec<f64>,
     pub(crate) rhs: Vec<f64>,
     pub(crate) dx: Vec<f64>,
+    /// Mat-vec scratch for the reused-factor consistency check
+    /// ([`Self::sparse_update_consistent`]).
+    pub(crate) scratch: Vec<f64>,
     pub(crate) lu: LuWorkspace,
     /// Newton solves started since this workspace was created (monotone;
     /// consumers measure effort by differencing snapshots).
@@ -54,6 +57,41 @@ pub(crate) struct SolverBufs {
     ///
     /// [`SimError::NoConvergence`]: crate::SimError::NoConvergence
     pub(crate) res_history: Vec<f64>,
+    /// Sparse solver state (pattern-backed Jacobian + factorization engine),
+    /// built on first use under the sparse strategy and keyed on the MNA
+    /// pattern signature so same-topology runs reuse the symbolic analysis.
+    pub(crate) sparse: Option<SparseState>,
+    /// Per-transistor linearization cache for device-evaluation bypass
+    /// (sparse strategy only; invalidated at every run entry and rebind).
+    pub(crate) device_cache: Vec<DeviceLin>,
+    /// Jacobian factorizations performed (dense or sparse; monotone).
+    pub(crate) jac_refactored: u64,
+    /// Newton iterations that reused a previous factorization (monotone).
+    pub(crate) jac_reused: u64,
+    /// Full transistor model evaluations during assembly (monotone).
+    pub(crate) device_evals: u64,
+    /// Transistor stamps served from the bypass cache (monotone).
+    pub(crate) devices_bypassed: u64,
+    /// Sparse symbolic analyses performed (monotone).
+    pub(crate) sparse_analyses: u64,
+    /// Sparse triangular solves performed (monotone).
+    pub(crate) sparse_solves: u64,
+}
+
+/// Sparse linear-solve state: the pattern-backed Jacobian the MNA stamps
+/// into, the analyze-once/refactorize-many LU engine, and the validity flag
+/// driving modified-Newton factorization reuse.
+#[derive(Debug)]
+pub(crate) struct SparseState {
+    /// [`Mna::pattern_signature`] of the topology this state was built for.
+    pub(crate) sig: u64,
+    pub(crate) jac: SparseMatrix,
+    pub(crate) lu: SparseLu,
+    /// True while the stored factors correspond to a recent `gmin = 0`
+    /// Jacobian of this topology — the precondition for modified-Newton
+    /// reuse. Cleared at run entry, on rebind, after gmin-laddered solves,
+    /// and on factorization failure.
+    pub(crate) factor_valid: bool,
 }
 
 impl Default for SolverBufs {
@@ -63,10 +101,19 @@ impl Default for SolverBufs {
             f: Vec::new(),
             rhs: Vec::new(),
             dx: Vec::new(),
+            scratch: Vec::new(),
             lu: LuWorkspace::default(),
             newton_solves: 0,
             newton_iters: 0,
             res_history: Vec::new(),
+            sparse: None,
+            device_cache: Vec::new(),
+            jac_refactored: 0,
+            jac_reused: 0,
+            device_evals: 0,
+            devices_bypassed: 0,
+            sparse_analyses: 0,
+            sparse_solves: 0,
         }
     }
 }
@@ -80,11 +127,95 @@ impl SolverBufs {
             self.f = vec![0.0; n];
             self.rhs = vec![0.0; n];
             self.dx = vec![0.0; n];
+            self.scratch = vec![0.0; n];
             if self.res_history.capacity() < RES_HISTORY_CAP {
                 self.res_history
                     .reserve_exact(RES_HISTORY_CAP - self.res_history.len());
             }
         }
+    }
+
+    /// Invalidates every state-carrying cache: the device-bypass
+    /// linearizations and the modified-Newton factor validity. Called at
+    /// every run/DC entry and on parameter rebinds, so stale operating
+    /// points or factors can never leak across runs or circuits.
+    pub(crate) fn invalidate_caches(&mut self) {
+        for e in &mut self.device_cache {
+            e.valid = false;
+        }
+        if let Some(s) = &mut self.sparse {
+            s.factor_valid = false;
+        }
+    }
+
+    /// Ensures sparse state matching `mna`'s topology exists, building the
+    /// pattern (allocating) only when the signature changed. Same-topology
+    /// runs — every sweep and Monte-Carlo loop — hit the cheap signature
+    /// check and keep their symbolic analysis.
+    pub(crate) fn ensure_sparse(&mut self, mna: &Mna<'_>) {
+        let sig = mna.pattern_signature();
+        if self.sparse.as_ref().is_some_and(|s| s.sig == sig) {
+            return;
+        }
+        let pattern = SparsityPattern::from_entries(mna.unknown_count(), &mna.pattern_entries());
+        self.sparse = Some(SparseState {
+            sig,
+            jac: SparseMatrix::new(pattern),
+            lu: SparseLu::new(),
+            factor_valid: false,
+        });
+    }
+
+    /// (Re)factorizes the sparse Jacobian currently held in
+    /// [`SparseState::jac`]: symbolic analysis on first use (or as a one-shot
+    /// pivot-order refresh after a refactorization failure), the zero-alloc
+    /// numeric replay otherwise. `gmin_zero` gates whether the resulting
+    /// factors are eligible for modified-Newton reuse.
+    pub(crate) fn sparse_refactor(
+        &mut self,
+        gmin_zero: bool,
+    ) -> Result<(), tfet_numerics::matrix::SolveError> {
+        self.jac_refactored += 1;
+        let mut analyses = 0u64;
+        let s = self.sparse.as_mut().expect("sparse state prepared");
+        let r = if !s.lu.is_analyzed() {
+            analyses += 1;
+            s.lu.analyze(&s.jac)
+        } else {
+            match s.lu.refactorize(&s.jac) {
+                Ok(()) => Ok(()),
+                Err(_) => {
+                    analyses += 1;
+                    s.lu.analyze(&s.jac)
+                }
+            }
+        };
+        s.factor_valid = r.is_ok() && gmin_zero;
+        self.sparse_analyses += analyses;
+        r
+    }
+
+    /// Validates a Newton update computed from a *reused* factorization
+    /// against the freshly assembled Jacobian: the linear solve is accepted
+    /// only when `‖J·dx + f‖∞ ≤ 0.1·‖f‖∞`, i.e. the stale factor still
+    /// solves the current system to within 10%. One sparse mat-vec — cheap
+    /// relative to even a single device evaluation.
+    ///
+    /// This is what makes factor reuse *safe* rather than heuristic: a
+    /// factor carried across a step-size change (companion `C/Δt` terms
+    /// moved) or from a synthetic system (the UIC hold solve pins every
+    /// node with a huge conductance) produces updates that pass the
+    /// `|Δv| < v_tol` test vacuously while solving the wrong system. The
+    /// check catches exactly that and forces a refactorization.
+    pub(crate) fn sparse_update_consistent(&mut self) -> bool {
+        let s = self.sparse.as_ref().expect("sparse state prepared");
+        s.jac.mul_vec(&self.dx, &mut self.scratch);
+        let mut err = 0.0f64;
+        for (r, v) in self.scratch.iter().zip(&self.f) {
+            err = err.max((r + v).abs());
+        }
+        let fmax = self.f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        err <= 0.1 * fmax + 1e-30
     }
 }
 

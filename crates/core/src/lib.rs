@@ -76,6 +76,7 @@ pub mod prelude {
     pub use crate::montecarlo::{McConfig, McDrnm, McWlCrit, QuarantinedSample};
     pub use crate::ops::{ReadExperiment, WriteExperiment};
     pub use crate::tech::{
-        AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SteppingMode,
+        AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SimOptions, SteppingMode,
     };
+    pub use tfet_circuit::SolverStrategy;
 }

@@ -5,8 +5,12 @@
 //! share:
 //!
 //! * [`matrix`] — dense row-major matrices with LU factorization and linear
-//!   solves (circuit matrices in this workspace are tiny, ≤ ~20 unknowns, so a
-//!   dense direct solver is the right tool);
+//!   solves (the reference path, and the cross-check for the sparse engine);
+//! * [`sparse`] — CSC sparse matrices whose LU factorization is split into a
+//!   one-time symbolic analysis (fill-reducing ordering + frozen fill-in
+//!   pattern) and a cheap, allocation-free numeric refactorization — the
+//!   topology of a circuit Jacobian is fixed, only its values change per
+//!   Newton iteration;
 //! * [`interp`] — one- and two-dimensional lookup tables with linear /
 //!   bilinear interpolation, mirroring the Verilog-A lookup-table device
 //!   modeling methodology of the reproduced paper;
@@ -38,6 +42,7 @@ pub mod interp;
 pub mod matrix;
 pub mod parallel;
 pub mod roots;
+pub mod sparse;
 pub mod stats;
 pub mod sweep;
 
@@ -48,5 +53,6 @@ pub use roots::{
     bisect, brent, critical_threshold, critical_threshold_checked, critical_threshold_seeded,
     critical_threshold_seeded_checked,
 };
+pub use sparse::{SparseLu, SparseMatrix, SparsityPattern};
 pub use stats::{Histogram, Summary};
 pub use sweep::{geomspace, linspace, logspace, par_grid};

@@ -138,7 +138,10 @@ impl Matrix {
 
     /// Solves `A · x = b` via LU factorization with partial pivoting.
     ///
-    /// The matrix itself is not modified (a working copy is factorized).
+    /// The matrix itself is not modified. Each call allocates a working copy
+    /// of the factors plus the solution vector (routed through
+    /// [`LuWorkspace`]); hot paths that solve repeatedly at a fixed size
+    /// should hold their own [`LuWorkspace`] and amortize those allocations.
     ///
     /// # Errors
     ///
@@ -157,8 +160,11 @@ impl Matrix {
                 got: b.len(),
             });
         }
-        let mut lu = Lu::factorize(self)?;
-        Ok(lu.solve_in_place(b.to_vec()))
+        let mut ws = LuWorkspace::new(self.rows);
+        ws.factorize(self)?;
+        let mut x = vec![0.0; self.rows];
+        ws.solve_into(b, &mut x);
+        Ok(x)
     }
 }
 
@@ -210,11 +216,16 @@ pub struct Lu {
 }
 
 /// Pivot magnitudes below this are treated as exact zeros (singularity).
-const PIVOT_EPS: f64 = 1e-300;
+pub(crate) const PIVOT_EPS: f64 = 1e-300;
 
 /// In-place LU elimination with partial pivoting over a packed row-major
-/// buffer. Shared by [`Lu`] and [`LuWorkspace`].
-fn factorize_in_place(n: usize, lu: &mut [f64], perm: &mut [usize]) -> Result<(), SolveError> {
+/// buffer. Shared by [`Lu`], [`LuWorkspace`], and the sparse engine's
+/// analysis-time pivot-order selection (`sparse.rs`).
+pub(crate) fn factorize_in_place(
+    n: usize,
+    lu: &mut [f64],
+    perm: &mut [usize],
+) -> Result<(), SolveError> {
     debug_assert_eq!(lu.len(), n * n);
     debug_assert_eq!(perm.len(), n);
     for (i, p) in perm.iter_mut().enumerate() {

@@ -1,0 +1,708 @@
+//! Sparse (CSC) matrices with LU factorization split into one-time symbolic
+//! analysis and cheap repeated numeric refactorization.
+//!
+//! Circuit Jacobians have a topology-fixed sparsity pattern: the nonzero
+//! positions are decided by the netlist, only the *values* change between
+//! Newton iterations. This module exploits that split:
+//!
+//! * [`SparsityPattern`] — an immutable CSC skeleton (column pointers + row
+//!   indices), built once from the circuit topology.
+//! * [`SparseMatrix`] — values laid over a pattern. Stamping writes into
+//!   pre-resolved slots; [`SparseMatrix::clear`] + repeated
+//!   [`SparseMatrix::add`] mirror the dense [`Matrix`] stamping
+//!   API so MNA assembly is target-generic.
+//! * [`SparseLu`] — the factorization engine. [`SparseLu::analyze`] runs once
+//!   per pattern: it picks a fill-reducing column ordering (greedy minimum
+//!   degree on the symmetrized pattern), pins a partial-pivot row order by
+//!   running one dense factorization, computes the no-cancellation fill-in
+//!   pattern of `P·A·Q = L·U`, and compiles a flat *replay script* (scatter
+//!   map + per-column update/divide slot lists). [`SparseLu::refactorize`]
+//!   then replays that script over new values with zero allocation and zero
+//!   index arithmetic beyond array reads — the cheap per-iteration path.
+//!
+//! Pivoting is *static*: the row order chosen at analysis time is reused by
+//! every refactorization. This is the standard circuit-simulator trade
+//! (Jacobian values drift slowly, so a once-good pivot order stays good);
+//! a refactorization that does hit a degenerate pivot reports
+//! [`SolveError::Singular`] and callers can re-run [`SparseLu::analyze`] to
+//! refresh the pivot order before giving up.
+//!
+//! Error taxonomy and workspace conventions (zero allocation after warmup,
+//! `solve_into` with caller-owned buffers) follow `matrix.rs`.
+
+use crate::matrix::{factorize_in_place, Matrix, SolveError, PIVOT_EPS};
+
+/// Immutable CSC sparsity skeleton: which `(row, col)` slots exist.
+///
+/// Built once from a coordinate list (duplicates are merged); value storage
+/// lives in [`SparseMatrix`]. Row indices are sorted within each column so
+/// slot lookup is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Builds an `n x n` pattern from `(row, col)` coordinates.
+    ///
+    /// Duplicates are merged. Panics if any coordinate is out of range —
+    /// patterns come from topology enumeration, so an out-of-range entry is
+    /// a caller bug, not a data condition.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Self {
+        let mut coords: Vec<(usize, usize)> = Vec::with_capacity(entries.len());
+        for &(r, c) in entries {
+            assert!(
+                r < n && c < n,
+                "pattern entry ({r},{c}) out of range for n={n}"
+            );
+            coords.push((c, r)); // column-major sort key
+        }
+        coords.sort_unstable();
+        coords.dedup();
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(coords.len());
+        for &(c, r) in &coords {
+            col_ptr[c + 1] += 1;
+            row_idx.push(r);
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        SparsityPattern {
+            n,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Matrix dimension (patterns are square).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Flat slot index of `(row, col)`, or `None` if outside the pattern.
+    #[inline]
+    pub fn slot(&self, row: usize, col: usize) -> Option<usize> {
+        let lo = self.col_ptr[col];
+        let hi = self.col_ptr[col + 1];
+        self.row_idx[lo..hi]
+            .binary_search(&row)
+            .ok()
+            .map(|i| lo + i)
+    }
+
+    /// Iterates `(row, col)` coordinates in column-major order.
+    pub fn coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |c| {
+            self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]]
+                .iter()
+                .map(move |&r| (r, c))
+        })
+    }
+}
+
+/// Values laid over a [`SparsityPattern`]; the sparse analogue of
+/// [`Matrix`] for stamping.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    pattern: SparsityPattern,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Zero matrix over `pattern`.
+    pub fn new(pattern: SparsityPattern) -> Self {
+        let values = vec![0.0; pattern.nnz()];
+        SparseMatrix { pattern, values }
+    }
+
+    /// The underlying pattern.
+    pub fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.pattern.n
+    }
+
+    /// Zeroes every stored value (the pattern is untouched).
+    pub fn clear(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `v` at `(row, col)`. Panics if the slot is not in the pattern —
+    /// stamping outside the pre-declared topology is a caller bug.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, v: f64) {
+        let slot = self
+            .pattern
+            .slot(row, col)
+            .unwrap_or_else(|| panic!("stamp at ({row},{col}) outside sparsity pattern"));
+        self.values[slot] += v;
+    }
+
+    /// Stored value at `(row, col)`; zero for slots outside the pattern.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.pattern.slot(row, col).map_or(0.0, |s| self.values[s])
+    }
+
+    /// Flat value storage, in pattern (column-major) order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `y = A·x` (column-oriented, allocation-free).
+    ///
+    /// Panics if `x` or `y` has the wrong length.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.pattern.n;
+        assert_eq!(x.len(), n, "mul_vec x length");
+        assert_eq!(y.len(), n, "mul_vec y length");
+        y.fill(0.0);
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.pattern.col_ptr[c]..self.pattern.col_ptr[c + 1] {
+                y[self.pattern.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+    }
+
+    /// Densifies into a [`Matrix`] (tests and cross-checks).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.pattern.n, self.pattern.n);
+        for (k, (r, c)) in self.pattern.coords().enumerate() {
+            m.add(r, c, self.values[k]);
+        }
+        m
+    }
+
+    /// One-shot solve of `A x = b` (analysis + factorization + solve).
+    ///
+    /// Convenience for tests and cross-checks; hot paths hold a [`SparseLu`]
+    /// and reuse its analysis. Error taxonomy matches
+    /// [`Matrix::solve`](crate::Matrix::solve): [`SolveError::DimensionMismatch`]
+    /// when `b` has the wrong length, [`SolveError::Singular`] from the
+    /// factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if b.len() != self.pattern.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.pattern.n,
+                got: b.len(),
+            });
+        }
+        let mut lu = SparseLu::new();
+        lu.analyze(self)?;
+        let mut x = vec![0.0; self.pattern.n];
+        lu.solve_into(b, &mut x);
+        Ok(x)
+    }
+}
+
+/// Sparse LU engine: one-time symbolic analysis + zero-alloc refactorization.
+///
+/// Lifecycle: [`analyze`](SparseLu::analyze) once per pattern (allocates,
+/// chooses orderings, compiles the replay script, and factorizes the given
+/// values), then [`refactorize`](SparseLu::refactorize) per value change and
+/// [`solve_into`](SparseLu::solve_into) per right-hand side — both
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SparseLu {
+    n: usize,
+    /// Permuted column `j` is original column `col_perm[j]`.
+    col_perm: Vec<usize>,
+    /// Permuted row `i` is original row `row_perm[i]`.
+    row_perm: Vec<usize>,
+    /// Factor storage: CSC over the fill-in pattern of `P·A·Q`, rows sorted.
+    fcol_ptr: Vec<usize>,
+    frow_idx: Vec<usize>,
+    fvals: Vec<f64>,
+    /// Factor slot of the diagonal `(j, j)` per column.
+    diag_slot: Vec<usize>,
+    /// A-slot (pattern order) -> factor slot.
+    scatter: Vec<usize>,
+    /// Replay script: `fvals[dest] -= fvals[l] * fvals[u]`, grouped per column.
+    upd: Vec<(usize, usize, usize)>,
+    col_upd: Vec<usize>,
+    /// Sub-diagonal slots divided by the column pivot, grouped per column.
+    div: Vec<usize>,
+    col_div: Vec<usize>,
+    /// Solve scratch (permuted frame).
+    work: Vec<f64>,
+    analyzed_nnz: usize,
+    analyzed: bool,
+    factored: bool,
+}
+
+impl SparseLu {
+    /// An empty engine; call [`analyze`](SparseLu::analyze) before use.
+    pub fn new() -> Self {
+        SparseLu::default()
+    }
+
+    /// True once a pattern has been analyzed.
+    pub fn is_analyzed(&self) -> bool {
+        self.analyzed
+    }
+
+    /// True when the stored factors are usable by [`solve_into`](SparseLu::solve_into).
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Symbolic analysis + first factorization.
+    ///
+    /// Chooses a fill-reducing column order (greedy minimum degree on the
+    /// symmetrized pattern, ties to the lowest index — deterministic), pins
+    /// the partial-pivot row order by running one dense factorization of the
+    /// given values, computes the no-cancellation fill-in pattern, compiles
+    /// the refactorization replay script, and factorizes. Allocates; every
+    /// later [`refactorize`](SparseLu::refactorize)/[`solve_into`](SparseLu::solve_into)
+    /// over the same pattern is allocation-free.
+    ///
+    /// Returns [`SolveError::Singular`] (with the failing elimination step)
+    /// if the values are numerically singular.
+    pub fn analyze(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
+        let n = a.pattern.n;
+        self.analyzed = false;
+        self.factored = false;
+        self.n = n;
+        self.analyzed_nnz = a.pattern.nnz();
+        self.col_perm = min_degree_order(&a.pattern);
+
+        // Pin the row order: one dense partial-pivoted factorization of the
+        // column-permuted values. Circuit Jacobians drift slowly, so this
+        // pivot order stays numerically sound across refactorizations.
+        let mut scratch = vec![0.0; n * n];
+        for (k, (r, c)) in a.pattern.coords().enumerate() {
+            let pc = self.col_perm.iter().position(|&oc| oc == c).unwrap();
+            scratch[r * n + pc] += a.values[k];
+        }
+        let mut perm = vec![0usize; n];
+        factorize_in_place(n, &mut scratch, &mut perm)?;
+        self.row_perm = perm;
+
+        let mut inv_row = vec![0usize; n];
+        let mut inv_col = vec![0usize; n];
+        for i in 0..n {
+            inv_row[self.row_perm[i]] = i;
+            inv_col[self.col_perm[i]] = i;
+        }
+
+        // Symbolic left-looking LU on B = P·A·Q: column j's fill-in is the
+        // union of B's column-j rows, the forced diagonal, and — for every
+        // marked row k < j, in ascending k — column k's sub-diagonal rows.
+        let mut fcols: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut mark = vec![false; n];
+        for j in 0..n {
+            let oc = self.col_perm[j];
+            for &r in &a.pattern.row_idx[a.pattern.col_ptr[oc]..a.pattern.col_ptr[oc + 1]] {
+                mark[inv_row[r]] = true;
+            }
+            mark[j] = true; // static pivoting needs the diagonal slot present
+            for k in 0..j {
+                if mark[k] {
+                    let col_k = &fcols[k];
+                    let start = col_k.partition_point(|&r| r <= k);
+                    for &r in &col_k[start..] {
+                        mark[r] = true;
+                    }
+                }
+            }
+            let mut rows: Vec<usize> = (0..n).filter(|&r| mark[r]).collect();
+            for &r in &rows {
+                mark[r] = false;
+            }
+            rows.sort_unstable();
+            fcols.push(rows);
+        }
+
+        // Flatten the factor pattern.
+        self.fcol_ptr = vec![0usize; n + 1];
+        self.frow_idx.clear();
+        self.diag_slot = vec![0usize; n];
+        for (j, rows) in fcols.iter().enumerate() {
+            for &r in rows {
+                if r == j {
+                    self.diag_slot[j] = self.frow_idx.len();
+                }
+                self.frow_idx.push(r);
+            }
+            self.fcol_ptr[j + 1] = self.frow_idx.len();
+        }
+        self.fvals = vec![0.0; self.frow_idx.len()];
+
+        fn fslot(fcol_ptr: &[usize], frow_idx: &[usize], row: usize, col: usize) -> usize {
+            let lo = fcol_ptr[col];
+            let hi = fcol_ptr[col + 1];
+            lo + frow_idx[lo..hi]
+                .binary_search(&row)
+                .expect("factor pattern covers A and all fill-in")
+        }
+
+        // Scatter map: A slot (pattern order) -> factor slot.
+        self.scatter.clear();
+        self.scatter.reserve(a.pattern.nnz());
+        for (r, c) in a.pattern.coords() {
+            self.scatter.push(fslot(
+                &self.fcol_ptr,
+                &self.frow_idx,
+                inv_row[r],
+                inv_col[c],
+            ));
+        }
+
+        // Replay script. For column j, ascending k over its super-diagonal
+        // rows (the U entries): fvals[(r,j)] -= fvals[(r,k)] * fvals[(k,j)]
+        // for every sub-diagonal row r of column k; then divide column j's
+        // sub-diagonal slots by the pivot.
+        self.upd.clear();
+        self.div.clear();
+        self.col_upd = vec![0usize; n + 1];
+        self.col_div = vec![0usize; n + 1];
+        for j in 0..n {
+            for s in self.fcol_ptr[j]..self.fcol_ptr[j + 1] {
+                let k = self.frow_idx[s];
+                if k >= j {
+                    break; // rows sorted: super-diagonal entries come first
+                }
+                for ls in self.fcol_ptr[k]..self.fcol_ptr[k + 1] {
+                    let r = self.frow_idx[ls];
+                    if r > k {
+                        let dest = fslot(&self.fcol_ptr, &self.frow_idx, r, j);
+                        self.upd.push((dest, ls, s));
+                    }
+                }
+            }
+            self.col_upd[j + 1] = self.upd.len();
+            for s in self.fcol_ptr[j]..self.fcol_ptr[j + 1] {
+                if self.frow_idx[s] > j {
+                    self.div.push(s);
+                }
+            }
+            self.col_div[j + 1] = self.div.len();
+        }
+
+        self.work = vec![0.0; n];
+        self.analyzed = true;
+        self.refactorize(a)
+    }
+
+    /// Numeric refactorization over new values, reusing the frozen orderings
+    /// and fill-in pattern. Allocation-free.
+    ///
+    /// Returns [`SolveError::Singular`] if a pivot underflows
+    /// (`PIVOT_EPS`-degenerate) under the frozen pivot order — callers may
+    /// then [`analyze`](SparseLu::analyze) again to refresh the ordering.
+    ///
+    /// Panics if `a`'s pattern differs from the analyzed one (slot-count
+    /// check): mixing patterns is a caller bug.
+    pub fn refactorize(&mut self, a: &SparseMatrix) -> Result<(), SolveError> {
+        assert!(self.analyzed, "refactorize before analyze");
+        assert_eq!(
+            a.pattern.nnz(),
+            self.analyzed_nnz,
+            "sparsity pattern changed since analyze"
+        );
+        assert_eq!(a.pattern.n, self.n, "dimension changed since analyze");
+        self.factored = false;
+        self.fvals.fill(0.0);
+        for (k, &s) in self.scatter.iter().enumerate() {
+            self.fvals[s] += a.values[k];
+        }
+        for j in 0..self.n {
+            for &(dest, l, u) in &self.upd[self.col_upd[j]..self.col_upd[j + 1]] {
+                self.fvals[dest] -= self.fvals[l] * self.fvals[u];
+            }
+            let p = self.fvals[self.diag_slot[j]];
+            if p.abs() < PIVOT_EPS {
+                return Err(SolveError::Singular { step: j });
+            }
+            let inv = 1.0 / p;
+            for &s in &self.div[self.col_div[j]..self.col_div[j + 1]] {
+                self.fvals[s] *= inv;
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A x = b` using the stored factors. Allocation-free.
+    ///
+    /// Panics unless factored and `b`/`x` have length `n` — the hot path
+    /// owns its buffers, so mismatches are caller bugs.
+    pub fn solve_into(&mut self, b: &[f64], x: &mut [f64]) {
+        assert!(
+            self.factored,
+            "solve_into before a successful factorization"
+        );
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solution length mismatch");
+        let n = self.n;
+        for i in 0..n {
+            self.work[i] = b[self.row_perm[i]];
+        }
+        // Forward: L y = P b (unit diagonal), column-oriented.
+        for j in 0..n {
+            let yj = self.work[j];
+            if yj != 0.0 {
+                for &s in &self.div[self.col_div[j]..self.col_div[j + 1]] {
+                    self.work[self.frow_idx[s]] -= self.fvals[s] * yj;
+                }
+            }
+        }
+        // Backward: U w = y, column-oriented.
+        for j in (0..n).rev() {
+            self.work[j] /= self.fvals[self.diag_slot[j]];
+            let wj = self.work[j];
+            if wj != 0.0 {
+                for s in self.fcol_ptr[j]..self.fcol_ptr[j + 1] {
+                    let r = self.frow_idx[s];
+                    if r >= j {
+                        break;
+                    }
+                    self.work[r] -= self.fvals[s] * wj;
+                }
+            }
+        }
+        // Undo the column permutation: unknown j in the permuted frame is
+        // original unknown col_perm[j].
+        for j in 0..n {
+            x[self.col_perm[j]] = self.work[j];
+        }
+    }
+}
+
+/// Greedy minimum-degree ordering on the symmetrized pattern.
+///
+/// Classic fill-reducing heuristic: repeatedly eliminate the vertex of
+/// minimum degree in the (undirected) graph of `A + Aᵀ`, connecting its
+/// neighbours into a clique. Ties break to the lowest index, so the order is
+/// deterministic. O(n³) worst case — fine at circuit sizes.
+fn min_degree_order(p: &SparsityPattern) -> Vec<usize> {
+    let n = p.n;
+    let mut adj = vec![false; n * n];
+    for (r, c) in p.coords() {
+        if r != c {
+            adj[r * n + c] = true;
+            adj[c * n + r] = true;
+        }
+    }
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let deg = (0..n).filter(|&u| alive[u] && adj[v * n + u]).count();
+            if deg < best_deg {
+                best_deg = deg;
+                best = v;
+            }
+        }
+        let v = best;
+        alive[v] = false;
+        order.push(v);
+        let nbrs: Vec<usize> = (0..n).filter(|&u| alive[u] && adj[v * n + u]).collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                adj[a * n + b] = true;
+                adj[b * n + a] = true;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_pattern(n: usize) -> Vec<(usize, usize)> {
+        (0..n).flat_map(|r| (0..n).map(move |c| (r, c))).collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve() {
+        let p = SparsityPattern::from_entries(3, &[(0, 0), (1, 1), (2, 2)]);
+        let mut a = SparseMatrix::new(p);
+        for i in 0..3 {
+            a.add(i, i, 2.0);
+        }
+        let x = a.solve(&[2.0, 4.0, 6.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn zero_diagonal_needs_pivoting() {
+        // Voltage-source-like branch row: structurally zero diagonal.
+        let p = SparsityPattern::from_entries(2, &dense_pattern(2));
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 1, 1.0);
+        a.add(1, 0, 1.0);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert_close(&x, &[5.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn arrow_matrix_fill_in() {
+        // Arrow pattern: elimination in natural order fills the whole matrix;
+        // min-degree should keep the hub last. Either way, results match dense.
+        let n = 5;
+        let mut entries = vec![(n - 1, n - 1)];
+        for i in 0..n - 1 {
+            entries.push((i, i));
+            entries.push((i, n - 1));
+            entries.push((n - 1, i));
+        }
+        let p = SparsityPattern::from_entries(n, &entries);
+        let mut a = SparseMatrix::new(p);
+        for i in 0..n - 1 {
+            a.add(i, i, 4.0 + i as f64);
+            a.add(i, n - 1, 1.0);
+            a.add(n - 1, i, -1.0);
+        }
+        a.add(n - 1, n - 1, 6.0);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let sparse_x = a.solve(&b).unwrap();
+        let dense_x = a.to_dense().solve(&b).unwrap();
+        assert_close(&sparse_x, &dense_x, 1e-12);
+    }
+
+    #[test]
+    fn refactorize_tracks_new_values() {
+        let p = SparsityPattern::from_entries(3, &[(0, 0), (1, 1), (2, 2), (0, 2), (2, 0)]);
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 0, 2.0);
+        a.add(1, 1, 3.0);
+        a.add(2, 2, 4.0);
+        a.add(0, 2, 1.0);
+        a.add(2, 0, -1.0);
+        let mut lu = SparseLu::new();
+        lu.analyze(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let mut x = vec![0.0; 3];
+        lu.solve_into(&b, &mut x);
+        assert_close(&x, &a.to_dense().solve(&b).unwrap(), 1e-12);
+
+        a.clear();
+        a.add(0, 0, 5.0);
+        a.add(1, 1, -2.0);
+        a.add(2, 2, 7.0);
+        a.add(0, 2, 0.5);
+        a.add(2, 0, 2.0);
+        lu.refactorize(&a).unwrap();
+        lu.solve_into(&b, &mut x);
+        assert_close(&x, &a.to_dense().solve(&b).unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn singular_reported_at_analysis() {
+        let p = SparsityPattern::from_entries(2, &dense_pattern(2));
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 4.0);
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(SolveError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_reported_at_refactorization() {
+        let p = SparsityPattern::from_entries(2, &dense_pattern(2));
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 0, 1.0);
+        a.add(1, 1, 1.0);
+        let mut lu = SparseLu::new();
+        lu.analyze(&a).unwrap();
+        a.clear();
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 4.0);
+        let err = lu.refactorize(&a).unwrap_err();
+        assert!(matches!(err, SolveError::Singular { .. }));
+        assert!(!lu.is_factored());
+    }
+
+    #[test]
+    fn dimension_mismatch_parity_with_dense() {
+        let p = SparsityPattern::from_entries(2, &[(0, 0), (1, 1)]);
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 0, 1.0);
+        a.add(1, 1, 1.0);
+        assert_eq!(
+            a.solve(&[1.0, 2.0, 3.0]),
+            Err(SolveError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn mna_shaped_system_matches_dense() {
+        // 2 nodes + 1 vsource branch: G-stamped node block plus ±1 branch
+        // rows with a structurally zero (branch, branch) diagonal.
+        let n = 3;
+        let entries = vec![
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (0, 2),
+            (2, 0),
+            (1, 1),
+            (2, 2),
+        ];
+        let p = SparsityPattern::from_entries(n, &entries);
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 0, 1e-3);
+        a.add(0, 1, -1e-3);
+        a.add(1, 0, -1e-3);
+        a.add(1, 1, 2e-3);
+        a.add(0, 2, 1.0);
+        a.add(2, 0, 1.0);
+        let b = [0.0, 1e-4, 0.8];
+        let sparse_x = a.solve(&b).unwrap();
+        let dense_x = a.to_dense().solve(&b).unwrap();
+        assert_close(&sparse_x, &dense_x, 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense_product() {
+        let entries = vec![(0, 0), (0, 2), (1, 1), (2, 0), (2, 2)];
+        let p = SparsityPattern::from_entries(3, &entries);
+        let mut a = SparseMatrix::new(p);
+        a.add(0, 0, 2.0);
+        a.add(0, 2, -1.0);
+        a.add(1, 1, 3.0);
+        a.add(2, 0, 0.5);
+        a.add(2, 2, 4.0);
+        let x = [1.0, -2.0, 3.0];
+        let mut y = [f64::NAN; 3];
+        a.mul_vec(&x, &mut y);
+        assert_close(&y, &[-1.0, -6.0, 12.5], 1e-15);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: the sparse LU engine agrees with the dense reference on
+//! random MNA-shaped systems — solutions to 1e-12 and `SolveError` parity on
+//! singular/mismatched inputs.
+
+use proptest::prelude::*;
+use tfet_numerics::matrix::SolveError;
+use tfet_numerics::{SparseLu, SparseMatrix, SparsityPattern};
+
+/// An MNA-shaped random system: `n_v` node rows stamped with random
+/// two-terminal conductance branches (made strictly diagonally dominant, so
+/// the node block is well conditioned) plus `n_b` voltage-source-style branch
+/// rows carrying ±1 incidence entries and a structurally *zero* diagonal —
+/// the shape that forces the sparse engine to pivot.
+#[derive(Debug, Clone)]
+struct MnaSystem {
+    n: usize,
+    entries: Vec<(usize, usize, f64)>,
+    b: Vec<f64>,
+}
+
+fn mna_system() -> impl Strategy<Value = MnaSystem> {
+    (2usize..7, 0usize..3)
+        .prop_flat_map(|(n_v, n_b)| {
+            let n = n_v + n_b;
+            let branches = prop::collection::vec((0..n_v, 0..n_v, 1e-4f64..1e-1), n_v..3 * n_v);
+            let sources = prop::collection::vec(0..n_v, n_b);
+            let rhs = prop::collection::vec(-1.0f64..1.0, n);
+            (Just((n_v, n_b, n)), branches, sources, rhs)
+        })
+        .prop_map(|((n_v, _n_b, n), branches, sources, rhs)| {
+            let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+            // Conductance branches between node rows.
+            for (a, b, g) in branches {
+                entries.push((a, a, g));
+                entries.push((b, b, g));
+                if a != b {
+                    entries.push((a, b, -g));
+                    entries.push((b, a, -g));
+                }
+            }
+            // Diagonal padding keeps the node block strictly dominant even
+            // after cancellation between branches.
+            for i in 0..n_v {
+                entries.push((i, i, 1.0));
+            }
+            // Voltage-source branch rows: ±1 incidence, zero (bi, bi) slot.
+            for (k, &node) in sources.iter().enumerate() {
+                let bi = n_v + k;
+                entries.push((node, bi, 1.0));
+                entries.push((bi, node, 1.0));
+            }
+            MnaSystem { n, entries, b: rhs }
+        })
+}
+
+fn build_sparse(sys: &MnaSystem) -> SparseMatrix {
+    let coords: Vec<(usize, usize)> = sys.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+    let mut a = SparseMatrix::new(SparsityPattern::from_entries(sys.n, &coords));
+    for &(r, c, v) in &sys.entries {
+        a.add(r, c, v);
+    }
+    a
+}
+
+proptest! {
+    #[test]
+    fn sparse_solution_matches_dense(sys in mna_system()) {
+        let a = build_sparse(&sys);
+        let dense = a.to_dense();
+        match (a.solve(&sys.b), dense.solve(&sys.b)) {
+            (Ok(xs), Ok(xd)) => {
+                for (s, d) in xs.iter().zip(&xd) {
+                    prop_assert!((s - d).abs() < 1e-12, "sparse {xs:?} vs dense {xd:?}");
+                }
+            }
+            // Error parity: both paths must agree that the system is singular
+            // (a branch row whose source node has no other connection can be).
+            (Err(SolveError::Singular { .. }), Err(SolveError::Singular { .. })) => {}
+            (s, d) => prop_assert!(false, "verdict mismatch: sparse {s:?}, dense {d:?}"),
+        }
+    }
+
+    #[test]
+    fn refactorize_matches_dense_on_rescaled_values(sys in mna_system(), scale in 0.1f64..10.0) {
+        let mut a = build_sparse(&sys);
+        let mut lu = SparseLu::new();
+        if lu.analyze(&a).is_err() {
+            // Singular draw — covered by the parity test above.
+            return Ok(());
+        }
+        // Same pattern, drifted values: the modified-Newton refactorization
+        // path. Scaling preserves nonsingularity.
+        let scaled: Vec<(usize, usize, f64)> =
+            sys.entries.iter().map(|&(r, c, v)| (r, c, v * scale)).collect();
+        a.clear();
+        for &(r, c, v) in &scaled {
+            a.add(r, c, v);
+        }
+        lu.refactorize(&a).unwrap();
+        let mut xs = vec![0.0; sys.n];
+        lu.solve_into(&sys.b, &mut xs);
+        let xd = a.to_dense().solve(&sys.b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-12, "sparse {xs:?} vs dense {xd:?}");
+        }
+    }
+
+    #[test]
+    fn singular_error_parity(sys in mna_system(), row in 0usize..6) {
+        // Zero out one node row's values (pattern unchanged): both solvers
+        // must report Singular, not produce garbage.
+        let row = row % sys.n;
+        let mut zeroed = sys.clone();
+        for e in &mut zeroed.entries {
+            if e.0 == row {
+                e.2 = 0.0;
+            }
+        }
+        let a = build_sparse(&zeroed);
+        let sparse_verdict = a.solve(&zeroed.b);
+        let dense_verdict = a.to_dense().solve(&zeroed.b);
+        prop_assert_eq!(
+            matches!(sparse_verdict, Err(SolveError::Singular { .. })),
+            matches!(dense_verdict, Err(SolveError::Singular { .. })),
+            "sparse {:?} vs dense {:?}", sparse_verdict, dense_verdict
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_parity(sys in mna_system(), extra in 1usize..4) {
+        let a = build_sparse(&sys);
+        let long_b = vec![1.0; sys.n + extra];
+        prop_assert_eq!(
+            a.solve(&long_b),
+            Err(SolveError::DimensionMismatch { expected: sys.n, got: sys.n + extra })
+        );
+        prop_assert_eq!(
+            a.to_dense().solve(&long_b),
+            Err(SolveError::DimensionMismatch { expected: sys.n, got: sys.n + extra })
+        );
+    }
+}

@@ -28,6 +28,22 @@ cargo test -q -p tfet-integration --offline --test observability quarantine
 echo "== cargo bench --no-run =="
 cargo bench --workspace --offline --no-run
 
+echo "== solver bench compile check =="
+cargo bench -p tfet-bench --bench solver_throughput --offline --no-run
+cargo bench -p tfet-bench --bench mc_throughput --offline --no-run
+
+echo "== sparse-vs-dense figure-CSV bit-identity (--quick, 1 and 8 threads) =="
+figtmp="$(mktemp -d)"
+trap 'rm -rf "$figtmp"' EXIT
+for threads in 1 8; do
+  RAYON_NUM_THREADS=$threads cargo run -q --release --offline -p tfet-bench \
+    --bin figures -- --quick --out "$figtmp/sparse_t$threads" >/dev/null
+  RAYON_NUM_THREADS=$threads cargo run -q --release --offline -p tfet-bench \
+    --bin figures -- --quick --dense --out "$figtmp/dense_t$threads" >/dev/null
+  diff -r "$figtmp/sparse_t$threads" "$figtmp/dense_t$threads"
+  echo "threads=$threads: sparse and dense figure CSVs are bit-identical"
+done
+
 echo "== run_report smoke (traced scorecard + MC, JSON validates) =="
 cargo run -q --release --offline --example run_report -- --report >/dev/null
 python3 - <<'EOF'

@@ -3,6 +3,7 @@
 //! The build environment cannot reach crates.io, so this crate reimplements
 //! the slice of the proptest API the workspace's property tests use:
 //! the [`proptest!`] macro, range and collection strategies, `prop_map`,
+//! `prop_flat_map`,
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and [`ProptestConfig`].
 //!
 //! Differences from upstream, by design:
@@ -128,6 +129,17 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Maps generated values into a dependent strategy and draws from it
+    /// (upstream `Strategy::prop_flat_map`).
+    fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        T: Strategy,
+        F: Fn(Self::Value) -> T,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy yielding a single fixed value.
@@ -152,6 +164,21 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        let dependent = (self.f)(self.inner.generate(rng));
+        dependent.generate(rng)
     }
 }
 
