@@ -5,24 +5,30 @@
 //! mode.
 //!
 //! Usage:
-//! `cargo run --release -p tfet-bench --bin figures [--quick] [--dense] [--out DIR]`
+//! `cargo run --release -p tfet-bench --bin figures [--quick] [--dense] [--latency-off] [--out DIR]`
 //!
 //! * `--quick` — coarse grids for a fast smoke run;
 //! * `--dense` — force the legacy dense linear solver process-wide (the
 //!   sparse/dense figure-equivalence gate in `scripts/check.sh` diffs the
 //!   CSVs from a `--dense` run against a default run byte for byte);
+//! * `--latency-off` — force full device evaluation process-wide (the
+//!   latency-tier figure-identity gate diffs a `--latency-off` run against
+//!   a default run the same way);
 //! * `--out DIR` — write CSVs to `DIR` instead of `results/`.
 
 use std::fs;
 use tfet_bench::experiments as exp;
 use tfet_bench::Table;
-use tfet_sram::prelude::SolverStrategy;
+use tfet_sram::prelude::{DeviceLatency, SolverStrategy};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--dense") {
         SolverStrategy::set_process_default(SolverStrategy::Dense);
+    }
+    if args.iter().any(|a| a == "--latency-off") {
+        DeviceLatency::set_process_default(DeviceLatency::Off);
     }
     let out_dir = args
         .iter()
@@ -33,19 +39,15 @@ fn main() {
     fs::create_dir_all(out_dir).expect("create results dir");
 
     // Grids: full paper resolution vs quick smoke.
-    let (betas_fig4, betas_wa, betas_ra, vdds, mc_n): (
-        Vec<f64>,
-        Vec<f64>,
-        Vec<f64>,
-        Vec<f64>,
-        usize,
-    ) = if quick {
+    type Grids = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, usize, Vec<usize>);
+    let (betas_fig4, betas_wa, betas_ra, vdds, mc_n, array_sizes): Grids = if quick {
         (
             vec![0.6, 1.0, 2.0],
             vec![1.2, 2.0],
             vec![0.4, 0.8],
             vec![0.6, 0.8],
             8,
+            vec![8],
         )
     } else {
         (
@@ -54,6 +56,7 @@ fn main() {
             vec![0.3, 0.4, 0.5, 0.6, 0.8, 1.0],
             vec![0.5, 0.6, 0.7, 0.8, 0.9],
             120,
+            vec![8, 16],
         )
     };
 
@@ -70,6 +73,7 @@ fn main() {
         exp::fig12(&vdds),
         exp::table_static_power(&vdds),
         exp::table_area(),
+        exp::fig_array(&array_sizes),
     ];
 
     for t in &tables {

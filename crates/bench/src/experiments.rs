@@ -496,6 +496,55 @@ pub fn table_area() -> Table {
     t
 }
 
+/// Array-level validation: `WL_crit` searched through the full R×R
+/// netlist — wordline-driver slew, column-mux discharge and half-select
+/// loading all physical — against the analytic single-cell model with the
+/// column's row-scaled bitline load.
+///
+/// The table carries *physical values only* (no solver-effort counters):
+/// `scripts/check.sh` diffs this CSV byte for byte between latency tiers
+/// and across assembly thread counts, so everything printed must be
+/// invariant under both knobs.
+pub fn fig_array(sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Array",
+        "array netlist WL_crit vs the analytic single-cell model",
+        &[
+            "rows",
+            "cols",
+            "wlcrit_netlist_ps",
+            "wlcrit_analytic_ps",
+            "ratio",
+        ],
+    );
+    for &n in sizes {
+        let mut cell = inp_cell(0.6);
+        // The array engine's fixed-grid transient resolves WL_crit well at
+        // a 4 ps step; halving it doubles every probe's cost for no change
+        // in the printed 0.1 ps resolution.
+        cell.sim.dt = 4e-12;
+        let mut a = ArrayNetlist::build(ArraySpec::new(n, n, cell)).expect("array build");
+        let netlist = a.wl_crit(0, 0).expect("array WL_crit");
+        let analytic = a.analytic_wl_crit().expect("analytic WL_crit");
+        let ratio = match (netlist, analytic) {
+            (WlCrit::Finite(x), WlCrit::Finite(y)) => format!("{:.2}", x / y),
+            _ => "-".into(),
+        };
+        t.push_row(vec![
+            n.to_string(),
+            n.to_string(),
+            wl_cell(netlist),
+            wl_cell(analytic),
+            ratio,
+        ]);
+    }
+    t.note(
+        "shape check: netlist > analytic at every size (driver slew and mux discharge \
+         only lengthen the critical pulse), same order of magnitude",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@
 //! sets the stored state before a hold-power measurement.
 
 use crate::error::SimError;
+use crate::latency::DeviceLatency;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId, SourceId};
 use crate::workspace::{with_workspace, NewtonWorkspace, SolverBufs};
@@ -74,6 +75,11 @@ pub struct NewtonOpts {
     pub v_step_max: f64,
     /// Linear-solve strategy (see [`SolverStrategy`]).
     pub strategy: SolverStrategy,
+    /// Device-latency mode: `On` enables the bypass cache and (for
+    /// partitioned circuits) the quiescent-partition dormancy tier during
+    /// transient solves; `Off` is the full-evaluation baseline (see
+    /// [`DeviceLatency`]).
+    pub latency: DeviceLatency,
 }
 
 impl Default for NewtonOpts {
@@ -87,6 +93,7 @@ impl Default for NewtonOpts {
             v_tol: 2e-8,
             v_step_max: 0.3,
             strategy: SolverStrategy::default(),
+            latency: DeviceLatency::default(),
         }
     }
 }
@@ -153,9 +160,8 @@ fn newton_dense(
     let mut last_residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
         bufs.newton_iters += 1;
-        let (evals, _) =
-            mna.assemble_into(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f, None);
-        bufs.device_evals += evals;
+        let stats = mna.assemble_into(&x, t, gmin, anchor, caps, &mut bufs.j, &mut bufs.f, None);
+        bufs.device_evals += stats.evals;
         // Residual infinity-norm: convergence is decided on |Δv| below, but
         // the history is what a post-mortem of a failed solve needs. The
         // pushes reuse reserved capacity (see `RES_HISTORY_CAP`), so the
@@ -224,10 +230,12 @@ fn newton_dense(
 /// device-evaluation bypass) and, when a valid factorization from an earlier
 /// iteration or step is available and `gmin == 0`, *reuses* it instead of
 /// refactorizing. A reused factor that stops contracting the update —
-/// `|Δv| ≥ v_tol` and shrinking by less than 2× versus the previous
-/// iteration — triggers a full refactorization at the current iterate and an
-/// immediate re-solve, bounded to once per iteration; gmin-laddered solves
-/// (the PR-5 rescue path, untouched above this function) always refactorize
+/// `|Δv| ≥ v_tol` and shrinking by less than ~1.4× versus the previous
+/// chord iteration (the first iteration of a solve is exempt, so a factor
+/// carried across transient steps gets one chord probe before it can be
+/// declared stale) — triggers a full refactorization at the current iterate
+/// and an immediate re-solve, bounded to once per iteration; gmin-laddered
+/// solves (the PR-5 rescue path, untouched above this function) always refactorize
 /// and never publish their factors for reuse.
 ///
 /// Convergence is declared on the same undamped `|Δv| < v_tol` test as the
@@ -255,6 +263,7 @@ fn newton_sparse(
     let n_v = mna.voltage_count();
     bufs.ensure(n);
     bufs.ensure_sparse(mna);
+    bufs.ensure_latency(mna);
     bufs.newton_solves += 1;
     bufs.res_history.clear();
     let _span = tfet_obs::span("newton");
@@ -264,32 +273,60 @@ fn newton_sparse(
     let allow_reuse = gmin == 0.0;
     let mut last_delta = f64::INFINITY;
     let mut last_residual = f64::INFINITY;
-    // Starting at zero (not ∞) makes the stall guard fire *within the first
-    // iteration* whenever the reused-factor probe fails to converge
-    // outright: plateau steps keep their one-iteration fast path, while
-    // moving steps refactorize immediately — after one cheap triangular
-    // solve — and converge quadratically like the dense loop, instead of
-    // limping through chord iterations that each cost device evaluations.
-    let mut prev_max_dv = 0.0f64;
+    // Starting at ∞ (not zero) exempts the *first* chord iteration from the
+    // stall guard: on a fixed transient grid the companion conductances are
+    // constant and the previous step's factorization is a near-exact
+    // preconditioner, so even steps whose first update is large contract
+    // geometrically under chord iteration. A guard primed at zero would
+    // refactorize every moving step — ruinous at array scale, where one
+    // LU factorization outweighs dozens of triangular solves and the
+    // latency tier has already made per-iteration assembly cheap. A factor
+    // that really is stale still trips the 0.7-contraction guard below on
+    // the second iteration, after exactly one wasted triangular solve.
+    let mut prev_max_dv = f64::INFINITY;
     for iter in 0..opts.max_iter {
         bufs.newton_iters += 1;
         {
+            let _span = tfet_obs::span("assemble");
             let s = bufs.sparse.as_mut().expect("ensure_sparse ran");
-            // Device bypass is a transient-only optimization: those solves
-            // are LTE-controlled, so the (second-order) extrapolation error
-            // stays far inside the step-acceptance budget. DC operating
-            // points are solved with full evaluations — they are rare, and
-            // they anchor accuracy contracts (VTC sweeps, SNM extraction)
-            // at the Newton tolerance itself.
-            let cache = if caps.is_some() {
-                Some(&mut bufs.device_cache)
-            } else {
-                None
+            // Device bypass (and the partition tier above it) is a
+            // transient-only optimization: those solves are LTE-controlled,
+            // so the (second-order) extrapolation error stays far inside
+            // the step-acceptance budget. DC operating points are solved
+            // with full evaluations — they are rare, and they anchor
+            // accuracy contracts (VTC sweeps, SNM extraction) at the Newton
+            // tolerance itself. `DeviceLatency::Off` disables both layers,
+            // giving the clean full-evaluation baseline the figure-identity
+            // gate compares against. Partitioned circuits additionally get
+            // incremental Jacobian maintenance (`assemble_sparse_latent`).
+            let use_cache = caps.is_some() && opts.latency == DeviceLatency::On;
+            let stats = match (use_cache, bufs.latency.as_mut(), caps) {
+                (true, Some(lat), Some(caps)) => mna.assemble_sparse_latent(
+                    &x,
+                    t,
+                    gmin,
+                    anchor,
+                    caps,
+                    &mut s.jac,
+                    &mut s.inc,
+                    &mut bufs.f,
+                    &mut bufs.device_cache,
+                    lat,
+                ),
+                _ => {
+                    let cache = if use_cache {
+                        Some(&mut bufs.device_cache)
+                    } else {
+                        None
+                    };
+                    mna.assemble_into(&x, t, gmin, anchor, caps, &mut s.jac, &mut bufs.f, cache)
+                }
             };
-            let (evals, bypassed) =
-                mna.assemble_into(&x, t, gmin, anchor, caps, &mut s.jac, &mut bufs.f, cache);
-            bufs.device_evals += evals;
-            bufs.devices_bypassed += bypassed;
+            bufs.device_evals += stats.evals;
+            bufs.devices_bypassed += stats.bypassed;
+            bufs.devices_dormant += stats.dormant;
+            bufs.cells_refreshed += stats.cells_refreshed;
+            bufs.guard_refreshes += stats.guard_refreshes;
         }
         last_residual = bufs.f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         if bufs.res_history.len() < bufs.res_history.capacity() {
@@ -312,6 +349,7 @@ fn newton_sparse(
             *r = -v;
         }
         {
+            let _span = tfet_obs::span("trisolve");
             let s = bufs.sparse.as_mut().expect("ensure_sparse ran");
             s.lu.solve_into(&bufs.rhs, &mut bufs.dx);
         }

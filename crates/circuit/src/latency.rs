@@ -1,0 +1,353 @@
+//! Quiescent-partition device latency: cell-level dormancy tiers for
+//! array-scale transients, plus deterministic parallel device evaluation.
+//!
+//! A bitcell array transient is dominated by devices that do nothing: during
+//! a write, every row but one holds its state at sub-µV drift, yet a naive
+//! Newton loop re-evaluates all R×C×6 transistor models each iteration. The
+//! PR-6 per-device bypass already skips a model call when a device's own
+//! terminals sit still; this module generalizes it to a **partition tier**:
+//! the netlist registers groups of devices (one [`CellPartition`] per
+//! bitcell) together with the nodes whose movement matters to them, and
+//! assembly skips *the whole cell* — decision per cell, not per device —
+//! while every terminal stays within tolerance of the cell's last refresh
+//! point.
+//!
+//! Two node lists drive the decision, with different tolerances:
+//!
+//! * `watch` — the cell-internal storage nodes, checked at the proven
+//!   per-device bypass window (`BYPASS_VTOL`, 150 µV);
+//! * `guard` — the shared wordline/bitline/rail nodes, checked at
+//!   [`GUARD_VTOL`] (16 × 150 µV = 2.4 mV; see its doc for why the replay's
+//!   second-order error lets this sit looser than the watch window). When an
+//!   adjacent line moves past it — a wordline rising toward a dormant cell, a
+//!   bitline discharging beside it — the guard trips and the cell is
+//!   force-refreshed *before* any stamp is produced from stale
+//!   linearizations.
+//!
+//! Dormant cells are stamped from their cached first-order linearizations
+//! (the same replay as the per-device bypass, so the error stays second
+//! order in the movement); refreshed cells re-evaluate **all** their devices
+//! at once, which re-anchors both the cache and the reference point the next
+//! dormancy decision compares against. Drift therefore accumulates against a
+//! fixed refresh point and can never creep past tolerance unnoticed.
+//!
+//! Orthogonally, the module owns the process-wide knobs for this tier:
+//! [`DeviceLatency`] (the on/off switch, mirrored per-call in
+//! [`NewtonOpts`](crate::NewtonOpts) and
+//! [`TransientSpec`](crate::TransientSpec) so tests can compare both modes
+//! without racing a global), and [`set_assembly_threads`] for the
+//! deterministic parallel device-evaluation fan-out (per-device results are
+//! pure and merged serially in fixed netlist order, so thread count changes
+//! wall-clock only, never bits).
+
+use crate::mna::BYPASS_VTOL;
+use crate::netlist::{Circuit, NodeId};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use tfet_numerics::GroupedIndices;
+
+/// Whether the quiescent-partition latency tier (and the per-device bypass
+/// cache beneath it) is active for a solve.
+///
+/// `Off` is the clean full-evaluation baseline: every transistor model is
+/// evaluated on every Newton iteration, exactly like the dense reference
+/// path. The figure CSV identity gate in `scripts/check.sh` diffs the two
+/// modes byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceLatency {
+    /// Dormancy tier + device bypass active (default).
+    On,
+    /// Full device evaluation every iteration (cross-check baseline).
+    Off,
+}
+
+/// Process-wide default latency mode (0 = On, 1 = Off), consulted by
+/// `DeviceLatency::default()` and therefore by every option struct built
+/// with `..Default::default()`.
+static DEFAULT_LATENCY: AtomicU8 = AtomicU8::new(0);
+
+impl DeviceLatency {
+    /// Sets the process-wide default latency mode.
+    ///
+    /// Intended for binary startup (the `figures --latency-off` cross-check
+    /// flag) — flipping it mid-run races against concurrently built option
+    /// structs, so don't. Tests should set the per-spec field
+    /// ([`TransientSpec::with_device_latency`]) instead.
+    ///
+    /// [`TransientSpec::with_device_latency`]: crate::TransientSpec::with_device_latency
+    pub fn set_process_default(mode: DeviceLatency) {
+        DEFAULT_LATENCY.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// The current process-wide default latency mode.
+    pub fn process_default() -> DeviceLatency {
+        match DEFAULT_LATENCY.load(Ordering::Relaxed) {
+            1 => DeviceLatency::Off,
+            _ => DeviceLatency::On,
+        }
+    }
+}
+
+impl Default for DeviceLatency {
+    fn default() -> Self {
+        DeviceLatency::process_default()
+    }
+}
+
+/// Movement tolerance on `guard` nodes — the shared wordline/bitline/rail
+/// nodes adjacent to a partition. A dormant cell's devices are still
+/// *replayed* from their cached linearization, which is first-order exact in
+/// every terminal voltage including the shared lines — the guard only bounds
+/// the *second-order* replay error, so it can be far looser than the Newton
+/// tolerance. 2.4 mV keeps that error below ~0.3 % of the (leakage-level)
+/// current of a dormant device while letting a floating bitline drift
+/// through half-select leakage for a full nanosecond without refresh churn.
+/// A real stimulus edge (0.1–1 V in tens of ps) still crosses it within a
+/// fraction of one time step, force-refreshing the cell before the
+/// disturbance reaches amplitudes where the cached linearization degrades.
+pub const GUARD_VTOL: f64 = 16.0 * BYPASS_VTOL;
+
+/// Minimum full device evaluations in one assembly before the evaluation
+/// loop fans out across threads. Below this, scoped-thread spawn overhead
+/// (~10 µs) exceeds the model-evaluation work; single-cell circuits (≤ 7
+/// devices) never come close, so the parallel path is exercised only by
+/// array-scale netlists.
+pub const PAR_EVAL_MIN: usize = 192;
+
+/// Worker-thread override for parallel device evaluation (0 = auto).
+static ASSEMBLY_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count for parallel device evaluation during
+/// assembly. `0` restores the default: available parallelism clamped by
+/// `RAYON_NUM_THREADS`, resolved per solve. Evaluation results are merged
+/// serially in fixed netlist order, so any setting produces bit-identical
+/// solutions — this knob trades wall-clock only.
+pub fn set_assembly_threads(n: usize) {
+    ASSEMBLY_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved worker-thread count for parallel device evaluation.
+pub(crate) fn assembly_threads() -> usize {
+    match ASSEMBLY_THREADS.load(Ordering::Relaxed) {
+        0 => tfet_numerics::parallel::default_threads(),
+        n => n,
+    }
+}
+
+/// One latency partition: a group of devices (typically the six transistors
+/// of one bitcell) refreshed and skipped as a unit, plus the nodes whose
+/// movement governs the decision.
+///
+/// Registered on a [`Circuit`] via
+/// [`set_latency_partitions`](Circuit::set_latency_partitions). Every
+/// terminal of every listed device must appear in `watch ∪ guard` (or be
+/// ground) for the dormancy decision to be sound; the builder in
+/// `tfet-core` lists the storage nodes as `watch` and the shared
+/// wordline/bitline/rail nodes as `guard`.
+#[derive(Debug, Clone, Default)]
+pub struct CellPartition {
+    /// Transistor indices (netlist insertion order) in this partition.
+    pub devices: Vec<usize>,
+    /// Partition-internal nodes, checked at the 150 µV bypass tolerance.
+    pub watch: Vec<NodeId>,
+    /// Shared/adjacent nodes, checked at the tight [`GUARD_VTOL`] so any
+    /// disturbance force-refreshes the partition immediately.
+    pub guard: Vec<NodeId>,
+}
+
+/// Per-workspace runtime state of the latency tier: device→partition
+/// ownership, flattened watch/guard node rows with their refresh-point
+/// reference voltages, and the per-iteration dormancy scratch.
+#[derive(Debug)]
+pub(crate) struct LatencyState {
+    /// Combined topology + partition signature this state was built for.
+    pub(crate) sig: u64,
+    /// Device index → partition ownership (CSR both ways).
+    pub(crate) owner: GroupedIndices,
+    /// `watch_off[p]..watch_off[p + 1]` indexes `watch_rows`/`watch_ref`.
+    watch_off: Vec<usize>,
+    /// Unknown-vector rows of (non-ground) watch nodes, all partitions.
+    watch_rows: Vec<usize>,
+    /// Watch-node voltages at each partition's last refresh.
+    watch_ref: Vec<f64>,
+    /// `guard_off[p]..guard_off[p + 1]` indexes `guard_rows`/`guard_ref`.
+    guard_off: Vec<usize>,
+    /// Unknown-vector rows of (non-ground) guard nodes, all partitions.
+    guard_rows: Vec<usize>,
+    /// Guard-node voltages at each partition's last refresh.
+    guard_ref: Vec<f64>,
+    /// Whether partition `p` has a trustworthy refresh point (cache entries
+    /// and reference voltages from one coherent evaluation).
+    pub(crate) fresh: Vec<bool>,
+    /// Per-iteration dormancy verdicts (scratch, rewritten each assembly).
+    pub(crate) dormant: Vec<bool>,
+    /// Per-device evaluation decisions (scratch, rewritten each assembly).
+    pub(crate) eval_mask: Vec<bool>,
+}
+
+/// FNV-1a over the partition definitions, mixed into the MNA pattern
+/// signature so a partition change (not just a topology change) rebuilds
+/// the latency state.
+pub(crate) fn partition_signature(base: u64, parts: &[CellPartition]) -> u64 {
+    let mut h = base;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(parts.len() as u64);
+    for p in parts {
+        for &d in &p.devices {
+            mix(d as u64 + 1);
+        }
+        mix(u64::MAX);
+        for &n in &p.watch {
+            mix(n.index() as u64 + 1);
+        }
+        mix(u64::MAX - 1);
+        for &n in &p.guard {
+            mix(n.index() as u64 + 1);
+        }
+        mix(u64::MAX - 2);
+    }
+    h
+}
+
+impl LatencyState {
+    /// Builds the runtime state for a circuit's registered partitions.
+    pub(crate) fn build(circuit: &Circuit, sig: u64) -> LatencyState {
+        let parts = circuit.latency_partitions();
+        let groups: Vec<Vec<usize>> = parts.iter().map(|p| p.devices.clone()).collect();
+        let owner = GroupedIndices::from_groups(circuit.transistors().len(), &groups);
+        let mut watch_off = Vec::with_capacity(parts.len() + 1);
+        let mut watch_rows = Vec::new();
+        let mut guard_off = Vec::with_capacity(parts.len() + 1);
+        let mut guard_rows = Vec::new();
+        watch_off.push(0);
+        guard_off.push(0);
+        for p in parts {
+            // Ground is fixed at 0 V by definition: it can never move, so
+            // it contributes nothing to a dormancy decision.
+            watch_rows.extend(
+                p.watch
+                    .iter()
+                    .filter(|n| !n.is_ground())
+                    .map(|n| n.index() - 1),
+            );
+            guard_rows.extend(
+                p.guard
+                    .iter()
+                    .filter(|n| !n.is_ground())
+                    .map(|n| n.index() - 1),
+            );
+            watch_off.push(watch_rows.len());
+            guard_off.push(guard_rows.len());
+        }
+        let watch_ref = vec![0.0; watch_rows.len()];
+        let guard_ref = vec![0.0; guard_rows.len()];
+        LatencyState {
+            sig,
+            owner,
+            watch_off,
+            watch_rows,
+            watch_ref,
+            guard_off,
+            guard_rows,
+            guard_ref,
+            fresh: vec![false; parts.len()],
+            dormant: vec![false; parts.len()],
+            eval_mask: vec![false; circuit.transistors().len()],
+        }
+    }
+
+    /// Invalidates every refresh point (run entry, rebind): no partition may
+    /// claim dormancy until it has re-evaluated once under the new state.
+    pub(crate) fn invalidate(&mut self) {
+        self.fresh.fill(false);
+    }
+
+    /// Re-decides dormancy for every partition at the candidate state `x`
+    /// and refreshes the reference voltages of every non-dormant partition.
+    ///
+    /// Returns `(cells_refreshed, guard_refreshes)`: total partitions
+    /// refreshed this call, and the subset refreshed *specifically because a
+    /// guard node moved* while the internal watch nodes were still quiet —
+    /// the counter the fault-injection test asserts on.
+    pub(crate) fn update_dormancy(&mut self, x: &[f64]) -> (u64, u64) {
+        let mut cells_refreshed = 0u64;
+        let mut guard_refreshes = 0u64;
+        for p in 0..self.fresh.len() {
+            let (w0, w1) = (self.watch_off[p], self.watch_off[p + 1]);
+            let (g0, g1) = (self.guard_off[p], self.guard_off[p + 1]);
+            let fresh = self.fresh[p];
+            let watch_quiet = fresh
+                && self.watch_rows[w0..w1]
+                    .iter()
+                    .zip(&self.watch_ref[w0..w1])
+                    .all(|(&r, v)| (x[r] - v).abs() < BYPASS_VTOL);
+            let guard_quiet = fresh
+                && self.guard_rows[g0..g1]
+                    .iter()
+                    .zip(&self.guard_ref[g0..g1])
+                    .all(|(&r, v)| (x[r] - v).abs() < GUARD_VTOL);
+            let dormant = watch_quiet && guard_quiet;
+            self.dormant[p] = dormant;
+            if !dormant {
+                if fresh && watch_quiet {
+                    guard_refreshes += 1;
+                }
+                cells_refreshed += 1;
+                for (r, v) in self.watch_rows[w0..w1]
+                    .iter()
+                    .zip(&mut self.watch_ref[w0..w1])
+                {
+                    *v = x[*r];
+                }
+                for (r, v) in self.guard_rows[g0..g1]
+                    .iter()
+                    .zip(&mut self.guard_ref[g0..g1])
+                {
+                    *v = x[*r];
+                }
+                self.fresh[p] = true;
+            }
+        }
+        (cells_refreshed, guard_refreshes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_default_starts_on() {
+        // Flipping the global here would race sibling tests that build
+        // specs with `..Default::default()`; the `figures --latency-off`
+        // gate in scripts/check.sh exercises `set_process_default` at
+        // binary startup, where it is defined to be safe.
+        assert_eq!(DeviceLatency::process_default(), DeviceLatency::On);
+        assert_eq!(DeviceLatency::default(), DeviceLatency::On);
+    }
+
+    #[test]
+    fn assembly_threads_override_and_auto() {
+        set_assembly_threads(3);
+        assert_eq!(assembly_threads(), 3);
+        set_assembly_threads(0);
+        assert!(assembly_threads() >= 1);
+    }
+
+    #[test]
+    fn partition_signature_tracks_content() {
+        let a = vec![CellPartition {
+            devices: vec![0, 1],
+            watch: vec![NodeId(1)],
+            guard: vec![NodeId(2)],
+        }];
+        let mut b = a.clone();
+        b[0].guard = vec![NodeId(3)];
+        let sa = partition_signature(7, &a);
+        assert_eq!(sa, partition_signature(7, &a), "deterministic");
+        assert_ne!(sa, partition_signature(7, &b), "guard change detected");
+        assert_ne!(sa, partition_signature(8, &a), "base mixed in");
+    }
+}

@@ -37,6 +37,16 @@
 //! cross-check: figure outputs must be bit-identical under either strategy
 //! at default tolerances.
 //!
+//! For array-scale netlists the [`latency`] module adds a third tier:
+//! circuits may register [`CellPartition`]s (one per bitcell), and the
+//! sparse transient solver then skips assembly for whole cells whose
+//! terminal nodes sit within tolerance of their last refresh point, with a
+//! tight guard on shared wordline/bitline nodes force-refreshing a dormant
+//! cell the moment an adjacent line moves. Large evaluation batches fan out
+//! across threads deterministically (stamps merge serially in netlist
+//! order), and [`DeviceLatency::Off`] provides the full-evaluation baseline
+//! the identity gates diff against.
+//!
 //! # Examples
 //!
 //! A resistive divider:
@@ -61,6 +71,7 @@
 pub mod compiled;
 pub mod dc;
 pub mod error;
+pub mod latency;
 pub mod mna;
 pub mod netlist;
 pub mod probe;
@@ -72,6 +83,7 @@ pub mod workspace;
 pub use compiled::{CompiledCircuit, ParamHandle};
 pub use dc::{DcResult, NewtonOpts, SolverStrategy};
 pub use error::SimError;
+pub use latency::{set_assembly_threads, CellPartition, DeviceLatency};
 pub use netlist::{Circuit, NodeId, SourceId};
 pub use probe::{SolveStats, TransientResult};
 pub use transient::{AdaptiveOpts, Integrator, StepControl, StopEvent, TransientSpec};

@@ -8,8 +8,9 @@
 //! its Jacobian at a candidate `x` so Newton–Raphson can iterate.
 
 use crate::error::SimError;
+use crate::latency::{assembly_threads, LatencyState, PAR_EVAL_MIN};
 use crate::netlist::{Circuit, NodeId};
-use tfet_numerics::{Matrix, SparseMatrix};
+use tfet_numerics::{par_for_each_mut, GroupedIndices, Matrix, SparseMatrix, SparsityPattern};
 
 /// Jacobian assembly target: dense [`Matrix`] or pattern-backed
 /// [`SparseMatrix`]. The MNA stamps are target-generic so both solver
@@ -39,6 +40,259 @@ impl JacTarget for SparseMatrix {
     #[inline]
     fn add(&mut self, r: usize, c: usize, v: f64) {
         SparseMatrix::add(self, r, c, v);
+    }
+}
+
+/// A value slice stamped through a borrowed [`SparsityPattern`] — lets the
+/// shared MNA stamp helpers write into an auxiliary value array (the
+/// incremental assembly's linear part) without owning a second matrix.
+struct SliceJac<'a> {
+    pattern: &'a SparsityPattern,
+    values: &'a mut [f64],
+}
+
+impl JacTarget for SliceJac<'_> {
+    fn clear(&mut self) {
+        self.values.fill(0.0);
+    }
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        let slot = self
+            .pattern
+            .slot(r, c)
+            .unwrap_or_else(|| panic!("stamp at ({r},{c}) outside sparsity pattern"));
+        self.values[slot] += v;
+    }
+}
+
+/// Sentinel for a transistor Jacobian slot that does not exist (terminal at
+/// ground — no row/column).
+const NO_SLOT: usize = usize::MAX;
+
+/// Incremental sparse-Jacobian state for [`Mna::assemble_sparse_latent`].
+///
+/// The Jacobian of a mostly-dormant array barely changes between Newton
+/// iterations: a dormant device's conductance entries are *constant* until
+/// its cell refreshes, and the linear elements (resistors, companion-cap
+/// conductances, voltage-source unit entries, g_min) change at most once per
+/// transient step. This struct keeps the two parts as separate value arrays
+/// over the same sparsity pattern:
+///
+/// * `lin_values` — the linear part, rebuilt only when its inputs change
+///   (detected in O(1) via the companion list's mutation stamp and g_min),
+///   and even then through cached slots: the static stamps (resistors,
+///   voltage-source units) are precomputed once, and the per-branch
+///   companion slots are reused while the branch membership is unchanged —
+///   a rebuild is a `memcpy` plus one add per branch entry, no searches;
+/// * `trans_values` — the transistor part, maintained by
+///   subtract-old/add-new deltas through per-device precomputed slots
+///   whenever a device is freshly evaluated.
+///
+/// The full matrix is composed per iteration as one O(nnz) vector add —
+/// replacing O(devices) slot-searched stamps. Repeated subtract/add cycles
+/// drift `trans_values` by at most a few ulps per refresh (the deltas are
+/// exact floating-point values, not accumulated sums), far inside Newton's
+/// convergence tolerance, and every mutation is serial in netlist order so
+/// results stay independent of thread count.
+#[derive(Debug, Default)]
+pub(crate) struct IncrementalJac {
+    /// Per-transistor slots `[(rd,cg),(rd,rd),(rd,cs),(rs,cg),(rs,cd),(rs,rs)]`,
+    /// `NO_SLOT` where a terminal is ground.
+    tslots: Vec<[usize; 6]>,
+    /// The linearization currently stamped in `trans_values`, per device.
+    stamped: Vec<DeviceLin>,
+    /// Linear-part values (resistors, cap conductances, vsource units, gmin).
+    lin_values: Vec<f64>,
+    /// Transistor conductance values.
+    trans_values: Vec<f64>,
+    /// Bias-independent linear stamps (resistors, vsource units), built once.
+    static_values: Vec<f64>,
+    /// Diagonal slot per voltage node, for the g_min contribution.
+    diag_slots: Vec<usize>,
+    /// Per companion branch: slots `[(ra,ra),(ra,rb),(rb,rb),(rb,ra)]`,
+    /// `NO_SLOT` where a terminal is ground.
+    cap_slots: Vec<[usize; 4]>,
+    /// The `(a, b)` membership `cap_slots` was computed for.
+    cap_nodes: Vec<(NodeId, NodeId)>,
+    /// Mutation stamp of the companion list `lin_values` was built from.
+    lin_gen: u64,
+    /// The g_min `lin_values` was built with.
+    lin_gmin: f64,
+    /// False until the first linear rebuild.
+    lin_valid: bool,
+}
+
+impl IncrementalJac {
+    /// Builds the per-device slot tables for `mna`'s circuit over `pattern`
+    /// and zeroes both value arrays.
+    pub(crate) fn build(mna: &Mna<'_>, pattern: &SparsityPattern) -> Self {
+        let nnz = pattern.nnz();
+        let slot = |r: Option<usize>, c: Option<usize>| match (r, c) {
+            (Some(r), Some(c)) => pattern
+                .slot(r, c)
+                .unwrap_or_else(|| panic!("transistor slot ({r},{c}) outside sparsity pattern")),
+            _ => NO_SLOT,
+        };
+        let tslots = mna
+            .circuit
+            .transistors
+            .iter()
+            .map(|m| {
+                let rd = mna.row(m.d);
+                let rs = mna.row(m.s);
+                let cg = mna.row(m.g);
+                [
+                    slot(rd, cg),
+                    slot(rd, rd),
+                    slot(rd, rs),
+                    slot(rs, cg),
+                    slot(rs, rd),
+                    slot(rs, rs),
+                ]
+            })
+            .collect::<Vec<_>>();
+        // Static linear stamps: bias-independent, computed once.
+        let mut static_values = vec![0.0; nnz];
+        {
+            let mut j = SliceJac {
+                pattern,
+                values: &mut static_values,
+            };
+            for r in &mna.circuit.resistors {
+                mna.stamp_conductance(&mut j, r.a, r.b, 1.0 / r.ohms);
+            }
+            for (k, v) in mna.circuit.vsources.iter().enumerate() {
+                let bi = mna.branch_index(k);
+                if let Some(rp) = mna.row(v.plus) {
+                    j.add(rp, bi, 1.0);
+                    j.add(bi, rp, 1.0);
+                }
+                if let Some(rm) = mna.row(v.minus) {
+                    j.add(rm, bi, -1.0);
+                    j.add(bi, rm, -1.0);
+                }
+            }
+        }
+        let diag_slots = (0..mna.n_v)
+            .map(|n| {
+                pattern
+                    .slot(n, n)
+                    .unwrap_or_else(|| panic!("diagonal ({n},{n}) outside sparsity pattern"))
+            })
+            .collect();
+        IncrementalJac {
+            stamped: vec![DeviceLin::default(); tslots.len()],
+            tslots,
+            lin_values: vec![0.0; nnz],
+            trans_values: vec![0.0; nnz],
+            static_values,
+            diag_slots,
+            cap_slots: Vec::new(),
+            cap_nodes: Vec::new(),
+            lin_gen: 0,
+            lin_gmin: 0.0,
+            lin_valid: false,
+        }
+    }
+
+    /// Rebuilds `lin_values` iff the linear part's inputs changed: g_min, or
+    /// the companion-cap branch list (detected by the list's mutation stamp
+    /// — `ieq` moves every step but only enters the residual, and `geq`
+    /// changes arrive together with a new stamp).
+    ///
+    /// The rebuild itself runs through cached slots: a copy of the static
+    /// stamps, one signed add per companion-branch slot (slots recomputed
+    /// only when the branch membership changed — capacitance branches are
+    /// pruned at some biases), and the g_min diagonal. No slot searches on
+    /// the steady path.
+    fn refresh_linear(
+        &mut self,
+        mna: &Mna<'_>,
+        gmin: f64,
+        caps: &CompanionCaps,
+        pattern: &SparsityPattern,
+    ) {
+        if self.lin_valid && self.lin_gmin == gmin && self.lin_gen == caps.generation() {
+            return;
+        }
+        let same_membership = self.cap_nodes.len() == caps.entries.len()
+            && self
+                .cap_nodes
+                .iter()
+                .zip(&caps.entries)
+                .all(|(n, e)| n.0 == e.0 && n.1 == e.1);
+        if !same_membership {
+            self.cap_nodes.clear();
+            self.cap_slots.clear();
+            let slot = |r: Option<usize>, c: Option<usize>| match (r, c) {
+                (Some(r), Some(c)) => pattern
+                    .slot(r, c)
+                    .unwrap_or_else(|| panic!("companion slot ({r},{c}) outside sparsity pattern")),
+                _ => NO_SLOT,
+            };
+            for &(a, b, _, _) in &caps.entries {
+                let (ra, rb) = (mna.row(a), mna.row(b));
+                self.cap_nodes.push((a, b));
+                self.cap_slots
+                    .push([slot(ra, ra), slot(ra, rb), slot(rb, rb), slot(rb, ra)]);
+            }
+        }
+        self.lin_values.copy_from_slice(&self.static_values);
+        for (slots, &(_, _, geq, _)) in self.cap_slots.iter().zip(&caps.entries) {
+            // Even indices are diagonal (+geq), odd are off-diagonal (−geq).
+            for (k, &s) in slots.iter().enumerate() {
+                if s != NO_SLOT {
+                    self.lin_values[s] += if k % 2 == 0 { geq } else { -geq };
+                }
+            }
+        }
+        if gmin > 0.0 {
+            for &s in &self.diag_slots {
+                self.lin_values[s] += gmin;
+            }
+        }
+        self.lin_gen = caps.generation();
+        self.lin_gmin = gmin;
+        self.lin_valid = true;
+    }
+
+    /// Replaces device `idx`'s contribution in `trans_values`: subtracts the
+    /// previously stamped linearization, adds `e`, records `e` as stamped.
+    #[inline]
+    fn restamp_device(&mut self, idx: usize, e: &DeviceLin) {
+        let slots = self.tslots[idx];
+        let old = self.stamped[idx];
+        if old.valid {
+            for (s, v) in slots
+                .iter()
+                .zip([old.gm, old.gds, old.gss, -old.gm, -old.gds, -old.gss])
+            {
+                if *s != NO_SLOT {
+                    self.trans_values[*s] -= v;
+                }
+            }
+        }
+        for (s, v) in slots
+            .iter()
+            .zip([e.gm, e.gds, e.gss, -e.gm, -e.gds, -e.gss])
+        {
+            if *s != NO_SLOT {
+                self.trans_values[*s] += v;
+            }
+        }
+        self.stamped[idx] = *e;
+    }
+
+    /// Writes `lin_values + trans_values` into `jac`'s value storage.
+    fn compose_into(&self, jac: &mut SparseMatrix) {
+        let vals = jac.values_mut();
+        for ((v, l), t) in vals
+            .iter_mut()
+            .zip(&self.lin_values)
+            .zip(&self.trans_values)
+        {
+            *v = l + t;
+        }
     }
 }
 
@@ -79,6 +333,26 @@ pub(crate) struct DeviceLin {
 /// residual.
 pub(crate) const BYPASS_VTOL: f64 = 150e-6;
 
+/// Per-assembly effort breakdown of the transistor section: how many
+/// devices were fully evaluated, served from the per-device bypass cache,
+/// or skipped wholesale by the cell-dormancy tier — plus the tier's refresh
+/// activity. The solver accumulates these into the workspace's monotone
+/// counters, which [`SolveStats`](crate::SolveStats) snapshots per run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AssemblyStats {
+    /// Full device-model evaluations.
+    pub(crate) evals: u64,
+    /// Stamps served from the per-device bypass cache (ungrouped devices).
+    pub(crate) bypassed: u64,
+    /// Stamps replayed for devices inside a dormant partition.
+    pub(crate) dormant: u64,
+    /// Partitions refreshed (all member devices re-evaluated) this assembly.
+    pub(crate) cells_refreshed: u64,
+    /// Refreshes forced specifically by guard-node movement while the
+    /// partition's internal nodes were still quiet.
+    pub(crate) guard_refreshes: u64,
+}
+
 /// Linearized (companion-model) capacitor contributions for one transient
 /// step: for each entry, a conductance `geq` between `a` and `b` plus a
 /// constant current `ieq` flowing a→b, such that the branch current is
@@ -91,6 +365,25 @@ pub(crate) const BYPASS_VTOL: f64 = 150e-6;
 pub struct CompanionCaps {
     /// `(a, b, geq, ieq)` per capacitor branch.
     pub entries: Vec<(NodeId, NodeId, f64, f64)>,
+    /// Mutation stamp, unique across all instances (see
+    /// [`CompanionCaps::touch`]). Never-touched instances stay at 0.
+    generation: u64,
+}
+
+impl CompanionCaps {
+    /// Records that `entries` changed by taking a fresh globally-unique
+    /// stamp. Two equal generations therefore always mean "the same list,
+    /// unmutated" — which is what lets [`IncrementalJac::refresh_linear`]
+    /// decide "nothing to do" in O(1) instead of comparing every branch.
+    pub(crate) fn touch(&mut self) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        self.generation = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
 }
 
 /// Assembled view of a circuit, ready for repeated Jacobian/residual
@@ -233,9 +526,9 @@ impl<'c> Mna<'c> {
     /// full evaluation are stamped from the cached linearization instead of
     /// re-evaluating the device model (see [`DeviceLin`]); the cache is
     /// resized to the transistor count on entry, and entries are refreshed on
-    /// every full evaluation.
-    ///
-    /// Returns `(full_evaluations, bypassed)` transistor counts.
+    /// every full evaluation. Partition-latency transient solves go through
+    /// [`Mna::assemble_sparse_latent`] instead, which adds the cell-dormancy
+    /// tier and incremental Jacobian maintenance on top of the same stamps.
     #[allow(clippy::too_many_arguments)] // solver-internal hot path; a config struct would obscure the MNA math
     pub(crate) fn assemble_into<J: JacTarget>(
         &self,
@@ -247,7 +540,7 @@ impl<'c> Mna<'c> {
         j: &mut J,
         f: &mut [f64],
         mut cache: Option<&mut Vec<DeviceLin>>,
-    ) -> (u64, u64) {
+    ) -> AssemblyStats {
         assert_eq!(x.len(), self.n_x, "state vector length");
         assert_eq!(f.len(), self.n_x, "residual length");
         j.clear();
@@ -278,11 +571,62 @@ impl<'c> Mna<'c> {
         // Transistors: nonlinear three-terminal stamps, with optional bypass
         // of the (expensive) model evaluation when the operating point is
         // within BYPASS_VTOL of the cached one.
-        let mut evals = 0u64;
-        let mut bypassed = 0u64;
+        let mut stats = AssemblyStats::default();
         if let Some(c) = cache.as_deref_mut() {
             c.resize(self.circuit.transistors.len(), DeviceLin::default());
         }
+        self.stamp_transistors_plain(x, cache, j, f, &mut stats);
+
+        // Voltage sources: branch current unknowns + branch equations.
+        for (k, v) in self.circuit.vsources.iter().enumerate() {
+            let bi = self.branch_index(k);
+            let i_br = x[bi];
+            // KCL: branch current leaves `plus`, enters `minus`.
+            if let Some(rp) = self.row(v.plus) {
+                f[rp] += i_br;
+                j.add(rp, bi, 1.0);
+            }
+            if let Some(rm) = self.row(v.minus) {
+                f[rm] -= i_br;
+                j.add(rm, bi, -1.0);
+            }
+            // Branch equation: v_plus − v_minus = V(t).
+            f[bi] = self.voltage_of(x, v.plus) - self.voltage_of(x, v.minus) - v.wave.value(t);
+            if let Some(rp) = self.row(v.plus) {
+                j.add(bi, rp, 1.0);
+            }
+            if let Some(rm) = self.row(v.minus) {
+                j.add(bi, rm, -1.0);
+            }
+        }
+
+        // g_min convergence aid: a conductance from every node toward its
+        // anchor (ground when no anchor is given).
+        if gmin > 0.0 {
+            if let Some(anchor) = anchor {
+                assert!(anchor.len() >= self.n_v, "anchor length");
+            }
+            for n in 0..self.n_v {
+                j.add(n, n, gmin);
+                let target = anchor.map_or(0.0, |a| a[n]);
+                f[n] += gmin * (x[n] - target);
+            }
+        }
+        stats
+    }
+
+    /// The pre-latency transistor stamp loop: per-device decision (full
+    /// evaluation or bypass-cache replay), serial in netlist order. Kept
+    /// arithmetically untouched — every unpartitioned circuit, and every
+    /// dense or latency-off solve, goes through here.
+    fn stamp_transistors_plain<J: JacTarget>(
+        &self,
+        x: &[f64],
+        mut cache: Option<&mut Vec<DeviceLin>>,
+        j: &mut J,
+        f: &mut [f64],
+        stats: &mut AssemblyStats,
+    ) {
         for (idx, m) in self.circuit.transistors.iter().enumerate() {
             let vg = self.voltage_of(x, m.g);
             let vd = self.voltage_of(x, m.d);
@@ -295,12 +639,12 @@ impl<'c> Mna<'c> {
                         && (vd - e.vd).abs() < BYPASS_VTOL
                         && (vs - e.vs).abs() < BYPASS_VTOL =>
                 {
-                    bypassed += 1;
+                    stats.bypassed += 1;
                     let i = e.i + e.gm * (vg - e.vg) + e.gds * (vd - e.vd) + e.gss * (vs - e.vs);
                     (i, e.gm, e.gds, e.gss)
                 }
                 entry => {
-                    evals += 1;
+                    stats.evals += 1;
                     let w = m.width_um;
                     let i = w * m.model.ids_per_um(vg, vd, vs);
                     let (gm_u, gds_u, gs_u) = m.model.conductances_per_um(vg, vd, vs);
@@ -343,43 +687,202 @@ impl<'c> Mna<'c> {
                 j.add(rs, rs, -gss);
             }
         }
+    }
 
-        // Voltage sources: branch current unknowns + branch equations.
-        for (k, v) in self.circuit.vsources.iter().enumerate() {
-            let bi = self.branch_index(k);
-            let i_br = x[bi];
-            // KCL: branch current leaves `plus`, enters `minus`.
-            if let Some(rp) = self.row(v.plus) {
-                f[rp] += i_br;
-                j.add(rp, bi, 1.0);
-            }
-            if let Some(rm) = self.row(v.minus) {
-                f[rm] -= i_br;
-                j.add(rm, bi, -1.0);
-            }
-            // Branch equation: v_plus − v_minus = V(t).
-            f[bi] = self.voltage_of(x, v.plus) - self.voltage_of(x, v.minus) - v.wave.value(t);
-            if let Some(rp) = self.row(v.plus) {
-                j.add(bi, rp, 1.0);
-            }
-            if let Some(rm) = self.row(v.minus) {
-                j.add(bi, rm, -1.0);
+    /// The latency-tier transient assembly: the three-phase transistor path
+    /// (decide / evaluate / stamp) on top of *incremental* sparse-Jacobian
+    /// maintenance.
+    ///
+    /// 1. **decide** — re-evaluate dormancy per partition against the
+    ///    refresh-point references ([`LatencyState::update_dormancy`]), then
+    ///    mark each device: partition members evaluate iff their cell is not
+    ///    dormant (a refreshed cell re-evaluates *all* its devices, so cache
+    ///    entries and references always describe one coherent operating
+    ///    point); ungrouped devices keep the per-device bypass test.
+    /// 2. **evaluate** — run the marked device models, serially or fanned
+    ///    across threads when the batch is large ([`PAR_EVAL_MIN`]). Each
+    ///    evaluation writes only its own cache slot and depends only on `x`,
+    ///    so the fan-out is embarrassingly parallel and bit-deterministic.
+    /// 3. **stamp** — serial, in netlist order. The residual replay
+    ///    `i = i₀ + gm·Δvg + gds·Δvd + gss·Δvs` is exact (Δv ≡ 0) for
+    ///    freshly evaluated devices and second-order accurate for dormant or
+    ///    bypassed ones. The *Jacobian*, however, is not re-stamped from
+    ///    scratch: a device's conductance entries change only when its
+    ///    linearization does, so only freshly evaluated devices touch the
+    ///    matrix (subtract the previously stamped linearization, add the new
+    ///    one, through per-device precomputed slots — no slot searches). The
+    ///    full matrix is then composed as `linear part + transistor part`,
+    ///    where the linear part (resistors, companion-capacitor
+    ///    conductances, voltage-source unit entries, g_min diagonal) is
+    ///    rebuilt only when its values actually change — at most once per
+    ///    transient step, and only when device capacitances moved.
+    ///
+    /// On an array where >90 % of cells are dormant this turns the dominant
+    /// per-iteration cost — thousands of slot-searched stamps for devices
+    /// whose conductances have not changed — into a single O(nnz) vector
+    /// add. The fixed serial order of every matrix mutation keeps results
+    /// independent of thread count.
+    #[allow(clippy::too_many_arguments)] // solver-internal hot path
+    pub(crate) fn assemble_sparse_latent(
+        &self,
+        x: &[f64],
+        t: f64,
+        gmin: f64,
+        anchor: Option<&[f64]>,
+        caps: &CompanionCaps,
+        jac: &mut SparseMatrix,
+        inc: &mut IncrementalJac,
+        f: &mut [f64],
+        cache: &mut Vec<DeviceLin>,
+        lat: &mut LatencyState,
+    ) -> AssemblyStats {
+        assert_eq!(x.len(), self.n_x, "state vector length");
+        assert_eq!(f.len(), self.n_x, "residual length");
+        f.fill(0.0);
+        cache.resize(self.circuit.transistors.len(), DeviceLin::default());
+        let mut stats = AssemblyStats::default();
+
+        // Linear Jacobian part: rebuilt only when its values changed.
+        {
+            let _s = tfet_obs::span("lin");
+            inc.refresh_linear(self, gmin, caps, jac.pattern());
+        }
+
+        // Residual contributions of the linear elements (same order as
+        // `assemble_into`, so the two paths agree term for term).
+        for r in &self.circuit.resistors {
+            let g = 1.0 / r.ohms;
+            let i = g * (self.voltage_of(x, r.a) - self.voltage_of(x, r.b));
+            self.stamp_current(f, r.a, r.b, i);
+        }
+        for &(a, b, geq, ieq) in &caps.entries {
+            let i = geq * (self.voltage_of(x, a) - self.voltage_of(x, b)) + ieq;
+            self.stamp_current(f, a, b, i);
+        }
+        for s in &self.circuit.isources {
+            self.stamp_current(f, s.from, s.to, s.wave.value(t));
+        }
+
+        // Phase 1: decide which devices need a fresh evaluation.
+        let _s_decide = tfet_obs::span("decide");
+        let (cells_refreshed, guard_refreshes) = lat.update_dormancy(x);
+        stats.cells_refreshed += cells_refreshed;
+        stats.guard_refreshes += guard_refreshes;
+        let mut n_eval = 0usize;
+        for (idx, m) in self.circuit.transistors.iter().enumerate() {
+            let g = lat.owner.owner_of(idx);
+            let eval = if g != GroupedIndices::UNGROUPED {
+                if lat.dormant[g] {
+                    stats.dormant += 1;
+                    false
+                } else {
+                    true
+                }
+            } else {
+                let e = &cache[idx];
+                let vg = self.voltage_of(x, m.g);
+                let vd = self.voltage_of(x, m.d);
+                let vs = self.voltage_of(x, m.s);
+                if e.valid
+                    && (vg - e.vg).abs() < BYPASS_VTOL
+                    && (vd - e.vd).abs() < BYPASS_VTOL
+                    && (vs - e.vs).abs() < BYPASS_VTOL
+                {
+                    stats.bypassed += 1;
+                    false
+                } else {
+                    true
+                }
+            };
+            lat.eval_mask[idx] = eval;
+            n_eval += eval as usize;
+        }
+        stats.evals += n_eval as u64;
+        drop(_s_decide);
+        let _s_eval = tfet_obs::span("eval");
+
+        // Phase 2: evaluate marked devices (parallel when worthwhile).
+        let eval_mask = &lat.eval_mask;
+        let evaluate = |idx: usize, e: &mut DeviceLin| {
+            let m = &self.circuit.transistors[idx];
+            let vg = self.voltage_of(x, m.g);
+            let vd = self.voltage_of(x, m.d);
+            let vs = self.voltage_of(x, m.s);
+            let w = m.width_um;
+            let i = w * m.model.ids_per_um(vg, vd, vs);
+            let (gm_u, gds_u, gs_u) = m.model.conductances_per_um(vg, vd, vs);
+            *e = DeviceLin {
+                valid: true,
+                vg,
+                vd,
+                vs,
+                i,
+                gm: w * gm_u,
+                gds: w * gds_u,
+                gss: w * gs_u,
+            };
+        };
+        let threads = assembly_threads();
+        if n_eval >= PAR_EVAL_MIN && threads > 1 {
+            par_for_each_mut(cache, Some(threads), |idx, e| {
+                if eval_mask[idx] {
+                    evaluate(idx, e);
+                }
+            });
+        } else {
+            for (idx, e) in cache.iter_mut().enumerate() {
+                if eval_mask[idx] {
+                    evaluate(idx, e);
+                }
             }
         }
 
-        // g_min convergence aid: a conductance from every node toward its
-        // anchor (ground when no anchor is given).
+        drop(_s_eval);
+        let _s_stamp = tfet_obs::span("stamp");
+        // Phase 3: residual for every device; Jacobian deltas only for the
+        // devices whose linearization changed this assembly.
+        for (idx, m) in self.circuit.transistors.iter().enumerate() {
+            let e = &cache[idx];
+            let vg = self.voltage_of(x, m.g);
+            let vd = self.voltage_of(x, m.d);
+            let vs = self.voltage_of(x, m.s);
+            let i = e.i + e.gm * (vg - e.vg) + e.gds * (vd - e.vd) + e.gss * (vs - e.vs);
+            self.stamp_current(f, m.d, m.s, i);
+            if lat.eval_mask[idx] {
+                inc.restamp_device(idx, e);
+            }
+        }
+
+        // Voltage sources: branch-current residuals (unit Jacobian entries
+        // live in the linear part).
+        for (k, v) in self.circuit.vsources.iter().enumerate() {
+            let bi = self.branch_index(k);
+            let i_br = x[bi];
+            if let Some(rp) = self.row(v.plus) {
+                f[rp] += i_br;
+            }
+            if let Some(rm) = self.row(v.minus) {
+                f[rm] -= i_br;
+            }
+            f[bi] = self.voltage_of(x, v.plus) - self.voltage_of(x, v.minus) - v.wave.value(t);
+        }
+
+        // g_min residual (diagonal conductance is in the linear part).
         if gmin > 0.0 {
             if let Some(anchor) = anchor {
                 assert!(anchor.len() >= self.n_v, "anchor length");
             }
             for n in 0..self.n_v {
-                j.add(n, n, gmin);
                 let target = anchor.map_or(0.0, |a| a[n]);
                 f[n] += gmin * (x[n] - target);
             }
         }
-        (evals, bypassed)
+
+        drop(_s_stamp);
+        // Compose the full Jacobian: one vector add over the pattern.
+        let _s = tfet_obs::span("compose");
+        inc.compose_into(jac);
+        stats
     }
 
     /// Visits every Jacobian coordinate `assemble` can ever touch —
@@ -567,9 +1070,9 @@ mod tests {
         let a = c.node("a");
         c.resistor(a, Circuit::GND, 1e3);
         let mna = Mna::new(&c).unwrap();
-        let caps = CompanionCaps {
-            entries: vec![(a, Circuit::GND, 1e-3, -0.5e-3)],
-        };
+        let mut caps = CompanionCaps::default();
+        caps.entries.push((a, Circuit::GND, 1e-3, -0.5e-3));
+        caps.touch();
         let mut j = Matrix::zeros(1, 1);
         let mut f = vec![0.0];
         // v_a such that resistor + companion currents cancel:

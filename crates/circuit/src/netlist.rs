@@ -6,6 +6,7 @@
 //! SPICE deck line-for-line, so the SRAM cell generators in `tfet-sram`
 //! read like netlists.
 
+use crate::latency::CellPartition;
 use crate::waveform::Waveform;
 use std::collections::HashMap;
 use std::fmt;
@@ -138,6 +139,9 @@ pub struct Circuit {
     pub(crate) isources: Vec<ISource>,
     /// Transistors.
     pub(crate) transistors: Vec<Transistor>,
+    /// Quiescent-latency partitions (one per bitcell in an array netlist);
+    /// empty for circuits that don't opt in.
+    pub(crate) latency_partitions: Vec<CellPartition>,
 }
 
 impl Circuit {
@@ -154,6 +158,7 @@ impl Circuit {
             vsources: Vec::new(),
             isources: Vec::new(),
             transistors: Vec::new(),
+            latency_partitions: Vec::new(),
         };
         let gnd = c.intern("0");
         debug_assert_eq!(gnd, Circuit::GND);
@@ -319,6 +324,50 @@ impl Circuit {
         let t = &mut self.transistors[index];
         t.model = model;
         t.width_um = width_um;
+    }
+
+    /// Registers quiescent-latency partitions — groups of transistors (one
+    /// per bitcell) that the sparse transient solver may skip as a unit
+    /// while every node in `watch`/`guard` stays within tolerance of the
+    /// group's last refresh point (see [`crate::latency`]).
+    ///
+    /// Partitions are advisory: an empty registration (the default) leaves
+    /// the solver on the plain per-device bypass path. For the dormancy
+    /// decision to be sound, every terminal of every listed device must
+    /// appear in that partition's `watch ∪ guard` or be ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device index is out of range, a device is claimed by two
+    /// partitions, or a node does not belong to this circuit.
+    pub fn set_latency_partitions(&mut self, partitions: Vec<CellPartition>) {
+        let n_dev = self.transistors.len();
+        let n_nodes = self.node_names.len();
+        let mut owner = vec![false; n_dev];
+        for (k, p) in partitions.iter().enumerate() {
+            for &d in &p.devices {
+                assert!(
+                    d < n_dev,
+                    "partition {k} references transistor {d}, but only {n_dev} exist"
+                );
+                assert!(
+                    !std::mem::replace(&mut owner[d], true),
+                    "transistor {d} claimed by more than one latency partition"
+                );
+            }
+            for &n in p.watch.iter().chain(&p.guard) {
+                assert!(
+                    n.index() < n_nodes,
+                    "partition {k} references a foreign node"
+                );
+            }
+        }
+        self.latency_partitions = partitions;
+    }
+
+    /// The registered quiescent-latency partitions (empty when none).
+    pub fn latency_partitions(&self) -> &[CellPartition] {
+        &self.latency_partitions
     }
 
     /// Number of elements of all types.

@@ -79,6 +79,20 @@ pub struct SolveStats {
     /// Transistor stamps served from the bypass cache instead of a model
     /// evaluation (sparse strategy only; always 0 under dense).
     pub devices_bypassed: u64,
+    /// Transistor stamps replayed because their whole latency partition was
+    /// dormant (sparse strategy with registered partitions and
+    /// [`DeviceLatency::On`]; 0 otherwise).
+    ///
+    /// [`DeviceLatency::On`]: crate::DeviceLatency::On
+    pub devices_dormant: u64,
+    /// Latency partitions refreshed — every member device re-evaluated in
+    /// one coherent assembly (see [`crate::latency`]).
+    pub cells_refreshed: u64,
+    /// The subset of `cells_refreshed` forced purely by guard-node movement
+    /// (an adjacent wordline/bitline moved while the cell's own storage
+    /// nodes were still quiet) — the counter proving the correctness guard
+    /// fires.
+    pub guard_refreshes: u64,
     /// Whether a stop event ended the run before `t_stop`.
     pub early_exit: bool,
 }
@@ -101,6 +115,9 @@ impl SolveStats {
         self.jac_reused += other.jac_reused;
         self.device_evals += other.device_evals;
         self.devices_bypassed += other.devices_bypassed;
+        self.devices_dormant += other.devices_dormant;
+        self.cells_refreshed += other.cells_refreshed;
+        self.guard_refreshes += other.guard_refreshes;
         self.early_exit |= other.early_exit;
     }
 }

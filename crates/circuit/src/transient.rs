@@ -37,6 +37,7 @@
 
 use crate::dc::{solve_op, NewtonOpts, SolverStrategy};
 use crate::error::SimError;
+use crate::latency::DeviceLatency;
 use crate::mna::{CompanionCaps, Mna};
 use crate::netlist::{Circuit, NodeId};
 use crate::probe::{SolveStats, TransientResult};
@@ -103,6 +104,11 @@ pub struct TransientSpec {
     /// Linear-solve strategy for every Newton solve in the run (seeded from
     /// [`SolverStrategy::default()`], i.e. the process default).
     pub solver: SolverStrategy,
+    /// Device-latency mode for every Newton solve in the run: bypass cache
+    /// plus (for partitioned circuits) the quiescent-partition dormancy
+    /// tier, or the full-evaluation baseline (seeded from
+    /// [`DeviceLatency::default()`], i.e. the process default).
+    pub latency: DeviceLatency,
 }
 
 impl TransientSpec {
@@ -127,6 +133,7 @@ impl TransientSpec {
                 ltol: DEFAULT_LTOL,
             }),
             solver: SolverStrategy::default(),
+            latency: DeviceLatency::default(),
         }
     }
 
@@ -146,6 +153,7 @@ impl TransientSpec {
             integrator: Integrator::default(),
             control: StepControl::Fixed,
             solver: SolverStrategy::default(),
+            latency: DeviceLatency::default(),
         }
     }
 
@@ -159,6 +167,15 @@ impl TransientSpec {
     /// is the bit-exact legacy cross-check path.
     pub fn with_solver(mut self, solver: SolverStrategy) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the device-latency mode (builder style).
+    /// [`DeviceLatency::Off`] is the full-evaluation baseline used to
+    /// measure (and cross-check) the dormancy tier; setting it per-spec
+    /// avoids racing the process-wide default from concurrent tests.
+    pub fn with_device_latency(mut self, latency: DeviceLatency) -> Self {
+        self.latency = latency;
         self
     }
 
@@ -296,6 +313,7 @@ fn build_companions(
         };
         out.entries.push((br.a, br.b, geq, ieq));
     }
+    out.touch();
 }
 
 /// Re-linearizes capacitances at the post-step state `x` into `out` and
@@ -628,6 +646,7 @@ impl Circuit {
         let n_v = mna.voltage_count();
         let opts = NewtonOpts {
             strategy: spec.solver,
+            latency: spec.latency,
             ..NewtonOpts::default()
         };
         // Fresh run: device-bypass operating points and retained
@@ -641,6 +660,9 @@ impl Circuit {
         let bypassed0 = ws.bufs.devices_bypassed;
         let analyses0 = ws.bufs.sparse_analyses;
         let ssolves0 = ws.bufs.sparse_solves;
+        let dormant0 = ws.bufs.devices_dormant;
+        let crefresh0 = ws.bufs.cells_refreshed;
+        let grefresh0 = ws.bufs.guard_refreshes;
         ws.step_trace.clear();
 
         // --- Initial state -------------------------------------------------
@@ -662,14 +684,12 @@ impl Circuit {
                         x0[node.index() - 1] = v;
                     }
                 }
-                let hold = CompanionCaps {
-                    entries: (1..=n_v)
-                        .map(|i| {
-                            let g_hold = 1e3; // siemens: overwhelms any device
-                            (NodeId(i), Circuit::GND, g_hold, -g_hold * x0[i - 1])
-                        })
-                        .collect(),
-                };
+                let mut hold = CompanionCaps::default();
+                hold.entries.extend((1..=n_v).map(|i| {
+                    let g_hold = 1e3; // siemens: overwhelms any device
+                    (NodeId(i), Circuit::GND, g_hold, -g_hold * x0[i - 1])
+                }));
+                hold.touch();
                 match solve_op(
                     &mna,
                     &mut ws.bufs,
@@ -1025,6 +1045,9 @@ impl Circuit {
         result.stats.jac_reused = ws.bufs.jac_reused - reused0;
         result.stats.device_evals = ws.bufs.device_evals - evals0;
         result.stats.devices_bypassed = ws.bufs.devices_bypassed - bypassed0;
+        result.stats.devices_dormant = ws.bufs.devices_dormant - dormant0;
+        result.stats.cells_refreshed = ws.bufs.cells_refreshed - crefresh0;
+        result.stats.guard_refreshes = ws.bufs.guard_refreshes - grefresh0;
         result.stats.runs = 1;
         if tfet_obs::enabled() {
             tfet_obs::counter("transient.runs", 1);
@@ -1035,6 +1058,13 @@ impl Circuit {
             tfet_obs::counter("newton.jac_reused", result.stats.jac_reused);
             tfet_obs::counter("devices.evals", result.stats.device_evals);
             tfet_obs::counter("devices.bypassed", result.stats.devices_bypassed);
+            if result.stats.devices_dormant > 0 || result.stats.cells_refreshed > 0 {
+                // Latency-tier counters only appear for partitioned
+                // circuits, keeping unpartitioned reports byte-stable.
+                tfet_obs::counter("devices.dormant", result.stats.devices_dormant);
+                tfet_obs::counter("latency.cells_refreshed", result.stats.cells_refreshed);
+                tfet_obs::counter("latency.guard_refreshes", result.stats.guard_refreshes);
+            }
             if spec.solver == SolverStrategy::Sparse {
                 // Symbolic analyses are per-worker warm-up (each thread's
                 // workspace analyzes once per topology), so they live in the

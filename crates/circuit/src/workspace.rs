@@ -17,7 +17,8 @@
 //! [`transient_with`](crate::netlist::Circuit) calls — can own one
 //! directly.
 
-use crate::mna::{CompanionCaps, DeviceLin, Mna};
+use crate::latency::{partition_signature, LatencyState};
+use crate::mna::{CompanionCaps, DeviceLin, IncrementalJac, Mna};
 use crate::transient::CapBranch;
 use std::cell::Cell;
 use tfet_numerics::matrix::LuWorkspace;
@@ -64,6 +65,10 @@ pub(crate) struct SolverBufs {
     /// Per-transistor linearization cache for device-evaluation bypass
     /// (sparse strategy only; invalidated at every run entry and rebind).
     pub(crate) device_cache: Vec<DeviceLin>,
+    /// Quiescent-partition latency state, built on first sparse solve of a
+    /// circuit with registered partitions and keyed on the combined
+    /// topology + partition signature; `None` for unpartitioned circuits.
+    pub(crate) latency: Option<LatencyState>,
     /// Jacobian factorizations performed (dense or sparse; monotone).
     pub(crate) jac_refactored: u64,
     /// Newton iterations that reused a previous factorization (monotone).
@@ -76,6 +81,14 @@ pub(crate) struct SolverBufs {
     pub(crate) sparse_analyses: u64,
     /// Sparse triangular solves performed (monotone).
     pub(crate) sparse_solves: u64,
+    /// Transistor stamps replayed for devices inside a dormant latency
+    /// partition (monotone).
+    pub(crate) devices_dormant: u64,
+    /// Latency partitions refreshed — all member devices re-evaluated in
+    /// one assembly (monotone).
+    pub(crate) cells_refreshed: u64,
+    /// Partition refreshes forced by guard-node movement alone (monotone).
+    pub(crate) guard_refreshes: u64,
 }
 
 /// Sparse linear-solve state: the pattern-backed Jacobian the MNA stamps
@@ -92,6 +105,10 @@ pub(crate) struct SparseState {
     /// reuse. Cleared at run entry, on rebind, after gmin-laddered solves,
     /// and on factorization failure.
     pub(crate) factor_valid: bool,
+    /// Incremental assembly state for the latency-tier transient path
+    /// ([`Mna::assemble_sparse_latent`]): linear/transistor value split and
+    /// per-device stamp slots over `jac`'s pattern.
+    pub(crate) inc: IncrementalJac,
 }
 
 impl Default for SolverBufs {
@@ -108,12 +125,16 @@ impl Default for SolverBufs {
             res_history: Vec::new(),
             sparse: None,
             device_cache: Vec::new(),
+            latency: None,
             jac_refactored: 0,
             jac_reused: 0,
             device_evals: 0,
             devices_bypassed: 0,
             sparse_analyses: 0,
             sparse_solves: 0,
+            devices_dormant: 0,
+            cells_refreshed: 0,
+            guard_refreshes: 0,
         }
     }
 }
@@ -146,6 +167,9 @@ impl SolverBufs {
         if let Some(s) = &mut self.sparse {
             s.factor_valid = false;
         }
+        if let Some(l) = &mut self.latency {
+            l.invalidate();
+        }
     }
 
     /// Ensures sparse state matching `mna`'s topology exists, building the
@@ -158,12 +182,33 @@ impl SolverBufs {
             return;
         }
         let pattern = SparsityPattern::from_entries(mna.unknown_count(), &mna.pattern_entries());
+        let inc = IncrementalJac::build(mna, &pattern);
         self.sparse = Some(SparseState {
             sig,
             jac: SparseMatrix::new(pattern),
             lu: SparseLu::new(),
             factor_valid: false,
+            inc,
         });
+    }
+
+    /// Ensures latency-tier state matching `mna`'s circuit exists: `None`
+    /// when the circuit registered no partitions (the overwhelmingly common
+    /// case — a cheap emptiness check and no allocation), otherwise built
+    /// or rebuilt only when the combined topology + partition signature
+    /// changed, so same-topology runs (sweeps, bisection searches) keep
+    /// their state across solves.
+    pub(crate) fn ensure_latency(&mut self, mna: &Mna<'_>) {
+        let parts = mna.circuit().latency_partitions();
+        if parts.is_empty() {
+            self.latency = None;
+            return;
+        }
+        let sig = partition_signature(mna.pattern_signature(), parts);
+        if self.latency.as_ref().is_some_and(|l| l.sig == sig) {
+            return;
+        }
+        self.latency = Some(LatencyState::build(mna.circuit(), sig));
     }
 
     /// (Re)factorizes the sparse Jacobian currently held in
@@ -176,6 +221,12 @@ impl SolverBufs {
         gmin_zero: bool,
     ) -> Result<(), tfet_numerics::matrix::SolveError> {
         self.jac_refactored += 1;
+        // No child spans for the analyze/replay split: each worker's
+        // workspace analyzes lazily on first use, so the split is
+        // scheduling-dependent — only the total (this span) belongs in the
+        // deterministic span tree. `solver.sparse_analyses` lives in the
+        // report's `work` section for the same reason.
+        let _span = tfet_obs::span("refactor");
         let mut analyses = 0u64;
         let s = self.sparse.as_mut().expect("sparse state prepared");
         let r = if !s.lu.is_analyzed() {

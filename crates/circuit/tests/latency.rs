@@ -1,0 +1,260 @@
+//! Fault-injection and determinism tests for the quiescent-partition
+//! latency tier (`tfet_circuit::latency`).
+//!
+//! The tier's correctness contract has two sides, and each gets a direct
+//! counter-asserted test here:
+//!
+//! * the **guard fires**: a dormant cell adjacent to a moving bitline must
+//!   be force-refreshed (`guard_refreshes > 0`) and its waveforms must match
+//!   the full-evaluation baseline;
+//! * the guard **doesn't storm**: a fully-quiescent hold transient must
+//!   never re-evaluate dormant cells (`guard_refreshes == 0`, refreshes
+//!   bounded by the initial settle).
+//!
+//! A third test pins the deterministic parallel evaluation claim: the same
+//! array transient, bit-identical at 1, 4 and 8 assembly threads.
+
+use std::sync::Arc;
+use tfet_circuit::latency::PAR_EVAL_MIN;
+use tfet_circuit::transient::InitialState;
+use tfet_circuit::{
+    set_assembly_threads, CellPartition, Circuit, DeviceLatency, NodeId, TransientSpec, Waveform,
+};
+use tfet_devices::{NTfet, PTfet};
+
+const VDD: f64 = 0.8;
+
+/// A row of TFET latch cells hanging off one shared bitline/wordline pair:
+/// each cell is a cross-coupled inverter pair plus an n-type access device
+/// from the bitline to `q`, with the wordline held inactive. One latency
+/// partition per cell: the five cell transistors, storage nodes watched,
+/// the shared lines guarded.
+fn latch_row(n_cells: usize, bl_wave: Waveform) -> (Circuit, Vec<(NodeId, NodeId)>) {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Waveform::dc(VDD));
+    let bl = c.node("bl");
+    c.vsource("VBL", bl, Circuit::GND, bl_wave);
+    let wl = c.node("wl");
+    c.vsource("VWL", wl, Circuit::GND, Waveform::dc(0.0));
+
+    let mut partitions = Vec::new();
+    let mut storage = Vec::new();
+    for i in 0..n_cells {
+        let q = c.node(&format!("q{i}"));
+        let qb = c.node(&format!("qb{i}"));
+        let d0 = c.transistors().len();
+        c.transistor(
+            &format!("PU{i}L"),
+            Arc::new(PTfet::nominal()),
+            q,
+            qb,
+            vdd,
+            0.06,
+        );
+        c.transistor(
+            &format!("PD{i}L"),
+            Arc::new(NTfet::nominal()),
+            q,
+            qb,
+            Circuit::GND,
+            0.1,
+        );
+        c.transistor(
+            &format!("PU{i}R"),
+            Arc::new(PTfet::nominal()),
+            qb,
+            q,
+            vdd,
+            0.06,
+        );
+        c.transistor(
+            &format!("PD{i}R"),
+            Arc::new(NTfet::nominal()),
+            qb,
+            q,
+            Circuit::GND,
+            0.1,
+        );
+        c.transistor(
+            &format!("AX{i}"),
+            Arc::new(NTfet::nominal()),
+            bl,
+            wl,
+            q,
+            0.1,
+        );
+        c.capacitor(q, Circuit::GND, 1e-15);
+        c.capacitor(qb, Circuit::GND, 1e-15);
+        partitions.push(CellPartition {
+            devices: (d0..d0 + 5).collect(),
+            watch: vec![q, qb],
+            guard: vec![wl, bl, vdd],
+        });
+        storage.push((q, qb));
+    }
+    c.set_latency_partitions(partitions);
+    (c, storage)
+}
+
+/// Checkerboard hold state: even cells store 1, odd cells store 0.
+fn hold_ics(storage: &[(NodeId, NodeId)]) -> Vec<(NodeId, f64)> {
+    let mut ics = Vec::new();
+    for (i, &(q, qb)) in storage.iter().enumerate() {
+        let one = i % 2 == 0;
+        ics.push((q, if one { VDD } else { 0.0 }));
+        ics.push((qb, if one { 0.0 } else { VDD }));
+    }
+    ics
+}
+
+fn with_lines(mut ics: Vec<(NodeId, f64)>, c: &Circuit, bl0: f64) -> Vec<(NodeId, f64)> {
+    ics.push((c.find_node("vdd").unwrap(), VDD));
+    ics.push((c.find_node("bl").unwrap(), bl0));
+    ics.push((c.find_node("wl").unwrap(), 0.0));
+    ics
+}
+
+#[test]
+fn moving_bitline_force_refreshes_dormant_cells() {
+    // Bitline discharges at 1 ns; the wordline never rises, so every cell
+    // is a half-select bystander whose internal nodes barely move — only
+    // the guard can (and must) trigger the refresh.
+    let bl_wave = Waveform::step(VDD, 0.0, 1.0e-9, 20e-12);
+    let (c, storage) = latch_row(6, bl_wave.clone());
+    let ics = with_lines(hold_ics(&storage), &c, VDD);
+    let spec = TransientSpec::new(2.5e-9, 1e-12);
+
+    let on = c.transient(&spec, &InitialState::Uic(ics.clone())).unwrap();
+    assert!(
+        on.stats.devices_dormant > 0,
+        "quiet pre-edge phase must produce dormant stamps, stats: {:?}",
+        on.stats
+    );
+    assert!(
+        on.stats.guard_refreshes > 0,
+        "bitline edge must force-refresh dormant cells via the guard, stats: {:?}",
+        on.stats
+    );
+
+    // The full-evaluation baseline must agree on the physics: every cell
+    // retains its state, and waveforms match to well under a millivolt.
+    let off = c
+        .transient(
+            &spec.with_device_latency(DeviceLatency::Off),
+            &InitialState::Uic(ics),
+        )
+        .unwrap();
+    assert_eq!(off.stats.devices_dormant, 0);
+    assert_eq!(off.stats.devices_bypassed, 0);
+    for (i, &(q, qb)) in storage.iter().enumerate() {
+        let expect_one = i % 2 == 0;
+        for node in [q, qb] {
+            for &t in &[0.5e-9, 1.2e-9, 2.4e-9] {
+                let d = (on.voltage_at(node, t) - off.voltage_at(node, t)).abs();
+                assert!(d < 1e-3, "cell {i} node diff {d:e} V at t = {t:e}");
+            }
+        }
+        let v_q = on.voltage_at(q, 2.4e-9);
+        assert!(
+            if expect_one {
+                v_q > 0.7 * VDD
+            } else {
+                v_q < 0.3 * VDD
+            },
+            "cell {i} lost its state under half-select: q = {v_q}"
+        );
+    }
+}
+
+#[test]
+fn quiescent_hold_never_refreshes_dormant_cells() {
+    // Every source DC, initial conditions at the hold state: after the
+    // initial settle there is nothing to do, and the tier must prove it —
+    // zero guard refreshes, refresh count bounded by the settle, and the
+    // bulk of all stamps served dormant.
+    let n_cells = 6;
+    let (c, storage) = latch_row(n_cells, Waveform::dc(VDD));
+    let ics = with_lines(hold_ics(&storage), &c, VDD);
+    let spec = TransientSpec::new(4e-9, 1e-12);
+
+    let res = c.transient(&spec, &InitialState::Uic(ics)).unwrap();
+    assert_eq!(
+        res.stats.guard_refreshes, 0,
+        "no shared line moved, so the guard must never fire: {:?}",
+        res.stats
+    );
+    assert!(
+        res.stats.devices_dormant > 0,
+        "hold must be served dormant: {:?}",
+        res.stats
+    );
+    // The only refreshes allowed are the initial-settle ones (the UIC hold
+    // solve plus the first few steps while nodes relax to the operating
+    // point): a storm would scale with step count, not cell count.
+    let settle_budget = 20 * n_cells as u64;
+    assert!(
+        res.stats.cells_refreshed <= settle_budget,
+        "refresh storm: {} refreshes for {} cells over {} solves",
+        res.stats.cells_refreshed,
+        n_cells,
+        res.stats.newton_solves
+    );
+    // Dormancy must dominate: far fewer evaluations than the dense count
+    // (5 devices × iterations).
+    assert!(
+        res.stats.devices_dormant > 4 * res.stats.device_evals,
+        "dormant/eval ratio too low: {:?}",
+        res.stats
+    );
+}
+
+#[test]
+fn parallel_evaluation_is_bit_identical_across_thread_counts() {
+    // Enough cells that full-evaluation assemblies exceed PAR_EVAL_MIN and
+    // actually take the threaded path.
+    let n_cells = PAR_EVAL_MIN / 5 + 2;
+    let bl_wave = Waveform::step(VDD, 0.0, 0.4e-9, 20e-12);
+    let spec = TransientSpec::new(1.2e-9, 1e-12);
+
+    let run = |threads: usize| {
+        set_assembly_threads(threads);
+        let (c, storage) = latch_row(n_cells, bl_wave.clone());
+        let ics = with_lines(hold_ics(&storage), &c, VDD);
+        let out = c.transient(&spec, &InitialState::Uic(ics)).unwrap();
+        set_assembly_threads(0);
+        (out, storage)
+    };
+
+    let (base, storage) = run(1);
+    assert!(
+        base.stats.device_evals as usize >= PAR_EVAL_MIN,
+        "test must be big enough to exercise the parallel path: {:?}",
+        base.stats
+    );
+    for threads in [4, 8] {
+        let (other, _) = run(threads);
+        assert_eq!(base.times(), other.times(), "threads = {threads}");
+        for &(q, qb) in &storage {
+            assert_eq!(base.trace(q), other.trace(q), "threads = {threads}");
+            assert_eq!(base.trace(qb), other.trace(qb), "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "claimed by more than one")]
+fn overlapping_partitions_rejected() {
+    let (mut c, _) = latch_row(2, Waveform::dc(VDD));
+    let p = CellPartition {
+        devices: vec![0, 5],
+        watch: vec![],
+        guard: vec![],
+    };
+    let q = CellPartition {
+        devices: vec![5],
+        watch: vec![],
+        guard: vec![],
+    };
+    c.set_latency_partitions(vec![p, q]);
+}

@@ -27,6 +27,10 @@
 //!   baseline metric family the paper's dynamic approach replaces;
 //! * [`array`](mod@array) — array-level functional simulation: shared wordlines and
 //!   bitlines, half-select physics, disturb detection;
+//! * [`array_netlist`] — the fast-SPICE array engine: R×C cells with
+//!   wordline-driver, precharge and write-mux peripherals compiled once
+//!   into a single circuit, re-run under rebound control waveforms, and
+//!   accelerated by the circuit crate's quiescent-partition latency tier;
 //! * [`explore`] — β sweeps and assist-technique comparisons (Figs. 4–8);
 //! * [`compare`] — the §5 four-design comparison across V_DD (Figs. 11–12
 //!   and the static-power/area tables);
@@ -55,6 +59,7 @@
 
 pub mod area;
 pub mod array;
+pub mod array_netlist;
 pub mod assist;
 pub mod cell;
 pub mod compare;
@@ -70,6 +75,7 @@ pub use error::SramError;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
+    pub use crate::array_netlist::{ArrayNetlist, ArraySpec};
     pub use crate::assist::{ReadAssist, WriteAssist};
     pub use crate::error::SramError;
     pub use crate::metrics::{self, WlCrit, WlCritRun};
@@ -78,5 +84,5 @@ pub mod prelude {
     pub use crate::tech::{
         AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SimOptions, SteppingMode,
     };
-    pub use tfet_circuit::SolverStrategy;
+    pub use tfet_circuit::{DeviceLatency, SolverStrategy};
 }

@@ -491,7 +491,18 @@ impl CellParams {
     /// process variation. `n_type` selects the polarity within the
     /// technology.
     pub(crate) fn model(&self, role: Role, n_type: bool) -> Arc<dyn DeviceModel> {
-        let var = self.variations.of(role);
+        self.model_with(self.variations.of(role), n_type)
+    }
+
+    /// Builds an unvaried device model in the cell's technology — the
+    /// peripheral transistors of an array netlist (wordline drivers,
+    /// precharge, write mux) sit outside the cell's per-role variation
+    /// model and always use the nominal process.
+    pub(crate) fn periph_model(&self, n_type: bool) -> Arc<dyn DeviceModel> {
+        self.model_with(ProcessVariation::nominal(), n_type)
+    }
+
+    fn model_with(&self, var: ProcessVariation, n_type: bool) -> Arc<dyn DeviceModel> {
         if self.eval == DeviceEval::CachedLut {
             let kind = if self.kind.is_tfet() {
                 DeviceKind::Tfet

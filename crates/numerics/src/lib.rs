@@ -19,8 +19,12 @@
 //! * [`sweep`] — parameter-sweep grid constructors (`linspace`, `logspace`)
 //!   and a parallel grid evaluator;
 //! * [`stats`] — summary statistics and histograms for Monte-Carlo studies;
-//! * [`parallel`] — deterministic scoped-thread fan-out (`par_map`) whose
-//!   results are bit-identical to a serial loop at any thread count.
+//! * [`parallel`] — deterministic scoped-thread fan-out (`par_map`,
+//!   `par_for_each_mut`) whose results are bit-identical to a serial loop at
+//!   any thread count;
+//! * [`partition`] — CSR-style index grouping used by the solver's
+//!   quiescent-partition latency tier to map devices ↔ cells without
+//!   per-query allocation.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 pub mod interp;
 pub mod matrix;
 pub mod parallel;
+pub mod partition;
 pub mod roots;
 pub mod sparse;
 pub mod stats;
@@ -48,7 +53,8 @@ pub mod sweep;
 
 pub use interp::{Lut1d, Lut2d};
 pub use matrix::{LuWorkspace, Matrix};
-pub use parallel::{par_map, par_try_map};
+pub use parallel::{par_for_each_mut, par_map, par_try_map};
+pub use partition::GroupedIndices;
 pub use roots::{
     bisect, brent, critical_threshold, critical_threshold_checked, critical_threshold_seeded,
     critical_threshold_seeded_checked,

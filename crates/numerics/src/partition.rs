@@ -1,0 +1,149 @@
+//! Pattern-aware item grouping for partitioned workloads.
+//!
+//! The quiescent-partition latency tier in the circuit solver needs to ask
+//! two questions very quickly on every Newton iteration: *which group does
+//! item `i` belong to?* and *which items make up group `g`?*
+//! [`GroupedIndices`] answers both with flat CSR-style storage built once
+//! from an explicit grouping — no hashing, no per-query allocation.
+//!
+//! Groups need not cover the whole domain: items left out of every group
+//! are "ungrouped" and report [`GroupedIndices::UNGROUPED`] as their owner.
+//! The builder validates that indices are in range and that no item is
+//! claimed by two groups, so downstream code can treat membership as a
+//! bijection onto `grouped ∪ ungrouped`.
+
+/// A fixed partition of the indices `0..n_items` into disjoint groups,
+/// stored CSR-style for allocation-free queries in both directions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupedIndices {
+    /// `offsets[g]..offsets[g + 1]` indexes `members` for group `g`.
+    offsets: Vec<usize>,
+    /// Concatenated member lists, each group's members in the order given.
+    members: Vec<usize>,
+    /// `owner[i]` is the group owning item `i`, or [`Self::UNGROUPED`].
+    owner: Vec<usize>,
+}
+
+impl GroupedIndices {
+    /// Owner value reported for items not claimed by any group.
+    pub const UNGROUPED: usize = usize::MAX;
+
+    /// Builds a grouping of `0..n_items` from explicit member lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= n_items` or appears in more than one
+    /// group (or twice in the same group) — a malformed partition would
+    /// silently corrupt latency bookkeeping downstream, so it is rejected
+    /// loudly at construction.
+    pub fn from_groups(n_items: usize, groups: &[Vec<usize>]) -> Self {
+        let mut offsets = Vec::with_capacity(groups.len() + 1);
+        let mut members = Vec::with_capacity(groups.iter().map(Vec::len).sum());
+        let mut owner = vec![Self::UNGROUPED; n_items];
+        offsets.push(0);
+        for (g, group) in groups.iter().enumerate() {
+            for &item in group {
+                assert!(
+                    item < n_items,
+                    "group {g} references item {item}, but only {n_items} items exist"
+                );
+                assert!(
+                    owner[item] == Self::UNGROUPED,
+                    "item {item} claimed by both group {} and group {g}",
+                    owner[item]
+                );
+                owner[item] = g;
+                members.push(item);
+            }
+            offsets.push(members.len());
+        }
+        GroupedIndices {
+            offsets,
+            members,
+            owner,
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of items in the underlying domain (grouped or not).
+    pub fn item_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The members of group `g`, in the order given at construction.
+    pub fn group(&self, g: usize) -> &[usize] {
+        &self.members[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// The group owning item `i`, or [`Self::UNGROUPED`].
+    pub fn owner_of(&self, i: usize) -> usize {
+        self.owner[i]
+    }
+
+    /// True when item `i` belongs to some group.
+    pub fn is_grouped(&self, i: usize) -> bool {
+        self.owner[i] != Self::UNGROUPED
+    }
+
+    /// Total number of grouped items across all groups.
+    pub fn grouped_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_groups_and_owners() {
+        let g = GroupedIndices::from_groups(8, &[vec![0, 3, 5], vec![2, 7]]);
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(g.item_count(), 8);
+        assert_eq!(g.group(0), &[0, 3, 5]);
+        assert_eq!(g.group(1), &[2, 7]);
+        assert_eq!(g.owner_of(3), 0);
+        assert_eq!(g.owner_of(7), 1);
+        assert_eq!(g.owner_of(1), GroupedIndices::UNGROUPED);
+        assert!(g.is_grouped(5));
+        assert!(!g.is_grouped(6));
+        assert_eq!(g.grouped_count(), 5);
+    }
+
+    #[test]
+    fn empty_grouping_leaves_everything_ungrouped() {
+        let g = GroupedIndices::from_groups(4, &[]);
+        assert_eq!(g.group_count(), 0);
+        assert_eq!(g.grouped_count(), 0);
+        assert!((0..4).all(|i| !g.is_grouped(i)));
+    }
+
+    #[test]
+    fn empty_groups_are_allowed() {
+        let g = GroupedIndices::from_groups(3, &[vec![], vec![1]]);
+        assert_eq!(g.group(0), &[] as &[usize]);
+        assert_eq!(g.group(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 3 items exist")]
+    fn out_of_range_member_panics() {
+        GroupedIndices::from_groups(3, &[vec![0, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by both")]
+    fn double_membership_panics() {
+        GroupedIndices::from_groups(5, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by both")]
+    fn duplicate_within_one_group_panics() {
+        GroupedIndices::from_groups(5, &[vec![2, 2]]);
+    }
+}

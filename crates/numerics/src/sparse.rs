@@ -13,11 +13,12 @@
 //!   API so MNA assembly is target-generic.
 //! * [`SparseLu`] — the factorization engine. [`SparseLu::analyze`] runs once
 //!   per pattern: it picks a fill-reducing column ordering (greedy minimum
-//!   degree on the symmetrized pattern), pins a partial-pivot row order by
-//!   running one dense factorization, computes the no-cancellation fill-in
-//!   pattern of `P·A·Q = L·U`, and compiles a flat *replay script* (scatter
-//!   map + per-column update/divide slot lists). [`SparseLu::refactorize`]
-//!   then replays that script over new values with zero allocation and zero
+//!   degree on the symmetrized pattern), pins a partial-pivot row order with
+//!   a sparse Gilbert–Peierls left-looking factorization (O(flops), no dense
+//!   scratch), computes the no-cancellation fill-in pattern of
+//!   `P·A·Q = L·U`, and compiles a flat *replay script* (scatter map +
+//!   per-column update/divide slot lists). [`SparseLu::refactorize`] then
+//!   replays that script over new values with zero allocation and zero
 //!   index arithmetic beyond array reads — the cheap per-iteration path.
 //!
 //! Pivoting is *static*: the row order chosen at analysis time is reused by
@@ -30,7 +31,7 @@
 //! Error taxonomy and workspace conventions (zero allocation after warmup,
 //! `solve_into` with caller-owned buffers) follow `matrix.rs`.
 
-use crate::matrix::{factorize_in_place, Matrix, SolveError, PIVOT_EPS};
+use crate::matrix::{Matrix, SolveError, PIVOT_EPS};
 
 /// Immutable CSC sparsity skeleton: which `(row, col)` slots exist.
 ///
@@ -159,6 +160,14 @@ impl SparseMatrix {
         &self.values
     }
 
+    /// Mutable flat value storage, in pattern (column-major) order — for
+    /// callers that maintain the values incrementally (e.g. composing a
+    /// rarely-changing linear part with per-device deltas) instead of
+    /// re-stamping through [`SparseMatrix::add`].
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// `y = A·x` (column-oriented, allocation-free).
     ///
     /// Panics if `x` or `y` has the wrong length.
@@ -241,6 +250,11 @@ pub struct SparseLu {
     analyzed_nnz: usize,
     analyzed: bool,
     factored: bool,
+    /// Pattern of the last analysis: a re-analysis over the *same* pattern
+    /// (the pivot-order-refresh path) reuses the fill-reducing column order
+    /// instead of re-running minimum degree — the column order depends only
+    /// on the pattern, never on values.
+    analyzed_pattern: Option<SparsityPattern>,
 }
 
 impl SparseLu {
@@ -263,8 +277,9 @@ impl SparseLu {
     ///
     /// Chooses a fill-reducing column order (greedy minimum degree on the
     /// symmetrized pattern, ties to the lowest index — deterministic), pins
-    /// the partial-pivot row order by running one dense factorization of the
-    /// given values, computes the no-cancellation fill-in pattern, compiles
+    /// the partial-pivot row order with a sparse Gilbert–Peierls left-looking
+    /// factorization of the given values (O(flops) — no dense scratch),
+    /// computes the no-cancellation fill-in pattern, compiles
     /// the refactorization replay script, and factorizes. Allocates; every
     /// later [`refactorize`](SparseLu::refactorize)/[`solve_into`](SparseLu::solve_into)
     /// over the same pattern is allocation-free.
@@ -277,20 +292,143 @@ impl SparseLu {
         self.factored = false;
         self.n = n;
         self.analyzed_nnz = a.pattern.nnz();
-        self.col_perm = min_degree_order(&a.pattern);
-
-        // Pin the row order: one dense partial-pivoted factorization of the
-        // column-permuted values. Circuit Jacobians drift slowly, so this
-        // pivot order stays numerically sound across refactorizations.
-        let mut scratch = vec![0.0; n * n];
-        for (k, (r, c)) in a.pattern.coords().enumerate() {
-            let pc = self.col_perm.iter().position(|&oc| oc == c).unwrap();
-            scratch[r * n + pc] += a.values[k];
+        let same_pattern = self
+            .analyzed_pattern
+            .as_ref()
+            .is_some_and(|p| *p == a.pattern);
+        if !same_pattern {
+            self.col_perm = min_degree_order(&a.pattern);
+            self.analyzed_pattern = Some(a.pattern.clone());
         }
-        let mut perm = vec![0usize; n];
-        factorize_in_place(n, &mut scratch, &mut perm)?;
-        self.row_perm = perm;
 
+        // Pin the row order with a Gilbert–Peierls left-looking LU over the
+        // permuted columns: per column, a sparse triangular solve against the
+        // already-factored columns (DFS reach in the L pattern, processed in
+        // topological order), then partial pivoting over the not-yet-pivotal
+        // reached rows. Everything — pivot order, no-cancellation fill
+        // pattern, and the numeric factors — falls out of one O(flops) pass;
+        // there is no dense scratch, so analysis stays cheap at any circuit
+        // size (a dense pinning pass would be O(n³) time and O(n²) memory,
+        // which dominates wall-clock for array-scale netlists).
+        //
+        // The reach is structural: entries are kept even when their value
+        // works out to exactly zero, so the recorded pattern is the
+        // no-cancellation fill-in of `P·A·Q = L·U` for the chosen pivot
+        // order — later refactorizations over different values need no new
+        // slots.
+        let none = usize::MAX;
+        // Original row -> pivotal (permuted) position, `none` while unpivoted.
+        let mut pinv = vec![none; n];
+        // L columns in original-row space: strictly-sub-pivotal rows and
+        // their multipliers, in the order the solve produced them.
+        let mut lrows: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut lvals: Vec<Vec<f64>> = Vec::with_capacity(n);
+        // U rows per column, as pivotal positions `k < j` (values are not
+        // kept — the replay script recomputes them).
+        let mut urows: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut x = vec![0.0f64; n]; // dense accumulator, original-row space
+        let mut reached = vec![false; n];
+        let mut reach: Vec<usize> = Vec::with_capacity(64); // topological order
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(64);
+        for j in 0..n {
+            let oc = self.col_perm[j];
+            // DFS from A(:,oc)'s rows through pivoted rows' L columns;
+            // reverse postorder = topological order for the solve.
+            reach.clear();
+            for &r0 in &a.pattern.row_idx[a.pattern.col_ptr[oc]..a.pattern.col_ptr[oc + 1]] {
+                if reached[r0] {
+                    continue;
+                }
+                stack.push((r0, 0));
+                reached[r0] = true;
+                while let Some(&(r, next)) = stack.last() {
+                    let kids: &[usize] = match pinv[r] {
+                        k if k != none => &lrows[k],
+                        _ => &[],
+                    };
+                    let mut child = None;
+                    let mut adv = next;
+                    while adv < kids.len() {
+                        let rr = kids[adv];
+                        adv += 1;
+                        if !reached[rr] {
+                            child = Some(rr);
+                            break;
+                        }
+                    }
+                    stack.last_mut().expect("stack non-empty").1 = adv;
+                    match child {
+                        Some(c) => {
+                            reached[c] = true;
+                            stack.push((c, 0));
+                        }
+                        None => {
+                            stack.pop();
+                            reach.push(r); // postorder
+                        }
+                    }
+                }
+            }
+            reach.reverse();
+            // Scatter A(:,oc) and run the sparse triangular solve.
+            for k in a.pattern.col_ptr[oc]..a.pattern.col_ptr[oc + 1] {
+                x[a.pattern.row_idx[k]] = a.values[k];
+            }
+            for &r in &reach {
+                let k = pinv[r];
+                if k == none {
+                    continue;
+                }
+                let xr = x[r];
+                for (&rr, &lv) in lrows[k].iter().zip(&lvals[k]) {
+                    x[rr] -= lv * xr;
+                }
+            }
+            // Partial pivot over the rows this column can eliminate.
+            let mut piv_row = none;
+            let mut piv_mag = 0.0f64;
+            for &r in &reach {
+                if pinv[r] == none {
+                    let mag = x[r].abs();
+                    if mag > piv_mag {
+                        piv_mag = mag;
+                        piv_row = r;
+                    }
+                }
+            }
+            if piv_row == none || piv_mag < PIVOT_EPS {
+                for &r in &reach {
+                    reached[r] = false;
+                    x[r] = 0.0;
+                }
+                return Err(SolveError::Singular { step: j });
+            }
+            pinv[piv_row] = j;
+            let inv_piv = 1.0 / x[piv_row];
+            let mut lr = Vec::new();
+            let mut lv = Vec::new();
+            let mut ur = Vec::new();
+            for &r in &reach {
+                match pinv[r] {
+                    k if k == j => {}
+                    k if k != none => ur.push(k),
+                    _ => {
+                        lr.push(r);
+                        lv.push(x[r] * inv_piv);
+                    }
+                }
+                reached[r] = false;
+                x[r] = 0.0;
+            }
+            lrows.push(lr);
+            lvals.push(lv);
+            urows.push(ur);
+        }
+
+        self.row_perm = vec![0usize; n];
+        for (r, &k) in pinv.iter().enumerate() {
+            self.row_perm[k] = r;
+        }
         let mut inv_row = vec![0usize; n];
         let mut inv_col = vec![0usize; n];
         for i in 0..n {
@@ -298,30 +436,17 @@ impl SparseLu {
             inv_col[self.col_perm[i]] = i;
         }
 
-        // Symbolic left-looking LU on B = P·A·Q: column j's fill-in is the
-        // union of B's column-j rows, the forced diagonal, and — for every
-        // marked row k < j, in ascending k — column k's sub-diagonal rows.
+        // Per-column factor rows in permuted space: U's pivotal positions,
+        // the diagonal, and L's sub-pivotal rows mapped through the (now
+        // complete) row permutation.
         let mut fcols: Vec<Vec<usize>> = Vec::with_capacity(n);
-        let mut mark = vec![false; n];
         for j in 0..n {
-            let oc = self.col_perm[j];
-            for &r in &a.pattern.row_idx[a.pattern.col_ptr[oc]..a.pattern.col_ptr[oc + 1]] {
-                mark[inv_row[r]] = true;
-            }
-            mark[j] = true; // static pivoting needs the diagonal slot present
-            for k in 0..j {
-                if mark[k] {
-                    let col_k = &fcols[k];
-                    let start = col_k.partition_point(|&r| r <= k);
-                    for &r in &col_k[start..] {
-                        mark[r] = true;
-                    }
-                }
-            }
-            let mut rows: Vec<usize> = (0..n).filter(|&r| mark[r]).collect();
-            for &r in &rows {
-                mark[r] = false;
-            }
+            let mut rows: Vec<usize> = urows[j]
+                .iter()
+                .copied()
+                .chain(std::iter::once(j))
+                .chain(lrows[j].iter().map(|&r| pinv[r]))
+                .collect();
             rows.sort_unstable();
             fcols.push(rows);
         }
@@ -489,38 +614,68 @@ impl SparseLu {
 /// neighbours into a clique. Ties break to the lowest index, so the order is
 /// deterministic. O(n³) worst case — fine at circuit sizes.
 fn min_degree_order(p: &SparsityPattern) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     let n = p.n;
-    let mut adj = vec![false; n * n];
+    // Sorted adjacency lists over *alive* vertices only — the invariant that
+    // makes `adj[v].len()` the elimination-graph degree. A dense n×n bitmap
+    // with full rescans would be O(n²) memory and O(n³) time, which is the
+    // dominant analysis cost at array-scale circuits; the list + lazy-heap
+    // formulation below produces the *identical* order (same greedy rule,
+    // same lowest-index tie break) in roughly O(fill · log n).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (r, c) in p.coords() {
         if r != c {
-            adj[r * n + c] = true;
-            adj[c * n + r] = true;
+            adj[r].push(c);
+            adj[c].push(r);
         }
     }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
     let mut alive = vec![true; n];
+    // Lazy min-heap of (degree, vertex): stale entries are skipped on pop
+    // (degree mismatch or dead vertex); every degree change pushes a fresh
+    // entry, so the true minimum — lowest index on ties — is always present.
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(2 * n);
+    for (v, l) in adj.iter().enumerate() {
+        heap.push(Reverse((l.len(), v)));
+    }
     let mut order = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut best = usize::MAX;
-        let mut best_deg = usize::MAX;
-        for v in 0..n {
-            if !alive[v] {
-                continue;
-            }
-            let deg = (0..n).filter(|&u| alive[u] && adj[v * n + u]).count();
-            if deg < best_deg {
-                best_deg = deg;
-                best = v;
-            }
+    let mut merged: Vec<usize> = Vec::new();
+    while order.len() < n {
+        let Reverse((d, v)) = heap.pop().expect("heap holds every alive vertex");
+        if !alive[v] || adj[v].len() != d {
+            continue;
         }
-        let v = best;
         alive[v] = false;
         order.push(v);
-        let nbrs: Vec<usize> = (0..n).filter(|&u| alive[u] && adj[v * n + u]).collect();
-        for (i, &a) in nbrs.iter().enumerate() {
-            for &b in &nbrs[i + 1..] {
-                adj[a * n + b] = true;
-                adj[b * n + a] = true;
+        let nbrs = std::mem::take(&mut adj[v]);
+        // Connect the eliminated vertex's neighbours into a clique: each
+        // neighbour drops `v` and gains the other members (sorted merge).
+        for &u in &nbrs {
+            merged.clear();
+            let mut it_a = adj[u].iter().copied().filter(|&w| w != v).peekable();
+            let mut it_b = nbrs.iter().copied().filter(|&w| w != u).peekable();
+            loop {
+                match (it_a.peek(), it_b.peek()) {
+                    (Some(&a), Some(&b)) => {
+                        let w = if a <= b { it_a.next() } else { it_b.next() };
+                        if a == b {
+                            it_b.next();
+                        }
+                        merged.push(w.expect("peeked"));
+                    }
+                    (Some(_), None) => merged.push(it_a.next().expect("peeked")),
+                    (None, Some(_)) => merged.push(it_b.next().expect("peeked")),
+                    (None, None) => break,
+                }
             }
+            adj[u].clear();
+            adj[u].extend_from_slice(&merged);
+            heap.push(Reverse((adj[u].len(), u)));
         }
     }
     order

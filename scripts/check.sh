@@ -19,11 +19,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
-echo "== fault-injection suite (rescue ladder, checked searches, MC quarantine) =="
+echo "== fault-injection suite (rescue ladder, checked searches, MC quarantine, latency guards) =="
 cargo test -q -p tfet-circuit --offline rescue
 cargo test -q -p tfet-numerics --offline checked_
 cargo test -q -p tfet-sram --offline quarantine
 cargo test -q -p tfet-integration --offline --test observability quarantine
+cargo test -q -p tfet-circuit --offline --test latency
 
 echo "== cargo bench --no-run =="
 cargo bench --workspace --offline --no-run
@@ -31,6 +32,7 @@ cargo bench --workspace --offline --no-run
 echo "== solver bench compile check =="
 cargo bench -p tfet-bench --bench solver_throughput --offline --no-run
 cargo bench -p tfet-bench --bench mc_throughput --offline --no-run
+cargo bench -p tfet-bench --bench array_throughput --offline --no-run
 
 echo "== sparse-vs-dense figure-CSV bit-identity (--quick, 1 and 8 threads) =="
 figtmp="$(mktemp -d)"
@@ -42,6 +44,40 @@ for threads in 1 8; do
     --bin figures -- --quick --dense --out "$figtmp/dense_t$threads" >/dev/null
   diff -r "$figtmp/sparse_t$threads" "$figtmp/dense_t$threads"
   echo "threads=$threads: sparse and dense figure CSVs are bit-identical"
+done
+
+echo "== latency-tier array-figure CSV bit-identity (--quick, 1 and 8 threads) =="
+# The quiescent-partition tier must be invisible in the physics it was built
+# for: the array figure from a latency-off run diffs byte for byte against
+# the default (latency-on) run, at both thread counts. The remaining
+# (single-cell) figures are compared at 1e-3 relative instead of byte-exact:
+# `--latency-off` also disables the PR-6 per-device bypass beneath the tier,
+# whose documented ~1e-5 relative error can flip the last printed digit of a
+# delay figure at a rounding boundary.
+for threads in 1 8; do
+  RAYON_NUM_THREADS=$threads cargo run -q --release --offline -p tfet-bench \
+    --bin figures -- --quick --latency-off --out "$figtmp/lat_off_t$threads" >/dev/null
+  diff "$figtmp/sparse_t$threads/array.csv" "$figtmp/lat_off_t$threads/array.csv"
+  python3 - "$figtmp/sparse_t$threads" "$figtmp/lat_off_t$threads" <<'EOF'
+import csv, os, sys
+a_dir, b_dir = sys.argv[1], sys.argv[2]
+names = sorted(os.listdir(a_dir))
+assert names == sorted(os.listdir(b_dir)), "figure sets differ"
+for name in names:
+    a = list(csv.reader(open(os.path.join(a_dir, name))))
+    b = list(csv.reader(open(os.path.join(b_dir, name))))
+    assert len(a) == len(b), f"{name}: row count differs"
+    for ra, rb in zip(a, b):
+        assert len(ra) == len(rb), f"{name}: column count differs"
+        for va, vb in zip(ra, rb):
+            if va == vb:
+                continue
+            fa, fb = float(va), float(vb)  # non-numeric must match exactly
+            rel = abs(fa - fb) / max(abs(fa), abs(fb), 1e-300)
+            assert rel <= 1e-3, f"{name}: {va} vs {vb} (rel {rel:.2e})"
+print(f"{len(names)} figure CSVs agree within 1e-3 relative")
+EOF
+  echo "threads=$threads: array.csv bit-identical latency-on vs latency-off"
 done
 
 echo "== run_report smoke (traced scorecard + MC, JSON validates) =="
