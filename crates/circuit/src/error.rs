@@ -28,6 +28,17 @@ pub enum SimError {
     /// The circuit is structurally invalid (e.g. zero-valued resistor,
     /// transistor width ≤ 0, empty circuit).
     InvalidCircuit(String),
+    /// A SPICE deck failed to parse. `line` and `col` are 1-based positions
+    /// of the offending token in the deck text (for continuation lines the
+    /// position refers to the physical line the token appears on).
+    SpiceParse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +67,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SimError::SpiceParse { line, col, msg } => {
+                write!(f, "spice parse error at line {line}, column {col}: {msg}")
+            }
         }
     }
 }
@@ -91,6 +105,14 @@ mod tests {
         assert!(e.to_string().contains("2.5e-3"));
         let e = SimError::InvalidCircuit("no elements".into());
         assert!(e.to_string().contains("no elements"));
+        let e = SimError::SpiceParse {
+            line: 12,
+            col: 7,
+            msg: "`1.2x` is not a number".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("column 7"));
+        assert!(e.to_string().contains("1.2x"));
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub use error::SimError;
 pub use latency::{set_assembly_threads, CellPartition, DeviceLatency};
 pub use netlist::{Circuit, NodeId, SourceId};
 pub use probe::{SolveStats, TransientResult};
+pub use spice::{DcSweep, Deck, DeckAnalysis, DeckRun, Subckt, SubcktCard};
 pub use transient::{AdaptiveOpts, Integrator, StepControl, StopEvent, TransientSpec};
 pub use waveform::Waveform;
 pub use workspace::NewtonWorkspace;

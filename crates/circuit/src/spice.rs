@@ -8,19 +8,66 @@
 //!   calls naming their compact model), suitable for inspection, diffing,
 //!   or replaying in an external simulator that has equivalent models;
 //! * [`Circuit::from_spice`] — parse the same dialect back, resolving
-//!   transistor models through a caller-supplied registry.
+//!   transistor models through a caller-supplied registry;
+//! * [`Deck::parse`] — the full deck reader: `.subckt`/`.ends` definitions
+//!   with hierarchical `X` instantiation (flattened onto dotted node
+//!   names), `.param` constants, `.ic`/`.nodeset` initial conditions, and
+//!   `.tran`/`.dc` analysis cards that drive the existing
+//!   [`TransientSpec`]/DC paths.
 //!
-//! The dialect is deliberately small and fully round-trippable: `R`, `C`,
-//! `V` (DC and PWL), `I` (DC), `X` (three-terminal device), `*` comments,
-//! `.title`/`.end` cards.
+//! # Dialect
+//!
+//! Element and card names are case-insensitive; node names are
+//! case-sensitive (`0`, `gnd` and `GND` all denote global ground). Values
+//! accept SPICE engineering suffixes (`1.2u`, `10meg`, `5p`, optionally
+//! followed by unit letters as in `20fF`) in addition to plain floats.
+//! Malformed cards are rejected with a typed [`SimError::SpiceParse`]
+//! carrying the 1-based line and column of the offending token.
+//!
+//! | Card | Form |
+//! |------|------|
+//! | resistor | `R<name> <a> <b> <ohms>` |
+//! | capacitor | `C<name> <a> <b> <farads>` |
+//! | v-source | `V<name> <plus> <minus> DC <v>` or `PWL(t1 v1 t2 v2 …)` |
+//! | i-source | `I<name> <from> <to> DC <a>` or `PWL(…)` |
+//! | device | `X<name> <d> <g> <s> <model> W=<µm>` |
+//! | subckt call | `X<name> <n1> … <nk> <subckt>` |
+//! | definition | `.subckt <name> <p1> … <pk>` … `.ends` |
+//! | constants | `.param <name>=<value> …` (referenced bare or as `{name}`) |
+//! | initial | `.ic v(<node>)=<v> …`, `.nodeset v(<node>)=<v> …` |
+//! | analysis | `.tran <tstep> <tstop>`, `.dc [<src> <start> <stop> <step>]`, `.op` |
+//! | comments | `*` lines; `+` continues the previous card |
+//!
+//! # Round-trip guarantee
+//!
+//! Exporting any built circuit with [`Circuit::to_spice`] and re-importing
+//! the text yields a structurally identical circuit whose re-export is
+//! **byte-identical** (values print with 7 significant digits, which
+//! decimal→`f64`→decimal round-trips exactly). [`Deck::to_spice`] extends
+//! the same guarantee to full decks in canonical form: `.param` constants
+//! are inlined, elements keep their card order, and `serialize(parse(d))`
+//! is a fixed point.
 
+use crate::compiled::CompiledCircuit;
+use crate::dc::DcResult;
 use crate::error::SimError;
 use crate::netlist::Circuit;
+use crate::probe::TransientResult;
+use crate::transient::{InitialState, TransientSpec};
 use crate::waveform::Waveform;
+use crate::NodeId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use tfet_devices::model::DeviceModel;
+
+/// Maximum subcircuit-call nesting depth accepted by the flattener; deeper
+/// hierarchies (or definition cycles) are rejected.
+const MAX_SUBCKT_DEPTH: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
 
 impl Circuit {
     /// Renders the circuit as a SPICE-format deck.
@@ -32,7 +79,14 @@ impl Circuit {
         let mut out = String::new();
         let _ = writeln!(out, ".title {title}");
         let _ = writeln!(out, "* exported by tfet-circuit");
+        self.write_cards(&mut out);
+        let _ = writeln!(out, ".end");
+        out
+    }
 
+    /// Writes the element cards (no `.title`/`.end` framing) in the fixed
+    /// class order the importer preserves: R, C, V, I, X.
+    pub(crate) fn write_cards(&self, out: &mut String) {
         let node = |id| self.node_name(id).to_string();
 
         for (k, r) in self.resistors.iter().enumerate() {
@@ -43,34 +97,11 @@ impl Circuit {
         }
         for v in &self.vsources {
             let _ = write!(out, "V{} {} {} ", v.name, node(v.plus), node(v.minus));
-            match &v.wave {
-                Waveform::Dc(val) => {
-                    let _ = writeln!(out, "DC {val:.6e}");
-                }
-                Waveform::Pwl(lut) => {
-                    let _ = write!(out, "PWL(");
-                    for (i, (&t, &val)) in lut.axis().iter().zip(lut.values()).enumerate() {
-                        if i > 0 {
-                            let _ = write!(out, " ");
-                        }
-                        let _ = write!(out, "{t:.6e} {val:.6e}");
-                    }
-                    let _ = writeln!(out, ")");
-                }
-            }
+            write_wave(out, &v.wave);
         }
         for (k, i) in self.isources.iter().enumerate() {
-            match &i.wave {
-                Waveform::Dc(val) => {
-                    let _ = writeln!(out, "I{k} {} {} DC {val:.6e}", node(i.from), node(i.to));
-                }
-                Waveform::Pwl(_) => {
-                    let _ = writeln!(
-                        out,
-                        "* I{k}: PWL current source omitted (unsupported in export)"
-                    );
-                }
-            }
+            let _ = write!(out, "I{k} {} {} ", node(i.from), node(i.to));
+            write_wave(out, &i.wave);
         }
         for t in &self.transistors {
             let _ = writeln!(
@@ -84,122 +115,1248 @@ impl Circuit {
                 t.width_um
             );
         }
-        let _ = writeln!(out, ".end");
-        out
     }
+}
 
-    /// Parses a deck in the dialect produced by [`Circuit::to_spice`].
-    ///
-    /// `models` maps model names (as they appear on `X` cards) to device
-    /// models; every `X` card's model must be present.
+/// Writes a source specification (`DC <v>` or `PWL(…)`) plus newline.
+fn write_wave(out: &mut String, wave: &Waveform) {
+    match wave {
+        Waveform::Dc(val) => {
+            let _ = writeln!(out, "DC {val:.6e}");
+        }
+        Waveform::Pwl(lut) => {
+            let _ = write!(out, "PWL(");
+            for (i, (&t, &val)) in lut.axis().iter().zip(lut.values()).enumerate() {
+                if i > 0 {
+                    let _ = write!(out, " ");
+                }
+                let _ = write!(out, "{t:.6e} {val:.6e}");
+            }
+            let _ = writeln!(out, ")");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deck model
+// ---------------------------------------------------------------------------
+
+/// One card inside a `.subckt` body. Node references are names local to the
+/// definition: port names, `0`/`gnd` for global ground, or internal nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubcktCard {
+    /// `R<name> a b ohms`
+    Resistor {
+        /// Instance name (without the leading `R`).
+        name: String,
+        /// First terminal.
+        a: String,
+        /// Second terminal.
+        b: String,
+        /// Resistance, Ω.
+        ohms: f64,
+    },
+    /// `C<name> a b farads`
+    Capacitor {
+        /// Instance name (without the leading `C`).
+        name: String,
+        /// First terminal.
+        a: String,
+        /// Second terminal.
+        b: String,
+        /// Capacitance, F.
+        farads: f64,
+    },
+    /// `X<name> d g s model W=<µm>` — a transistor naming a compact model.
+    Device {
+        /// Instance name (without the leading `X`).
+        name: String,
+        /// Drain node.
+        d: String,
+        /// Gate node.
+        g: String,
+        /// Source node.
+        s: String,
+        /// Compact-model name (resolved through the registry on import).
+        model: String,
+        /// Gate width, µm.
+        width_um: f64,
+    },
+    /// `X<name> n1 … nk subname` — a nested subcircuit call.
+    Call {
+        /// Instance name (without the leading `X`).
+        name: String,
+        /// Connection nodes, one per port of the target.
+        nodes: Vec<String>,
+        /// Name of the called subcircuit.
+        subckt: String,
+    },
+}
+
+/// A parsed `.subckt` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subckt {
+    /// Definition name (as written; looked up case-insensitively).
+    pub name: String,
+    /// Port (terminal) names, in declaration order.
+    pub ports: Vec<String>,
+    /// Body cards, in declaration order.
+    pub cards: Vec<SubcktCard>,
+}
+
+/// A transistor of a flattened subcircuit (see [`Subckt::flatten`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatDevice {
+    /// Dotted instance name (`inner.MPU_L` for nested calls).
+    pub name: String,
+    /// Drain node name (port name, ground, or dotted internal).
+    pub d: String,
+    /// Gate node name.
+    pub g: String,
+    /// Source node name.
+    pub s: String,
+    /// Compact-model name.
+    pub model: String,
+    /// Gate width, µm.
+    pub width_um: f64,
+}
+
+/// A resistor or capacitor of a flattened subcircuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTwoTerminal {
+    /// Dotted instance name.
+    pub name: String,
+    /// First terminal.
+    pub a: String,
+    /// Second terminal.
+    pub b: String,
+    /// Element value (Ω or F).
+    pub value: f64,
+}
+
+/// A subcircuit with every nested call expanded: only primitive elements
+/// remain, wired to port names, ground, or dotted internal node names.
+#[derive(Debug, Clone, Default)]
+pub struct FlatSubckt {
+    /// Flattened transistors, in card order (outer cards first, then each
+    /// nested call's cards at its position).
+    pub devices: Vec<FlatDevice>,
+    /// Flattened resistors.
+    pub resistors: Vec<FlatTwoTerminal>,
+    /// Flattened capacitors.
+    pub capacitors: Vec<FlatTwoTerminal>,
+}
+
+impl Subckt {
+    /// Expands every nested [`SubcktCard::Call`] (resolved against `all`,
+    /// case-insensitively) into primitive elements. Internal nodes and
+    /// instance names of a nested call `Xinner` become `inner.<name>`;
+    /// ground stays global.
     ///
     /// # Errors
     ///
-    /// [`SimError::InvalidCircuit`] on any malformed card or unknown model.
+    /// [`SimError::SpiceParse`] (position 0:0 — definitions have no single
+    /// source location after parsing) on unknown targets, port-count
+    /// mismatches, or nesting deeper than 8 levels (which also catches
+    /// definition cycles).
+    pub fn flatten(&self, all: &[Subckt]) -> Result<FlatSubckt, SimError> {
+        let mut flat = FlatSubckt::default();
+        self.flatten_into(all, "", 0, &mut flat)?;
+        Ok(flat)
+    }
+
+    fn flatten_into(
+        &self,
+        all: &[Subckt],
+        prefix: &str,
+        depth: usize,
+        out: &mut FlatSubckt,
+    ) -> Result<(), SimError> {
+        if depth > MAX_SUBCKT_DEPTH {
+            return Err(def_err(format!(
+                "subcircuit nesting exceeds {MAX_SUBCKT_DEPTH} levels expanding `{}` (recursive definition?)",
+                self.name
+            )));
+        }
+        let reach = |n: &str| -> String {
+            if is_ground_name(n) {
+                n.to_string()
+            } else {
+                format!("{prefix}{n}")
+            }
+        };
+        for card in &self.cards {
+            match card {
+                SubcktCard::Resistor { name, a, b, ohms } => out.resistors.push(FlatTwoTerminal {
+                    name: format!("{prefix}{name}"),
+                    a: reach(a),
+                    b: reach(b),
+                    value: *ohms,
+                }),
+                SubcktCard::Capacitor { name, a, b, farads } => {
+                    out.capacitors.push(FlatTwoTerminal {
+                        name: format!("{prefix}{name}"),
+                        a: reach(a),
+                        b: reach(b),
+                        value: *farads,
+                    })
+                }
+                SubcktCard::Device {
+                    name,
+                    d,
+                    g,
+                    s,
+                    model,
+                    width_um,
+                } => out.devices.push(FlatDevice {
+                    name: format!("{prefix}{name}"),
+                    d: reach(d),
+                    g: reach(g),
+                    s: reach(s),
+                    model: model.clone(),
+                    width_um: *width_um,
+                }),
+                SubcktCard::Call {
+                    name,
+                    nodes,
+                    subckt,
+                } => {
+                    let target = find_subckt(all, subckt).ok_or_else(|| {
+                        def_err(format!(
+                            "`{}` calls unknown subcircuit `{subckt}`",
+                            self.name
+                        ))
+                    })?;
+                    if nodes.len() != target.ports.len() {
+                        return Err(def_err(format!(
+                            "call `X{name}` connects {} nodes but `{}` has {} ports",
+                            nodes.len(),
+                            target.name,
+                            target.ports.len()
+                        )));
+                    }
+                    // Expand the callee into a scratch set, then rewrite its
+                    // port references to this call's nodes and hoist.
+                    let mut inner = FlatSubckt::default();
+                    target.flatten_into(all, &format!("{prefix}{name}."), depth + 1, &mut inner)?;
+                    let map: HashMap<String, &str> = target
+                        .ports
+                        .iter()
+                        .enumerate()
+                        .map(|(k, p)| (format!("{prefix}{name}.{p}"), nodes[k].as_str()))
+                        .collect();
+                    let rewrite = |n: String| -> String {
+                        match map.get(&n) {
+                            Some(outer) => reach(outer),
+                            None => n,
+                        }
+                    };
+                    for r in inner.resistors {
+                        out.resistors.push(FlatTwoTerminal {
+                            a: rewrite(r.a),
+                            b: rewrite(r.b),
+                            ..r
+                        });
+                    }
+                    for c in inner.capacitors {
+                        out.capacitors.push(FlatTwoTerminal {
+                            a: rewrite(c.a),
+                            b: rewrite(c.b),
+                            ..c
+                        });
+                    }
+                    for dv in inner.devices {
+                        out.devices.push(FlatDevice {
+                            d: rewrite(dv.d),
+                            g: rewrite(dv.g),
+                            s: rewrite(dv.s),
+                            ..dv
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A `.dc` sweep specification: step the named source and solve the
+/// operating point at each value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSweep {
+    /// Name of the swept voltage source (as on its `V` card).
+    pub source: String,
+    /// First value, V.
+    pub start: f64,
+    /// Last value, V.
+    pub stop: f64,
+    /// Increment, V (sign must point from `start` toward `stop`).
+    pub step: f64,
+}
+
+/// An analysis request imported from a deck card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeckAnalysis {
+    /// `.tran <tstep> <tstop>` — a transient over `[0, t_stop]` with the
+    /// requested (initial) step.
+    Tran {
+        /// Requested time step, s.
+        dt: f64,
+        /// End time, s.
+        t_stop: f64,
+    },
+    /// `.dc` / `.op` — a DC operating point, optionally swept.
+    Dc {
+        /// `Some` for the 4-argument sweep form.
+        sweep: Option<DcSweep>,
+    },
+}
+
+impl DeckAnalysis {
+    /// The [`TransientSpec`] a `.tran` card drives (adaptive stepping with
+    /// the card's step as the initial/maximum-resolution step), `None` for
+    /// DC analyses.
+    pub fn transient_spec(&self) -> Option<TransientSpec> {
+        match self {
+            DeckAnalysis::Tran { dt, t_stop } => Some(TransientSpec::new(*t_stop, *dt)),
+            DeckAnalysis::Dc { .. } => None,
+        }
+    }
+}
+
+/// The result of executing one [`DeckAnalysis`] (see [`Deck::run`]).
+#[derive(Debug)]
+pub enum DeckRun {
+    /// A `.tran` result.
+    Tran(TransientResult),
+    /// A point `.dc`/`.op` result.
+    Dc(DcResult),
+    /// A swept `.dc` result: `(source value, operating point)` per step.
+    DcSweep(Vec<(f64, DcResult)>),
+}
+
+/// A fully parsed SPICE deck: the flattened top-level circuit, the
+/// (unexpanded) subcircuit definitions, initial conditions, and analysis
+/// requests.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// `.title`, if present.
+    pub title: Option<String>,
+    /// The top-level circuit (subcircuit calls already flattened).
+    pub circuit: Circuit,
+    /// `.subckt` definitions, in source order.
+    pub subckts: Vec<Subckt>,
+    /// Analyses, in source order.
+    pub analyses: Vec<DeckAnalysis>,
+    /// `.ic` assignments (exact initial node voltages → UIC transient).
+    pub ic: Vec<(NodeId, f64)>,
+    /// `.nodeset` assignments (DC convergence hints).
+    pub nodeset: Vec<(NodeId, f64)>,
+}
+
+impl Default for Deck {
+    /// An empty deck around an empty circuit (ground pre-registered, like
+    /// [`Circuit::new`]).
+    fn default() -> Self {
+        Deck {
+            title: None,
+            circuit: Circuit::new(),
+            subckts: Vec::new(),
+            analyses: Vec::new(),
+            ic: Vec::new(),
+            nodeset: Vec::new(),
+        }
+    }
+}
+
+impl Deck {
+    /// Parses a deck. `models` resolves the compact-model names on device
+    /// cards (see [`Circuit::from_spice`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SpiceParse`] with the offending line and column on any
+    /// malformed card, unknown model, or unresolved reference.
+    pub fn parse(
+        text: &str,
+        models: &HashMap<String, Arc<dyn DeviceModel>>,
+    ) -> Result<Deck, SimError> {
+        Parser::new(models).parse(text)
+    }
+
+    /// Finds a subcircuit definition by name, case-insensitively.
+    pub fn find_subckt(&self, name: &str) -> Option<&Subckt> {
+        find_subckt(&self.subckts, name)
+    }
+
+    /// The initial state the deck's cards request: exact `.ic` voltages
+    /// (UIC) when present, otherwise a DC operating point seeded by the
+    /// `.nodeset` hints.
+    pub fn initial_state(&self) -> InitialState {
+        if self.ic.is_empty() {
+            InitialState::DcOp(self.nodeset.clone())
+        } else {
+            InitialState::Uic(self.ic.clone())
+        }
+    }
+
+    /// Executes every analysis card against the imported circuit, in card
+    /// order, through the existing compiled-transient and DC paths.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures; [`SimError::InvalidCircuit`] if a `.dc` sweep
+    /// names an unknown source.
+    pub fn run(&self) -> Result<Vec<DeckRun>, SimError> {
+        let mut out = Vec::new();
+        for a in &self.analyses {
+            match a {
+                DeckAnalysis::Tran { .. } => {
+                    let spec = a.transient_spec().expect("Tran has a spec");
+                    let mut compiled = CompiledCircuit::compile(self.circuit.clone())?;
+                    out.push(DeckRun::Tran(compiled.run(
+                        &spec,
+                        &self.initial_state(),
+                        &[],
+                    )?));
+                }
+                DeckAnalysis::Dc { sweep: None } => {
+                    out.push(DeckRun::Dc(self.circuit.dc_op_with_guess(&self.nodeset)?));
+                }
+                DeckAnalysis::Dc { sweep: Some(sw) } => {
+                    let id = self
+                        .circuit
+                        .vsources
+                        .iter()
+                        .position(|v| v.name.eq_ignore_ascii_case(&sw.source))
+                        .map(crate::SourceId)
+                        .ok_or_else(|| {
+                            SimError::InvalidCircuit(format!(
+                                ".dc sweeps unknown source `{}`",
+                                sw.source
+                            ))
+                        })?;
+                    let mut points = Vec::new();
+                    let n = ((sw.stop - sw.start) / sw.step).floor() as usize;
+                    for k in 0..=n {
+                        let v = sw.start + sw.step * k as f64;
+                        let mut c = self.circuit.clone();
+                        c.set_vsource_wave(id, Waveform::dc(v));
+                        points.push((v, c.dc_op_with_guess(&self.nodeset)?));
+                    }
+                    out.push(DeckRun::DcSweep(points));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serializes the deck in canonical form: `.title`, subcircuit
+    /// definitions, top-level cards (class order R, C, V, I, X), `.ic`,
+    /// `.nodeset`, analyses, `.end`. `.param` constants are inlined, so
+    /// `parse → to_spice` is a fixed point on canonical decks.
+    pub fn to_spice(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, ".title {t}");
+        }
+        for sub in &self.subckts {
+            let _ = write!(out, ".subckt {}", sub.name);
+            for p in &sub.ports {
+                let _ = write!(out, " {p}");
+            }
+            let _ = writeln!(out);
+            for card in &sub.cards {
+                match card {
+                    SubcktCard::Resistor { name, a, b, ohms } => {
+                        let _ = writeln!(out, "R{name} {a} {b} {ohms:.6e}");
+                    }
+                    SubcktCard::Capacitor { name, a, b, farads } => {
+                        let _ = writeln!(out, "C{name} {a} {b} {farads:.6e}");
+                    }
+                    SubcktCard::Device {
+                        name,
+                        d,
+                        g,
+                        s,
+                        model,
+                        width_um,
+                    } => {
+                        let _ = writeln!(out, "X{name} {d} {g} {s} {model} W={width_um:.4}");
+                    }
+                    SubcktCard::Call {
+                        name,
+                        nodes,
+                        subckt,
+                    } => {
+                        let _ = write!(out, "X{name}");
+                        for n in nodes {
+                            let _ = write!(out, " {n}");
+                        }
+                        let _ = writeln!(out, " {subckt}");
+                    }
+                }
+            }
+            let _ = writeln!(out, ".ends");
+        }
+        self.circuit.write_cards(&mut out);
+        for (node, v) in &self.ic {
+            let _ = writeln!(out, ".ic v({})={v:.6e}", self.circuit.node_name(*node));
+        }
+        for (node, v) in &self.nodeset {
+            let _ = writeln!(out, ".nodeset v({})={v:.6e}", self.circuit.node_name(*node));
+        }
+        for a in &self.analyses {
+            match a {
+                DeckAnalysis::Tran { dt, t_stop } => {
+                    let _ = writeln!(out, ".tran {dt:.6e} {t_stop:.6e}");
+                }
+                DeckAnalysis::Dc { sweep: None } => {
+                    let _ = writeln!(out, ".dc");
+                }
+                DeckAnalysis::Dc { sweep: Some(sw) } => {
+                    // `source` is the stripped vsource name; re-add the `V`
+                    // type char the parser removes so the card round-trips.
+                    let _ = writeln!(
+                        out,
+                        ".dc V{} {:.6e} {:.6e} {:.6e}",
+                        sw.source, sw.start, sw.stop, sw.step
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, ".end");
+        out
+    }
+}
+
+impl Circuit {
+    /// Parses a deck in the dialect produced by [`Circuit::to_spice`] and
+    /// returns the flattened top-level circuit, discarding any subcircuit
+    /// definitions that are never instantiated and any analysis cards (use
+    /// [`Deck::parse`] to keep them).
+    ///
+    /// `models` maps model names (as they appear on `X` device cards) to
+    /// device models; every device card's model must be present.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SpiceParse`] on any malformed card or unknown model.
     pub fn from_spice(
         deck: &str,
         models: &HashMap<String, Arc<dyn DeviceModel>>,
     ) -> Result<Circuit, SimError> {
-        let mut c = Circuit::new();
-        let bad =
-            |line: &str, why: &str| SimError::InvalidCircuit(format!("bad card `{line}`: {why}"));
-        let parse_f = |tok: &str, line: &str| -> Result<f64, SimError> {
-            tok.parse::<f64>()
-                .map_err(|_| bad(line, &format!("`{tok}` is not a number")))
-        };
-
-        for raw in deck.lines() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('*') {
-                continue;
-            }
-            let lower = line.to_ascii_lowercase();
-            if lower.starts_with(".title") || lower.starts_with(".end") {
-                continue;
-            }
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            let kind = line.chars().next().expect("nonempty").to_ascii_uppercase();
-            match kind {
-                'R' | 'C' => {
-                    if toks.len() != 4 {
-                        return Err(bad(line, "expected NAME A B VALUE"));
-                    }
-                    let a = c.node(toks[1]);
-                    let b = c.node(toks[2]);
-                    let val = parse_f(toks[3], line)?;
-                    if kind == 'R' {
-                        c.resistor(a, b, val);
-                    } else {
-                        c.capacitor(a, b, val);
-                    }
-                }
-                'V' => {
-                    if toks.len() < 4 {
-                        return Err(bad(line, "expected NAME P M DC/PWL…"));
-                    }
-                    let plus = c.node(toks[1]);
-                    let minus = c.node(toks[2]);
-                    let name = toks[0].trim_start_matches(['V', 'v']);
-                    let spec = toks[3..].join(" ");
-                    let wave = parse_wave(&spec).ok_or_else(|| bad(line, "bad source spec"))?;
-                    c.vsource(name, plus, minus, wave);
-                }
-                'I' => {
-                    if toks.len() != 5 || !toks[3].eq_ignore_ascii_case("DC") {
-                        return Err(bad(line, "expected NAME FROM TO DC VALUE"));
-                    }
-                    let from = c.node(toks[1]);
-                    let to = c.node(toks[2]);
-                    let val = parse_f(toks[4], line)?;
-                    c.isource(from, to, Waveform::dc(val));
-                }
-                'X' => {
-                    if toks.len() != 6 || !toks[5].to_ascii_uppercase().starts_with("W=") {
-                        return Err(bad(line, "expected NAME D G S MODEL W=<µm>"));
-                    }
-                    let d = c.node(toks[1]);
-                    let g = c.node(toks[2]);
-                    let s = c.node(toks[3]);
-                    let model = models
-                        .get(toks[4])
-                        .ok_or_else(|| bad(line, &format!("unknown model `{}`", toks[4])))?
-                        .clone();
-                    let w = parse_f(&toks[5][2..], line)?;
-                    let name = toks[0].trim_start_matches(['X', 'x']);
-                    c.transistor(name, model, d, g, s, w);
-                }
-                other => {
-                    return Err(bad(line, &format!("unsupported card type `{other}`")));
-                }
-            }
-        }
-        Ok(c)
+        Ok(Deck::parse(deck, models)?.circuit)
     }
 }
 
-/// Parses `DC <v>` or `PWL(t1 v1 t2 v2 …)`.
-fn parse_wave(spec: &str) -> Option<Waveform> {
-    let spec = spec.trim();
-    if let Some(rest) = spec
-        .strip_prefix("DC ")
-        .or_else(|| spec.strip_prefix("dc "))
-    {
-        return rest.trim().parse::<f64>().ok().map(Waveform::dc);
+// ---------------------------------------------------------------------------
+// Lexing
+// ---------------------------------------------------------------------------
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone)]
+struct Tok {
+    text: String,
+    line: usize,
+    col: usize,
+}
+
+/// A logical card: one source line plus its `+` continuations.
+#[derive(Debug, Clone)]
+struct Card {
+    toks: Vec<Tok>,
+}
+
+impl Card {
+    fn kind(&self) -> char {
+        self.toks[0]
+            .text
+            .chars()
+            .next()
+            .expect("tokens are nonempty")
+            .to_ascii_uppercase()
     }
-    let body = spec
-        .strip_prefix("PWL(")
-        .or_else(|| spec.strip_prefix("pwl("))?
-        .strip_suffix(')')?;
-    let nums: Vec<f64> = body
-        .split_whitespace()
-        .map(|t| t.parse::<f64>())
-        .collect::<Result<_, _>>()
-        .ok()?;
-    if nums.len() < 4 || !nums.len().is_multiple_of(2) {
+
+    /// Position of token `k`, clamped to the last token (for "missing
+    /// token" errors).
+    fn at(&self, k: usize) -> (usize, usize) {
+        let t = &self.toks[k.min(self.toks.len() - 1)];
+        (t.line, t.col)
+    }
+
+    fn err(&self, k: usize, msg: impl Into<String>) -> SimError {
+        let (line, col) = self.at(k);
+        SimError::SpiceParse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Splits deck text into logical cards, tracking token positions and
+/// folding `+` continuation lines into the preceding card.
+fn lex(text: &str) -> Result<Vec<Card>, SimError> {
+    let mut cards: Vec<Card> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let trimmed = raw.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let continuation = trimmed.starts_with('+');
+        let body = if continuation {
+            // Skip the '+' marker itself.
+            let plus_at = raw.find('+').expect("continuation has a +");
+            &raw[plus_at + 1..]
+        } else {
+            raw
+        };
+        let offset = raw.len() - body.len();
+        let mut toks = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, ch) in body.char_indices().chain([(body.len(), ' ')]) {
+            if ch.is_whitespace() {
+                if let Some(s) = start.take() {
+                    toks.push(Tok {
+                        text: body[s..i].to_string(),
+                        line: line_no,
+                        col: offset + s + 1,
+                    });
+                }
+            } else if start.is_none() {
+                start = Some(i);
+            }
+        }
+        if continuation {
+            match cards.last_mut() {
+                Some(card) => card.toks.extend(toks),
+                None => {
+                    return Err(SimError::SpiceParse {
+                        line: line_no,
+                        col: 1,
+                        msg: "continuation line with no preceding card".into(),
+                    })
+                }
+            }
+        } else if !toks.is_empty() {
+            cards.push(Card { toks });
+        }
+    }
+    Ok(cards)
+}
+
+// ---------------------------------------------------------------------------
+// Number parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a SPICE value: a float, optionally with an engineering suffix
+/// (`f p n u m k meg g t mil`, case-insensitive) and trailing unit letters
+/// (`20fF`, `10pF`). Returns `None` for malformed or non-finite values.
+pub fn parse_spice_number(tok: &str) -> Option<f64> {
+    let finite = |v: f64| if v.is_finite() { Some(v) } else { None };
+    // Fast path: a plain float (covers the exporter's `1.000000e-15`).
+    // `parse::<f64>` also accepts "inf"/"NaN", which SPICE does not.
+    if tok
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-' || c == '.')
+    {
+        if let Ok(v) = tok.parse::<f64>() {
+            return finite(v);
+        }
+    } else {
         return None;
     }
-    let points: Vec<(f64, f64)> = nums.chunks(2).map(|p| (p[0], p[1])).collect();
-    Some(Waveform::pwl(&points))
+    let lower = tok.to_ascii_lowercase();
+    // Longest numeric prefix, then a recognized suffix.
+    let split = (1..=lower.len())
+        .rev()
+        .find(|&i| lower.is_char_boundary(i) && lower[..i].parse::<f64>().is_ok())?;
+    let val: f64 = lower[..split].parse().ok()?;
+    let rest = &lower[split..];
+    let (mult, tail) = if let Some(t) = rest.strip_prefix("meg") {
+        (1e6, t)
+    } else if let Some(t) = rest.strip_prefix("mil") {
+        (25.4e-6, t)
+    } else {
+        let m = match rest.as_bytes().first()? {
+            b'f' => 1e-15,
+            b'p' => 1e-12,
+            b'n' => 1e-9,
+            b'u' => 1e-6,
+            b'm' => 1e-3,
+            b'k' => 1e3,
+            b'g' => 1e9,
+            b't' => 1e12,
+            _ => return None,
+        };
+        (m, &rest[1..])
+    };
+    // Trailing unit letters ("F", "Hz") are ignored, anything else is
+    // malformed.
+    if !tail.chars().all(|ch| ch.is_ascii_alphabetic()) {
+        return None;
+    }
+    finite(val * mult)
+}
+
+fn is_ground_name(n: &str) -> bool {
+    n == "0" || n == "gnd" || n == "GND"
+}
+
+fn find_subckt<'a>(all: &'a [Subckt], name: &str) -> Option<&'a Subckt> {
+    all.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// Position-less definition error (used by the flattener, which operates on
+/// already-parsed definitions).
+fn def_err(msg: String) -> SimError {
+    SimError::SpiceParse {
+        line: 0,
+        col: 0,
+        msg,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    models: &'a HashMap<String, Arc<dyn DeviceModel>>,
+    params: HashMap<String, f64>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(models: &'a HashMap<String, Arc<dyn DeviceModel>>) -> Self {
+        Parser {
+            models,
+            params: HashMap::new(),
+        }
+    }
+
+    /// Resolves a value token: `{name}` or bare `.param` reference, else a
+    /// suffixed number.
+    fn value(&self, card: &Card, k: usize) -> Result<f64, SimError> {
+        let tok = &card.toks[k].text;
+        self.value_text(card, k, tok)
+    }
+
+    /// Like [`Parser::value`] but for an embedded slice of a token (the
+    /// `<w>` of `W=<w>`); errors still point at token `k`.
+    fn value_text(&self, card: &Card, k: usize, text: &str) -> Result<f64, SimError> {
+        let inner = text
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or(text);
+        if let Some(&v) = self.params.get(&inner.to_ascii_lowercase()) {
+            return Ok(v);
+        }
+        parse_spice_number(inner).ok_or_else(|| {
+            card.err(
+                k,
+                format!("`{text}` is not a number (or a defined .param name)"),
+            )
+        })
+    }
+
+    fn parse(mut self, text: &str) -> Result<Deck, SimError> {
+        let cards = lex(text)?;
+
+        // Pass 0: `.param` constants are global (forward references work,
+        // last definition wins) — collect them before anything else.
+        for card in &cards {
+            if card.toks[0].text.eq_ignore_ascii_case(".param") {
+                self.parse_param(card)?;
+            }
+        }
+
+        // Pass 1: split subckt definitions from top-level cards.
+        let mut subckts: Vec<Subckt> = Vec::new();
+        let mut top: Vec<&Card> = Vec::new();
+        let mut current: Option<Subckt> = None;
+        for card in &cards {
+            let tok0 = card.toks[0].text.to_ascii_lowercase();
+            if tok0 == ".subckt" {
+                if current.is_some() {
+                    return Err(card.err(0, "nested .subckt definitions are not supported"));
+                }
+                if card.toks.len() < 3 {
+                    return Err(card.err(0, "expected .subckt NAME PORT1 [PORT2 …]"));
+                }
+                let name = card.toks[1].text.clone();
+                if find_subckt(&subckts, &name).is_some() {
+                    return Err(card.err(1, format!("duplicate .subckt `{name}`")));
+                }
+                current = Some(Subckt {
+                    name,
+                    ports: card.toks[2..].iter().map(|t| t.text.clone()).collect(),
+                    cards: Vec::new(),
+                });
+            } else if tok0 == ".ends" {
+                match current.take() {
+                    Some(sub) => subckts.push(sub),
+                    None => return Err(card.err(0, ".ends without a matching .subckt")),
+                }
+            } else if let Some(sub) = current.as_mut() {
+                let parsed = self.parse_subckt_card(card)?;
+                sub.cards.push(parsed);
+            } else {
+                top.push(card);
+            }
+        }
+        if let Some(sub) = current {
+            return Err(def_err(format!(
+                ".subckt `{}` is never closed with .ends",
+                sub.name
+            )));
+        }
+        // Validate every definition expands (catches unknown call targets,
+        // port-count mismatches, and cycles) before any instantiation.
+        for sub in &subckts {
+            sub.flatten(&subckts)?;
+        }
+
+        // Pass 2: top-level cards in order.
+        let mut deck = Deck {
+            subckts,
+            ..Deck::default()
+        };
+        // `.ic`/`.nodeset` reference nodes that may be created by later
+        // element cards; resolve after the circuit is complete.
+        let mut ic_raw: Vec<(usize, usize, String, f64)> = Vec::new();
+        let mut nodeset_raw: Vec<(usize, usize, String, f64)> = Vec::new();
+        for card in top {
+            let tok0 = &card.toks[0].text;
+            if let Some(dot) = tok0.strip_prefix('.') {
+                match dot.to_ascii_lowercase().as_str() {
+                    "title" => {
+                        deck.title = Some(
+                            card.toks[1..]
+                                .iter()
+                                .map(|t| t.text.as_str())
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                        );
+                    }
+                    "end" => break,
+                    "param" => {} // handled in pass 0
+                    "ic" => self.parse_assignments(card, &mut ic_raw)?,
+                    "nodeset" => self.parse_assignments(card, &mut nodeset_raw)?,
+                    "tran" => {
+                        if card.toks.len() != 3 {
+                            return Err(card.err(0, "expected .tran TSTEP TSTOP"));
+                        }
+                        let dt = self.value(card, 1)?;
+                        let t_stop = self.value(card, 2)?;
+                        if dt <= 0.0 || t_stop < dt {
+                            return Err(card.err(1, "need 0 < TSTEP <= TSTOP"));
+                        }
+                        deck.analyses.push(DeckAnalysis::Tran { dt, t_stop });
+                    }
+                    "dc" | "op" => {
+                        if card.toks.len() == 1 {
+                            deck.analyses.push(DeckAnalysis::Dc { sweep: None });
+                        } else if card.toks.len() == 5 {
+                            let start = self.value(card, 2)?;
+                            let stop = self.value(card, 3)?;
+                            let step = self.value(card, 4)?;
+                            if step == 0.0 || (stop - start) * step < 0.0 {
+                                return Err(card.err(4, "sweep step must move START toward STOP"));
+                            }
+                            deck.analyses.push(DeckAnalysis::Dc {
+                                sweep: Some(DcSweep {
+                                    source: strip_type_char(&card.toks[1].text),
+                                    start,
+                                    stop,
+                                    step,
+                                }),
+                            });
+                        } else {
+                            return Err(card.err(0, "expected .dc or .dc SRC START STOP STEP"));
+                        }
+                    }
+                    other => {
+                        return Err(card.err(0, format!("unsupported card `.{other}`")));
+                    }
+                }
+            } else {
+                self.parse_element(card, &mut deck)?;
+            }
+        }
+
+        for (line, col, name, v) in ic_raw {
+            let node = deck.circuit.find_node(&name).ok_or(SimError::SpiceParse {
+                line,
+                col,
+                msg: format!(".ic/.nodeset references unknown node `{name}`"),
+            })?;
+            deck.ic.push((node, v));
+        }
+        for (line, col, name, v) in nodeset_raw {
+            let node = deck.circuit.find_node(&name).ok_or(SimError::SpiceParse {
+                line,
+                col,
+                msg: format!(".ic/.nodeset references unknown node `{name}`"),
+            })?;
+            deck.nodeset.push((node, v));
+        }
+        Ok(deck)
+    }
+
+    fn parse_param(&mut self, card: &Card) -> Result<(), SimError> {
+        if card.toks.len() < 2 {
+            return Err(card.err(0, "expected .param NAME=VALUE …"));
+        }
+        for k in 1..card.toks.len() {
+            let tok = &card.toks[k].text;
+            let (name, val) = tok
+                .split_once('=')
+                .ok_or_else(|| card.err(k, format!("`{tok}` is not NAME=VALUE")))?;
+            if name.is_empty() {
+                return Err(card.err(k, "empty .param name"));
+            }
+            let v = self.value_text(card, k, val)?;
+            self.params.insert(name.to_ascii_lowercase(), v);
+        }
+        Ok(())
+    }
+
+    /// Parses `v(<node>)=<value>` assignments on an `.ic`/`.nodeset` card.
+    fn parse_assignments(
+        &self,
+        card: &Card,
+        out: &mut Vec<(usize, usize, String, f64)>,
+    ) -> Result<(), SimError> {
+        if card.toks.len() < 2 {
+            return Err(card.err(0, "expected v(NODE)=VALUE …"));
+        }
+        for k in 1..card.toks.len() {
+            let tok = &card.toks[k].text;
+            let lower = tok.to_ascii_lowercase();
+            let bad = || card.err(k, format!("`{tok}` is not v(NODE)=VALUE"));
+            let rest = lower.strip_prefix("v(").ok_or_else(bad)?;
+            let close = rest.find(")=").ok_or_else(bad)?;
+            // Node names are case-sensitive: slice the original token.
+            let name = tok[2..2 + close].to_string();
+            if name.is_empty() {
+                return Err(bad());
+            }
+            let v = self.value_text(card, k, &tok[2 + close + 2..])?;
+            let (line, col) = card.at(k);
+            out.push((line, col, name, v));
+        }
+        Ok(())
+    }
+
+    fn parse_element(&self, card: &Card, deck: &mut Deck) -> Result<(), SimError> {
+        let c = &mut deck.circuit;
+        let toks = &card.toks;
+        match card.kind() {
+            'R' | 'C' => {
+                if toks.len() != 4 {
+                    return Err(card.err(0, "expected NAME A B VALUE"));
+                }
+                let a = c.node(&toks[1].text);
+                let b = c.node(&toks[2].text);
+                let val = self.value(card, 3)?;
+                if a == b {
+                    return Err(card.err(2, "element terminals must differ"));
+                }
+                if val <= 0.0 {
+                    return Err(card.err(3, format!("element value must be positive, got {val}")));
+                }
+                if card.kind() == 'R' {
+                    c.resistor(a, b, val);
+                } else {
+                    c.capacitor(a, b, val);
+                }
+            }
+            'V' => {
+                if toks.len() < 4 {
+                    return Err(card.err(0, "expected NAME P M DC/PWL…"));
+                }
+                let plus = c.node(&toks[1].text);
+                let minus = c.node(&toks[2].text);
+                if plus == minus {
+                    return Err(card.err(2, "source terminals must differ"));
+                }
+                let name = strip_type_char(&toks[0].text);
+                let wave = self.parse_wave_toks(card, 3)?;
+                c.vsource(&name, plus, minus, wave);
+            }
+            'I' => {
+                if toks.len() < 4 {
+                    return Err(card.err(0, "expected NAME FROM TO DC/PWL…"));
+                }
+                let from = c.node(&toks[1].text);
+                let to = c.node(&toks[2].text);
+                let wave = self.parse_wave_toks(card, 3)?;
+                c.isource(from, to, wave);
+            }
+            'X' => {
+                if let Some((d, g, s, model, w)) = self.x_device_form(card)? {
+                    let d = c.node(&d);
+                    let g = c.node(&g);
+                    let s = c.node(&s);
+                    let m = self.lookup_model(card, 4, &model)?;
+                    c.transistor(&strip_type_char(&toks[0].text), m, d, g, s, w);
+                } else {
+                    self.stamp_call(card, deck)?;
+                }
+            }
+            other => {
+                return Err(card.err(0, format!("unsupported card type `{other}`")));
+            }
+        }
+        Ok(())
+    }
+
+    /// If the `X` card is the 6-token device form (`… MODEL W=<w>`),
+    /// returns its fields; `None` means it should be read as a subcircuit
+    /// call.
+    #[allow(clippy::type_complexity)] // one-shot destructuring helper
+    fn x_device_form(
+        &self,
+        card: &Card,
+    ) -> Result<Option<(String, String, String, String, f64)>, SimError> {
+        let toks = &card.toks;
+        let last = &toks[toks.len() - 1].text;
+        if !last.len().gt(&2) || !last[..2].eq_ignore_ascii_case("w=") {
+            return Ok(None);
+        }
+        if toks.len() != 6 {
+            return Err(card.err(0, "expected NAME D G S MODEL W=<µm>"));
+        }
+        let w = self.value_text(card, 5, &last[2..])?;
+        if w <= 0.0 {
+            return Err(card.err(5, format!("device width must be positive, got {w}")));
+        }
+        Ok(Some((
+            toks[1].text.clone(),
+            toks[2].text.clone(),
+            toks[3].text.clone(),
+            toks[4].text.clone(),
+            w,
+        )))
+    }
+
+    fn lookup_model(
+        &self,
+        card: &Card,
+        k: usize,
+        name: &str,
+    ) -> Result<Arc<dyn DeviceModel>, SimError> {
+        self.models
+            .get(name)
+            .cloned()
+            .ok_or_else(|| card.err(k, format!("unknown model `{name}`")))
+    }
+
+    /// Flattens a top-level subcircuit call into the deck's circuit with
+    /// `<inst>.`-prefixed internal nodes and instance names.
+    fn stamp_call(&self, card: &Card, deck: &mut Deck) -> Result<(), SimError> {
+        let toks = &card.toks;
+        if toks.len() < 3 {
+            return Err(card.err(0, "expected NAME NODE… SUBCKT"));
+        }
+        let sub_name = &toks[toks.len() - 1].text;
+        let Some(sub) = find_subckt(&deck.subckts, sub_name) else {
+            return Err(card.err(
+                toks.len() - 1,
+                format!("unknown subcircuit or malformed device card: `{sub_name}` is not a defined .subckt (device cards end in W=<µm>)"),
+            ));
+        };
+        let nodes: Vec<&str> = toks[1..toks.len() - 1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        if nodes.len() != sub.ports.len() {
+            return Err(card.err(
+                1,
+                format!(
+                    "call connects {} nodes but `{}` has {} ports",
+                    nodes.len(),
+                    sub.name,
+                    sub.ports.len()
+                ),
+            ));
+        }
+        let inst = strip_type_char(&toks[0].text);
+        let flat = sub.flatten(&deck.subckts).map_err(|e| match e {
+            SimError::SpiceParse { msg, .. } => card.err(0, msg),
+            other => other,
+        })?;
+        let port_of: HashMap<&str, &str> = sub
+            .ports
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (p.as_str(), nodes[k]))
+            .collect();
+        fn resolve(c: &mut Circuit, port_of: &HashMap<&str, &str>, inst: &str, n: &str) -> NodeId {
+            if is_ground_name(n) {
+                Circuit::GND
+            } else if let Some(outer) = port_of.get(n) {
+                c.node(outer)
+            } else {
+                c.node(&format!("{inst}.{n}"))
+            }
+        }
+        let c = &mut deck.circuit;
+        for r in &flat.resistors {
+            let a = resolve(c, &port_of, &inst, &r.a);
+            let b = resolve(c, &port_of, &inst, &r.b);
+            // Port binding can alias two formally distinct subckt nodes
+            // onto one outer node; catch it before the circuit asserts.
+            if a == b {
+                return Err(card.err(
+                    0,
+                    format!(
+                        "call shorts both terminals of `{}.{}` together",
+                        inst, r.name
+                    ),
+                ));
+            }
+            c.resistor(a, b, r.value);
+        }
+        for cap in &flat.capacitors {
+            let a = resolve(c, &port_of, &inst, &cap.a);
+            let b = resolve(c, &port_of, &inst, &cap.b);
+            if a == b {
+                return Err(card.err(
+                    0,
+                    format!(
+                        "call shorts both terminals of `{}.{}` together",
+                        inst, cap.name
+                    ),
+                ));
+            }
+            c.capacitor(a, b, cap.value);
+        }
+        for dv in &flat.devices {
+            let m = self.lookup_model(card, toks.len() - 1, &dv.model)?;
+            let c = &mut deck.circuit;
+            let d = resolve(c, &port_of, &inst, &dv.d);
+            let g = resolve(c, &port_of, &inst, &dv.g);
+            let s = resolve(c, &port_of, &inst, &dv.s);
+            c.transistor(&format!("{inst}.{}", dv.name), m, d, g, s, dv.width_um);
+        }
+        Ok(())
+    }
+
+    /// Parses a card inside a `.subckt` body (only R/C/X are meaningful in
+    /// a cell definition).
+    fn parse_subckt_card(&self, card: &Card) -> Result<SubcktCard, SimError> {
+        let toks = &card.toks;
+        match card.kind() {
+            'R' | 'C' => {
+                if toks.len() != 4 {
+                    return Err(card.err(0, "expected NAME A B VALUE"));
+                }
+                let name = strip_type_char(&toks[0].text);
+                let a = toks[1].text.clone();
+                let b = toks[2].text.clone();
+                let val = self.value(card, 3)?;
+                if a == b {
+                    return Err(card.err(2, "element terminals must differ"));
+                }
+                if val <= 0.0 {
+                    return Err(card.err(3, format!("element value must be positive, got {val}")));
+                }
+                Ok(if card.kind() == 'R' {
+                    SubcktCard::Resistor {
+                        name,
+                        a,
+                        b,
+                        ohms: val,
+                    }
+                } else {
+                    SubcktCard::Capacitor {
+                        name,
+                        a,
+                        b,
+                        farads: val,
+                    }
+                })
+            }
+            'X' => {
+                if let Some((d, g, s, model, w)) = self.x_device_form(card)? {
+                    Ok(SubcktCard::Device {
+                        name: strip_type_char(&toks[0].text),
+                        d,
+                        g,
+                        s,
+                        model,
+                        width_um: w,
+                    })
+                } else {
+                    if toks.len() < 3 {
+                        return Err(card.err(0, "expected NAME NODE… SUBCKT"));
+                    }
+                    Ok(SubcktCard::Call {
+                        name: strip_type_char(&toks[0].text),
+                        nodes: toks[1..toks.len() - 1]
+                            .iter()
+                            .map(|t| t.text.clone())
+                            .collect(),
+                        subckt: toks[toks.len() - 1].text.clone(),
+                    })
+                }
+            }
+            other => Err(card.err(
+                0,
+                format!("card type `{other}` is not supported inside .subckt (only R, C, X)"),
+            )),
+        }
+    }
+
+    /// Parses the source spec starting at token `k0`: `DC <v>` or
+    /// `PWL(t1 v1 …)` (possibly split across tokens).
+    fn parse_wave_toks(&self, card: &Card, k0: usize) -> Result<Waveform, SimError> {
+        let toks = &card.toks;
+        let first = &toks[k0].text;
+        if first.eq_ignore_ascii_case("dc") {
+            if toks.len() != k0 + 2 {
+                return Err(card.err(k0, "expected DC VALUE"));
+            }
+            return Ok(Waveform::dc(self.value(card, k0 + 1)?));
+        }
+        let joined: String = toks[k0..]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let lower = joined.to_ascii_lowercase();
+        let bad = |why: &str| card.err(k0, format!("bad source spec `{joined}`: {why}"));
+        if !lower.starts_with("pwl(") {
+            return Err(bad("expected DC <v> or PWL(t1 v1 …)"));
+        }
+        let body = joined[4..]
+            .strip_suffix(')')
+            .ok_or_else(|| bad("missing closing `)`"))?;
+        let mut nums = Vec::new();
+        for t in body.split_whitespace() {
+            nums.push(parse_spice_number(t).ok_or_else(|| bad(&format!("`{t}` is not a number")))?);
+        }
+        if nums.len() < 4 || !nums.len().is_multiple_of(2) {
+            return Err(bad("need an even count of at least 4 numbers"));
+        }
+        let points: Vec<(f64, f64)> = nums.chunks(2).map(|p| (p[0], p[1])).collect();
+        if !points.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(bad("PWL times must be strictly increasing"));
+        }
+        Ok(Waveform::pwl(&points))
+    }
+}
+
+/// Drops the single leading element-type character (`V`, `X`, `R`, `C`,
+/// `I`) from a card name, preserving the rest verbatim (`VVDD` → `VDD`).
+fn strip_type_char(name: &str) -> String {
+    let mut chars = name.chars();
+    chars.next();
+    chars.as_str().to_string()
 }
 
 #[cfg(test)]
@@ -269,6 +1426,89 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_is_byte_identical() {
+        let deck = sample_circuit().to_spice("rt");
+        let parsed = Circuit::from_spice(&deck, &registry()).unwrap();
+        assert_eq!(parsed.to_spice("rt"), deck);
+    }
+
+    #[test]
+    fn source_names_survive_one_roundtrip() {
+        // `VVDD` must re-import as source `VDD`, not `DD` (the old parser
+        // stripped every leading V).
+        let deck = sample_circuit().to_spice("names");
+        let parsed = Circuit::from_spice(&deck, &registry()).unwrap();
+        assert!(parsed.vsources.iter().any(|v| v.name == "VDD"));
+        assert!(parsed.vsources.iter().any(|v| v.name == "VIN"));
+        assert!(parsed.transistors().iter().any(|t| t.name == "MP"));
+    }
+
+    #[test]
+    fn pwl_current_sources_roundtrip() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 1e3);
+        c.isource(Circuit::GND, a, Waveform::pwl(&[(0.0, 0.0), (1e-9, 1e-6)]));
+        let deck = c.to_spice("ipwl");
+        assert!(deck.contains("I0 0 a PWL(0.000000e0 0.000000e0 1.000000e-9 1.000000e-6)"));
+        let parsed = Circuit::from_spice(&deck, &registry()).unwrap();
+        assert_eq!(parsed.to_spice("ipwl"), deck);
+    }
+
+    #[test]
+    fn engineering_suffixes_parse() {
+        for (tok, expect) in [
+            ("1.2u", 1.2e-6),
+            ("10meg", 10e6),
+            ("5p", 5e-12),
+            ("20fF", 20e-15),
+            ("3k", 3e3),
+            ("2.5n", 2.5e-9),
+            ("1m", 1e-3),
+            ("4g", 4e9),
+            ("1t", 1e12),
+            ("7MEG", 7e6),
+            ("1mil", 25.4e-6),
+            ("-3.3u", -3.3e-6),
+            ("1e-9", 1e-9),
+            ("8.000000e-1", 0.8),
+        ] {
+            let got = parse_spice_number(tok).unwrap_or_else(|| panic!("{tok} must parse"));
+            assert!(
+                (got - expect).abs() <= 1e-12 * expect.abs().max(1e-30),
+                "{tok}: {got} != {expect}"
+            );
+        }
+        for tok in ["notanumber", "1.2.3", "1x", "u", "inf", "nan", "1e"] {
+            assert!(parse_spice_number(tok).is_none(), "{tok} must be rejected");
+        }
+    }
+
+    #[test]
+    fn cards_are_case_insensitive() {
+        let deck = "r1 a 0 10K\nc1 a 0 20fF\nvIN a 0 dc 0.8\n.END\n";
+        let c = Circuit::from_spice(deck, &registry()).unwrap();
+        assert_eq!(c.element_count(), 3);
+        assert!((c.resistors[0].ohms - 10e3).abs() < 1e-9);
+        assert!((c.capacitors[0].farads - 20e-15).abs() < 1e-27);
+        assert!(c.vsources.iter().any(|v| v.name == "IN"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let deck = ".title x\nR1 a 0 100\nC1 a 0 notanumber\n";
+        let err = Circuit::from_spice(deck, &registry()).unwrap_err();
+        match err {
+            SimError::SpiceParse { line, col, ref msg } => {
+                assert_eq!(line, 3, "{err}");
+                assert_eq!(col, 8, "{err}");
+                assert!(msg.contains("notanumber"));
+            }
+            other => panic!("expected SpiceParse, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn parser_rejects_unknown_model() {
         let deck = "Xbad a b c mystery W=0.1\n.end\n";
         let err = Circuit::from_spice(deck, &registry()).unwrap_err();
@@ -283,10 +1523,14 @@ mod tests {
             "I1 a 0 DC\n",
             "Qx a b c\n",
             "C1 a 0 notanumber\n",
+            "Xbad a b c ntfet W=-0.1\n",
+            ".tran 1p\n",
+            ".ic q=0.8\n",
         ] {
+            let err = Circuit::from_spice(deck, &registry());
             assert!(
-                Circuit::from_spice(deck, &registry()).is_err(),
-                "must reject {deck:?}"
+                matches!(err, Err(SimError::SpiceParse { .. })),
+                "must reject {deck:?}, got {err:?}"
             );
         }
     }
@@ -299,10 +1543,205 @@ mod tests {
     }
 
     #[test]
-    fn pwl_parse_rejects_odd_counts() {
-        assert!(parse_wave("PWL(0 1 2)").is_none());
-        assert!(parse_wave("PWL(0 1)").is_none());
-        assert!(parse_wave("DC 0.5").is_some());
-        assert!(parse_wave("garbage").is_none());
+    fn continuation_lines_join() {
+        let deck = "Vp a 0 PWL(0 0\n+ 1n 0.8\n+ 2n 0)\n.end\n";
+        let c = Circuit::from_spice(deck, &registry()).unwrap();
+        assert_eq!(c.vsource_count(), 1);
+        match &c.vsources[0].wave {
+            Waveform::Pwl(lut) => assert_eq!(lut.axis().len(), 3),
+            w => panic!("expected PWL, got {w:?}"),
+        }
+    }
+
+    #[test]
+    fn pwl_rejects_bad_shapes() {
+        for deck in [
+            "Vx a 0 PWL(0 1 2)\n",    // odd count
+            "Vx a 0 PWL(0 1)\n",      // too few
+            "Vx a 0 PWL(1n 0 0 1)\n", // non-increasing
+            "Vx a 0 PWL(0 1 1n 2\n",  // unclosed
+            "Vx a 0 garbage\n",       // unknown spec
+        ] {
+            assert!(
+                matches!(
+                    Circuit::from_spice(deck, &registry()),
+                    Err(SimError::SpiceParse { .. })
+                ),
+                "must reject {deck:?}"
+            );
+        }
+    }
+
+    const INVERTER_SUBCKT: &str = "\
+.title hier
+.subckt inv in out vdd
+XMP out in vdd ptfet W=0.1000
+XMN out in 0 ntfet W=0.1000
+.ends
+Xu1 a y vdd1 inv
+VVDD vdd1 0 DC 8.000000e-1
+VVIN a 0 DC 0.000000e0
+R0 y 0 1.000000e6
+.end
+";
+
+    #[test]
+    fn subckt_call_flattens_with_dotted_names() {
+        let deck = Deck::parse(INVERTER_SUBCKT, &registry()).unwrap();
+        assert_eq!(deck.subckts.len(), 1);
+        assert_eq!(deck.circuit.transistors().len(), 2);
+        let names: Vec<&str> = deck
+            .circuit
+            .transistors()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["u1.MP", "u1.MN"]);
+        // Ports map to outer nodes; output voltage ≈ VDD for input low.
+        let y = deck.circuit.find_node("y").unwrap();
+        let op = deck.circuit.dc_op().unwrap();
+        assert!(
+            op.voltage(y) > 0.7,
+            "inverter output high: {}",
+            op.voltage(y)
+        );
+    }
+
+    #[test]
+    fn nested_subckt_calls_flatten_two_levels() {
+        let deck_text = "\
+.subckt inv in out vdd
+XMP out in vdd ptfet W=0.1000
+XMN out in 0 ntfet W=0.1000
+.ends
+.subckt buf in out vdd
+Xa in mid vdd inv
+Xb mid out vdd inv
+.ends
+Xu b y vr buf
+VVDD vr 0 DC 8.000000e-1
+VVB b 0 DC 0.000000e0
+R0 y 0 1.000000e6
+.end
+";
+        let deck = Deck::parse(deck_text, &registry()).unwrap();
+        assert_eq!(deck.circuit.transistors().len(), 4);
+        // The buffer's internal node carries a two-level dotted name.
+        assert!(deck.circuit.find_node("u.mid").is_some());
+        assert!(deck.circuit.find_node("u.a.nonexistent").is_none());
+        let op = deck.circuit.dc_op().unwrap();
+        let y = deck.circuit.find_node("y").unwrap();
+        assert!(
+            op.voltage(y) < 0.05,
+            "buffer of low is low: {}",
+            op.voltage(y)
+        );
+    }
+
+    #[test]
+    fn recursive_subckt_is_rejected() {
+        let deck_text = "\
+.subckt a x
+Xq x b
+.ends
+.subckt b x
+Xq x a
+.ends
+Xtop n a
+.end
+";
+        let err = Deck::parse(deck_text, &registry()).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn param_constants_resolve() {
+        let deck_text = "\
+.param wacc=0.1 cbit=20f
+Xm a g 0 ntfet W={wacc}
+C1 a 0 cbit
+.end
+";
+        let deck = Deck::parse(deck_text, &registry()).unwrap();
+        assert!((deck.circuit.transistors()[0].width_um - 0.1).abs() < 1e-12);
+        assert!((deck.circuit.capacitors[0].farads - 20e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn analysis_and_ic_cards_import() {
+        let deck_text = "\
+R1 a b 1.000000e3
+C1 b 0 1.000000e-12
+VIN a 0 DC 8.000000e-1
+.ic v(b)=0.000000e0
+.nodeset v(a)=8.000000e-1
+.tran 1.000000e-11 5.000000e-9
+.dc
+.end
+";
+        let deck = Deck::parse(deck_text, &registry()).unwrap();
+        assert_eq!(deck.analyses.len(), 2);
+        let spec = deck.analyses[0].transient_spec().unwrap();
+        assert!((spec.t_stop - 5e-9).abs() < 1e-21);
+        assert!(matches!(deck.initial_state(), InitialState::Uic(ref v) if v.len() == 1));
+        let runs = deck.run().unwrap();
+        assert_eq!(runs.len(), 2);
+        match (&runs[0], &runs[1]) {
+            (DeckRun::Tran(tr), DeckRun::Dc(op)) => {
+                let b = deck.circuit.find_node("b").unwrap();
+                // RC charges from the .ic value toward the source.
+                assert!(tr.final_voltage(b) > 0.75);
+                assert!((op.voltage(b) - 0.8).abs() < 1e-6);
+            }
+            other => panic!("unexpected runs {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dc_sweep_runs() {
+        let deck_text = "\
+R1 a b 1.000000e3
+R2 b 0 1.000000e3
+VIN a 0 DC 0.000000e0
+.dc VIN 0 0.8 0.4
+.end
+";
+        let deck = Deck::parse(deck_text, &registry()).unwrap();
+        let runs = deck.run().unwrap();
+        match &runs[0] {
+            DeckRun::DcSweep(pts) => {
+                assert_eq!(pts.len(), 3);
+                let b = deck.circuit.find_node("b").unwrap();
+                assert!((pts[2].0 - 0.8).abs() < 1e-12);
+                assert!((pts[2].1.voltage(b) - 0.4).abs() < 1e-6);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deck_serialization_is_a_fixed_point() {
+        let deck = Deck::parse(INVERTER_SUBCKT, &registry()).unwrap();
+        let text = deck.to_spice();
+        let again = Deck::parse(&text, &registry()).unwrap();
+        assert_eq!(again.to_spice(), text);
+        // The canonical form keeps the definition but flattens the
+        // top-level call onto dotted instance names.
+        assert!(text.contains(".subckt inv in out vdd"));
+        assert!(text.contains("Xu1.MP y a vdd1 ptfet W=0.1000"));
+        assert!(text.contains("Xu1.MN y a 0 ntfet W=0.1000"));
+    }
+
+    #[test]
+    fn unused_subckt_ports_mismatch_is_rejected() {
+        let deck_text = "\
+.subckt inv in out vdd
+XMN out in 0 ntfet W=0.1
+.ends
+Xu a y inv
+.end
+";
+        let err = Deck::parse(deck_text, &registry()).unwrap_err();
+        assert!(err.to_string().contains("ports"), "{err}");
     }
 }

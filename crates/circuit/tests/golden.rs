@@ -1,0 +1,90 @@
+//! Byte-exact import → export regression over the golden deck corpus.
+//!
+//! The files under `tests/golden/` are generated from the cell stack by
+//! `crates/core/tests/golden_decks.rs` (regenerate with `BLESS_GOLDEN=1`).
+//! This test is the parser-side contract: every golden deck must parse,
+//! and its re-export must be byte-identical to the expected form — the
+//! file itself for flat decks, the committed `.flat.sp` sibling for the
+//! hierarchical array (whose `X` calls flatten on import).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tfet_circuit::Deck;
+use tfet_devices::model::DeviceModel;
+use tfet_devices::standard_models;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn models() -> HashMap<String, Arc<dyn DeviceModel>> {
+    standard_models()
+}
+
+#[test]
+fn every_golden_deck_reexports_byte_exactly() {
+    let dir = golden_dir();
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/golden exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sp"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 5, "golden corpus went missing: {paths:?}");
+
+    let models = models();
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(path).expect("golden file reads");
+        let deck =
+            Deck::parse(&text, &models).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+
+        // A hierarchical deck re-exports as its committed flattened
+        // sibling; everything else is its own fixed point.
+        let expected_path = match name.strip_suffix(".sp") {
+            Some(stem) if !stem.ends_with(".flat") => {
+                let flat = dir.join(format!("{stem}.flat.sp"));
+                if flat.is_file() {
+                    flat
+                } else {
+                    path.clone()
+                }
+            }
+            _ => path.clone(),
+        };
+        let expected = fs::read_to_string(&expected_path).expect("expected file reads");
+        assert_eq!(
+            deck.to_spice(),
+            expected,
+            "{name} re-export differs from {}",
+            expected_path.display()
+        );
+
+        // The expected form is itself a serializer fixed point.
+        let again = Deck::parse(&expected, &models)
+            .unwrap_or_else(|e| panic!("{}: {e}", expected_path.display()));
+        assert_eq!(
+            again.to_spice(),
+            expected,
+            "{} is not a fixed point",
+            expected_path.display()
+        );
+    }
+}
+
+#[test]
+fn flattened_array_has_the_full_cell_population() {
+    let text = fs::read_to_string(golden_dir().join("array_8x8.sp")).expect("array deck");
+    let deck = Deck::parse(&text, &models()).expect("array parses");
+    // 64 cells x 6 transistors, with per-instance dotted names.
+    assert_eq!(deck.circuit.transistors().len(), 64 * 6);
+    assert!(deck
+        .circuit
+        .transistors()
+        .iter()
+        .any(|t| t.name == "r7c7.MAR"));
+    assert_eq!(deck.analyses.len(), 1);
+}

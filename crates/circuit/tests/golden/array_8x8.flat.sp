@@ -1,0 +1,551 @@
+.title 8x8 6t array, hierarchical
+.subckt cell_6t q qb bl blb wl vdd vss
+XMPU_L q qb vdd ptfet W=0.0600
+XMPD_L q qb vss ntfet W=0.0600
+XMPU_R qb q vdd ptfet W=0.0600
+XMPD_R qb q vss ntfet W=0.0600
+CQ q 0 1.500000e-16
+CQB qb 0 1.500000e-16
+XMAL q wl bl ptfet W=0.1000
+XMAR qb wl blb ptfet W=0.1000
+.ends
+C0 q0x0 0 1.500000e-16
+C1 qb0x0 0 1.500000e-16
+C2 q0x1 0 1.500000e-16
+C3 qb0x1 0 1.500000e-16
+C4 q0x2 0 1.500000e-16
+C5 qb0x2 0 1.500000e-16
+C6 q0x3 0 1.500000e-16
+C7 qb0x3 0 1.500000e-16
+C8 q0x4 0 1.500000e-16
+C9 qb0x4 0 1.500000e-16
+C10 q0x5 0 1.500000e-16
+C11 qb0x5 0 1.500000e-16
+C12 q0x6 0 1.500000e-16
+C13 qb0x6 0 1.500000e-16
+C14 q0x7 0 1.500000e-16
+C15 qb0x7 0 1.500000e-16
+C16 q1x0 0 1.500000e-16
+C17 qb1x0 0 1.500000e-16
+C18 q1x1 0 1.500000e-16
+C19 qb1x1 0 1.500000e-16
+C20 q1x2 0 1.500000e-16
+C21 qb1x2 0 1.500000e-16
+C22 q1x3 0 1.500000e-16
+C23 qb1x3 0 1.500000e-16
+C24 q1x4 0 1.500000e-16
+C25 qb1x4 0 1.500000e-16
+C26 q1x5 0 1.500000e-16
+C27 qb1x5 0 1.500000e-16
+C28 q1x6 0 1.500000e-16
+C29 qb1x6 0 1.500000e-16
+C30 q1x7 0 1.500000e-16
+C31 qb1x7 0 1.500000e-16
+C32 q2x0 0 1.500000e-16
+C33 qb2x0 0 1.500000e-16
+C34 q2x1 0 1.500000e-16
+C35 qb2x1 0 1.500000e-16
+C36 q2x2 0 1.500000e-16
+C37 qb2x2 0 1.500000e-16
+C38 q2x3 0 1.500000e-16
+C39 qb2x3 0 1.500000e-16
+C40 q2x4 0 1.500000e-16
+C41 qb2x4 0 1.500000e-16
+C42 q2x5 0 1.500000e-16
+C43 qb2x5 0 1.500000e-16
+C44 q2x6 0 1.500000e-16
+C45 qb2x6 0 1.500000e-16
+C46 q2x7 0 1.500000e-16
+C47 qb2x7 0 1.500000e-16
+C48 q3x0 0 1.500000e-16
+C49 qb3x0 0 1.500000e-16
+C50 q3x1 0 1.500000e-16
+C51 qb3x1 0 1.500000e-16
+C52 q3x2 0 1.500000e-16
+C53 qb3x2 0 1.500000e-16
+C54 q3x3 0 1.500000e-16
+C55 qb3x3 0 1.500000e-16
+C56 q3x4 0 1.500000e-16
+C57 qb3x4 0 1.500000e-16
+C58 q3x5 0 1.500000e-16
+C59 qb3x5 0 1.500000e-16
+C60 q3x6 0 1.500000e-16
+C61 qb3x6 0 1.500000e-16
+C62 q3x7 0 1.500000e-16
+C63 qb3x7 0 1.500000e-16
+C64 q4x0 0 1.500000e-16
+C65 qb4x0 0 1.500000e-16
+C66 q4x1 0 1.500000e-16
+C67 qb4x1 0 1.500000e-16
+C68 q4x2 0 1.500000e-16
+C69 qb4x2 0 1.500000e-16
+C70 q4x3 0 1.500000e-16
+C71 qb4x3 0 1.500000e-16
+C72 q4x4 0 1.500000e-16
+C73 qb4x4 0 1.500000e-16
+C74 q4x5 0 1.500000e-16
+C75 qb4x5 0 1.500000e-16
+C76 q4x6 0 1.500000e-16
+C77 qb4x6 0 1.500000e-16
+C78 q4x7 0 1.500000e-16
+C79 qb4x7 0 1.500000e-16
+C80 q5x0 0 1.500000e-16
+C81 qb5x0 0 1.500000e-16
+C82 q5x1 0 1.500000e-16
+C83 qb5x1 0 1.500000e-16
+C84 q5x2 0 1.500000e-16
+C85 qb5x2 0 1.500000e-16
+C86 q5x3 0 1.500000e-16
+C87 qb5x3 0 1.500000e-16
+C88 q5x4 0 1.500000e-16
+C89 qb5x4 0 1.500000e-16
+C90 q5x5 0 1.500000e-16
+C91 qb5x5 0 1.500000e-16
+C92 q5x6 0 1.500000e-16
+C93 qb5x6 0 1.500000e-16
+C94 q5x7 0 1.500000e-16
+C95 qb5x7 0 1.500000e-16
+C96 q6x0 0 1.500000e-16
+C97 qb6x0 0 1.500000e-16
+C98 q6x1 0 1.500000e-16
+C99 qb6x1 0 1.500000e-16
+C100 q6x2 0 1.500000e-16
+C101 qb6x2 0 1.500000e-16
+C102 q6x3 0 1.500000e-16
+C103 qb6x3 0 1.500000e-16
+C104 q6x4 0 1.500000e-16
+C105 qb6x4 0 1.500000e-16
+C106 q6x5 0 1.500000e-16
+C107 qb6x5 0 1.500000e-16
+C108 q6x6 0 1.500000e-16
+C109 qb6x6 0 1.500000e-16
+C110 q6x7 0 1.500000e-16
+C111 qb6x7 0 1.500000e-16
+C112 q7x0 0 1.500000e-16
+C113 qb7x0 0 1.500000e-16
+C114 q7x1 0 1.500000e-16
+C115 qb7x1 0 1.500000e-16
+C116 q7x2 0 1.500000e-16
+C117 qb7x2 0 1.500000e-16
+C118 q7x3 0 1.500000e-16
+C119 qb7x3 0 1.500000e-16
+C120 q7x4 0 1.500000e-16
+C121 qb7x4 0 1.500000e-16
+C122 q7x5 0 1.500000e-16
+C123 qb7x5 0 1.500000e-16
+C124 q7x6 0 1.500000e-16
+C125 qb7x6 0 1.500000e-16
+C126 q7x7 0 1.500000e-16
+C127 qb7x7 0 1.500000e-16
+VVDD vdd 0 DC 8.000000e-1
+VVSS vss 0 DC 0.000000e0
+VWL0 wl0 0 DC 8.000000e-1
+VWL1 wl1 0 DC 8.000000e-1
+VWL2 wl2 0 DC 8.000000e-1
+VWL3 wl3 0 DC 8.000000e-1
+VWL4 wl4 0 DC 8.000000e-1
+VWL5 wl5 0 DC 8.000000e-1
+VWL6 wl6 0 DC 8.000000e-1
+VWL7 wl7 0 DC 8.000000e-1
+VBL0 bl0 0 DC 8.000000e-1
+VBLB0 blb0 0 DC 8.000000e-1
+VBL1 bl1 0 DC 8.000000e-1
+VBLB1 blb1 0 DC 8.000000e-1
+VBL2 bl2 0 DC 8.000000e-1
+VBLB2 blb2 0 DC 8.000000e-1
+VBL3 bl3 0 DC 8.000000e-1
+VBLB3 blb3 0 DC 8.000000e-1
+VBL4 bl4 0 DC 8.000000e-1
+VBLB4 blb4 0 DC 8.000000e-1
+VBL5 bl5 0 DC 8.000000e-1
+VBLB5 blb5 0 DC 8.000000e-1
+VBL6 bl6 0 DC 8.000000e-1
+VBLB6 blb6 0 DC 8.000000e-1
+VBL7 bl7 0 DC 8.000000e-1
+VBLB7 blb7 0 DC 8.000000e-1
+Xr0c0.MPU_L q0x0 qb0x0 vdd ptfet W=0.0600
+Xr0c0.MPD_L q0x0 qb0x0 vss ntfet W=0.0600
+Xr0c0.MPU_R qb0x0 q0x0 vdd ptfet W=0.0600
+Xr0c0.MPD_R qb0x0 q0x0 vss ntfet W=0.0600
+Xr0c0.MAL q0x0 wl0 bl0 ptfet W=0.1000
+Xr0c0.MAR qb0x0 wl0 blb0 ptfet W=0.1000
+Xr0c1.MPU_L q0x1 qb0x1 vdd ptfet W=0.0600
+Xr0c1.MPD_L q0x1 qb0x1 vss ntfet W=0.0600
+Xr0c1.MPU_R qb0x1 q0x1 vdd ptfet W=0.0600
+Xr0c1.MPD_R qb0x1 q0x1 vss ntfet W=0.0600
+Xr0c1.MAL q0x1 wl0 bl1 ptfet W=0.1000
+Xr0c1.MAR qb0x1 wl0 blb1 ptfet W=0.1000
+Xr0c2.MPU_L q0x2 qb0x2 vdd ptfet W=0.0600
+Xr0c2.MPD_L q0x2 qb0x2 vss ntfet W=0.0600
+Xr0c2.MPU_R qb0x2 q0x2 vdd ptfet W=0.0600
+Xr0c2.MPD_R qb0x2 q0x2 vss ntfet W=0.0600
+Xr0c2.MAL q0x2 wl0 bl2 ptfet W=0.1000
+Xr0c2.MAR qb0x2 wl0 blb2 ptfet W=0.1000
+Xr0c3.MPU_L q0x3 qb0x3 vdd ptfet W=0.0600
+Xr0c3.MPD_L q0x3 qb0x3 vss ntfet W=0.0600
+Xr0c3.MPU_R qb0x3 q0x3 vdd ptfet W=0.0600
+Xr0c3.MPD_R qb0x3 q0x3 vss ntfet W=0.0600
+Xr0c3.MAL q0x3 wl0 bl3 ptfet W=0.1000
+Xr0c3.MAR qb0x3 wl0 blb3 ptfet W=0.1000
+Xr0c4.MPU_L q0x4 qb0x4 vdd ptfet W=0.0600
+Xr0c4.MPD_L q0x4 qb0x4 vss ntfet W=0.0600
+Xr0c4.MPU_R qb0x4 q0x4 vdd ptfet W=0.0600
+Xr0c4.MPD_R qb0x4 q0x4 vss ntfet W=0.0600
+Xr0c4.MAL q0x4 wl0 bl4 ptfet W=0.1000
+Xr0c4.MAR qb0x4 wl0 blb4 ptfet W=0.1000
+Xr0c5.MPU_L q0x5 qb0x5 vdd ptfet W=0.0600
+Xr0c5.MPD_L q0x5 qb0x5 vss ntfet W=0.0600
+Xr0c5.MPU_R qb0x5 q0x5 vdd ptfet W=0.0600
+Xr0c5.MPD_R qb0x5 q0x5 vss ntfet W=0.0600
+Xr0c5.MAL q0x5 wl0 bl5 ptfet W=0.1000
+Xr0c5.MAR qb0x5 wl0 blb5 ptfet W=0.1000
+Xr0c6.MPU_L q0x6 qb0x6 vdd ptfet W=0.0600
+Xr0c6.MPD_L q0x6 qb0x6 vss ntfet W=0.0600
+Xr0c6.MPU_R qb0x6 q0x6 vdd ptfet W=0.0600
+Xr0c6.MPD_R qb0x6 q0x6 vss ntfet W=0.0600
+Xr0c6.MAL q0x6 wl0 bl6 ptfet W=0.1000
+Xr0c6.MAR qb0x6 wl0 blb6 ptfet W=0.1000
+Xr0c7.MPU_L q0x7 qb0x7 vdd ptfet W=0.0600
+Xr0c7.MPD_L q0x7 qb0x7 vss ntfet W=0.0600
+Xr0c7.MPU_R qb0x7 q0x7 vdd ptfet W=0.0600
+Xr0c7.MPD_R qb0x7 q0x7 vss ntfet W=0.0600
+Xr0c7.MAL q0x7 wl0 bl7 ptfet W=0.1000
+Xr0c7.MAR qb0x7 wl0 blb7 ptfet W=0.1000
+Xr1c0.MPU_L q1x0 qb1x0 vdd ptfet W=0.0600
+Xr1c0.MPD_L q1x0 qb1x0 vss ntfet W=0.0600
+Xr1c0.MPU_R qb1x0 q1x0 vdd ptfet W=0.0600
+Xr1c0.MPD_R qb1x0 q1x0 vss ntfet W=0.0600
+Xr1c0.MAL q1x0 wl1 bl0 ptfet W=0.1000
+Xr1c0.MAR qb1x0 wl1 blb0 ptfet W=0.1000
+Xr1c1.MPU_L q1x1 qb1x1 vdd ptfet W=0.0600
+Xr1c1.MPD_L q1x1 qb1x1 vss ntfet W=0.0600
+Xr1c1.MPU_R qb1x1 q1x1 vdd ptfet W=0.0600
+Xr1c1.MPD_R qb1x1 q1x1 vss ntfet W=0.0600
+Xr1c1.MAL q1x1 wl1 bl1 ptfet W=0.1000
+Xr1c1.MAR qb1x1 wl1 blb1 ptfet W=0.1000
+Xr1c2.MPU_L q1x2 qb1x2 vdd ptfet W=0.0600
+Xr1c2.MPD_L q1x2 qb1x2 vss ntfet W=0.0600
+Xr1c2.MPU_R qb1x2 q1x2 vdd ptfet W=0.0600
+Xr1c2.MPD_R qb1x2 q1x2 vss ntfet W=0.0600
+Xr1c2.MAL q1x2 wl1 bl2 ptfet W=0.1000
+Xr1c2.MAR qb1x2 wl1 blb2 ptfet W=0.1000
+Xr1c3.MPU_L q1x3 qb1x3 vdd ptfet W=0.0600
+Xr1c3.MPD_L q1x3 qb1x3 vss ntfet W=0.0600
+Xr1c3.MPU_R qb1x3 q1x3 vdd ptfet W=0.0600
+Xr1c3.MPD_R qb1x3 q1x3 vss ntfet W=0.0600
+Xr1c3.MAL q1x3 wl1 bl3 ptfet W=0.1000
+Xr1c3.MAR qb1x3 wl1 blb3 ptfet W=0.1000
+Xr1c4.MPU_L q1x4 qb1x4 vdd ptfet W=0.0600
+Xr1c4.MPD_L q1x4 qb1x4 vss ntfet W=0.0600
+Xr1c4.MPU_R qb1x4 q1x4 vdd ptfet W=0.0600
+Xr1c4.MPD_R qb1x4 q1x4 vss ntfet W=0.0600
+Xr1c4.MAL q1x4 wl1 bl4 ptfet W=0.1000
+Xr1c4.MAR qb1x4 wl1 blb4 ptfet W=0.1000
+Xr1c5.MPU_L q1x5 qb1x5 vdd ptfet W=0.0600
+Xr1c5.MPD_L q1x5 qb1x5 vss ntfet W=0.0600
+Xr1c5.MPU_R qb1x5 q1x5 vdd ptfet W=0.0600
+Xr1c5.MPD_R qb1x5 q1x5 vss ntfet W=0.0600
+Xr1c5.MAL q1x5 wl1 bl5 ptfet W=0.1000
+Xr1c5.MAR qb1x5 wl1 blb5 ptfet W=0.1000
+Xr1c6.MPU_L q1x6 qb1x6 vdd ptfet W=0.0600
+Xr1c6.MPD_L q1x6 qb1x6 vss ntfet W=0.0600
+Xr1c6.MPU_R qb1x6 q1x6 vdd ptfet W=0.0600
+Xr1c6.MPD_R qb1x6 q1x6 vss ntfet W=0.0600
+Xr1c6.MAL q1x6 wl1 bl6 ptfet W=0.1000
+Xr1c6.MAR qb1x6 wl1 blb6 ptfet W=0.1000
+Xr1c7.MPU_L q1x7 qb1x7 vdd ptfet W=0.0600
+Xr1c7.MPD_L q1x7 qb1x7 vss ntfet W=0.0600
+Xr1c7.MPU_R qb1x7 q1x7 vdd ptfet W=0.0600
+Xr1c7.MPD_R qb1x7 q1x7 vss ntfet W=0.0600
+Xr1c7.MAL q1x7 wl1 bl7 ptfet W=0.1000
+Xr1c7.MAR qb1x7 wl1 blb7 ptfet W=0.1000
+Xr2c0.MPU_L q2x0 qb2x0 vdd ptfet W=0.0600
+Xr2c0.MPD_L q2x0 qb2x0 vss ntfet W=0.0600
+Xr2c0.MPU_R qb2x0 q2x0 vdd ptfet W=0.0600
+Xr2c0.MPD_R qb2x0 q2x0 vss ntfet W=0.0600
+Xr2c0.MAL q2x0 wl2 bl0 ptfet W=0.1000
+Xr2c0.MAR qb2x0 wl2 blb0 ptfet W=0.1000
+Xr2c1.MPU_L q2x1 qb2x1 vdd ptfet W=0.0600
+Xr2c1.MPD_L q2x1 qb2x1 vss ntfet W=0.0600
+Xr2c1.MPU_R qb2x1 q2x1 vdd ptfet W=0.0600
+Xr2c1.MPD_R qb2x1 q2x1 vss ntfet W=0.0600
+Xr2c1.MAL q2x1 wl2 bl1 ptfet W=0.1000
+Xr2c1.MAR qb2x1 wl2 blb1 ptfet W=0.1000
+Xr2c2.MPU_L q2x2 qb2x2 vdd ptfet W=0.0600
+Xr2c2.MPD_L q2x2 qb2x2 vss ntfet W=0.0600
+Xr2c2.MPU_R qb2x2 q2x2 vdd ptfet W=0.0600
+Xr2c2.MPD_R qb2x2 q2x2 vss ntfet W=0.0600
+Xr2c2.MAL q2x2 wl2 bl2 ptfet W=0.1000
+Xr2c2.MAR qb2x2 wl2 blb2 ptfet W=0.1000
+Xr2c3.MPU_L q2x3 qb2x3 vdd ptfet W=0.0600
+Xr2c3.MPD_L q2x3 qb2x3 vss ntfet W=0.0600
+Xr2c3.MPU_R qb2x3 q2x3 vdd ptfet W=0.0600
+Xr2c3.MPD_R qb2x3 q2x3 vss ntfet W=0.0600
+Xr2c3.MAL q2x3 wl2 bl3 ptfet W=0.1000
+Xr2c3.MAR qb2x3 wl2 blb3 ptfet W=0.1000
+Xr2c4.MPU_L q2x4 qb2x4 vdd ptfet W=0.0600
+Xr2c4.MPD_L q2x4 qb2x4 vss ntfet W=0.0600
+Xr2c4.MPU_R qb2x4 q2x4 vdd ptfet W=0.0600
+Xr2c4.MPD_R qb2x4 q2x4 vss ntfet W=0.0600
+Xr2c4.MAL q2x4 wl2 bl4 ptfet W=0.1000
+Xr2c4.MAR qb2x4 wl2 blb4 ptfet W=0.1000
+Xr2c5.MPU_L q2x5 qb2x5 vdd ptfet W=0.0600
+Xr2c5.MPD_L q2x5 qb2x5 vss ntfet W=0.0600
+Xr2c5.MPU_R qb2x5 q2x5 vdd ptfet W=0.0600
+Xr2c5.MPD_R qb2x5 q2x5 vss ntfet W=0.0600
+Xr2c5.MAL q2x5 wl2 bl5 ptfet W=0.1000
+Xr2c5.MAR qb2x5 wl2 blb5 ptfet W=0.1000
+Xr2c6.MPU_L q2x6 qb2x6 vdd ptfet W=0.0600
+Xr2c6.MPD_L q2x6 qb2x6 vss ntfet W=0.0600
+Xr2c6.MPU_R qb2x6 q2x6 vdd ptfet W=0.0600
+Xr2c6.MPD_R qb2x6 q2x6 vss ntfet W=0.0600
+Xr2c6.MAL q2x6 wl2 bl6 ptfet W=0.1000
+Xr2c6.MAR qb2x6 wl2 blb6 ptfet W=0.1000
+Xr2c7.MPU_L q2x7 qb2x7 vdd ptfet W=0.0600
+Xr2c7.MPD_L q2x7 qb2x7 vss ntfet W=0.0600
+Xr2c7.MPU_R qb2x7 q2x7 vdd ptfet W=0.0600
+Xr2c7.MPD_R qb2x7 q2x7 vss ntfet W=0.0600
+Xr2c7.MAL q2x7 wl2 bl7 ptfet W=0.1000
+Xr2c7.MAR qb2x7 wl2 blb7 ptfet W=0.1000
+Xr3c0.MPU_L q3x0 qb3x0 vdd ptfet W=0.0600
+Xr3c0.MPD_L q3x0 qb3x0 vss ntfet W=0.0600
+Xr3c0.MPU_R qb3x0 q3x0 vdd ptfet W=0.0600
+Xr3c0.MPD_R qb3x0 q3x0 vss ntfet W=0.0600
+Xr3c0.MAL q3x0 wl3 bl0 ptfet W=0.1000
+Xr3c0.MAR qb3x0 wl3 blb0 ptfet W=0.1000
+Xr3c1.MPU_L q3x1 qb3x1 vdd ptfet W=0.0600
+Xr3c1.MPD_L q3x1 qb3x1 vss ntfet W=0.0600
+Xr3c1.MPU_R qb3x1 q3x1 vdd ptfet W=0.0600
+Xr3c1.MPD_R qb3x1 q3x1 vss ntfet W=0.0600
+Xr3c1.MAL q3x1 wl3 bl1 ptfet W=0.1000
+Xr3c1.MAR qb3x1 wl3 blb1 ptfet W=0.1000
+Xr3c2.MPU_L q3x2 qb3x2 vdd ptfet W=0.0600
+Xr3c2.MPD_L q3x2 qb3x2 vss ntfet W=0.0600
+Xr3c2.MPU_R qb3x2 q3x2 vdd ptfet W=0.0600
+Xr3c2.MPD_R qb3x2 q3x2 vss ntfet W=0.0600
+Xr3c2.MAL q3x2 wl3 bl2 ptfet W=0.1000
+Xr3c2.MAR qb3x2 wl3 blb2 ptfet W=0.1000
+Xr3c3.MPU_L q3x3 qb3x3 vdd ptfet W=0.0600
+Xr3c3.MPD_L q3x3 qb3x3 vss ntfet W=0.0600
+Xr3c3.MPU_R qb3x3 q3x3 vdd ptfet W=0.0600
+Xr3c3.MPD_R qb3x3 q3x3 vss ntfet W=0.0600
+Xr3c3.MAL q3x3 wl3 bl3 ptfet W=0.1000
+Xr3c3.MAR qb3x3 wl3 blb3 ptfet W=0.1000
+Xr3c4.MPU_L q3x4 qb3x4 vdd ptfet W=0.0600
+Xr3c4.MPD_L q3x4 qb3x4 vss ntfet W=0.0600
+Xr3c4.MPU_R qb3x4 q3x4 vdd ptfet W=0.0600
+Xr3c4.MPD_R qb3x4 q3x4 vss ntfet W=0.0600
+Xr3c4.MAL q3x4 wl3 bl4 ptfet W=0.1000
+Xr3c4.MAR qb3x4 wl3 blb4 ptfet W=0.1000
+Xr3c5.MPU_L q3x5 qb3x5 vdd ptfet W=0.0600
+Xr3c5.MPD_L q3x5 qb3x5 vss ntfet W=0.0600
+Xr3c5.MPU_R qb3x5 q3x5 vdd ptfet W=0.0600
+Xr3c5.MPD_R qb3x5 q3x5 vss ntfet W=0.0600
+Xr3c5.MAL q3x5 wl3 bl5 ptfet W=0.1000
+Xr3c5.MAR qb3x5 wl3 blb5 ptfet W=0.1000
+Xr3c6.MPU_L q3x6 qb3x6 vdd ptfet W=0.0600
+Xr3c6.MPD_L q3x6 qb3x6 vss ntfet W=0.0600
+Xr3c6.MPU_R qb3x6 q3x6 vdd ptfet W=0.0600
+Xr3c6.MPD_R qb3x6 q3x6 vss ntfet W=0.0600
+Xr3c6.MAL q3x6 wl3 bl6 ptfet W=0.1000
+Xr3c6.MAR qb3x6 wl3 blb6 ptfet W=0.1000
+Xr3c7.MPU_L q3x7 qb3x7 vdd ptfet W=0.0600
+Xr3c7.MPD_L q3x7 qb3x7 vss ntfet W=0.0600
+Xr3c7.MPU_R qb3x7 q3x7 vdd ptfet W=0.0600
+Xr3c7.MPD_R qb3x7 q3x7 vss ntfet W=0.0600
+Xr3c7.MAL q3x7 wl3 bl7 ptfet W=0.1000
+Xr3c7.MAR qb3x7 wl3 blb7 ptfet W=0.1000
+Xr4c0.MPU_L q4x0 qb4x0 vdd ptfet W=0.0600
+Xr4c0.MPD_L q4x0 qb4x0 vss ntfet W=0.0600
+Xr4c0.MPU_R qb4x0 q4x0 vdd ptfet W=0.0600
+Xr4c0.MPD_R qb4x0 q4x0 vss ntfet W=0.0600
+Xr4c0.MAL q4x0 wl4 bl0 ptfet W=0.1000
+Xr4c0.MAR qb4x0 wl4 blb0 ptfet W=0.1000
+Xr4c1.MPU_L q4x1 qb4x1 vdd ptfet W=0.0600
+Xr4c1.MPD_L q4x1 qb4x1 vss ntfet W=0.0600
+Xr4c1.MPU_R qb4x1 q4x1 vdd ptfet W=0.0600
+Xr4c1.MPD_R qb4x1 q4x1 vss ntfet W=0.0600
+Xr4c1.MAL q4x1 wl4 bl1 ptfet W=0.1000
+Xr4c1.MAR qb4x1 wl4 blb1 ptfet W=0.1000
+Xr4c2.MPU_L q4x2 qb4x2 vdd ptfet W=0.0600
+Xr4c2.MPD_L q4x2 qb4x2 vss ntfet W=0.0600
+Xr4c2.MPU_R qb4x2 q4x2 vdd ptfet W=0.0600
+Xr4c2.MPD_R qb4x2 q4x2 vss ntfet W=0.0600
+Xr4c2.MAL q4x2 wl4 bl2 ptfet W=0.1000
+Xr4c2.MAR qb4x2 wl4 blb2 ptfet W=0.1000
+Xr4c3.MPU_L q4x3 qb4x3 vdd ptfet W=0.0600
+Xr4c3.MPD_L q4x3 qb4x3 vss ntfet W=0.0600
+Xr4c3.MPU_R qb4x3 q4x3 vdd ptfet W=0.0600
+Xr4c3.MPD_R qb4x3 q4x3 vss ntfet W=0.0600
+Xr4c3.MAL q4x3 wl4 bl3 ptfet W=0.1000
+Xr4c3.MAR qb4x3 wl4 blb3 ptfet W=0.1000
+Xr4c4.MPU_L q4x4 qb4x4 vdd ptfet W=0.0600
+Xr4c4.MPD_L q4x4 qb4x4 vss ntfet W=0.0600
+Xr4c4.MPU_R qb4x4 q4x4 vdd ptfet W=0.0600
+Xr4c4.MPD_R qb4x4 q4x4 vss ntfet W=0.0600
+Xr4c4.MAL q4x4 wl4 bl4 ptfet W=0.1000
+Xr4c4.MAR qb4x4 wl4 blb4 ptfet W=0.1000
+Xr4c5.MPU_L q4x5 qb4x5 vdd ptfet W=0.0600
+Xr4c5.MPD_L q4x5 qb4x5 vss ntfet W=0.0600
+Xr4c5.MPU_R qb4x5 q4x5 vdd ptfet W=0.0600
+Xr4c5.MPD_R qb4x5 q4x5 vss ntfet W=0.0600
+Xr4c5.MAL q4x5 wl4 bl5 ptfet W=0.1000
+Xr4c5.MAR qb4x5 wl4 blb5 ptfet W=0.1000
+Xr4c6.MPU_L q4x6 qb4x6 vdd ptfet W=0.0600
+Xr4c6.MPD_L q4x6 qb4x6 vss ntfet W=0.0600
+Xr4c6.MPU_R qb4x6 q4x6 vdd ptfet W=0.0600
+Xr4c6.MPD_R qb4x6 q4x6 vss ntfet W=0.0600
+Xr4c6.MAL q4x6 wl4 bl6 ptfet W=0.1000
+Xr4c6.MAR qb4x6 wl4 blb6 ptfet W=0.1000
+Xr4c7.MPU_L q4x7 qb4x7 vdd ptfet W=0.0600
+Xr4c7.MPD_L q4x7 qb4x7 vss ntfet W=0.0600
+Xr4c7.MPU_R qb4x7 q4x7 vdd ptfet W=0.0600
+Xr4c7.MPD_R qb4x7 q4x7 vss ntfet W=0.0600
+Xr4c7.MAL q4x7 wl4 bl7 ptfet W=0.1000
+Xr4c7.MAR qb4x7 wl4 blb7 ptfet W=0.1000
+Xr5c0.MPU_L q5x0 qb5x0 vdd ptfet W=0.0600
+Xr5c0.MPD_L q5x0 qb5x0 vss ntfet W=0.0600
+Xr5c0.MPU_R qb5x0 q5x0 vdd ptfet W=0.0600
+Xr5c0.MPD_R qb5x0 q5x0 vss ntfet W=0.0600
+Xr5c0.MAL q5x0 wl5 bl0 ptfet W=0.1000
+Xr5c0.MAR qb5x0 wl5 blb0 ptfet W=0.1000
+Xr5c1.MPU_L q5x1 qb5x1 vdd ptfet W=0.0600
+Xr5c1.MPD_L q5x1 qb5x1 vss ntfet W=0.0600
+Xr5c1.MPU_R qb5x1 q5x1 vdd ptfet W=0.0600
+Xr5c1.MPD_R qb5x1 q5x1 vss ntfet W=0.0600
+Xr5c1.MAL q5x1 wl5 bl1 ptfet W=0.1000
+Xr5c1.MAR qb5x1 wl5 blb1 ptfet W=0.1000
+Xr5c2.MPU_L q5x2 qb5x2 vdd ptfet W=0.0600
+Xr5c2.MPD_L q5x2 qb5x2 vss ntfet W=0.0600
+Xr5c2.MPU_R qb5x2 q5x2 vdd ptfet W=0.0600
+Xr5c2.MPD_R qb5x2 q5x2 vss ntfet W=0.0600
+Xr5c2.MAL q5x2 wl5 bl2 ptfet W=0.1000
+Xr5c2.MAR qb5x2 wl5 blb2 ptfet W=0.1000
+Xr5c3.MPU_L q5x3 qb5x3 vdd ptfet W=0.0600
+Xr5c3.MPD_L q5x3 qb5x3 vss ntfet W=0.0600
+Xr5c3.MPU_R qb5x3 q5x3 vdd ptfet W=0.0600
+Xr5c3.MPD_R qb5x3 q5x3 vss ntfet W=0.0600
+Xr5c3.MAL q5x3 wl5 bl3 ptfet W=0.1000
+Xr5c3.MAR qb5x3 wl5 blb3 ptfet W=0.1000
+Xr5c4.MPU_L q5x4 qb5x4 vdd ptfet W=0.0600
+Xr5c4.MPD_L q5x4 qb5x4 vss ntfet W=0.0600
+Xr5c4.MPU_R qb5x4 q5x4 vdd ptfet W=0.0600
+Xr5c4.MPD_R qb5x4 q5x4 vss ntfet W=0.0600
+Xr5c4.MAL q5x4 wl5 bl4 ptfet W=0.1000
+Xr5c4.MAR qb5x4 wl5 blb4 ptfet W=0.1000
+Xr5c5.MPU_L q5x5 qb5x5 vdd ptfet W=0.0600
+Xr5c5.MPD_L q5x5 qb5x5 vss ntfet W=0.0600
+Xr5c5.MPU_R qb5x5 q5x5 vdd ptfet W=0.0600
+Xr5c5.MPD_R qb5x5 q5x5 vss ntfet W=0.0600
+Xr5c5.MAL q5x5 wl5 bl5 ptfet W=0.1000
+Xr5c5.MAR qb5x5 wl5 blb5 ptfet W=0.1000
+Xr5c6.MPU_L q5x6 qb5x6 vdd ptfet W=0.0600
+Xr5c6.MPD_L q5x6 qb5x6 vss ntfet W=0.0600
+Xr5c6.MPU_R qb5x6 q5x6 vdd ptfet W=0.0600
+Xr5c6.MPD_R qb5x6 q5x6 vss ntfet W=0.0600
+Xr5c6.MAL q5x6 wl5 bl6 ptfet W=0.1000
+Xr5c6.MAR qb5x6 wl5 blb6 ptfet W=0.1000
+Xr5c7.MPU_L q5x7 qb5x7 vdd ptfet W=0.0600
+Xr5c7.MPD_L q5x7 qb5x7 vss ntfet W=0.0600
+Xr5c7.MPU_R qb5x7 q5x7 vdd ptfet W=0.0600
+Xr5c7.MPD_R qb5x7 q5x7 vss ntfet W=0.0600
+Xr5c7.MAL q5x7 wl5 bl7 ptfet W=0.1000
+Xr5c7.MAR qb5x7 wl5 blb7 ptfet W=0.1000
+Xr6c0.MPU_L q6x0 qb6x0 vdd ptfet W=0.0600
+Xr6c0.MPD_L q6x0 qb6x0 vss ntfet W=0.0600
+Xr6c0.MPU_R qb6x0 q6x0 vdd ptfet W=0.0600
+Xr6c0.MPD_R qb6x0 q6x0 vss ntfet W=0.0600
+Xr6c0.MAL q6x0 wl6 bl0 ptfet W=0.1000
+Xr6c0.MAR qb6x0 wl6 blb0 ptfet W=0.1000
+Xr6c1.MPU_L q6x1 qb6x1 vdd ptfet W=0.0600
+Xr6c1.MPD_L q6x1 qb6x1 vss ntfet W=0.0600
+Xr6c1.MPU_R qb6x1 q6x1 vdd ptfet W=0.0600
+Xr6c1.MPD_R qb6x1 q6x1 vss ntfet W=0.0600
+Xr6c1.MAL q6x1 wl6 bl1 ptfet W=0.1000
+Xr6c1.MAR qb6x1 wl6 blb1 ptfet W=0.1000
+Xr6c2.MPU_L q6x2 qb6x2 vdd ptfet W=0.0600
+Xr6c2.MPD_L q6x2 qb6x2 vss ntfet W=0.0600
+Xr6c2.MPU_R qb6x2 q6x2 vdd ptfet W=0.0600
+Xr6c2.MPD_R qb6x2 q6x2 vss ntfet W=0.0600
+Xr6c2.MAL q6x2 wl6 bl2 ptfet W=0.1000
+Xr6c2.MAR qb6x2 wl6 blb2 ptfet W=0.1000
+Xr6c3.MPU_L q6x3 qb6x3 vdd ptfet W=0.0600
+Xr6c3.MPD_L q6x3 qb6x3 vss ntfet W=0.0600
+Xr6c3.MPU_R qb6x3 q6x3 vdd ptfet W=0.0600
+Xr6c3.MPD_R qb6x3 q6x3 vss ntfet W=0.0600
+Xr6c3.MAL q6x3 wl6 bl3 ptfet W=0.1000
+Xr6c3.MAR qb6x3 wl6 blb3 ptfet W=0.1000
+Xr6c4.MPU_L q6x4 qb6x4 vdd ptfet W=0.0600
+Xr6c4.MPD_L q6x4 qb6x4 vss ntfet W=0.0600
+Xr6c4.MPU_R qb6x4 q6x4 vdd ptfet W=0.0600
+Xr6c4.MPD_R qb6x4 q6x4 vss ntfet W=0.0600
+Xr6c4.MAL q6x4 wl6 bl4 ptfet W=0.1000
+Xr6c4.MAR qb6x4 wl6 blb4 ptfet W=0.1000
+Xr6c5.MPU_L q6x5 qb6x5 vdd ptfet W=0.0600
+Xr6c5.MPD_L q6x5 qb6x5 vss ntfet W=0.0600
+Xr6c5.MPU_R qb6x5 q6x5 vdd ptfet W=0.0600
+Xr6c5.MPD_R qb6x5 q6x5 vss ntfet W=0.0600
+Xr6c5.MAL q6x5 wl6 bl5 ptfet W=0.1000
+Xr6c5.MAR qb6x5 wl6 blb5 ptfet W=0.1000
+Xr6c6.MPU_L q6x6 qb6x6 vdd ptfet W=0.0600
+Xr6c6.MPD_L q6x6 qb6x6 vss ntfet W=0.0600
+Xr6c6.MPU_R qb6x6 q6x6 vdd ptfet W=0.0600
+Xr6c6.MPD_R qb6x6 q6x6 vss ntfet W=0.0600
+Xr6c6.MAL q6x6 wl6 bl6 ptfet W=0.1000
+Xr6c6.MAR qb6x6 wl6 blb6 ptfet W=0.1000
+Xr6c7.MPU_L q6x7 qb6x7 vdd ptfet W=0.0600
+Xr6c7.MPD_L q6x7 qb6x7 vss ntfet W=0.0600
+Xr6c7.MPU_R qb6x7 q6x7 vdd ptfet W=0.0600
+Xr6c7.MPD_R qb6x7 q6x7 vss ntfet W=0.0600
+Xr6c7.MAL q6x7 wl6 bl7 ptfet W=0.1000
+Xr6c7.MAR qb6x7 wl6 blb7 ptfet W=0.1000
+Xr7c0.MPU_L q7x0 qb7x0 vdd ptfet W=0.0600
+Xr7c0.MPD_L q7x0 qb7x0 vss ntfet W=0.0600
+Xr7c0.MPU_R qb7x0 q7x0 vdd ptfet W=0.0600
+Xr7c0.MPD_R qb7x0 q7x0 vss ntfet W=0.0600
+Xr7c0.MAL q7x0 wl7 bl0 ptfet W=0.1000
+Xr7c0.MAR qb7x0 wl7 blb0 ptfet W=0.1000
+Xr7c1.MPU_L q7x1 qb7x1 vdd ptfet W=0.0600
+Xr7c1.MPD_L q7x1 qb7x1 vss ntfet W=0.0600
+Xr7c1.MPU_R qb7x1 q7x1 vdd ptfet W=0.0600
+Xr7c1.MPD_R qb7x1 q7x1 vss ntfet W=0.0600
+Xr7c1.MAL q7x1 wl7 bl1 ptfet W=0.1000
+Xr7c1.MAR qb7x1 wl7 blb1 ptfet W=0.1000
+Xr7c2.MPU_L q7x2 qb7x2 vdd ptfet W=0.0600
+Xr7c2.MPD_L q7x2 qb7x2 vss ntfet W=0.0600
+Xr7c2.MPU_R qb7x2 q7x2 vdd ptfet W=0.0600
+Xr7c2.MPD_R qb7x2 q7x2 vss ntfet W=0.0600
+Xr7c2.MAL q7x2 wl7 bl2 ptfet W=0.1000
+Xr7c2.MAR qb7x2 wl7 blb2 ptfet W=0.1000
+Xr7c3.MPU_L q7x3 qb7x3 vdd ptfet W=0.0600
+Xr7c3.MPD_L q7x3 qb7x3 vss ntfet W=0.0600
+Xr7c3.MPU_R qb7x3 q7x3 vdd ptfet W=0.0600
+Xr7c3.MPD_R qb7x3 q7x3 vss ntfet W=0.0600
+Xr7c3.MAL q7x3 wl7 bl3 ptfet W=0.1000
+Xr7c3.MAR qb7x3 wl7 blb3 ptfet W=0.1000
+Xr7c4.MPU_L q7x4 qb7x4 vdd ptfet W=0.0600
+Xr7c4.MPD_L q7x4 qb7x4 vss ntfet W=0.0600
+Xr7c4.MPU_R qb7x4 q7x4 vdd ptfet W=0.0600
+Xr7c4.MPD_R qb7x4 q7x4 vss ntfet W=0.0600
+Xr7c4.MAL q7x4 wl7 bl4 ptfet W=0.1000
+Xr7c4.MAR qb7x4 wl7 blb4 ptfet W=0.1000
+Xr7c5.MPU_L q7x5 qb7x5 vdd ptfet W=0.0600
+Xr7c5.MPD_L q7x5 qb7x5 vss ntfet W=0.0600
+Xr7c5.MPU_R qb7x5 q7x5 vdd ptfet W=0.0600
+Xr7c5.MPD_R qb7x5 q7x5 vss ntfet W=0.0600
+Xr7c5.MAL q7x5 wl7 bl5 ptfet W=0.1000
+Xr7c5.MAR qb7x5 wl7 blb5 ptfet W=0.1000
+Xr7c6.MPU_L q7x6 qb7x6 vdd ptfet W=0.0600
+Xr7c6.MPD_L q7x6 qb7x6 vss ntfet W=0.0600
+Xr7c6.MPU_R qb7x6 q7x6 vdd ptfet W=0.0600
+Xr7c6.MPD_R qb7x6 q7x6 vss ntfet W=0.0600
+Xr7c6.MAL q7x6 wl7 bl6 ptfet W=0.1000
+Xr7c6.MAR qb7x6 wl7 blb6 ptfet W=0.1000
+Xr7c7.MPU_L q7x7 qb7x7 vdd ptfet W=0.0600
+Xr7c7.MPD_L q7x7 qb7x7 vss ntfet W=0.0600
+Xr7c7.MPU_R qb7x7 q7x7 vdd ptfet W=0.0600
+Xr7c7.MPD_R qb7x7 q7x7 vss ntfet W=0.0600
+Xr7c7.MAL q7x7 wl7 bl7 ptfet W=0.1000
+Xr7c7.MAR qb7x7 wl7 blb7 ptfet W=0.1000
+.tran 2.000000e-12 1.000000e-9
+.end

@@ -1,0 +1,103 @@
+.title 8x8 6t array, hierarchical
+.subckt cell_6t q qb bl blb wl vdd vss
+XMPU_L q qb vdd ptfet W=0.0600
+XMPD_L q qb vss ntfet W=0.0600
+XMPU_R qb q vdd ptfet W=0.0600
+XMPD_R qb q vss ntfet W=0.0600
+CQ q 0 1.500000e-16
+CQB qb 0 1.500000e-16
+XMAL q wl bl ptfet W=0.1000
+XMAR qb wl blb ptfet W=0.1000
+.ends
+VVDD vdd 0 DC 8.000000e-1
+VVSS vss 0 DC 0.000000e0
+VWL0 wl0 0 DC 8.000000e-1
+VWL1 wl1 0 DC 8.000000e-1
+VWL2 wl2 0 DC 8.000000e-1
+VWL3 wl3 0 DC 8.000000e-1
+VWL4 wl4 0 DC 8.000000e-1
+VWL5 wl5 0 DC 8.000000e-1
+VWL6 wl6 0 DC 8.000000e-1
+VWL7 wl7 0 DC 8.000000e-1
+VBL0 bl0 0 DC 8.000000e-1
+VBLB0 blb0 0 DC 8.000000e-1
+VBL1 bl1 0 DC 8.000000e-1
+VBLB1 blb1 0 DC 8.000000e-1
+VBL2 bl2 0 DC 8.000000e-1
+VBLB2 blb2 0 DC 8.000000e-1
+VBL3 bl3 0 DC 8.000000e-1
+VBLB3 blb3 0 DC 8.000000e-1
+VBL4 bl4 0 DC 8.000000e-1
+VBLB4 blb4 0 DC 8.000000e-1
+VBL5 bl5 0 DC 8.000000e-1
+VBLB5 blb5 0 DC 8.000000e-1
+VBL6 bl6 0 DC 8.000000e-1
+VBLB6 blb6 0 DC 8.000000e-1
+VBL7 bl7 0 DC 8.000000e-1
+VBLB7 blb7 0 DC 8.000000e-1
+Xr0c0 q0x0 qb0x0 bl0 blb0 wl0 vdd vss cell_6t
+Xr0c1 q0x1 qb0x1 bl1 blb1 wl0 vdd vss cell_6t
+Xr0c2 q0x2 qb0x2 bl2 blb2 wl0 vdd vss cell_6t
+Xr0c3 q0x3 qb0x3 bl3 blb3 wl0 vdd vss cell_6t
+Xr0c4 q0x4 qb0x4 bl4 blb4 wl0 vdd vss cell_6t
+Xr0c5 q0x5 qb0x5 bl5 blb5 wl0 vdd vss cell_6t
+Xr0c6 q0x6 qb0x6 bl6 blb6 wl0 vdd vss cell_6t
+Xr0c7 q0x7 qb0x7 bl7 blb7 wl0 vdd vss cell_6t
+Xr1c0 q1x0 qb1x0 bl0 blb0 wl1 vdd vss cell_6t
+Xr1c1 q1x1 qb1x1 bl1 blb1 wl1 vdd vss cell_6t
+Xr1c2 q1x2 qb1x2 bl2 blb2 wl1 vdd vss cell_6t
+Xr1c3 q1x3 qb1x3 bl3 blb3 wl1 vdd vss cell_6t
+Xr1c4 q1x4 qb1x4 bl4 blb4 wl1 vdd vss cell_6t
+Xr1c5 q1x5 qb1x5 bl5 blb5 wl1 vdd vss cell_6t
+Xr1c6 q1x6 qb1x6 bl6 blb6 wl1 vdd vss cell_6t
+Xr1c7 q1x7 qb1x7 bl7 blb7 wl1 vdd vss cell_6t
+Xr2c0 q2x0 qb2x0 bl0 blb0 wl2 vdd vss cell_6t
+Xr2c1 q2x1 qb2x1 bl1 blb1 wl2 vdd vss cell_6t
+Xr2c2 q2x2 qb2x2 bl2 blb2 wl2 vdd vss cell_6t
+Xr2c3 q2x3 qb2x3 bl3 blb3 wl2 vdd vss cell_6t
+Xr2c4 q2x4 qb2x4 bl4 blb4 wl2 vdd vss cell_6t
+Xr2c5 q2x5 qb2x5 bl5 blb5 wl2 vdd vss cell_6t
+Xr2c6 q2x6 qb2x6 bl6 blb6 wl2 vdd vss cell_6t
+Xr2c7 q2x7 qb2x7 bl7 blb7 wl2 vdd vss cell_6t
+Xr3c0 q3x0 qb3x0 bl0 blb0 wl3 vdd vss cell_6t
+Xr3c1 q3x1 qb3x1 bl1 blb1 wl3 vdd vss cell_6t
+Xr3c2 q3x2 qb3x2 bl2 blb2 wl3 vdd vss cell_6t
+Xr3c3 q3x3 qb3x3 bl3 blb3 wl3 vdd vss cell_6t
+Xr3c4 q3x4 qb3x4 bl4 blb4 wl3 vdd vss cell_6t
+Xr3c5 q3x5 qb3x5 bl5 blb5 wl3 vdd vss cell_6t
+Xr3c6 q3x6 qb3x6 bl6 blb6 wl3 vdd vss cell_6t
+Xr3c7 q3x7 qb3x7 bl7 blb7 wl3 vdd vss cell_6t
+Xr4c0 q4x0 qb4x0 bl0 blb0 wl4 vdd vss cell_6t
+Xr4c1 q4x1 qb4x1 bl1 blb1 wl4 vdd vss cell_6t
+Xr4c2 q4x2 qb4x2 bl2 blb2 wl4 vdd vss cell_6t
+Xr4c3 q4x3 qb4x3 bl3 blb3 wl4 vdd vss cell_6t
+Xr4c4 q4x4 qb4x4 bl4 blb4 wl4 vdd vss cell_6t
+Xr4c5 q4x5 qb4x5 bl5 blb5 wl4 vdd vss cell_6t
+Xr4c6 q4x6 qb4x6 bl6 blb6 wl4 vdd vss cell_6t
+Xr4c7 q4x7 qb4x7 bl7 blb7 wl4 vdd vss cell_6t
+Xr5c0 q5x0 qb5x0 bl0 blb0 wl5 vdd vss cell_6t
+Xr5c1 q5x1 qb5x1 bl1 blb1 wl5 vdd vss cell_6t
+Xr5c2 q5x2 qb5x2 bl2 blb2 wl5 vdd vss cell_6t
+Xr5c3 q5x3 qb5x3 bl3 blb3 wl5 vdd vss cell_6t
+Xr5c4 q5x4 qb5x4 bl4 blb4 wl5 vdd vss cell_6t
+Xr5c5 q5x5 qb5x5 bl5 blb5 wl5 vdd vss cell_6t
+Xr5c6 q5x6 qb5x6 bl6 blb6 wl5 vdd vss cell_6t
+Xr5c7 q5x7 qb5x7 bl7 blb7 wl5 vdd vss cell_6t
+Xr6c0 q6x0 qb6x0 bl0 blb0 wl6 vdd vss cell_6t
+Xr6c1 q6x1 qb6x1 bl1 blb1 wl6 vdd vss cell_6t
+Xr6c2 q6x2 qb6x2 bl2 blb2 wl6 vdd vss cell_6t
+Xr6c3 q6x3 qb6x3 bl3 blb3 wl6 vdd vss cell_6t
+Xr6c4 q6x4 qb6x4 bl4 blb4 wl6 vdd vss cell_6t
+Xr6c5 q6x5 qb6x5 bl5 blb5 wl6 vdd vss cell_6t
+Xr6c6 q6x6 qb6x6 bl6 blb6 wl6 vdd vss cell_6t
+Xr6c7 q6x7 qb6x7 bl7 blb7 wl6 vdd vss cell_6t
+Xr7c0 q7x0 qb7x0 bl0 blb0 wl7 vdd vss cell_6t
+Xr7c1 q7x1 qb7x1 bl1 blb1 wl7 vdd vss cell_6t
+Xr7c2 q7x2 qb7x2 bl2 blb2 wl7 vdd vss cell_6t
+Xr7c3 q7x3 qb7x3 bl3 blb3 wl7 vdd vss cell_6t
+Xr7c4 q7x4 qb7x4 bl4 blb4 wl7 vdd vss cell_6t
+Xr7c5 q7x5 qb7x5 bl5 blb5 wl7 vdd vss cell_6t
+Xr7c6 q7x6 qb7x6 bl6 blb6 wl7 vdd vss cell_6t
+Xr7c7 q7x7 qb7x7 bl7 blb7 wl7 vdd vss cell_6t
+.tran 2e-12 1e-9
+.end

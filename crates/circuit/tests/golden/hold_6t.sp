@@ -1,0 +1,18 @@
+.title 6t inward-p hold harness: lines at standby, q=1 guess
+C0 q 0 1.500000e-16
+C1 qb 0 1.500000e-16
+VVDD vdd_cell 0 DC 8.000000e-1
+VVSS vss_cell 0 DC 0.000000e0
+VWL wl 0 DC 8.000000e-1
+VBL bl 0 DC 8.000000e-1
+VBLB blb 0 DC 8.000000e-1
+XMPU_L q qb vdd_cell ptfet W=0.0600
+XMPD_L q qb vss_cell ntfet W=0.0600
+XMPU_R qb q vdd_cell ptfet W=0.0600
+XMPD_R qb q vss_cell ntfet W=0.0600
+XMAL q wl bl ptfet W=0.1000
+XMAR qb wl blb ptfet W=0.1000
+.nodeset v(q)=8.000000e-1
+.nodeset v(qb)=0.000000e0
+.tran 2.000000e-12 2.000000e-9
+.end

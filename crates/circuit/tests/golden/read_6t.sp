@@ -1,0 +1,22 @@
+.title 6t inward-p read harness: floating precharged bitlines
+C0 q 0 1.500000e-16
+C1 qb 0 1.500000e-16
+C2 bl 0 2.000000e-14
+C3 blb 0 2.000000e-14
+VVDD vdd_cell 0 DC 8.000000e-1
+VVSS vss_cell 0 DC 0.000000e0
+VWL wl 0 PWL(-1.000000e-17 8.000000e-1 2.000000e-10 8.000000e-1 2.100000e-10 0.000000e0 2.190000e-9 0.000000e0 2.200000e-9 8.000000e-1)
+XMPU_L q qb vdd_cell ptfet W=0.0600
+XMPD_L q qb vss_cell ntfet W=0.0600
+XMPU_R qb q vdd_cell ptfet W=0.0600
+XMPD_R qb q vss_cell ntfet W=0.0600
+XMAL q wl bl ptfet W=0.1000
+XMAR qb wl blb ptfet W=0.1000
+.ic v(q)=8.000000e-1
+.ic v(qb)=0.000000e0
+.ic v(bl)=8.000000e-1
+.ic v(blb)=8.000000e-1
+.ic v(wl)=8.000000e-1
+.ic v(vdd_cell)=8.000000e-1
+.tran 2.000000e-12 2.720000e-9
+.end

@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use tfet_circuit::transient::InitialState;
-use tfet_circuit::{Circuit, TransientSpec, Waveform};
-use tfet_devices::{NTfet, Nmos, PTfet, Pmos};
+use tfet_circuit::{Circuit, DcSweep, Deck, DeckAnalysis, NodeId, Subckt, SubcktCard};
+use tfet_circuit::{TransientSpec, Waveform};
+use tfet_devices::{standard_models, NTfet, Nmos, PTfet, Pmos};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -149,6 +150,284 @@ proptest! {
         let i = v / (r1 + r2);
         let dissipated = i * i * (r1 + r2);
         prop_assert!((op.power_delivered(src) - dissipated).abs() < 1e-6 * dissipated);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deck round-trip properties
+// ---------------------------------------------------------------------------
+
+/// Quantizes through the serializer's `{:.6e}` so generated values are
+/// representable in deck text (7 significant digits survive a parse
+/// exactly).
+fn q6(x: f64) -> f64 {
+    format!("{x:.6e}").parse().expect("q6 round-trips")
+}
+
+/// Quantizes through the device-width formatter `{:.4}`.
+fn q4(x: f64) -> f64 {
+    format!("{x:.4}").parse().expect("q4 round-trips")
+}
+
+const MODEL_NAMES: [&str; 4] = ["ntfet", "ptfet", "nmos", "pmos"];
+
+/// A random `.subckt` definition over ports `p0..`, internal nodes `n0..n2`,
+/// and ground. May call any earlier definition (so nesting depth is bounded
+/// by the number of definitions, ≤ 2 here).
+///
+/// Two-terminal cards always get distinct terminals and call bindings are
+/// injective over non-ground nodes: an injective ground-free binding chain
+/// can never alias two distinct terminals onto one node, so every generated
+/// hierarchy flattens without shorts.
+fn random_subckt(rng: &mut TestRng, idx: usize, earlier: &[Subckt]) -> Subckt {
+    let n_ports = 2 + rng.below(3);
+    let ports: Vec<String> = (0..n_ports).map(|k| format!("p{k}")).collect();
+    // Three internal nodes keep the ground-free pool (≥ 5) large enough to
+    // bind any earlier definition's ports (≤ 4) without replacement.
+    let mut bindable = ports.clone();
+    bindable.extend((0..3).map(|k| format!("n{k}")));
+    let mut wired = bindable.clone();
+    wired.push("0".to_string());
+    let pick = |rng: &mut TestRng| wired[rng.below(wired.len())].clone();
+    let distinct_pair = |rng: &mut TestRng| {
+        let a = rng.below(wired.len());
+        let mut b = rng.below(wired.len());
+        while b == a {
+            b = rng.below(wired.len());
+        }
+        (wired[a].clone(), wired[b].clone())
+    };
+
+    let mut cards = Vec::new();
+    for k in 0..1 + rng.below(4) {
+        let variants = if earlier.is_empty() { 3 } else { 4 };
+        let card = match rng.below(variants) {
+            0 => {
+                let (a, b) = distinct_pair(rng);
+                SubcktCard::Resistor {
+                    name: format!("r{k}"),
+                    a,
+                    b,
+                    ohms: q6(10.0 + rng.unit_f64() * 1e5),
+                }
+            }
+            1 => {
+                let (a, b) = distinct_pair(rng);
+                SubcktCard::Capacitor {
+                    name: format!("c{k}"),
+                    a,
+                    b,
+                    farads: q6(1e-16 + rng.unit_f64() * 1e-13),
+                }
+            }
+            2 => SubcktCard::Device {
+                name: format!("d{k}"),
+                d: pick(rng),
+                g: pick(rng),
+                s: pick(rng),
+                model: MODEL_NAMES[rng.below(4)].to_string(),
+                width_um: q4(0.05 + rng.unit_f64()),
+            },
+            _ => {
+                let target = &earlier[rng.below(earlier.len())];
+                let mut avail = bindable.clone();
+                SubcktCard::Call {
+                    name: format!("u{k}"),
+                    nodes: (0..target.ports.len())
+                        .map(|_| avail.swap_remove(rng.below(avail.len())))
+                        .collect(),
+                    subckt: target.name.clone(),
+                }
+            }
+        };
+        cards.push(card);
+    }
+    Subckt {
+        name: format!("sub{idx}"),
+        ports,
+        cards,
+    }
+}
+
+fn random_wave(rng: &mut TestRng) -> Waveform {
+    if rng.below(2) == 0 {
+        Waveform::dc(q6(rng.unit_f64()))
+    } else {
+        let mut t = 0.0;
+        let points: Vec<(f64, f64)> = (0..2 + rng.below(3))
+            .map(|_| {
+                t += 1e-10 + rng.unit_f64() * 1e-9;
+                (q6(t), q6(rng.unit_f64()))
+            })
+            .collect();
+        Waveform::pwl(&points)
+    }
+}
+
+/// A random deck: element soup at top level, up to two (possibly nested)
+/// subckt definitions, `.ic`/`.nodeset` entries, and analysis cards.
+fn random_deck(rng: &mut TestRng) -> Deck {
+    let mut subckts: Vec<Subckt> = Vec::new();
+    for idx in 0..rng.below(3) {
+        let sub = random_subckt(rng, idx, &subckts);
+        subckts.push(sub);
+    }
+
+    let mut c = Circuit::new();
+    let mut pool: Vec<NodeId> = vec![Circuit::GND];
+    for k in 0..3 + rng.below(3) {
+        pool.push(c.node(&format!("n{k}")));
+    }
+    let distinct_pair = |rng: &mut TestRng| {
+        let a = rng.below(pool.len());
+        let mut b = rng.below(pool.len());
+        while b == a {
+            b = rng.below(pool.len());
+        }
+        (pool[a], pool[b])
+    };
+    let mut vsource_names = Vec::new();
+    // Only nodes an element card mentions exist in the exported text, so
+    // `.ic`/`.nodeset` may reference exactly these.
+    let mut used: Vec<NodeId> = Vec::new();
+    for k in 0..2 + rng.below(5) {
+        match rng.below(5) {
+            0 => {
+                let (a, b) = distinct_pair(rng);
+                c.resistor(a, b, q6(10.0 + rng.unit_f64() * 1e5));
+                used.extend([a, b]);
+            }
+            1 => {
+                let (a, b) = distinct_pair(rng);
+                c.capacitor(a, b, q6(1e-16 + rng.unit_f64() * 1e-13));
+                used.extend([a, b]);
+            }
+            2 => {
+                let (p, m) = distinct_pair(rng);
+                let name = format!("v{k}");
+                c.vsource(&name, p, m, random_wave(rng));
+                vsource_names.push(name);
+                used.extend([p, m]);
+            }
+            3 => {
+                let (f, t) = distinct_pair(rng);
+                c.isource(f, t, random_wave(rng));
+                used.extend([f, t]);
+            }
+            _ => {
+                let model: Arc<dyn tfet_devices::model::DeviceModel> = match rng.below(4) {
+                    0 => Arc::new(NTfet::nominal()),
+                    1 => Arc::new(PTfet::nominal()),
+                    2 => Arc::new(Nmos::nominal()),
+                    _ => Arc::new(Pmos::nominal()),
+                };
+                let d = pool[rng.below(pool.len())];
+                let g = pool[rng.below(pool.len())];
+                let s = pool[rng.below(pool.len())];
+                c.transistor(&format!("m{k}"), model, d, g, s, q4(0.05 + rng.unit_f64()));
+                used.extend([d, g, s]);
+            }
+        }
+    }
+
+    let settable: Vec<NodeId> = {
+        let mut v = used;
+        v.retain(|n| !n.is_ground());
+        v.dedup();
+        v
+    };
+    let mut ic = Vec::new();
+    let mut nodeset = Vec::new();
+    if !settable.is_empty() {
+        for _ in 0..rng.below(3) {
+            ic.push((settable[rng.below(settable.len())], q6(rng.unit_f64())));
+        }
+        for _ in 0..rng.below(3) {
+            nodeset.push((settable[rng.below(settable.len())], q6(rng.unit_f64())));
+        }
+    }
+
+    let mut analyses = Vec::new();
+    for _ in 0..rng.below(3) {
+        analyses.push(match rng.below(3) {
+            0 => DeckAnalysis::Tran {
+                dt: q6(1e-12 + rng.unit_f64() * 4e-12),
+                t_stop: q6(1e-10 + rng.unit_f64() * 1e-9),
+            },
+            1 => DeckAnalysis::Dc { sweep: None },
+            _ => {
+                if vsource_names.is_empty() {
+                    DeckAnalysis::Dc { sweep: None }
+                } else {
+                    DeckAnalysis::Dc {
+                        sweep: Some(DcSweep {
+                            source: vsource_names[rng.below(vsource_names.len())].clone(),
+                            start: 0.0,
+                            stop: q6(0.1 + rng.unit_f64()),
+                            step: q6(0.01 + rng.unit_f64() * 0.05),
+                        }),
+                    }
+                }
+            }
+        });
+    }
+
+    Deck {
+        title: Some(format!("random deck {}", rng.below(1 << 30))),
+        subckts,
+        ic,
+        nodeset,
+        analyses,
+        circuit: c,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Export → import → export is byte-identical for arbitrary decks:
+    /// elements with DC/PWL stimulus, nested subckt definitions, initial
+    /// conditions, and analysis cards.
+    #[test]
+    fn random_deck_roundtrips_byte_exactly(seed in 0u32..1_000_000) {
+        let mut rng = TestRng::deterministic(seed);
+        let deck = random_deck(&mut rng);
+        let text = deck.to_spice();
+        let reparsed = match Deck::parse(&text, &standard_models()) {
+            Ok(d) => d,
+            Err(e) => return Err(TestCaseError::fail(format!("exported deck fails to parse: {e}\n{text}"))),
+        };
+        prop_assert_eq!(reparsed.to_spice(), text, "re-export differs for:\n{}", text);
+    }
+
+    /// A hierarchical call at top level flattens on import, and the
+    /// flattened export is itself a serializer fixed point.
+    #[test]
+    fn flattened_calls_reach_a_fixed_point(seed in 0u32..1_000_000) {
+        let mut rng = TestRng::deterministic(seed);
+        let mut subckts: Vec<Subckt> = Vec::new();
+        for idx in 0..1 + rng.below(2) {
+            let sub = random_subckt(&mut rng, idx, &subckts);
+            subckts.push(sub);
+        }
+        let target = subckts[rng.below(subckts.len())].clone();
+        let lib = Deck { subckts, ..Deck::default() };
+        let mut text = lib.to_spice();
+        let end = text.rfind(".end").expect("deck ends with .end");
+        text.truncate(end);
+        let nodes: Vec<String> = (0..target.ports.len()).map(|k| format!("t{k}")).collect();
+        text.push_str(&format!("Xcall {} {}\n.end\n", nodes.join(" "), target.name));
+
+        let models = standard_models();
+        let flat = match Deck::parse(&text, &models) {
+            Ok(d) => d.to_spice(),
+            Err(e) => return Err(TestCaseError::fail(format!("call deck fails to parse: {e}\n{text}"))),
+        };
+        let again = match Deck::parse(&flat, &models) {
+            Ok(d) => d.to_spice(),
+            Err(e) => return Err(TestCaseError::fail(format!("flattened deck fails to parse: {e}\n{flat}"))),
+        };
+        prop_assert_eq!(again, flat, "flat form is not a fixed point");
     }
 }
 

@@ -9,7 +9,7 @@
 //! the existing 6T cell with
 //!
 //! * **shared wordlines and bitlines** — each cell placed on its row/column
-//!   lines via [`build_cell_on_lines`], so half-selection on the written
+//!   lines via [`build_cell_on_lines`](crate::cell::build_cell_on_lines), so half-selection on the written
 //!   row is physical, not modeled;
 //! * **sram22-style peripherals** — a per-row wordline driver (2-input
 //!   NAND of `row-select · wl_en`, plus an output inverter when the access
@@ -33,10 +33,11 @@
 //! baseline the identity gates diff against). A 64×64 write transient runs
 //! in seconds because >90 % of its device evaluations never happen.
 
-use crate::cell::{build_cell_on_lines, CellLines, CellNodes};
+use crate::cell::{CellLines, CellNodes};
 use crate::error::SramError;
 use crate::metrics::{self, WlCrit};
 use crate::tech::{CellKind, CellParams, Role};
+use crate::topology::CellTopology;
 use tfet_circuit::transient::InitialState;
 use tfet_circuit::{
     CellPartition, Circuit, CompiledCircuit, DeviceLatency, NodeId, SolveStats, SourceId,
@@ -71,6 +72,11 @@ pub struct ArraySpec {
     /// `Off` is the full-evaluation baseline the gates and the throughput
     /// bench compare against.
     pub latency: DeviceLatency,
+    /// Optional explicit cell topology. `None` replicates the built-in
+    /// generator for `cell.kind`; `Some` replicates an imported `.subckt`
+    /// cell at every (row, column) instead — same peripherals, same latency
+    /// partitions, same operation schedule.
+    pub topology: Option<CellTopology>,
 }
 
 impl ArraySpec {
@@ -82,12 +88,20 @@ impl ArraySpec {
             cols,
             cell,
             latency: DeviceLatency::default(),
+            topology: None,
         }
     }
 
     /// Selects the device-evaluation latency tier (builder style).
     pub fn with_latency(mut self, latency: DeviceLatency) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Replicates an explicit (typically deck-imported) cell topology
+    /// instead of the built-in generator (builder style).
+    pub fn with_topology(mut self, topology: CellTopology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -111,12 +125,29 @@ impl ArraySpec {
                 self.rows, self.cols
             )));
         }
+        if let Some(topo) = &self.topology {
+            if topo.has_read_port() {
+                return Err(SramError::InvalidParameter(
+                    "array netlist has no rbl/rwl columns; read-port topologies \
+                     are not supported"
+                        .into(),
+                ));
+            }
+        }
         match self.cell.kind {
             CellKind::Cmos6T | CellKind::Tfet6T(_) => Ok(()),
             other => Err(SramError::InvalidParameter(format!(
                 "array netlist supports the 6T topologies, not {other:?}"
             ))),
         }
+    }
+
+    /// The effective cell topology: the explicit override, or the built-in
+    /// generator for `cell.kind`.
+    fn cell_topology(&self) -> CellTopology {
+        self.topology
+            .clone()
+            .unwrap_or_else(|| CellTopology::builtin(self.cell.kind))
     }
 }
 
@@ -178,6 +209,7 @@ pub struct ArrayRead {
 #[derive(Debug)]
 pub struct ArrayNetlist {
     spec: ArraySpec,
+    topo: CellTopology,
     compiled: CompiledCircuit,
     /// Per-cell node handles, row-major.
     cells: Vec<CellNodes>,
@@ -216,9 +248,10 @@ impl ArrayNetlist {
     pub fn build(spec: ArraySpec) -> Result<Self, SramError> {
         let _span = tfet_obs::span("array_netlist_build");
         spec.validate()?;
+        let topo = spec.cell_topology();
         let cell = &spec.cell;
         let vdd = cell.vdd;
-        let access = cell.kind.access();
+        let access = topo.access();
         let sim = &cell.sim;
         let c_bl = spec.c_bitline();
         // Driver sized to swing a full row of access gates plus the
@@ -440,13 +473,19 @@ impl ArrayNetlist {
                     rwl: None,
                 };
                 let d0 = c.transistors().len();
-                let n = build_cell_on_lines(&mut c, cell, &format!("r{r}c{col}_"), &lines);
+                let placed = topo.place_on_lines(&mut c, cell, &format!("r{r}c{col}_"), &lines);
+                // An imported cell may carry internal nodes beyond q/qb
+                // (read-stack midpoints, RC taps) — the partition must
+                // watch them too, or the latency tier would treat a moving
+                // internal node as quiescent.
+                let mut watch = vec![placed.nodes.q, placed.nodes.qb];
+                watch.extend(placed.internal);
                 partitions.push(CellPartition {
                     devices: (d0..c.transistors().len()).collect(),
-                    watch: vec![n.q, n.qb],
+                    watch,
                     guard: vec![wl, bl, blb, vdd_rail],
                 });
-                cells.push(n);
+                cells.push(placed.nodes);
             }
         }
         c.set_latency_partitions(partitions);
@@ -456,6 +495,7 @@ impl ArrayNetlist {
         let state = vec![(0.0, vdd0); spec.rows * spec.cols];
         Ok(ArrayNetlist {
             spec,
+            topo,
             compiled,
             cells,
             wls,
@@ -782,22 +822,22 @@ impl ArrayNetlist {
         let k = self.idx(row, col);
         let cell = self.spec.cell.clone();
         let s = &cell.sizing;
-        let n_access = !cell.kind.access().is_p_type();
-        // Device indices in `build_cell_on_lines` stamp order:
-        // 0 = PU_L, 1 = PD_L, 2 = PU_R, 3 = PD_R, 4 = access L, 5 = access R.
+        // The partition's device list is in topology slot (stamp) order, so
+        // slot indices address the cell's devices whatever the topology.
         let d = self.compiled.circuit().latency_partitions()[k]
             .devices
             .clone();
         let w_pd = s.w_pulldown_um() * pulldown_scale;
         let w_ax = s.w_access_um * access_scale;
-        self.compiled
-            .bind_device(d[1], cell.model(Role::PullDownLeft, true), w_pd);
-        self.compiled
-            .bind_device(d[3], cell.model(Role::PullDownRight, true), w_pd);
-        self.compiled
-            .bind_device(d[4], cell.model(Role::AccessLeft, n_access), w_ax);
-        self.compiled
-            .bind_device(d[5], cell.model(Role::AccessRight, n_access), w_ax);
+        for slot in self.topo.slots() {
+            let w = match slot.role {
+                Role::PullDownLeft | Role::PullDownRight => w_pd,
+                Role::AccessLeft | Role::AccessRight => w_ax,
+                _ => continue,
+            };
+            self.compiled
+                .bind_device(d[slot.index], cell.model(slot.role, slot.n_type), w);
+        }
     }
 }
 

@@ -12,9 +12,12 @@
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::metrics::{read_metrics, read_metrics_compiled, wl_crit, wl_crit_compiled, WlCrit};
+use crate::metrics::{
+    read_metrics_compiled, read_metrics_on, wl_crit_compiled, wl_crit_on, WlCrit,
+};
 use crate::ops::{ReadExperiment, WriteExperiment};
 use crate::tech::CellParams;
+use crate::topology::CellTopology;
 use tfet_numerics::parallel::par_try_map_with;
 
 /// Evaluates the first grid point cold (serially) and returns its finite
@@ -46,14 +49,28 @@ pub struct BetaPoint {
 ///
 /// Propagates simulation failures.
 pub fn beta_sweep(base: &CellParams, betas: &[f64]) -> Result<Vec<BetaPoint>, SramError> {
+    beta_sweep_topo(&CellTopology::builtin(base.kind), base, betas)
+}
+
+/// [`beta_sweep`] for an explicit topology — the entry point for cells that
+/// exist only as an imported `.subckt`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn beta_sweep_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    betas: &[f64],
+) -> Result<Vec<BetaPoint>, SramError> {
     let Some((&beta0, rest)) = betas.split_first() else {
         return Ok(Vec::new());
     };
     let params0 = base.clone().with_beta(beta0);
     let first = BetaPoint {
         beta: beta0,
-        drnm: read_metrics(&params0, None)?.drnm,
-        wl_crit: wl_crit(&params0, None)?,
+        drnm: read_metrics_on(topo, &params0, None)?.drnm,
+        wl_crit: wl_crit_on(topo, &params0, None)?,
     };
     let hint = first_point_hint(first.wl_crit);
     let tail = par_try_map_with(
@@ -70,8 +87,8 @@ pub fn beta_sweep(base: &CellParams, betas: &[f64]) -> Result<Vec<BetaPoint>, Sr
                 }
                 None => {
                     *slot = Some((
-                        ReadExperiment::compile(&params, None)?,
-                        WriteExperiment::compile(&params, None)?,
+                        ReadExperiment::compile_on(topo, &params, None)?,
+                        WriteExperiment::compile_on(topo, &params, None)?,
                     ));
                 }
             }
@@ -110,12 +127,26 @@ pub fn write_assist_sweep(
     assist: WriteAssist,
     betas: &[f64],
 ) -> Result<Vec<WaPoint>, SramError> {
+    write_assist_sweep_topo(&CellTopology::builtin(base.kind), base, assist, betas)
+}
+
+/// [`write_assist_sweep`] for an explicit topology.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn write_assist_sweep_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    assist: WriteAssist,
+    betas: &[f64],
+) -> Result<Vec<WaPoint>, SramError> {
     let Some((&beta0, rest)) = betas.split_first() else {
         return Ok(Vec::new());
     };
     let first = WaPoint {
         beta: beta0,
-        wl_crit: wl_crit(&base.clone().with_beta(beta0), Some(assist))?,
+        wl_crit: wl_crit_on(topo, &base.clone().with_beta(beta0), Some(assist))?,
     };
     let hint = first_point_hint(first.wl_crit);
     let tail = par_try_map_with(
@@ -127,7 +158,7 @@ pub fn write_assist_sweep(
             let params = base.clone().with_beta(beta);
             match slot {
                 Some(exp) => exp.bind_cell(&params)?,
-                None => *slot = Some(WriteExperiment::compile(&params, Some(assist))?),
+                None => *slot = Some(WriteExperiment::compile_on(topo, &params, Some(assist))?),
             }
             let exp = slot.as_mut().expect("compiled above");
             Ok(WaPoint {
@@ -163,6 +194,20 @@ pub fn read_assist_sweep(
     assist: ReadAssist,
     betas: &[f64],
 ) -> Result<Vec<RaPoint>, SramError> {
+    read_assist_sweep_topo(&CellTopology::builtin(base.kind), base, assist, betas)
+}
+
+/// [`read_assist_sweep`] for an explicit topology.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn read_assist_sweep_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    assist: ReadAssist,
+    betas: &[f64],
+) -> Result<Vec<RaPoint>, SramError> {
     par_try_map_with(
         betas.len(),
         None,
@@ -172,7 +217,7 @@ pub fn read_assist_sweep(
             let params = base.clone().with_beta(beta);
             match slot {
                 Some(exp) => exp.bind_cell(&params)?,
-                None => *slot = Some(ReadExperiment::compile(&params, Some(assist))?),
+                None => *slot = Some(ReadExperiment::compile_on(topo, &params, Some(assist))?),
             }
             let exp = slot.as_mut().expect("compiled above");
             Ok(RaPoint {
@@ -205,11 +250,25 @@ pub fn wa_tradeoff(
     assist: WriteAssist,
     betas: &[f64],
 ) -> Result<TradeoffCurve, SramError> {
+    wa_tradeoff_topo(&CellTopology::builtin(base.kind), base, assist, betas)
+}
+
+/// [`wa_tradeoff`] for an explicit topology.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn wa_tradeoff_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    assist: WriteAssist,
+    betas: &[f64],
+) -> Result<TradeoffCurve, SramError> {
     let mut points = Vec::with_capacity(betas.len());
     if let Some((&beta0, rest)) = betas.split_first() {
         let params0 = base.clone().with_beta(beta0);
-        let drnm0 = read_metrics(&params0, None)?.drnm;
-        let wl0 = wl_crit(&params0, Some(assist))?;
+        let drnm0 = read_metrics_on(topo, &params0, None)?.drnm;
+        let wl0 = wl_crit_on(topo, &params0, Some(assist))?;
         let hint = first_point_hint(wl0);
         points.push(wl0.as_finite().map(|w| (drnm0, w)));
         let tail = par_try_map_with(
@@ -225,8 +284,8 @@ pub fn wa_tradeoff(
                     }
                     None => {
                         *slot = Some((
-                            ReadExperiment::compile(&params, None)?,
-                            WriteExperiment::compile(&params, Some(assist))?,
+                            ReadExperiment::compile_on(topo, &params, None)?,
+                            WriteExperiment::compile_on(topo, &params, Some(assist))?,
                         ));
                     }
                 }
@@ -259,11 +318,25 @@ pub fn ra_tradeoff(
     assist: ReadAssist,
     betas: &[f64],
 ) -> Result<TradeoffCurve, SramError> {
+    ra_tradeoff_topo(&CellTopology::builtin(base.kind), base, assist, betas)
+}
+
+/// [`ra_tradeoff`] for an explicit topology.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ra_tradeoff_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    assist: ReadAssist,
+    betas: &[f64],
+) -> Result<TradeoffCurve, SramError> {
     let mut points = Vec::with_capacity(betas.len());
     if let Some((&beta0, rest)) = betas.split_first() {
         let params0 = base.clone().with_beta(beta0);
-        let drnm0 = read_metrics(&params0, Some(assist))?.drnm;
-        let wl0 = wl_crit(&params0, None)?;
+        let drnm0 = read_metrics_on(topo, &params0, Some(assist))?.drnm;
+        let wl0 = wl_crit_on(topo, &params0, None)?;
         let hint = first_point_hint(wl0);
         points.push(wl0.as_finite().map(|w| (drnm0, w)));
         let tail = par_try_map_with(
@@ -279,8 +352,8 @@ pub fn ra_tradeoff(
                     }
                     None => {
                         *slot = Some((
-                            ReadExperiment::compile(&params, Some(assist))?,
-                            WriteExperiment::compile(&params, None)?,
+                            ReadExperiment::compile_on(topo, &params, Some(assist))?,
+                            WriteExperiment::compile_on(topo, &params, None)?,
                         ));
                     }
                 }

@@ -70,6 +70,7 @@ pub mod montecarlo;
 pub mod ops;
 pub mod snm;
 pub mod tech;
+pub mod topology;
 
 pub use error::SramError;
 
@@ -84,5 +85,6 @@ pub mod prelude {
     pub use crate::tech::{
         AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SimOptions, SteppingMode,
     };
+    pub use crate::topology::{CellTopology, DeviceSlot, PlacedCell};
     pub use tfet_circuit::{DeviceLatency, SolverStrategy};
 }

@@ -148,6 +148,22 @@ pub fn wl_crit_seeded(
     wl_crit_compiled(&mut exp, hint)
 }
 
+/// [`wl_crit`] for an explicit topology — the entry point for cells that
+/// exist only as an imported `.subckt`. One-shot: compiles the write
+/// experiment on `topo`, searches, discards the compiled form.
+///
+/// # Errors
+///
+/// As [`wl_crit`].
+pub fn wl_crit_on(
+    topo: &crate::topology::CellTopology,
+    params: &CellParams,
+    assist: Option<WriteAssist>,
+) -> Result<WlCrit, SramError> {
+    let mut exp = WriteExperiment::compile_on(topo, params, assist)?;
+    Ok(wl_crit_compiled(&mut exp, None)?.value)
+}
+
 /// [`wl_crit_seeded`] against an already-compiled [`WriteExperiment`]:
 /// every transient of the search rebinds the pulse width and re-runs the
 /// frozen circuit, so a sweep or Monte-Carlo batch pays one compile for
@@ -284,6 +300,21 @@ pub fn read_metrics(
     assist: Option<ReadAssist>,
 ) -> Result<ReadMetrics, SramError> {
     let mut exp = ReadExperiment::compile(params, assist)?;
+    read_metrics_compiled(&mut exp)
+}
+
+/// [`read_metrics`] for an explicit topology — the entry point for cells
+/// that exist only as an imported `.subckt`.
+///
+/// # Errors
+///
+/// As [`read_metrics`].
+pub fn read_metrics_on(
+    topo: &crate::topology::CellTopology,
+    params: &CellParams,
+    assist: Option<ReadAssist>,
+) -> Result<ReadMetrics, SramError> {
+    let mut exp = ReadExperiment::compile_on(topo, params, assist)?;
     read_metrics_compiled(&mut exp)
 }
 

@@ -31,9 +31,10 @@
 
 use crate::assist::{ReadAssist, WriteAssist};
 use crate::error::SramError;
-use crate::metrics::{read_metrics_compiled, wl_crit, wl_crit_compiled, WlCrit};
+use crate::metrics::{read_metrics_compiled, wl_crit_compiled, WlCrit};
 use crate::ops::{ReadExperiment, WriteExperiment};
 use crate::tech::{CellParams, CellVariations, Role};
+use crate::topology::CellTopology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tfet_devices::ProcessVariation;
@@ -325,6 +326,24 @@ pub fn mc_wl_crit_with(
     n: usize,
     config: McConfig,
 ) -> Result<McWlCrit, SramError> {
+    mc_wl_crit_topo(&CellTopology::builtin(base.kind), base, assist, n, config)
+}
+
+/// [`mc_wl_crit_with`] for an explicit topology — Monte-Carlo `WL_crit` on
+/// a cell that exists only as an imported `.subckt`. Variations bind to
+/// devices by [`Role`], so an imported 6T sees exactly the process space a
+/// generated one does.
+///
+/// # Errors
+///
+/// As [`mc_wl_crit_with`].
+pub fn mc_wl_crit_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    assist: Option<WriteAssist>,
+    n: usize,
+    config: McConfig,
+) -> Result<McWlCrit, SramError> {
     let _span = tfet_obs::span("mc_wl_crit");
     // Seed every sample's bisection from the *nominal* cell's answer: ±5 %
     // t_ox perturbs WL_crit by a few percent, so the nominal value lands each
@@ -333,7 +352,10 @@ pub fn mc_wl_crit_with(
     // sample — so results stay bit-identical at any thread count. A failing
     // or unbracketable nominal cell yields no hint and samples fall back to
     // the cold search.
-    let hint = wl_crit(base, assist).ok().and_then(|w| w.as_finite());
+    let hint = WriteExperiment::compile_on(topo, base, assist)
+        .ok()
+        .and_then(|mut exp| wl_crit_compiled(&mut exp, None).ok())
+        .and_then(|run| run.value.as_finite());
     // Each worker compiles the write experiment once on its first sample and
     // retargets it per sample through device binds — the compiled circuit is
     // a pure cache (waveforms and initial conditions depend only on the
@@ -354,7 +376,7 @@ pub fn mc_wl_crit_with(
                 let params = base.clone().with_variations(sample_variations(&mut rng));
                 match slot {
                     Some(exp) => exp.bind_cell(&params)?,
-                    None => *slot = Some(WriteExperiment::compile(&params, assist)?),
+                    None => *slot = Some(WriteExperiment::compile_on(topo, &params, assist)?),
                 }
                 let exp = slot.as_mut().expect("compiled above");
                 let run = wl_crit_compiled(exp, hint)?;
@@ -434,6 +456,22 @@ pub fn mc_drnm_with(
     n: usize,
     config: McConfig,
 ) -> Result<McDrnm, SramError> {
+    mc_drnm_topo(&CellTopology::builtin(base.kind), base, assist, n, config)
+}
+
+/// [`mc_drnm_with`] for an explicit topology — Monte-Carlo DRNM on a cell
+/// that exists only as an imported `.subckt`.
+///
+/// # Errors
+///
+/// As [`mc_drnm_with`].
+pub fn mc_drnm_topo(
+    topo: &CellTopology,
+    base: &CellParams,
+    assist: Option<ReadAssist>,
+    n: usize,
+    config: McConfig,
+) -> Result<McDrnm, SramError> {
     let _span = tfet_obs::span("mc_drnm");
     // Per-worker compiled read experiment, retargeted per sample via device
     // binds — see `mc_wl_crit_with` for why this cannot change the values.
@@ -450,7 +488,7 @@ pub fn mc_drnm_with(
                 let params = base.clone().with_variations(sample_variations(&mut rng));
                 match slot {
                     Some(exp) => exp.bind_cell(&params)?,
-                    None => *slot = Some(ReadExperiment::compile(&params, assist)?),
+                    None => *slot = Some(ReadExperiment::compile_on(topo, &params, assist)?),
                 }
                 let exp = slot.as_mut().expect("compiled above");
                 read_metrics_compiled(exp).map(|m| m.drnm)

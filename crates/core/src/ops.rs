@@ -34,9 +34,10 @@
 //! experiment — are bit-identical to the historical build-per-run path.
 
 use crate::assist::{read_bias, write_bias, ReadAssist, WriteAssist, WriteBias};
-use crate::cell::{build_cell, CellNodes};
+use crate::cell::CellNodes;
 use crate::error::SramError;
-use crate::tech::{CellKind, CellParams, Role, SimOptions};
+use crate::tech::{CellKind, CellParams, SimOptions};
+use crate::topology::CellTopology;
 use tfet_circuit::transient::InitialState;
 use tfet_circuit::{
     Circuit, CompiledCircuit, NodeId, ParamHandle, SolveStats, SourceId, StopEvent,
@@ -95,27 +96,6 @@ fn rail_waves(
         windowed(vdd, vdd_level, t0, t1, t_edge),
         windowed(0.0, vss_level, t0, t1, t_edge),
     )
-}
-
-/// Rebinds every transistor of a compiled cell experiment to the models and
-/// widths `params` implies. Indices follow the `build_cell` stamp order;
-/// binds never touch topology, so the MNA pattern is preserved.
-fn bind_cell_devices(compiled: &mut CompiledCircuit, params: &CellParams) {
-    let s = &params.sizing;
-    compiled.bind_device(0, params.model(Role::PullUpLeft, false), s.w_pullup_um);
-    compiled.bind_device(1, params.model(Role::PullDownLeft, true), s.w_pulldown_um());
-    compiled.bind_device(2, params.model(Role::PullUpRight, false), s.w_pullup_um);
-    compiled.bind_device(
-        3,
-        params.model(Role::PullDownRight, true),
-        s.w_pulldown_um(),
-    );
-    let n_access = !params.kind.access().is_p_type();
-    compiled.bind_device(4, params.model(Role::AccessLeft, n_access), s.w_access_um);
-    compiled.bind_device(5, params.model(Role::AccessRight, n_access), s.w_access_um);
-    if params.kind == CellKind::Tfet7T {
-        compiled.bind_device(6, params.model(Role::ReadBuffer, true), s.w_access_um);
-    }
 }
 
 /// Checks that `params` describes a cell a compiled experiment can absorb
@@ -179,16 +159,26 @@ pub struct HoldSetup {
 ///
 /// Returns [`SramError::InvalidParameter`] for invalid parameters.
 pub fn hold_setup(params: &CellParams) -> Result<HoldSetup, SramError> {
+    hold_setup_on(&CellTopology::builtin(params.kind), params)
+}
+
+/// [`hold_setup`] for an explicit topology — the entry point for cells that
+/// exist only as an imported `.subckt`.
+///
+/// # Errors
+///
+/// Returns [`SramError::InvalidParameter`] for invalid parameters.
+pub fn hold_setup_on(topo: &CellTopology, params: &CellParams) -> Result<HoldSetup, SramError> {
     params.validate()?;
     let vdd = params.vdd;
     let mut c = Circuit::new();
-    let nodes = build_cell(&mut c, params);
+    let nodes = topo.place(&mut c, params).nodes;
     let mut sources = Vec::new();
 
     let (vdd_id, vss_id) = wire_rails(&mut c, &nodes, Waveform::dc(vdd), Waveform::dc(0.0));
     sources.push(vdd_id);
     sources.push(vss_id);
-    let access = params.kind.access();
+    let access = topo.access();
     sources.push(c.vsource(
         "WL",
         nodes.wl,
@@ -196,11 +186,7 @@ pub fn hold_setup(params: &CellParams) -> Result<HoldSetup, SramError> {
         Waveform::dc(access.wl_inactive(vdd)),
     ));
 
-    let bl_hold = if params.kind == CellKind::Tfet7T {
-        0.0
-    } else {
-        vdd
-    };
+    let bl_hold = if topo.bl_idle_low() { 0.0 } else { vdd };
     sources.push(c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(bl_hold)));
     sources.push(c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(bl_hold)));
 
@@ -279,6 +265,7 @@ pub struct WriteExperiment {
     vdd_h: ParamHandle,
     vss_h: ParamHandle,
     wl_h: ParamHandle,
+    topo: CellTopology,
     kind: CellKind,
     vdd: f64,
     wl_inactive: f64,
@@ -302,6 +289,23 @@ impl WriteExperiment {
     ///
     /// Invalid parameters and structurally bad netlists.
     pub fn compile(params: &CellParams, assist: Option<WriteAssist>) -> Result<Self, SramError> {
+        Self::compile_on(&CellTopology::builtin(params.kind), params, assist)
+    }
+
+    /// [`compile`](Self::compile) for an explicit topology — the entry
+    /// point for cells that exist only as an imported `.subckt`. The
+    /// stimulus schedule is derived entirely from the topology's data
+    /// (access configuration, read-port flag, bitline idle level), so any
+    /// cell satisfying the port contract runs the same write protocol.
+    ///
+    /// # Errors
+    ///
+    /// Invalid parameters and structurally bad netlists.
+    pub fn compile_on(
+        topo: &CellTopology,
+        params: &CellParams,
+        assist: Option<WriteAssist>,
+    ) -> Result<Self, SramError> {
         params.validate()?;
         let vdd = params.vdd;
         let sim = params.sim;
@@ -312,12 +316,12 @@ impl WriteExperiment {
         } else {
             assist
         };
-        let access = params.kind.access();
+        let access = topo.access();
         let bias = write_bias(assist, vdd, access, sim.assist_fraction);
         let t_bl = sim.t_settle;
 
         let mut c = Circuit::new();
-        let nodes = build_cell(&mut c, params);
+        let nodes = topo.place(&mut c, params).nodes;
 
         // Rails start at their DC hold levels; an assisted run rebinds them
         // to the windowed excursion once the window timing is known.
@@ -327,13 +331,10 @@ impl WriteExperiment {
         let wl_id = c.vsource("WL", nodes.wl, Circuit::GND, Waveform::dc(wl_inactive));
 
         // Bitline data: BL (q side) driven toward 0, BLB toward the
-        // (possibly raised) high level. The 7T cell's write bitlines idle
-        // at 0, so only BLB moves. Both waveforms are final at compile.
-        let bl_hold = if params.kind == CellKind::Tfet7T {
-            0.0
-        } else {
-            vdd
-        };
+        // (possibly raised) high level. Read-port cells with outward access
+        // idle their write bitlines at 0, so only BLB moves. Both waveforms
+        // are final at compile.
+        let bl_hold = if topo.bl_idle_low() { 0.0 } else { vdd };
         let bl_wave = if bl_hold == 0.0 {
             Waveform::dc(0.0)
         } else {
@@ -372,6 +373,7 @@ impl WriteExperiment {
             vdd_h,
             vss_h,
             wl_h,
+            topo: topo.clone(),
             kind: params.kind,
             vdd,
             wl_inactive,
@@ -383,9 +385,17 @@ impl WriteExperiment {
         })
     }
 
-    /// The cell topology this experiment was compiled for.
+    /// The cell kind this experiment's parameters were compiled with. For
+    /// a deck-imported cell this is the *parameterization* kind (model
+    /// family, β rules), not the wiring — see
+    /// [`topology`](Self::topology) for the wiring.
     pub fn kind(&self) -> CellKind {
         self.kind
+    }
+
+    /// The cell topology this experiment was compiled on.
+    pub fn topology(&self) -> &CellTopology {
+        &self.topo
     }
 
     /// The frozen simulation options (timing, tolerances).
@@ -420,7 +430,7 @@ impl WriteExperiment {
             self.c_bitline,
             self.c_node,
         )?;
-        bind_cell_devices(&mut self.compiled, params);
+        self.topo.bind_devices(&mut self.compiled, params);
         Ok(())
     }
 
@@ -603,6 +613,7 @@ impl ReadRun {
 pub struct ReadExperiment {
     compiled: CompiledCircuit,
     nodes: CellNodes,
+    topo: CellTopology,
     kind: CellKind,
     vdd: f64,
     sim: SimOptions,
@@ -629,10 +640,27 @@ impl ReadExperiment {
     ///
     /// Invalid parameters and structurally bad netlists.
     pub fn compile(params: &CellParams, assist: Option<ReadAssist>) -> Result<Self, SramError> {
+        Self::compile_on(&CellTopology::builtin(params.kind), params, assist)
+    }
+
+    /// [`compile`](Self::compile) for an explicit topology — the entry
+    /// point for cells that exist only as an imported `.subckt`. A
+    /// read-port topology reads through its `rbl`/`rwl` buffer with the
+    /// write port quiescent; everything else reads differentially on
+    /// floating bitlines.
+    ///
+    /// # Errors
+    ///
+    /// Invalid parameters and structurally bad netlists.
+    pub fn compile_on(
+        topo: &CellTopology,
+        params: &CellParams,
+        assist: Option<ReadAssist>,
+    ) -> Result<Self, SramError> {
         params.validate()?;
         let vdd = params.vdd;
         let sim = params.sim;
-        let access = params.kind.access();
+        let access = topo.access();
         let bias = read_bias(assist, vdd, access, sim.assist_fraction);
 
         let t_wl_on = sim.t_settle;
@@ -640,7 +668,7 @@ impl ReadExperiment {
         let t_end = t_wl_off + 0.3e-9;
 
         let mut c = Circuit::new();
-        let nodes = build_cell(&mut c, params);
+        let nodes = topo.place(&mut c, params).nodes;
 
         let t_ra0 = (t_wl_on - ASSIST_LEAD).max(0.3 * sim.t_settle);
         let (vdd_wave, vss_wave) = rail_waves(
@@ -660,18 +688,20 @@ impl ReadExperiment {
             (nodes.wl, access.wl_inactive(vdd)),
         ];
 
-        let sense = if params.kind == CellKind::Tfet7T {
-            // Write port quiescent; read through the buffer on RBL/RWL.
-            c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(0.0));
-            c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(0.0));
+        let sense = if topo.has_read_port() {
+            // Write port quiescent at its idle level; read through the
+            // buffer on RBL/RWL.
+            let idle = if topo.bl_idle_low() { 0.0 } else { vdd };
+            c.vsource("BL", nodes.bl, Circuit::GND, Waveform::dc(idle));
+            c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(idle));
             c.vsource(
                 "WL",
                 nodes.wl,
                 Circuit::GND,
                 Waveform::dc(access.wl_inactive(vdd)),
             );
-            let rbl = nodes.rbl.expect("7T has rbl");
-            let rwl = nodes.rwl.expect("7T has rwl");
+            let rbl = nodes.rbl.expect("read-port cell has rbl");
+            let rwl = nodes.rwl.expect("read-port cell has rwl");
             c.capacitor(rbl, Circuit::GND, params.c_bitline);
             c.vsource(
                 "RWL",
@@ -679,6 +709,10 @@ impl ReadExperiment {
                 Circuit::GND,
                 Waveform::pulse(vdd, 0.0, t_wl_on, sim.t_read, sim.t_edge),
             );
+            if idle != 0.0 {
+                uic.push((nodes.bl, idle));
+                uic.push((nodes.blb, idle));
+            }
             uic.push((rbl, vdd));
             uic.push((rwl, vdd));
             SenseMode::Droop {
@@ -702,7 +736,9 @@ impl ReadExperiment {
             );
             c.capacitor(nodes.bl, Circuit::GND, params.c_bitline);
             c.capacitor(nodes.blb, Circuit::GND, params.c_bitline);
-            let precharge = if access.is_inward() || params.kind == CellKind::Cmos6T {
+            // CMOS access is inward-n, so this one predicate covers both
+            // the CMOS baseline and inward TFET cells.
+            let precharge = if access.is_inward() {
                 bias.bl_precharge
             } else {
                 // Outward cells read by charging a low-precharged line.
@@ -735,6 +771,7 @@ impl ReadExperiment {
         Ok(ReadExperiment {
             compiled,
             nodes,
+            topo: topo.clone(),
             kind: params.kind,
             vdd,
             sim,
@@ -749,9 +786,17 @@ impl ReadExperiment {
         })
     }
 
-    /// The cell topology this experiment was compiled for.
+    /// The cell kind this experiment's parameters were compiled with. For
+    /// a deck-imported cell this is the *parameterization* kind (model
+    /// family, β rules), not the wiring — see
+    /// [`topology`](Self::topology) for the wiring.
     pub fn kind(&self) -> CellKind {
         self.kind
+    }
+
+    /// The cell topology this experiment was compiled on.
+    pub fn topology(&self) -> &CellTopology {
+        &self.topo
     }
 
     /// The frozen simulation options (timing, tolerances).
@@ -784,7 +829,7 @@ impl ReadExperiment {
             self.c_bitline,
             self.c_node,
         )?;
-        bind_cell_devices(&mut self.compiled, params);
+        self.topo.bind_devices(&mut self.compiled, params);
         Ok(())
     }
 

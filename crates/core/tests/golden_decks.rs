@@ -1,0 +1,205 @@
+//! Generates and pins the golden deck corpus under
+//! `crates/circuit/tests/golden/`.
+//!
+//! Each golden file is produced from the real cell stack (topology
+//! placement, experiment-style stimulus) and committed; the circuit
+//! crate's `golden` test then re-imports every file and asserts the
+//! byte-exact export invariant without depending on this crate.
+//!
+//! Regenerate after an intentional format change with
+//! `BLESS_GOLDEN=1 cargo test -p tfet-sram --test golden_decks`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tfet_circuit::{Circuit, Deck, DeckAnalysis, Waveform};
+use tfet_devices::standard_models;
+use tfet_sram::prelude::*;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../circuit/tests/golden")
+}
+
+/// The paper's proposed 6T operating point (matches `examples/decks/`).
+fn proposed() -> CellParams {
+    let mut p = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    p.sim.dt = 2e-12;
+    p.sim.pulse_tol = 8e-12;
+    p
+}
+
+/// Hold harness: the exact `hold_setup` circuit, all lines at standby,
+/// with the q=1 DC guess as `.nodeset` and a 2 ns transient.
+fn hold_deck() -> String {
+    let params = proposed();
+    let hold = tfet_sram::ops::hold_setup(&params).expect("hold harness");
+    let deck = Deck {
+        title: Some("6t inward-p hold harness: lines at standby, q=1 guess".into()),
+        nodeset: hold.guess,
+        analyses: vec![DeckAnalysis::Tran {
+            dt: params.sim.dt,
+            t_stop: 2e-9,
+        }],
+        circuit: hold.circuit,
+        ..Deck::default()
+    };
+    deck.to_spice()
+}
+
+/// Write harness: bitlines split to the 0/V_DD data levels, then a
+/// wordline pulse at twice the nominal WL_crit. Mirrors the stimulus
+/// `WriteExperiment` compiles for the unassisted inward-p cell.
+fn write_deck() -> String {
+    let params = proposed();
+    let topo = CellTopology::builtin(params.kind);
+    let (vdd, sim, access) = (params.vdd, params.sim, topo.access());
+    let mut c = Circuit::new();
+    let nodes = topo.place(&mut c, &params).nodes;
+    c.vsource("VDD", nodes.vdd, Circuit::GND, Waveform::dc(vdd));
+    c.vsource("VSS", nodes.vss, Circuit::GND, Waveform::dc(0.0));
+    let wl_inactive = access.wl_inactive(vdd);
+    let pulse = 2.0 * 430.8e-12;
+    let t_on = sim.t_settle + 50e-12;
+    c.vsource(
+        "WL",
+        nodes.wl,
+        Circuit::GND,
+        Waveform::pulse(wl_inactive, access.wl_active(vdd), t_on, pulse, sim.t_edge),
+    );
+    c.vsource(
+        "BL",
+        nodes.bl,
+        Circuit::GND,
+        Waveform::step(vdd, 0.0, sim.t_settle, sim.t_edge),
+    );
+    c.vsource("BLB", nodes.blb, Circuit::GND, Waveform::dc(vdd));
+    let deck = Deck {
+        title: Some("6t inward-p write harness: wl pulse at 2x nominal wl_crit".into()),
+        ic: vec![
+            (nodes.q, vdd),
+            (nodes.qb, 0.0),
+            (nodes.bl, vdd),
+            (nodes.blb, vdd),
+            (nodes.wl, wl_inactive),
+            (nodes.vdd, vdd),
+        ],
+        analyses: vec![DeckAnalysis::Tran {
+            dt: sim.dt,
+            t_stop: t_on + pulse + 2.0 * sim.t_edge + sim.t_post_write,
+        }],
+        circuit: c,
+        ..Deck::default()
+    };
+    deck.to_spice()
+}
+
+/// Read harness: bitlines float as precharged capacitors while the
+/// wordline opens for the read window.
+fn read_deck() -> String {
+    let params = proposed();
+    let topo = CellTopology::builtin(params.kind);
+    let (vdd, sim, access) = (params.vdd, params.sim, topo.access());
+    let mut c = Circuit::new();
+    let nodes = topo.place(&mut c, &params).nodes;
+    c.vsource("VDD", nodes.vdd, Circuit::GND, Waveform::dc(vdd));
+    c.vsource("VSS", nodes.vss, Circuit::GND, Waveform::dc(0.0));
+    let wl_inactive = access.wl_inactive(vdd);
+    c.vsource(
+        "WL",
+        nodes.wl,
+        Circuit::GND,
+        Waveform::pulse(
+            wl_inactive,
+            access.wl_active(vdd),
+            sim.t_settle,
+            sim.t_read,
+            sim.t_edge,
+        ),
+    );
+    c.capacitor(nodes.bl, Circuit::GND, params.c_bitline);
+    c.capacitor(nodes.blb, Circuit::GND, params.c_bitline);
+    let deck = Deck {
+        title: Some("6t inward-p read harness: floating precharged bitlines".into()),
+        ic: vec![
+            (nodes.q, vdd),
+            (nodes.qb, 0.0),
+            (nodes.bl, vdd),
+            (nodes.blb, vdd),
+            (nodes.wl, wl_inactive),
+            (nodes.vdd, vdd),
+        ],
+        analyses: vec![DeckAnalysis::Tran {
+            dt: sim.dt,
+            t_stop: sim.t_settle + sim.t_read + 2.0 * sim.t_edge + 0.5e-9,
+        }],
+        circuit: c,
+        ..Deck::default()
+    };
+    deck.to_spice()
+}
+
+/// 8x8 array as a *hierarchical* deck (64 `X` calls of one exported cell
+/// subckt) plus its flattened re-export. The pair pins the flattener:
+/// parse(hierarchical).to_spice() must equal the flat file byte-for-byte.
+fn array_decks() -> (String, String) {
+    let params = proposed();
+    let topo = CellTopology::builtin(params.kind);
+    let cell = topo.export_subckt(&params, "cell_6t");
+    let lib = Deck {
+        title: Some("8x8 6t array, hierarchical".into()),
+        subckts: vec![cell],
+        ..Deck::default()
+    };
+    let mut input = lib.to_spice();
+    let end = input.rfind(".end").expect("deck ends with .end");
+    input.truncate(end);
+    let vdd = params.vdd;
+    let wl_off = topo.access().wl_inactive(vdd);
+    input.push_str(&format!("VVDD vdd 0 DC {vdd:.6e}\n"));
+    input.push_str(&format!("VVSS vss 0 DC {:.6e}\n", 0.0));
+    for r in 0..8 {
+        input.push_str(&format!("VWL{r} wl{r} 0 DC {wl_off:.6e}\n"));
+    }
+    for col in 0..8 {
+        input.push_str(&format!("VBL{col} bl{col} 0 DC {vdd:.6e}\n"));
+        input.push_str(&format!("VBLB{col} blb{col} 0 DC {vdd:.6e}\n"));
+    }
+    for r in 0..8 {
+        for col in 0..8 {
+            input.push_str(&format!(
+                "Xr{r}c{col} q{r}x{col} qb{r}x{col} bl{col} blb{col} wl{r} vdd vss cell_6t\n"
+            ));
+        }
+    }
+    input.push_str(".tran 2e-12 1e-9\n.end\n");
+
+    let flat = Deck::parse(&input, &standard_models())
+        .expect("hierarchical array parses")
+        .to_spice();
+    (input, flat)
+}
+
+fn check(name: &str, want: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        fs::create_dir_all(golden_dir()).expect("golden dir");
+        fs::write(&path, want).unwrap_or_else(|e| panic!("blessing {name}: {e}"));
+    }
+    let got = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e} (regenerate with BLESS_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(got, want, "{name} drifted from its generator");
+}
+
+#[test]
+fn golden_corpus_matches_generators() {
+    check("hold_6t.sp", &hold_deck());
+    check("write_6t.sp", &write_deck());
+    check("read_6t.sp", &read_deck());
+    let (input, flat) = array_decks();
+    check("array_8x8.sp", &input);
+    check("array_8x8.flat.sp", &flat);
+}

@@ -51,6 +51,7 @@ pub mod consts;
 pub mod lut;
 pub mod model;
 pub mod mosfet;
+pub mod registry;
 pub mod tfet;
 pub mod variation;
 
@@ -58,5 +59,6 @@ pub use cache::shared_lut;
 pub use lut::LutDevice;
 pub use model::{Caps, DeviceKind, DeviceModel, Polarity};
 pub use mosfet::{MosfetParams, Nmos, Pmos};
+pub use registry::standard_models;
 pub use tfet::{NTfet, PTfet, TfetParams};
 pub use variation::ProcessVariation;

@@ -1,0 +1,48 @@
+//! Model registry for SPICE-deck imports.
+//!
+//! Device cards in a deck name their compact model (`X… ntfet W=0.1`);
+//! the importer resolves those names through a
+//! `HashMap<String, Arc<dyn DeviceModel>>`. [`standard_models`] builds the
+//! registry of this workspace's calibrated nominal models — the same names
+//! `Circuit::to_spice` writes, so any exported deck re-imports against it.
+//!
+//! Imported devices are always *nominal*; process variation is applied by
+//! the experiment layer after import (per-device, keyed by topology role),
+//! exactly as it is for circuits built in Rust.
+
+use crate::model::DeviceModel;
+use crate::mosfet::{Nmos, Pmos};
+use crate::tfet::{NTfet, PTfet};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The workspace's standard compact models, keyed by the names that appear
+/// on exported device cards: `ntfet`, `ptfet` (the paper's 32 nm Si TFET)
+/// and `nmos`, `pmos` (the 32 nm low-power CMOS baseline).
+pub fn standard_models() -> HashMap<String, Arc<dyn DeviceModel>> {
+    let mut m: HashMap<String, Arc<dyn DeviceModel>> = HashMap::new();
+    m.insert("ntfet".to_string(), Arc::new(NTfet::nominal()));
+    m.insert("ptfet".to_string(), Arc::new(PTfet::nominal()));
+    m.insert("nmos".to_string(), Arc::new(Nmos::nominal()));
+    m.insert("pmos".to_string(), Arc::new(Pmos::nominal()));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Polarity;
+
+    #[test]
+    fn registry_keys_match_model_names() {
+        let reg = standard_models();
+        assert_eq!(reg.len(), 4);
+        for (key, model) in &reg {
+            assert_eq!(key, model.name(), "registry key must match name()");
+        }
+        assert_eq!(reg["ntfet"].polarity(), Polarity::N);
+        assert_eq!(reg["ptfet"].polarity(), Polarity::P);
+        assert_eq!(reg["nmos"].polarity(), Polarity::N);
+        assert_eq!(reg["pmos"].polarity(), Polarity::P);
+    }
+}

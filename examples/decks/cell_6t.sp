@@ -1,0 +1,12 @@
+.title 6t inward-p tfet sram cell, beta=0.6 (date'11 proposed)
+.subckt cell_6t q qb bl blb wl vdd vss
+XMPU_L q qb vdd ptfet W=0.0600
+XMPD_L q qb vss ntfet W=0.0600
+XMPU_R qb q vdd ptfet W=0.0600
+XMPD_R qb q vss ntfet W=0.0600
+CQ q 0 1.500000e-16
+CQB qb 0 1.500000e-16
+XMAL q wl bl ptfet W=0.1000
+XMAR qb wl blb ptfet W=0.1000
+.ends
+.end

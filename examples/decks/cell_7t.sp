@@ -1,0 +1,21 @@
+* Hand-written 7T TFET SRAM cell: outward-n 6T write core plus a
+* single-transistor decoupled read buffer (gate on qb, drain on the read
+* bitline, source on the active-low read wordline).
+*
+* Exercises the importer's tolerance for scrambled card order, arbitrary
+* instance names, and mixed-case model references. Device roles are
+* inferred from connectivity, and widths are re-derived from CellParams
+* at placement, so the W= values below are only the deck's own sizing.
+.subckt cell_7t q qb bl blb wl vdd vss rbl rwl
+* Read buffer first, access pair next, cross-coupled core last.
+Xrd rbl qb rwl ntfet W=0.10
+Xax_l q wl bl ntfet W=0.10
+Xax_r qb wl blb ntfet W=0.10
+CQ q 0 20f
+CQB qb 0 20f
+Xpu_l q qb vdd ptfet W=0.06
+Xpd_l q qb vss ntfet W=0.20
+Xpu_r qb q vdd ptfet W=0.06
+Xpd_r qb q vss ntfet W=0.20
+.ends
+.end

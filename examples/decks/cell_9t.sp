@@ -1,0 +1,28 @@
+* Hand-written 9T TFET SRAM cell: the DATE'11 inward-p 6T write core
+* augmented with a 3-transistor decoupled read port. No Rust topology
+* code exists for this cell — it is defined entirely by this deck and
+* classified by connectivity at import time.
+*
+* Read port: a 2-high n-type stack (rd1/rd2, both gated on qb)
+* discharges the precharged read bitline through the internal node `mid`
+* when qb is high, and a weak p-type keeper (rd3) holds rbl at vdd when
+* qb is low. The write bitlines idle at vdd because the inward-p access
+* devices block in standby.
+.subckt cell_9t q qb bl blb wl vdd vss rbl rwl
+* Cross-coupled inverters.
+Xpu_l q qb vdd ptfet W=0.06
+Xpd_l q qb vss ntfet W=0.06
+Xpu_r qb q vdd ptfet W=0.06
+Xpd_r qb q vss ntfet W=0.06
+* Inward-p write access: drain on the storage node, source on the bitline.
+Xax_l q wl bl ptfet W=0.10
+Xax_r qb wl blb ptfet W=0.10
+* Storage-node wiring parasitics (absorbed into CellParams::c_node).
+CQ q 0 20f
+CQB qb 0 20f
+* Decoupled read port.
+Xrd1 rbl qb mid ntfet W=0.10
+Xrd2 mid qb rwl ntfet W=0.10
+Xrd3 rbl qb vdd ptfet W=0.06
+.ends
+.end

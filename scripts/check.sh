@@ -80,6 +80,25 @@ EOF
   echo "threads=$threads: array.csv bit-identical latency-on vs latency-off"
 done
 
+echo "== SPICE deck round-trip (golden corpus, committed cell decks, proptests) =="
+# Export -> import -> export must be byte-identical: the golden corpus pins
+# the serializer's canonical form, deck_topology pins that the committed
+# examples/decks/*.sp files import bit-identically to the built-in
+# topologies, and the proptests fuzz the invariant over random decks.
+cargo test -q -p tfet-circuit --offline --test golden
+cargo test -q -p tfet-circuit --offline --test proptests
+cargo test -q -p tfet-sram --offline --test golden_decks
+cargo test -q -p tfet-sram --offline --test deck_topology
+
+echo "== run_deck smoke (deck-driven 6T reproduces the 430.8 ps WL_crit) =="
+run_deck_out="$(cargo run -q --release --offline -p tfet-sram --example run_deck)"
+if ! grep -q "430.8 ps" <<<"$run_deck_out"; then
+  echo "run_deck lost the headline 430.8 ps WL_crit:"
+  echo "$run_deck_out"
+  exit 1
+fi
+echo "run_deck: WL_crit 430.8 ps reproduced from examples/decks/cell_6t.sp"
+
 echo "== run_report smoke (traced scorecard + MC, JSON validates) =="
 cargo run -q --release --offline --example run_report -- --report >/dev/null
 python3 - <<'EOF'
