@@ -14,9 +14,14 @@
 //!
 //! PR-6 adds a counter-based dense-vs-sparse comparison on the same study:
 //! the deterministic `(factorizations + device evaluations)` cost of the
-//! full n = 256 run under each linear-solve strategy, asserted ≥ 2× in the
+//! full n = 256 run under each linear-solve strategy, asserted in the
 //! sparse engine's favour and recorded in the run report under
-//! `bench.dense.*` / `bench.sparse.*`.
+//! `bench.dense.*` / `bench.sparse.*`. (The margin was 2.02× when PR-6
+//! landed; the PR-7 stall-guard relaxation cut sparse refactorizations
+//! 58 % but pays for it in extra reused-factor Newton iterations — more
+//! device evaluations — so this metric's honest floor today is 1.3×.
+//! Absolute per-bench cost counters are pinned much tighter by
+//! `tfet-bench history check` against `results/history/` baselines.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -88,9 +93,16 @@ fn solver_cost_table() -> (Table, u64, u64) {
 fn bench(c: &mut Criterion) {
     let (table, dense_cost, sparse_cost) = solver_cost_table();
     println!("{}", table.render());
+    // Acceptance floor: 1.3x. PR-6 measured 2.02x; the PR-7 stall-guard
+    // inf-init then traded refactorizations (-58 %) for extra
+    // reused-factor iterations (+61 % device evals) — a win at array
+    // scale, a net cost increase on this single-cell metric that the
+    // never-executed >= 2x assert missed. The ratio stays as a coarse
+    // sanity floor; absolute drift is caught by `tfet-bench history
+    // check`, which is run (not just compiled) by scripts/check.sh.
     assert!(
-        dense_cost >= 2 * sparse_cost,
-        "acceptance: sparse must cut (factorizations + device evals) >= 2x on the \
+        10 * dense_cost >= 13 * sparse_cost,
+        "acceptance: sparse must cut (factorizations + device evals) >= 1.3x on the \
          MC study (dense {dense_cost} vs sparse {sparse_cost})"
     );
 

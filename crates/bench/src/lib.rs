@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 
 pub mod experiments;
+pub mod history;
 
 /// A rendered experiment result: a titled grid of cells plus notes.
 #[derive(Debug, Clone)]

@@ -133,6 +133,93 @@ pub(crate) fn assembly_threads() -> usize {
     }
 }
 
+/// Classification of a guard node, used to *attribute* a guard-forced
+/// refresh to the physical line that tripped it. Purely observational: the
+/// dormancy decision treats every guard node identically; the kind only
+/// labels the [`PartitionTelemetry`] trip counters so an array run can
+/// report "this cell was woken N times by its wordline, M times by a
+/// bitline".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum GuardKind {
+    /// A row-select wordline adjacent to the cell.
+    Wordline = 0,
+    /// A column bitline (either polarity) adjacent to the cell.
+    Bitline = 1,
+    /// A supply/ground rail feeding the cell.
+    Rail = 2,
+    /// Anything the netlist builder did not classify.
+    #[default]
+    Other = 3,
+}
+
+impl GuardKind {
+    /// Number of kinds (size of per-kind counter arrays).
+    pub const COUNT: usize = 4;
+
+    /// All kinds, in counter-array order.
+    pub const ALL: [GuardKind; GuardKind::COUNT] = [
+        GuardKind::Wordline,
+        GuardKind::Bitline,
+        GuardKind::Rail,
+        GuardKind::Other,
+    ];
+
+    /// Stable lowercase label used in telemetry metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            GuardKind::Wordline => "wordline",
+            GuardKind::Bitline => "bitline",
+            GuardKind::Rail => "rail",
+            GuardKind::Other => "other",
+        }
+    }
+}
+
+/// Per-partition dormancy telemetry, accumulated over one run by the
+/// dormancy-decision pass (`LatencyState::update_dormancy`, which runs
+/// serially inside the Newton loop, so every count is bit-identical at any
+/// device-evaluation thread count).
+///
+/// `decisions` counts dormancy decisions (one per assembly); `dormant` the
+/// subset where the whole cell was replayed from cache, so
+/// `dormant / decisions` is the cell's dormancy duty cycle. Refreshes are
+/// split by cause: `cold` (no trustworthy refresh point yet — run entry or
+/// invalidation), `watch` (the cell's own storage nodes moved), and guard
+/// trips attributed per [`GuardKind`] (internal nodes quiet, an adjacent
+/// line moved). One guard-forced refresh can trip several kinds at once —
+/// e.g. a write edge moving wordline and bitline within one step — so the
+/// kind counters can sum to more than the refresh count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionTelemetry {
+    /// Dormancy decisions taken for this partition (one per assembly).
+    pub decisions: u64,
+    /// Decisions where the partition stayed dormant (replayed from cache).
+    pub dormant: u64,
+    /// Decisions that refreshed the partition (all devices re-evaluated).
+    pub refreshes: u64,
+    /// Refreshes because the partition had no trustworthy refresh point.
+    pub cold_refreshes: u64,
+    /// Refreshes because a partition-internal watch node moved.
+    pub watch_refreshes: u64,
+    /// Guard-forced refreshes attributed per tripping [`GuardKind`]
+    /// (indexed by `GuardKind as usize`; one refresh may trip several).
+    pub guard_trips: [u64; GuardKind::COUNT],
+}
+
+impl PartitionTelemetry {
+    /// Total guard-forced refreshes (refreshes that were neither cold nor
+    /// watch-caused), regardless of which kinds tripped.
+    pub fn guard_refreshes(&self) -> u64 {
+        self.refreshes - self.cold_refreshes - self.watch_refreshes
+    }
+
+    /// Guard trips attributed to one kind.
+    pub fn trips(&self, kind: GuardKind) -> u64 {
+        self.guard_trips[kind as usize]
+    }
+}
+
 /// One latency partition: a group of devices (typically the six transistors
 /// of one bitcell) refreshed and skipped as a unit, plus the nodes whose
 /// movement governs the decision.
@@ -152,6 +239,10 @@ pub struct CellPartition {
     /// Shared/adjacent nodes, checked at the tight [`GUARD_VTOL`] so any
     /// disturbance force-refreshes the partition immediately.
     pub guard: Vec<NodeId>,
+    /// Telemetry classification of each `guard` entry (parallel vector;
+    /// entries beyond its length default to [`GuardKind::Other`]). Has no
+    /// effect on the dormancy decision itself.
+    pub guard_kinds: Vec<GuardKind>,
 }
 
 /// Per-workspace runtime state of the latency tier: device→partition
@@ -175,6 +266,11 @@ pub(crate) struct LatencyState {
     guard_rows: Vec<usize>,
     /// Guard-node voltages at each partition's last refresh.
     guard_ref: Vec<f64>,
+    /// Telemetry kind of each `guard_rows` entry (same ground filtering).
+    guard_kind: Vec<GuardKind>,
+    /// Per-partition dormancy telemetry, accumulated since the last
+    /// [`reset_telemetry`](LatencyState::reset_telemetry).
+    pub(crate) telemetry: Vec<PartitionTelemetry>,
     /// Whether partition `p` has a trustworthy refresh point (cache entries
     /// and reference voltages from one coherent evaluation).
     pub(crate) fresh: Vec<bool>,
@@ -203,8 +299,9 @@ pub(crate) fn partition_signature(base: u64, parts: &[CellPartition]) -> u64 {
             mix(n.index() as u64 + 1);
         }
         mix(u64::MAX - 1);
-        for &n in &p.guard {
+        for (i, &n) in p.guard.iter().enumerate() {
             mix(n.index() as u64 + 1);
+            mix(p.guard_kinds.get(i).copied().unwrap_or_default() as u64 + 1);
         }
         mix(u64::MAX - 2);
     }
@@ -221,6 +318,7 @@ impl LatencyState {
         let mut watch_rows = Vec::new();
         let mut guard_off = Vec::with_capacity(parts.len() + 1);
         let mut guard_rows = Vec::new();
+        let mut guard_kind = Vec::new();
         watch_off.push(0);
         guard_off.push(0);
         for p in parts {
@@ -232,12 +330,12 @@ impl LatencyState {
                     .filter(|n| !n.is_ground())
                     .map(|n| n.index() - 1),
             );
-            guard_rows.extend(
-                p.guard
-                    .iter()
-                    .filter(|n| !n.is_ground())
-                    .map(|n| n.index() - 1),
-            );
+            for (i, n) in p.guard.iter().enumerate() {
+                if !n.is_ground() {
+                    guard_rows.push(n.index() - 1);
+                    guard_kind.push(p.guard_kinds.get(i).copied().unwrap_or_default());
+                }
+            }
             watch_off.push(watch_rows.len());
             guard_off.push(guard_rows.len());
         }
@@ -252,6 +350,8 @@ impl LatencyState {
             guard_off,
             guard_rows,
             guard_ref,
+            guard_kind,
+            telemetry: vec![PartitionTelemetry::default(); parts.len()],
             fresh: vec![false; parts.len()],
             dormant: vec![false; parts.len()],
             eval_mask: vec![false; circuit.transistors().len()],
@@ -264,6 +364,12 @@ impl LatencyState {
         self.fresh.fill(false);
     }
 
+    /// Zeroes the per-partition telemetry so the next harvest covers exactly
+    /// one run (called at transient entry).
+    pub(crate) fn reset_telemetry(&mut self) {
+        self.telemetry.fill(PartitionTelemetry::default());
+    }
+
     /// Re-decides dormancy for every partition at the candidate state `x`
     /// and refreshes the reference voltages of every non-dormant partition.
     ///
@@ -271,6 +377,13 @@ impl LatencyState {
     /// refreshed this call, and the subset refreshed *specifically because a
     /// guard node moved* while the internal watch nodes were still quiet —
     /// the counter the fault-injection test asserts on.
+    ///
+    /// Also accumulates the per-partition [`PartitionTelemetry`]: every call
+    /// is one decision per partition, classified as dormant or as a refresh
+    /// with its cause (cold / watch / guard, the latter attributed per
+    /// tripping [`GuardKind`]). This runs serially regardless of the
+    /// device-evaluation thread count, so telemetry is bit-identical across
+    /// thread counts by construction.
     pub(crate) fn update_dormancy(&mut self, x: &[f64]) -> (u64, u64) {
         let mut cells_refreshed = 0u64;
         let mut guard_refreshes = 0u64;
@@ -290,9 +403,35 @@ impl LatencyState {
                     .all(|(&r, v)| (x[r] - v).abs() < GUARD_VTOL);
             let dormant = watch_quiet && guard_quiet;
             self.dormant[p] = dormant;
-            if !dormant {
-                if fresh && watch_quiet {
+            let tel = &mut self.telemetry[p];
+            tel.decisions += 1;
+            if dormant {
+                tel.dormant += 1;
+            } else {
+                tel.refreshes += 1;
+                if !fresh {
+                    tel.cold_refreshes += 1;
+                } else if !watch_quiet {
+                    tel.watch_refreshes += 1;
+                } else {
                     guard_refreshes += 1;
+                    // Attribute the trip: count each guard *kind* with at
+                    // least one node past tolerance, once per refresh. This
+                    // scan runs only on the (rare) guard-forced refresh, so
+                    // the dormant fast path stays two early-exit passes.
+                    let mut tripped = [false; GuardKind::COUNT];
+                    for ((&r, v), &k) in self.guard_rows[g0..g1]
+                        .iter()
+                        .zip(&self.guard_ref[g0..g1])
+                        .zip(&self.guard_kind[g0..g1])
+                    {
+                        if (x[r] - v).abs() >= GUARD_VTOL {
+                            tripped[k as usize] = true;
+                        }
+                    }
+                    for (count, hit) in self.telemetry[p].guard_trips.iter_mut().zip(tripped) {
+                        *count += u64::from(hit);
+                    }
                 }
                 cells_refreshed += 1;
                 for (r, v) in self.watch_rows[w0..w1]
@@ -342,12 +481,35 @@ mod tests {
             devices: vec![0, 1],
             watch: vec![NodeId(1)],
             guard: vec![NodeId(2)],
+            guard_kinds: vec![GuardKind::Wordline],
         }];
         let mut b = a.clone();
         b[0].guard = vec![NodeId(3)];
+        let mut c = a.clone();
+        c[0].guard_kinds = vec![GuardKind::Bitline];
         let sa = partition_signature(7, &a);
         assert_eq!(sa, partition_signature(7, &a), "deterministic");
         assert_ne!(sa, partition_signature(7, &b), "guard change detected");
+        assert_ne!(sa, partition_signature(7, &c), "kind change detected");
         assert_ne!(sa, partition_signature(8, &a), "base mixed in");
+    }
+
+    #[test]
+    fn telemetry_guard_refresh_accounting() {
+        let mut t = PartitionTelemetry {
+            decisions: 10,
+            dormant: 6,
+            refreshes: 4,
+            cold_refreshes: 1,
+            watch_refreshes: 1,
+            guard_trips: [0; GuardKind::COUNT],
+        };
+        t.guard_trips[GuardKind::Wordline as usize] = 2;
+        t.guard_trips[GuardKind::Bitline as usize] = 1;
+        assert_eq!(t.guard_refreshes(), 2);
+        assert_eq!(t.trips(GuardKind::Wordline), 2);
+        assert_eq!(t.trips(GuardKind::Rail), 0);
+        assert_eq!(GuardKind::ALL[GuardKind::Rail as usize], GuardKind::Rail);
+        assert_eq!(GuardKind::Other.label(), "other");
     }
 }

@@ -83,7 +83,9 @@ pub mod workspace;
 pub use compiled::{CompiledCircuit, ParamHandle};
 pub use dc::{DcResult, NewtonOpts, SolverStrategy};
 pub use error::SimError;
-pub use latency::{set_assembly_threads, CellPartition, DeviceLatency};
+pub use latency::{
+    set_assembly_threads, CellPartition, DeviceLatency, GuardKind, PartitionTelemetry,
+};
 pub use netlist::{Circuit, NodeId, SourceId};
 pub use probe::{SolveStats, TransientResult};
 pub use spice::{DcSweep, Deck, DeckAnalysis, DeckRun, Subckt, SubcktCard};

@@ -139,6 +139,12 @@ pub struct TransientResult {
     /// around the run, never cumulative across a shared workspace); see the
     /// [`SolveStats`] docs for the aggregated views.
     pub stats: SolveStats,
+    /// Per-partition dormancy telemetry for this run, indexed like the
+    /// circuit's registered [`CellPartition`](crate::CellPartition) list
+    /// (empty when the circuit has no partitions). Accumulated serially in
+    /// the latency tier's decide phase, so bit-identical at any
+    /// device-evaluation thread count.
+    pub partitions: Vec<crate::latency::PartitionTelemetry>,
 }
 
 impl TransientResult {
@@ -148,6 +154,7 @@ impl TransientResult {
             data: Vec::with_capacity(steps * node_count),
             node_count,
             stats: SolveStats::default(),
+            partitions: Vec::new(),
         }
     }
 

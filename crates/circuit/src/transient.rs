@@ -438,6 +438,7 @@ fn rescue_step(
     opts: &NewtonOpts,
     stats: &mut SolveStats,
 ) -> Option<Vec<f64>> {
+    let _s_rescue = tfet_obs::span("rescue");
     let branches0 = ws.branches.clone();
     let mut comps = CompanionCaps::default();
     let mut branches: Vec<CapBranch> = Vec::new();
@@ -652,6 +653,12 @@ impl Circuit {
         // Fresh run: device-bypass operating points and retained
         // factorizations from any previous run are stale by definition.
         ws.bufs.invalidate_caches();
+        // Partition telemetry covers exactly one run: zero any accumulation
+        // left by a previous transient on this workspace. (If the latency
+        // state is built lazily later this run, it starts zeroed anyway.)
+        if let Some(lat) = ws.bufs.latency.as_mut() {
+            lat.reset_telemetry();
+        }
         let solves0 = ws.bufs.newton_solves;
         let iters0 = ws.bufs.newton_iters;
         let refac0 = ws.bufs.jac_refactored;
@@ -1049,6 +1056,12 @@ impl Circuit {
         result.stats.cells_refreshed = ws.bufs.cells_refreshed - crefresh0;
         result.stats.guard_refreshes = ws.bufs.guard_refreshes - grefresh0;
         result.stats.runs = 1;
+        // Harvest this run's per-partition dormancy telemetry (zeroed at run
+        // entry, accumulated serially in the decide phase — identical at any
+        // thread count). Empty when the circuit registered no partitions.
+        if let Some(lat) = ws.bufs.latency.as_ref() {
+            result.partitions.clone_from(&lat.telemetry);
+        }
         if tfet_obs::enabled() {
             tfet_obs::counter("transient.runs", 1);
             if result.stats.early_exit {

@@ -18,7 +18,8 @@ use std::sync::Arc;
 use tfet_circuit::latency::PAR_EVAL_MIN;
 use tfet_circuit::transient::InitialState;
 use tfet_circuit::{
-    set_assembly_threads, CellPartition, Circuit, DeviceLatency, NodeId, TransientSpec, Waveform,
+    set_assembly_threads, CellPartition, Circuit, DeviceLatency, GuardKind, NodeId, TransientSpec,
+    Waveform,
 };
 use tfet_devices::{NTfet, PTfet};
 
@@ -90,6 +91,7 @@ fn latch_row(n_cells: usize, bl_wave: Waveform) -> (Circuit, Vec<(NodeId, NodeId
             devices: (d0..d0 + 5).collect(),
             watch: vec![q, qb],
             guard: vec![wl, bl, vdd],
+            guard_kinds: vec![GuardKind::Wordline, GuardKind::Bitline, GuardKind::Rail],
         });
         storage.push((q, qb));
     }
@@ -136,6 +138,27 @@ fn moving_bitline_force_refreshes_dormant_cells() {
         "bitline edge must force-refresh dormant cells via the guard, stats: {:?}",
         on.stats
     );
+
+    // Per-partition telemetry: the trip attribution must blame the bitline
+    // (the only line that moved) and agree with the aggregate counters.
+    assert_eq!(on.partitions.len(), storage.len());
+    let total_refreshes: u64 = on.partitions.iter().map(|t| t.refreshes).sum();
+    let total_guard: u64 = on.partitions.iter().map(|t| t.guard_refreshes()).sum();
+    assert_eq!(total_refreshes, on.stats.cells_refreshed);
+    assert_eq!(total_guard, on.stats.guard_refreshes);
+    for (i, t) in on.partitions.iter().enumerate() {
+        assert!(
+            t.trips(GuardKind::Bitline) > 0,
+            "cell {i}: the discharging bitline must be the attributed cause: {t:?}"
+        );
+        assert_eq!(
+            t.trips(GuardKind::Wordline),
+            0,
+            "cell {i}: the wordline never rose: {t:?}"
+        );
+        assert!(t.dormant > 0, "cell {i} never went dormant: {t:?}");
+        assert_eq!(t.decisions, t.dormant + t.refreshes, "cell {i}: {t:?}");
+    }
 
     // The full-evaluation baseline must agree on the physics: every cell
     // retains its state, and waveforms match to well under a millivolt.
@@ -248,13 +271,11 @@ fn overlapping_partitions_rejected() {
     let (mut c, _) = latch_row(2, Waveform::dc(VDD));
     let p = CellPartition {
         devices: vec![0, 5],
-        watch: vec![],
-        guard: vec![],
+        ..CellPartition::default()
     };
     let q = CellPartition {
         devices: vec![5],
-        watch: vec![],
-        guard: vec![],
+        ..CellPartition::default()
     };
     c.set_latency_partitions(vec![p, q]);
 }

@@ -78,12 +78,34 @@ fn sabotaged_rc() -> (Circuit, tfet_circuit::NodeId) {
 #[test]
 fn sabotage_escalates_through_refactorization_to_rescue_ladder() {
     let (c, a) = sabotaged_rc();
+    // Trace the sabotaged run: the rescue ladder is the one span site a
+    // healthy gate run never reaches, so this is where the timeline trace
+    // proves it instruments the last rung too.
+    tfet_obs::reset();
+    tfet_obs::enable();
+    tfet_obs::trace::start();
     let res = c
         .transient(
             &TransientSpec::fixed(4e-9, 0.8e-9).with_solver(SolverStrategy::Sparse),
             &InitialState::Uic(vec![(a, 1.0)]),
         )
         .unwrap();
+    tfet_obs::trace::stop();
+    tfet_obs::disable();
+    let trace = tfet_obs::trace::export_value();
+    let names: Vec<&str> = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("trace has traceEvents")
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for required in ["transient", "newton", "rescue"] {
+        assert!(
+            names.contains(&required),
+            "span `{required}` missing from sabotage trace: {names:?}"
+        );
+    }
     let s = &res.stats;
     assert_eq!(s.accepted_steps, 5, "{s:?}");
     // Rung 1: the stall guard fired — far more refactorizations than

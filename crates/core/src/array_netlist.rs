@@ -40,8 +40,8 @@ use crate::tech::{CellKind, CellParams, Role};
 use crate::topology::CellTopology;
 use tfet_circuit::transient::InitialState;
 use tfet_circuit::{
-    CellPartition, Circuit, CompiledCircuit, DeviceLatency, NodeId, SolveStats, SourceId,
-    TransientResult, TransientSpec, Waveform,
+    CellPartition, Circuit, CompiledCircuit, DeviceLatency, GuardKind, NodeId, SolveStats,
+    SourceId, TransientResult, TransientSpec, Waveform,
 };
 use tfet_numerics::roots::{critical_threshold_checked, Threshold};
 
@@ -484,6 +484,12 @@ impl ArrayNetlist {
                     devices: (d0..c.transistors().len()).collect(),
                     watch,
                     guard: vec![wl, bl, blb, vdd_rail],
+                    guard_kinds: vec![
+                        GuardKind::Wordline,
+                        GuardKind::Bitline,
+                        GuardKind::Bitline,
+                        GuardKind::Rail,
+                    ],
                 });
                 cells.push(placed.nodes);
             }
@@ -626,6 +632,24 @@ impl ArrayNetlist {
     ) -> Result<TransientResult, SramError> {
         let _span = tfet_obs::span("array_netlist_op");
         self.idx(row, col); // bounds check
+                            // Annotate any forensics bundle submitted below this frame with the
+                            // addressed cell: a convergence failure deep in the Newton loop
+                            // surfaces with the failing operation's (row, col) attached.
+        let _fctx = tfet_obs::forensics::context(
+            "array_op",
+            tfet_obs::Value::Obj(vec![
+                (
+                    "kind".into(),
+                    tfet_obs::Value::text(match write {
+                        Some(true) => "write1",
+                        Some(false) => "write0",
+                        None => "read",
+                    }),
+                ),
+                ("row".into(), tfet_obs::Value::UInt(row as u64)),
+                ("col".into(), tfet_obs::Value::UInt(col as u64)),
+            ]),
+        );
         self.bind_op(row, col, write, pulse);
         let sim = &self.spec.cell.sim;
         let t_end = sim.t_settle + T_WL_DELAY + pulse + sim.t_post_write;
@@ -654,6 +678,53 @@ impl ArrayNetlist {
             .collect()
     }
 
+    /// Publishes the run's per-cell dormancy telemetry into the
+    /// observability registry under `study`, keyed by array `(row, col)`.
+    ///
+    /// `decisions` and `dormant` (the replay count — every dormant decision
+    /// replays the whole cell from cache) are always recorded so the
+    /// exported heatmap covers the full grid; refresh causes and per-kind
+    /// guard trips are recorded only when non-zero, which is still
+    /// thread-count-invariant because the telemetry itself is. A no-op when
+    /// observability is disabled or the run carried no partitions
+    /// (latency tier off).
+    fn record_partition_telemetry(&self, study: &'static str, result: &TransientResult) {
+        if !tfet_obs::enabled() || result.partitions.is_empty() {
+            return;
+        }
+        for (k, t) in result.partitions.iter().enumerate() {
+            let mut metrics: Vec<(&'static str, u64)> =
+                vec![("decisions", t.decisions), ("dormant", t.dormant)];
+            if t.refreshes > 0 {
+                metrics.push(("refreshes", t.refreshes));
+            }
+            if t.cold_refreshes > 0 {
+                metrics.push(("refresh.cold", t.cold_refreshes));
+            }
+            if t.watch_refreshes > 0 {
+                metrics.push(("refresh.watch", t.watch_refreshes));
+            }
+            for kind in GuardKind::ALL {
+                let trips = t.trips(kind);
+                if trips > 0 {
+                    let name = match kind {
+                        GuardKind::Wordline => "guard_trip.wordline",
+                        GuardKind::Bitline => "guard_trip.bitline",
+                        GuardKind::Rail => "guard_trip.rail",
+                        GuardKind::Other => "guard_trip.other",
+                    };
+                    metrics.push((name, trips));
+                }
+            }
+            tfet_obs::partition_cell(
+                study,
+                (k / self.spec.cols) as u32,
+                (k % self.spec.cols) as u32,
+                &metrics,
+            );
+        }
+    }
+
     /// Simulates a write of `value` into the addressed cell with the given
     /// wordline-enable pulse width: the addressed row's driver fires, the
     /// addressed column's mux discharges one bitline, every other cell on
@@ -677,6 +748,7 @@ impl ArrayNetlist {
         tfet_obs::counter("array_netlist.writes", 1);
         let vdd = self.spec.cell.vdd;
         let result = self.run_op(row, col, Some(value), pulse)?;
+        self.record_partition_telemetry("array_write", &result);
         let finals = self.finals(&result);
         let victim = self.idx(row, col);
         let mut disturbed = Vec::new();
@@ -716,6 +788,7 @@ impl ArrayNetlist {
         let sim = self.spec.cell.sim;
         let pulse = sim.t_read;
         let result = self.run_op(row, col, None, pulse)?;
+        self.record_partition_telemetry("array_read", &result);
         let t_sense = sim.t_settle + T_WL_DELAY + pulse;
         let (bl, blb) = self.bitlines[col];
         let diff = result.voltage_at(bl, t_sense) - result.voltage_at(blb, t_sense);

@@ -1,0 +1,102 @@
+//! Allocation accounting for the array engine with instrumentation off.
+//!
+//! The observability layer (PR 7) and the timeline trace / partition
+//! telemetry (this PR) promise that a *disabled* instrumentation site costs
+//! one relaxed atomic load and never allocates. The circuit-level guard in
+//! `crates/circuit/tests/alloc.rs` proves the single-cell transient loop;
+//! this one pins the promise at array scale: a warm 64-cell (8×8) array
+//! write performs exactly the same number of allocations as the previous
+//! identical write — no per-step, per-cell, or per-telemetry-site heap
+//! traffic sneaks in when tracing is off.
+//!
+//! Lives in an integration test because it installs a counting global
+//! allocator, which needs `unsafe` (the library itself forbids it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tfet_sram::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_array_write_alloc_count_is_repeatable_with_tracing_off() {
+    assert!(!tfet_obs::enabled(), "instrumentation must be opt-in");
+    assert!(!tfet_obs::trace::enabled(), "timeline trace must be opt-in");
+
+    let mut cell = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    cell.sim.dt = 4e-12;
+    let mut array = ArrayNetlist::build(ArraySpec::new(8, 8, cell)).unwrap();
+
+    // Warm-up: sizes the thread-local workspace, the sparse pattern, the
+    // latency state and every waveform binding for this operation shape.
+    array.set_bit(2, 3, false);
+    let w = array.write_transient(2, 3, true, 1.5e-9).unwrap();
+    assert!(w.success);
+
+    // Two identical warm writes: with every instrumentation site disabled
+    // (spans, counters, partition telemetry, timeline trace, forensics
+    // context), the only allocations left are the per-run result buffers —
+    // so the counts must match exactly. Any drift means a disabled-path
+    // site started allocating.
+    array.set_bit(2, 3, false);
+    let first = count(|| {
+        assert!(array.write_transient(2, 3, true, 1.5e-9).unwrap().success);
+    });
+    array.set_bit(2, 3, false);
+    let second = count(|| {
+        assert!(array.write_transient(2, 3, true, 1.5e-9).unwrap().success);
+    });
+    assert_eq!(
+        first, second,
+        "disabled-instrumentation array write must have a stable alloc count"
+    );
+}
+
+#[test]
+fn disabled_instrumentation_sites_do_not_allocate() {
+    assert!(!tfet_obs::enabled());
+    let allocs = count(|| {
+        for i in 0..1024u64 {
+            let _span = tfet_obs::span("array_alloc.guard");
+            let _ctx = tfet_obs::forensics::context("cell", tfet_obs::Value::UInt(i));
+            tfet_obs::counter("array_alloc.guard", 1);
+            tfet_obs::partition_cell(
+                "array_alloc",
+                (i / 8) as u32,
+                (i % 8) as u32,
+                &[("decisions", 1)],
+            );
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled spans/context/partition telemetry must not allocate"
+    );
+}

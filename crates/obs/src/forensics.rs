@@ -16,9 +16,50 @@
 //! deterministic file set.
 
 use crate::json::Value;
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Context fields appended to every bundle submitted from this thread,
+    /// innermost scope last.
+    static CONTEXT: RefCell<Vec<(String, Value)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one forensics context field; dropping it pops the field.
+#[derive(Debug)]
+#[must_use = "the context field is popped when the guard drops"]
+pub struct ContextGuard {
+    active: bool,
+}
+
+/// Pushes a context field appended to every [`submit`]ted bundle on this
+/// thread until the guard drops.
+///
+/// Higher layers use this to annotate failures with knowledge the solver
+/// cannot have: an array operation pushes the addressed cell's
+/// `(row, col)` before running its transient, so a convergence failure deep
+/// inside the Newton loop emerges with the failing cell's coordinates
+/// attached. Inert (no thread-local write) when tracing is disabled at
+/// entry, so hot paths pay only the shared state load.
+pub fn context(key: impl Into<String>, value: Value) -> ContextGuard {
+    if !crate::enabled() {
+        return ContextGuard { active: false };
+    }
+    CONTEXT.with(|ctx| ctx.borrow_mut().push((key.into(), value)));
+    ContextGuard { active: true }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.active {
+            CONTEXT.with(|ctx| {
+                ctx.borrow_mut().pop();
+            });
+        }
+    }
+}
 
 /// Default directory diagnostic bundles are written to, relative to the
 /// process working directory.
@@ -145,7 +186,15 @@ pub fn submit(bundle: &Bundle) -> Option<PathBuf> {
     let dir = dir();
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let path = dir.join(format!("{}-{seq:04}.json", sanitize(&bundle.label)));
-    write_file(&dir, &path, &bundle.to_json()).then_some(path)
+    // Append this thread's context fields (innermost last) so the written
+    // document carries the higher-layer annotations active at submit time.
+    let mut annotated = bundle.clone();
+    CONTEXT.with(|ctx| {
+        for (k, v) in ctx.borrow().iter() {
+            annotated.fields.push((k.clone(), v.clone()));
+        }
+    });
+    write_file(&dir, &path, &annotated.to_json()).then_some(path)
 }
 
 fn write_file(dir: &Path, path: &Path, contents: &str) -> bool {
@@ -172,7 +221,7 @@ mod tests {
             .floats("residuals", &[1.0, 0.5])
             .named_nums("voltages", &[("q", 0.8), ("qb", 0.0)]);
         let json = b.to_json();
-        assert!(json.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":2"#));
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":3"#));
         assert!(json.contains(r#""label":"transient-newton""#));
         assert!(json.contains(r#""residuals":[1e0,5e-1]"#));
         assert!(json.contains(r#""voltages":{"q":8e-1,"qb":0e0}"#));
@@ -205,6 +254,44 @@ mod tests {
                 .get("forensics.bundles"),
             Some(&1)
         );
+        let _ = std::fs::remove_dir_all(&dir);
+        set_dir(DEFAULT_DIR);
+    }
+
+    #[test]
+    fn context_fields_annotate_submitted_bundles() {
+        let _guard = test_lock::hold();
+        let dir = scratch_dir("context");
+        set_dir(&dir);
+        crate::enable();
+        crate::reset();
+
+        let path = {
+            let _op = super::context(
+                "array",
+                Value::Obj(vec![
+                    ("row".into(), Value::UInt(3)),
+                    ("col".into(), Value::UInt(5)),
+                ]),
+            );
+            submit(&Bundle::new("transient").num("time", 1e-9)).expect("bundle written")
+        };
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents.contains(r#""array":{"row":3,"col":5}"#),
+            "{contents}"
+        );
+
+        // The guard popped the context: a later bundle is clean.
+        let path2 = submit(&Bundle::new("transient")).unwrap();
+        let contents2 = std::fs::read_to_string(&path2).unwrap();
+        assert!(!contents2.contains("array"), "{contents2}");
+
+        crate::disable();
+        // Disabled tracing: context guards are inert.
+        let inert = super::context("x", Value::Null);
+        drop(inert);
+
         let _ = std::fs::remove_dir_all(&dir);
         set_dir(DEFAULT_DIR);
     }

@@ -48,50 +48,72 @@
 pub mod forensics;
 pub mod json;
 pub mod report;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-pub use json::Value;
+pub use json::{ParseError, Value};
 pub use report::{RunReport, SCHEMA_VERSION};
 
-/// Master switch. All instrumentation sites check this first.
-static ENABLED: AtomicBool = AtomicBool::new(false);
-/// Opt-in wall-clock span timings (non-deterministic report section).
-static TIMINGS: AtomicBool = AtomicBool::new(false);
+/// All opt-in collection switches packed into one atomic, so every
+/// instrumentation site's off-path stays exactly **one** relaxed load no
+/// matter how many collection tiers exist (metrics, wall-clock timings,
+/// timeline trace events).
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// [`STATE`] bit: metrics registry collection ([`enable`]).
+pub(crate) const STATE_METRICS: u8 = 1 << 0;
+/// [`STATE`] bit: wall-clock span timings ([`set_timings`]).
+pub(crate) const STATE_TIMINGS: u8 = 1 << 1;
+/// [`STATE`] bit: timeline trace events ([`trace::start`]).
+pub(crate) const STATE_TRACE: u8 = 1 << 2;
+
+#[inline]
+pub(crate) fn state() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_state_bit(bit: u8, on: bool) {
+    if on {
+        STATE.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
 
 /// Whether tracing is currently enabled (one relaxed atomic load).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    state() & STATE_METRICS != 0
 }
 
 /// Turns tracing on: spans, counters, histograms, series and forensics
 /// bundles start collecting. Instrumentation never changes computed values,
 /// only records them.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    set_state_bit(STATE_METRICS, true);
 }
 
 /// Turns tracing off (the default). Already-collected data is kept until
 /// [`reset`].
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    set_state_bit(STATE_METRICS, false);
 }
 
 /// Opts in (or out of) wall-clock span timings. Timings land in a separate
 /// report section ([`report::RunReport::timings_ns`]) so the deterministic
 /// sections stay bit-identical run to run.
 pub fn set_timings(on: bool) {
-    TIMINGS.store(on, Ordering::Relaxed);
+    set_state_bit(STATE_TIMINGS, on);
 }
 
 /// Whether wall-clock span timings are being collected.
 pub fn timings_enabled() -> bool {
-    TIMINGS.load(Ordering::Relaxed)
+    state() & STATE_TIMINGS != 0
 }
 
 /// Clears every collected metric and resets the forensics bundle sequence
@@ -105,7 +127,10 @@ pub fn reset() {
     reg.dists.clear();
     reg.series.clear();
     reg.quarantined.clear();
+    reg.partitions.clear();
+    drop(reg);
     forensics::reset_seq();
+    trace::clear();
 }
 
 // --- Registry ------------------------------------------------------------
@@ -246,6 +271,11 @@ pub struct QuarantineRecord {
     pub error: String,
 }
 
+/// Key of one partition-telemetry cell: `(study, row, col)`. Studies are
+/// static labels (`"array_write"`), coordinates are the cell's grid
+/// position.
+pub type PartitionKey = (&'static str, u32, u32);
+
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
     /// Span path (`"a/b/c"`) -> (count, accumulated ns when timings are on).
@@ -256,6 +286,8 @@ pub(crate) struct Registry {
     pub(crate) dists: BTreeMap<&'static str, Dist>,
     pub(crate) series: BTreeMap<&'static str, Series>,
     pub(crate) quarantined: Vec<QuarantineRecord>,
+    /// Per-cell partition telemetry: `(study, row, col)` -> metric sums.
+    pub(crate) partitions: BTreeMap<PartitionKey, BTreeMap<&'static str, u64>>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
@@ -266,6 +298,7 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     dists: BTreeMap::new(),
     series: BTreeMap::new(),
     quarantined: Vec::new(),
+    partitions: BTreeMap::new(),
 });
 
 pub(crate) fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
@@ -291,14 +324,34 @@ pub struct SpanGuard {
     /// For root spans: the stack suspended at entry, restored on drop.
     suspended: Option<Vec<&'static str>>,
     start: Option<Instant>,
+    /// Span name, kept for the timeline end event when tracing was on at
+    /// entry (`None` otherwise).
+    traced: Option<&'static str>,
 }
 
 fn open_span(name: &'static str, root: bool) -> SpanGuard {
-    if !enabled() {
+    let state = state();
+    if state & (STATE_METRICS | STATE_TRACE) == 0 {
         return SpanGuard {
             path: None,
             suspended: None,
             start: None,
+            traced: None,
+        };
+    }
+    let traced = if state & STATE_TRACE != 0 {
+        trace::record(name, trace::Phase::Begin);
+        Some(name)
+    } else {
+        None
+    };
+    if state & STATE_METRICS == 0 {
+        // Timeline-only span: no metrics path, no span stack bookkeeping.
+        return SpanGuard {
+            path: None,
+            suspended: None,
+            start: None,
+            traced,
         };
     }
     let (path, suspended) = SPAN_STACK.with(|stack| {
@@ -322,7 +375,8 @@ fn open_span(name: &'static str, root: bool) -> SpanGuard {
     SpanGuard {
         path: Some(path),
         suspended,
-        start: timings_enabled().then(Instant::now),
+        start: (state & STATE_TIMINGS != 0).then(Instant::now),
+        traced,
     }
 }
 
@@ -345,6 +399,9 @@ pub fn root_span(name: &'static str) -> SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some(name) = self.traced.take() {
+            trace::record(name, trace::Phase::End);
+        }
         let Some(path) = self.path.take() else {
             return;
         };
@@ -435,6 +492,26 @@ pub fn quarantine(record: QuarantineRecord) {
         return;
     }
     lock_registry().quarantined.push(record);
+}
+
+/// Accumulates per-cell partition telemetry under `(study, row, col)` —
+/// e.g. one bitcell's dormancy duty cycle and guard-trip attribution after
+/// an array operation. Metric values are summed across calls.
+///
+/// Callers must record logically deterministic values only (the latency
+/// tier's dormancy decisions are made serially inside the Newton loop, so
+/// its counters qualify); the section then stays bit-identical at any
+/// worker-thread count, like `counters`.
+#[inline]
+pub fn partition_cell(study: &'static str, row: u32, col: u32, metrics: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock_registry();
+    let cell = reg.partitions.entry((study, row, col)).or_default();
+    for &(name, v) in metrics {
+        *cell.entry(name).or_insert(0) += v;
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,22 @@ use std::collections::BTreeMap;
 /// schema. Bump on any breaking change to the emitted document shape.
 ///
 /// v2 added the `quarantined` section (degraded-study sample quarantine).
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3 added the `partitions` section (per-cell array-partition telemetry:
+/// dormancy duty cycles, guard-trip attribution, replay counts).
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Snapshot of one `(study, row, col)` partition-telemetry cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionCellSnapshot {
+    /// Study label the cell was recorded under (e.g. `"array_write"`).
+    pub study: String,
+    /// Cell row in the array grid.
+    pub row: u32,
+    /// Cell column in the array grid.
+    pub col: u32,
+    /// Metric name -> accumulated value.
+    pub metrics: BTreeMap<String, u64>,
+}
 
 /// Snapshot of one named `u64` histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +108,10 @@ pub struct RunReport {
     /// at any worker-thread count (studies record after their fan-out, and
     /// capture re-sorts regardless).
     pub quarantined: Vec<QuarantineRecord>,
+    /// Per-cell array-partition telemetry, sorted by `(study, row, col)`.
+    /// Values are logical dormancy-decision counts recorded serially inside
+    /// the Newton loop, so the section is thread-count invariant.
+    pub partitions: Vec<PartitionCellSnapshot>,
 }
 
 impl RunReport {
@@ -156,6 +175,16 @@ impl RunReport {
         report
             .quarantined
             .sort_by(|a, b| (a.study, a.index).cmp(&(b.study, b.index)));
+        // The registry key is already ordered (study, row, col); iteration
+        // order of a BTreeMap keeps the section sorted.
+        for (&(study, row, col), metrics) in &reg.partitions {
+            report.partitions.push(PartitionCellSnapshot {
+                study: study.to_string(),
+                row,
+                col,
+                metrics: metrics.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            });
+        }
         report
     }
 
@@ -290,6 +319,27 @@ impl RunReport {
                 })
                 .collect(),
         );
+        let partitions = Value::Arr(
+            self.partitions
+                .iter()
+                .map(|p| {
+                    Value::Obj(vec![
+                        ("study".into(), Value::text(p.study.clone())),
+                        ("row".into(), Value::UInt(u64::from(p.row))),
+                        ("col".into(), Value::UInt(u64::from(p.col))),
+                        (
+                            "metrics".into(),
+                            Value::Obj(
+                                p.metrics
+                                    .iter()
+                                    .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
         Value::Obj(vec![
             ("schema".into(), Value::text("tfet-obs.run-report")),
             ("version".into(), Value::UInt(u64::from(SCHEMA_VERSION))),
@@ -299,10 +349,26 @@ impl RunReport {
             ("distributions".into(), distributions),
             ("series".into(), series),
             ("quarantined".into(), quarantined),
+            ("partitions".into(), partitions),
             ("work".into(), work),
             ("timings_ns".into(), timings),
         ])
         .to_json()
+    }
+
+    /// The partition-telemetry section rendered as a deterministic CSV
+    /// heatmap: one `study,row,col,metric,value` line per metric, sorted by
+    /// `(study, row, col, metric)` — byte-identical at any worker-thread
+    /// count, ready for pivoting into per-metric `(row, col)` heatmaps.
+    pub fn partition_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("study,row,col,metric,value\n");
+        for p in &self.partitions {
+            for (metric, v) in &p.metrics {
+                let _ = writeln!(out, "{},{},{},{metric},{v}", p.study, p.row, p.col);
+            }
+        }
+        out
     }
 
     /// The human-readable table behind `--report` flags.
@@ -376,6 +442,19 @@ impl RunReport {
                 );
             }
         }
+        if !self.partitions.is_empty() {
+            let _ = writeln!(out, "partitions (study / cells / metrics):");
+            let mut study_cells: BTreeMap<&str, u64> = BTreeMap::new();
+            let mut study_metrics: BTreeMap<&str, usize> = BTreeMap::new();
+            for p in &self.partitions {
+                *study_cells.entry(&p.study).or_insert(0) += 1;
+                let m = study_metrics.entry(&p.study).or_insert(0);
+                *m = (*m).max(p.metrics.len());
+            }
+            for (study, cells) in &study_cells {
+                let _ = writeln!(out, "  {study:<44} {cells:>10} / {}", study_metrics[study]);
+            }
+        }
         out
     }
 }
@@ -398,7 +477,7 @@ mod tests {
 
         let report = RunReport::capture();
         let json = report.to_json();
-        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":2"#));
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":3"#));
         let a = json.find("a.first").unwrap();
         let b = json.find("b.second").unwrap();
         assert!(a < b, "counter keys must be sorted");
@@ -455,6 +534,36 @@ mod tests {
         let a = RunReport::capture().to_json();
         let b = RunReport::capture().to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_section_accumulates_sorts_and_serializes() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        // Record out of order and twice for one cell: capture must sort by
+        // (study, row, col) and sum repeated metrics.
+        crate::partition_cell("array_write", 1, 0, &[("dormant", 5), ("refreshes", 1)]);
+        crate::partition_cell("array_write", 0, 2, &[("dormant", 7)]);
+        crate::partition_cell("array_write", 1, 0, &[("dormant", 3)]);
+        crate::disable();
+        let report = RunReport::capture();
+        assert_eq!(report.partitions.len(), 2);
+        assert_eq!((report.partitions[0].row, report.partitions[0].col), (0, 2));
+        assert_eq!(report.partitions[1].metrics["dormant"], 8);
+        let json = report.to_json();
+        assert!(json.contains(
+            r#""partitions":[{"study":"array_write","row":0,"col":2,"metrics":{"dormant":7}}"#
+        ));
+        let csv = report.partition_csv();
+        assert_eq!(
+            csv,
+            "study,row,col,metric,value\n\
+             array_write,0,2,dormant,7\n\
+             array_write,1,0,dormant,8\n\
+             array_write,1,0,refreshes,1\n"
+        );
+        assert!(report.render().contains("partitions"));
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Timeline trace export: opt-in, per-thread ring-buffered span events
+//! serialized as Chrome `trace_events` JSON (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
+//! The metrics registry answers *how much* (counts, histograms); a timeline
+//! answers *where wall-clock goes* — which spans overlap, which thread ran
+//! which Monte-Carlo sample, how long each Newton assembly phase took
+//! relative to its factorization. [`start`] flips the trace bit in the
+//! shared state atomic, after which every [`span`](crate::span) /
+//! [`root_span`](crate::root_span) site records a begin event at entry and
+//! an end event at guard drop, stamped with nanoseconds since the process
+//! trace epoch and the recording thread's id.
+//!
+//! # Cost model
+//!
+//! * **Disabled** (the default): span sites read the one shared state
+//!   atomic they already read for metrics — zero extra loads, zero
+//!   allocations (the alloc-counter guards in `tfet-circuit` and
+//!   `tfet-sram` pin this at single-cell and array scale).
+//! * **Enabled**: each event locks the recording thread's own buffer mutex
+//!   (uncontended except against a concurrent [`export`]) and writes one
+//!   fixed-size record into a bounded ring. When the ring is full the
+//!   oldest events are overwritten and counted in
+//!   [`Stats::dropped`] — a trace can therefore never grow without bound,
+//!   at the cost of losing the oldest history of a very long run.
+//!
+//! Timestamps are wall-clock and the export is inherently
+//! non-deterministic, like the `timings_ns` report section; nothing in a
+//! trace feeds back into computed results.
+
+use crate::json::Value;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity, in events (~6 MB per thread at the
+/// 24-byte event size). See [`set_capacity`].
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Event phase: span begin or span end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Span entry (`"ph": "B"`).
+    Begin,
+    /// Span exit (`"ph": "E"`).
+    End,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    name: &'static str,
+    phase: Phase,
+    ts_ns: u64,
+}
+
+#[derive(Debug)]
+struct ThreadBuf {
+    /// Stable small id assigned at registration, in registration order.
+    tid: u64,
+    /// Ring storage; grows up to the capacity frozen at registration.
+    events: Vec<Event>,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    /// Capacity this buffer was registered with.
+    cap: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl ThreadBuf {
+    fn push(&mut self, e: Event) {
+        if self.events.len() < self.cap {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in recording order (oldest first).
+    fn ordered(&self) -> impl Iterator<Item = &Event> {
+        self.events[self.head..]
+            .iter()
+            .chain(&self.events[..self.head])
+    }
+}
+
+/// Every registered per-thread buffer, kept alive past thread exit so a
+/// trace spanning short-lived scoped-pool workers stays complete.
+static BUFFERS: Mutex<Vec<Arc<Mutex<ThreadBuf>>>> = Mutex::new(Vec::new());
+/// Next thread id to hand out.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+/// Per-thread ring capacity for buffers registered after the last change.
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+/// Process trace epoch: set once, on the first [`start`]; all timestamps
+/// are nanoseconds since this instant.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<ThreadBuf>>>> = const { RefCell::new(None) };
+}
+
+fn lock_buffers() -> std::sync::MutexGuard<'static, Vec<Arc<Mutex<ThreadBuf>>>> {
+    BUFFERS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether timeline trace collection is currently on (one relaxed load of
+/// the shared state atomic).
+#[inline]
+pub fn enabled() -> bool {
+    crate::state() & crate::STATE_TRACE != 0
+}
+
+/// Starts timeline collection: clears previously collected events, pins
+/// the process trace epoch (first call only) and flips the trace bit so
+/// span sites begin emitting events.
+pub fn start() {
+    EPOCH.get_or_init(Instant::now);
+    clear();
+    crate::set_state_bit(crate::STATE_TRACE, true);
+}
+
+/// Stops timeline collection. Collected events are kept for [`export`]
+/// until [`clear`] (or the next [`start`]).
+pub fn stop() {
+    crate::set_state_bit(crate::STATE_TRACE, false);
+}
+
+/// Sets the per-thread ring capacity, in events. Applies to buffers
+/// registered after the call (a thread's capacity is frozen when it records
+/// its first event), so set this before [`start`].
+pub fn set_capacity(events: usize) {
+    CAPACITY.store(events.max(2), Ordering::Relaxed);
+}
+
+/// Discards every collected event (buffers stay registered; live threads
+/// keep recording into their cleared rings).
+pub fn clear() {
+    for buf in lock_buffers().iter() {
+        let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        b.events.clear();
+        b.head = 0;
+        b.dropped = 0;
+    }
+}
+
+/// Records one span event on the calling thread. Callers must have checked
+/// [`enabled`] (span sites fold this into their single state load).
+pub(crate) fn record(name: &'static str, phase: Phase) {
+    let ts_ns = EPOCH
+        .get()
+        .map(|e| e.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0);
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        let arc = local.get_or_insert_with(|| {
+            let cap = CAPACITY.load(Ordering::Relaxed);
+            let arc = Arc::new(Mutex::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                events: Vec::new(),
+                head: 0,
+                cap,
+                dropped: 0,
+            }));
+            lock_buffers().push(arc.clone());
+            arc
+        });
+        arc.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Event { name, phase, ts_ns });
+    });
+}
+
+/// Summary of the collected timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Events currently held across all thread rings.
+    pub events: u64,
+    /// Threads that have recorded at least one event since process start.
+    pub threads: u64,
+    /// Events lost to ring overwrites since the last [`clear`].
+    pub dropped: u64,
+}
+
+/// Counts the collected events without serializing them.
+pub fn stats() -> Stats {
+    let mut s = Stats::default();
+    for buf in lock_buffers().iter() {
+        let b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        s.events += b.events.len() as u64;
+        s.threads += 1;
+        s.dropped += b.dropped;
+    }
+    s
+}
+
+/// The collected timeline as a Chrome `trace_events` [`Value`] tree:
+/// `{"traceEvents": [...], "displayTimeUnit": "ns", "otherData": {...}}`.
+/// Each span event carries the required `name`/`cat`/`ph`/`ts`/`pid`/`tid`
+/// keys with `ts` in microseconds (fractional, nanosecond resolution);
+/// per-thread `thread_name` metadata events label the timeline rows.
+pub fn export_value() -> Value {
+    let buffers = lock_buffers();
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    let mut bufs: Vec<std::sync::MutexGuard<'_, ThreadBuf>> = buffers
+        .iter()
+        .map(|b| b.lock().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    bufs.sort_by_key(|b| b.tid);
+    for b in &bufs {
+        dropped += b.dropped;
+        events.push(Value::Obj(vec![
+            ("name".into(), Value::text("thread_name")),
+            ("ph".into(), Value::text("M")),
+            ("pid".into(), Value::UInt(1)),
+            ("tid".into(), Value::UInt(b.tid)),
+            (
+                "args".into(),
+                Value::Obj(vec![(
+                    "name".into(),
+                    Value::text(format!("tfet-{:03}", b.tid)),
+                )]),
+            ),
+        ]));
+        for e in b.ordered() {
+            events.push(Value::Obj(vec![
+                ("name".into(), Value::text(e.name)),
+                ("cat".into(), Value::text("span")),
+                (
+                    "ph".into(),
+                    Value::text(match e.phase {
+                        Phase::Begin => "B",
+                        Phase::End => "E",
+                    }),
+                ),
+                ("ts".into(), Value::Num(e.ts_ns as f64 / 1e3)),
+                ("pid".into(), Value::UInt(1)),
+                ("tid".into(), Value::UInt(b.tid)),
+            ]));
+        }
+    }
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(events)),
+        ("displayTimeUnit".into(), Value::text("ns")),
+        (
+            "otherData".into(),
+            Value::Obj(vec![
+                ("schema".into(), Value::text("tfet-obs.trace")),
+                (
+                    "version".into(),
+                    Value::UInt(u64::from(crate::SCHEMA_VERSION)),
+                ),
+                ("dropped".into(), Value::UInt(dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// [`export_value`] serialized to a JSON string.
+pub fn export() -> String {
+    export_value().to_json()
+}
+
+/// Writes the exported trace to `path` (creating parent directories),
+/// returning the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write(path: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, export())?;
+    Ok(path.to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn span_sites_emit_balanced_begin_end_pairs() {
+        let _guard = test_lock::hold();
+        crate::disable();
+        start();
+        {
+            let _a = crate::span("outer");
+            let _b = crate::span("inner");
+        }
+        stop();
+        let s = stats();
+        assert!(s.events >= 4, "expected 2 B + 2 E events, got {s:?}");
+        let json = export();
+        assert!(json.contains(r#""traceEvents":[{"#));
+        assert!(json.contains(r#""name":"outer","cat":"span","ph":"B""#));
+        assert!(json.contains(r#""name":"inner","cat":"span","ph":"E""#));
+        assert_eq!(
+            json.matches(r#""ph":"B""#).count(),
+            json.matches(r#""ph":"E""#).count()
+        );
+        assert!(json.contains(r#""displayTimeUnit":"ns""#));
+        clear();
+        assert_eq!(stats().events, 0);
+    }
+
+    #[test]
+    fn trace_works_without_metrics_and_metrics_without_trace() {
+        let _guard = test_lock::hold();
+        // Trace only: events recorded, metrics registry untouched.
+        crate::disable();
+        crate::reset();
+        start();
+        {
+            let _s = crate::span("trace_only");
+        }
+        stop();
+        assert!(stats().events >= 2);
+        assert!(crate::RunReport::capture().spans.is_empty());
+
+        // Metrics only: span counted, no new events.
+        clear();
+        crate::enable();
+        {
+            let _s = crate::span("metrics_only");
+        }
+        crate::disable();
+        assert_eq!(stats().events, 0, "trace off must record nothing");
+        assert_eq!(
+            crate::RunReport::capture().spans.get("metrics_only"),
+            Some(&1)
+        );
+        crate::reset();
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut buf = ThreadBuf {
+            tid: 0,
+            events: Vec::new(),
+            head: 0,
+            cap: 4,
+            dropped: 0,
+        };
+        for i in 0..6u64 {
+            buf.push(Event {
+                name: "e",
+                phase: Phase::Begin,
+                ts_ns: i,
+            });
+        }
+        assert_eq!(buf.events.len(), 4);
+        assert_eq!(buf.dropped, 2);
+        let order: Vec<u64> = buf.ordered().map(|e| e.ts_ns).collect();
+        assert_eq!(order, vec![2, 3, 4, 5], "oldest events overwritten first");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_per_thread() {
+        let _guard = test_lock::hold();
+        crate::disable();
+        start();
+        for _ in 0..16 {
+            let _s = crate::span("tick");
+        }
+        stop();
+        let json = export();
+        let mut last = -1.0f64;
+        for part in json.split(r#""ts":"#).skip(1) {
+            let num: f64 = part
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .expect("ts parses as a float");
+            assert!(num >= last, "timestamps must be monotonic");
+            last = num;
+        }
+        clear();
+    }
+}

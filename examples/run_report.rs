@@ -9,7 +9,10 @@
 //! Run with: `cargo run --release --example run_report`
 //!
 //! Pass `--report` to also print the human-readable report table (span tree,
-//! counters, Newton-iteration histograms, value distributions).
+//! counters, Newton-iteration histograms, value distributions), and
+//! `--out <path>` to write the JSON somewhere other than
+//! `results/run_report.json` (check gates write to scratch directories so
+//! parallel runs never race on one file).
 
 use tfet_sram::compare::{scorecard, Design};
 use tfet_sram::metrics::WlCrit;
@@ -20,7 +23,13 @@ const N: usize = 8;
 const SEED: u64 = 42;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let print_table = std::env::args().any(|a| a == "--report");
+    let args: Vec<String> = std::env::args().collect();
+    let print_table = args.iter().any(|a| a == "--report");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/run_report.json".to_string());
 
     tfet_obs::reset();
     tfet_obs::enable();
@@ -56,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tfet_obs::disable();
     let report = tfet_obs::RunReport::capture();
 
-    let path = std::path::Path::new("results/run_report.json");
+    let path = std::path::Path::new(&out);
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }

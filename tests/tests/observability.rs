@@ -146,7 +146,7 @@ fn traced_study_report_contains_span_tree_histograms_and_lte_stats() {
     assert!(report.series.contains_key("bisection.bracket"));
 
     let json = report.to_json();
-    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":2"#));
+    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":3"#));
     assert!(json.contains("newton.iters_per_solve"));
     assert!(
         json.contains(r#""quarantined":[]"#),
@@ -199,6 +199,112 @@ fn traced_quarantine_lands_in_the_report_and_ignores_thread_count() {
     );
     let _ = std::fs::remove_dir_all(&scratch);
     tfet_obs::forensics::set_dir(tfet_obs::forensics::DEFAULT_DIR);
+}
+
+/// One instrumented 8×8 array write under `threads` device-evaluation
+/// workers, returning the captured report.
+fn array_write_report(threads: usize) -> RunReport {
+    tfet_circuit::set_assembly_threads(threads);
+    let mut cell = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    cell.sim.dt = 4e-12;
+    let mut array = ArrayNetlist::build(ArraySpec::new(8, 8, cell)).unwrap();
+    array.set_bit(3, 5, false);
+    tfet_obs::reset();
+    tfet_obs::enable();
+    let w = array.write_transient(3, 5, true, 1.5e-9).unwrap();
+    tfet_obs::disable();
+    tfet_circuit::set_assembly_threads(0);
+    assert!(w.success, "write must land");
+    RunReport::capture()
+}
+
+#[test]
+fn array_partition_telemetry_is_byte_identical_at_1_and_8_threads() {
+    let _guard = hold();
+    let one = array_write_report(1);
+    let eight = array_write_report(8);
+
+    // The partitions section is deterministic by construction (dormancy
+    // decisions run serially in the decide phase), so the snapshots — and
+    // their CSV heatmap rendering — must be byte-identical.
+    assert!(!one.partitions.is_empty(), "8×8 write must report 64 cells");
+    assert_eq!(one.partitions.len(), 64);
+    assert_eq!(one.partitions, eight.partitions);
+    assert_eq!(one.partition_csv(), eight.partition_csv());
+
+    // Sanity of the content itself: the addressed column's cells see their
+    // bitline trip, and dormancy dominates for bystander cells.
+    let csv = one.partition_csv();
+    assert!(csv.starts_with("study,row,col,metric,value\n"), "{csv}");
+    assert!(
+        csv.contains("array_write,3,5,"),
+        "victim cell missing: {csv}"
+    );
+    assert!(csv.contains("guard_trip.wordline"), "{csv}");
+    assert!(csv.contains("guard_trip.bitline"), "{csv}");
+    let total: u64 = one
+        .partitions
+        .iter()
+        .flat_map(|p| p.metrics.get("dormant"))
+        .sum();
+    assert!(total > 0, "an array hold must be dormant-dominated");
+}
+
+#[test]
+fn traced_array_write_exports_valid_chrome_trace_json() {
+    let _guard = hold();
+    let mut cell = CellParams::tfet6t(AccessConfig::InwardP).with_beta(0.6);
+    cell.sim.dt = 4e-12;
+    let mut array = ArrayNetlist::build(ArraySpec::new(4, 4, cell)).unwrap();
+    tfet_obs::reset();
+    tfet_obs::enable();
+    tfet_obs::trace::start();
+    array.write_transient(1, 2, true, 1.5e-9).unwrap();
+    tfet_obs::trace::stop();
+    tfet_obs::disable();
+
+    let stats = tfet_obs::trace::stats();
+    assert!(stats.events > 0, "trace must have recorded span events");
+    assert_eq!(stats.dropped, 0, "ring must not wrap on a 4×4 write");
+
+    // The export is strict JSON in the Chrome trace_events shape: parse it
+    // back with the in-tree parser and check the invariants Perfetto needs.
+    let json = tfet_obs::trace::export();
+    let v = tfet_obs::Value::parse(&json).expect("trace JSON must parse");
+    let events = v
+        .get("traceEvents")
+        .and_then(tfet_obs::Value::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(tfet_obs::Value::as_str),
+        Some("ns")
+    );
+    let mut begins = 0i64;
+    let mut ends = 0i64;
+    let mut names = std::collections::BTreeSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in events {
+        assert!(ev.get("tid").is_some(), "every event carries a thread id");
+        match ev.get("ph").and_then(tfet_obs::Value::as_str) {
+            Some("B") => {
+                begins += 1;
+                names.insert(ev.get("name").and_then(tfet_obs::Value::as_str).unwrap());
+                let ts = ev.get("ts").and_then(tfet_obs::Value::as_f64).unwrap();
+                assert!(ts >= last_ts, "begin timestamps must be monotonic");
+                last_ts = ts;
+            }
+            Some("E") => ends += 1,
+            Some("M") => {} // thread_name metadata
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, ends, "span begin/end events must balance");
+    for expected in ["array_netlist_op", "transient", "newton", "decide", "stamp"] {
+        assert!(
+            names.contains(expected),
+            "span {expected:?} missing from trace: {names:?}"
+        );
+    }
 }
 
 #[test]
