@@ -1,0 +1,112 @@
+//! Rare-event yield throughput: brute force vs scaled-sigma importance
+//! sampling on the same ~6σ read-disturb event, same solve budget.
+//!
+//! The acceptance story of the rare-event engine, made executable:
+//!
+//! * `brute` — `sigma_scale = 1` over the calibrated t_ox + Vth-mismatch
+//!   model. At a failure probability of ~1e-9, n = 768 samples see zero
+//!   failures: the estimator returns 0 with no error bar — brute force
+//!   is blind at this depth (resolving it head-on would take ~1e9 solves).
+//! * `is` — the identical budget with the proposal widened 2.5×. The
+//!   re-weighted estimator resolves a nonzero, bounded tail probability
+//!   from the raw hits the widening manufactures.
+//!
+//! Both studies' costs (samples, raw failures, Newton solves) land in
+//! `results/BENCH_yield.json` under `bench.yield.*`, pinned by
+//! `tfet-bench history check` like every other bench; the structural
+//! assertions below run in quick mode (`TFET_BENCH_QUICK=1`) via
+//! `scripts/check.sh`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfet_bench::experiments::{fast, yield_model};
+use tfet_bench::sci;
+use tfet_sram::prelude::*;
+use tfet_sram::rare_event::{yield_read, YieldConfig, YieldStudy};
+
+const N: usize = 768;
+const SEED: u64 = 2011;
+const IS_SCALE: f64 = 2.5;
+
+fn base() -> CellParams {
+    fast(
+        CellParams::tfet6t(AccessConfig::InwardP)
+            .with_beta(0.6)
+            .with_vdd(0.8),
+    )
+}
+
+fn run(scale: f64) -> YieldStudy {
+    let cfg = YieldConfig::new(N, SEED)
+        .with_model(yield_model())
+        .with_sigma_scale(scale);
+    yield_read(&base(), None, 0.0, &cfg).expect("yield study")
+}
+
+fn bench(c: &mut Criterion) {
+    let brute = run(1.0);
+    let is = run(IS_SCALE);
+    println!(
+        "brute  (scale 1.0): p={} fails={} ess={:.1}",
+        brute.p_fail.map(sci).unwrap_or_default(),
+        brute.failures,
+        brute.ess
+    );
+    println!(
+        "is     (scale {IS_SCALE}): p={} se={} fails={} ess={:.1}",
+        is.p_fail.map(sci).unwrap_or_default(),
+        is.std_error.map(sci).unwrap_or_default(),
+        is.failures,
+        is.ess
+    );
+
+    // Acceptance: at the same n = 768 budget, brute force must be blind
+    // (zero failures, estimate exactly 0) while the importance sampler
+    // resolves a nonzero bounded estimate of the ~6σ tail.
+    assert_eq!(
+        brute.failures, 0,
+        "brute force must see no failures at this depth/budget"
+    );
+    assert_eq!(brute.p_fail, Some(0.0));
+    let p = is.p_fail.expect("IS estimate exists");
+    assert!(
+        is.failures > 0 && p > 0.0,
+        "IS must manufacture raw hits (got {} fails, p = {p:e})",
+        is.failures
+    );
+    assert!(
+        p < 1e-5,
+        "IS estimate must stay in the deep tail, got {p:e}"
+    );
+    assert!(
+        is.ess >= 4.0,
+        "ESS floor: weight spread ate the sample, ess = {}",
+        is.ess
+    );
+    assert!(is.quarantined.is_empty() && brute.quarantined.is_empty());
+
+    // One traced run emits the versioned RunReport with both studies'
+    // deterministic cost counters before any timing loop.
+    tfet_bench::write_bench_report("yield", || {
+        let brute = black_box(run(1.0));
+        let is = black_box(run(IS_SCALE));
+        tfet_obs::counter("bench.yield.brute_samples", brute.samples as u64);
+        tfet_obs::counter("bench.yield.brute_failures", brute.failures as u64);
+        tfet_obs::counter("bench.yield.is_samples", is.samples as u64);
+        tfet_obs::counter("bench.yield.is_failures", is.failures as u64);
+        tfet_obs::counter("bench.yield.is_ess", is.ess as u64);
+    });
+
+    let mut g = c.benchmark_group("yield_throughput");
+    g.sample_size(10);
+    g.bench_function("read_disturb_n768_brute", |b| {
+        b.iter(|| black_box(run(1.0)))
+    });
+    g.bench_function("read_disturb_n768_is2p5", |b| {
+        b.iter(|| black_box(run(IS_SCALE)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -39,26 +39,40 @@ fn main() {
     fs::create_dir_all(out_dir).expect("create results dir");
 
     // Grids: full paper resolution vs quick smoke.
-    type Grids = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, usize, Vec<usize>);
-    let (betas_fig4, betas_wa, betas_ra, vdds, mc_n, array_sizes): Grids = if quick {
-        (
-            vec![0.6, 1.0, 2.0],
-            vec![1.2, 2.0],
-            vec![0.4, 0.8],
-            vec![0.6, 0.8],
-            8,
-            vec![8],
-        )
-    } else {
-        (
-            vec![0.4, 0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0],
-            vec![1.2, 1.5, 2.0, 2.5, 3.0],
-            vec![0.3, 0.4, 0.5, 0.6, 0.8, 1.0],
-            vec![0.5, 0.6, 0.7, 0.8, 0.9],
-            120,
-            vec![8, 16],
-        )
-    };
+    type Grids = (
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        usize,
+        Vec<usize>,
+        usize,
+        Vec<f64>,
+    );
+    let (betas_fig4, betas_wa, betas_ra, vdds, mc_n, array_sizes, yield_n, yield_scales): Grids =
+        if quick {
+            (
+                vec![0.6, 1.0, 2.0],
+                vec![1.2, 2.0],
+                vec![0.4, 0.8],
+                vec![0.6, 0.8],
+                8,
+                vec![8],
+                48,
+                vec![1.0, 2.5],
+            )
+        } else {
+            (
+                vec![0.4, 0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0],
+                vec![1.2, 1.5, 2.0, 2.5, 3.0],
+                vec![0.3, 0.4, 0.5, 0.6, 0.8, 1.0],
+                vec![0.5, 0.6, 0.7, 0.8, 0.9],
+                120,
+                vec![8, 16],
+                512,
+                vec![1.0, 1.5, 2.0, 2.5, 3.0],
+            )
+        };
 
     let tables: Vec<Table> = vec![
         exp::fig02a(),
@@ -74,6 +88,7 @@ fn main() {
         exp::table_static_power(&vdds),
         exp::table_area(),
         exp::fig_array(&array_sizes),
+        exp::fig_yield(yield_n, 2011, &yield_scales),
     ];
 
     for t in &tables {

@@ -16,6 +16,7 @@ use tfet_sram::explore::{beta_sweep, corner_score, ra_tradeoff, wa_tradeoff};
 use tfet_sram::metrics::{read_metrics, static_power, wl_crit, write_delay, WlCrit};
 use tfet_sram::montecarlo::{mc_drnm, mc_wl_crit};
 use tfet_sram::prelude::*;
+use tfet_sram::rare_event::{yield_read, VariationModel, YieldConfig};
 
 /// Simulation settings shared by all experiments: 2 ps step and 8 ps pulse
 /// tolerance keep the full suite minutes-scale while staying well inside
@@ -542,6 +543,88 @@ pub fn fig_array(sizes: &[usize]) -> Table {
         "shape check: netlist > analytic at every size (driver slew and mux discharge \
          only lengthen the critical pulse), same order of magnitude",
     );
+    t
+}
+
+/// Per-transistor Vth-mismatch sigma of the rare-event yield model, V.
+///
+/// Calibrated so the read-disturb failure boundary (DRNM < 0) of the
+/// proposed cell (β = 0.6, V_DD = 0.8 V) sits ~6σ deep: the dominant
+/// single-device direction (pull-down-left Vth up) crosses zero near
+/// +63 mV ≈ 10σ, and the full 14-dimensional boundary is reachable at a
+/// combined depth where brute force sees ~1e-9 failure mass.
+pub const YIELD_VTH_SIGMA: f64 = 6e-3;
+
+/// Truncation bound of the Vth-mismatch factor (8σ keeps the truncation
+/// negligible while staying far inside the device model's ±0.3 V
+/// perturbative range).
+pub const YIELD_VTH_BOUND: f64 = 8.0 * YIELD_VTH_SIGMA;
+
+/// The rare-event variation model: the paper's ±5 % t_ox factor plus
+/// calibrated per-transistor Vth mismatch.
+pub fn yield_model() -> VariationModel {
+    VariationModel::paper().with_vth(YIELD_VTH_SIGMA, YIELD_VTH_BOUND)
+}
+
+/// Rare-event read-disturb yield: the failure probability P(DRNM < 0) of
+/// the proposed cell under [`yield_model`], estimated per `sigma_scale` by
+/// scaled-sigma importance sampling (`tfet_sram::rare_event`). The
+/// `sigma_scale = 1` row is brute force — at this tail depth it reports
+/// zero failures at any affordable budget, which is the point.
+///
+/// Like `fig_array`, this CSV is byte-diffed across solver tiers: every
+/// printed value is either exact integer bookkeeping or a 4-significant-
+/// digit estimate, both invariant at the tiers' ~1e-5 agreement scale.
+pub fn fig_yield(n: usize, seed: u64, scales: &[f64]) -> Table {
+    let mut t = Table::new(
+        "Yield",
+        "rare-event read-disturb yield via scaled-sigma importance sampling",
+        &[
+            "sigma_scale",
+            "samples",
+            "survivors",
+            "fails_raw",
+            "p_fail",
+            "std_err",
+            "ess",
+            "fail_64kb",
+        ],
+    );
+    let base = fast(
+        CellParams::tfet6t(AccessConfig::InwardP)
+            .with_beta(0.6)
+            .with_vdd(0.8),
+    );
+    let fmt_p = |p: Option<f64>| match p {
+        Some(p) if p > 0.0 => sci(p),
+        Some(_) => "0".into(),
+        None => "-".into(),
+    };
+    for &scale in scales {
+        let cfg = YieldConfig::new(n, seed)
+            .with_model(yield_model())
+            .with_sigma_scale(scale);
+        let s = yield_read(&base, None, 0.0, &cfg).expect("yield study");
+        t.push_row(vec![
+            format!("{scale:.1}"),
+            s.samples.to_string(),
+            s.survivors.to_string(),
+            s.failures.to_string(),
+            fmt_p(s.p_fail),
+            fmt_p(s.std_error),
+            format!("{:.1}", s.ess),
+            fmt_p(s.array_fail_prob(65536)),
+        ]);
+    }
+    t.note(format!(
+        "model: t_ox ±5% (paper) + Vth mismatch sigma {} mV/device, truncated at 8 sigma",
+        YIELD_VTH_SIGMA * 1e3
+    ));
+    t.note(
+        "shape check: brute force (scale 1.0) reports zero failures; scaled proposals \
+         resolve a nonzero ~6-sigma tail estimate from the same budget",
+    );
+    t.note("low ESS flags weight spread: trust p_fail only with std_err well under it");
     t
 }
 

@@ -128,14 +128,31 @@ pub fn write_bench_report(name: &str, workload: impl FnOnce()) -> std::path::Pat
     path
 }
 
+/// One-decimal formatting capped at four significant digits.
+///
+/// Figure cells must render identically across solver configurations that
+/// are equivalent only to ~1e-5 relative (sparse vs dense factorization,
+/// device-latency tiers) — `scripts/check.sh` diffs the CSVs byte-for-byte.
+/// A fixed `{:.1}` violates that for magnitudes >= 1000, where its 0.05
+/// rounding quantum shrinks below the solver-tier agreement scale; capping
+/// the display at four significant digits keeps the quantum safely above
+/// it at every magnitude.
+fn fixed1_sig4(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
 /// Formats seconds as picoseconds with unit.
 pub fn ps(t: f64) -> String {
-    format!("{:.1}", t * 1e12)
+    fixed1_sig4(t * 1e12)
 }
 
 /// Formats volts as millivolts.
 pub fn mv(v: f64) -> String {
-    format!("{:.1}", v * 1e3)
+    fixed1_sig4(v * 1e3)
 }
 
 /// Formats a quantity in scientific notation.

@@ -63,7 +63,7 @@ fn fatal_transient_writes_a_diagnostic_bundle() {
         "exactly one bundle per fatal run: {files:?}"
     );
     let contents = std::fs::read_to_string(&files[0]).unwrap();
-    assert!(contents.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":3"#));
+    assert!(contents.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":4"#));
     assert!(
         contents.contains(r#""stage":"initial-dc""#),
         "bundle must name the failing stage: {contents}"

@@ -68,6 +68,12 @@ impl From<SimError> for SramError {
     }
 }
 
+impl From<tfet_devices::VariationError> for SramError {
+    fn from(e: tfet_devices::VariationError) -> Self {
+        SramError::InvalidParameter(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,10 @@
 //!   read noise margin (DRNM), critical wordline pulse width (WL_crit),
 //!   and write/read delays;
 //! * [`montecarlo`] — §4.3's ±5 % gate-oxide-thickness Monte-Carlo;
+//! * [`rare_event`] — scaled-sigma importance sampling over a correlated
+//!   multi-factor process model: tail failure probabilities (write failure
+//!   past the pulse budget, DRNM below threshold) at 5–6σ depths that
+//!   brute force cannot reach;
 //! * [`snm`] — classical static noise margins (Seevinck butterfly), the
 //!   baseline metric family the paper's dynamic approach replaces;
 //! * [`array`](mod@array) — array-level functional simulation: shared wordlines and
@@ -68,6 +72,7 @@ pub mod explore;
 pub mod metrics;
 pub mod montecarlo;
 pub mod ops;
+pub mod rare_event;
 pub mod snm;
 pub mod tech;
 pub mod topology;
@@ -82,6 +87,10 @@ pub mod prelude {
     pub use crate::metrics::{self, WlCrit, WlCritRun};
     pub use crate::montecarlo::{McConfig, McDrnm, McWlCrit, QuarantinedSample};
     pub use crate::ops::{ReadExperiment, WriteExperiment};
+    pub use crate::rare_event::{
+        yield_read, yield_write, Factor, QuarantinedYieldSample, VariationModel, YieldConfig,
+        YieldMetric, YieldStudy,
+    };
     pub use crate::tech::{
         AccessConfig, CellKind, CellParams, CellSizing, DeviceEval, SimOptions, SteppingMode,
     };

@@ -1,0 +1,886 @@
+//! Rare-event yield estimation: scaled-sigma importance sampling with
+//! likelihood-ratio re-weighting (ROADMAP item 2).
+//!
+//! The paper's §4.3 robustness claim is evaluated with brute-force
+//! Monte-Carlo, which cannot see bit-cell failure probabilities at the
+//! 5–6σ depths a memory product must guarantee: at p = 1e-8, brute force
+//! needs ~1e8 transient solves for a single significant digit. This module
+//! estimates the same tail mass with ~1e3 solves by *widening the proposal*:
+//! every process factor is drawn from its truncated Gaussian with the
+//! standard deviation inflated by [`YieldConfig::sigma_scale`], and each
+//! sample carries the exact likelihood ratio
+//!
+//! ```text
+//! w(x) = ∏_d  (σ′_d Z′_d)/(σ_d Z_d) · exp(x_d²/2 · (1/σ′_d² − 1/σ_d²))
+//! ```
+//!
+//! where `Z(σ, b) = erf(b/(σ√2))` is the analytic truncation constant —
+//! the proposal keeps the *prior's* truncation bound, so the supports are
+//! equal and no sample ever has zero prior density. The weighted failure
+//! indicator `w·I` is then an unbiased estimator of the true tail
+//! probability, with the effective sample size `(Σw)²/Σw²` diagnosing how
+//! much the widening cost in weight spread. At `sigma_scale == 1` the
+//! weights are exactly 1.0 and the estimator *is* brute force — the
+//! cross-check path.
+//!
+//! # The factor variation model
+//!
+//! [`VariationModel`] generalizes the paper's t_ox-only model with the
+//! factors the CMOS SRAM variability literature treats as dominant
+//! (Torrens'17, Pasandi'14): per-transistor Vth mismatch, geometry
+//! (drive-strength) mismatch, and chip-global t_ox / Vth / supply terms.
+//! Global factors draw once per sample and shift every transistor together;
+//! local factors draw per [`Role`]. A global supply droop is mapped onto a
+//! common-mode threshold shift `−V_DD·s` — its first-order image on device
+//! drive — so the compiled experiment's waveforms (which depend on the
+//! shared supply) never vary per sample and stay reusable across binds.
+//! [`VariationModel::paper`] keeps every new factor off; that default is
+//! what keeps all existing figures bit-identical.
+//!
+//! # Determinism and degradation
+//!
+//! The sampling inherits the Monte-Carlo layer's discipline: counter-based
+//! per-sample RNG streams, outcomes folded in sample order, so estimate,
+//! standard error and ESS are bit-identical at any worker-thread count.
+//! A draw outside a factor's perturbative validity bound — expected when
+//! `sigma_scale` pushes a wide-bound factor past the device model's range —
+//! surfaces as a typed [`VariationError`](tfet_devices::VariationError),
+//! and the sample is quarantined through the same per-sample path as
+//! simulation failures, never a panicking worker.
+
+use crate::assist::{ReadAssist, WriteAssist};
+use crate::error::SramError;
+use crate::metrics::{read_metrics_compiled, wl_crit_compiled, WlCrit};
+use crate::montecarlo::{check_yield, draw_truncated_normal, McConfig, TOX_BOUND, TOX_SIGMA};
+use crate::ops::{ReadExperiment, WriteExperiment};
+use crate::tech::{CellParams, CellProcess, Role};
+use crate::topology::CellTopology;
+use rand::rngs::StdRng;
+use tfet_devices::ProcessPoint;
+use tfet_numerics::parallel::par_map_with;
+use tfet_numerics::{gaussian_mass_within, WeightedSummary};
+
+/// One independent variation factor: a centered Gaussian with standard
+/// deviation `sigma`, truncated to `[-bound, bound]`. A factor with
+/// `sigma == 0` is off: it draws nothing (consuming no RNG words, so
+/// enabling a factor never perturbs the draws of the others' streams) and
+/// contributes weight 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Factor {
+    /// Standard deviation of the underlying Gaussian (0 = factor off).
+    pub sigma: f64,
+    /// Symmetric truncation bound (also the proposal's bound under scaling).
+    pub bound: f64,
+}
+
+impl Factor {
+    /// A disabled factor.
+    pub const OFF: Factor = Factor {
+        sigma: 0.0,
+        bound: 0.0,
+    };
+
+    /// An active factor with the given spread and truncation bound.
+    pub fn new(sigma: f64, bound: f64) -> Self {
+        Factor { sigma, bound }
+    }
+
+    /// Whether the factor draws at all.
+    pub fn active(&self) -> bool {
+        self.sigma > 0.0
+    }
+
+    fn validate(&self, name: &'static str) -> Result<(), SramError> {
+        if !(self.sigma.is_finite() && self.sigma >= 0.0) {
+            return Err(SramError::InvalidParameter(format!(
+                "factor {name}: sigma {} must be finite and nonnegative",
+                self.sigma
+            )));
+        }
+        if self.active() && !(self.bound.is_finite() && self.bound > 0.0) {
+            return Err(SramError::InvalidParameter(format!(
+                "factor {name}: active factor needs a positive bound, got {}",
+                self.bound
+            )));
+        }
+        Ok(())
+    }
+
+    /// Draws from the σ-scaled proposal and multiplies the sample's
+    /// likelihood ratio into `weight`.
+    fn draw(&self, rng: &mut StdRng, scale: f64, weight: &mut f64) -> f64 {
+        if !self.active() {
+            return 0.0;
+        }
+        let sigma_q = self.sigma * scale;
+        let x = draw_truncated_normal(rng, sigma_q, self.bound);
+        if scale != 1.0 {
+            // w = p(x)/q(x) with equal supports; see the module docs.
+            let z_p = gaussian_mass_within(self.sigma, self.bound);
+            let z_q = gaussian_mass_within(sigma_q, self.bound);
+            let coef = (sigma_q * z_q) / (self.sigma * z_p);
+            let expo = 0.5 * (1.0 / (sigma_q * sigma_q) - 1.0 / (self.sigma * self.sigma));
+            *weight *= coef * (expo * x * x).exp();
+        }
+        x
+    }
+}
+
+/// The factor variation model of a yield study: which process factors draw,
+/// with what spread. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Per-transistor t_ox mismatch (the paper's §4.3 factor).
+    pub tox: Factor,
+    /// Chip-global t_ox term, shared by every transistor of the cell.
+    pub tox_global: Factor,
+    /// Per-transistor Vth mismatch, volts.
+    pub vth: Factor,
+    /// Chip-global Vth term, volts.
+    pub vth_global: Factor,
+    /// Per-transistor drive-strength (W/L) mismatch, relative.
+    pub drive: Factor,
+    /// Chip-global relative supply deviation, mapped onto a common-mode
+    /// threshold shift `−V_DD·s` (first-order image of a supply droop on
+    /// device drive; keeps compiled-experiment waveforms sample-invariant).
+    pub supply: Factor,
+}
+
+impl VariationModel {
+    /// The paper-faithful model: ±5 % t_ox per transistor (σ = 2.5 %,
+    /// truncated at 2σ), every other factor off. With this model and
+    /// `sigma_scale == 1`, a yield study samples exactly the process space
+    /// of [`crate::montecarlo`].
+    pub fn paper() -> Self {
+        VariationModel {
+            tox: Factor::new(TOX_SIGMA, TOX_BOUND),
+            tox_global: Factor::OFF,
+            vth: Factor::OFF,
+            vth_global: Factor::OFF,
+            drive: Factor::OFF,
+            supply: Factor::OFF,
+        }
+    }
+
+    /// Enables per-transistor Vth mismatch (builder style).
+    pub fn with_vth(mut self, sigma: f64, bound: f64) -> Self {
+        self.vth = Factor::new(sigma, bound);
+        self
+    }
+
+    /// Enables the chip-global Vth term (builder style).
+    pub fn with_vth_global(mut self, sigma: f64, bound: f64) -> Self {
+        self.vth_global = Factor::new(sigma, bound);
+        self
+    }
+
+    /// Enables per-transistor drive-strength mismatch (builder style).
+    pub fn with_drive(mut self, sigma: f64, bound: f64) -> Self {
+        self.drive = Factor::new(sigma, bound);
+        self
+    }
+
+    /// Enables the chip-global t_ox term (builder style).
+    pub fn with_tox_global(mut self, sigma: f64, bound: f64) -> Self {
+        self.tox_global = Factor::new(sigma, bound);
+        self
+    }
+
+    /// Enables the chip-global supply factor (builder style).
+    pub fn with_supply(mut self, sigma: f64, bound: f64) -> Self {
+        self.supply = Factor::new(sigma, bound);
+        self
+    }
+
+    /// Number of independent scalar draws per sample.
+    pub fn dimensions(&self) -> usize {
+        let globals = [&self.tox_global, &self.vth_global, &self.supply]
+            .iter()
+            .filter(|f| f.active())
+            .count();
+        let locals = [&self.tox, &self.vth, &self.drive]
+            .iter()
+            .filter(|f| f.active())
+            .count();
+        globals + locals * Role::ALL.len()
+    }
+
+    fn validate(&self) -> Result<(), SramError> {
+        self.tox.validate("tox")?;
+        self.tox_global.validate("tox_global")?;
+        self.vth.validate("vth")?;
+        self.vth_global.validate("vth_global")?;
+        self.drive.validate("drive")?;
+        self.supply.validate("supply")
+    }
+
+    /// Draws one sample's full factor set from the σ-scaled proposal.
+    /// Globals draw first, then per-role locals in [`Role::ALL`] order; a
+    /// disabled factor consumes no RNG words. The draw *always* runs to
+    /// completion — the stream position after a sample is independent of
+    /// whether its values are valid.
+    fn draw_raw(&self, rng: &mut StdRng, scale: f64) -> RawDraws {
+        let mut weight = 1.0;
+        let globals = [
+            self.tox_global.draw(rng, scale, &mut weight),
+            self.vth_global.draw(rng, scale, &mut weight),
+            self.supply.draw(rng, scale, &mut weight),
+        ];
+        let mut locals = [[0.0; 3]; 7];
+        for slot in &mut locals {
+            *slot = [
+                self.tox.draw(rng, scale, &mut weight),
+                self.vth.draw(rng, scale, &mut weight),
+                self.drive.draw(rng, scale, &mut weight),
+            ];
+        }
+        RawDraws {
+            globals,
+            locals,
+            weight,
+        }
+    }
+
+    /// Assembles the per-transistor process points from raw draws,
+    /// validating every factor combination against the device model's
+    /// perturbative bounds. The *first* out-of-range role fails the sample.
+    fn build_process(&self, raw: &RawDraws, vdd: f64) -> Result<CellProcess, SramError> {
+        // Supply droop → common-mode threshold shift (see the field docs).
+        let supply_vth = -vdd * raw.globals[2];
+        let mut process = CellProcess::nominal();
+        for (i, role) in Role::ALL.into_iter().enumerate() {
+            let [l_tox, l_vth, l_drive] = raw.locals[i];
+            let point = ProcessPoint::try_new(
+                raw.globals[0] + l_tox,
+                raw.globals[1] + l_vth + supply_vth,
+                l_drive,
+            )?;
+            process = process.with(role, point);
+        }
+        Ok(process)
+    }
+
+    /// The labeled draw list of a sample, for quarantine records — active
+    /// factors only, in draw order.
+    fn labeled_params(&self, raw: &RawDraws) -> Vec<(String, f64)> {
+        let mut params = Vec::new();
+        for (name, factor, value) in [
+            ("global.tox", &self.tox_global, raw.globals[0]),
+            ("global.vth", &self.vth_global, raw.globals[1]),
+            ("global.supply", &self.supply, raw.globals[2]),
+        ] {
+            if factor.active() {
+                params.push((name.to_string(), value));
+            }
+        }
+        for (i, role) in Role::ALL.into_iter().enumerate() {
+            for (suffix, factor, value) in [
+                ("tox", &self.tox, raw.locals[i][0]),
+                ("vth", &self.vth, raw.locals[i][1]),
+                ("drive", &self.drive, raw.locals[i][2]),
+            ] {
+                if factor.active() {
+                    params.push((format!("{}.{suffix}", role.label()), value));
+                }
+            }
+        }
+        params
+    }
+}
+
+/// One sample's raw factor draws plus its importance weight.
+struct RawDraws {
+    /// `[tox_global, vth_global, supply]`.
+    globals: [f64; 3],
+    /// Per role (in [`Role::ALL`] order): `[tox, vth, drive]`.
+    locals: [[f64; 3]; 7],
+    weight: f64,
+}
+
+/// The failure event a yield study estimates the probability of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum YieldMetric {
+    /// Write failure: `WL_crit` exceeds the wordline pulse budget the
+    /// array's timing grants (an infinite `WL_crit` — an unwritable cell —
+    /// always fails).
+    WriteMargin {
+        /// Longest wordline pulse the timing budget allows, s.
+        budget: f64,
+    },
+    /// Read disturb: DRNM below the threshold (the classical stability
+    /// criterion is `DRNM < 0`).
+    Drnm {
+        /// Failure threshold, V.
+        threshold: f64,
+    },
+}
+
+impl YieldMetric {
+    /// Stable metric label used in run reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            YieldMetric::WriteMargin { .. } => "write_margin",
+            YieldMetric::Drnm { .. } => "drnm",
+        }
+    }
+}
+
+/// Configuration of a rare-event yield study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldConfig {
+    /// Execution controls (seed, threads, minimum survivor fraction),
+    /// shared with the brute-force Monte-Carlo layer.
+    pub mc: McConfig,
+    /// Samples to draw.
+    pub n: usize,
+    /// Proposal-widening factor σ′/σ applied to every active factor.
+    /// `1.0` (the default) is brute force — weights are exactly 1.
+    pub sigma_scale: f64,
+    /// The factor variation model to sample.
+    pub model: VariationModel,
+}
+
+impl YieldConfig {
+    /// A brute-force (unscaled) study of the paper's t_ox-only model.
+    pub fn new(n: usize, seed: u64) -> Self {
+        YieldConfig {
+            mc: McConfig::new(seed),
+            n,
+            sigma_scale: 1.0,
+            model: VariationModel::paper(),
+        }
+    }
+
+    /// Sets the proposal-widening factor (builder style).
+    pub fn with_sigma_scale(mut self, scale: f64) -> Self {
+        self.sigma_scale = scale;
+        self
+    }
+
+    /// Sets the factor variation model (builder style).
+    pub fn with_model(mut self, model: VariationModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets an explicit worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.mc.threads = Some(threads);
+        self
+    }
+
+    fn validate(&self) -> Result<(), SramError> {
+        if !(self.sigma_scale.is_finite() && self.sigma_scale >= 1.0) {
+            return Err(SramError::InvalidParameter(format!(
+                "sigma_scale {} must be finite and >= 1 (1 = brute force)",
+                self.sigma_scale
+            )));
+        }
+        if self.model.dimensions() == 0 {
+            return Err(SramError::InvalidParameter(
+                "variation model has no active factor".into(),
+            ));
+        }
+        self.model.validate()
+    }
+}
+
+/// One quarantined yield sample: its index, the labeled factor draws it
+/// took (replayed from its RNG stream), and the structured cause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedYieldSample {
+    /// Sample index within the study.
+    pub index: usize,
+    /// Labeled factor draws, in draw order (active factors only).
+    pub params: Vec<(String, f64)>,
+    /// Why the sample was excluded: an out-of-validity-range draw or a
+    /// failed simulation.
+    pub error: SramError,
+}
+
+/// Result of a rare-event yield study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldStudy {
+    /// The failure event estimated.
+    pub metric: YieldMetric,
+    /// The proposal-widening factor the study ran at.
+    pub sigma_scale: f64,
+    /// Samples attempted.
+    pub samples: usize,
+    /// Samples that produced a verdict.
+    pub survivors: usize,
+    /// Raw (unweighted) count of failing survivors.
+    pub failures: usize,
+    /// Likelihood-ratio-weighted failure mass `Σ wᵢIᵢ`.
+    pub weighted_failures: f64,
+    /// Estimated tail failure probability `Σ wᵢIᵢ / survivors`; `None` when
+    /// no sample survived.
+    pub p_fail: Option<f64>,
+    /// Standard error of the estimate (sample std of `wᵢIᵢ` over
+    /// `√survivors`); `None` for fewer than two survivors.
+    pub std_error: Option<f64>,
+    /// Kish effective sample size `(Σw)²/Σw²` of the survivor weights;
+    /// 0 when no sample survived.
+    pub ess: f64,
+    /// Weighted summary of the finite metric values (WL_crit in s, DRNM in
+    /// V) over survivors; `None` when none is finite.
+    pub metric_summary: Option<WeightedSummary>,
+    /// Samples excluded from the estimate.
+    pub quarantined: Vec<QuarantinedYieldSample>,
+}
+
+impl YieldStudy {
+    /// Array-level failure probability of `cells` independent cells under
+    /// the estimated per-cell tail probability (binomial composition
+    /// `1 − (1−p)^cells`, computed in log space for tiny `p`).
+    pub fn array_fail_prob(&self, cells: u64) -> Option<f64> {
+        self.p_fail.map(|p| array_fail_prob(p, cells))
+    }
+}
+
+/// Binomial composition of a per-cell failure probability to an array of
+/// `cells` independent cells: `1 − (1−p)^cells`, computed in log space so
+/// p = 1e-9 over 64 kb does not round to zero.
+pub fn array_fail_prob(p_cell: f64, cells: u64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p_cell),
+        "per-cell failure probability {p_cell} outside [0, 1]"
+    );
+    if p_cell == 1.0 {
+        return 1.0;
+    }
+    -(cells as f64 * (-p_cell).ln_1p()).exp_m1()
+}
+
+/// Array-level yield (probability every one of `cells` cells works).
+pub fn array_yield(p_cell: f64, cells: u64) -> f64 {
+    1.0 - array_fail_prob(p_cell, cells)
+}
+
+/// One sample's verdict inside a worker.
+struct SampleOutcome {
+    /// Importance weight of the draw.
+    weight: f64,
+    /// Whether the sample fails the metric.
+    fail: bool,
+    /// Finite metric value (WL_crit s / DRNM V), when one exists.
+    value: Option<f64>,
+}
+
+/// Estimates the write-failure tail probability: the fraction of process
+/// space where `WL_crit` exceeds `budget` seconds (or the write fails
+/// outright), under the study's variation model and proposal scaling.
+///
+/// # Errors
+///
+/// Per-sample failures (out-of-validity draws, simulation failures) are
+/// quarantined, not propagated. Returns [`SramError::InvalidParameter`] for
+/// a malformed configuration and [`SramError::LowYield`] when survivors
+/// fall below [`McConfig::min_yield`].
+pub fn yield_write(
+    base: &CellParams,
+    assist: Option<WriteAssist>,
+    budget: f64,
+    cfg: &YieldConfig,
+) -> Result<YieldStudy, SramError> {
+    cfg.validate()?;
+    if !(budget > 0.0 && budget.is_finite()) {
+        return Err(SramError::InvalidParameter(format!(
+            "write budget {budget} must be positive and finite"
+        )));
+    }
+    let _span = tfet_obs::span("yield_write");
+    let topo = CellTopology::builtin(base.kind);
+    // Nominal bisection hint, as in `mc_wl_crit_topo`: computed once before
+    // the fan-out, shared by every sample.
+    let hint = WriteExperiment::compile_on(&topo, base, assist)
+        .ok()
+        .and_then(|mut exp| wl_crit_compiled(&mut exp, None).ok())
+        .and_then(|run| run.value.as_finite());
+    let metric = YieldMetric::WriteMargin { budget };
+    let outcomes = par_map_with(
+        cfg.n,
+        cfg.mc.threads,
+        || None,
+        |slot: &mut Option<WriteExperiment>, i| {
+            let _span = tfet_obs::root_span("yield_sample_write");
+            let result = (|| {
+                let mut rng = cfg.mc.sample_rng(i);
+                let raw = cfg.model.draw_raw(&mut rng, cfg.sigma_scale);
+                let process = cfg.model.build_process(&raw, base.vdd)?;
+                let params = base.clone().with_process(process);
+                match slot {
+                    Some(exp) => exp.bind_cell(&params)?,
+                    None => *slot = Some(WriteExperiment::compile_on(&topo, &params, assist)?),
+                }
+                let exp = slot.as_mut().expect("compiled above");
+                let run = wl_crit_compiled(exp, hint)?;
+                tfet_obs::record_u64("yield.sample_newton_solves", run.effort.newton_solves);
+                match run.value {
+                    WlCrit::Finite(w) => Ok(SampleOutcome {
+                        weight: raw.weight,
+                        fail: w > budget,
+                        value: Some(w),
+                    }),
+                    WlCrit::Infinite => Ok(SampleOutcome {
+                        weight: raw.weight,
+                        fail: true,
+                        value: None,
+                    }),
+                    WlCrit::Unbracketable => {
+                        Err(run.failure.unwrap_or_else(|| SramError::Undefined {
+                            metric: "WL_crit",
+                            reason: "unbracketable search with no recorded cause".into(),
+                        }))
+                    }
+                }
+            })();
+            if result.is_err() {
+                *slot = None;
+            }
+            result
+        },
+    );
+    fold_study("yield_write", metric, cfg, outcomes)
+}
+
+/// Estimates the read-disturb tail probability: the fraction of process
+/// space where the DRNM falls below `threshold` volts, under the study's
+/// variation model and proposal scaling.
+///
+/// # Errors
+///
+/// As [`yield_write`].
+pub fn yield_read(
+    base: &CellParams,
+    assist: Option<ReadAssist>,
+    threshold: f64,
+    cfg: &YieldConfig,
+) -> Result<YieldStudy, SramError> {
+    cfg.validate()?;
+    if !threshold.is_finite() {
+        return Err(SramError::InvalidParameter(format!(
+            "DRNM threshold {threshold} must be finite"
+        )));
+    }
+    let _span = tfet_obs::span("yield_read");
+    let topo = CellTopology::builtin(base.kind);
+    let metric = YieldMetric::Drnm { threshold };
+    let outcomes = par_map_with(
+        cfg.n,
+        cfg.mc.threads,
+        || None,
+        |slot: &mut Option<ReadExperiment>, i| {
+            let _span = tfet_obs::root_span("yield_sample_read");
+            let result = (|| {
+                let mut rng = cfg.mc.sample_rng(i);
+                let raw = cfg.model.draw_raw(&mut rng, cfg.sigma_scale);
+                let process = cfg.model.build_process(&raw, base.vdd)?;
+                let params = base.clone().with_process(process);
+                match slot {
+                    Some(exp) => exp.bind_cell(&params)?,
+                    None => *slot = Some(ReadExperiment::compile_on(&topo, &params, assist)?),
+                }
+                let exp = slot.as_mut().expect("compiled above");
+                let drnm = read_metrics_compiled(exp)?.drnm;
+                Ok(SampleOutcome {
+                    weight: raw.weight,
+                    fail: drnm < threshold,
+                    value: Some(drnm),
+                })
+            })();
+            if result.is_err() {
+                *slot = None;
+            }
+            result
+        },
+    );
+    fold_study("yield_read", metric, cfg, outcomes)
+}
+
+/// Folds per-sample outcomes (in index order) into the study estimate and
+/// publishes it into the observability layer.
+fn fold_study(
+    study: &'static str,
+    metric: YieldMetric,
+    cfg: &YieldConfig,
+    outcomes: Vec<Result<SampleOutcome, SramError>>,
+) -> Result<YieldStudy, SramError> {
+    let n = outcomes.len();
+    let mut weights = Vec::with_capacity(n);
+    let mut weighted_indicators = Vec::with_capacity(n);
+    let mut metric_values = Vec::with_capacity(n);
+    let mut metric_weights = Vec::with_capacity(n);
+    let mut failures = 0usize;
+    let mut quarantined = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(s) => {
+                weights.push(s.weight);
+                weighted_indicators.push(if s.fail { s.weight } else { 0.0 });
+                if s.fail {
+                    failures += 1;
+                }
+                if let Some(v) = s.value {
+                    metric_values.push(v);
+                    metric_weights.push(s.weight);
+                }
+            }
+            Err(error) => {
+                // Replay the sample's private stream to recover its draws.
+                let mut rng = cfg.mc.sample_rng(i);
+                let raw = cfg.model.draw_raw(&mut rng, cfg.sigma_scale);
+                quarantined.push(QuarantinedYieldSample {
+                    index: i,
+                    params: cfg.model.labeled_params(&raw),
+                    error,
+                });
+            }
+        }
+    }
+    let survivors = weights.len();
+    let weighted_failures: f64 = weighted_indicators.iter().sum();
+    let p_fail = (survivors > 0).then(|| weighted_failures / survivors as f64);
+    let std_error = p_fail.filter(|_| survivors > 1).map(|p| {
+        let var = weighted_indicators
+            .iter()
+            .map(|wi| (wi - p) * (wi - p))
+            .sum::<f64>()
+            / (survivors - 1) as f64;
+        (var / survivors as f64).sqrt()
+    });
+    let ess = if survivors == 0 {
+        0.0
+    } else {
+        let sum: f64 = weights.iter().sum();
+        let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+        sum * sum / sum_sq
+    };
+    let result = YieldStudy {
+        metric,
+        sigma_scale: cfg.sigma_scale,
+        samples: n,
+        survivors,
+        failures,
+        weighted_failures,
+        p_fail,
+        std_error,
+        ess,
+        metric_summary: WeightedSummary::try_of(&metric_values, &metric_weights),
+        quarantined,
+    };
+    publish_study(study, cfg, &result);
+    check_yield(survivors, n, &cfg.mc)?;
+    Ok(result)
+}
+
+/// Publishes the study into the observability layer: counters, the
+/// run-report `yield` record, and one quarantine record per excluded
+/// sample — all from the coordinating thread, in deterministic order.
+fn publish_study(study: &'static str, cfg: &YieldConfig, result: &YieldStudy) {
+    if !tfet_obs::enabled() {
+        return;
+    }
+    tfet_obs::counter("yield.samples", result.samples as u64);
+    tfet_obs::counter("yield.failures", result.failures as u64);
+    if !result.quarantined.is_empty() {
+        tfet_obs::counter("yield.quarantined", result.quarantined.len() as u64);
+    }
+    tfet_obs::yield_study(tfet_obs::YieldStudyRecord {
+        study,
+        metric: result.metric.name(),
+        seed: cfg.mc.seed,
+        sigma_scale: result.sigma_scale,
+        samples: result.samples as u64,
+        survivors: result.survivors as u64,
+        failures: result.failures as u64,
+        quarantined: result.quarantined.len() as u64,
+        p_fail: result.p_fail.unwrap_or(f64::NAN),
+        std_error: result.std_error.unwrap_or(f64::NAN),
+        ess: result.ess,
+    });
+    for q in &result.quarantined {
+        tfet_obs::quarantine(tfet_obs::QuarantineRecord {
+            study,
+            index: q.index as u64,
+            seed: cfg.mc.seed,
+            params: q.params.clone(),
+            error: q.error.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::mc_drnm_topo;
+    use crate::tech::AccessConfig;
+    use tfet_numerics::Summary;
+
+    /// The paper's proposed cell with coarsened solver settings (the same
+    /// trade the Monte-Carlo tests make: statistics over resolution).
+    fn base() -> CellParams {
+        let mut p = CellParams::tfet6t(AccessConfig::InwardP)
+            .with_beta(0.6)
+            .with_vdd(0.8);
+        p.sim.dt = 2e-12;
+        p.sim.pulse_tol = 8e-12;
+        p
+    }
+
+    /// Mismatch model used by the statistical tests: the paper's t_ox
+    /// factor plus per-transistor Vth mismatch.
+    fn vth_model(sigma: f64) -> VariationModel {
+        VariationModel::paper().with_vth(sigma, 8.0 * sigma)
+    }
+
+    #[test]
+    fn array_composition_is_stable_for_tiny_p() {
+        assert_eq!(array_fail_prob(0.0, 65536), 0.0);
+        assert_eq!(array_fail_prob(1.0, 65536), 1.0);
+        let p = array_fail_prob(1e-9, 65536);
+        // 1 - (1-1e-9)^65536 ~= 6.55e-5; naive arithmetic would lose it.
+        assert!((p - 6.5534e-5).abs() < 1e-8, "p = {p:e}");
+        assert!((array_yield(1e-9, 65536) - (1.0 - p)).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn array_composition_rejects_bad_probability() {
+        let _ = array_fail_prob(1.5, 64);
+    }
+
+    #[test]
+    fn model_dimensions_count_active_factors() {
+        assert_eq!(VariationModel::paper().dimensions(), 7);
+        assert_eq!(vth_model(0.01).dimensions(), 14);
+        assert_eq!(
+            vth_model(0.01).with_supply(0.05, 0.2).dimensions(),
+            15,
+            "supply is one global dimension"
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_setups() {
+        let base = base();
+        let narrow = YieldConfig::new(4, 1).with_sigma_scale(0.5);
+        assert!(matches!(
+            yield_read(&base, None, 0.0, &narrow),
+            Err(SramError::InvalidParameter(_))
+        ));
+        let empty = YieldConfig::new(4, 1).with_model(VariationModel {
+            tox: Factor::OFF,
+            tox_global: Factor::OFF,
+            vth: Factor::OFF,
+            vth_global: Factor::OFF,
+            drive: Factor::OFF,
+            supply: Factor::OFF,
+        });
+        assert!(matches!(
+            yield_read(&base, None, 0.0, &empty),
+            Err(SramError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            yield_write(&base, None, -1.0, &YieldConfig::new(4, 1)),
+            Err(SramError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn brute_force_samples_the_montecarlo_process_space() {
+        // At sigma_scale 1 with the paper model, a yield study draws the
+        // exact per-role t_ox deviations of `montecarlo` (same per-sample
+        // streams, same draw order) and evaluates them identically.
+        let base = base();
+        let n = 6;
+        let cfg = YieldConfig::new(n, 77);
+        let study = yield_read(&base, None, -1.0, &cfg).expect("study runs");
+        let topo = CellTopology::builtin(base.kind);
+        let mc = mc_drnm_topo(&topo, &base, None, n, cfg.mc).expect("mc runs");
+        let summary = study.metric_summary.expect("all samples finite");
+        let reference = Summary::of(&mc.values);
+        assert_eq!(summary.n, n);
+        assert_eq!(summary.min, reference.min, "same draws, same values");
+        assert_eq!(summary.max, reference.max);
+        assert!((summary.mean - reference.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_one_weights_are_exactly_unit() {
+        let study = yield_read(&base(), None, 0.38, &YieldConfig::new(8, 3)).expect("study runs");
+        assert_eq!(study.survivors, 8);
+        assert_eq!(study.ess, 8.0, "unit weights make ESS == n exactly");
+        assert_eq!(study.weighted_failures, study.failures as f64);
+        assert_eq!(
+            study.p_fail,
+            Some(study.failures as f64 / study.survivors as f64)
+        );
+    }
+
+    #[test]
+    fn estimate_is_thread_invariant() {
+        let cfg = YieldConfig::new(16, 2011)
+            .with_model(vth_model(0.007))
+            .with_sigma_scale(2.5);
+        let serial = yield_read(&base(), None, 0.2, &cfg.with_threads(1)).expect("serial");
+        let parallel = yield_read(&base(), None, 0.2, &cfg.with_threads(8)).expect("parallel");
+        assert_eq!(serial, parallel, "estimate, SE and ESS are bit-identical");
+    }
+
+    #[test]
+    fn importance_sampling_agrees_with_brute_force_at_two_sigma() {
+        // The cross-check of the ISSUE: at a moderately rare event
+        // (P ~ 6 % under t_ox + 7 mV Vth mismatch), the re-weighted
+        // 2x-scaled estimator and plain Monte-Carlo must agree within
+        // three combined standard errors.
+        let base = base();
+        let model = vth_model(0.007);
+        let brute_cfg = YieldConfig::new(128, 2011).with_model(model);
+        let is_cfg = YieldConfig::new(128, 2012)
+            .with_model(model)
+            .with_sigma_scale(2.0);
+        let brute = yield_read(&base, None, 0.2, &brute_cfg).expect("brute");
+        let is = yield_read(&base, None, 0.2, &is_cfg).expect("is");
+        let (pb, pi) = (brute.p_fail.unwrap(), is.p_fail.unwrap());
+        let (seb, sei) = (brute.std_error.unwrap(), is.std_error.unwrap());
+        assert!(brute.failures > 0, "event must be visible to brute force");
+        assert!(is.failures > brute.failures, "widening multiplies hits");
+        let combined = (seb * seb + sei * sei).sqrt();
+        assert!(
+            (pb - pi).abs() <= 3.0 * combined,
+            "brute {pb:.4e} (se {seb:.1e}) vs IS {pi:.4e} (se {sei:.1e})"
+        );
+        assert_eq!(brute.ess, 128.0);
+        assert!(is.ess < 128.0, "weight spread must show in the ESS");
+    }
+
+    #[test]
+    fn six_sigma_scaling_quarantines_out_of_validity_draws() {
+        // A model whose truncation bound (0.36 V) deliberately exceeds the
+        // device model's perturbative range (0.3 V): under sigma_scale 6
+        // the proposal regularly lands in the gap. The study must complete
+        // with those samples quarantined — typed error, labeled draws —
+        // not panic.
+        let cfg = YieldConfig::new(32, 9)
+            .with_model(VariationModel::paper().with_vth(0.03, 0.36))
+            .with_sigma_scale(6.0);
+        let study = yield_read(&base(), None, 0.2, &cfg).expect("study completes");
+        assert!(!study.quarantined.is_empty(), "some draws must exceed 0.3");
+        assert!(study.survivors > 0, "most samples stay in range");
+        assert_eq!(study.survivors + study.quarantined.len(), 32);
+        assert!(study.p_fail.is_some());
+        for q in &study.quarantined {
+            assert!(q.index < 32);
+            assert_eq!(q.params.len(), 14, "one draw per active dimension");
+            assert!(
+                q.params
+                    .iter()
+                    .any(|(name, v)| { name.ends_with(".vth") && v.abs() >= 0.3 }),
+                "quarantine must carry the offending draw: {:?}",
+                q.params
+            );
+            assert!(matches!(q.error, SramError::InvalidParameter(_)));
+        }
+    }
+}

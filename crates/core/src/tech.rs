@@ -11,7 +11,9 @@ use crate::error::SramError;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tfet_devices::model::{DeviceKind, DeviceModel};
-use tfet_devices::{MosfetParams, NTfet, Nmos, PTfet, Pmos, ProcessVariation, TfetParams};
+use tfet_devices::{
+    MosfetParams, NTfet, Nmos, PTfet, Pmos, ProcessPoint, ProcessVariation, TfetParams,
+};
 
 /// How transistor I-V characteristics are evaluated during simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -269,6 +271,41 @@ impl Default for CellVariations {
     }
 }
 
+/// Per-transistor multi-factor process assignment (t_ox + Vth mismatch +
+/// drive strength) for rare-event yield studies. The paper-faithful default
+/// path keeps using [`CellVariations`]; a cell only carries a `CellProcess`
+/// when the factor variation model is explicitly enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellProcess {
+    points: [ProcessPoint; 7],
+}
+
+impl CellProcess {
+    /// The nominal process for every transistor.
+    pub fn nominal() -> Self {
+        CellProcess {
+            points: [ProcessPoint::nominal(); 7],
+        }
+    }
+
+    /// Sets one transistor's process point (builder style).
+    pub fn with(mut self, role: Role, p: ProcessPoint) -> Self {
+        self.points[role.index()] = p;
+        self
+    }
+
+    /// The process point assigned to a role.
+    pub fn of(&self, role: Role) -> ProcessPoint {
+        self.points[role.index()]
+    }
+}
+
+impl Default for CellProcess {
+    fn default() -> Self {
+        CellProcess::nominal()
+    }
+}
+
 /// Transient step-control policy selector for experiment drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SteppingMode {
@@ -397,6 +434,12 @@ pub struct CellParams {
     pub c_node: f64,
     /// Per-transistor process variation.
     pub variations: CellVariations,
+    /// Per-transistor multi-factor process points. `None` (the default, and
+    /// the paper-faithful configuration) routes device construction through
+    /// [`CellVariations`] exactly as before; `Some` takes precedence and
+    /// always evaluates analytically — the compiled-LUT corner cache is
+    /// keyed on t_ox alone and cannot represent the extra factors.
+    pub process: Option<CellProcess>,
     /// Operating temperature, K (applied to every device model).
     pub temp_k: f64,
     /// Device evaluation strategy (analytic vs. cached LUT).
@@ -426,6 +469,7 @@ impl CellParams {
             c_bitline: 20e-15,
             c_node: 0.15e-15,
             variations: CellVariations::nominal(),
+            process: None,
             temp_k: 300.0,
             eval: DeviceEval::default(),
             sim: SimOptions::default(),
@@ -447,6 +491,14 @@ impl CellParams {
     /// Sets the per-transistor process variations (builder style).
     pub fn with_variations(mut self, v: CellVariations) -> Self {
         self.variations = v;
+        self
+    }
+
+    /// Sets the per-transistor multi-factor process points (builder style),
+    /// switching device construction to the factor variation model. See
+    /// [`CellParams::process`].
+    pub fn with_process(mut self, p: CellProcess) -> Self {
+        self.process = Some(p);
         self
     }
 
@@ -491,6 +543,9 @@ impl CellParams {
     /// process variation. `n_type` selects the polarity within the
     /// technology.
     pub(crate) fn model(&self, role: Role, n_type: bool) -> Arc<dyn DeviceModel> {
+        if let Some(process) = &self.process {
+            return self.model_with_point(process.of(role), n_type);
+        }
         self.model_with(self.variations.of(role), n_type)
     }
 
@@ -500,6 +555,32 @@ impl CellParams {
     /// model and always use the nominal process.
     pub(crate) fn periph_model(&self, n_type: bool) -> Arc<dyn DeviceModel> {
         self.model_with(ProcessVariation::nominal(), n_type)
+    }
+
+    /// Builds a device model from a multi-factor process point. Always
+    /// analytic: the shared LUT corner cache is keyed on
+    /// [`ProcessVariation`] (t_ox only) and would silently drop the Vth and
+    /// drive factors.
+    fn model_with_point(&self, point: ProcessPoint, n_type: bool) -> Arc<dyn DeviceModel> {
+        if self.kind.is_tfet() {
+            let p = point
+                .apply_tfet(&TfetParams::nominal())
+                .at_temperature(self.temp_k);
+            if n_type {
+                Arc::new(NTfet::new(p))
+            } else {
+                Arc::new(PTfet::new(p))
+            }
+        } else {
+            let p = point
+                .apply_mosfet(&MosfetParams::nominal_32nm_lp())
+                .at_temperature(self.temp_k);
+            if n_type {
+                Arc::new(Nmos::new(p))
+            } else {
+                Arc::new(Pmos::new(p))
+            }
+        }
     }
 
     fn model_with(&self, var: ProcessVariation, n_type: bool) -> Arc<dyn DeviceModel> {
@@ -619,6 +700,20 @@ mod tests {
         let q = CellParams::tfet6t(AccessConfig::InwardP);
         assert_eq!(q.eval, DeviceEval::Analytic);
         assert_eq!(q.model(Role::PullDownLeft, true).name(), "ntfet");
+    }
+
+    #[test]
+    fn process_points_take_precedence_and_stay_analytic() {
+        let point = ProcessPoint::try_new(0.0, 0.05, 0.0).unwrap();
+        let p = CellParams::tfet6t(AccessConfig::InwardP)
+            .with_lut_devices()
+            .with_process(CellProcess::nominal().with(Role::PullDownLeft, point));
+        // Factor-model devices never come from the LUT corner cache.
+        assert_eq!(p.model(Role::PullDownLeft, true).name(), "ntfet");
+        // A nominal process assignment reproduces the nominal analytic model.
+        let nominal =
+            CellParams::tfet6t(AccessConfig::InwardP).with_process(CellProcess::nominal());
+        assert_eq!(nominal.model(Role::AccessLeft, true).name(), "ntfet");
     }
 
     #[test]

@@ -61,4 +61,4 @@ pub use model::{Caps, DeviceKind, DeviceModel, Polarity};
 pub use mosfet::{MosfetParams, Nmos, Pmos};
 pub use registry::standard_models;
 pub use tfet::{NTfet, PTfet, TfetParams};
-pub use variation::ProcessVariation;
+pub use variation::{ProcessPoint, ProcessVariation, VariationError};

@@ -18,7 +18,10 @@
 //!   boolean binary search used for critical-pulse-width extraction;
 //! * [`sweep`] — parameter-sweep grid constructors (`linspace`, `logspace`)
 //!   and a parallel grid evaluator;
-//! * [`stats`] — summary statistics and histograms for Monte-Carlo studies;
+//! * [`stats`] — summary statistics and histograms for Monte-Carlo studies,
+//!   including the weighted summaries importance sampling needs;
+//! * [`normal`] — standard-normal special functions (`erf`, CDF, inverse
+//!   CDF) backing truncated-Gaussian sampling and likelihood ratios;
 //! * [`parallel`] — deterministic scoped-thread fan-out (`par_map`,
 //!   `par_for_each_mut`) whose results are bit-identical to a serial loop at
 //!   any thread count;
@@ -44,6 +47,7 @@
 
 pub mod interp;
 pub mod matrix;
+pub mod normal;
 pub mod parallel;
 pub mod partition;
 pub mod roots;
@@ -53,6 +57,7 @@ pub mod sweep;
 
 pub use interp::{Lut1d, Lut2d};
 pub use matrix::{LuWorkspace, Matrix};
+pub use normal::{erf, erfc, gaussian_mass_within, inv_norm_cdf, norm_cdf};
 pub use parallel::{par_for_each_mut, par_map, par_try_map};
 pub use partition::GroupedIndices;
 pub use roots::{
@@ -60,5 +65,5 @@ pub use roots::{
     critical_threshold_seeded_checked,
 };
 pub use sparse::{SparseLu, SparseMatrix, SparsityPattern};
-pub use stats::{Histogram, Summary};
+pub use stats::{Histogram, Summary, WeightedSummary};
 pub use sweep::{geomspace, linspace, logspace, par_grid};

@@ -1,0 +1,189 @@
+//! Standard-normal special functions: `erf`, the normal CDF and its
+//! inverse, and the mass of a centered Gaussian inside a symmetric
+//! interval.
+//!
+//! These back the truncated-Gaussian process sampling of the Monte-Carlo
+//! layer and the analytic truncation constants that scaled-sigma
+//! importance sampling must carry in its likelihood ratios: a draw
+//! truncated to `[-b, b]` has density `φ(x/σ) / (σ · Z)` with
+//! `Z = 2Φ(b/σ) − 1 = erf(b/(σ√2))`, and dropping `Z` silently biases the
+//! re-weighted tail mass.
+
+/// The error function `erf(x) = (2/√π) ∫₀ˣ e^(−t²) dt`.
+///
+/// Rational Chebyshev approximation of the complementary error function
+/// (Numerical Recipes `erfcc` form), accurate to ≈ 1.2e-7 everywhere —
+/// far inside the statistical error of any study that consumes it.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// The standard-normal CDF `Φ(x)`.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// The inverse standard-normal CDF `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Acklam's rational approximation (relative error ≈ 1.15e-9), refined by
+/// one Halley step against [`norm_cdf`].
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+// The coefficient tables keep Acklam's published digits verbatim, one digit
+// past f64 resolution.
+#[allow(clippy::excessive_precision)]
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_norm_cdf needs p in (0, 1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement against the forward CDF tightens the tails to
+    // the accuracy of `erfc` itself.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Probability that a centered Gaussian with standard deviation `sigma`
+/// falls inside `[-bound, bound]` — the analytic truncation constant `Z`
+/// of a symmetric truncated normal.
+///
+/// # Panics
+///
+/// Panics if `sigma` or `bound` is not positive.
+pub fn gaussian_mass_within(sigma: f64, bound: f64) -> f64 {
+    assert!(
+        sigma > 0.0 && bound > 0.0,
+        "gaussian_mass_within needs positive sigma and bound"
+    );
+    erf(bound / (sigma * std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_matches_reference_values() {
+        // Reference values from standard tables.
+        for (x, want) in [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (-1.0, -0.842_700_792_9),
+        ] {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {}", erf(x));
+        }
+    }
+
+    #[test]
+    fn cdf_is_symmetric_and_monotone() {
+        // The rational erfc approximation is ~1e-7 accurate; the identities
+        // below hold to that accuracy, not to machine precision.
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        for x in [-3.0, -1.0, -0.2, 0.7, 2.5] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-9);
+        }
+        assert!(norm_cdf(-1.0) < norm_cdf(0.0));
+        assert!(norm_cdf(0.0) < norm_cdf(1.0));
+    }
+
+    #[test]
+    fn inverse_cdf_round_trips() {
+        for p in [1e-6, 0.01, 0.3, 0.5, 0.84, 0.999, 1.0 - 1e-6] {
+            let x = inv_norm_cdf(p);
+            assert!(
+                (norm_cdf(x) - p).abs() < 1e-7,
+                "round trip p={p}: x={x}, cdf={}",
+                norm_cdf(x)
+            );
+        }
+        assert!((inv_norm_cdf(0.5)).abs() < 1e-6);
+        // 2σ quantile.
+        assert!((inv_norm_cdf(0.977_249_868) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inv_norm_cdf")]
+    fn inverse_cdf_rejects_degenerate_p() {
+        inv_norm_cdf(1.0);
+    }
+
+    #[test]
+    fn truncation_mass_matches_two_sigma_rule() {
+        // ±2σ holds ≈ 95.45 % of the mass.
+        let z = gaussian_mass_within(0.025, 0.05);
+        assert!((z - 0.954_499_736).abs() < 1e-6, "Z = {z}");
+        // Widening the proposal at a fixed bound sheds mass.
+        assert!(gaussian_mass_within(0.075, 0.05) < z);
+    }
+}

@@ -101,6 +101,91 @@ impl fmt::Display for Summary {
     }
 }
 
+/// Summary statistics of a weighted sample — the diagnostic companion of
+/// importance-sampled Monte-Carlo studies, where each observation carries a
+/// likelihood-ratio weight and the *effective* sample size, not the raw
+/// count, governs the statistical error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSummary {
+    /// Number of (value, weight) pairs, including zero-weight pairs.
+    pub n: usize,
+    /// Sum of the weights.
+    pub total_weight: f64,
+    /// Weighted mean `Σ wᵢxᵢ / Σ wᵢ`.
+    pub mean: f64,
+    /// Kish effective sample size `(Σ wᵢ)² / Σ wᵢ²` — equals `n` for uniform
+    /// weights and collapses toward 1 as the weight mass concentrates on a
+    /// single sample.
+    pub ess: f64,
+    /// Smallest value with nonzero weight.
+    pub min: f64,
+    /// Largest value with nonzero weight.
+    pub max: f64,
+}
+
+impl WeightedSummary {
+    /// Computes weighted summary statistics, or `None` when the sample is
+    /// empty or carries zero total weight — both are reportable outcomes of
+    /// a rare-event study (no survivors, or every survivor weightless), not
+    /// crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `weights` differ in length, or if any value is
+    /// non-finite, or if any weight is negative or non-finite — those are
+    /// producer bugs (a likelihood ratio is finite and nonnegative by
+    /// construction).
+    pub fn try_of(values: &[f64], weights: &[f64]) -> Option<Self> {
+        assert_eq!(
+            values.len(),
+            weights.len(),
+            "weighted sample needs one weight per value"
+        );
+        assert!(
+            values.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and nonnegative"
+        );
+        if values.is_empty() {
+            return None;
+        }
+        let total_weight: f64 = weights.iter().sum();
+        if total_weight == 0.0 {
+            return None;
+        }
+        let mean = values.iter().zip(weights).map(|(x, w)| w * x).sum::<f64>() / total_weight;
+        let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (&x, &w) in values.iter().zip(weights) {
+            if w > 0.0 {
+                min = min.min(x);
+                max = max.max(x);
+            }
+        }
+        Some(WeightedSummary {
+            n: values.len(),
+            total_weight,
+            mean,
+            ess: total_weight * total_weight / sum_sq,
+            min,
+            max,
+        })
+    }
+}
+
+impl fmt::Display for WeightedSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} w={:.4e} mean={:.4e} ess={:.1} min={:.4e} max={:.4e}",
+            self.n, self.total_weight, self.mean, self.ess, self.min, self.max
+        )
+    }
+}
+
 /// Interpolated percentile of pre-sorted data, `p ∈ [0, 100]`.
 fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let n = sorted.len();
@@ -375,6 +460,47 @@ mod tests {
         let h = Histogram::new(0.0, 1.0, 4);
         assert!((h.bin_center(0) - 0.125).abs() < 1e-15);
         assert!((h.bin_center(3) - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_summary_uniform_weights_match_summary() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let w = WeightedSummary::try_of(&values, &[1.0; 4]).unwrap();
+        let s = Summary::of(&values);
+        assert!((w.mean - s.mean).abs() < 1e-15);
+        assert_eq!(w.min, s.min);
+        assert_eq!(w.max, s.max);
+        // Uniform weights: ESS equals the raw count.
+        assert!((w.ess - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_summary_all_weight_on_one_sample() {
+        let w = WeightedSummary::try_of(&[10.0, 20.0, 30.0], &[0.0, 5.0, 0.0]).unwrap();
+        assert_eq!(w.n, 3);
+        assert!((w.mean - 20.0).abs() < 1e-15);
+        assert!((w.ess - 1.0).abs() < 1e-12);
+        // Zero-weight values never contribute to the range.
+        assert_eq!(w.min, 20.0);
+        assert_eq!(w.max, 20.0);
+    }
+
+    #[test]
+    fn weighted_summary_degenerate_sets_are_none() {
+        assert_eq!(WeightedSummary::try_of(&[], &[]), None);
+        assert_eq!(WeightedSummary::try_of(&[1.0, 2.0], &[0.0, 0.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn weighted_summary_rejects_negative_weight() {
+        WeightedSummary::try_of(&[1.0], &[-0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per value")]
+    fn weighted_summary_rejects_length_mismatch() {
+        WeightedSummary::try_of(&[1.0, 2.0], &[1.0]);
     }
 
     #[test]

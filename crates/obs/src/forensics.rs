@@ -221,7 +221,7 @@ mod tests {
             .floats("residuals", &[1.0, 0.5])
             .named_nums("voltages", &[("q", 0.8), ("qb", 0.0)]);
         let json = b.to_json();
-        assert!(json.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":3"#));
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.diagnostic","version":4"#));
         assert!(json.contains(r#""label":"transient-newton""#));
         assert!(json.contains(r#""residuals":[1e0,5e-1]"#));
         assert!(json.contains(r#""voltages":{"q":8e-1,"qb":0e0}"#));

@@ -128,6 +128,7 @@ pub fn reset() {
     reg.series.clear();
     reg.quarantined.clear();
     reg.partitions.clear();
+    reg.yields.clear();
     drop(reg);
     forensics::reset_seq();
     trace::clear();
@@ -271,6 +272,39 @@ pub struct QuarantineRecord {
     pub error: String,
 }
 
+/// One rare-event yield study outcome for the report's `yield` section:
+/// the importance-sampled tail-probability estimate together with the
+/// sampling diagnostics needed to judge it (effective sample size, raw and
+/// weighted failure counts, quarantine). Recorded once per study from the
+/// coordinating thread; captures sort by `(study, metric, sigma_scale,
+/// seed)`, so the section is bit-identical at any worker-thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldStudyRecord {
+    /// The study that produced the estimate (e.g. `"yield_write"`).
+    pub study: &'static str,
+    /// The failure metric (e.g. `"write_margin"`, `"drnm"`).
+    pub metric: &'static str,
+    /// The study's RNG seed.
+    pub seed: u64,
+    /// Proposal-widening factor σ′/σ; `1.0` is brute force.
+    pub sigma_scale: f64,
+    /// Samples attempted.
+    pub samples: u64,
+    /// Samples that produced a verdict.
+    pub survivors: u64,
+    /// Raw count of failing survivors (unweighted).
+    pub failures: u64,
+    /// Samples excluded from the estimate.
+    pub quarantined: u64,
+    /// Likelihood-ratio-weighted tail failure probability; NaN when no
+    /// survivor exists (serialized as `null`).
+    pub p_fail: f64,
+    /// Standard error of `p_fail`; NaN when undefined.
+    pub std_error: f64,
+    /// Kish effective sample size of the survivor weights.
+    pub ess: f64,
+}
+
 /// Key of one partition-telemetry cell: `(study, row, col)`. Studies are
 /// static labels (`"array_write"`), coordinates are the cell's grid
 /// position.
@@ -288,6 +322,7 @@ pub(crate) struct Registry {
     pub(crate) quarantined: Vec<QuarantineRecord>,
     /// Per-cell partition telemetry: `(study, row, col)` -> metric sums.
     pub(crate) partitions: BTreeMap<PartitionKey, BTreeMap<&'static str, u64>>,
+    pub(crate) yields: Vec<YieldStudyRecord>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
@@ -299,6 +334,7 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     series: BTreeMap::new(),
     quarantined: Vec::new(),
     partitions: BTreeMap::new(),
+    yields: Vec::new(),
 });
 
 pub(crate) fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
@@ -492,6 +528,20 @@ pub fn quarantine(record: QuarantineRecord) {
         return;
     }
     lock_registry().quarantined.push(record);
+}
+
+/// Records one rare-event yield study outcome into the report's `yield`
+/// section.
+///
+/// Callers must record from the study's coordinating thread after the
+/// fan-out completes; captures sort by `(study, metric, sigma_scale, seed)`
+/// regardless, so the section stays deterministic.
+#[inline]
+pub fn yield_study(record: YieldStudyRecord) {
+    if !enabled() {
+        return;
+    }
+    lock_registry().yields.push(record);
 }
 
 /// Accumulates per-cell partition telemetry under `(study, row, col)` —

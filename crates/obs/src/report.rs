@@ -10,7 +10,7 @@
 //! worker-thread count.
 
 use crate::json::Value;
-use crate::QuarantineRecord;
+use crate::{QuarantineRecord, YieldStudyRecord};
 use std::collections::BTreeMap;
 
 /// Version of the `tfet-obs.run-report` (and `tfet-obs.diagnostic`) JSON
@@ -19,7 +19,10 @@ use std::collections::BTreeMap;
 /// v2 added the `quarantined` section (degraded-study sample quarantine).
 /// v3 added the `partitions` section (per-cell array-partition telemetry:
 /// dormancy duty cycles, guard-trip attribution, replay counts).
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4 added the `yield` section (rare-event yield studies: importance-
+/// sampled tail failure probability, standard error, effective sample
+/// size).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Snapshot of one `(study, row, col)` partition-telemetry cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +115,11 @@ pub struct RunReport {
     /// Values are logical dormancy-decision counts recorded serially inside
     /// the Newton loop, so the section is thread-count invariant.
     pub partitions: Vec<PartitionCellSnapshot>,
+    /// Rare-event yield study outcomes, sorted by `(study, metric,
+    /// sigma_scale, seed)`. Estimates are folded in sample order on each
+    /// study's coordinating thread, so the section is thread-count
+    /// invariant.
+    pub yields: Vec<YieldStudyRecord>,
 }
 
 impl RunReport {
@@ -185,6 +193,13 @@ impl RunReport {
                 metrics: metrics.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
             });
         }
+        report.yields = reg.yields.clone();
+        report.yields.sort_by(|a, b| {
+            (a.study, a.metric)
+                .cmp(&(b.study, b.metric))
+                .then(a.sigma_scale.total_cmp(&b.sigma_scale))
+                .then(a.seed.cmp(&b.seed))
+        });
         report
     }
 
@@ -340,6 +355,27 @@ impl RunReport {
                 })
                 .collect(),
         );
+        let yields = Value::Arr(
+            self.yields
+                .iter()
+                .map(|y| {
+                    Value::Obj(vec![
+                        ("study".into(), Value::text(y.study)),
+                        ("metric".into(), Value::text(y.metric)),
+                        ("seed".into(), Value::UInt(y.seed)),
+                        ("sigma_scale".into(), Value::Num(y.sigma_scale)),
+                        ("samples".into(), Value::UInt(y.samples)),
+                        ("survivors".into(), Value::UInt(y.survivors)),
+                        ("failures".into(), Value::UInt(y.failures)),
+                        ("quarantined".into(), Value::UInt(y.quarantined)),
+                        // NaN (no-survivor degenerate) serializes as null.
+                        ("p_fail".into(), Value::Num(y.p_fail)),
+                        ("std_error".into(), Value::Num(y.std_error)),
+                        ("ess".into(), Value::Num(y.ess)),
+                    ])
+                })
+                .collect(),
+        );
         Value::Obj(vec![
             ("schema".into(), Value::text("tfet-obs.run-report")),
             ("version".into(), Value::UInt(u64::from(SCHEMA_VERSION))),
@@ -350,6 +386,7 @@ impl RunReport {
             ("series".into(), series),
             ("quarantined".into(), quarantined),
             ("partitions".into(), partitions),
+            ("yield".into(), yields),
             ("work".into(), work),
             ("timings_ns".into(), timings),
         ])
@@ -442,6 +479,24 @@ impl RunReport {
                 );
             }
         }
+        if !self.yields.is_empty() {
+            let _ = writeln!(out, "yield (study / metric / scale / p_fail ± se / ess):");
+            for y in &self.yields {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:<14} x{:<5} {:e} ± {:e}  ess {:.1}  ({}/{} fail, {} quarantined)",
+                    y.study,
+                    y.metric,
+                    y.sigma_scale,
+                    y.p_fail,
+                    y.std_error,
+                    y.ess,
+                    y.failures,
+                    y.survivors,
+                    y.quarantined
+                );
+            }
+        }
         if !self.partitions.is_empty() {
             let _ = writeln!(out, "partitions (study / cells / metrics):");
             let mut study_cells: BTreeMap<&str, u64> = BTreeMap::new();
@@ -477,7 +532,7 @@ mod tests {
 
         let report = RunReport::capture();
         let json = report.to_json();
-        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":3"#));
+        assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":4"#));
         let a = json.find("a.first").unwrap();
         let b = json.find("b.second").unwrap();
         assert!(a < b, "counter keys must be sorted");
@@ -564,6 +619,51 @@ mod tests {
              array_write,1,0,refreshes,1\n"
         );
         assert!(report.render().contains("partitions"));
+    }
+
+    #[test]
+    fn yield_section_is_sorted_and_serialized() {
+        let _guard = test_lock::hold();
+        crate::enable();
+        crate::reset();
+        // Record out of order: capture must sort by
+        // (study, metric, sigma_scale, seed).
+        crate::yield_study(YieldStudyRecord {
+            study: "yield_write",
+            metric: "write_margin",
+            seed: 7,
+            sigma_scale: 2.5,
+            samples: 100,
+            survivors: 100,
+            failures: 3,
+            quarantined: 0,
+            p_fail: 1.5e-8,
+            std_error: 5e-9,
+            ess: 61.2,
+        });
+        crate::yield_study(YieldStudyRecord {
+            study: "yield_write",
+            metric: "write_margin",
+            seed: 7,
+            sigma_scale: 1.0,
+            samples: 100,
+            survivors: 100,
+            failures: 0,
+            quarantined: 0,
+            p_fail: f64::NAN, // degenerate: serializes as null
+            std_error: f64::NAN,
+            ess: 100.0,
+        });
+        crate::disable();
+        let report = RunReport::capture();
+        assert_eq!(report.yields.len(), 2);
+        assert_eq!(report.yields[0].sigma_scale, 1.0);
+        assert_eq!(report.yields[1].sigma_scale, 2.5);
+        let json = report.to_json();
+        assert!(json.contains(r#""yield":[{"study":"yield_write","metric":"write_margin""#));
+        assert!(json.contains(r#""p_fail":null"#));
+        assert!(json.contains(r#""p_fail":1.5e-8"#));
+        assert!(report.render().contains("yield"));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Run report: trace a scorecard + small Monte-Carlo and emit the
 //! observability artifacts.
 //!
-//! Enables `tfet-obs` tracing, measures the proposed cell's full scorecard
-//! and an 8-sample `WL_crit` / DRNM Monte-Carlo, then writes the captured
+//! Enables `tfet-obs` tracing, measures the proposed cell's full scorecard,
+//! an 8-sample `WL_crit` / DRNM Monte-Carlo, and a small importance-sampled
+//! yield study (the v4 `yield` section), then writes the captured
 //! [`tfet_obs::RunReport`] to `results/run_report.json` (the versioned
 //! `tfet-obs.run-report` schema — see `docs/RUN_REPORT.md`).
 //!
@@ -18,6 +19,7 @@ use tfet_sram::compare::{scorecard, Design};
 use tfet_sram::metrics::WlCrit;
 use tfet_sram::montecarlo::{mc_drnm_with, mc_wl_crit_with, McConfig};
 use tfet_sram::prelude::*;
+use tfet_sram::rare_event::{yield_read, VariationModel, YieldConfig};
 
 const N: usize = 8;
 const SEED: u64 = 42;
@@ -60,6 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "MC DRNM : {} samples, yield {:.2}",
         drnm.values.len(),
         drnm.yield_fraction()
+    );
+
+    // A small importance-sampled yield study populates the v4 `yield`
+    // section: the paper's t_ox factor plus Vth mismatch, proposal widened
+    // 2x (see `tfet_sram::rare_event`).
+    let yield_cfg = YieldConfig::new(N, SEED)
+        .with_model(VariationModel::paper().with_vth(7e-3, 56e-3))
+        .with_sigma_scale(2.0);
+    let study = yield_read(&cell, None, 0.2, &yield_cfg)?;
+    println!(
+        "Yield   : P(DRNM < 0.2 V) = {:.2e} (ESS {:.1})",
+        study.p_fail.unwrap_or(f64::NAN),
+        study.ess
     );
 
     tfet_obs::disable();

@@ -146,7 +146,7 @@ fn traced_study_report_contains_span_tree_histograms_and_lte_stats() {
     assert!(report.series.contains_key("bisection.bracket"));
 
     let json = report.to_json();
-    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":3"#));
+    assert!(json.starts_with(r#"{"schema":"tfet-obs.run-report","version":4"#));
     assert!(json.contains("newton.iters_per_solve"));
     assert!(
         json.contains(r#""quarantined":[]"#),
